@@ -1,0 +1,40 @@
+//! Criterion bench: federated round cost — full-width/full-precision local
+//! training vs the DC-NAS-pruned and HaLo-quantized variants, plus
+//! speculative decoding vs plain target decoding.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sensact_fed::client::{Client, HardwareTier};
+use sensact_fed::data::Dataset;
+use sensact_fed::speculative::{demo_corpus, speculative_generate, NgramModel};
+use std::hint::black_box;
+
+fn bench_fed(c: &mut Criterion) {
+    let data = Dataset::generate(200, 1);
+
+    c.bench_function("fed/local_train_full", |b| {
+        let mut client = Client::new(0, data.clone(), HardwareTier::EdgeGpu, 0);
+        b.iter(|| black_box(client.local_train(2)))
+    });
+    c.bench_function("fed/local_train_pruned", |b| {
+        let mut client = Client::new(0, data.clone(), HardwareTier::Mcu, 0);
+        client.channel_fraction = 0.3;
+        b.iter(|| black_box(client.local_train(2)))
+    });
+    c.bench_function("fed/local_train_quantized", |b| {
+        let mut client = Client::new(0, data.clone(), HardwareTier::Mcu, 0);
+        client.precision = sensact_nn::quant::Precision::Int4;
+        b.iter(|| black_box(client.local_train(2)))
+    });
+
+    let draft = NgramModel::train(demo_corpus(), 2);
+    let target = NgramModel::train(demo_corpus(), 5);
+    c.bench_function("fed/target_greedy_decode", |b| {
+        b.iter(|| black_box(target.generate("the robot", 60)))
+    });
+    c.bench_function("fed/speculative_decode", |b| {
+        b.iter(|| black_box(speculative_generate(&draft, &target, "the robot", 60, 4)))
+    });
+}
+
+criterion_group!(benches, bench_fed);
+criterion_main!(benches);

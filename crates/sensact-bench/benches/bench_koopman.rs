@@ -1,0 +1,52 @@
+//! Criterion bench: per-step control latency of the Fig. 5 models — the
+//! wall-clock counterpart of the MAC comparison in Fig. 5a.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sensact_koopman::baselines::{DenseKoopman, LatentModel, MlpDynamics, TransformerDynamics};
+use sensact_koopman::cartpole::{CartPole, CartPoleConfig};
+use sensact_koopman::control::{LqrLatentController, ShootingController};
+use sensact_koopman::encoder::SpectralKoopman;
+use sensact_koopman::train::collect_dataset;
+use std::hint::black_box;
+
+fn bench_koopman(c: &mut Criterion) {
+    let data = collect_dataset(400, 1);
+    let env = CartPole::new(CartPoleConfig::default(), 0);
+    let obs = env.observe();
+
+    let mut spectral = SpectralKoopman::new(0);
+    for e in 0..4 {
+        spectral.train_epoch(&data, e);
+    }
+    let lqr = LqrLatentController::synthesize(&mut spectral, 0.001).expect("lqr");
+    let z = spectral.encode(&obs);
+
+    c.bench_function("koopman/encode", |b| {
+        b.iter(|| black_box(spectral.encode(black_box(&obs))))
+    });
+    c.bench_function("koopman/spectral_predict", |b| {
+        b.iter(|| black_box(spectral.predict(black_box(&z), 1.0)))
+    });
+    let mut dense = DenseKoopman::new(0);
+    let zd = dense.encode(&obs);
+    c.bench_function("koopman/dense_predict", |b| {
+        b.iter(|| black_box(dense.predict(black_box(&zd), 1.0)))
+    });
+    let mut tf = TransformerDynamics::new(0);
+    let zt = tf.encode(&obs);
+    c.bench_function("koopman/transformer_predict", |b| {
+        b.iter(|| black_box(tf.predict(black_box(&zt), 1.0)))
+    });
+    c.bench_function("koopman/lqr_control_step", |b| {
+        b.iter(|| black_box(lqr.act(black_box(&z))))
+    });
+    let mut mlp = MlpDynamics::new(0);
+    let zm = mlp.encode(&obs);
+    let mut shooter = ShootingController::new(10.0, 0);
+    c.bench_function("koopman/shooting_control_step", |b| {
+        b.iter(|| black_box(shooter.act(&mut mlp, black_box(&zm))))
+    });
+}
+
+criterion_group!(benches, bench_koopman);
+criterion_main!(benches);

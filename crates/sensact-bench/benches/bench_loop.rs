@@ -1,0 +1,65 @@
+//! Criterion bench: end-to-end sensing-action loop ticks — the §II loop
+//! abstraction with and without action-to-sensing adaptation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sensact_core::adapt::{ActionMagnitudeRate, SensingKnobs};
+use sensact_core::stage::{AlwaysTrust, FnController, FnPerceptor, FnSensor, Sensor, StageContext, Trust};
+use sensact_core::LoopBuilder;
+use std::hint::black_box;
+
+#[derive(Debug)]
+struct KnobSensor {
+    rate: f64,
+    resolution: f64,
+}
+
+impl SensingKnobs for KnobSensor {
+    fn rate(&self) -> f64 {
+        self.rate
+    }
+    fn set_rate(&mut self, r: f64) {
+        self.rate = r.clamp(0.0, 1.0);
+    }
+    fn resolution(&self) -> f64 {
+        self.resolution
+    }
+    fn set_resolution(&mut self, r: f64) {
+        self.resolution = r.clamp(0.0, 1.0);
+    }
+}
+
+impl Sensor<f64> for KnobSensor {
+    type Reading = f64;
+    fn sense(&mut self, env: &f64, ctx: &mut StageContext) -> f64 {
+        ctx.charge(1e-6 * self.rate, 1e-6);
+        *env
+    }
+}
+
+fn bench_loop(c: &mut Criterion) {
+    c.bench_function("loop/minimal_tick", |b| {
+        let mut looop = LoopBuilder::new("bench").build(
+            FnSensor::new(|e: &f64, ctx: &mut StageContext| {
+                ctx.charge(1e-6, 1e-6);
+                *e
+            }),
+            FnPerceptor::new(|r: &f64, _: &mut StageContext| *r),
+            FnController::new(|f: &f64, _t: Trust, _: &mut StageContext| -0.5 * f),
+        );
+        b.iter(|| black_box(looop.tick(black_box(&1.0))))
+    });
+
+    c.bench_function("loop/adaptive_tick", |b| {
+        let mut looop = LoopBuilder::new("bench-adaptive").build_full(
+            KnobSensor { rate: 1.0, resolution: 1.0 },
+            FnPerceptor::new(|r: &f64, _: &mut StageContext| *r),
+            AlwaysTrust,
+            FnController::new(|f: &f64, _t: Trust, _: &mut StageContext| -0.5 * f),
+            ActionMagnitudeRate::default(),
+        );
+        b.iter(|| black_box(looop.tick(black_box(&1.0))))
+    });
+}
+
+criterion_group!(benches, bench_loop);
+criterion_main!(benches);

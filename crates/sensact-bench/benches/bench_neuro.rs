@@ -1,0 +1,38 @@
+//! Criterion bench: clocked vs event-driven inference time, plus event-stream
+//! primitives (Fig. 2/8 in wall-clock).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sensact_neuro::dotie::{detect_clusters, DotieConfig};
+use sensact_neuro::event::{EventStream, MovingScene, MovingSceneConfig};
+use sensact_neuro::flow::{FlowModel, FlowModelKind};
+use std::hint::black_box;
+
+fn bench_neuro(c: &mut Criterion) {
+    let scene = MovingScene::generate(MovingSceneConfig::default(), 1);
+    let mut ann = FlowModel::new(FlowModelKind::FullAnn, 32, 0);
+    let mut snn = FlowModel::new(FlowModelKind::FullSnn, 32, 0);
+    let mut fusion = FlowModel::new(FlowModelKind::Fusion, 32, 0);
+
+    c.bench_function("neuro/event_simulation", |b| {
+        b.iter(|| black_box(MovingScene::generate(MovingSceneConfig::default(), 2)))
+    });
+    c.bench_function("neuro/ann_inference", |b| {
+        b.iter(|| black_box(ann.predict(black_box(&scene))))
+    });
+    c.bench_function("neuro/snn_inference", |b| {
+        b.iter(|| black_box(snn.predict(black_box(&scene))))
+    });
+    c.bench_function("neuro/fusion_inference", |b| {
+        b.iter(|| black_box(fusion.predict(black_box(&scene))))
+    });
+    c.bench_function("neuro/dotie_clustering", |b| {
+        b.iter(|| black_box(detect_clusters(black_box(&scene.events), &DotieConfig::default())))
+    });
+    let packed = scene.events.to_bytes();
+    c.bench_function("neuro/event_unpack", |b| {
+        b.iter(|| black_box(EventStream::from_bytes(packed.clone())))
+    });
+}
+
+criterion_group!(benches, bench_neuro);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench: the generative-sensing pipeline stages (Table II in
+//! time rather than energy): full scan vs masked scan, voxelization, and
+//! occupancy reconstruction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sensact_lidar::mask::{RadialMask, RadialMaskConfig};
+use sensact_lidar::raycast::{Lidar, LidarConfig};
+use sensact_lidar::scene::SceneGenerator;
+use sensact_lidar::voxel::VoxelGrid;
+use sensact_rmae::model::{RmaeConfig, RmaeModel};
+use std::hint::black_box;
+
+fn bench_rmae(c: &mut Criterion) {
+    let scene = SceneGenerator::new(1).generate();
+    let lidar = Lidar::new(LidarConfig::default());
+    let full = lidar.scan(&scene);
+    let config = RmaeConfig::full();
+    let grid = VoxelGrid::from_cloud(config.grid, &full);
+    let occupancy = grid.occupancy_flat();
+    let mut model = RmaeModel::new(config, 0);
+
+    c.bench_function("rmae/full_scan", |b| {
+        b.iter(|| black_box(lidar.scan(black_box(&scene))))
+    });
+    c.bench_function("rmae/masked_scan", |b| {
+        b.iter(|| {
+            let mut mask = RadialMask::sample(RadialMaskConfig::default(), 512, 7);
+            black_box(lidar.scan_masked(black_box(&scene), |_, az| mask.fire(az, 25.0)))
+        })
+    });
+    c.bench_function("rmae/voxelize", |b| {
+        b.iter(|| black_box(VoxelGrid::from_cloud(config.grid, black_box(&full))))
+    });
+    c.bench_function("rmae/reconstruct", |b| {
+        b.iter(|| black_box(model.reconstruct(black_box(&occupancy))))
+    });
+}
+
+criterion_group!(benches, bench_rmae);
+criterion_main!(benches);

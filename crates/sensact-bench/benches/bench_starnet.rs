@@ -1,0 +1,64 @@
+//! Criterion bench: STARNet scoring cost — feature extraction, deterministic
+//! ELBO, and the SPSA likelihood regret at full vs low-rank adaptation
+//! (the DESIGN.md §5 ablation in time).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sensact_lidar::raycast::{Lidar, LidarConfig};
+use sensact_lidar::scene::SceneGenerator;
+use sensact_nn::optim::Adam;
+use sensact_nn::vae::Vae;
+use sensact_nn::Tensor;
+use sensact_starnet::features::extract_features;
+use sensact_starnet::regret::{likelihood_regret, RegretConfig};
+use sensact_starnet::spsa::SpsaConfig;
+use std::hint::black_box;
+
+fn bench_starnet(c: &mut Criterion) {
+    let lidar = Lidar::new(LidarConfig::default());
+    let cloud = lidar.scan(&SceneGenerator::new(1).generate());
+    let features = extract_features(&cloud);
+
+    // A trained VAE over the descriptor space.
+    let mut vae = Vae::new(features.len(), 32, 4, 0);
+    let rows: Vec<Vec<f64>> = (0..16)
+        .map(|i| extract_features(&lidar.scan(&SceneGenerator::new(i).generate())))
+        .collect();
+    let x = Tensor::stack_rows(&rows);
+    let mut opt = Adam::new(0.005);
+    for _ in 0..100 {
+        let _ = vae.train_step(&x, &mut opt, 0.1);
+    }
+
+    c.bench_function("starnet/extract_features", |b| {
+        b.iter(|| black_box(extract_features(black_box(&cloud))))
+    });
+    let xt = Tensor::from_vec(vec![1, features.len()], features.clone());
+    c.bench_function("starnet/elbo_deterministic", |b| {
+        b.iter(|| black_box(vae.elbo_deterministic(black_box(&xt))))
+    });
+    let full = RegretConfig {
+        spsa: SpsaConfig {
+            iterations: 15,
+            ..SpsaConfig::default()
+        },
+        low_rank: None,
+        elbo_samples: 0,
+    };
+    let low = RegretConfig {
+        spsa: SpsaConfig {
+            iterations: 15,
+            ..SpsaConfig::default()
+        },
+        low_rank: Some(8),
+        elbo_samples: 0,
+    };
+    c.bench_function("starnet/regret_full_spsa", |b| {
+        b.iter(|| black_box(likelihood_regret(&mut vae, black_box(&features), &full, 1)))
+    });
+    c.bench_function("starnet/regret_lowrank_spsa", |b| {
+        b.iter(|| black_box(likelihood_regret(&mut vae, black_box(&features), &low, 1)))
+    });
+}
+
+criterion_group!(benches, bench_starnet);
+criterion_main!(benches);

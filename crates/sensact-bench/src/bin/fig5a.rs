@@ -1,0 +1,71 @@
+//! Fig. 5a — Computational load of the dynamical models.
+//!
+//! Paper: the spectral Koopman approach needs the fewest MAC operations for
+//! control and prediction; the Transformer the most. We print the per-step
+//! MAC counts of the five models (same latent dimension).
+
+use sensact_bench::{compare, header, write_csv};
+use sensact_koopman::baselines::{
+    DenseKoopman, LatentModel, MlpDynamics, RecurrentDynamics, TransformerDynamics,
+};
+use sensact_koopman::encoder::SpectralKoopman;
+
+fn main() {
+    header("Fig. 5a: MACs per prediction step and per control decision");
+    let mut spectral = SpectralKoopman::new(0);
+    let mut dense = DenseKoopman::new(0);
+    let mut mlp = MlpDynamics::new(0);
+    let mut recurrent = RecurrentDynamics::new(0);
+    let mut transformer = TransformerDynamics::new(0);
+
+    let mut rows: Vec<(&str, u64, u64)> = Vec::new();
+    {
+        let models: [(&str, &mut dyn LatentModel); 5] = [
+            ("SpectralKoopman (ours)", &mut spectral),
+            ("DenseKoopman", &mut dense),
+            ("MLP", &mut mlp),
+            ("Recurrent", &mut recurrent),
+            ("Transformer", &mut transformer),
+        ];
+        for (name, m) in models {
+            rows.push((name, m.prediction_macs(), m.control_macs()));
+        }
+    }
+
+    println!("{:<24} {:>16} {:>16}", "model", "prediction MACs", "control MACs");
+    for (name, pred, ctrl) in &rows {
+        println!("{name:<24} {pred:>16} {ctrl:>16}");
+    }
+
+    header("shape check vs paper");
+    let spectral_total = rows[0].1 + rows[0].2;
+    let min_other = rows[1..]
+        .iter()
+        .map(|(_, p, c)| p + c)
+        .min()
+        .unwrap();
+    let tf_total = rows[4].1 + rows[4].2;
+    let max_other = rows[..4].iter().map(|(_, p, c)| p + c).max().unwrap();
+    compare(
+        "spectral Koopman is cheapest",
+        "fewest MACs",
+        &format!("{spectral_total} vs next {min_other}"),
+    );
+    compare(
+        "Transformer is the most expensive",
+        "highest MACs",
+        &format!("{tf_total} vs next {max_other}"),
+    );
+    assert!(spectral_total < min_other, "ours not cheapest");
+    assert!(tf_total > max_other, "transformer not most expensive");
+    println!("shape check passed");
+
+    write_csv(
+        "fig5a",
+        "model,prediction_macs,control_macs",
+        &rows
+            .iter()
+            .map(|(n, p, c)| format!("{n},{p},{c}"))
+            .collect::<Vec<_>>(),
+    );
+}

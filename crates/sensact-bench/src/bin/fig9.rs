@@ -1,0 +1,93 @@
+//! Fig. 9 — Optical-flow AEE comparison (left) and AEE vs. model size
+//! (right), plus the energy ratios the paper quotes.
+//!
+//! Paper: Fusion-FlowNet achieves ~40 % lower error than event-only
+//! baselines with ~half the parameters and 1.87× lower energy;
+//! Adaptive-SpikeNet reaches ~20 % lower AEE than comparable ANNs with far
+//! fewer parameters and ~10× less energy.
+
+use sensact_bench::{compare, header, scaled, write_csv};
+use sensact_neuro::energy::OpEnergy;
+use sensact_neuro::flow::{flow_dataset, FlowModel, FlowModelKind};
+
+fn train_and_eval(
+    kind: FlowModelKind,
+    hidden: usize,
+    train: &[sensact_neuro::event::MovingScene],
+    eval: &[sensact_neuro::event::MovingScene],
+    epochs: usize,
+) -> (FlowModel, f64) {
+    let mut model = FlowModel::new(kind, hidden, 1);
+    for _ in 0..epochs {
+        model.train_epoch(train);
+    }
+    let aee = model.evaluate_aee(eval);
+    (model, aee)
+}
+
+fn mean_energy(model: &mut FlowModel, eval: &[sensact_neuro::event::MovingScene]) -> f64 {
+    let op = OpEnergy::default();
+    eval.iter()
+        .map(|s| model.inference_energy(s).energy_uj(&op))
+        .sum::<f64>()
+        / eval.len() as f64
+}
+
+fn main() {
+    header("Fig. 9 (left): AEE of the model family");
+    let train = flow_dataset(scaled(80, 20), 7);
+    let eval = flow_dataset(scaled(24, 8), 999);
+    let epochs = scaled(16, 5);
+
+    let kinds = [
+        FlowModelKind::FullAnn,
+        FlowModelKind::HybridSnnAnn,
+        FlowModelKind::Fusion,
+        FlowModelKind::FullSnn,
+    ];
+    let mut csv = Vec::new();
+    let mut results = Vec::new();
+    for kind in kinds {
+        let (mut model, aee) = train_and_eval(kind, 32, &train, &eval, epochs);
+        let energy = mean_energy(&mut model, &eval);
+        println!(
+            "{:<20} AEE {:.4}  params {:>6}  energy {:>8.3} uJ",
+            kind.to_string(),
+            aee,
+            model.param_count(),
+            energy
+        );
+        csv.push(format!("{kind},{aee:.5},{},{energy:.5}", model.param_count()));
+        results.push((kind, aee, energy));
+    }
+
+    header("Fig. 9 (right): AEE vs model size (Adaptive-SpikeNet vs ANN)");
+    let mut sweep_csv = Vec::new();
+    for hidden in [16, 32, 64, 128] {
+        let (_, aee_ann) = train_and_eval(FlowModelKind::FullAnn, hidden, &train, &eval, epochs);
+        let (_, aee_snn) = train_and_eval(FlowModelKind::FullSnn, hidden, &train, &eval, epochs);
+        println!("hidden {hidden:>4}: ANN AEE {aee_ann:.4}  SNN AEE {aee_snn:.4}");
+        sweep_csv.push(format!("{hidden},{aee_ann:.5},{aee_snn:.5}"));
+    }
+
+    header("shape check vs paper");
+    let aee_ann = results[0].1;
+    let aee_fusion = results[2].1;
+    let e_ann = results[0].2;
+    let e_snn = results[3].2;
+    compare(
+        "fusion error vs event-only ANN",
+        "-40%",
+        &format!("{:+.0}%", (aee_fusion / aee_ann - 1.0) * 100.0),
+    );
+    compare(
+        "SNN energy vs ANN energy",
+        "10x lower (Adaptive-SpikeNet)",
+        &format!("{:.1}x lower", e_ann / e_snn),
+    );
+    assert!(e_snn < e_ann, "SNN energy {e_snn} not below ANN {e_ann}");
+    println!("shape check passed: SNN cheaper than ANN");
+
+    write_csv("fig9_left", "model,aee,params,energy_uj", &csv);
+    write_csv("fig9_right", "hidden,ann_aee,snn_aee", &sweep_csv);
+}

@@ -1,0 +1,126 @@
+//! Table I — Average precision of R-MAE against pre-training baselines.
+//!
+//! Paper (KITTI val, moderate): SECOND 79.08/44.52/64.49; +R-MAE improves to
+//! 79.10/46.93/67.75. PV-RCNN 82.28/51.51/69.45; +R-MAE 82.82/51.61/73.82.
+//! The reproducible content at our scale is the *pre-training effect*:
+//! masked-occupancy pre-training lifts AP over the no-reconstruction
+//! baseline, with the biggest gains on the small classes, on both detector
+//! tiers; the inter-scheme ordering (R-MAE vs OccMAE vs ALSO) is reported
+//! via the reconstruction-IoU column (AP differences between schemes are
+//! below this harness's resolution — see EXPERIMENTS.md).
+
+use sensact_bench::{compare, header, scaled, write_csv};
+use sensact_lidar::scene::{SceneConfig, SceneGenerator};
+use sensact_rmae::detect::Detector;
+use sensact_rmae::eval::{evaluate_cell, PipelineConfig};
+use sensact_rmae::pretrain::Strategy;
+
+fn main() {
+    header("Table I: AP by pre-training scheme and detector");
+    let train_n = scaled(24, 6);
+    let eval_n = scaled(16, 6);
+    let mut generator = SceneGenerator::with_config(42, SceneConfig::default());
+    let train = generator.generate_many(train_n);
+    let eval = generator.generate_many(eval_n);
+    let config = PipelineConfig {
+        pretrain_epochs: scaled(20, 5),
+        ..PipelineConfig::default()
+    };
+
+    let detectors = [
+        ("SECOND-like (single stage)", Detector::second_like()),
+        ("PV-RCNN-like (two stage)", Detector::pvrcnn_like()),
+    ];
+    let mut csv = Vec::new();
+    let mut rmae_small = [0.0f64; 2];
+    let mut baseline_small = [0.0f64; 2];
+    let mut rmae_mean = [0.0f64; 2];
+    for (di, (name, detector)) in detectors.iter().enumerate() {
+        println!("\n-- {name} --");
+        for strategy in Strategy::table1_rows() {
+            let row = evaluate_cell(strategy, detector, &train, &eval, &config, 7);
+            println!("{row}");
+            csv.push(format!(
+                "{name},{strategy},{:.4},{:.4},{:.4},{:.4}",
+                row.car, row.pedestrian, row.cyclist, row.recon_iou
+            ));
+            if strategy == Strategy::RadialMae {
+                rmae_small[di] = (row.pedestrian + row.cyclist) / 2.0;
+                rmae_mean[di] = row.mean();
+            }
+            if strategy == Strategy::None {
+                baseline_small[di] = (row.pedestrian + row.cyclist) / 2.0;
+            }
+        }
+    }
+
+    header("shape check vs paper");
+    compare(
+        "R-MAE lifts small-class AP (SECOND)",
+        "+2.41 ped / +3.26 cyc",
+        &format!("{:+.1} ped+cyc mean AP", (rmae_small[0] - baseline_small[0]) * 100.0),
+    );
+    compare(
+        "R-MAE lifts small-class AP (PV-RCNN)",
+        "+0.10 ped / +4.37 cyc",
+        &format!("{:+.1} ped+cyc mean AP", (rmae_small[1] - baseline_small[1]) * 100.0),
+    );
+    compare(
+        "two-stage beats single-stage (R-MAE row)",
+        "PV-RCNN > SECOND",
+        &format!(
+            "{:.1} vs {:.1} mean AP",
+            rmae_mean[1] * 100.0,
+            rmae_mean[0] * 100.0
+        ),
+    );
+    assert!(
+        rmae_small[0] >= baseline_small[0] && rmae_small[1] >= baseline_small[1],
+        "reconstruction did not lift small-class AP"
+    );
+    println!("shape check passed");
+    write_csv("table1", "detector,strategy,car,pedestrian,cyclist,recon_iou", &csv);
+
+    // DESIGN.md §5 ablation: what a radially pre-trained model reconstructs
+    // when deployment masking is *uniform* instead (distribution mismatch).
+    if std::env::args().any(|a| a == "--ablate-mask") {
+        header("ablation: eval-time masking distribution (radial vs uniform)");
+        use sensact_lidar::raycast::{Lidar, LidarConfig};
+        use sensact_lidar::voxel::VoxelGrid;
+        use sensact_rmae::model::{RmaeConfig, RmaeModel};
+        use sensact_rmae::pretrain::{radial_masked_cloud, uniform_masked_cloud, Pretrainer};
+        let lidar = Lidar::new(LidarConfig::default());
+        let mut trainer = Pretrainer::new(
+            RmaeModel::new(RmaeConfig::full(), 7),
+            Strategy::RadialMae,
+            7,
+        );
+        trainer.train(&train, config.pretrain_epochs);
+        let mut model = trainer.into_model();
+        let grid_cfg = RmaeConfig::full().grid;
+        let mut iou_radial = 0.0;
+        let mut iou_uniform = 0.0;
+        for (i, scene) in eval.iter().enumerate() {
+            let full = lidar.scan(scene);
+            let full_flat = VoxelGrid::from_cloud(grid_cfg, &full).occupancy_flat();
+            let radial = radial_masked_cloud(&full, i as u64);
+            let ratio = radial.len() as f64 / full.len() as f64;
+            let uniform = uniform_masked_cloud(&full, ratio.clamp(0.01, 1.0), i as u64);
+            let radial_flat = VoxelGrid::from_cloud(grid_cfg, &radial).occupancy_flat();
+            let uniform_flat = VoxelGrid::from_cloud(grid_cfg, &uniform).occupancy_flat();
+            iou_radial +=
+                model.reconstruction_iou_above_ground(&radial_flat, &full_flat, 0.5);
+            iou_uniform +=
+                model.reconstruction_iou_above_ground(&uniform_flat, &full_flat, 0.5);
+        }
+        let n = eval.len() as f64;
+        compare(
+            "recon IoU under radial vs uniform eval masking",
+            "trade-off vs the 1.5x energy saving (table2)",
+            &format!("{:.3} vs {:.3}", iou_radial / n, iou_uniform / n),
+        );
+        println!(
+            "note: uniform masking reconstructs better at equal coverage (it touches\n             every object), but costs 1.5x more sensing energy (see table2's ablation)\n             — the two-stage radial mask is the energy-optimal point of that trade-off."
+        );
+    }
+}

@@ -1,0 +1,183 @@
+//! Energy and latency budgets.
+//!
+//! Edge platforms run from batteries and deadlines; the paper's co-design
+//! thesis is that sensing/compute effort must be allocated against explicit
+//! budgets. [`EnergyBudget`] tracks consumption against a capacity and
+//! reports pressure, which the adaptation policies use to throttle sensing.
+
+/// A consumable energy budget with an optional per-tick latency deadline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyBudget {
+    capacity_j: f64,
+    consumed_j: f64,
+    deadline_s: Option<f64>,
+    deadline_misses: u64,
+}
+
+impl EnergyBudget {
+    /// A finite budget of `capacity_j` joules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_j` is not positive.
+    pub fn new(capacity_j: f64) -> Self {
+        assert!(capacity_j > 0.0, "capacity must be positive");
+        EnergyBudget {
+            capacity_j,
+            consumed_j: 0.0,
+            deadline_s: None,
+            deadline_misses: 0,
+        }
+    }
+
+    /// An effectively unlimited budget.
+    pub fn unlimited() -> Self {
+        EnergyBudget::new(f64::INFINITY)
+    }
+
+    /// Attach a per-tick latency deadline (seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deadline_s` is not positive.
+    pub fn with_deadline(mut self, deadline_s: f64) -> Self {
+        assert!(deadline_s > 0.0, "deadline must be positive");
+        self.deadline_s = Some(deadline_s);
+        self
+    }
+
+    /// Record one tick's consumption.
+    pub fn consume(&mut self, energy_j: f64, latency_s: f64) {
+        self.consumed_j += energy_j.max(0.0);
+        if let Some(d) = self.deadline_s {
+            if latency_s > d {
+                self.deadline_misses += 1;
+            }
+        }
+    }
+
+    /// Total energy consumed (joules).
+    pub fn consumed_j(&self) -> f64 {
+        self.consumed_j
+    }
+
+    /// Remaining energy (joules); infinite for unlimited budgets.
+    pub fn remaining_j(&self) -> f64 {
+        (self.capacity_j - self.consumed_j).max(0.0)
+    }
+
+    /// Whether the budget is exhausted.
+    pub fn exhausted(&self) -> bool {
+        self.consumed_j >= self.capacity_j
+    }
+
+    /// Fraction of capacity consumed, in `[0, 1]` (0 for unlimited).
+    pub fn pressure(&self) -> f64 {
+        if self.capacity_j.is_infinite() {
+            0.0
+        } else {
+            (self.consumed_j / self.capacity_j).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Ticks whose latency exceeded the deadline.
+    pub fn deadline_misses(&self) -> u64 {
+        self.deadline_misses
+    }
+}
+
+impl Default for EnergyBudget {
+    fn default() -> Self {
+        EnergyBudget::unlimited()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consumption_and_pressure() {
+        let mut b = EnergyBudget::new(10.0);
+        assert_eq!(b.pressure(), 0.0);
+        b.consume(2.5, 0.0);
+        assert_eq!(b.consumed_j(), 2.5);
+        assert_eq!(b.remaining_j(), 7.5);
+        assert_eq!(b.pressure(), 0.25);
+        assert!(!b.exhausted());
+        b.consume(20.0, 0.0);
+        assert!(b.exhausted());
+        assert_eq!(b.remaining_j(), 0.0);
+        assert_eq!(b.pressure(), 1.0);
+    }
+
+    #[test]
+    fn unlimited_budget_never_pressures() {
+        let mut b = EnergyBudget::unlimited();
+        b.consume(1e12, 0.0);
+        assert_eq!(b.pressure(), 0.0);
+        assert!(!b.exhausted());
+        assert!(b.remaining_j().is_infinite());
+    }
+
+    #[test]
+    fn deadline_misses_counted() {
+        let mut b = EnergyBudget::new(100.0).with_deadline(0.01);
+        b.consume(0.0, 0.005);
+        b.consume(0.0, 0.02);
+        b.consume(0.0, 0.05);
+        assert_eq!(b.deadline_misses(), 2);
+    }
+
+    #[test]
+    fn no_deadline_no_misses() {
+        let mut b = EnergyBudget::new(100.0);
+        b.consume(0.0, 1e9);
+        assert_eq!(b.deadline_misses(), 0);
+    }
+
+    #[test]
+    fn negative_energy_ignored() {
+        let mut b = EnergyBudget::new(10.0);
+        b.consume(-5.0, 0.0);
+        assert_eq!(b.consumed_j(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = EnergyBudget::new(0.0);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Consumption accounting is exact, pressure is monotone, and
+        /// remaining + consumed covers capacity.
+        #[test]
+        fn prop_budget_accounting(
+            capacity in 0.1f64..1e6,
+            charges in proptest::collection::vec(0.0f64..100.0, 1..32))
+        {
+            let mut b = EnergyBudget::new(capacity);
+            let mut prev_pressure = 0.0;
+            let mut total = 0.0;
+            for c in &charges {
+                b.consume(*c, 0.0);
+                total += c;
+                prop_assert!((b.consumed_j() - total).abs() < 1e-9);
+                prop_assert!(b.pressure() >= prev_pressure - 1e-12);
+                prev_pressure = b.pressure();
+                prop_assert!(b.remaining_j() >= 0.0);
+                if total < capacity {
+                    prop_assert!((b.remaining_j() - (capacity - total)).abs() < 1e-9);
+                }
+            }
+            prop_assert_eq!(b.exhausted(), total >= capacity);
+        }
+    }
+}

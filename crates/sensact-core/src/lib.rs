@@ -1,0 +1,56 @@
+//! # sensact-core
+//!
+//! The paper's central abstraction: the **sensing-to-action loop** (§II).
+//!
+//! A loop iterates five stages against an environment:
+//!
+//! ```text
+//!   environment ──► Sensor ──► Perceptor ──► Monitor ──► Controller ──► actuation
+//!        ▲                                                     │
+//!        └──────────────── action-to-sensing adaptation ◄──────┘
+//! ```
+//!
+//! What makes the loop *intelligent* (and what distinguishes it from a
+//! feed-forward sensing-to-insight pipeline) is the feedback edge: after each
+//! decision an [`adapt::AdaptationPolicy`] may retune the sensor — rate,
+//! resolution, modality, masking ratio — based on the action, the monitor's
+//! trust verdict, and the remaining [`budget::EnergyBudget`].
+//!
+//! Every stage charges its energy and latency to a [`stage::StageContext`];
+//! the per-tick ledger feeds the [`telemetry::LoopTelemetry`] that the
+//! experiments report. [`multi`] extends the abstraction to coordinated
+//! multi-agent loops (§VII).
+//!
+//! ## Example
+//!
+//! ```
+//! use sensact_core::{LoopBuilder, StageContext, Trust,
+//!                    stage::{FnSensor, FnPerceptor, FnController}};
+//!
+//! // A thermostat-style loop: sense a scalar, act to drive it to zero.
+//! let mut env = 10.0f64;
+//! let mut looop = LoopBuilder::new("thermostat")
+//!     .build(
+//!         FnSensor::new(|env: &f64, ctx: &mut StageContext| { ctx.charge(1e-6, 1e-4); *env }),
+//!         FnPerceptor::new(|r: &f64, _ctx: &mut StageContext| *r),
+//!         FnController::new(|f: &f64, _trust: Trust, _ctx: &mut StageContext| -0.5 * f),
+//!     );
+//! for _ in 0..32 {
+//!     let out = looop.tick(&env);
+//!     env += out.action;
+//! }
+//! assert!(env.abs() < 0.1);
+//! ```
+
+pub mod adapt;
+pub mod budget;
+pub mod multi;
+pub mod stage;
+pub mod telemetry;
+
+mod loop_;
+
+pub use budget::EnergyBudget;
+pub use loop_::{LoopBuilder, LoopOutput, SensingActionLoop};
+pub use stage::{StageContext, Trust};
+pub use telemetry::LoopTelemetry;

@@ -1,0 +1,386 @@
+//! Federated, multi-agent sensing-action loops (paper §VII).
+//!
+//! The core coordination primitive: `N` agents that each need full 360°
+//! situational awareness split the azimuth circle into arcs proportional to
+//! their remaining battery, sense only their own arc, and share observations
+//! over a message bus. Communication is orders of magnitude cheaper than
+//! active sensing, so coordinated awareness costs roughly `1/N` of solo
+//! sensing — the paper's conclusion reports a ~3× reduction with this scheme.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc as StdArc;
+
+/// Identifier of an agent in a fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AgentId(pub usize);
+
+impl std::fmt::Display for AgentId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "agent-{}", self.0)
+    }
+}
+
+/// A contiguous azimuth arc `[start, end)` in degrees, `0..360`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AzimuthArc {
+    /// Inclusive start (degrees).
+    pub start_deg: f64,
+    /// Exclusive end (degrees); may exceed 360 to express wrap-around.
+    pub end_deg: f64,
+}
+
+impl AzimuthArc {
+    /// Arc width in degrees.
+    pub fn width(&self) -> f64 {
+        (self.end_deg - self.start_deg).max(0.0)
+    }
+
+    /// Whether an azimuth (degrees, any real) falls inside the arc.
+    pub fn contains(&self, azimuth_deg: f64) -> bool {
+        let a = azimuth_deg.rem_euclid(360.0);
+        let s = self.start_deg.rem_euclid(360.0);
+        let w = self.width();
+        let rel = (a - s).rem_euclid(360.0);
+        rel < w
+    }
+}
+
+/// An agent's sensing economics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AgentProfile {
+    /// Agent identity.
+    pub id: AgentId,
+    /// Energy to actively sense one degree of azimuth (joules).
+    pub sense_energy_per_deg: f64,
+    /// Energy to receive one degree of shared observation (joules).
+    pub comm_energy_per_deg: f64,
+    /// Remaining battery (joules) — arcs are sized proportionally to this.
+    pub battery_j: f64,
+}
+
+impl AgentProfile {
+    /// A homogeneous default profile: sensing 100× the cost of communication.
+    pub fn homogeneous(id: AgentId) -> Self {
+        AgentProfile {
+            id,
+            sense_energy_per_deg: 1e-3,
+            comm_energy_per_deg: 1e-5,
+            battery_j: 100.0,
+        }
+    }
+}
+
+/// An arc assignment for one agent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArcAssignment {
+    /// The agent.
+    pub id: AgentId,
+    /// The arc it must actively sense.
+    pub arc: AzimuthArc,
+}
+
+/// Splits the circle among agents proportionally to battery and prices the
+/// resulting energy.
+#[derive(Debug, Clone, Default)]
+pub struct CoverageCoordinator;
+
+impl CoverageCoordinator {
+    /// New coordinator.
+    pub fn new() -> Self {
+        CoverageCoordinator
+    }
+
+    /// Partition 360° among the agents, arc width proportional to remaining
+    /// battery (healthier agents sense more).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `agents` is empty or total battery is not positive.
+    pub fn assign(&self, agents: &[AgentProfile]) -> Vec<ArcAssignment> {
+        assert!(!agents.is_empty(), "no agents to coordinate");
+        let total_battery: f64 = agents.iter().map(|a| a.battery_j).sum();
+        assert!(total_battery > 0.0, "fleet battery exhausted");
+        let mut start = 0.0;
+        let mut out = Vec::with_capacity(agents.len());
+        for a in agents {
+            let width = 360.0 * a.battery_j / total_battery;
+            out.push(ArcAssignment {
+                id: a.id,
+                arc: AzimuthArc {
+                    start_deg: start,
+                    end_deg: start + width,
+                },
+            });
+            start += width;
+        }
+        // Close the circle exactly despite floating-point accumulation.
+        if let Some(last) = out.last_mut() {
+            last.arc.end_deg = 360.0;
+        }
+        out
+    }
+
+    /// Energy for one agent to sense the full circle alone.
+    pub fn solo_energy(&self, agent: &AgentProfile) -> f64 {
+        agent.sense_energy_per_deg * 360.0
+    }
+
+    /// Energy for one agent under an assignment: active sensing of its own
+    /// arc plus receiving the remaining degrees from peers.
+    pub fn coordinated_energy(&self, agent: &AgentProfile, assignment: &ArcAssignment) -> f64 {
+        let own = assignment.arc.width();
+        agent.sense_energy_per_deg * own + agent.comm_energy_per_deg * (360.0 - own)
+    }
+
+    /// Fleet-wide energy-reduction factor of coordination vs. everyone
+    /// sensing solo.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `agents` is empty (via [`CoverageCoordinator::assign`]).
+    pub fn fleet_reduction_factor(&self, agents: &[AgentProfile]) -> f64 {
+        let assignments = self.assign(agents);
+        let solo: f64 = agents.iter().map(|a| self.solo_energy(a)).sum();
+        let coord: f64 = agents
+            .iter()
+            .zip(&assignments)
+            .map(|(a, asg)| self.coordinated_energy(a, asg))
+            .sum();
+        solo / coord
+    }
+}
+
+/// One shared observation: an agent covered an arc and publishes a summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArcObservation {
+    /// Publishing agent.
+    pub from: AgentId,
+    /// Covered arc.
+    pub arc: AzimuthArc,
+    /// Arbitrary feature payload (e.g. detected-object summaries).
+    pub payload: Vec<f64>,
+}
+
+/// A broadcast bus connecting fleet members (crossbeam channels under the
+/// hood). Every published observation is delivered to every *other* agent.
+#[derive(Debug)]
+pub struct ObservationBus {
+    senders: Vec<Sender<ArcObservation>>,
+    receivers: Vec<Option<Receiver<ArcObservation>>>,
+}
+
+impl ObservationBus {
+    /// A bus for `n` agents.
+    pub fn new(n: usize) -> Self {
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(Some(rx));
+        }
+        ObservationBus { senders, receivers }
+    }
+
+    /// Take agent `i`'s receiving endpoint (each can be taken once).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or the endpoint was already taken.
+    pub fn take_receiver(&mut self, i: usize) -> Receiver<ArcObservation> {
+        self.receivers
+            .get_mut(i)
+            .expect("agent index out of range")
+            .take()
+            .expect("receiver already taken")
+    }
+
+    /// Publish an observation from agent `from` to all other agents.
+    pub fn publish(&self, from: AgentId, obs: ArcObservation) {
+        for (i, tx) in self.senders.iter().enumerate() {
+            if i != from.0 {
+                // A disconnected peer (dropped receiver) is not an error.
+                let _ = tx.send(obs.clone());
+            }
+        }
+    }
+}
+
+/// A shared fleet blackboard combining everyone's latest arc observations;
+/// protected by a `parking_lot` mutex for cross-thread use.
+#[derive(Debug, Clone, Default)]
+pub struct FleetBlackboard {
+    inner: StdArc<Mutex<HashMap<AgentId, ArcObservation>>>,
+}
+
+impl FleetBlackboard {
+    /// Empty blackboard.
+    pub fn new() -> Self {
+        FleetBlackboard::default()
+    }
+
+    /// Post (or replace) an agent's latest observation.
+    pub fn post(&self, obs: ArcObservation) {
+        self.inner.lock().insert(obs.from, obs);
+    }
+
+    /// Total azimuth coverage (degrees, ≤ 360) of all posted observations,
+    /// assuming coordinator-assigned (disjoint) arcs.
+    pub fn coverage_deg(&self) -> f64 {
+        self.inner
+            .lock()
+            .values()
+            .map(|o| o.arc.width())
+            .sum::<f64>()
+            .min(360.0)
+    }
+
+    /// Number of agents that have posted.
+    pub fn contributors(&self) -> usize {
+        self.inner.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet(n: usize) -> Vec<AgentProfile> {
+        (0..n).map(|i| AgentProfile::homogeneous(AgentId(i))).collect()
+    }
+
+    #[test]
+    fn arc_contains_handles_wraparound() {
+        let arc = AzimuthArc { start_deg: 350.0, end_deg: 370.0 };
+        assert!(arc.contains(355.0));
+        assert!(arc.contains(5.0));
+        assert!(!arc.contains(20.0));
+        assert_eq!(arc.width(), 20.0);
+    }
+
+    #[test]
+    fn assignment_partitions_circle() {
+        let coordinator = CoverageCoordinator::new();
+        let assignments = coordinator.assign(&fleet(4));
+        assert_eq!(assignments.len(), 4);
+        let total: f64 = assignments.iter().map(|a| a.arc.width()).sum();
+        assert!((total - 360.0).abs() < 1e-9);
+        // Contiguous arcs.
+        for w in assignments.windows(2) {
+            assert!((w[0].arc.end_deg - w[1].arc.start_deg).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn battery_weighted_assignment() {
+        let mut agents = fleet(2);
+        agents[0].battery_j = 75.0;
+        agents[1].battery_j = 25.0;
+        let assignments = CoverageCoordinator::new().assign(&agents);
+        assert!((assignments[0].arc.width() - 270.0).abs() < 1e-9);
+        assert!((assignments[1].arc.width() - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn three_agents_give_threefold_energy_reduction() {
+        // The conclusion's headline claim: ~3× with a 3-agent fleet.
+        let factor = CoverageCoordinator::new().fleet_reduction_factor(&fleet(3));
+        assert!(
+            (2.5..3.2).contains(&factor),
+            "3-agent reduction factor {factor}"
+        );
+    }
+
+    #[test]
+    fn reduction_grows_with_fleet_size_until_comm_bound() {
+        let coordinator = CoverageCoordinator::new();
+        let f2 = coordinator.fleet_reduction_factor(&fleet(2));
+        let f4 = coordinator.fleet_reduction_factor(&fleet(4));
+        let f8 = coordinator.fleet_reduction_factor(&fleet(8));
+        assert!(f2 < f4 && f4 < f8, "{f2} {f4} {f8}");
+        // Communication floor bounds the saving: factor < sense/comm ratio.
+        assert!(f8 < 100.0);
+    }
+
+    #[test]
+    fn coordinated_energy_cheaper_than_solo() {
+        let coordinator = CoverageCoordinator::new();
+        let agents = fleet(3);
+        let assignments = coordinator.assign(&agents);
+        for (a, asg) in agents.iter().zip(&assignments) {
+            assert!(coordinator.coordinated_energy(a, asg) < coordinator.solo_energy(a));
+        }
+    }
+
+    #[test]
+    fn bus_broadcasts_to_others_only() {
+        let mut bus = ObservationBus::new(3);
+        let rx0 = bus.take_receiver(0);
+        let rx1 = bus.take_receiver(1);
+        let rx2 = bus.take_receiver(2);
+        let obs = ArcObservation {
+            from: AgentId(0),
+            arc: AzimuthArc { start_deg: 0.0, end_deg: 120.0 },
+            payload: vec![1.0, 2.0],
+        };
+        bus.publish(AgentId(0), obs.clone());
+        assert!(rx0.try_recv().is_err(), "publisher must not self-receive");
+        assert_eq!(rx1.try_recv().unwrap(), obs);
+        assert_eq!(rx2.try_recv().unwrap(), obs);
+    }
+
+    #[test]
+    fn bus_works_across_threads() {
+        let mut bus = ObservationBus::new(2);
+        let rx1 = bus.take_receiver(1);
+        let handle = std::thread::spawn(move || rx1.recv().unwrap());
+        bus.publish(
+            AgentId(0),
+            ArcObservation {
+                from: AgentId(0),
+                arc: AzimuthArc { start_deg: 0.0, end_deg: 180.0 },
+                payload: vec![],
+            },
+        );
+        let got = handle.join().unwrap();
+        assert_eq!(got.from, AgentId(0));
+    }
+
+    #[test]
+    fn blackboard_accumulates_coverage() {
+        let board = FleetBlackboard::new();
+        let coordinator = CoverageCoordinator::new();
+        let agents = fleet(3);
+        for asg in coordinator.assign(&agents) {
+            board.post(ArcObservation {
+                from: asg.id,
+                arc: asg.arc,
+                payload: vec![],
+            });
+        }
+        assert_eq!(board.contributors(), 3);
+        assert!((board.coverage_deg() - 360.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn blackboard_replaces_per_agent() {
+        let board = FleetBlackboard::new();
+        for _ in 0..5 {
+            board.post(ArcObservation {
+                from: AgentId(0),
+                arc: AzimuthArc { start_deg: 0.0, end_deg: 90.0 },
+                payload: vec![],
+            });
+        }
+        assert_eq!(board.contributors(), 1);
+        assert_eq!(board.coverage_deg(), 90.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no agents")]
+    fn empty_fleet_panics() {
+        let _ = CoverageCoordinator::new().assign(&[]);
+    }
+}

@@ -1,0 +1,170 @@
+//! Loop telemetry: per-tick records and running aggregates.
+//!
+//! The cyclical nature of sensing-action loops makes them sensitive to
+//! cascading errors (§II); telemetry is how the experiments observe drift —
+//! energy/latency trends, trust degradation, and consecutive-suspect streaks.
+
+use crate::stage::Trust;
+use sensact_math::RunningStats;
+
+/// One tick's record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TickRecord {
+    /// Tick index (0-based).
+    pub tick: u64,
+    /// Energy consumed this tick (joules).
+    pub energy_j: f64,
+    /// Latency of this tick (seconds).
+    pub latency_s: f64,
+    /// Monitor verdict.
+    pub trust: Trust,
+}
+
+/// Aggregated telemetry of one loop.
+#[derive(Debug, Clone, Default)]
+pub struct LoopTelemetry {
+    records: Vec<TickRecord>,
+    energy: RunningStats,
+    latency: RunningStats,
+    suspect_streak: u32,
+    max_suspect_streak: u32,
+}
+
+impl LoopTelemetry {
+    /// Fresh telemetry.
+    pub fn new() -> Self {
+        LoopTelemetry::default()
+    }
+
+    /// Record a tick.
+    pub fn record(&mut self, energy_j: f64, latency_s: f64, trust: Trust) {
+        let tick = self.records.len() as u64;
+        self.records.push(TickRecord {
+            tick,
+            energy_j,
+            latency_s,
+            trust,
+        });
+        self.energy.push(energy_j);
+        self.latency.push(latency_s);
+        if trust.suspicion() > 0.0 {
+            self.suspect_streak += 1;
+            self.max_suspect_streak = self.max_suspect_streak.max(self.suspect_streak);
+        } else {
+            self.suspect_streak = 0;
+        }
+    }
+
+    /// Number of recorded ticks.
+    pub fn ticks(&self) -> u64 {
+        self.records.len() as u64
+    }
+
+    /// All per-tick records.
+    pub fn records(&self) -> &[TickRecord] {
+        &self.records
+    }
+
+    /// Total energy over all ticks (joules).
+    pub fn total_energy_j(&self) -> f64 {
+        self.records.iter().map(|r| r.energy_j).sum()
+    }
+
+    /// Energy statistics across ticks.
+    pub fn energy_stats(&self) -> &RunningStats {
+        &self.energy
+    }
+
+    /// Latency statistics across ticks.
+    pub fn latency_stats(&self) -> &RunningStats {
+        &self.latency
+    }
+
+    /// Fraction of ticks with non-zero suspicion.
+    pub fn suspect_fraction(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records
+            .iter()
+            .filter(|r| r.trust.suspicion() > 0.0)
+            .count() as f64
+            / self.records.len() as f64
+    }
+
+    /// Longest run of consecutive suspect/untrusted ticks — the cascading-
+    /// error indicator.
+    pub fn max_suspect_streak(&self) -> u32 {
+        self.max_suspect_streak
+    }
+
+    /// Current (ongoing) suspect streak.
+    pub fn current_suspect_streak(&self) -> u32 {
+        self.suspect_streak
+    }
+}
+
+impl std::fmt::Display for LoopTelemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ticks, {:.3e} J total, mean latency {:.3e} s, {:.0}% suspect",
+            self.ticks(),
+            self.total_energy_j(),
+            self.latency.mean(),
+            self.suspect_fraction() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate() {
+        let mut t = LoopTelemetry::new();
+        t.record(1.0, 0.1, Trust::Trusted);
+        t.record(3.0, 0.3, Trust::Suspect(0.5));
+        assert_eq!(t.ticks(), 2);
+        assert_eq!(t.total_energy_j(), 4.0);
+        assert_eq!(t.energy_stats().mean(), 2.0);
+        assert_eq!(t.latency_stats().max(), 0.3);
+        assert_eq!(t.records()[1].tick, 1);
+    }
+
+    #[test]
+    fn suspect_fraction_and_streaks() {
+        let mut t = LoopTelemetry::new();
+        for trust in [
+            Trust::Trusted,
+            Trust::Suspect(0.2),
+            Trust::Untrusted,
+            Trust::Suspect(0.9),
+            Trust::Trusted,
+            Trust::Suspect(0.1),
+        ] {
+            t.record(0.0, 0.0, trust);
+        }
+        assert!((t.suspect_fraction() - 4.0 / 6.0).abs() < 1e-12);
+        assert_eq!(t.max_suspect_streak(), 3);
+        assert_eq!(t.current_suspect_streak(), 1);
+    }
+
+    #[test]
+    fn empty_telemetry_is_benign() {
+        let t = LoopTelemetry::new();
+        assert_eq!(t.ticks(), 0);
+        assert_eq!(t.suspect_fraction(), 0.0);
+        assert_eq!(t.total_energy_j(), 0.0);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let mut t = LoopTelemetry::new();
+        t.record(1.0, 0.5, Trust::Trusted);
+        let s = t.to_string();
+        assert!(s.contains("1 ticks"));
+        assert!(s.contains("0% suspect"));
+    }
+}

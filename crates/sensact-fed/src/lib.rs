@@ -1,0 +1,32 @@
+//! # sensact-fed
+//!
+//! Federated, multi-agent sensing-action loops (paper §VII).
+//!
+//! Real FL fleets are heterogeneous: clients differ in compute, memory and
+//! energy. Static FedAvg with a uniform model wastes the strong clients and
+//! drowns the weak ones. This crate implements the paper's two adaptive
+//! frameworks plus the edge-cloud pattern:
+//!
+//! * [`data`] — a synthetic CIFAR-10-like dataset with non-IID client splits
+//!   (the paper's evaluation substrate, substituted per DESIGN.md).
+//! * [`client`] / [`server`] — FedAvg over MLP classifiers with per-client
+//!   [`client::HardwareProfile`]s and full energy/latency accounting.
+//! * [`dcnas`] — DC-NAS-style architecture adaptation: nested channel
+//!   pruning sizes each client's subnetwork to its compute budget.
+//! * [`halo`] — HaLo-FL-style precision selection: per-client weight/
+//!   activation/gradient precision chosen against a hardware cost model
+//!   (energy/latency/area), with fake-quantized local training.
+//! * [`speculative`] — edge-cloud speculative decoding over character-level
+//!   n-gram models: the draft model runs on the edge, the target verifies in
+//!   batches, provably matching the target's greedy output.
+
+pub mod client;
+pub mod data;
+pub mod dcnas;
+pub mod halo;
+pub mod server;
+pub mod speculative;
+
+pub use client::{Client, HardwareProfile, HardwareTier};
+pub use data::{Dataset, Sample};
+pub use server::{run_federated, FedConfig, FedReport, Strategy};

@@ -1,0 +1,248 @@
+//! FedAvg server and the strategy harness behind Fig. 11.
+
+use crate::client::Client;
+use crate::data::Dataset;
+use crate::dcnas::assign_channel_fractions;
+use crate::halo::select_precisions;
+
+/// Federation strategy under evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Uniform full model, full precision on every client.
+    Static,
+    /// DC-NAS-style per-client channel pruning.
+    DcNas,
+    /// HaLo-FL-style per-client precision selection.
+    HaloFl,
+    /// Both adaptations together.
+    Combined,
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Strategy::Static => "Static FL",
+            Strategy::DcNas => "DC-NAS",
+            Strategy::HaloFl => "HaLo-FL",
+            Strategy::Combined => "DC-NAS+HaLo",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Federation hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FedConfig {
+    /// Communication rounds.
+    pub rounds: usize,
+    /// Local epochs per round.
+    pub local_epochs: usize,
+}
+
+impl Default for FedConfig {
+    fn default() -> Self {
+        FedConfig {
+            rounds: 8,
+            local_epochs: 8,
+        }
+    }
+}
+
+/// Outcome of one federated run (the Fig. 11 measurables).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FedReport {
+    /// Strategy evaluated.
+    pub strategy: Strategy,
+    /// Final global-model accuracy on held-out data.
+    pub accuracy: f64,
+    /// Total fleet energy over all rounds (J).
+    pub energy_j: f64,
+    /// Makespan: Σ over rounds of the slowest client's latency (s).
+    pub latency_s: f64,
+    /// Mean area utilization across clients.
+    pub area: f64,
+}
+
+/// Masked FedAvg: average each parameter over the clients whose subnetwork
+/// contains it, weighted by local sample count.
+fn aggregate(clients: &mut [Client]) -> Vec<f64> {
+    let dim = clients[0].params_flat().len();
+    let mut sum = vec![0.0; dim];
+    let mut weight = vec![0.0; dim];
+    for c in clients.iter_mut() {
+        let w = c.data.len() as f64;
+        let mask = c.subnetwork_mask();
+        for (i, v) in c.params_flat().iter().enumerate() {
+            if mask[i] > 0.0 {
+                sum[i] += v * w;
+                weight[i] += w;
+            }
+        }
+    }
+    for (s, w) in sum.iter_mut().zip(&weight) {
+        if *w > 0.0 {
+            *s /= w;
+        }
+    }
+    sum
+}
+
+/// Run federated training under a strategy; reports accuracy + fleet costs.
+///
+/// # Panics
+///
+/// Panics if `clients` is empty.
+pub fn run_federated(
+    clients: &mut [Client],
+    strategy: Strategy,
+    config: &FedConfig,
+    test: &Dataset,
+) -> FedReport {
+    assert!(!clients.is_empty(), "no clients");
+    // Apply strategy knobs.
+    match strategy {
+        Strategy::Static => {
+            for c in clients.iter_mut() {
+                c.channel_fraction = 1.0;
+                c.precision = sensact_nn::quant::Precision::Int16;
+            }
+        }
+        Strategy::DcNas => {
+            assign_channel_fractions(clients);
+            for c in clients.iter_mut() {
+                c.precision = sensact_nn::quant::Precision::Int16;
+            }
+        }
+        Strategy::HaloFl => {
+            for c in clients.iter_mut() {
+                c.channel_fraction = 1.0;
+            }
+            select_precisions(clients);
+        }
+        Strategy::Combined => {
+            assign_channel_fractions(clients);
+            select_precisions(clients);
+        }
+    }
+
+    let mut energy = 0.0;
+    let mut latency = 0.0;
+    // Start from client 0's init as the global model.
+    let mut global = clients[0].params_flat();
+    for _round in 0..config.rounds {
+        for c in clients.iter_mut() {
+            c.set_params_flat(&global);
+            let _ = c.local_train(config.local_epochs);
+            energy += c.round_energy_j(config.local_epochs);
+        }
+        latency += clients
+            .iter()
+            .map(|c| c.round_latency_s(config.local_epochs))
+            .fold(0.0, f64::max);
+        global = aggregate(clients);
+    }
+    // Final evaluation with the global model on the strongest client's full
+    // network (the server-side model).
+    clients[0].channel_fraction = 1.0;
+    clients[0].set_params_flat(&global);
+    let accuracy = clients[0].evaluate(test);
+    let area = clients.iter().map(|c| c.area_utilization()).sum::<f64>() / clients.len() as f64;
+    FedReport {
+        strategy,
+        accuracy,
+        energy_j: energy,
+        latency_s: latency,
+        area,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::HardwareTier;
+    use crate::data::Dataset;
+
+    /// A heterogeneous fleet over a non-IID split.
+    pub(crate) fn fleet(n: usize, seed: u64) -> (Vec<Client>, Dataset) {
+        let all = Dataset::generate(1200, seed);
+        let parts = all.split_noniid(n, seed);
+        let tiers = [HardwareTier::EdgeGpu, HardwareTier::Mobile, HardwareTier::Mcu];
+        let clients = parts
+            .into_iter()
+            .enumerate()
+            .map(|(i, d)| Client::new(i, d, tiers[i % 3], seed ^ (i as u64) << 4))
+            .collect();
+        let test = Dataset::generate(300, seed ^ 0xFF);
+        (clients, test)
+    }
+
+    #[test]
+    fn fedavg_learns_from_noniid_clients() {
+        let (mut clients, test) = fleet(4, 1);
+        let report = run_federated(&mut clients, Strategy::Static, &FedConfig::default(), &test);
+        assert!(report.accuracy > 0.55, "accuracy {}", report.accuracy);
+    }
+
+    #[test]
+    fn federation_beats_single_noniid_client() {
+        let (mut clients, test) = fleet(4, 2);
+        // A lone non-IID client sees ~2 classes.
+        let mut solo = Client::new(
+            9,
+            clients[0].data.clone(),
+            HardwareTier::EdgeGpu,
+            77,
+        );
+        solo.local_train(64);
+        let solo_acc = solo.evaluate(&test);
+        let report = run_federated(&mut clients, Strategy::Static, &FedConfig::default(), &test);
+        assert!(
+            report.accuracy > solo_acc,
+            "federated {} vs solo {}",
+            report.accuracy,
+            solo_acc
+        );
+    }
+
+    #[test]
+    fn dcnas_cuts_cost_without_collapsing_accuracy() {
+        let (mut c1, test) = fleet(4, 3);
+        let static_report =
+            run_federated(&mut c1, Strategy::Static, &FedConfig::default(), &test);
+        let (mut c2, _) = fleet(4, 3);
+        let dcnas_report = run_federated(&mut c2, Strategy::DcNas, &FedConfig::default(), &test);
+        assert!(dcnas_report.energy_j < static_report.energy_j);
+        assert!(dcnas_report.latency_s < static_report.latency_s);
+        assert!(
+            dcnas_report.accuracy > static_report.accuracy - 0.25,
+            "DC-NAS accuracy {} vs static {}",
+            dcnas_report.accuracy,
+            static_report.accuracy
+        );
+    }
+
+    #[test]
+    fn halofl_cuts_cost_without_collapsing_accuracy() {
+        let (mut c1, test) = fleet(4, 4);
+        let static_report =
+            run_federated(&mut c1, Strategy::Static, &FedConfig::default(), &test);
+        let (mut c2, _) = fleet(4, 4);
+        let halo_report = run_federated(&mut c2, Strategy::HaloFl, &FedConfig::default(), &test);
+        assert!(halo_report.energy_j < static_report.energy_j);
+        assert!(halo_report.latency_s < static_report.latency_s);
+        assert!(halo_report.area < static_report.area);
+        assert!(
+            halo_report.accuracy > static_report.accuracy - 0.15,
+            "HaLo accuracy {} vs static {}",
+            halo_report.accuracy,
+            static_report.accuracy
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no clients")]
+    fn empty_fleet_panics() {
+        let test = Dataset::generate(10, 0);
+        let _ = run_federated(&mut [], Strategy::Static, &FedConfig::default(), &test);
+    }
+}

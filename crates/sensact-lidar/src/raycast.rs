@@ -1,0 +1,393 @@
+//! Spinning multi-beam LiDAR ray-casting.
+//!
+//! The sensor sits at the origin at `mount_height` above the ground plane
+//! `z = 0`. Beams fan vertically between `fov_down` and `fov_up` (radians);
+//! each revolution takes `azimuth_steps` pulses. A pulse returns the nearest
+//! intersection with a scene box (slab method) or the ground plane, if within
+//! `max_range`.
+
+use crate::pointcloud::{Point, PointCloud};
+use crate::scene::Scene;
+use sensact_math::metrics::Aabb;
+
+/// Geometry and sampling configuration of the simulated LiDAR.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LidarConfig {
+    /// Number of vertical beams (channels).
+    pub beams: u16,
+    /// Azimuth steps per 360° revolution.
+    pub azimuth_steps: u16,
+    /// Lowest beam elevation (radians, negative = down).
+    pub fov_down: f64,
+    /// Highest beam elevation (radians).
+    pub fov_up: f64,
+    /// Maximum measurable range (metres).
+    pub max_range: f64,
+    /// Sensor height above ground (metres).
+    pub mount_height: f64,
+}
+
+impl Default for LidarConfig {
+    /// A 64-beam, 512-azimuth sensor resembling the KITTI HDL-64E geometry.
+    fn default() -> Self {
+        LidarConfig {
+            beams: 64,
+            azimuth_steps: 512,
+            fov_down: -0.4363, // -25°
+            fov_up: 0.0524,    // +3°
+            max_range: 80.0,
+            mount_height: 1.73,
+        }
+    }
+}
+
+impl LidarConfig {
+    /// Total pulses per revolution.
+    pub fn pulses_per_scan(&self) -> usize {
+        self.beams as usize * self.azimuth_steps as usize
+    }
+
+    /// Unit direction of pulse `(beam, azimuth)`.
+    pub fn direction(&self, beam: u16, azimuth: u16) -> [f64; 3] {
+        let el = if self.beams <= 1 {
+            self.fov_down
+        } else {
+            self.fov_down
+                + (self.fov_up - self.fov_down) * beam as f64 / (self.beams - 1) as f64
+        };
+        let az = 2.0 * std::f64::consts::PI * azimuth as f64 / self.azimuth_steps as f64;
+        [el.cos() * az.cos(), el.cos() * az.sin(), el.sin()]
+    }
+}
+
+/// Ray/axis-aligned-box intersection by the slab method. Returns the entry
+/// distance `t >= 0` if the ray hits.
+pub fn ray_aabb(origin: [f64; 3], dir: [f64; 3], aabb: &Aabb) -> Option<f64> {
+    let mut t_near = 0.0f64;
+    let mut t_far = f64::INFINITY;
+    for i in 0..3 {
+        if dir[i].abs() < 1e-12 {
+            if origin[i] < aabb.min[i] || origin[i] > aabb.max[i] {
+                return None;
+            }
+            continue;
+        }
+        let inv = 1.0 / dir[i];
+        let mut t0 = (aabb.min[i] - origin[i]) * inv;
+        let mut t1 = (aabb.max[i] - origin[i]) * inv;
+        if t0 > t1 {
+            std::mem::swap(&mut t0, &mut t1);
+        }
+        t_near = t_near.max(t0);
+        t_far = t_far.min(t1);
+        if t_near > t_far {
+            return None;
+        }
+    }
+    Some(t_near)
+}
+
+/// The simulated sensor.
+#[derive(Debug, Clone)]
+pub struct Lidar {
+    config: LidarConfig,
+}
+
+impl Lidar {
+    /// Sensor with the given configuration.
+    pub fn new(config: LidarConfig) -> Self {
+        Lidar { config }
+    }
+
+    /// The sensor configuration.
+    pub fn config(&self) -> &LidarConfig {
+        &self.config
+    }
+
+    /// Cast one pulse; returns the hit point if any surface is within range.
+    pub fn cast(&self, scene: &Scene, beam: u16, azimuth: u16) -> Option<Point> {
+        let origin = [0.0, 0.0, self.config.mount_height];
+        let dir = self.config.direction(beam, azimuth);
+        let mut best_t = f64::INFINITY;
+
+        // Ground plane z = 0.
+        if dir[2] < -1e-12 {
+            let t = -origin[2] / dir[2];
+            if t > 0.0 {
+                best_t = t;
+            }
+        }
+        // Scene boxes.
+        for obj in scene.objects() {
+            if let Some(t) = ray_aabb(origin, dir, &obj.aabb) {
+                if t > 1e-9 && t < best_t {
+                    best_t = t;
+                }
+            }
+        }
+        if best_t.is_finite() && best_t <= self.config.max_range {
+            Some(Point {
+                x: origin[0] + best_t * dir[0],
+                y: origin[1] + best_t * dir[1],
+                z: origin[2] + best_t * dir[2],
+                range: best_t,
+                beam,
+                azimuth,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Full 360° scan: every (beam, azimuth) pulse.
+    pub fn scan(&self, scene: &Scene) -> PointCloud {
+        let mut cloud = PointCloud::new();
+        for beam in 0..self.config.beams {
+            for az in 0..self.config.azimuth_steps {
+                if let Some(p) = self.cast(scene, beam, az) {
+                    cloud.push(p);
+                }
+            }
+        }
+        cloud
+    }
+
+    /// Masked scan: fire only the pulses the mask selects; returns the cloud
+    /// plus how many pulses were actually fired.
+    pub fn scan_masked(
+        &self,
+        scene: &Scene,
+        mut fire: impl FnMut(u16, u16) -> bool,
+    ) -> (PointCloud, usize) {
+        let mut cloud = PointCloud::new();
+        let mut fired = 0usize;
+        for beam in 0..self.config.beams {
+            for az in 0..self.config.azimuth_steps {
+                if !fire(beam, az) {
+                    continue;
+                }
+                fired += 1;
+                if let Some(p) = self.cast(scene, beam, az) {
+                    cloud.push(p);
+                }
+            }
+        }
+        (cloud, fired)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scene::{ObjectClass, SceneGenerator, SceneObject};
+    use sensact_math::metrics::Aabb;
+
+    fn single_box_scene() -> Scene {
+        Scene::from_objects(vec![SceneObject::new(
+            ObjectClass::Car,
+            Aabb::from_center_size([10.0, 0.0, 0.75], [4.0, 1.8, 1.5]),
+        )])
+    }
+
+    #[test]
+    fn ray_aabb_direct_hit() {
+        let aabb = Aabb::new([5.0, -1.0, -1.0], [7.0, 1.0, 1.0]);
+        let t = ray_aabb([0.0, 0.0, 0.0], [1.0, 0.0, 0.0], &aabb).unwrap();
+        assert!((t - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ray_aabb_miss() {
+        let aabb = Aabb::new([5.0, 2.0, -1.0], [7.0, 4.0, 1.0]);
+        assert!(ray_aabb([0.0, 0.0, 0.0], [1.0, 0.0, 0.0], &aabb).is_none());
+    }
+
+    #[test]
+    fn ray_aabb_parallel_axis_inside_slab() {
+        let aabb = Aabb::new([5.0, -1.0, -1.0], [7.0, 1.0, 1.0]);
+        // Parallel to y with origin inside the y-slab: hit.
+        assert!(ray_aabb([0.0, 0.5, 0.0], [1.0, 0.0, 0.0], &aabb).is_some());
+        // Outside the y-slab: miss.
+        assert!(ray_aabb([0.0, 2.0, 0.0], [1.0, 0.0, 0.0], &aabb).is_none());
+    }
+
+    #[test]
+    fn forward_beam_hits_box_at_expected_range() {
+        let lidar = Lidar::new(LidarConfig {
+            beams: 1,
+            azimuth_steps: 4,
+            fov_down: 0.0,
+            fov_up: 0.0,
+            max_range: 50.0,
+            mount_height: 0.75,
+        });
+        let p = lidar.cast(&single_box_scene(), 0, 0).unwrap();
+        // Box near face at x = 8.
+        assert!((p.range - 8.0).abs() < 1e-9, "range {}", p.range);
+        assert!((p.x - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn downward_beam_hits_ground() {
+        let lidar = Lidar::new(LidarConfig {
+            beams: 1,
+            azimuth_steps: 4,
+            fov_down: -0.5,
+            fov_up: -0.5,
+            max_range: 50.0,
+            mount_height: 1.73,
+        });
+        let p = lidar.cast(&Scene::new(), 0, 1).unwrap(); // az=1 → +y direction
+        assert!(p.z.abs() < 1e-9, "ground hit z {}", p.z);
+        assert!(p.range > 1.73);
+    }
+
+    #[test]
+    fn upward_beam_into_empty_sky_misses() {
+        let lidar = Lidar::new(LidarConfig {
+            beams: 1,
+            azimuth_steps: 4,
+            fov_down: 0.3,
+            fov_up: 0.3,
+            max_range: 50.0,
+            mount_height: 1.73,
+        });
+        assert!(lidar.cast(&Scene::new(), 0, 0).is_none());
+    }
+
+    #[test]
+    fn out_of_range_surface_missed() {
+        let lidar = Lidar::new(LidarConfig {
+            beams: 1,
+            azimuth_steps: 4,
+            fov_down: 0.0,
+            fov_up: 0.0,
+            max_range: 5.0,
+            mount_height: 0.75,
+        });
+        assert!(lidar.cast(&single_box_scene(), 0, 0).is_none());
+    }
+
+    #[test]
+    fn full_scan_produces_dense_cloud() {
+        let scene = SceneGenerator::new(11).generate();
+        let lidar = Lidar::new(LidarConfig::default());
+        let cloud = lidar.scan(&scene);
+        // Most downward beams hit ground or objects.
+        assert!(
+            cloud.len() > lidar.config().pulses_per_scan() / 3,
+            "only {} returns",
+            cloud.len()
+        );
+        // All ranges within the sensor limit.
+        assert!(cloud.max_range() <= lidar.config().max_range + 1e-9);
+    }
+
+    #[test]
+    fn masked_scan_fires_subset() {
+        let scene = SceneGenerator::new(11).generate();
+        let lidar = Lidar::new(LidarConfig::default());
+        let (cloud_all, fired_all) = lidar.scan_masked(&scene, |_, _| true);
+        let (cloud_half, fired_half) = lidar.scan_masked(&scene, |_, az| az % 2 == 0);
+        assert_eq!(fired_all, lidar.config().pulses_per_scan());
+        assert_eq!(fired_half, fired_all / 2);
+        assert!(cloud_half.len() < cloud_all.len());
+        assert!(cloud_half.len() > cloud_all.len() / 3);
+    }
+
+    #[test]
+    fn direction_unit_norm_and_coverage() {
+        let cfg = LidarConfig::default();
+        for &(b, a) in &[(0u16, 0u16), (31, 100), (63, 511)] {
+            let d = cfg.direction(b, a);
+            let n = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
+            assert!((n - 1.0).abs() < 1e-12);
+        }
+        // Beam 0 points down, top beam points up.
+        assert!(cfg.direction(0, 0)[2] < 0.0);
+        assert!(cfg.direction(63, 0)[2] > 0.0);
+    }
+
+    #[test]
+    fn scan_is_deterministic() {
+        let scene = SceneGenerator::new(2).generate();
+        let lidar = Lidar::new(LidarConfig::default());
+        assert_eq!(lidar.scan(&scene), lidar.scan(&scene));
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use crate::scene::{ObjectClass, Scene, SceneObject};
+    use proptest::prelude::*;
+    use sensact_math::metrics::Aabb;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The slab test agrees with analytic point-marching: if the ray hits,
+        /// the reported entry point lies on the box boundary (within eps) and
+        /// no earlier point along the ray is inside the box.
+        #[test]
+        fn prop_ray_aabb_entry_point_on_boundary(
+            cx in 4.0f64..30.0, cy in -10.0f64..10.0, cz in 0.5f64..3.0,
+            sx in 0.5f64..4.0, sy in 0.5f64..4.0, sz in 0.5f64..2.0,
+            dir_az in 0.0f64..6.283, dir_el in -0.4f64..0.2)
+        {
+            let aabb = Aabb::from_center_size([cx, cy, cz], [sx, sy, sz]);
+            let dir = [
+                dir_el.cos() * dir_az.cos(),
+                dir_el.cos() * dir_az.sin(),
+                dir_el.sin(),
+            ];
+            let origin = [0.0, 0.0, 1.73];
+            if let Some(t) = ray_aabb(origin, dir, &aabb) {
+                let p = [
+                    origin[0] + t * dir[0],
+                    origin[1] + t * dir[1],
+                    origin[2] + t * dir[2],
+                ];
+                // Entry point is inside the (slightly dilated) box…
+                let eps = 1e-6;
+                for i in 0..3 {
+                    prop_assert!(p[i] >= aabb.min[i] - eps && p[i] <= aabb.max[i] + eps);
+                }
+                // …and the midpoint of the segment before entry is outside
+                // (unless the origin itself is inside).
+                if !aabb.contains(origin) && t > 1e-6 {
+                    let half = t / 2.0;
+                    let q = [
+                        origin[0] + half * dir[0],
+                        origin[1] + half * dir[1],
+                        origin[2] + half * dir[2],
+                    ];
+                    prop_assert!(!aabb.contains(q), "entered earlier than reported");
+                }
+            }
+        }
+
+        /// Every return of a scan lies within max range and at/above ground.
+        #[test]
+        fn prop_scan_returns_within_physical_bounds(
+            x in 6.0f64..40.0, y in -8.0f64..8.0, beams in 4u16..16)
+        {
+            let scene = Scene::from_objects(vec![SceneObject::new(
+                ObjectClass::Car,
+                Aabb::from_center_size([x, y, 0.75], [4.0, 1.8, 1.5]),
+            )]);
+            let lidar = Lidar::new(LidarConfig {
+                beams,
+                azimuth_steps: 64,
+                ..LidarConfig::default()
+            });
+            for p in &lidar.scan(&scene) {
+                prop_assert!(p.range <= lidar.config().max_range + 1e-9);
+                prop_assert!(p.z >= -1e-9, "below ground: {}", p.z);
+                // Consistency: |position − origin| == range.
+                let d = (p.x * p.x + p.y * p.y + (p.z - 1.73) * (p.z - 1.73)).sqrt();
+                prop_assert!((d - p.range).abs() < 1e-9);
+            }
+        }
+    }
+}

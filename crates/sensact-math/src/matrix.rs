@@ -1,0 +1,618 @@
+//! Dense row-major matrices with the operations the rest of the workspace needs:
+//! arithmetic, transpose, LU solve/inverse, and Frobenius norms.
+
+use crate::{MathError, Result};
+
+/// A dense row-major `f64` matrix.
+///
+/// ```
+/// use sensact_math::Matrix;
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// let b = a.matmul(&Matrix::identity(2)).unwrap();
+/// assert_eq!(a, b);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// A `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// The `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build from a row-major flat buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "Matrix::from_vec: buffer length {} does not match {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Matrix { rows, cols, data }
+    }
+
+    /// Build from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have differing lengths or `rows` is empty.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        assert!(!rows.is_empty(), "Matrix::from_rows: no rows");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "Matrix::from_rows: ragged rows");
+            data.extend_from_slice(r);
+        }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// A diagonal matrix with the given diagonal entries.
+    pub fn from_diag(diag: &[f64]) -> Self {
+        let n = diag.len();
+        let mut m = Matrix::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    /// A column vector (`n × 1`) from a slice.
+    pub fn col_vector(v: &[f64]) -> Self {
+        Matrix::from_vec(v.len(), 1, v.to_vec())
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Whether the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrow the row-major backing buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrow the row-major backing buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consume into the row-major backing buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Borrow row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row index {r} out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copy column `c` into a new `Vec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= cols`.
+    pub fn column(&self, c: usize) -> Vec<f64> {
+        assert!(c < self.cols, "column index {c} out of bounds");
+        (0..self.rows).map(|r| self[(r, c)]).collect()
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t[(c, r)] = self[(r, c)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::ShapeMismatch`] if `self.cols != other.rows`.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.rows {
+            return Err(MathError::ShapeMismatch {
+                expected: (self.cols, other.cols),
+                found: (other.rows, other.cols),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                let orow = k * other.cols;
+                let crow = i * other.cols;
+                for j in 0..other.cols {
+                    out.data[crow + j] += aik * other.data[orow + j];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self * v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::ShapeMismatch`] if `v.len() != cols`.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if v.len() != self.cols {
+            return Err(MathError::ShapeMismatch {
+                expected: (self.cols, 1),
+                found: (v.len(), 1),
+            });
+        }
+        Ok((0..self.rows)
+            .map(|r| crate::vector::dot(self.row(r), v))
+            .collect())
+    }
+
+    /// Element-wise sum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::ShapeMismatch`] on differing shapes.
+    pub fn add(&self, other: &Matrix) -> Result<Matrix> {
+        self.zip_with(other, |a, b| a + b)
+    }
+
+    /// Element-wise difference `self - other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::ShapeMismatch`] on differing shapes.
+    pub fn sub(&self, other: &Matrix) -> Result<Matrix> {
+        self.zip_with(other, |a, b| a - b)
+    }
+
+    fn zip_with(&self, other: &Matrix, f: impl Fn(f64, f64) -> f64) -> Result<Matrix> {
+        if self.shape() != other.shape() {
+            return Err(MathError::ShapeMismatch {
+                expected: self.shape(),
+                found: other.shape(),
+            });
+        }
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        })
+    }
+
+    /// Scaled copy `alpha * self`.
+    pub fn scaled(&self, alpha: f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|x| alpha * x).collect(),
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute entry.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0, |m, x| m.max(x.abs()))
+    }
+
+    /// Trace (sum of diagonal entries).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::NotSquare`] for non-square matrices.
+    pub fn trace(&self) -> Result<f64> {
+        if !self.is_square() {
+            return Err(MathError::NotSquare { shape: self.shape() });
+        }
+        Ok((0..self.rows).map(|i| self[(i, i)]).sum())
+    }
+
+    /// Solve `self * x = b` for one right-hand side by LU with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// [`MathError::NotSquare`] if the matrix is not square,
+    /// [`MathError::ShapeMismatch`] if `b.len() != rows`, or
+    /// [`MathError::Singular`] when a pivot underflows.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        if !self.is_square() {
+            return Err(MathError::NotSquare { shape: self.shape() });
+        }
+        if b.len() != self.rows {
+            return Err(MathError::ShapeMismatch {
+                expected: (self.rows, 1),
+                found: (b.len(), 1),
+            });
+        }
+        let rhs = Matrix::col_vector(b);
+        let x = self.solve_matrix(&rhs)?;
+        Ok(x.into_vec())
+    }
+
+    /// Solve `self * X = B` for a matrix of right-hand sides.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Matrix::solve`].
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        if !self.is_square() {
+            return Err(MathError::NotSquare { shape: self.shape() });
+        }
+        if b.rows != self.rows {
+            return Err(MathError::ShapeMismatch {
+                expected: (self.rows, b.cols),
+                found: b.shape(),
+            });
+        }
+        let n = self.rows;
+        let mut lu = self.clone();
+        let mut x = b.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+
+        // LU decomposition with partial pivoting, applied in place.
+        for k in 0..n {
+            // Pivot search.
+            let mut piv = k;
+            let mut max = lu[(k, k)].abs();
+            for r in (k + 1)..n {
+                let v = lu[(r, k)].abs();
+                if v > max {
+                    max = v;
+                    piv = r;
+                }
+            }
+            if max < 1e-12 {
+                return Err(MathError::Singular);
+            }
+            if piv != k {
+                for c in 0..n {
+                    lu.data.swap(k * n + c, piv * n + c);
+                }
+                for c in 0..x.cols {
+                    x.data.swap(k * x.cols + c, piv * x.cols + c);
+                }
+                perm.swap(k, piv);
+            }
+            let pivot = lu[(k, k)];
+            for r in (k + 1)..n {
+                let factor = lu[(r, k)] / pivot;
+                lu[(r, k)] = factor;
+                for c in (k + 1)..n {
+                    let v = lu[(k, c)];
+                    lu[(r, c)] -= factor * v;
+                }
+                for c in 0..x.cols {
+                    let v = x[(k, c)];
+                    x[(r, c)] -= factor * v;
+                }
+            }
+        }
+
+        // Back substitution.
+        for c in 0..x.cols {
+            for r in (0..n).rev() {
+                let mut s = x[(r, c)];
+                for k in (r + 1)..n {
+                    s -= lu[(r, k)] * x[(k, c)];
+                }
+                x[(r, c)] = s / lu[(r, r)];
+            }
+        }
+        Ok(x)
+    }
+
+    /// Matrix inverse via LU solve against the identity.
+    ///
+    /// # Errors
+    ///
+    /// [`MathError::NotSquare`] or [`MathError::Singular`].
+    pub fn inverse(&self) -> Result<Matrix> {
+        self.solve_matrix(&Matrix::identity(self.rows))
+    }
+
+    /// Determinant via LU decomposition.
+    ///
+    /// # Errors
+    ///
+    /// [`MathError::NotSquare`] for non-square input.
+    pub fn determinant(&self) -> Result<f64> {
+        if !self.is_square() {
+            return Err(MathError::NotSquare { shape: self.shape() });
+        }
+        let n = self.rows;
+        let mut lu = self.clone();
+        let mut det = 1.0;
+        for k in 0..n {
+            let mut piv = k;
+            let mut max = lu[(k, k)].abs();
+            for r in (k + 1)..n {
+                let v = lu[(r, k)].abs();
+                if v > max {
+                    max = v;
+                    piv = r;
+                }
+            }
+            if max < 1e-14 {
+                return Ok(0.0);
+            }
+            if piv != k {
+                for c in 0..n {
+                    lu.data.swap(k * n + c, piv * n + c);
+                }
+                det = -det;
+            }
+            let pivot = lu[(k, k)];
+            det *= pivot;
+            for r in (k + 1)..n {
+                let factor = lu[(r, k)] / pivot;
+                for c in (k + 1)..n {
+                    let v = lu[(k, c)];
+                    lu[(r, c)] -= factor * v;
+                }
+            }
+        }
+        Ok(det)
+    }
+
+    /// Whether the matrix is symmetric within `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for r in 0..self.rows {
+            for c in (r + 1)..self.cols {
+                if (self[(r, c)] - self[(c, r)]).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl std::fmt::Display for Matrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for r in 0..self.rows {
+            write!(f, "[")?;
+            for c in 0..self.cols {
+                if c > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:10.4}", self[(r, c)])?;
+            }
+            writeln!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m.shape(), (2, 2));
+        assert_eq!(m[(0, 1)], 2.0);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.column(0), vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn identity_is_multiplicative_neutral() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let p = m.matmul(&Matrix::identity(3)).unwrap();
+        assert_eq!(p, m);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_shape_mismatch_errors() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(MathError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose().shape(), (3, 2));
+    }
+
+    #[test]
+    fn solve_recovers_solution() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let x_true = [1.0, -2.0];
+        let b = a.matvec(&x_true).unwrap();
+        let x = a.solve(&b).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] + 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn solve_needs_pivoting() {
+        // Leading zero pivot forces a row swap.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = a.solve(&[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert_eq!(a.solve(&[1.0, 1.0]), Err(MathError::Singular));
+        assert_eq!(a.determinant().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = Matrix::from_rows(&[&[4.0, 7.0], &[2.0, 6.0]]);
+        let inv = a.inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        let err = prod.sub(&Matrix::identity(2)).unwrap().max_abs();
+        assert!(err < 1e-10, "inverse error {err}");
+    }
+
+    #[test]
+    fn determinant_known_values() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert!((a.determinant().unwrap() + 2.0).abs() < 1e-12);
+        assert!((Matrix::identity(5).determinant().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_and_symmetry() {
+        let s = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 5.0]]);
+        assert_eq!(s.trace().unwrap(), 7.0);
+        assert!(s.is_symmetric(1e-12));
+        let ns = Matrix::from_rows(&[&[2.0, 1.0], &[0.0, 5.0]]);
+        assert!(!ns.is_symmetric(1e-12));
+        assert!(matches!(
+            Matrix::zeros(2, 3).trace(),
+            Err(MathError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn diag_constructor() {
+        let d = Matrix::from_diag(&[1.0, 2.0, 3.0]);
+        assert_eq!(d.trace().unwrap(), 6.0);
+        assert_eq!(d[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn display_renders_rows() {
+        let m = Matrix::identity(2);
+        let s = m.to_string();
+        assert!(s.contains('['));
+        assert_eq!(s.lines().count(), 2);
+    }
+
+    fn arb_invertible(n: usize) -> impl Strategy<Value = Matrix> {
+        proptest::collection::vec(-3.0f64..3.0, n * n).prop_map(move |mut v| {
+            // Diagonal dominance guarantees invertibility.
+            for i in 0..n {
+                v[i * n + i] += 10.0;
+            }
+            Matrix::from_vec(n, n, v)
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn prop_solve_matches_matvec(a in arb_invertible(4),
+                                     x in proptest::collection::vec(-5.0f64..5.0, 4)) {
+            let b = a.matvec(&x).unwrap();
+            let x2 = a.solve(&b).unwrap();
+            for (u, v) in x.iter().zip(&x2) {
+                prop_assert!((u - v).abs() < 1e-6);
+            }
+        }
+
+        #[test]
+        fn prop_det_of_product(a in arb_invertible(3), b in arb_invertible(3)) {
+            let dab = a.matmul(&b).unwrap().determinant().unwrap();
+            let da = a.determinant().unwrap();
+            let db = b.determinant().unwrap();
+            prop_assert!((dab - da * db).abs() < 1e-6 * dab.abs().max(1.0));
+        }
+
+        #[test]
+        fn prop_transpose_of_product(a in arb_invertible(3), b in arb_invertible(3)) {
+            let lhs = a.matmul(&b).unwrap().transpose();
+            let rhs = b.transpose().matmul(&a.transpose()).unwrap();
+            prop_assert!(lhs.sub(&rhs).unwrap().max_abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,393 @@
+//! Streaming and batch statistics.
+//!
+//! STARNet (paper §V) models "typical" feature distributions and flags
+//! deviations; the loop telemetry in `sensact-core` tracks running latency and
+//! energy. Both are built on the Welford-style [`RunningStats`] accumulator
+//! and the batch helpers here.
+
+/// Numerically stable streaming mean/variance accumulator (Welford).
+///
+/// ```
+/// use sensact_math::RunningStats;
+/// let mut s = RunningStats::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] { s.push(x); }
+/// assert_eq!(s.mean(), 2.5);
+/// assert!((s.variance() - 5.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        RunningStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance; `0.0` with fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observed value; `+∞` when empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observed value; `-∞` when empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Standardized z-score of a value under the accumulated distribution;
+    /// `0.0` if the variance is degenerate.
+    pub fn z_score(&self, x: f64) -> f64 {
+        let sd = self.std_dev();
+        if sd < 1e-12 {
+            0.0
+        } else {
+            (x - self.mean) / sd
+        }
+    }
+
+    /// Merge another accumulator into this one (parallel Welford merge).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let new_mean = self.mean + delta * other.count as f64 / total as f64;
+        self.m2 += other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.mean = new_mean;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Extend<f64> for RunningStats {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for RunningStats {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = RunningStats::new();
+        s.extend(iter);
+        s
+    }
+}
+
+/// Batch mean; `0.0` for empty input.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Batch unbiased variance; `0.0` for fewer than two samples.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Batch standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Median (linear interpolation between middle elements for even counts);
+/// `None` for empty input.
+pub fn median(xs: &[f64]) -> Option<f64> {
+    quantile(xs, 0.5)
+}
+
+/// Linear-interpolated quantile `q ∈ [0, 1]`; `None` for empty input or
+/// out-of-range `q`.
+pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
+    if xs.is_empty() || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Pearson correlation coefficient; `0.0` if either side is constant.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "pearson: length mismatch");
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx < 1e-24 || vy < 1e-24 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// Sample covariance matrix of row-vector observations.
+///
+/// `data` is a slice of equal-length observation vectors; the result is
+/// `d × d` where `d` is the feature dimension.
+///
+/// # Panics
+///
+/// Panics on ragged input or fewer than two observations.
+pub fn covariance_matrix(data: &[Vec<f64>]) -> crate::Matrix {
+    assert!(data.len() >= 2, "covariance: need at least two observations");
+    let d = data[0].len();
+    let mut means = vec![0.0; d];
+    for row in data {
+        assert_eq!(row.len(), d, "covariance: ragged rows");
+        for (m, x) in means.iter_mut().zip(row) {
+            *m += x;
+        }
+    }
+    for m in means.iter_mut() {
+        *m /= data.len() as f64;
+    }
+    let mut cov = crate::Matrix::zeros(d, d);
+    for row in data {
+        for i in 0..d {
+            let di = row[i] - means[i];
+            for j in i..d {
+                let dj = row[j] - means[j];
+                cov[(i, j)] += di * dj;
+            }
+        }
+    }
+    let denom = (data.len() - 1) as f64;
+    for i in 0..d {
+        for j in i..d {
+            cov[(i, j)] /= denom;
+            cov[(j, i)] = cov[(i, j)];
+        }
+    }
+    cov
+}
+
+/// Log-density of a diagonal Gaussian at `x`.
+///
+/// # Panics
+///
+/// Panics if lengths differ or any variance is non-positive.
+pub fn diag_gaussian_log_pdf(x: &[f64], mean: &[f64], var: &[f64]) -> f64 {
+    assert!(x.len() == mean.len() && x.len() == var.len(), "length mismatch");
+    let mut lp = 0.0;
+    for i in 0..x.len() {
+        assert!(var[i] > 0.0, "variance must be positive");
+        let d = x[i] - mean[i];
+        lp += -0.5 * ((2.0 * std::f64::consts::PI * var[i]).ln() + d * d / var[i]);
+    }
+    lp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn running_stats_matches_batch() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s: RunningStats = xs.iter().copied().collect();
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - mean(&xs)).abs() < 1e-12);
+        assert!((s.variance() - variance(&xs)).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_stats_are_benign() {
+        let s = RunningStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.z_score(5.0), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_concatenation() {
+        let a_data = [1.0, 2.0, 3.0];
+        let b_data = [10.0, 20.0, 30.0, 40.0];
+        let mut a: RunningStats = a_data.iter().copied().collect();
+        let b: RunningStats = b_data.iter().copied().collect();
+        a.merge(&b);
+        let all: Vec<f64> = a_data.iter().chain(&b_data).copied().collect();
+        assert!((a.mean() - mean(&all)).abs() < 1e-12);
+        assert!((a.variance() - variance(&all)).abs() < 1e-10);
+        assert_eq!(a.count(), 7);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a: RunningStats = [1.0, 2.0].iter().copied().collect();
+        let before = a;
+        a.merge(&RunningStats::new());
+        assert_eq!(a, before);
+        let mut e = RunningStats::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn z_score_standardizes() {
+        let s: RunningStats = [0.0, 2.0].iter().copied().collect();
+        // mean 1, sd sqrt(2)
+        assert!((s.z_score(1.0)).abs() < 1e-12);
+        assert!((s.z_score(1.0 + 2f64.sqrt()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_and_quantiles() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
+        assert_eq!(quantile(&[1.0, 2.0, 3.0, 4.0, 5.0], 0.0), Some(1.0));
+        assert_eq!(quantile(&[1.0, 2.0, 3.0, 4.0, 5.0], 1.0), Some(5.0));
+        assert_eq!(quantile(&[], 0.5), None);
+        assert_eq!(quantile(&[1.0], 1.5), None);
+    }
+
+    #[test]
+    fn pearson_known_cases() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+        let yneg = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&x, &yneg) + 1.0).abs() < 1e-12);
+        let konst = [5.0, 5.0, 5.0, 5.0];
+        assert_eq!(pearson(&x, &konst), 0.0);
+    }
+
+    #[test]
+    fn covariance_matrix_diagonal_contains_variances() {
+        let data = vec![
+            vec![1.0, 10.0],
+            vec![2.0, 20.0],
+            vec![3.0, 30.0],
+        ];
+        let cov = covariance_matrix(&data);
+        assert!((cov[(0, 0)] - 1.0).abs() < 1e-12);
+        assert!((cov[(1, 1)] - 100.0).abs() < 1e-12);
+        assert!((cov[(0, 1)] - 10.0).abs() < 1e-12);
+        assert_eq!(cov[(0, 1)], cov[(1, 0)]);
+    }
+
+    #[test]
+    fn gaussian_log_pdf_standard_normal_at_zero() {
+        let lp = diag_gaussian_log_pdf(&[0.0], &[0.0], &[1.0]);
+        let expected = -0.5 * (2.0 * std::f64::consts::PI).ln();
+        assert!((lp - expected).abs() < 1e-12);
+        // Moving away from the mean lowers the density.
+        assert!(diag_gaussian_log_pdf(&[2.0], &[0.0], &[1.0]) < lp);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_running_matches_batch(xs in proptest::collection::vec(-1e3f64..1e3, 2..64)) {
+            let s: RunningStats = xs.iter().copied().collect();
+            prop_assert!((s.mean() - mean(&xs)).abs() < 1e-8);
+            prop_assert!((s.variance() - variance(&xs)).abs() < 1e-6);
+        }
+
+        #[test]
+        fn prop_merge_associative_mean(xs in proptest::collection::vec(-100.0f64..100.0, 1..20),
+                                       ys in proptest::collection::vec(-100.0f64..100.0, 1..20)) {
+            let mut a: RunningStats = xs.iter().copied().collect();
+            let b: RunningStats = ys.iter().copied().collect();
+            a.merge(&b);
+            let all: Vec<f64> = xs.iter().chain(&ys).copied().collect();
+            prop_assert!((a.mean() - mean(&all)).abs() < 1e-8);
+        }
+
+        #[test]
+        fn prop_quantile_monotone(xs in proptest::collection::vec(-100.0f64..100.0, 1..32),
+                                  q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+            let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+            let a = quantile(&xs, lo).unwrap();
+            let b = quantile(&xs, hi).unwrap();
+            prop_assert!(a <= b + 1e-12);
+        }
+
+        #[test]
+        fn prop_pearson_bounded(xy in (2usize..32).prop_flat_map(|n| (
+                proptest::collection::vec(-100.0f64..100.0, n),
+                proptest::collection::vec(-100.0f64..100.0, n)))) {
+            let (xs, ys) = xy;
+            let r = pearson(&xs, &ys);
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+        }
+    }
+}

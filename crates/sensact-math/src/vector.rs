@@ -1,0 +1,294 @@
+//! Free functions on `&[f64]` slices used as mathematical vectors.
+//!
+//! These helpers are deliberately slice-based (rather than introducing a
+//! `Vector` newtype) so that call sites anywhere in the workspace — point
+//! clouds, feature embeddings, network activations — can use them without
+//! conversions.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if `a.len() != b.len()`.
+///
+/// ```
+/// assert_eq!(sensact_math::vector::dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+/// ```
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean (L2) norm.
+///
+/// ```
+/// assert_eq!(sensact_math::vector::norm(&[3.0, 4.0]), 5.0);
+/// ```
+pub fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Squared Euclidean norm (avoids the square root).
+pub fn norm_sq(a: &[f64]) -> f64 {
+    dot(a, a)
+}
+
+/// L1 norm (sum of absolute values).
+pub fn norm_l1(a: &[f64]) -> f64 {
+    a.iter().map(|x| x.abs()).sum()
+}
+
+/// Infinity norm (maximum absolute value); `0.0` for an empty slice.
+pub fn norm_inf(a: &[f64]) -> f64 {
+    a.iter().fold(0.0, |m, x| m.max(x.abs()))
+}
+
+/// Euclidean distance between two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "distance: length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// `y += alpha * x` (the BLAS `axpy` primitive).
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Scale a vector in place by `alpha`.
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Element-wise sum of two slices into a new `Vec`.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "add: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+/// Element-wise difference `a - b` into a new `Vec`.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "sub: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// Normalize to unit L2 norm, returning the original norm.
+///
+/// Vectors with norm below `1e-12` are left untouched (returning their norm)
+/// to avoid amplifying numerical noise.
+pub fn normalize(x: &mut [f64]) -> f64 {
+    let n = norm(x);
+    if n > 1e-12 {
+        scale(1.0 / n, x);
+    }
+    n
+}
+
+/// Cosine similarity in `[-1, 1]`; returns `0.0` if either vector is ~zero.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn cosine_similarity(a: &[f64], b: &[f64]) -> f64 {
+    let na = norm(a);
+    let nb = norm(b);
+    if na < 1e-12 || nb < 1e-12 {
+        return 0.0;
+    }
+    (dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
+}
+
+/// Linear interpolation `(1 - t) * a + t * b`.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn lerp(a: &[f64], b: &[f64], t: f64) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "lerp: length mismatch");
+    a.iter().zip(b).map(|(x, y)| (1.0 - t) * x + t * y).collect()
+}
+
+/// Index of the maximum element (first occurrence). `None` for an empty slice.
+pub fn argmax(a: &[f64]) -> Option<usize> {
+    if a.is_empty() {
+        return None;
+    }
+    let mut best = 0;
+    for (i, v) in a.iter().enumerate() {
+        if *v > a[best] {
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+/// Index of the minimum element (first occurrence). `None` for an empty slice.
+pub fn argmin(a: &[f64]) -> Option<usize> {
+    if a.is_empty() {
+        return None;
+    }
+    let mut best = 0;
+    for (i, v) in a.iter().enumerate() {
+        if *v < a[best] {
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+/// Numerically stable softmax.
+///
+/// Returns an empty `Vec` for empty input; output always sums to 1 otherwise.
+pub fn softmax(a: &[f64]) -> Vec<f64> {
+    if a.is_empty() {
+        return Vec::new();
+    }
+    let m = norm_inf_signed_max(a);
+    let exps: Vec<f64> = a.iter().map(|x| (x - m).exp()).collect();
+    let s: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / s).collect()
+}
+
+fn norm_inf_signed_max(a: &[f64]) -> f64 {
+    a.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dot_and_norms() {
+        let a = [1.0, -2.0, 2.0];
+        assert_eq!(dot(&a, &a), 9.0);
+        assert_eq!(norm(&a), 3.0);
+        assert_eq!(norm_sq(&a), 9.0);
+        assert_eq!(norm_l1(&a), 5.0);
+        assert_eq!(norm_inf(&a), 2.0);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let x = [1.0, 2.0];
+        let mut y = [10.0, 20.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0]);
+        scale(0.5, &mut y);
+        assert_eq!(y, [6.0, 12.0]);
+    }
+
+    #[test]
+    fn add_sub_lerp() {
+        assert_eq!(add(&[1.0, 2.0], &[3.0, 4.0]), vec![4.0, 6.0]);
+        assert_eq!(sub(&[1.0, 2.0], &[3.0, 4.0]), vec![-2.0, -2.0]);
+        assert_eq!(lerp(&[0.0, 0.0], &[2.0, 4.0], 0.5), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn normalize_unit_norm() {
+        let mut v = vec![3.0, 4.0];
+        let n = normalize(&mut v);
+        assert_eq!(n, 5.0);
+        assert!((norm(&v) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_zero_vector_untouched() {
+        let mut v = vec![0.0, 0.0];
+        let n = normalize(&mut v);
+        assert_eq!(n, 0.0);
+        assert_eq!(v, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn cosine_similarity_bounds() {
+        assert!((cosine_similarity(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-12);
+        assert!((cosine_similarity(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-12);
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn argmax_argmin() {
+        assert_eq!(argmax(&[1.0, 3.0, 2.0]), Some(1));
+        assert_eq!(argmin(&[1.0, 3.0, 2.0]), Some(0));
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmin(&[]), None);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_is_stable() {
+        let p = softmax(&[1000.0, 1000.0, 1000.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        for v in &p {
+            assert!((v - 1.0 / 3.0).abs() < 1e-12);
+        }
+        assert!(softmax(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_cauchy_schwarz(ab in (1usize..16).prop_flat_map(|n| (
+                proptest::collection::vec(-100.0f64..100.0, n),
+                proptest::collection::vec(-100.0f64..100.0, n)))) {
+            let (a, b) = ab;
+            let lhs = dot(&a, &b).abs();
+            let rhs = norm(&a) * norm(&b);
+            prop_assert!(lhs <= rhs * (1.0 + 1e-9) + 1e-9);
+        }
+
+        #[test]
+        fn prop_triangle_inequality(a in proptest::collection::vec(-100.0f64..100.0, 4),
+                                    b in proptest::collection::vec(-100.0f64..100.0, 4),
+                                    c in proptest::collection::vec(-100.0f64..100.0, 4)) {
+            let d_ac = distance(&a, &c);
+            let d_ab = distance(&a, &b);
+            let d_bc = distance(&b, &c);
+            prop_assert!(d_ac <= d_ab + d_bc + 1e-9);
+        }
+
+        #[test]
+        fn prop_softmax_is_distribution(a in proptest::collection::vec(-50.0f64..50.0, 1..12)) {
+            let p = softmax(&a);
+            prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            prop_assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+
+        #[test]
+        fn prop_normalize_idempotent_norm(mut v in proptest::collection::vec(-100.0f64..100.0, 1..16)) {
+            prop_assume!(norm(&v) > 1e-6);
+            normalize(&mut v);
+            prop_assert!((norm(&v) - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,686 @@
+//! 3-D convolution and transposed convolution over voxel grids.
+//!
+//! These are the workhorses of the R-MAE occupancy autoencoder (paper §III):
+//! a strided [`Conv3d`] encoder over the (sparse) voxelized point cloud and a
+//! [`Deconv3d`] decoder that upsamples back to full resolution for occupancy
+//! prediction.
+//!
+//! Tensors are laid out `[batch, channels * depth * height * width]` with the
+//! spatial dimensions carried by the layer configuration. The forward pass
+//! skips all-zero input positions, which is the "spatially sparse" trick the
+//! paper's encoder relies on — empty voxels cost nothing.
+
+use crate::init::Initializer;
+use crate::layers::Layer;
+use crate::tensor::Tensor;
+
+/// Spatial extents of a 3-D feature volume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dims3 {
+    /// Depth (z).
+    pub d: usize,
+    /// Height (y).
+    pub h: usize,
+    /// Width (x).
+    pub w: usize,
+}
+
+impl Dims3 {
+    /// Construct from depth/height/width.
+    pub fn new(d: usize, h: usize, w: usize) -> Self {
+        Dims3 { d, h, w }
+    }
+
+    /// Number of voxels.
+    pub fn volume(&self) -> usize {
+        self.d * self.h * self.w
+    }
+}
+
+fn conv_out(extent: usize, kernel: usize, stride: usize, pad: usize) -> usize {
+    (extent + 2 * pad - kernel) / stride + 1
+}
+
+fn deconv_out(extent: usize, kernel: usize, stride: usize, pad: usize) -> usize {
+    (extent - 1) * stride + kernel - 2 * pad
+}
+
+/// Strided 3-D convolution.
+#[derive(Debug, Clone)]
+pub struct Conv3d {
+    cin: usize,
+    cout: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    in_dims: Dims3,
+    out_dims: Dims3,
+    /// Weights `[cout, cin, k, k, k]` flattened.
+    weights: Vec<f64>,
+    bias: Vec<f64>,
+    grad_w: Vec<f64>,
+    grad_b: Vec<f64>,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv3d {
+    /// Convolution with cubic kernel `kernel`, stride and zero padding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration produces an empty output volume.
+    pub fn new(
+        cin: usize,
+        cout: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        in_dims: Dims3,
+        init: &mut Initializer,
+    ) -> Self {
+        assert!(kernel > 0 && stride > 0, "kernel and stride must be positive");
+        assert!(
+            in_dims.d + 2 * pad >= kernel && in_dims.h + 2 * pad >= kernel && in_dims.w + 2 * pad >= kernel,
+            "kernel larger than padded input"
+        );
+        let out_dims = Dims3::new(
+            conv_out(in_dims.d, kernel, stride, pad),
+            conv_out(in_dims.h, kernel, stride, pad),
+            conv_out(in_dims.w, kernel, stride, pad),
+        );
+        let fan_in = cin * kernel * kernel * kernel;
+        let wcount = cout * fan_in;
+        Conv3d {
+            cin,
+            cout,
+            kernel,
+            stride,
+            pad,
+            in_dims,
+            out_dims,
+            weights: init.he(fan_in, wcount),
+            bias: vec![0.0; cout],
+            grad_w: vec![0.0; wcount],
+            grad_b: vec![0.0; cout],
+            cached_input: None,
+        }
+    }
+
+    /// Output spatial dimensions.
+    pub fn out_dims(&self) -> Dims3 {
+        self.out_dims
+    }
+
+    /// Input spatial dimensions.
+    pub fn in_dims(&self) -> Dims3 {
+        self.in_dims
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.cout
+    }
+
+    #[inline]
+    fn widx(&self, co: usize, ci: usize, kd: usize, kh: usize, kw: usize) -> usize {
+        (((co * self.cin + ci) * self.kernel + kd) * self.kernel + kh) * self.kernel + kw
+    }
+
+    #[inline]
+    fn in_idx(&self, c: usize, z: usize, y: usize, x: usize) -> usize {
+        ((c * self.in_dims.d + z) * self.in_dims.h + y) * self.in_dims.w + x
+    }
+
+    #[inline]
+    fn out_idx(&self, c: usize, z: usize, y: usize, x: usize) -> usize {
+        ((c * self.out_dims.d + z) * self.out_dims.h + y) * self.out_dims.w + x
+    }
+}
+
+impl Layer for Conv3d {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let batch = input.shape()[0];
+        let in_feat = self.cin * self.in_dims.volume();
+        assert_eq!(input.shape()[1], in_feat, "Conv3d: input feature mismatch");
+        let out_feat = self.cout * self.out_dims.volume();
+        let mut out = Tensor::zeros(vec![batch, out_feat]);
+        let k = self.kernel;
+        for b in 0..batch {
+            let xrow = input.row(b);
+            let orow = out.row_mut(b);
+            // Bias first.
+            for co in 0..self.cout {
+                let base = co * self.out_dims.volume();
+                for v in &mut orow[base..base + self.out_dims.volume()] {
+                    *v = self.bias[co];
+                }
+            }
+            // Gather formulation: scatter each nonzero input voxel into the
+            // outputs it contributes to (sparse-friendly).
+            for ci in 0..self.cin {
+                for z in 0..self.in_dims.d {
+                    for y in 0..self.in_dims.h {
+                        for x in 0..self.in_dims.w {
+                            let xv = xrow[self.in_idx(ci, z, y, x)];
+                            if xv == 0.0 {
+                                continue;
+                            }
+                            // Output positions (oz, oy, ox) with kernel offset
+                            // (kd, kh, kw) satisfying oz*s - p + kd == z, etc.
+                            for kd in 0..k {
+                                let zp = z + self.pad;
+                                if zp < kd || (zp - kd) % self.stride != 0 {
+                                    continue;
+                                }
+                                let oz = (zp - kd) / self.stride;
+                                if oz >= self.out_dims.d {
+                                    continue;
+                                }
+                                for kh in 0..k {
+                                    let yp = y + self.pad;
+                                    if yp < kh || (yp - kh) % self.stride != 0 {
+                                        continue;
+                                    }
+                                    let oy = (yp - kh) / self.stride;
+                                    if oy >= self.out_dims.h {
+                                        continue;
+                                    }
+                                    for kw in 0..k {
+                                        let xp = x + self.pad;
+                                        if xp < kw || (xp - kw) % self.stride != 0 {
+                                            continue;
+                                        }
+                                        let ox = (xp - kw) / self.stride;
+                                        if ox >= self.out_dims.w {
+                                            continue;
+                                        }
+                                        for co in 0..self.cout {
+                                            orow[self.out_idx(co, oz, oy, ox)] +=
+                                                xv * self.weights[self.widx(co, ci, kd, kh, kw)];
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("Conv3d::backward before forward");
+        let batch = input.shape()[0];
+        let mut grad_in = Tensor::zeros(vec![batch, self.cin * self.in_dims.volume()]);
+        let k = self.kernel;
+        for b in 0..batch {
+            let xrow = input.row(b);
+            let grow = grad_out.row(b);
+            // Bias grads.
+            for co in 0..self.cout {
+                let base = co * self.out_dims.volume();
+                self.grad_b[co] += grow[base..base + self.out_dims.volume()].iter().sum::<f64>();
+            }
+            for ci in 0..self.cin {
+                for z in 0..self.in_dims.d {
+                    for y in 0..self.in_dims.h {
+                        for x in 0..self.in_dims.w {
+                            let in_i = self.in_idx(ci, z, y, x);
+                            let xv = xrow[in_i];
+                            let mut gi = 0.0;
+                            for kd in 0..k {
+                                let zp = z + self.pad;
+                                if zp < kd || (zp - kd) % self.stride != 0 {
+                                    continue;
+                                }
+                                let oz = (zp - kd) / self.stride;
+                                if oz >= self.out_dims.d {
+                                    continue;
+                                }
+                                for kh in 0..k {
+                                    let yp = y + self.pad;
+                                    if yp < kh || (yp - kh) % self.stride != 0 {
+                                        continue;
+                                    }
+                                    let oy = (yp - kh) / self.stride;
+                                    if oy >= self.out_dims.h {
+                                        continue;
+                                    }
+                                    for kw in 0..k {
+                                        let xp = x + self.pad;
+                                        if xp < kw || (xp - kw) % self.stride != 0 {
+                                            continue;
+                                        }
+                                        let ox = (xp - kw) / self.stride;
+                                        if ox >= self.out_dims.w {
+                                            continue;
+                                        }
+                                        for co in 0..self.cout {
+                                            let g = grow[self.out_idx(co, oz, oy, ox)];
+                                            let wi = self.widx(co, ci, kd, kh, kw);
+                                            gi += g * self.weights[wi];
+                                            if xv != 0.0 {
+                                                self.grad_w[wi] += g * xv;
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                            grad_in.row_mut(b)[in_i] = gi;
+                        }
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f64], &mut [f64])) {
+        f(&mut self.weights, &mut self.grad_w);
+        f(&mut self.bias, &mut self.grad_b);
+    }
+
+    fn param_count(&self) -> usize {
+        self.weights.len() + self.bias.len()
+    }
+
+    fn macs(&self, batch: usize) -> u64 {
+        // Dense upper bound: every output voxel visits the full kernel.
+        (batch
+            * self.cout
+            * self.out_dims.volume()
+            * self.cin
+            * self.kernel
+            * self.kernel
+            * self.kernel) as u64
+    }
+
+    fn name(&self) -> &'static str {
+        "Conv3d"
+    }
+}
+
+/// Transposed 3-D convolution (deconvolution) for decoder upsampling.
+#[derive(Debug, Clone)]
+pub struct Deconv3d {
+    cin: usize,
+    cout: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    in_dims: Dims3,
+    out_dims: Dims3,
+    /// Weights `[cin, cout, k, k, k]` flattened.
+    weights: Vec<f64>,
+    bias: Vec<f64>,
+    grad_w: Vec<f64>,
+    grad_b: Vec<f64>,
+    cached_input: Option<Tensor>,
+}
+
+impl Deconv3d {
+    /// Transposed convolution with cubic kernel, stride and padding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration produces an empty output volume.
+    pub fn new(
+        cin: usize,
+        cout: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        in_dims: Dims3,
+        init: &mut Initializer,
+    ) -> Self {
+        assert!(kernel > 0 && stride > 0, "kernel and stride must be positive");
+        let out_dims = Dims3::new(
+            deconv_out(in_dims.d, kernel, stride, pad),
+            deconv_out(in_dims.h, kernel, stride, pad),
+            deconv_out(in_dims.w, kernel, stride, pad),
+        );
+        assert!(out_dims.volume() > 0, "deconv output is empty");
+        let fan_in = cin * kernel * kernel * kernel;
+        let wcount = cin * cout * kernel * kernel * kernel;
+        Deconv3d {
+            cin,
+            cout,
+            kernel,
+            stride,
+            pad,
+            in_dims,
+            out_dims,
+            weights: init.he(fan_in, wcount),
+            bias: vec![0.0; cout],
+            grad_w: vec![0.0; wcount],
+            grad_b: vec![0.0; cout],
+            cached_input: None,
+        }
+    }
+
+    /// Output spatial dimensions.
+    pub fn out_dims(&self) -> Dims3 {
+        self.out_dims
+    }
+
+    #[inline]
+    fn widx(&self, ci: usize, co: usize, kd: usize, kh: usize, kw: usize) -> usize {
+        (((ci * self.cout + co) * self.kernel + kd) * self.kernel + kh) * self.kernel + kw
+    }
+
+    #[inline]
+    fn in_idx(&self, c: usize, z: usize, y: usize, x: usize) -> usize {
+        ((c * self.in_dims.d + z) * self.in_dims.h + y) * self.in_dims.w + x
+    }
+
+    #[inline]
+    fn out_idx(&self, c: usize, z: usize, y: usize, x: usize) -> usize {
+        ((c * self.out_dims.d + z) * self.out_dims.h + y) * self.out_dims.w + x
+    }
+
+    /// Iterate contributions of input voxel (z,y,x) to output voxels.
+    #[inline]
+    fn scatter_targets(
+        &self,
+        z: usize,
+        y: usize,
+        x: usize,
+    ) -> impl Iterator<Item = (usize, usize, usize, usize, usize, usize)> + '_ {
+        // Output position = in*stride - pad + k_offset.
+        let k = self.kernel;
+        let (s, p) = (self.stride, self.pad);
+        let out = self.out_dims;
+        (0..k).flat_map(move |kd| {
+            (0..k).flat_map(move |kh| {
+                (0..k).filter_map(move |kw| {
+                    let oz = z * s + kd;
+                    let oy = y * s + kh;
+                    let ox = x * s + kw;
+                    if oz < p || oy < p || ox < p {
+                        return None;
+                    }
+                    let (oz, oy, ox) = (oz - p, oy - p, ox - p);
+                    if oz >= out.d || oy >= out.h || ox >= out.w {
+                        return None;
+                    }
+                    Some((kd, kh, kw, oz, oy, ox))
+                })
+            })
+        })
+    }
+}
+
+impl Layer for Deconv3d {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let batch = input.shape()[0];
+        assert_eq!(
+            input.shape()[1],
+            self.cin * self.in_dims.volume(),
+            "Deconv3d: input feature mismatch"
+        );
+        let mut out = Tensor::zeros(vec![batch, self.cout * self.out_dims.volume()]);
+        for b in 0..batch {
+            let xrow = input.row(b);
+            let orow = out.row_mut(b);
+            for co in 0..self.cout {
+                let base = co * self.out_dims.volume();
+                for v in &mut orow[base..base + self.out_dims.volume()] {
+                    *v = self.bias[co];
+                }
+            }
+            for ci in 0..self.cin {
+                for z in 0..self.in_dims.d {
+                    for y in 0..self.in_dims.h {
+                        for x in 0..self.in_dims.w {
+                            let xv = xrow[self.in_idx(ci, z, y, x)];
+                            if xv == 0.0 {
+                                continue;
+                            }
+                            for (kd, kh, kw, oz, oy, ox) in self.scatter_targets(z, y, x) {
+                                for co in 0..self.cout {
+                                    orow[self.out_idx(co, oz, oy, ox)] +=
+                                        xv * self.weights[self.widx(ci, co, kd, kh, kw)];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("Deconv3d::backward before forward");
+        let batch = input.shape()[0];
+        let mut grad_in = Tensor::zeros(vec![batch, self.cin * self.in_dims.volume()]);
+        for b in 0..batch {
+            let xrow = input.row(b);
+            let grow = grad_out.row(b);
+            for co in 0..self.cout {
+                let base = co * self.out_dims.volume();
+                self.grad_b[co] += grow[base..base + self.out_dims.volume()].iter().sum::<f64>();
+            }
+            for ci in 0..self.cin {
+                for z in 0..self.in_dims.d {
+                    for y in 0..self.in_dims.h {
+                        for x in 0..self.in_dims.w {
+                            let in_i = self.in_idx(ci, z, y, x);
+                            let xv = xrow[in_i];
+                            let mut gi = 0.0;
+                            let targets: Vec<_> = self.scatter_targets(z, y, x).collect();
+                            for (kd, kh, kw, oz, oy, ox) in targets {
+                                for co in 0..self.cout {
+                                    let g = grow[self.out_idx(co, oz, oy, ox)];
+                                    let wi = self.widx(ci, co, kd, kh, kw);
+                                    gi += g * self.weights[wi];
+                                    if xv != 0.0 {
+                                        self.grad_w[wi] += g * xv;
+                                    }
+                                }
+                            }
+                            grad_in.row_mut(b)[in_i] = gi;
+                        }
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f64], &mut [f64])) {
+        f(&mut self.weights, &mut self.grad_w);
+        f(&mut self.bias, &mut self.grad_b);
+    }
+
+    fn param_count(&self) -> usize {
+        self.weights.len() + self.bias.len()
+    }
+
+    fn macs(&self, batch: usize) -> u64 {
+        (batch
+            * self.cin
+            * self.in_dims.volume()
+            * self.cout
+            * self.kernel
+            * self.kernel
+            * self.kernel) as u64
+    }
+
+    fn name(&self) -> &'static str {
+        "Deconv3d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_output_dims() {
+        let mut init = Initializer::new(0);
+        let c = Conv3d::new(1, 4, 3, 2, 1, Dims3::new(8, 8, 8), &mut init);
+        assert_eq!(c.out_dims(), Dims3::new(4, 4, 4));
+        let c2 = Conv3d::new(1, 2, 3, 1, 1, Dims3::new(5, 5, 5), &mut init);
+        assert_eq!(c2.out_dims(), Dims3::new(5, 5, 5));
+    }
+
+    #[test]
+    fn deconv_inverts_conv_dims() {
+        let mut init = Initializer::new(0);
+        let c = Conv3d::new(1, 4, 4, 2, 1, Dims3::new(8, 8, 8), &mut init);
+        let d = Deconv3d::new(4, 1, 4, 2, 1, c.out_dims(), &mut init);
+        assert_eq!(d.out_dims(), Dims3::new(8, 8, 8));
+    }
+
+    #[test]
+    fn conv_identity_kernel_passthrough() {
+        let mut init = Initializer::new(0);
+        let mut c = Conv3d::new(1, 1, 1, 1, 0, Dims3::new(3, 3, 3), &mut init);
+        // 1x1x1 kernel with weight 1, bias 0 is the identity.
+        c.weights = vec![1.0];
+        c.bias = vec![0.0];
+        let x = Tensor::from_vec(vec![1, 27], (0..27).map(|i| i as f64).collect());
+        let y = c.forward(&x, false);
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn conv_counts_kernel_sum() {
+        let mut init = Initializer::new(0);
+        let mut c = Conv3d::new(1, 1, 3, 1, 0, Dims3::new(3, 3, 3), &mut init);
+        c.weights = vec![1.0; 27];
+        c.bias = vec![0.0];
+        let x = Tensor::full(vec![1, 27], 1.0);
+        let y = c.forward(&x, false);
+        // Single valid position sums all 27 ones.
+        assert_eq!(y.len(), 1);
+        assert_eq!(y[0], 27.0);
+    }
+
+    #[test]
+    fn conv_gradient_check() {
+        let mut init = Initializer::new(5);
+        let mut c = Conv3d::new(1, 2, 2, 1, 0, Dims3::new(3, 3, 3), &mut init);
+        let mut x = Tensor::zeros(vec![1, 27]);
+        for i in 0..27 {
+            x[i] = (i as f64 * 0.37).sin() * 0.5 + 0.1;
+        }
+        let out = c.forward(&x, false);
+        let grad_in = c.backward(&out);
+        let eps = 1e-5;
+        for i in (0..27).step_by(5) {
+            let mut p = x.clone();
+            p[i] += eps;
+            let mut m = x.clone();
+            m[i] -= eps;
+            let lp: f64 = c.forward(&p, false).as_slice().iter().map(|v| v * v / 2.0).sum();
+            let lm: f64 = c.forward(&m, false).as_slice().iter().map(|v| v * v / 2.0).sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - grad_in[i]).abs() < 1e-5,
+                "conv grad {i}: numeric {numeric} vs {}",
+                grad_in[i]
+            );
+        }
+    }
+
+    #[test]
+    fn conv_weight_gradient_check() {
+        let mut init = Initializer::new(6);
+        let mut c = Conv3d::new(1, 1, 2, 1, 0, Dims3::new(3, 3, 3), &mut init);
+        let mut x = Tensor::zeros(vec![1, 27]);
+        for i in 0..27 {
+            x[i] = ((i * 7 % 13) as f64 - 6.0) / 6.0;
+        }
+        let out = c.forward(&x, false);
+        c.zero_grad();
+        let _ = c.forward(&x, false);
+        let _ = c.backward(&out);
+        let mut grads = vec![];
+        c.visit_params(&mut |_, g| grads.push(g.to_vec()));
+        let eps = 1e-6;
+        let wi = 3;
+        c.weights[wi] += eps;
+        let lp: f64 = c.forward(&x, false).as_slice().iter().map(|v| v * v / 2.0).sum();
+        c.weights[wi] -= 2.0 * eps;
+        let lm: f64 = c.forward(&x, false).as_slice().iter().map(|v| v * v / 2.0).sum();
+        c.weights[wi] += eps;
+        let numeric = (lp - lm) / (2.0 * eps);
+        assert!(
+            (numeric - grads[0][wi]).abs() < 1e-5,
+            "weight grad: numeric {numeric} vs analytic {}",
+            grads[0][wi]
+        );
+    }
+
+    #[test]
+    fn deconv_gradient_check() {
+        let mut init = Initializer::new(8);
+        let mut d = Deconv3d::new(2, 1, 2, 2, 0, Dims3::new(2, 2, 2), &mut init);
+        assert_eq!(d.out_dims(), Dims3::new(4, 4, 4));
+        let mut x = Tensor::zeros(vec![1, 16]);
+        for i in 0..16 {
+            x[i] = (i as f64 * 0.7).cos() * 0.4;
+        }
+        let out = d.forward(&x, false);
+        let grad_in = d.backward(&out);
+        let eps = 1e-5;
+        for i in 0..16 {
+            let mut p = x.clone();
+            p[i] += eps;
+            let mut m = x.clone();
+            m[i] -= eps;
+            let lp: f64 = d.forward(&p, false).as_slice().iter().map(|v| v * v / 2.0).sum();
+            let lm: f64 = d.forward(&m, false).as_slice().iter().map(|v| v * v / 2.0).sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - grad_in[i]).abs() < 1e-5,
+                "deconv grad {i}: numeric {numeric} vs {}",
+                grad_in[i]
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_input_skips_work_but_matches_dense_result() {
+        // Zeros in the input must not change the linear result (bias-only).
+        let mut init = Initializer::new(9);
+        let mut c = Conv3d::new(1, 2, 3, 1, 1, Dims3::new(4, 4, 4), &mut init);
+        let zero = Tensor::zeros(vec![1, 64]);
+        let y = c.forward(&zero, false);
+        // Every output equals its channel bias.
+        for co in 0..2 {
+            for v in &y.as_slice()[co * 64..(co + 1) * 64] {
+                assert_eq!(*v, c.bias[co]);
+            }
+        }
+    }
+
+    #[test]
+    fn macs_and_params_positive() {
+        let mut init = Initializer::new(0);
+        let c = Conv3d::new(2, 4, 3, 2, 1, Dims3::new(8, 8, 8), &mut init);
+        assert_eq!(c.param_count(), 4 * 2 * 27 + 4);
+        assert!(c.macs(1) > 0);
+        let d = Deconv3d::new(4, 2, 4, 2, 1, Dims3::new(4, 4, 4), &mut init);
+        assert_eq!(d.param_count(), 4 * 2 * 64 + 2);
+        assert!(d.macs(1) > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel larger")]
+    fn conv_rejects_oversized_kernel() {
+        let mut init = Initializer::new(0);
+        let _ = Conv3d::new(1, 1, 5, 1, 0, Dims3::new(3, 3, 3), &mut init);
+    }
+}

@@ -1,0 +1,621 @@
+//! Core layer trait and the dense/activation/normalization layers.
+//!
+//! Layers cache whatever `forward` state `backward` needs; calling `backward`
+//! without a preceding `forward` is a programmer error and panics.
+
+use crate::init::Initializer;
+use crate::tensor::Tensor;
+
+/// A differentiable network layer with manual backprop.
+///
+/// The contract is: `forward` runs the layer on a `[batch, features…]` input
+/// and caches activations; `backward` consumes the gradient w.r.t. the output
+/// and returns the gradient w.r.t. the input, accumulating parameter
+/// gradients internally; optimizers traverse `(param, grad)` pairs through
+/// [`Layer::visit_params`].
+pub trait Layer {
+    /// Run the layer. `train` enables stochastic behaviour (dropout).
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
+
+    /// Backpropagate. Returns the gradient with respect to the input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward`.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Visit every `(parameter, gradient)` buffer pair in a fixed order.
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f64], &mut [f64]));
+
+    /// Zero all parameter gradients.
+    fn zero_grad(&mut self) {
+        self.visit_params(&mut |_, g| {
+            for x in g.iter_mut() {
+                *x = 0.0;
+            }
+        });
+    }
+
+    /// Number of trainable parameters.
+    fn param_count(&self) -> usize;
+
+    /// Multiply-accumulate operations for one forward pass at `batch` rows.
+    fn macs(&self, batch: usize) -> u64;
+
+    /// Human-readable layer name for summaries.
+    fn name(&self) -> &'static str;
+}
+
+/// Fully-connected affine layer `y = x W + b` with `W: [in, out]`.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    in_dim: usize,
+    out_dim: usize,
+    /// Weights, row-major `[in, out]`. Public for LoRA wrapping and tests.
+    pub weights: Vec<f64>,
+    /// Bias, `[out]`.
+    pub bias: Vec<f64>,
+    grad_w: Vec<f64>,
+    grad_b: Vec<f64>,
+    cached_input: Option<Tensor>,
+}
+
+impl Dense {
+    /// Xavier-initialized dense layer.
+    pub fn new(in_dim: usize, out_dim: usize, init: &mut Initializer) -> Self {
+        Dense {
+            in_dim,
+            out_dim,
+            weights: init.xavier(in_dim, out_dim),
+            bias: vec![0.0; out_dim],
+            grad_w: vec![0.0; in_dim * out_dim],
+            grad_b: vec![0.0; out_dim],
+            cached_input: None,
+        }
+    }
+
+    /// Input feature dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output feature dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Forward pass without caching (inference-only helper).
+    pub fn apply(&self, input: &Tensor) -> Tensor {
+        let batch = input.shape()[0];
+        assert_eq!(input.shape()[1], self.in_dim, "Dense: input dim mismatch");
+        let w = Tensor::from_vec(vec![self.in_dim, self.out_dim], self.weights.clone());
+        let mut out = input.matmul2d(&w);
+        for r in 0..batch {
+            let row = out.row_mut(r);
+            for (o, b) in row.iter_mut().zip(&self.bias) {
+                *o += b;
+            }
+        }
+        out
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let out = self.apply(input);
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("Dense::backward called before forward");
+        let batch = input.shape()[0];
+        assert_eq!(grad_out.shape(), &[batch, self.out_dim]);
+        // grad_w += xᵀ g ; grad_b += Σ g ; grad_x = g Wᵀ
+        for r in 0..batch {
+            let x = input.row(r);
+            let g = grad_out.row(r);
+            for (i, &xi) in x.iter().enumerate() {
+                if xi == 0.0 {
+                    continue;
+                }
+                let wrow = &mut self.grad_w[i * self.out_dim..(i + 1) * self.out_dim];
+                for (wg, &gj) in wrow.iter_mut().zip(g) {
+                    *wg += xi * gj;
+                }
+            }
+            for (bg, &gj) in self.grad_b.iter_mut().zip(g) {
+                *bg += gj;
+            }
+        }
+        let mut grad_in = Tensor::zeros(vec![batch, self.in_dim]);
+        for r in 0..batch {
+            let g = grad_out.row(r);
+            let gi = grad_in.row_mut(r);
+            for (i, gii) in gi.iter_mut().enumerate() {
+                let wrow = &self.weights[i * self.out_dim..(i + 1) * self.out_dim];
+                *gii = wrow.iter().zip(g).map(|(&w, &gj)| w * gj).sum();
+            }
+        }
+        grad_in
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f64], &mut [f64])) {
+        f(&mut self.weights, &mut self.grad_w);
+        f(&mut self.bias, &mut self.grad_b);
+    }
+
+    fn param_count(&self) -> usize {
+        self.weights.len() + self.bias.len()
+    }
+
+    fn macs(&self, batch: usize) -> u64 {
+        (batch * self.in_dim * self.out_dim) as u64
+    }
+
+    fn name(&self) -> &'static str {
+        "Dense"
+    }
+}
+
+/// Kinds of pointwise activation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActKind {
+    /// Rectified linear unit.
+    Relu,
+    /// Leaky ReLU with slope 0.01.
+    LeakyRelu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+}
+
+impl ActKind {
+    fn apply(self, x: f64) -> f64 {
+        match self {
+            ActKind::Relu => x.max(0.0),
+            ActKind::LeakyRelu => {
+                if x > 0.0 {
+                    x
+                } else {
+                    0.01 * x
+                }
+            }
+            ActKind::Tanh => x.tanh(),
+            ActKind::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+        }
+    }
+
+    /// Derivative expressed in terms of the *output* value `y = f(x)` for
+    /// tanh/sigmoid and the input sign for (leaky-)ReLU.
+    fn derivative(self, x: f64, y: f64) -> f64 {
+        match self {
+            ActKind::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            ActKind::LeakyRelu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.01
+                }
+            }
+            ActKind::Tanh => 1.0 - y * y,
+            ActKind::Sigmoid => y * (1.0 - y),
+        }
+    }
+}
+
+/// Pointwise activation layer.
+#[derive(Debug, Clone)]
+pub struct Activation {
+    kind: ActKind,
+    cached_in: Option<Tensor>,
+    cached_out: Option<Tensor>,
+}
+
+impl Activation {
+    /// Activation of the given kind.
+    pub fn new(kind: ActKind) -> Self {
+        Activation {
+            kind,
+            cached_in: None,
+            cached_out: None,
+        }
+    }
+}
+
+impl Layer for Activation {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let out = input.map(|x| self.kind.apply(x));
+        self.cached_in = Some(input.clone());
+        self.cached_out = Some(out.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self
+            .cached_in
+            .as_ref()
+            .expect("Activation::backward before forward");
+        let y = self.cached_out.as_ref().unwrap();
+        assert_eq!(grad_out.shape(), x.shape());
+        let mut grad = grad_out.clone();
+        for i in 0..grad.len() {
+            grad[i] *= self.kind.derivative(x[i], y[i]);
+        }
+        grad
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut [f64], &mut [f64])) {}
+
+    fn param_count(&self) -> usize {
+        0
+    }
+
+    fn macs(&self, _batch: usize) -> u64 {
+        0
+    }
+
+    fn name(&self) -> &'static str {
+        match self.kind {
+            ActKind::Relu => "ReLU",
+            ActKind::LeakyRelu => "LeakyReLU",
+            ActKind::Tanh => "Tanh",
+            ActKind::Sigmoid => "Sigmoid",
+        }
+    }
+}
+
+/// Inverted dropout: scales kept activations by `1/(1-p)` during training,
+/// identity at inference.
+#[derive(Debug)]
+pub struct Dropout {
+    p: f64,
+    rng: Initializer,
+    mask: Option<Vec<f64>>,
+}
+
+impl Dropout {
+    /// Dropout with drop probability `p` and a dedicated noise stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p < 1.0`.
+    pub fn new(p: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0,1)");
+        Dropout {
+            p,
+            rng: Initializer::new(seed),
+            mask: None,
+        }
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if !train || self.p == 0.0 {
+            self.mask = None;
+            return input.clone();
+        }
+        let keep = 1.0 - self.p;
+        let mask: Vec<f64> = (0..input.len())
+            .map(|_| if self.rng.bernoulli(keep) { 1.0 / keep } else { 0.0 })
+            .collect();
+        let mut out = input.clone();
+        for (o, m) in out.as_mut_slice().iter_mut().zip(&mask) {
+            *o *= m;
+        }
+        self.mask = Some(mask);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        match &self.mask {
+            None => grad_out.clone(),
+            Some(mask) => {
+                let mut g = grad_out.clone();
+                for (gi, m) in g.as_mut_slice().iter_mut().zip(mask) {
+                    *gi *= m;
+                }
+                g
+            }
+        }
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut [f64], &mut [f64])) {}
+
+    fn param_count(&self) -> usize {
+        0
+    }
+
+    fn macs(&self, _batch: usize) -> u64 {
+        0
+    }
+
+    fn name(&self) -> &'static str {
+        "Dropout"
+    }
+}
+
+/// Per-row layer normalization with learnable gain and bias.
+#[derive(Debug, Clone)]
+pub struct LayerNorm {
+    dim: usize,
+    gain: Vec<f64>,
+    bias: Vec<f64>,
+    grad_gain: Vec<f64>,
+    grad_bias: Vec<f64>,
+    cached: Option<(Tensor, Vec<f64>, Vec<f64>)>, // normalized input, means, inv_stds
+}
+
+impl LayerNorm {
+    /// Layer norm over the last (feature) axis of a `[batch, dim]` input.
+    pub fn new(dim: usize) -> Self {
+        LayerNorm {
+            dim,
+            gain: vec![1.0; dim],
+            bias: vec![0.0; dim],
+            grad_gain: vec![0.0; dim],
+            grad_bias: vec![0.0; dim],
+            cached: None,
+        }
+    }
+}
+
+impl Layer for LayerNorm {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let batch = input.shape()[0];
+        assert_eq!(input.shape()[1], self.dim, "LayerNorm: dim mismatch");
+        let mut normalized = Tensor::zeros(vec![batch, self.dim]);
+        let mut means = Vec::with_capacity(batch);
+        let mut inv_stds = Vec::with_capacity(batch);
+        let mut out = Tensor::zeros(vec![batch, self.dim]);
+        for r in 0..batch {
+            let x = input.row(r);
+            let mean = x.iter().sum::<f64>() / self.dim as f64;
+            let var = x.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / self.dim as f64;
+            let inv_std = 1.0 / (var + 1e-8).sqrt();
+            for (c, &xv) in x.iter().enumerate() {
+                let n = (xv - mean) * inv_std;
+                normalized.row_mut(r)[c] = n;
+                out.row_mut(r)[c] = self.gain[c] * n + self.bias[c];
+            }
+            means.push(mean);
+            inv_stds.push(inv_std);
+        }
+        self.cached = Some((normalized, means, inv_stds));
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (normalized, _means, inv_stds) = self
+            .cached
+            .as_ref()
+            .expect("LayerNorm::backward before forward");
+        let batch = grad_out.shape()[0];
+        let d = self.dim as f64;
+        let mut grad_in = Tensor::zeros(vec![batch, self.dim]);
+        for r in 0..batch {
+            let g = grad_out.row(r);
+            let n = normalized.row(r);
+            // Param grads.
+            for c in 0..self.dim {
+                self.grad_gain[c] += g[c] * n[c];
+                self.grad_bias[c] += g[c];
+            }
+            // dL/dn.
+            let gn: Vec<f64> = (0..self.dim).map(|c| g[c] * self.gain[c]).collect();
+            let sum_gn: f64 = gn.iter().sum();
+            let sum_gn_n: f64 = gn.iter().zip(n).map(|(a, b)| a * b).sum();
+            let inv_std = inv_stds[r];
+            for c in 0..self.dim {
+                grad_in.row_mut(r)[c] =
+                    inv_std * (gn[c] - sum_gn / d - n[c] * sum_gn_n / d);
+            }
+        }
+        grad_in
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f64], &mut [f64])) {
+        f(&mut self.gain, &mut self.grad_gain);
+        f(&mut self.bias, &mut self.grad_bias);
+    }
+
+    fn param_count(&self) -> usize {
+        2 * self.dim
+    }
+
+    fn macs(&self, batch: usize) -> u64 {
+        (batch * self.dim * 2) as u64
+    }
+
+    fn name(&self) -> &'static str {
+        "LayerNorm"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Central-difference gradient check of a layer through a scalar loss
+    /// `L = Σ out²/2`, for which `dL/dout = out`.
+    fn grad_check(layer: &mut dyn Layer, input: &Tensor, tol: f64) {
+        let out = layer.forward(input, false);
+        let grad_in = layer.backward(&out);
+        let eps = 1e-5;
+        for i in 0..input.len() {
+            let mut plus = input.clone();
+            plus[i] += eps;
+            let mut minus = input.clone();
+            minus[i] -= eps;
+            let lp: f64 = layer
+                .forward(&plus, false)
+                .as_slice()
+                .iter()
+                .map(|x| x * x / 2.0)
+                .sum();
+            let lm: f64 = layer
+                .forward(&minus, false)
+                .as_slice()
+                .iter()
+                .map(|x| x * x / 2.0)
+                .sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - grad_in[i]).abs() < tol,
+                "input grad {i}: numeric {numeric} vs analytic {}",
+                grad_in[i]
+            );
+        }
+    }
+
+    #[test]
+    fn dense_forward_known_values() {
+        let mut init = Initializer::new(0);
+        let mut d = Dense::new(2, 1, &mut init);
+        d.weights = vec![2.0, 3.0];
+        d.bias = vec![1.0];
+        let x = Tensor::from_vec(vec![1, 2], vec![4.0, 5.0]);
+        let y = d.forward(&x, false);
+        assert_eq!(y.as_slice(), &[2.0 * 4.0 + 3.0 * 5.0 + 1.0]);
+    }
+
+    #[test]
+    fn dense_gradient_check() {
+        let mut init = Initializer::new(1);
+        let mut d = Dense::new(3, 2, &mut init);
+        let x = Tensor::from_vec(vec![2, 3], vec![0.5, -0.2, 0.1, 1.0, 0.3, -0.7]);
+        grad_check(&mut d, &x, 1e-6);
+    }
+
+    #[test]
+    fn dense_weight_gradient_check() {
+        let mut init = Initializer::new(2);
+        let mut d = Dense::new(2, 2, &mut init);
+        let x = Tensor::from_vec(vec![1, 2], vec![0.7, -0.4]);
+        let out = d.forward(&x, true);
+        d.zero_grad();
+        let _ = d.forward(&x, true);
+        let _ = d.backward(&out);
+        // Numeric check on one weight.
+        let eps = 1e-6;
+        let mut analytic = vec![];
+        d.visit_params(&mut |_, g| analytic.push(g.to_vec()));
+        let wi = 1;
+        d.weights[wi] += eps;
+        let lp: f64 = d.apply(&x).as_slice().iter().map(|v| v * v / 2.0).sum();
+        d.weights[wi] -= 2.0 * eps;
+        let lm: f64 = d.apply(&x).as_slice().iter().map(|v| v * v / 2.0).sum();
+        d.weights[wi] += eps;
+        let numeric = (lp - lm) / (2.0 * eps);
+        assert!(
+            (numeric - analytic[0][wi]).abs() < 1e-6,
+            "numeric {numeric} vs analytic {}",
+            analytic[0][wi]
+        );
+    }
+
+    #[test]
+    fn activation_gradients() {
+        for kind in [ActKind::Relu, ActKind::LeakyRelu, ActKind::Tanh, ActKind::Sigmoid] {
+            let mut a = Activation::new(kind);
+            let x = Tensor::from_vec(vec![1, 4], vec![0.5, -0.3, 1.2, -0.9]);
+            grad_check(&mut a, &x, 1e-5);
+        }
+    }
+
+    #[test]
+    fn relu_clamps_negative() {
+        let mut a = Activation::new(ActKind::Relu);
+        let y = a.forward(&Tensor::from_slice(&[-1.0, 2.0]).reshape(vec![1, 2]), false);
+        assert_eq!(y.as_slice(), &[0.0, 2.0]);
+    }
+
+    #[test]
+    fn sigmoid_range() {
+        let mut a = Activation::new(ActKind::Sigmoid);
+        let y = a.forward(&Tensor::from_vec(vec![1, 3], vec![-50.0, 0.0, 50.0]), false);
+        assert!(y[0] < 1e-10);
+        assert!((y[1] - 0.5).abs() < 1e-12);
+        assert!(y[2] > 1.0 - 1e-10);
+    }
+
+    #[test]
+    fn dropout_inference_is_identity() {
+        let mut d = Dropout::new(0.5, 7);
+        let x = Tensor::from_vec(vec![1, 8], vec![1.0; 8]);
+        let y = d.forward(&x, false);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn dropout_training_preserves_expectation() {
+        let mut d = Dropout::new(0.5, 7);
+        let x = Tensor::from_vec(vec![1, 10_000], vec![1.0; 10_000]);
+        let y = d.forward(&x, true);
+        let mean = y.mean();
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+        // Dropped units are exactly zero; kept are scaled.
+        assert!(y.as_slice().iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn dropout_backward_uses_same_mask() {
+        let mut d = Dropout::new(0.5, 9);
+        let x = Tensor::from_vec(vec![1, 16], vec![1.0; 16]);
+        let y = d.forward(&x, true);
+        let g = d.backward(&Tensor::full(vec![1, 16], 1.0));
+        for i in 0..16 {
+            assert_eq!(y[i] == 0.0, g[i] == 0.0);
+        }
+    }
+
+    #[test]
+    fn layernorm_output_standardized() {
+        let mut ln = LayerNorm::new(4);
+        let x = Tensor::from_vec(vec![1, 4], vec![1.0, 2.0, 3.0, 4.0]);
+        let y = ln.forward(&x, false);
+        let mean = y.mean();
+        let var = y.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / 4.0;
+        assert!(mean.abs() < 1e-10);
+        assert!((var - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn layernorm_gradient_check() {
+        let mut ln = LayerNorm::new(3);
+        // Non-unit gain to exercise the parameter path.
+        ln.gain = vec![1.5, 0.5, 2.0];
+        ln.bias = vec![0.1, -0.2, 0.0];
+        let x = Tensor::from_vec(vec![2, 3], vec![0.4, -0.8, 1.3, 2.0, 0.1, -0.5]);
+        grad_check(&mut ln, &x, 1e-4);
+    }
+
+    #[test]
+    fn param_counts_and_macs() {
+        let mut init = Initializer::new(0);
+        let d = Dense::new(10, 20, &mut init);
+        assert_eq!(d.param_count(), 10 * 20 + 20);
+        assert_eq!(d.macs(4), 4 * 10 * 20);
+        assert_eq!(Activation::new(ActKind::Relu).param_count(), 0);
+        assert_eq!(LayerNorm::new(8).param_count(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "before forward")]
+    fn backward_before_forward_panics() {
+        let mut init = Initializer::new(0);
+        let mut d = Dense::new(2, 2, &mut init);
+        let _ = d.backward(&Tensor::zeros(vec![1, 2]));
+    }
+}

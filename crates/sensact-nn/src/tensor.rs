@@ -1,0 +1,372 @@
+//! A minimal n-dimensional tensor over `f64`.
+//!
+//! The first axis is conventionally the batch axis. Shapes are checked at
+//! runtime with panics (these are programmer errors, not recoverable
+//! conditions — consistent with how the rest of the workspace treats shape
+//! bugs).
+
+/// Dense row-major n-dimensional array of `f64`.
+///
+/// ```
+/// use sensact_nn::Tensor;
+/// let t = Tensor::zeros(vec![2, 3]);
+/// assert_eq!(t.shape(), &[2, 3]);
+/// assert_eq!(t.len(), 6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f64>,
+}
+
+impl Tensor {
+    /// A tensor of zeros with the given shape.
+    pub fn zeros(shape: Vec<usize>) -> Self {
+        let n = shape.iter().product();
+        Tensor {
+            shape,
+            data: vec![0.0; n],
+        }
+    }
+
+    /// A tensor filled with a constant.
+    pub fn full(shape: Vec<usize>, value: f64) -> Self {
+        let n = shape.iter().product();
+        Tensor {
+            shape,
+            data: vec![value; n],
+        }
+    }
+
+    /// Build from a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer length does not match the shape product.
+    pub fn from_vec(shape: Vec<usize>, data: Vec<f64>) -> Self {
+        let n: usize = shape.iter().product();
+        assert_eq!(
+            data.len(),
+            n,
+            "Tensor::from_vec: buffer length {} does not match shape {:?}",
+            data.len(),
+            shape
+        );
+        Tensor { shape, data }
+    }
+
+    /// A 1-D tensor from a slice.
+    pub fn from_slice(data: &[f64]) -> Self {
+        Tensor {
+            shape: vec![data.len()],
+            data: data.to_vec(),
+        }
+    }
+
+    /// Shape of the tensor.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Number of axes.
+    pub fn ndim(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Flat view of the backing buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable flat view of the backing buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consume into the backing buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Reinterpret with a new shape of the same element count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the products differ.
+    pub fn reshape(mut self, shape: Vec<usize>) -> Self {
+        let n: usize = shape.iter().product();
+        assert_eq!(n, self.data.len(), "reshape: element count mismatch");
+        self.shape = shape;
+        self
+    }
+
+    /// Rows of a 2-D tensor: `(batch, features)` view of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D or `r` is out of range.
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert_eq!(self.ndim(), 2, "row: tensor is not 2-D");
+        let cols = self.shape[1];
+        assert!(r < self.shape[0], "row {r} out of bounds");
+        &self.data[r * cols..(r + 1) * cols]
+    }
+
+    /// Mutable row of a 2-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`Tensor::row`].
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        assert_eq!(self.ndim(), 2, "row_mut: tensor is not 2-D");
+        let cols = self.shape[1];
+        assert!(r < self.shape[0], "row {r} out of bounds");
+        &mut self.data[r * cols..(r + 1) * cols]
+    }
+
+    /// Element-wise map into a new tensor.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Element-wise combination of two same-shape tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f64, f64) -> f64) -> Tensor {
+        assert_eq!(self.shape, other.shape, "zip: shape mismatch");
+        Tensor {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// Element-wise sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a + b)
+    }
+
+    /// Element-wise difference.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a - b)
+    }
+
+    /// Scaled copy.
+    pub fn scaled(&self, alpha: f64) -> Tensor {
+        self.map(|x| alpha * x)
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements; `0.0` if empty.
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f64
+        }
+    }
+
+    /// Maximum absolute element; `0.0` if empty.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0, |m, x| m.max(x.abs()))
+    }
+
+    /// 2-D matrix multiply: `[B, K] x [K, N] -> [B, N]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both tensors are 2-D with compatible inner dimensions.
+    pub fn matmul2d(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.ndim(), 2, "matmul2d: lhs not 2-D");
+        assert_eq!(other.ndim(), 2, "matmul2d: rhs not 2-D");
+        let (b, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul2d: inner dimension mismatch {k} vs {k2}");
+        let mut out = Tensor::zeros(vec![b, n]);
+        for i in 0..b {
+            let arow = &self.data[i * k..(i + 1) * k];
+            let orow = &mut out.data[i * n..(i + 1) * n];
+            for (kk, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let brow = &other.data[kk * n..(kk + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += a * bv;
+                }
+            }
+        }
+        out
+    }
+
+    /// 2-D transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the tensor is 2-D.
+    pub fn transpose2d(&self) -> Tensor {
+        assert_eq!(self.ndim(), 2, "transpose2d: tensor is not 2-D");
+        let (r, c) = (self.shape[0], self.shape[1]);
+        let mut out = Tensor::zeros(vec![c, r]);
+        for i in 0..r {
+            for j in 0..c {
+                out.data[j * r + i] = self.data[i * c + j];
+            }
+        }
+        out
+    }
+
+    /// Stack equal-length 1-D rows into a 2-D `[rows, cols]` tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on ragged or empty input.
+    pub fn stack_rows(rows: &[Vec<f64>]) -> Tensor {
+        assert!(!rows.is_empty(), "stack_rows: no rows");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "stack_rows: ragged rows");
+            data.extend_from_slice(r);
+        }
+        Tensor::from_vec(vec![rows.len(), cols], data)
+    }
+}
+
+impl std::ops::Index<usize> for Tensor {
+    type Output = f64;
+    fn index(&self, i: usize) -> &f64 {
+        &self.data[i]
+    }
+}
+
+impl std::ops::IndexMut<usize> for Tensor {
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        &mut self.data[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn construction_and_views() {
+        let t = Tensor::from_vec(vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(t.shape(), &[2, 3]);
+        assert_eq!(t.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(t.sum(), 21.0);
+        assert_eq!(t.mean(), 3.5);
+        assert_eq!(t.max_abs(), 6.0);
+    }
+
+    #[test]
+    fn full_and_from_slice() {
+        assert_eq!(Tensor::full(vec![3], 2.5).as_slice(), &[2.5, 2.5, 2.5]);
+        let t = Tensor::from_slice(&[1.0, 2.0]);
+        assert_eq!(t.shape(), &[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn from_vec_rejects_bad_shape() {
+        let _ = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let r = t.clone().reshape(vec![3, 2]);
+        assert_eq!(r.shape(), &[3, 2]);
+        assert_eq!(r.as_slice(), t.as_slice());
+    }
+
+    #[test]
+    fn matmul2d_known() {
+        let a = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Tensor::from_vec(vec![2, 2], vec![5.0, 6.0, 7.0, 8.0]);
+        let c = a.matmul2d(&b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn transpose2d_roundtrip() {
+        let t = Tensor::from_vec(vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(t.transpose2d().transpose2d(), t);
+        assert_eq!(t.transpose2d().row(0), &[1.0, 4.0]);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_slice(&[1.0, 2.0]);
+        let b = Tensor::from_slice(&[3.0, 5.0]);
+        assert_eq!(a.add(&b).as_slice(), &[4.0, 7.0]);
+        assert_eq!(b.sub(&a).as_slice(), &[2.0, 3.0]);
+        assert_eq!(a.scaled(2.0).as_slice(), &[2.0, 4.0]);
+        assert_eq!(a.map(|x| x * x).as_slice(), &[1.0, 4.0]);
+    }
+
+    #[test]
+    fn stack_rows_builds_matrix() {
+        let t = Tensor::stack_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(t.shape(), &[2, 2]);
+        assert_eq!(t.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn row_mut_edits_in_place() {
+        let mut t = Tensor::zeros(vec![2, 2]);
+        t.row_mut(0)[1] = 9.0;
+        assert_eq!(t.as_slice(), &[0.0, 9.0, 0.0, 0.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matmul_identity(data in proptest::collection::vec(-10.0f64..10.0, 12)) {
+            let a = Tensor::from_vec(vec![4, 3], data);
+            let mut eye = Tensor::zeros(vec![3, 3]);
+            for i in 0..3 { eye[i * 3 + i] = 1.0; }
+            let p = a.matmul2d(&eye);
+            prop_assert_eq!(p, a);
+        }
+
+        #[test]
+        fn prop_transpose_swaps_shape(r in 1usize..6, c in 1usize..6) {
+            let t = Tensor::zeros(vec![r, c]);
+            let tt = t.transpose2d();
+            prop_assert_eq!(tt.shape(), &[c, r][..]);
+        }
+    }
+}

@@ -1,0 +1,411 @@
+//! Variational autoencoder with a Gaussian latent and unit-variance Gaussian
+//! decoder — the distribution model at the heart of STARNet (paper §V).
+//!
+//! The ELBO here is `-½‖x − x̂‖² − β·KL(q(z|x) ‖ N(0, I))` per sample (up to
+//! an additive constant); STARNet's likelihood-regret score compares the ELBO
+//! under the trained parameters against the ELBO after a per-sample
+//! adaptation.
+
+use crate::init::Initializer;
+use crate::layers::{ActKind, Activation, Dense, Layer};
+use crate::optim::Optimizer;
+use crate::sequential::Sequential;
+use crate::tensor::Tensor;
+
+/// Loss breakdown of one VAE training step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VaeLoss {
+    /// Total objective (reconstruction + β·KL), averaged over the batch.
+    pub total: f64,
+    /// Reconstruction term (½ squared error summed over features, batch mean).
+    pub recon: f64,
+    /// KL divergence term (batch mean).
+    pub kl: f64,
+}
+
+/// A dense VAE: `input → hidden → (μ, log σ²) → z → hidden → reconstruction`.
+pub struct Vae {
+    encoder: Sequential,
+    mu_head: Dense,
+    logvar_head: Dense,
+    decoder: Sequential,
+    input_dim: usize,
+    latent_dim: usize,
+    noise: Initializer,
+}
+
+impl Vae {
+    /// Build a VAE with one hidden layer on each side.
+    pub fn new(input_dim: usize, hidden_dim: usize, latent_dim: usize, seed: u64) -> Self {
+        let mut init = Initializer::new(seed);
+        let encoder = Sequential::new(vec![
+            Box::new(Dense::new(input_dim, hidden_dim, &mut init)),
+            Box::new(Activation::new(ActKind::Tanh)),
+        ]);
+        let mu_head = Dense::new(hidden_dim, latent_dim, &mut init);
+        let logvar_head = Dense::new(hidden_dim, latent_dim, &mut init);
+        let decoder = Sequential::new(vec![
+            Box::new(Dense::new(latent_dim, hidden_dim, &mut init)),
+            Box::new(Activation::new(ActKind::Tanh)),
+            Box::new(Dense::new(hidden_dim, input_dim, &mut init)),
+        ]);
+        Vae {
+            encoder,
+            mu_head,
+            logvar_head,
+            decoder,
+            input_dim,
+            latent_dim,
+            noise: init.fork(),
+        }
+    }
+
+    /// Input feature dimension.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Latent dimension.
+    pub fn latent_dim(&self) -> usize {
+        self.latent_dim
+    }
+
+    /// Encode a batch to `(μ, log σ²)`.
+    pub fn encode(&mut self, x: &Tensor) -> (Tensor, Tensor) {
+        let h = self.encoder.forward(x, false);
+        let mu = self.mu_head.forward(&h, false);
+        let logvar = self.logvar_head.forward(&h, false);
+        (mu, logvar.map(|v| v.clamp(-10.0, 10.0)))
+    }
+
+    /// Decode latents to reconstructions.
+    pub fn decode(&mut self, z: &Tensor) -> Tensor {
+        self.decoder.forward(z, false)
+    }
+
+    /// Mean reconstruction (deterministic μ path) of a batch.
+    pub fn reconstruct(&mut self, x: &Tensor) -> Tensor {
+        let (mu, _) = self.encode(x);
+        self.decode(&mu)
+    }
+
+    /// Per-sample ELBO values (higher = more typical), using a single
+    /// reparameterized latent sample per row.
+    pub fn elbo(&mut self, x: &Tensor) -> Vec<f64> {
+        let batch = x.shape()[0];
+        let (mu, logvar) = self.encode(x);
+        // Sample z.
+        let mut z = mu.clone();
+        for i in 0..z.len() {
+            z[i] += (0.5 * logvar[i]).exp() * self.noise.gaussian();
+        }
+        let xr = self.decode(&z);
+        let mut out = Vec::with_capacity(batch);
+        for r in 0..batch {
+            let mut recon = 0.0;
+            for (a, b) in x.row(r).iter().zip(xr.row(r)) {
+                recon += (a - b) * (a - b);
+            }
+            let mut kl = 0.0;
+            for c in 0..self.latent_dim {
+                let m = mu.row(r)[c];
+                let lv = logvar.row(r)[c];
+                kl += -0.5 * (1.0 + lv - m * m - lv.exp());
+            }
+            out.push(-0.5 * recon - kl);
+        }
+        out
+    }
+
+    /// Deterministic per-sample ELBO using the posterior mean (`z = μ`, no
+    /// reparameterization noise). Slightly biased but noise-free — the right
+    /// objective for per-sample optimization loops like likelihood regret.
+    pub fn elbo_deterministic(&mut self, x: &Tensor) -> Vec<f64> {
+        let batch = x.shape()[0];
+        let (mu, logvar) = self.encode(x);
+        let xr = self.decode(&mu);
+        let mut out = Vec::with_capacity(batch);
+        for r in 0..batch {
+            let mut recon = 0.0;
+            for (a, b) in x.row(r).iter().zip(xr.row(r)) {
+                recon += (a - b) * (a - b);
+            }
+            let mut kl = 0.0;
+            for c in 0..self.latent_dim {
+                let m = mu.row(r)[c];
+                let lv = logvar.row(r)[c];
+                kl += -0.5 * (1.0 + lv - m * m - lv.exp());
+            }
+            out.push(-0.5 * recon - kl);
+        }
+        out
+    }
+
+    /// One training step on a batch: computes the β-ELBO loss, backpropagates
+    /// through the reparameterization, and applies the optimizer.
+    pub fn train_step(&mut self, x: &Tensor, opt: &mut dyn Optimizer, beta: f64) -> VaeLoss {
+        let batch = x.shape()[0];
+        let bf = batch as f64;
+
+        // Forward with caching (train = true).
+        let h = self.encoder.forward(x, true);
+        let mu = self.mu_head.forward(&h, true);
+        let logvar_raw = self.logvar_head.forward(&h, true);
+        let logvar = logvar_raw.map(|v| v.clamp(-10.0, 10.0));
+        let eps: Vec<f64> = (0..mu.len()).map(|_| self.noise.gaussian()).collect();
+        let mut z = mu.clone();
+        for i in 0..z.len() {
+            z[i] += (0.5 * logvar[i]).exp() * eps[i];
+        }
+        let xr = self.decoder.forward(&z, true);
+
+        // Losses.
+        let mut recon = 0.0;
+        for i in 0..x.len() {
+            let d = xr[i] - x[i];
+            recon += 0.5 * d * d;
+        }
+        recon /= bf;
+        let mut kl = 0.0;
+        for i in 0..mu.len() {
+            kl += -0.5 * (1.0 + logvar[i] - mu[i] * mu[i] - logvar[i].exp());
+        }
+        kl /= bf;
+        let total = recon + beta * kl;
+
+        // Backward. dL/dxr = (xr - x)/B.
+        let grad_xr = xr.sub(x).scaled(1.0 / bf);
+        let grad_z = self.decoder.backward(&grad_xr);
+
+        // dL/dmu = g_z + β · μ / B ; dL/dlogvar = g_z·ε·½·σ + β·½(e^{lv} − 1)/B.
+        let mut grad_mu = grad_z.clone();
+        let mut grad_logvar = Tensor::zeros(vec![batch, self.latent_dim]);
+        for i in 0..grad_mu.len() {
+            grad_mu[i] += beta * mu[i] / bf;
+            let sigma = (0.5 * logvar[i]).exp();
+            grad_logvar[i] =
+                grad_z[i] * eps[i] * 0.5 * sigma + beta * 0.5 * (logvar[i].exp() - 1.0) / bf;
+        }
+
+        let gh_mu = self.mu_head.backward(&grad_mu);
+        let gh_lv = self.logvar_head.backward(&grad_logvar);
+        let gh = gh_mu.add(&gh_lv);
+        let _ = self.encoder.backward(&gh);
+
+        // Optimizer over all parts via a facade layer view.
+        struct All<'a>(&'a mut Vae);
+        impl Layer for All<'_> {
+            fn forward(&mut self, i: &Tensor, _t: bool) -> Tensor {
+                i.clone()
+            }
+            fn backward(&mut self, g: &Tensor) -> Tensor {
+                g.clone()
+            }
+            fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f64], &mut [f64])) {
+                self.0.visit_params(f);
+            }
+            fn param_count(&self) -> usize {
+                0
+            }
+            fn macs(&self, _b: usize) -> u64 {
+                0
+            }
+            fn name(&self) -> &'static str {
+                "VaeParams"
+            }
+        }
+        opt.step(&mut All(self));
+        self.zero_grad();
+
+        VaeLoss { total, recon, kl }
+    }
+
+    /// Visit every `(param, grad)` pair of the VAE (encoder, heads, decoder).
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f64], &mut [f64])) {
+        self.encoder.visit_params(f);
+        self.mu_head.visit_params(f);
+        self.logvar_head.visit_params(f);
+        self.decoder.visit_params(f);
+    }
+
+    /// Visit only the **encoder-side** parameters (encoder + heads) — the
+    /// subset STARNet perturbs when computing likelihood regret.
+    pub fn visit_encoder_params(&mut self, f: &mut dyn FnMut(&mut [f64], &mut [f64])) {
+        self.encoder.visit_params(f);
+        self.mu_head.visit_params(f);
+        self.logvar_head.visit_params(f);
+    }
+
+    /// Zero all gradients.
+    pub fn zero_grad(&mut self) {
+        self.encoder.zero_grad();
+        self.mu_head.zero_grad();
+        self.logvar_head.zero_grad();
+        self.decoder.zero_grad();
+    }
+
+    /// Total parameter count.
+    pub fn param_count(&self) -> usize {
+        self.encoder.param_count()
+            + self.mu_head.param_count()
+            + self.logvar_head.param_count()
+            + self.decoder.param_count()
+    }
+
+    /// Snapshot all parameters into a flat vector (for SPSA perturbation).
+    pub fn encoder_params_flat(&mut self) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.visit_encoder_params(&mut |p, _| out.extend_from_slice(p));
+        out
+    }
+
+    /// Restore encoder-side parameters from a flat vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat` has the wrong length.
+    pub fn set_encoder_params_flat(&mut self, flat: &[f64]) {
+        let mut offset = 0;
+        self.visit_encoder_params(&mut |p, _| {
+            assert!(
+                offset + p.len() <= flat.len(),
+                "flat parameter vector length mismatch"
+            );
+            p.copy_from_slice(&flat[offset..offset + p.len()]);
+            offset += p.len();
+        });
+        assert_eq!(offset, flat.len(), "flat parameter vector length mismatch");
+    }
+}
+
+impl std::fmt::Debug for Vae {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Vae")
+            .field("input_dim", &self.input_dim)
+            .field("latent_dim", &self.latent_dim)
+            .field("params", &(self.encoder.param_count() + self.decoder.param_count()))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::Adam;
+
+    fn toy_batch(seed: u64, n: usize, dim: usize) -> Tensor {
+        // Data on a 1-D manifold inside `dim` dims: x = t * direction + noise.
+        let mut rng = Initializer::new(seed);
+        let mut rows = Vec::with_capacity(n);
+        for _ in 0..n {
+            let t = rng.uniform(-1.0, 1.0);
+            let row: Vec<f64> = (0..dim)
+                .map(|d| t * (d as f64 + 1.0) / dim as f64 + rng.normal(0.0, 0.02))
+                .collect();
+            rows.push(row);
+        }
+        Tensor::stack_rows(&rows)
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut vae = Vae::new(6, 16, 2, 3);
+        let x = toy_batch(1, 64, 6);
+        let mut opt = Adam::new(0.01);
+        let first = vae.train_step(&x, &mut opt, 0.1);
+        let mut last = first;
+        for _ in 0..200 {
+            last = vae.train_step(&x, &mut opt, 0.1);
+        }
+        assert!(
+            last.total < first.total * 0.5,
+            "first {} last {}",
+            first.total,
+            last.total
+        );
+    }
+
+    #[test]
+    fn elbo_higher_for_in_distribution() {
+        let mut vae = Vae::new(6, 16, 2, 3);
+        let x = toy_batch(1, 64, 6);
+        let mut opt = Adam::new(0.01);
+        for _ in 0..300 {
+            let _ = vae.train_step(&x, &mut opt, 0.1);
+        }
+        let in_dist = toy_batch(77, 32, 6);
+        // Out-of-distribution: large-amplitude noise off the manifold.
+        let mut rng = Initializer::new(5);
+        let ood_rows: Vec<Vec<f64>> = (0..32)
+            .map(|_| (0..6).map(|_| rng.normal(0.0, 2.0)).collect())
+            .collect();
+        let ood = Tensor::stack_rows(&ood_rows);
+        let e_in = vae.elbo(&in_dist);
+        let e_ood = vae.elbo(&ood);
+        let mean_in: f64 = e_in.iter().sum::<f64>() / e_in.len() as f64;
+        let mean_ood: f64 = e_ood.iter().sum::<f64>() / e_ood.len() as f64;
+        assert!(
+            mean_in > mean_ood + 1.0,
+            "in {mean_in} vs ood {mean_ood}"
+        );
+    }
+
+    #[test]
+    fn reconstruct_shape() {
+        let mut vae = Vae::new(5, 8, 2, 0);
+        let x = Tensor::zeros(vec![3, 5]);
+        let xr = vae.reconstruct(&x);
+        assert_eq!(xr.shape(), &[3, 5]);
+    }
+
+    #[test]
+    fn kl_is_nonnegative() {
+        let mut vae = Vae::new(4, 8, 2, 0);
+        let x = toy_batch(2, 16, 4);
+        let mut opt = Adam::new(0.01);
+        for _ in 0..20 {
+            let l = vae.train_step(&x, &mut opt, 1.0);
+            assert!(l.kl >= -1e-9, "KL went negative: {}", l.kl);
+        }
+    }
+
+    #[test]
+    fn param_flat_roundtrip() {
+        let mut vae = Vae::new(4, 8, 2, 0);
+        let flat = vae.encoder_params_flat();
+        let mut modified = flat.clone();
+        for v in &mut modified {
+            *v += 0.5;
+        }
+        vae.set_encoder_params_flat(&modified);
+        let back = vae.encoder_params_flat();
+        assert_eq!(back, modified);
+        vae.set_encoder_params_flat(&flat);
+        assert_eq!(vae.encoder_params_flat(), flat);
+    }
+
+    #[test]
+    fn elbo_count_matches_batch() {
+        let mut vae = Vae::new(4, 8, 2, 0);
+        let x = Tensor::zeros(vec![7, 4]);
+        assert_eq!(vae.elbo(&x).len(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn set_params_wrong_length_panics() {
+        let mut vae = Vae::new(4, 8, 2, 0);
+        vae.set_encoder_params_flat(&[0.0; 3]);
+    }
+
+    #[test]
+    fn param_count_consistent_with_flat() {
+        let mut vae = Vae::new(4, 8, 2, 0);
+        let flat = vae.encoder_params_flat();
+        let enc_count = vae.encoder.param_count()
+            + vae.mu_head.param_count()
+            + vae.logvar_head.param_count();
+        assert_eq!(flat.len(), enc_count);
+        assert!(vae.param_count() > enc_count);
+    }
+}

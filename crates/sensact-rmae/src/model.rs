@@ -1,0 +1,407 @@
+//! The R-MAE occupancy autoencoder.
+//!
+//! Architecture (paper Fig. 3): a 3-D convolutional encoder processes the
+//! (masked) occupancy grid into a latent volume — skipping empty voxels, the
+//! "spatially sparse" trick — and a deconvolution decoder reconstructs
+//! full-resolution occupancy logits, trained with binary cross-entropy
+//! weighted toward the rare occupied class.
+
+use sensact_lidar::voxel::VoxelizerConfig;
+use sensact_nn::conv::{Conv3d, Deconv3d, Dims3};
+use sensact_nn::layers::{ActKind, Activation, Layer};
+use sensact_nn::loss::bce_with_logits_weighted;
+use sensact_nn::optim::Optimizer;
+use sensact_nn::{Initializer, ModelStats, Sequential, Tensor};
+
+/// Geometry and capacity of the autoencoder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmaeConfig {
+    /// Voxel region/resolution shared with the detector.
+    pub grid: VoxelizerConfig,
+    /// Encoder channel widths (stage 1, stage 2).
+    pub channels: (usize, usize),
+    /// Positive-class weight of the occupancy BCE.
+    pub pos_weight: f64,
+}
+
+impl RmaeConfig {
+    /// Full-size configuration used by the Table I/II harnesses:
+    /// 48 × 28.8 × 3.2 m region at 0.8 m voxels → 60×36×4 grid.
+    pub fn full() -> Self {
+        RmaeConfig {
+            grid: VoxelizerConfig {
+                min: [0.0, -14.4, 0.0],
+                max: [48.0, 14.4, 3.2],
+                voxel_size: 0.8,
+            },
+            channels: (8, 16),
+            pos_weight: 6.0,
+        }
+    }
+
+    /// Small configuration for unit tests: 16×8×2 grid.
+    pub fn small() -> Self {
+        RmaeConfig {
+            grid: VoxelizerConfig {
+                min: [0.0, -8.0, 0.0],
+                max: [32.0, 8.0, 4.0],
+                voxel_size: 2.0,
+            },
+            channels: (4, 8),
+            pos_weight: 4.0,
+        }
+    }
+
+    /// Grid dims as the conv layout `(depth=z, height=y, width=x)`.
+    pub fn dims3(&self) -> Dims3 {
+        let (nx, ny, nz) = self.grid.dims();
+        Dims3::new(nz, ny, nx)
+    }
+
+    /// Total voxel count.
+    pub fn voxels(&self) -> usize {
+        self.dims3().volume()
+    }
+}
+
+impl Default for RmaeConfig {
+    fn default() -> Self {
+        RmaeConfig::full()
+    }
+}
+
+/// The occupancy autoencoder.
+pub struct RmaeModel {
+    config: RmaeConfig,
+    net: Sequential,
+}
+
+impl RmaeModel {
+    /// Build the encoder/decoder for a config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid x/y dims are odd (the stride-2 stages require even
+    /// extents).
+    pub fn new(config: RmaeConfig, seed: u64) -> Self {
+        let dims = config.dims3();
+        assert!(
+            dims.h % 2 == 0 && dims.w % 2 == 0,
+            "grid y/x dims must be even, got {}x{}",
+            dims.h,
+            dims.w
+        );
+        let (c1, c2) = config.channels;
+        let mut init = Initializer::new(seed);
+        // Encoder: stride-2 downsample then a same-size stage.
+        let conv1 = Conv3d::new(1, c1, 3, 2, 1, dims, &mut init);
+        let mid = conv1.out_dims();
+        let conv2 = Conv3d::new(c1, c2, 3, 1, 1, mid, &mut init);
+        // Decoder: same-size stage then stride-2 upsample back.
+        let deconv1 = Deconv3d::new(c2, c1, 3, 1, 1, mid, &mut init);
+        let deconv2 = Deconv3d::new(c1, 1, 4, 2, 1, mid, &mut init);
+        debug_assert_eq!(deconv2.out_dims(), dims, "decoder must restore the grid");
+        let net = Sequential::new(vec![
+            Box::new(conv1),
+            Box::new(Activation::new(ActKind::Relu)),
+            Box::new(conv2),
+            Box::new(Activation::new(ActKind::Relu)),
+            Box::new(deconv1),
+            Box::new(Activation::new(ActKind::Relu)),
+            Box::new(deconv2),
+        ]);
+        RmaeModel { config, net }
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &RmaeConfig {
+        &self.config
+    }
+
+    /// Parameter / MAC statistics (one grid per forward pass).
+    pub fn stats(&self) -> ModelStats {
+        ModelStats::of(&self.net, 1)
+    }
+
+    /// Reconstruct occupancy probabilities from a (masked) occupancy buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `occupancy.len()` differs from the grid voxel count.
+    pub fn reconstruct(&mut self, occupancy: &[f64]) -> Vec<f64> {
+        let logits = self.forward_logits(occupancy);
+        logits
+            .as_slice()
+            .iter()
+            .map(|&x| 1.0 / (1.0 + (-x).exp()))
+            .collect()
+    }
+
+    fn forward_logits(&mut self, occupancy: &[f64]) -> Tensor {
+        assert_eq!(
+            occupancy.len(),
+            self.config.voxels(),
+            "occupancy buffer does not match grid"
+        );
+        let x = Tensor::from_vec(vec![1, occupancy.len()], occupancy.to_vec());
+        self.net.forward(&x, false)
+    }
+
+    /// One training step: reconstruct `masked` toward `full`; returns the
+    /// weighted-BCE loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics on buffer/grid size mismatch.
+    pub fn train_step(
+        &mut self,
+        masked: &[f64],
+        full: &[f64],
+        opt: &mut dyn Optimizer,
+    ) -> f64 {
+        assert_eq!(masked.len(), self.config.voxels(), "masked buffer size");
+        assert_eq!(full.len(), self.config.voxels(), "target buffer size");
+        let x = Tensor::from_vec(vec![1, masked.len()], masked.to_vec());
+        let target = Tensor::from_vec(vec![1, full.len()], full.to_vec());
+        let logits = self.net.forward(&x, true);
+        let (loss, grad) = bce_with_logits_weighted(&logits, &target, self.config.pos_weight);
+        self.net.backward(&grad);
+        opt.step(&mut self.net);
+        self.net.zero_grad();
+        loss
+    }
+
+    /// Observation-guided reconstruction: returns a grid holding every
+    /// observed voxel plus reconstructed voxels (probability above
+    /// `threshold`) that have observed support in their 3-D neighborhood —
+    /// for above-ground voxels the support must itself be above ground.
+    ///
+    /// The guidance rule keeps the decoder's strength (completing partially
+    /// observed objects) while discarding its failure mode (hallucinating
+    /// plausible-but-unseen surfaces that would fuse the scene into one
+    /// cluster).
+    pub fn reconstruct_guided(
+        &mut self,
+        observed: &sensact_lidar::voxel::VoxelGrid,
+        threshold: f64,
+    ) -> sensact_lidar::voxel::VoxelGrid {
+        let probs = self.reconstruct(&observed.occupancy_flat());
+        let (nx, ny, nz) = observed.dims();
+        let flat = |ix: usize, iy: usize, iz: usize| (iz * ny + iy) * nx + ix;
+        let mut out = vec![0.0; probs.len()];
+        for iz in 0..nz {
+            for iy in 0..ny {
+                for ix in 0..nx {
+                    let i = flat(ix, iy, iz);
+                    if observed.occupied(ix, iy, iz) {
+                        out[i] = 1.0;
+                        continue;
+                    }
+                    // Never *add* voxels in the top layer (≥ 2.4 m): no
+                    // detectable object reaches it, and one hallucinated
+                    // top voxel re-labels a car as structure downstream.
+                    if iz + 1 == nz {
+                        continue;
+                    }
+                    if probs[i] <= threshold {
+                        continue;
+                    }
+                    // Bridge criterion: the reconstructed voxel must sit
+                    // *between* observed evidence — at least one pair of
+                    // observed neighbors in opposite directions. This lets
+                    // the decoder re-connect an object fragmented by masking
+                    // without dilating every surface outward (which would
+                    // systematically inflate footprints by a size class).
+                    let mut offsets: Vec<(i32, i32, i32)> = Vec::new();
+                    for dz in -1i32..=1 {
+                        for dy in -1i32..=1 {
+                            for dx in -1i32..=1 {
+                                if dx == 0 && dy == 0 && dz == 0 {
+                                    continue;
+                                }
+                                let (x, y, z) =
+                                    (ix as i32 + dx, iy as i32 + dy, iz as i32 + dz);
+                                if x < 0
+                                    || y < 0
+                                    || z < 0
+                                    || x >= nx as i32
+                                    || y >= ny as i32
+                                    || z >= nz as i32
+                                {
+                                    continue;
+                                }
+                                if iz >= 1 && z == 0 {
+                                    continue;
+                                }
+                                if observed.occupied(x as usize, y as usize, z as usize) {
+                                    offsets.push((dx, dy, dz));
+                                }
+                            }
+                        }
+                    }
+                    let bridges = offsets.iter().any(|&(dx, dy, dz)| {
+                        offsets.contains(&(-dx, -dy, -dz))
+                    });
+                    if bridges {
+                        out[i] = 1.0;
+                    }
+                }
+            }
+        }
+        sensact_lidar::voxel::VoxelGrid::from_occupancy_flat(self.config.grid, &out, 0.5)
+    }
+
+    /// Reconstruction quality: IoU between thresholded reconstruction and the
+    /// true occupancy.
+    pub fn reconstruction_iou(&mut self, masked: &[f64], full: &[f64], threshold: f64) -> f64 {
+        self.recon_iou_from(masked, full, threshold, 0)
+    }
+
+    /// Reconstruction IoU restricted to above-ground layers (`z ≥ 1`) — the
+    /// object-relevant measure of pre-training quality. The ground layer
+    /// dominates plain IoU and its "occupancy" is sampling-limited in the
+    /// reference scan, so it mostly measures how boldly a model paints
+    /// ground, not how well it completes objects.
+    pub fn reconstruction_iou_above_ground(
+        &mut self,
+        masked: &[f64],
+        full: &[f64],
+        threshold: f64,
+    ) -> f64 {
+        self.recon_iou_from(masked, full, threshold, 1)
+    }
+
+    fn recon_iou_from(&mut self, masked: &[f64], full: &[f64], threshold: f64, z_min: usize) -> f64 {
+        let probs = self.reconstruct(masked);
+        let (nx, ny, nz) = self.config.grid.dims();
+        let mut inter = 0usize;
+        let mut union = 0usize;
+        for iz in z_min..nz {
+            for iy in 0..ny {
+                for ix in 0..nx {
+                    let i = (iz * ny + iy) * nx + ix;
+                    let po = probs[i] > threshold;
+                    let to = full[i] > 0.5;
+                    if po && to {
+                        inter += 1;
+                    }
+                    if po || to {
+                        union += 1;
+                    }
+                }
+            }
+        }
+        if union == 0 {
+            1.0
+        } else {
+            inter as f64 / union as f64
+        }
+    }
+}
+
+impl std::fmt::Debug for RmaeModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RmaeModel")
+            .field("grid", &self.config.grid.dims())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sensact_nn::optim::Adam;
+
+    #[test]
+    fn config_dims() {
+        let c = RmaeConfig::small();
+        assert_eq!(c.grid.dims(), (16, 8, 2));
+        assert_eq!(c.dims3(), Dims3::new(2, 8, 16));
+        assert_eq!(c.voxels(), 256);
+        let f = RmaeConfig::full();
+        assert_eq!(f.grid.dims(), (60, 36, 4));
+    }
+
+    #[test]
+    fn reconstruct_shape_and_range() {
+        let mut m = RmaeModel::new(RmaeConfig::small(), 0);
+        let occ = vec![0.0; 256];
+        let probs = m.reconstruct(&occ);
+        assert_eq!(probs.len(), 256);
+        assert!(probs.iter().all(|p| (0.0..=1.0).contains(p)));
+    }
+
+    #[test]
+    fn training_learns_identity_on_fixed_pattern() {
+        // A single fixed occupancy pattern with half masked: the model should
+        // learn to fill it in.
+        let cfg = RmaeConfig::small();
+        let mut m = RmaeModel::new(cfg, 1);
+        let mut full = vec![0.0; cfg.voxels()];
+        // An L-shaped structure.
+        for i in 0..cfg.voxels() {
+            if i % 16 < 3 || (i / 16) % 8 == 2 {
+                full[i] = 1.0;
+            }
+        }
+        let mut masked = full.clone();
+        for (i, v) in masked.iter_mut().enumerate() {
+            if i % 2 == 0 {
+                *v = 0.0;
+            }
+        }
+        let mut opt = Adam::new(0.01);
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for it in 0..120 {
+            let l = m.train_step(&masked, &full, &mut opt);
+            if it == 0 {
+                first = l;
+            }
+            last = l;
+        }
+        assert!(last < first * 0.3, "first {first} last {last}");
+        let iou = m.reconstruction_iou(&masked, &full, 0.5);
+        assert!(iou > 0.8, "reconstruction IoU {iou}");
+    }
+
+    #[test]
+    fn stats_report_nonzero() {
+        let m = RmaeModel::new(RmaeConfig::small(), 0);
+        let s = m.stats();
+        assert!(s.params > 100);
+        assert!(s.macs > 1000);
+    }
+
+    #[test]
+    fn full_config_params_in_paper_ballpark_scale() {
+        // Paper: ~830 K parameters. Our grid is coarser, so the model is
+        // smaller, but it must be within two orders of magnitude.
+        let m = RmaeModel::new(RmaeConfig::full(), 0);
+        let p = m.stats().params;
+        assert!(p > 5_000, "params {p}");
+        assert!(p < 2_000_000, "params {p}");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match grid")]
+    fn wrong_buffer_size_panics() {
+        let mut m = RmaeModel::new(RmaeConfig::small(), 0);
+        let _ = m.reconstruct(&[0.0; 7]);
+    }
+
+    #[test]
+    fn empty_input_reconstruction_mostly_empty_after_training_on_empty() {
+        let cfg = RmaeConfig::small();
+        let mut m = RmaeModel::new(cfg, 2);
+        let empty = vec![0.0; cfg.voxels()];
+        let mut opt = Adam::new(0.02);
+        for _ in 0..60 {
+            let _ = m.train_step(&empty, &empty, &mut opt);
+        }
+        let probs = m.reconstruct(&empty);
+        let occupied = probs.iter().filter(|&&p| p > 0.5).count();
+        assert!(occupied < cfg.voxels() / 20, "{occupied} voxels hallucinated");
+    }
+}

@@ -1,0 +1,233 @@
+//! Temporal consistency monitoring (paper §V, future enhancements).
+//!
+//! The per-frame likelihood-regret score catches abrupt corruption; *gradual*
+//! sensor degradation (dust build-up, slow de-calibration, aging emitters)
+//! raises the score so slowly that any fixed threshold fires either too early
+//! or too late. The [`TemporalConsistency`] tracker watches the score
+//! *sequence* instead: an exponentially-weighted short-term mean is compared
+//! against a frozen-baseline long-term mean, and a sustained upward drift —
+//! however small per frame — accumulates into a drift statistic (a CUSUM-style
+//! one-sided test).
+
+use sensact_core::stage::Trust;
+
+/// Configuration of the drift tracker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TemporalConfig {
+    /// Smoothing factor of the short-term mean, in `(0, 1]`.
+    pub short_alpha: f64,
+    /// Frames used to freeze the long-term baseline.
+    pub baseline_frames: usize,
+    /// Per-frame slack added before drift accumulates (CUSUM `k`).
+    pub slack: f64,
+    /// Accumulated drift at which the stream becomes suspect (CUSUM `h`).
+    pub suspect_drift: f64,
+    /// Accumulated drift at which the stream becomes untrusted.
+    pub untrusted_drift: f64,
+}
+
+impl Default for TemporalConfig {
+    fn default() -> Self {
+        TemporalConfig {
+            short_alpha: 0.2,
+            baseline_frames: 20,
+            slack: 0.05,
+            suspect_drift: 0.5,
+            untrusted_drift: 1.5,
+        }
+    }
+}
+
+/// CUSUM-style drift detector over a monitor-score stream.
+#[derive(Debug, Clone)]
+pub struct TemporalConsistency {
+    config: TemporalConfig,
+    short_mean: f64,
+    baseline_sum: f64,
+    baseline_count: usize,
+    baseline: Option<f64>,
+    baseline_scale: f64,
+    drift: f64,
+    frames: u64,
+}
+
+impl TemporalConsistency {
+    /// New tracker.
+    pub fn new(config: TemporalConfig) -> Self {
+        TemporalConsistency {
+            config,
+            short_mean: 0.0,
+            baseline_sum: 0.0,
+            baseline_count: 0,
+            baseline: None,
+            baseline_scale: 1.0,
+            drift: 0.0,
+            frames: 0,
+        }
+    }
+
+    /// Feed one per-frame score; returns the current drift verdict.
+    ///
+    /// During the first `baseline_frames` the tracker calibrates and always
+    /// reports [`Trust::Trusted`].
+    pub fn observe(&mut self, score: f64) -> Trust {
+        self.frames += 1;
+        if self.frames == 1 {
+            self.short_mean = score;
+        } else {
+            self.short_mean =
+                (1.0 - self.config.short_alpha) * self.short_mean + self.config.short_alpha * score;
+        }
+        match self.baseline {
+            None => {
+                self.baseline_sum += score;
+                self.baseline_count += 1;
+                if self.baseline_count >= self.config.baseline_frames {
+                    let mean = self.baseline_sum / self.baseline_count as f64;
+                    self.baseline = Some(mean);
+                    self.baseline_scale = mean.abs().max(1e-6);
+                }
+                Trust::Trusted
+            }
+            Some(baseline) => {
+                // Normalized exceedance of the short-term mean over baseline.
+                let exceed = (self.short_mean - baseline) / self.baseline_scale;
+                self.drift = (self.drift + exceed - self.config.slack).max(0.0);
+                if self.drift >= self.config.untrusted_drift {
+                    Trust::Untrusted
+                } else if self.drift >= self.config.suspect_drift {
+                    let span =
+                        (self.config.untrusted_drift - self.config.suspect_drift).max(1e-12);
+                    Trust::Suspect(
+                        ((self.drift - self.config.suspect_drift) / span).clamp(0.05, 1.0),
+                    )
+                } else {
+                    Trust::Trusted
+                }
+            }
+        }
+    }
+
+    /// Accumulated drift statistic.
+    pub fn drift(&self) -> f64 {
+        self.drift
+    }
+
+    /// Whether the baseline is calibrated.
+    pub fn calibrated(&self) -> bool {
+        self.baseline.is_some()
+    }
+
+    /// Reset the drift accumulator (e.g. after maintenance) but keep the
+    /// calibrated baseline.
+    pub fn reset_drift(&mut self) {
+        self.drift = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn noisy(rng: &mut StdRng, level: f64) -> f64 {
+        level * (0.8 + 0.4 * rng.random::<f64>())
+    }
+
+    #[test]
+    fn stable_stream_stays_trusted() {
+        let mut tracker = TemporalConsistency::new(TemporalConfig::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            assert_eq!(tracker.observe(noisy(&mut rng, 1.0)), Trust::Trusted);
+        }
+        assert!(tracker.drift() < 0.5);
+    }
+
+    #[test]
+    fn gradual_degradation_detected() {
+        // Score creeps up 0.6 % per frame — invisible to any single-frame
+        // threshold, unmistakable to the drift statistic.
+        let mut tracker = TemporalConsistency::new(TemporalConfig::default());
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut verdicts = Vec::new();
+        for t in 0..400 {
+            let level = 1.0 * 1.006f64.powi(t);
+            verdicts.push(tracker.observe(noisy(&mut rng, level)));
+        }
+        assert!(
+            matches!(verdicts.last(), Some(Trust::Untrusted)),
+            "drift never reached untrusted: {:?}",
+            tracker.drift()
+        );
+        // And it fired after calibration, not immediately.
+        let first_alarm = verdicts
+            .iter()
+            .position(|v| !matches!(v, Trust::Trusted))
+            .unwrap();
+        assert!(first_alarm > 20, "alarm at frame {first_alarm}");
+    }
+
+    #[test]
+    fn step_degradation_detected_quickly() {
+        let mut tracker = TemporalConsistency::new(TemporalConfig::default());
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let _ = tracker.observe(noisy(&mut rng, 1.0));
+        }
+        let mut frames_to_alarm = None;
+        for t in 0..60 {
+            if !matches!(tracker.observe(noisy(&mut rng, 2.5)), Trust::Trusted) {
+                frames_to_alarm = Some(t);
+                break;
+            }
+        }
+        let frames = frames_to_alarm.expect("step change never detected");
+        assert!(frames < 20, "took {frames} frames");
+    }
+
+    #[test]
+    fn calibration_window_always_trusted() {
+        let mut tracker = TemporalConsistency::new(TemporalConfig::default());
+        for _ in 0..20 {
+            assert_eq!(tracker.observe(100.0), Trust::Trusted);
+        }
+        assert!(tracker.calibrated());
+    }
+
+    #[test]
+    fn reset_clears_drift_keeps_baseline() {
+        let mut tracker = TemporalConsistency::new(TemporalConfig::default());
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..30 {
+            let _ = tracker.observe(noisy(&mut rng, 1.0));
+        }
+        for _ in 0..100 {
+            let _ = tracker.observe(noisy(&mut rng, 3.0));
+        }
+        assert!(tracker.drift() > 0.0);
+        tracker.reset_drift();
+        assert_eq!(tracker.drift(), 0.0);
+        assert!(tracker.calibrated());
+    }
+
+    #[test]
+    fn recovery_drains_drift() {
+        let config = TemporalConfig::default();
+        let mut tracker = TemporalConsistency::new(config);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..30 {
+            let _ = tracker.observe(noisy(&mut rng, 1.0));
+        }
+        for _ in 0..20 {
+            let _ = tracker.observe(noisy(&mut rng, 2.0));
+        }
+        let peak = tracker.drift();
+        assert!(peak > 0.0);
+        for _ in 0..200 {
+            let _ = tracker.observe(noisy(&mut rng, 1.0));
+        }
+        assert!(tracker.drift() < peak * 0.2, "drift stuck at {}", tracker.drift());
+    }
+}

@@ -1,0 +1,74 @@
+//! STARNet (§V) inside a sensing-action loop: the monitor watches the LiDAR
+//! feature stream; when fog rolls in, the loop's trust verdict flips, the
+//! controller fails safe, and the telemetry records the suspect streak.
+//!
+//! Run: `cargo run --release --example trusted_perception`
+
+use sensact::core::stage::{FnController, FnPerceptor, FnSensor, StageContext, Trust};
+use sensact::core::LoopBuilder;
+use sensact::lidar::corrupt::{Corruption, CorruptionKind};
+use sensact::lidar::raycast::{Lidar, LidarConfig};
+use sensact::lidar::scene::SceneGenerator;
+use sensact::lidar::PointCloud;
+use sensact::starnet::features::extract_features;
+use sensact::starnet::monitor::{train_on_clouds, StarnetConfig};
+
+fn main() {
+    let lidar = Lidar::new(LidarConfig::default());
+    println!("training STARNet on 24 clean scans...");
+    let clean_clouds: Vec<PointCloud> = SceneGenerator::new(1)
+        .generate_many(24)
+        .iter()
+        .map(|s| lidar.scan(s))
+        .collect();
+    let monitor = train_on_clouds(&clean_clouds, StarnetConfig::default(), 0);
+    println!("calibrated: {monitor:?}");
+
+    // Build the loop: sensor reads the (possibly corrupted) stream, the
+    // perceptor extracts the descriptor, STARNet assesses it, the controller
+    // fails safe on distrust.
+    let mut looop = LoopBuilder::new("trusted-perception").build_full(
+        FnSensor::new(|cloud: &PointCloud, ctx: &mut StageContext| {
+            ctx.charge(1e-3, 5e-3);
+            cloud.clone()
+        }),
+        FnPerceptor::new(|cloud: &PointCloud, ctx: &mut StageContext| {
+            ctx.charge(1e-5, 1e-4);
+            extract_features(cloud)
+        }),
+        monitor,
+        FnController::new(|_f: &Vec<f64>, trust: Trust, _: &mut StageContext| {
+            if trust.is_actionable() {
+                1.0 // proceed at speed
+            } else {
+                0.0 // fail safe: stop
+            }
+        }),
+        sensact::core::adapt::NoAdaptation,
+    );
+
+    // Drive: 10 clear ticks, 10 foggy ticks, 10 clear again.
+    let mut eval = SceneGenerator::new(50);
+    for tick in 0..30 {
+        let scene = eval.generate();
+        let clean = lidar.scan(&scene);
+        let cloud = if (10..20).contains(&tick) {
+            Corruption::new(CorruptionKind::Fog, 5).apply(&clean, tick)
+        } else {
+            clean
+        };
+        let out = looop.tick(&cloud);
+        println!(
+            "tick {tick:>2}  weather: {:<6}  trust: {:<14}  speed command: {}",
+            if (10..20).contains(&tick) { "FOG" } else { "clear" },
+            format!("{:?}", out.trust),
+            out.action
+        );
+    }
+
+    println!("\n{}", looop.telemetry());
+    println!(
+        "longest suspect streak: {} ticks (the fog window)",
+        looop.telemetry().max_suspect_streak()
+    );
+}

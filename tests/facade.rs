@@ -1,0 +1,28 @@
+//! The `sensact` facade crate re-exports every subsystem under stable paths.
+
+#[test]
+fn facade_reexports_every_subsystem() {
+    // Construct one representative type per subsystem through the facade.
+    let _ = sensact::math::Matrix::identity(2);
+    let _ = sensact::nn::Initializer::new(0);
+    let _ = sensact::core::EnergyBudget::unlimited();
+    let _ = sensact::lidar::raycast::LidarConfig::default();
+    let _ = sensact::rmae::model::RmaeConfig::small();
+    let _ = sensact::koopman::cartpole::CartPoleConfig::default();
+    let _ = sensact::starnet::spsa::SpsaConfig::default();
+    let _ = sensact::neuro::event::MovingSceneConfig::default();
+    let _ = sensact::fed::data::Dataset::generate(4, 0);
+}
+
+#[test]
+fn facade_types_interoperate() {
+    // A metric from `math` consumes geometry produced by `lidar`.
+    use sensact::math::metrics::{iou_aabb, Aabb};
+    let scene = sensact::lidar::scene::SceneGenerator::new(0).generate();
+    let boxes: Vec<Aabb> = scene
+        .ground_truth(sensact::lidar::scene::ObjectClass::Car)
+        .into_iter()
+        .collect();
+    assert!(!boxes.is_empty());
+    assert!((iou_aabb(&boxes[0], &boxes[0]) - 1.0).abs() < 1e-12);
+}

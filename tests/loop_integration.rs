@@ -1,0 +1,157 @@
+//! Cross-crate integration: the sensing-to-action loop abstraction running
+//! real subsystem stages (LiDAR sensing, STARNet monitoring, adaptation).
+
+use sensact::core::adapt::{ActionMagnitudeRate, SensingKnobs};
+use sensact::core::stage::{FnController, FnPerceptor, FnSensor, Sensor, StageContext, Trust};
+use sensact::core::{EnergyBudget, LoopBuilder};
+use sensact::lidar::corrupt::{Corruption, CorruptionKind};
+use sensact::lidar::raycast::{Lidar, LidarConfig};
+use sensact::lidar::scene::SceneGenerator;
+use sensact::lidar::PointCloud;
+use sensact::starnet::features::extract_features;
+use sensact::starnet::monitor::{train_on_clouds, StarnetConfig};
+use sensact::starnet::regret::RegretConfig;
+use sensact::starnet::spsa::SpsaConfig;
+
+fn fast_monitor_config() -> StarnetConfig {
+    StarnetConfig {
+        train_epochs: 200,
+        regret: RegretConfig {
+            spsa: SpsaConfig {
+                iterations: 8,
+                ..SpsaConfig::default()
+            },
+            low_rank: Some(8),
+            elbo_samples: 0,
+        },
+        ..StarnetConfig::default()
+    }
+}
+
+#[test]
+fn lidar_starnet_loop_distrusts_corruption_and_fails_safe() {
+    let lidar = Lidar::new(LidarConfig::default());
+    let clean_clouds: Vec<PointCloud> = SceneGenerator::new(1)
+        .generate_many(12)
+        .iter()
+        .map(|s| lidar.scan(s))
+        .collect();
+    let monitor = train_on_clouds(&clean_clouds, fast_monitor_config(), 0);
+
+    let mut looop = LoopBuilder::new("integration").build_full(
+        FnSensor::new(|cloud: &PointCloud, ctx: &mut StageContext| {
+            ctx.charge(1e-3, 1e-3);
+            cloud.clone()
+        }),
+        FnPerceptor::new(|cloud: &PointCloud, _: &mut StageContext| extract_features(cloud)),
+        monitor,
+        FnController::new(|_f: &Vec<f64>, trust: Trust, _: &mut StageContext| {
+            if trust.is_actionable() {
+                1.0
+            } else {
+                0.0
+            }
+        }),
+        sensact::core::adapt::NoAdaptation,
+    );
+
+    let mut eval = SceneGenerator::new(40);
+    let mut clear_actions = Vec::new();
+    let mut corrupt_actions = Vec::new();
+    for tick in 0..8u64 {
+        let clean = lidar.scan(&eval.generate());
+        // Alternate clean / heavily corrupted streams.
+        if tick % 2 == 0 {
+            clear_actions.push(looop.tick(&clean).action);
+        } else {
+            let bad = Corruption::new(CorruptionKind::Crosstalk, 5).apply(&clean, tick);
+            corrupt_actions.push(looop.tick(&bad).action);
+        }
+    }
+    // Clean ticks act; corrupted ticks mostly fail safe.
+    let clear_go = clear_actions.iter().filter(|&&a| a == 1.0).count();
+    let corrupt_stop = corrupt_actions.iter().filter(|&&a| a == 0.0).count();
+    assert!(clear_go >= 3, "only {clear_go}/4 clean ticks trusted");
+    assert!(corrupt_stop >= 3, "only {corrupt_stop}/4 corrupted ticks stopped");
+    // Telemetry captured the alternating suspicion.
+    assert!(looop.telemetry().suspect_fraction() >= 0.3);
+    assert!(looop.budget().consumed_j() > 0.0);
+}
+
+/// A LiDAR sensor whose pulse budget follows the loop's adapted rate.
+#[derive(Debug)]
+struct AdaptiveLidarSensor {
+    lidar: Lidar,
+    rate: f64,
+    resolution: f64,
+}
+
+impl SensingKnobs for AdaptiveLidarSensor {
+    fn rate(&self) -> f64 {
+        self.rate
+    }
+    fn set_rate(&mut self, r: f64) {
+        self.rate = r.clamp(0.05, 1.0);
+    }
+    fn resolution(&self) -> f64 {
+        self.resolution
+    }
+    fn set_resolution(&mut self, r: f64) {
+        self.resolution = r.clamp(0.0, 1.0);
+    }
+}
+
+impl Sensor<sensact::lidar::scene::Scene> for AdaptiveLidarSensor {
+    type Reading = usize;
+    fn sense(&mut self, scene: &sensact::lidar::scene::Scene, ctx: &mut StageContext) -> usize {
+        // Fire a rate-proportional azimuth subset; charge per pulse.
+        let keep = (512.0 * self.rate) as u16;
+        let (cloud, fired) = self
+            .lidar
+            .scan_masked(scene, |_, az| az % 512 < keep);
+        ctx.charge(fired as f64 * 50e-6, 1e-3);
+        cloud.len()
+    }
+}
+
+#[test]
+fn action_to_sensing_adaptation_cuts_lidar_energy_when_quiet() {
+    let scene = SceneGenerator::new(2).generate();
+    let run = |adaptive: bool| -> f64 {
+        let sensor = AdaptiveLidarSensor {
+            lidar: Lidar::new(LidarConfig::default()),
+            rate: 1.0,
+            resolution: 1.0,
+        };
+        let perceptor = FnPerceptor::new(|n: &usize, _: &mut StageContext| *n as f64);
+        let controller =
+            FnController::new(|_f: &f64, _t: Trust, _: &mut StageContext| 0.0f64);
+        if adaptive {
+            let mut l = LoopBuilder::new("adaptive")
+                .with_budget(EnergyBudget::unlimited())
+                .build_full(
+                    sensor,
+                    perceptor,
+                    sensact::core::stage::AlwaysTrust,
+                    controller,
+                    ActionMagnitudeRate::default(),
+                );
+            for _ in 0..10 {
+                let _ = l.tick(&scene);
+            }
+            l.telemetry().total_energy_j()
+        } else {
+            let mut l = LoopBuilder::new("fixed").build(sensor, perceptor, controller);
+            for _ in 0..10 {
+                let _ = l.tick(&scene);
+            }
+            l.telemetry().total_energy_j()
+        }
+    };
+    let fixed = run(false);
+    let adaptive = run(true);
+    assert!(
+        adaptive < fixed * 0.6,
+        "adaptive {adaptive} J vs fixed {fixed} J"
+    );
+}

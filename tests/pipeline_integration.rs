@@ -1,0 +1,135 @@
+//! Cross-crate integration: each paper subsystem end to end, at reduced size.
+
+use sensact::lidar::raycast::{Lidar, LidarConfig};
+use sensact::lidar::scene::SceneGenerator;
+use sensact::lidar::voxel::VoxelGrid;
+use sensact::rmae::model::{RmaeConfig, RmaeModel};
+use sensact::rmae::pretrain::{radial_masked_cloud, Pretrainer, Strategy};
+
+#[test]
+fn generative_sensing_reconstruction_beats_sparse_view() {
+    let mut generator = SceneGenerator::new(5);
+    let train = generator.generate_many(6);
+    let mut trainer = Pretrainer::new(
+        RmaeModel::new(RmaeConfig::small(), 1),
+        Strategy::RadialMae,
+        1,
+    );
+    trainer.train(&train, 8);
+    let mut model = trainer.into_model();
+
+    let lidar = Lidar::new(LidarConfig::default());
+    let scene = generator.generate();
+    let full = lidar.scan(&scene);
+    let masked = radial_masked_cloud(&full, 9);
+    let cfg = model.config().grid;
+    let observed = VoxelGrid::from_cloud(cfg, &masked);
+    let full_grid = VoxelGrid::from_cloud(cfg, &full);
+
+    let mut probs = model.reconstruct(&observed.occupancy_flat());
+    for (p, o) in probs.iter_mut().zip(observed.occupancy_flat()) {
+        *p = p.max(o);
+    }
+    let reconstructed = VoxelGrid::from_occupancy_flat(cfg, &probs, 0.5);
+
+    let sparse_iou = observed.occupancy_iou(&full_grid);
+    let recon_iou = reconstructed.occupancy_iou(&full_grid);
+    assert!(
+        recon_iou > sparse_iou,
+        "reconstruction IoU {recon_iou} not above sparse IoU {sparse_iou}"
+    );
+}
+
+#[test]
+fn koopman_pipeline_balances_cartpole() {
+    use sensact::koopman::baselines::LatentModel;
+    use sensact::koopman::cartpole::{CartPole, CartPoleConfig};
+    use sensact::koopman::control::LqrLatentController;
+    use sensact::koopman::encoder::SpectralKoopman;
+    use sensact::koopman::train::collect_dataset;
+
+    let data = collect_dataset(1500, 8);
+    let mut model = SpectralKoopman::new(8);
+    for e in 0..20 {
+        model.train_epoch(&data, e);
+    }
+    let controller = LqrLatentController::synthesize(&mut model, 0.001).expect("LQR");
+    let mut total = 0u64;
+    for seed in 0..3 {
+        let mut env = CartPole::new(CartPoleConfig::default(), seed);
+        for _ in 0..200 {
+            let z = model.encode(&env.observe());
+            env.step(controller.act(&z));
+            if env.failed() {
+                break;
+            }
+            total += 1;
+        }
+    }
+    assert!(total > 300, "mean survival {} / 200", total / 3);
+}
+
+#[test]
+fn neuromorphic_loop_detects_and_saves_energy() {
+    use sensact::neuro::dotie::{detect_clusters, DotieConfig};
+    use sensact::neuro::energy::OpEnergy;
+    use sensact::neuro::event::{MovingScene, MovingSceneConfig};
+    use sensact::neuro::flow::{FlowModel, FlowModelKind};
+
+    let scene = MovingScene::generate(
+        MovingSceneConfig {
+            max_speed: 1.8,
+            ..MovingSceneConfig::default()
+        },
+        3,
+    );
+    assert!(!detect_clusters(&scene.events, &DotieConfig::default()).is_empty());
+
+    let mut ann = FlowModel::new(FlowModelKind::FullAnn, 32, 0);
+    let mut snn = FlowModel::new(FlowModelKind::FullSnn, 32, 0);
+    let op = OpEnergy::default();
+    let e_ann = ann.inference_energy(&scene).energy_uj(&op);
+    let e_snn = snn.inference_energy(&scene).energy_uj(&op);
+    assert!(e_snn < e_ann, "SNN {e_snn} uJ vs ANN {e_ann} uJ");
+}
+
+#[test]
+fn federated_adaptive_strategies_cut_cost() {
+    use sensact::fed::client::{Client, HardwareTier};
+    use sensact::fed::data::Dataset;
+    use sensact::fed::server::{run_federated, FedConfig, Strategy};
+
+    let all = Dataset::generate(800, 4);
+    let parts = all.split_noniid(4, 4);
+    let tiers = [HardwareTier::EdgeGpu, HardwareTier::Mobile, HardwareTier::Mcu];
+    let test = Dataset::generate(200, 44);
+    let config = FedConfig {
+        rounds: 4,
+        local_epochs: 5,
+    };
+    let build = || -> Vec<Client> {
+        parts
+            .iter()
+            .enumerate()
+            .map(|(i, d)| Client::new(i, d.clone(), tiers[i % 3], 5 + i as u64))
+            .collect()
+    };
+    let static_report = run_federated(&mut build(), Strategy::Static, &config, &test);
+    let combined_report = run_federated(&mut build(), Strategy::Combined, &config, &test);
+    assert!(combined_report.energy_j < static_report.energy_j);
+    assert!(combined_report.latency_s < static_report.latency_s);
+    assert!(static_report.accuracy > 0.4);
+}
+
+#[test]
+fn speculative_decoding_exactness_across_prompts() {
+    use sensact::fed::speculative::{demo_corpus, speculative_generate, NgramModel};
+    let draft = NgramModel::train(demo_corpus(), 2);
+    let target = NgramModel::train(demo_corpus(), 4);
+    for prompt in ["the robot", "the cloud", "sensor", "the operator"] {
+        let plain = target.generate(prompt, 40);
+        let (spec, report) = speculative_generate(&draft, &target, prompt, 40, 3);
+        assert_eq!(spec, plain, "prompt {prompt:?}");
+        assert!(report.target_calls <= report.tokens.max(1));
+    }
+}
