@@ -1,14 +1,14 @@
-//! Criterion bench: federated round cost — full-width/full-precision local
+//! Micro-bench (in-repo harness): federated round cost — full-width/full-precision local
 //! training vs the DC-NAS-pruned and HaLo-quantized variants, plus
 //! speculative decoding vs plain target decoding.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sensact_bench::harness::Harness;
 use sensact_fed::client::{Client, HardwareTier};
 use sensact_fed::data::Dataset;
 use sensact_fed::speculative::{demo_corpus, speculative_generate, NgramModel};
 use std::hint::black_box;
 
-fn bench_fed(c: &mut Criterion) {
+fn bench_fed(c: &mut Harness) {
     let data = Dataset::generate(200, 1);
 
     c.bench_function("fed/local_train_full", |b| {
@@ -36,5 +36,8 @@ fn bench_fed(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_fed);
-criterion_main!(benches);
+fn main() {
+    let mut c = Harness::new("bench_fed");
+    bench_fed(&mut c);
+    c.finish();
+}

@@ -1,7 +1,7 @@
-//! Criterion bench: per-step control latency of the Fig. 5 models — the
+//! Micro-bench (in-repo harness): per-step control latency of the Fig. 5 models — the
 //! wall-clock counterpart of the MAC comparison in Fig. 5a.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sensact_bench::harness::Harness;
 use sensact_koopman::baselines::{DenseKoopman, LatentModel, MlpDynamics, TransformerDynamics};
 use sensact_koopman::cartpole::{CartPole, CartPoleConfig};
 use sensact_koopman::control::{LqrLatentController, ShootingController};
@@ -9,7 +9,7 @@ use sensact_koopman::encoder::SpectralKoopman;
 use sensact_koopman::train::collect_dataset;
 use std::hint::black_box;
 
-fn bench_koopman(c: &mut Criterion) {
+fn bench_koopman(c: &mut Harness) {
     let data = collect_dataset(400, 1);
     let env = CartPole::new(CartPoleConfig::default(), 0);
     let obs = env.observe();
@@ -48,5 +48,8 @@ fn bench_koopman(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_koopman);
-criterion_main!(benches);
+fn main() {
+    let mut c = Harness::new("bench_koopman");
+    bench_koopman(&mut c);
+    c.finish();
+}

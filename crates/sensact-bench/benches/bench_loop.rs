@@ -1,9 +1,11 @@
-//! Criterion bench: end-to-end sensing-action loop ticks — the §II loop
+//! Micro-bench (in-repo harness): end-to-end sensing-action loop ticks — the §II loop
 //! abstraction with and without action-to-sensing adaptation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sensact_bench::harness::Harness;
 use sensact_core::adapt::{ActionMagnitudeRate, SensingKnobs};
-use sensact_core::stage::{AlwaysTrust, FnController, FnPerceptor, FnSensor, Sensor, StageContext, Trust};
+use sensact_core::stage::{
+    AlwaysTrust, FnController, FnPerceptor, FnSensor, Sensor, StageContext, Trust,
+};
 use sensact_core::LoopBuilder;
 use std::hint::black_box;
 
@@ -36,7 +38,7 @@ impl Sensor<f64> for KnobSensor {
     }
 }
 
-fn bench_loop(c: &mut Criterion) {
+fn bench_loop(c: &mut Harness) {
     c.bench_function("loop/minimal_tick", |b| {
         let mut looop = LoopBuilder::new("bench").build(
             FnSensor::new(|e: &f64, ctx: &mut StageContext| {
@@ -51,7 +53,10 @@ fn bench_loop(c: &mut Criterion) {
 
     c.bench_function("loop/adaptive_tick", |b| {
         let mut looop = LoopBuilder::new("bench-adaptive").build_full(
-            KnobSensor { rate: 1.0, resolution: 1.0 },
+            KnobSensor {
+                rate: 1.0,
+                resolution: 1.0,
+            },
             FnPerceptor::new(|r: &f64, _: &mut StageContext| *r),
             AlwaysTrust,
             FnController::new(|f: &f64, _t: Trust, _: &mut StageContext| -0.5 * f),
@@ -61,5 +66,8 @@ fn bench_loop(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_loop);
-criterion_main!(benches);
+fn main() {
+    let mut c = Harness::new("bench_loop");
+    bench_loop(&mut c);
+    c.finish();
+}

@@ -1,13 +1,13 @@
-//! Criterion bench: clocked vs event-driven inference time, plus event-stream
+//! Micro-bench (in-repo harness): clocked vs event-driven inference time, plus event-stream
 //! primitives (Fig. 2/8 in wall-clock).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sensact_bench::harness::Harness;
 use sensact_neuro::dotie::{detect_clusters, DotieConfig};
 use sensact_neuro::event::{EventStream, MovingScene, MovingSceneConfig};
 use sensact_neuro::flow::{FlowModel, FlowModelKind};
 use std::hint::black_box;
 
-fn bench_neuro(c: &mut Criterion) {
+fn bench_neuro(c: &mut Harness) {
     let scene = MovingScene::generate(MovingSceneConfig::default(), 1);
     let mut ann = FlowModel::new(FlowModelKind::FullAnn, 32, 0);
     let mut snn = FlowModel::new(FlowModelKind::FullSnn, 32, 0);
@@ -26,13 +26,21 @@ fn bench_neuro(c: &mut Criterion) {
         b.iter(|| black_box(fusion.predict(black_box(&scene))))
     });
     c.bench_function("neuro/dotie_clustering", |b| {
-        b.iter(|| black_box(detect_clusters(black_box(&scene.events), &DotieConfig::default())))
+        b.iter(|| {
+            black_box(detect_clusters(
+                black_box(&scene.events),
+                &DotieConfig::default(),
+            ))
+        })
     });
     let packed = scene.events.to_bytes();
     c.bench_function("neuro/event_unpack", |b| {
-        b.iter(|| black_box(EventStream::from_bytes(packed.clone())))
+        b.iter(|| black_box(EventStream::from_bytes(&packed)))
     });
 }
 
-criterion_group!(benches, bench_neuro);
-criterion_main!(benches);
+fn main() {
+    let mut c = Harness::new("bench_neuro");
+    bench_neuro(&mut c);
+    c.finish();
+}

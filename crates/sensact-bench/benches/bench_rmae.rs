@@ -1,8 +1,8 @@
-//! Criterion bench: the generative-sensing pipeline stages (Table II in
+//! Micro-bench (in-repo harness): the generative-sensing pipeline stages (Table II in
 //! time rather than energy): full scan vs masked scan, voxelization, and
 //! occupancy reconstruction.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sensact_bench::harness::Harness;
 use sensact_lidar::mask::{RadialMask, RadialMaskConfig};
 use sensact_lidar::raycast::{Lidar, LidarConfig};
 use sensact_lidar::scene::SceneGenerator;
@@ -10,7 +10,7 @@ use sensact_lidar::voxel::VoxelGrid;
 use sensact_rmae::model::{RmaeConfig, RmaeModel};
 use std::hint::black_box;
 
-fn bench_rmae(c: &mut Criterion) {
+fn bench_rmae(c: &mut Harness) {
     let scene = SceneGenerator::new(1).generate();
     let lidar = Lidar::new(LidarConfig::default());
     let full = lidar.scan(&scene);
@@ -36,5 +36,8 @@ fn bench_rmae(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_rmae);
-criterion_main!(benches);
+fn main() {
+    let mut c = Harness::new("bench_rmae");
+    bench_rmae(&mut c);
+    c.finish();
+}

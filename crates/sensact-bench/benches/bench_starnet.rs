@@ -1,8 +1,8 @@
-//! Criterion bench: STARNet scoring cost — feature extraction, deterministic
+//! Micro-bench (in-repo harness): STARNet scoring cost — feature extraction, deterministic
 //! ELBO, and the SPSA likelihood regret at full vs low-rank adaptation
 //! (the DESIGN.md §5 ablation in time).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sensact_bench::harness::Harness;
 use sensact_lidar::raycast::{Lidar, LidarConfig};
 use sensact_lidar::scene::SceneGenerator;
 use sensact_nn::optim::Adam;
@@ -13,7 +13,7 @@ use sensact_starnet::regret::{likelihood_regret, RegretConfig};
 use sensact_starnet::spsa::SpsaConfig;
 use std::hint::black_box;
 
-fn bench_starnet(c: &mut Criterion) {
+fn bench_starnet(c: &mut Harness) {
     let lidar = Lidar::new(LidarConfig::default());
     let cloud = lidar.scan(&SceneGenerator::new(1).generate());
     let features = extract_features(&cloud);
@@ -60,5 +60,8 @@ fn bench_starnet(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_starnet);
-criterion_main!(benches);
+fn main() {
+    let mut c = Harness::new("bench_starnet");
+    bench_starnet(&mut c);
+    c.finish();
+}

@@ -56,7 +56,11 @@ fn main() {
         }
         inter as f64 / union.max(1) as f64
     };
-    compare("active sensing fraction", "~8%", &format!("{:.1}%", coverage * 100.0));
+    compare(
+        "active sensing fraction",
+        "~8%",
+        &format!("{:.1}%", coverage * 100.0),
+    );
     compare(
         "scene occupancy recovered (IoU)",
         "task accuracy maintained",
@@ -93,9 +97,15 @@ fn main() {
 
     header("Conclusion claim 3: threefold multi-agent energy reduction");
     let coordinator = CoverageCoordinator::new();
-    let fleet: Vec<AgentProfile> = (0..3).map(|i| AgentProfile::homogeneous(AgentId(i))).collect();
+    let fleet: Vec<AgentProfile> = (0..3)
+        .map(|i| AgentProfile::homogeneous(AgentId(i)))
+        .collect();
     let factor = coordinator.fleet_reduction_factor(&fleet);
-    compare("3-agent coordinated sensing", "3x energy reduction", &format!("{factor:.2}x"));
+    compare(
+        "3-agent coordinated sensing",
+        "3x energy reduction",
+        &format!("{factor:.2}x"),
+    );
     assert!((2.5..3.5).contains(&factor), "factor {factor}");
     println!("shape checks passed");
 

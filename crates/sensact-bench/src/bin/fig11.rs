@@ -13,7 +13,11 @@ use sensact_fed::server::{run_federated, FedConfig, FedReport, Strategy};
 fn fleet(n: usize, seed: u64) -> (Vec<Client>, Dataset) {
     let all = Dataset::generate(scaled(2400, 600), seed);
     let parts = all.split_noniid(n, seed);
-    let tiers = [HardwareTier::EdgeGpu, HardwareTier::Mobile, HardwareTier::Mcu];
+    let tiers = [
+        HardwareTier::EdgeGpu,
+        HardwareTier::Mobile,
+        HardwareTier::Mcu,
+    ];
     let clients = parts
         .into_iter()
         .enumerate()

@@ -32,18 +32,17 @@ fn main() {
         }
     }
 
-    println!("{:<24} {:>16} {:>16}", "model", "prediction MACs", "control MACs");
+    println!(
+        "{:<24} {:>16} {:>16}",
+        "model", "prediction MACs", "control MACs"
+    );
     for (name, pred, ctrl) in &rows {
         println!("{name:<24} {pred:>16} {ctrl:>16}");
     }
 
     header("shape check vs paper");
     let spectral_total = rows[0].1 + rows[0].2;
-    let min_other = rows[1..]
-        .iter()
-        .map(|(_, p, c)| p + c)
-        .min()
-        .unwrap();
+    let min_other = rows[1..].iter().map(|(_, p, c)| p + c).min().unwrap();
     let tf_total = rows[4].1 + rows[4].2;
     let max_other = rows[..4].iter().map(|(_, p, c)| p + c).max().unwrap();
     compare(

@@ -70,9 +70,15 @@ fn main() {
         }
     }
 
-    println!("\n{:<18} {:>7} {:>7} {:>7} {:>7}", "model", "p=0", "p=.05", "p=.1", "p=.25");
+    println!(
+        "\n{:<18} {:>7} {:>7} {:>7} {:>7}",
+        "model", "p=0", "p=.05", "p=.1", "p=.25"
+    );
     for (name, r) in &results {
-        println!("{name:<18} {:>7.2} {:>7.2} {:>7.2} {:>7.2}", r[0], r[1], r[2], r[3]);
+        println!(
+            "{name:<18} {:>7.2} {:>7.2} {:>7.2} {:>7.2}",
+            r[0], r[1], r[2], r[3]
+        );
     }
 
     header("shape check vs paper");

@@ -30,8 +30,7 @@ fn main() {
     );
     for severity in 0..=5u8 {
         let raw = evaluate_detection_under_snow(&eval_scenes, severity, None, 1);
-        let guarded =
-            evaluate_detection_under_snow(&eval_scenes, severity, Some(&mut monitor), 1);
+        let guarded = evaluate_detection_under_snow(&eval_scenes, severity, Some(&mut monitor), 1);
         println!(
             "{severity:<9} {:>9.3} {:>9.3} {:>9.3} | {:>9.3} {:>9.3} {:>9.3}",
             raw.car_ap,
@@ -75,7 +74,14 @@ fn main() {
     compare(
         "recovered fraction of the loss",
         ">= half",
-        &format!("{:.0}%", if lost > 0.0 { recovered / lost * 100.0 } else { 0.0 }),
+        &format!(
+            "{:.0}%",
+            if lost > 0.0 {
+                recovered / lost * 100.0
+            } else {
+                0.0
+            }
+        ),
     );
     write_csv(
         "fig7",

@@ -25,9 +25,7 @@ fn run_loop(model: &mut FlowModel, scenes: &[MovingScene], op: &OpEnergy) -> f64
             // Sensing cost: frame cameras read every pixel every tick; the
             // DVS reads only events. Model: 50 pJ/pixel-read.
             let pixels = scene.config().width as f64 * scene.config().height as f64;
-            let reads = match () {
-                _ => pixels.min(scene.events.events.len() as f64 + 1.0),
-            };
+            let reads = pixels.min(scene.events.events.len() as f64 + 1.0);
             let _ = reads;
             ctx.charge(0.0, 1e-5);
             scene.clone()
@@ -38,14 +36,16 @@ fn run_loop(model: &mut FlowModel, scenes: &[MovingScene], op: &OpEnergy) -> f64
             ctx.charge(ledger.energy_uj(&op) * 1e-6, 1e-4);
             m.predict(scene)
         }),
-        FnController::new(|flow: &Vec<(f64, f64)>, _t: Trust, ctx: &mut StageContext| {
-            ctx.charge(1e-9, 1e-6);
-            // Steer toward the dominant motion.
-            let (u, v) = flow
-                .iter()
-                .fold((0.0, 0.0), |(a, b), &(x, y)| (a + x, b + y));
-            (u, v)
-        }),
+        FnController::new(
+            |flow: &Vec<(f64, f64)>, _t: Trust, ctx: &mut StageContext| {
+                ctx.charge(1e-9, 1e-6);
+                // Steer toward the dominant motion.
+                let (u, v) = flow
+                    .iter()
+                    .fold((0.0, 0.0), |(a, b), &(x, y)| (a + x, b + y));
+                (u, v)
+            },
+        ),
     );
     for scene in scenes {
         let _ = looop.tick(scene);

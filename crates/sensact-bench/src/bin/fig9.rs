@@ -57,7 +57,10 @@ fn main() {
             model.param_count(),
             energy
         );
-        csv.push(format!("{kind},{aee:.5},{},{energy:.5}", model.param_count()));
+        csv.push(format!(
+            "{kind},{aee:.5},{},{energy:.5}",
+            model.param_count()
+        ));
         results.push((kind, aee, energy));
     }
 

@@ -1,0 +1,167 @@
+//! Kernel micro-benchmarks: naive vs blocked vs parallel GEMM, im2col conv
+//! forward, full raycast scan, and an end-to-end loop tick.
+//!
+//! Emits `BENCH_kernels.json` in the working directory so later PRs have a
+//! perf trajectory, and verifies on the way that the fast paths agree with
+//! the reference kernels to ≤1e-12 (the GEMM and raycast paths are in fact
+//! bitwise identical by construction).
+
+use sensact_bench::harness::Harness;
+use sensact_core::stage::{FnController, FnPerceptor, FnSensor, StageContext, Trust};
+use sensact_core::LoopBuilder;
+use sensact_lidar::raycast::{Lidar, LidarConfig};
+use sensact_lidar::scene::SceneGenerator;
+use sensact_math::kernels;
+use sensact_math::rng::StdRng;
+use sensact_nn::conv::{Conv3d, Dims3};
+use sensact_nn::init::Initializer;
+use sensact_nn::layers::Layer;
+use sensact_nn::Tensor;
+use std::hint::black_box;
+use std::io::Write;
+
+const GEMM_N: usize = 256;
+
+fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(0xBE7C_0001);
+    let mut h = Harness::new("bench_kernels");
+
+    // --- GEMM: naive vs cache-blocked vs parallel, 256x256x256 -----------
+    let n = GEMM_N;
+    let a: Vec<f64> = (0..n * n).map(|_| rng.random::<f64>() - 0.5).collect();
+    let b: Vec<f64> = (0..n * n).map(|_| rng.random::<f64>() - 0.5).collect();
+    let mut c_naive = vec![0.0; n * n];
+    let mut c_blocked = vec![0.0; n * n];
+    let mut c_parallel = vec![0.0; n * n];
+    kernels::gemm_naive(n, n, n, 1.0, &a, &b, 0.0, &mut c_naive);
+    kernels::gemm_blocked(n, n, n, 1.0, &a, &b, 0.0, &mut c_blocked);
+    kernels::gemm_parallel(n, n, n, 1.0, &a, &b, 0.0, &mut c_parallel);
+    let gemm_diff = max_abs_diff(&c_naive, &c_blocked).max(max_abs_diff(&c_naive, &c_parallel));
+    assert!(gemm_diff <= 1e-12, "GEMM kernels diverged: {gemm_diff:e}");
+
+    h.bench_function("gemm_naive/256", |bch| {
+        bch.iter(|| kernels::gemm_naive(n, n, n, 1.0, black_box(&a), &b, 0.0, &mut c_naive))
+    });
+    h.bench_function("gemm_blocked/256", |bch| {
+        bch.iter(|| kernels::gemm_blocked(n, n, n, 1.0, black_box(&a), &b, 0.0, &mut c_blocked))
+    });
+    h.bench_function("gemm_parallel/256", |bch| {
+        bch.iter(|| kernels::gemm_parallel(n, n, n, 1.0, black_box(&a), &b, 0.0, &mut c_parallel))
+    });
+
+    // --- Conv3d forward: gather-loop reference vs im2col+GEMM ------------
+    let mut init = Initializer::new(7);
+    let mut conv = Conv3d::new(4, 8, 3, 1, 1, Dims3::new(10, 10, 10), &mut init);
+    let xlen = 4 * 10 * 10 * 10;
+    let x: Vec<f64> = (0..2 * xlen).map(|_| rng.random::<f64>() - 0.5).collect();
+    let input = Tensor::from_vec(vec![2, xlen], x);
+    let reference = conv.forward_reference(&input);
+    let fast = conv.forward(&input, false);
+    let conv_diff = max_abs_diff(reference.as_slice(), fast.as_slice());
+    assert!(conv_diff <= 1e-12, "conv kernels diverged: {conv_diff:e}");
+
+    h.bench_function("conv3d_forward_reference/4x8x10^3", |bch| {
+        bch.iter(|| black_box(conv.forward_reference(black_box(&input))))
+    });
+    h.bench_function("conv3d_forward_im2col/4x8x10^3", |bch| {
+        bch.iter(|| black_box(conv.forward(black_box(&input), false)))
+    });
+
+    // --- Raycast: naive vs azimuth-bucketed vs parallel 64x512 scan ------
+    let lidar = Lidar::new(LidarConfig::default());
+    let scene = SceneGenerator::new(1).generate();
+    let reference = lidar.scan_reference(&scene);
+    assert_eq!(
+        reference,
+        lidar.scan_serial(&scene),
+        "bucketed scan is not bit-identical"
+    );
+    assert_eq!(
+        reference,
+        lidar.scan(&scene),
+        "parallel scan is not bit-identical"
+    );
+
+    h.bench_function("raycast_naive/64x512", |bch| {
+        bch.iter(|| black_box(lidar.scan_reference(black_box(&scene))))
+    });
+    h.bench_function("raycast_bucketed/64x512", |bch| {
+        bch.iter(|| black_box(lidar.scan_serial(black_box(&scene))))
+    });
+    h.bench_function("raycast_parallel/64x512", |bch| {
+        bch.iter(|| black_box(lidar.scan(black_box(&scene))))
+    });
+
+    // --- End-to-end sensing-action loop tick -----------------------------
+    let mut looop = LoopBuilder::new("kernels-bench").build(
+        FnSensor::new(|e: &f64, ctx: &mut StageContext| {
+            ctx.charge(1e-6, 1e-6);
+            *e
+        }),
+        FnPerceptor::new(|r: &f64, _: &mut StageContext| *r),
+        FnController::new(|f: &f64, _t: Trust, _: &mut StageContext| -0.5 * f),
+    );
+    h.bench_function("loop_tick/minimal", |bch| {
+        bch.iter(|| black_box(looop.tick(black_box(&1.0))))
+    });
+    h.finish();
+
+    // --- BENCH_kernels.json ----------------------------------------------
+    let mean = |id: &str| -> f64 {
+        h.results()
+            .iter()
+            .find(|(rid, _)| rid == id)
+            .map(|(_, s)| s.mean_ns)
+            .expect("benchmark id missing")
+    };
+    let gemm_naive = mean("gemm_naive/256");
+    let gemm_blocked = mean("gemm_blocked/256");
+    let gemm_parallel = mean("gemm_parallel/256");
+    let conv_ref = mean("conv3d_forward_reference/4x8x10^3");
+    let conv_fast = mean("conv3d_forward_im2col/4x8x10^3");
+    let ray_naive = mean("raycast_naive/64x512");
+    let ray_bucketed = mean("raycast_bucketed/64x512");
+    let ray_parallel = mean("raycast_parallel/64x512");
+    let tick = mean("loop_tick/minimal");
+
+    let json = format!(
+        "{{\n  \
+         \"gemm_256\": {{\n    \
+           \"naive_ns\": {gemm_naive:.0},\n    \
+           \"blocked_ns\": {gemm_blocked:.0},\n    \
+           \"parallel_ns\": {gemm_parallel:.0},\n    \
+           \"blocked_speedup\": {:.2},\n    \
+           \"parallel_speedup\": {:.2},\n    \
+           \"max_abs_diff\": {gemm_diff:e}\n  }},\n  \
+         \"conv3d_forward\": {{\n    \
+           \"reference_ns\": {conv_ref:.0},\n    \
+           \"im2col_ns\": {conv_fast:.0},\n    \
+           \"speedup\": {:.2},\n    \
+           \"max_abs_diff\": {conv_diff:e}\n  }},\n  \
+         \"raycast_64x512\": {{\n    \
+           \"naive_ns\": {ray_naive:.0},\n    \
+           \"bucketed_ns\": {ray_bucketed:.0},\n    \
+           \"parallel_ns\": {ray_parallel:.0},\n    \
+           \"bucketed_speedup\": {:.2},\n    \
+           \"parallel_speedup\": {:.2},\n    \
+           \"bit_identical\": true\n  }},\n  \
+         \"loop_tick\": {{\n    \"mean_ns\": {tick:.1}\n  }}\n}}\n",
+        gemm_naive / gemm_blocked,
+        gemm_naive / gemm_parallel,
+        conv_ref / conv_fast,
+        ray_naive / ray_bucketed,
+        ray_naive / ray_parallel,
+    );
+    let path = "BENCH_kernels.json";
+    let mut f = std::fs::File::create(path).expect("create BENCH_kernels.json");
+    f.write_all(json.as_bytes())
+        .expect("write BENCH_kernels.json");
+    println!("[json] {path}");
+}

@@ -62,11 +62,22 @@ fn main() {
     let min_auc = aucs.iter().copied().fold(1.0f64, f64::min);
     let crosstalk_auc = aucs[5];
     let cross_sensor_auc = aucs[6];
-    compare("minimum AUC across corruptions", ">0.90 typical", &format!("{min_auc:.3}"));
+    compare(
+        "minimum AUC across corruptions",
+        ">0.90 typical",
+        &format!("{min_auc:.3}"),
+    );
     compare("crosstalk", "0.9658", &format!("{crosstalk_auc:.4}"));
-    compare("cross-sensor interference", "0.9938", &format!("{cross_sensor_auc:.4}"));
+    compare(
+        "cross-sensor interference",
+        "0.9938",
+        &format!("{cross_sensor_auc:.4}"),
+    );
     assert!(crosstalk_auc > 0.9, "crosstalk AUC {crosstalk_auc}");
-    assert!(cross_sensor_auc > 0.85, "cross-sensor AUC {cross_sensor_auc}");
+    assert!(
+        cross_sensor_auc > 0.85,
+        "cross-sensor AUC {cross_sensor_auc}"
+    );
     println!("shape check passed");
     write_csv("starnet_auc", "corruption,auc", &csv);
 }

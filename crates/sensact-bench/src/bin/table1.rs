@@ -58,12 +58,18 @@ fn main() {
     compare(
         "R-MAE lifts small-class AP (SECOND)",
         "+2.41 ped / +3.26 cyc",
-        &format!("{:+.1} ped+cyc mean AP", (rmae_small[0] - baseline_small[0]) * 100.0),
+        &format!(
+            "{:+.1} ped+cyc mean AP",
+            (rmae_small[0] - baseline_small[0]) * 100.0
+        ),
     );
     compare(
         "R-MAE lifts small-class AP (PV-RCNN)",
         "+0.10 ped / +4.37 cyc",
-        &format!("{:+.1} ped+cyc mean AP", (rmae_small[1] - baseline_small[1]) * 100.0),
+        &format!(
+            "{:+.1} ped+cyc mean AP",
+            (rmae_small[1] - baseline_small[1]) * 100.0
+        ),
     );
     compare(
         "two-stage beats single-stage (R-MAE row)",
@@ -79,7 +85,11 @@ fn main() {
         "reconstruction did not lift small-class AP"
     );
     println!("shape check passed");
-    write_csv("table1", "detector,strategy,car,pedestrian,cyclist,recon_iou", &csv);
+    write_csv(
+        "table1",
+        "detector,strategy,car,pedestrian,cyclist,recon_iou",
+        &csv,
+    );
 
     // DESIGN.md §5 ablation: what a radially pre-trained model reconstructs
     // when deployment masking is *uniform* instead (distribution mismatch).
@@ -108,10 +118,8 @@ fn main() {
             let uniform = uniform_masked_cloud(&full, ratio.clamp(0.01, 1.0), i as u64);
             let radial_flat = VoxelGrid::from_cloud(grid_cfg, &radial).occupancy_flat();
             let uniform_flat = VoxelGrid::from_cloud(grid_cfg, &uniform).occupancy_flat();
-            iou_radial +=
-                model.reconstruction_iou_above_ground(&radial_flat, &full_flat, 0.5);
-            iou_uniform +=
-                model.reconstruction_iou_above_ground(&uniform_flat, &full_flat, 0.5);
+            iou_radial += model.reconstruction_iou_above_ground(&radial_flat, &full_flat, 0.5);
+            iou_uniform += model.reconstruction_iou_above_ground(&uniform_flat, &full_flat, 0.5);
         }
         let n = eval.len() as f64;
         compare(

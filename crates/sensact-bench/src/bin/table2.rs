@@ -49,13 +49,21 @@ fn main() {
     let combined_adaptive = adaptive.total_energy_j + recon_mj * 1e-3;
     let advantage = conventional_j / combined_adaptive;
 
-    compare("Scene coverage", "100% -> <10%", &format!("100% -> {:.1}%", coverage * 100.0));
+    compare(
+        "Scene coverage",
+        "100% -> <10%",
+        &format!("100% -> {:.1}%", coverage * 100.0),
+    );
     compare(
         "Energy per laser pulse",
         "50 uJ -> 5.5 uJ",
         &format!("50.0 uJ -> {:.1} uJ", adaptive.mean_pulse_uj()),
     );
-    compare("Model parameters", "830 K", &format!("{} (coarser grid)", stats.params));
+    compare(
+        "Model parameters",
+        "830 K",
+        &format!("{} (coarser grid)", stats.params),
+    );
     compare(
         "FLOPs per 360 scan",
         "335 M",
@@ -70,7 +78,11 @@ fn main() {
             adaptive.total_energy_j * 1e6
         ),
     );
-    compare("Reconstruction overhead", "7.1 mJ", &format!("{recon_mj:.3} mJ"));
+    compare(
+        "Reconstruction overhead",
+        "7.1 mJ",
+        &format!("{recon_mj:.3} mJ"),
+    );
     compare(
         "Combined sensing+compute advantage",
         "9.11x",
@@ -94,7 +106,10 @@ fn main() {
         ],
     );
 
-    assert!(coverage < 0.15, "coverage {coverage} exceeds the paper band");
+    assert!(
+        coverage < 0.15,
+        "coverage {coverage} exceeds the paper band"
+    );
     assert!(advantage > 3.0, "combined advantage only {advantage:.2}x");
     println!("\nshape check passed: <15% coverage, >3x combined advantage");
 

@@ -1,0 +1,158 @@
+//! Minimal wall-clock micro-benchmark harness.
+//!
+//! Covers the small slice of the criterion API the benches use
+//! (`bench_function` + `Bencher::iter`) with adaptive iteration counts:
+//! each benchmark is calibrated with a single run, then timed over several
+//! samples sized to fill a fixed measurement budget. Results print as a
+//! table and can be exported as CSV/JSON rows.
+
+use std::time::{Duration, Instant};
+
+/// Timing summary of one benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct Sample {
+    /// Mean wall-clock time per iteration (nanoseconds).
+    pub mean_ns: f64,
+    /// Fastest observed per-iteration time across samples (nanoseconds).
+    pub min_ns: f64,
+    /// Total iterations measured (excluding calibration).
+    pub iters: u64,
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] exactly once.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run the workload `iters` times, timing the whole batch.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A named collection of benchmarks with a shared time budget.
+pub struct Harness {
+    name: String,
+    target: Duration,
+    samples: u32,
+    results: Vec<(String, Sample)>,
+}
+
+impl Harness {
+    /// Harness with the default budget (~300 ms per benchmark, ~50 ms in
+    /// quick mode — see [`crate::quick`]).
+    pub fn new(name: &str) -> Self {
+        let target = if crate::quick() {
+            Duration::from_millis(50)
+        } else {
+            Duration::from_millis(300)
+        };
+        println!("== {name} ==");
+        Harness {
+            name: name.to_string(),
+            target,
+            samples: 8,
+            results: Vec::new(),
+        }
+    }
+
+    /// Time `f`, sizing iteration batches so all samples together roughly
+    /// fill the budget, and print one summary row.
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        // Calibration run (1 iteration) sizes the measurement batches.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let single_ns = (b.elapsed.as_nanos() as u64).max(1);
+        let budget_ns = self.target.as_nanos() as u64 / self.samples as u64;
+        let per_sample = (budget_ns / single_ns).clamp(1, 1_000_000_000);
+
+        let mut min_ns = f64::INFINITY;
+        let mut total_ns = 0.0;
+        let mut total_iters = 0u64;
+        for _ in 0..self.samples {
+            let mut b = Bencher {
+                iters: per_sample,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            let per_iter = b.elapsed.as_nanos() as f64 / per_sample as f64;
+            min_ns = min_ns.min(per_iter);
+            total_ns += b.elapsed.as_nanos() as f64;
+            total_iters += per_sample;
+        }
+        let sample = Sample {
+            mean_ns: total_ns / total_iters as f64,
+            min_ns,
+            iters: total_iters,
+        };
+        println!(
+            "{id:<44} mean {:>12}   min {:>12}   ({} iters)",
+            fmt_ns(sample.mean_ns),
+            fmt_ns(sample.min_ns),
+            sample.iters
+        );
+        self.results.push((id.to_string(), sample));
+        self
+    }
+
+    /// All recorded results in run order.
+    pub fn results(&self) -> &[(String, Sample)] {
+        &self.results
+    }
+
+    /// Write results as `target/experiments/<name>.csv`.
+    pub fn finish(&self) {
+        let rows: Vec<String> = self
+            .results
+            .iter()
+            .map(|(id, s)| format!("{id},{:.1},{:.1},{}", s.mean_ns, s.min_ns, s.iters))
+            .collect();
+        crate::write_csv(&self.name, "benchmark,mean_ns,min_ns,iters", &rows);
+    }
+}
+
+/// Human-readable duration from nanoseconds.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_positive_times() {
+        let mut h = Harness::new("harness_unit_test");
+        h.bench_function("noop_sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let results = h.results();
+        assert_eq!(results.len(), 1);
+        assert!(results[0].1.mean_ns > 0.0);
+        assert!(results[0].1.min_ns <= results[0].1.mean_ns * 1.001);
+        assert!(results[0].1.iters >= 8);
+    }
+
+    #[test]
+    fn fmt_ns_scales_units() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_500.0).ends_with("us"));
+        assert!(fmt_ns(12_500_000.0).ends_with("ms"));
+        assert!(fmt_ns(2_500_000_000.0).ends_with('s'));
+    }
+}

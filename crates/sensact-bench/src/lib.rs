@@ -18,14 +18,20 @@
 //!
 //! Every binary prints a paper-vs-measured comparison and appends a CSV under
 //! `target/experiments/`. Set `SENSACT_QUICK=1` for reduced problem sizes.
-//! Criterion micro-benchmarks live in `benches/`.
+//! Micro-benchmarks live in `benches/`, driven by the in-repo [`harness`]
+//! (wall-clock timing, no external dependencies — the workspace builds
+//! offline).
 
 use std::io::Write;
 use std::path::PathBuf;
 
+pub mod harness;
+
 /// Whether quick mode is requested (smaller problem sizes).
 pub fn quick() -> bool {
-    std::env::var("SENSACT_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("SENSACT_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
         || std::env::args().any(|a| a == "--quick")
 }
 
@@ -84,11 +90,7 @@ mod tests {
 
     #[test]
     fn csv_writer_creates_file() {
-        write_csv(
-            "unit_test",
-            "a,b",
-            &["1,2".to_string(), "3,4".to_string()],
-        );
+        write_csv("unit_test", "a,b", &["1,2".to_string(), "3,4".to_string()]);
         let content = std::fs::read_to_string("target/experiments/unit_test.csv").unwrap();
         assert!(content.contains("a,b"));
         assert!(content.contains("3,4"));

@@ -84,9 +84,7 @@ impl<S: SensingKnobs, A: ActionMagnitude> AdaptationPolicy<S, A> for ActionMagni
     fn adapt(&mut self, sensor: &mut S, action: &A, trust: Trust, budget: &EnergyBudget) {
         let dynamism = (action.magnitude() / self.saturation).clamp(0.0, 1.0);
         let evidence_need = trust.suspicion();
-        let mut target = self
-            .idle_rate
-            .max(dynamism.max(evidence_need));
+        let mut target = self.idle_rate.max(dynamism.max(evidence_need));
         // Budget pressure lowers the ceiling linearly down to the idle rate.
         let ceiling = 1.0 - (1.0 - self.idle_rate) * budget.pressure();
         target = target.min(ceiling);
@@ -147,7 +145,10 @@ mod tests {
 
     impl Default for KnobSensor {
         fn default() -> Self {
-            KnobSensor { rate: 1.0, resolution: 1.0 }
+            KnobSensor {
+                rate: 1.0,
+                resolution: 1.0,
+            }
         }
     }
 
@@ -222,7 +223,11 @@ mod tests {
         for _ in 0..30 {
             p.adapt(&mut s, &0.0f64, Trust::Trusted, &b);
         }
-        assert!((s.resolution() - 0.5).abs() < 0.01, "res {}", s.resolution());
+        assert!(
+            (s.resolution() - 0.5).abs() < 0.01,
+            "res {}",
+            s.resolution()
+        );
         for _ in 0..30 {
             p.adapt(&mut s, &0.0f64, Trust::Untrusted, &b);
         }
@@ -232,7 +237,10 @@ mod tests {
     #[test]
     fn composed_policy_applies_both() {
         let mut s = KnobSensor::default();
-        let mut p = Both(ActionMagnitudeRate::default(), TrustDrivenResolution::default());
+        let mut p = Both(
+            ActionMagnitudeRate::default(),
+            TrustDrivenResolution::default(),
+        );
         let b = EnergyBudget::unlimited();
         for _ in 0..40 {
             p.adapt(&mut s, &0.0f64, Trust::Trusted, &b);
@@ -251,7 +259,12 @@ mod tests {
     fn no_adaptation_leaves_sensor_alone() {
         let mut s = KnobSensor::default();
         let mut p = NoAdaptation;
-        p.adapt(&mut s, &100.0f64, Trust::Untrusted, &EnergyBudget::unlimited());
+        p.adapt(
+            &mut s,
+            &100.0f64,
+            Trust::Untrusted,
+            &EnergyBudget::unlimited(),
+        );
         assert_eq!(s.rate(), 1.0);
         assert_eq!(s.resolution(), 1.0);
     }

@@ -86,7 +86,8 @@ impl<S, P, M, C, Ad> SensingActionLoop<S, P, M, C, Ad> {
         self.policy
             .adapt(&mut self.sensor, &action, trust, &self.budget);
         self.budget.consume(ctx.energy_j(), ctx.latency_s());
-        self.telemetry.record(ctx.energy_j(), ctx.latency_s(), trust);
+        self.telemetry
+            .record(ctx.energy_j(), ctx.latency_s(), trust);
         LoopOutput {
             action,
             trust,
@@ -273,10 +274,12 @@ mod tests {
         // Quiet environment (stays at 0): adaptive loop should spend far less
         // energy than a fixed-rate loop — the §IV effect.
         let run = |adaptive: bool| -> f64 {
-            let sensor = RateSensor { rate: 1.0, resolution: 1.0 };
+            let sensor = RateSensor {
+                rate: 1.0,
+                resolution: 1.0,
+            };
             let perceptor = FnPerceptor::new(|r: &f64, _: &mut StageContext| *r);
-            let controller =
-                FnController::new(|f: &f64, _t, _: &mut StageContext| -0.1 * f);
+            let controller = FnController::new(|f: &f64, _t, _: &mut StageContext| -0.1 * f);
             let mut env = 0.0f64;
             if adaptive {
                 let mut l = LoopBuilder::new("a").build_full(
@@ -304,7 +307,10 @@ mod tests {
 
     #[test]
     fn adaptation_keeps_rate_high_when_dynamic() {
-        let sensor = RateSensor { rate: 1.0, resolution: 1.0 };
+        let sensor = RateSensor {
+            rate: 1.0,
+            resolution: 1.0,
+        };
         let mut l = LoopBuilder::new("dyn").build_full(
             sensor,
             FnPerceptor::new(|r: &f64, _: &mut StageContext| *r),

@@ -7,10 +7,10 @@
 //! active sensing, so coordinated awareness costs roughly `1/N` of solo
 //! sensing — the paper's conclusion reports a ~3× reduction with this scheme.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc as StdArc;
+use std::sync::Mutex;
 
 /// Identifier of an agent in a fleet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -163,8 +163,8 @@ pub struct ArcObservation {
     pub payload: Vec<f64>,
 }
 
-/// A broadcast bus connecting fleet members (crossbeam channels under the
-/// hood). Every published observation is delivered to every *other* agent.
+/// A broadcast bus connecting fleet members (`std::sync::mpsc` channels under
+/// the hood). Every published observation is delivered to every *other* agent.
 #[derive(Debug)]
 pub struct ObservationBus {
     senders: Vec<Sender<ArcObservation>>,
@@ -177,7 +177,7 @@ impl ObservationBus {
         let mut senders = Vec::with_capacity(n);
         let mut receivers = Vec::with_capacity(n);
         for _ in 0..n {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = channel();
             senders.push(tx);
             receivers.push(Some(rx));
         }
@@ -209,7 +209,7 @@ impl ObservationBus {
 }
 
 /// A shared fleet blackboard combining everyone's latest arc observations;
-/// protected by a `parking_lot` mutex for cross-thread use.
+/// protected by a mutex for cross-thread use.
 #[derive(Debug, Clone, Default)]
 pub struct FleetBlackboard {
     inner: StdArc<Mutex<HashMap<AgentId, ArcObservation>>>,
@@ -223,7 +223,7 @@ impl FleetBlackboard {
 
     /// Post (or replace) an agent's latest observation.
     pub fn post(&self, obs: ArcObservation) {
-        self.inner.lock().insert(obs.from, obs);
+        self.inner.lock().unwrap().insert(obs.from, obs);
     }
 
     /// Total azimuth coverage (degrees, ≤ 360) of all posted observations,
@@ -231,6 +231,7 @@ impl FleetBlackboard {
     pub fn coverage_deg(&self) -> f64 {
         self.inner
             .lock()
+            .unwrap()
             .values()
             .map(|o| o.arc.width())
             .sum::<f64>()
@@ -239,7 +240,7 @@ impl FleetBlackboard {
 
     /// Number of agents that have posted.
     pub fn contributors(&self) -> usize {
-        self.inner.lock().len()
+        self.inner.lock().unwrap().len()
     }
 }
 
@@ -248,12 +249,17 @@ mod tests {
     use super::*;
 
     fn fleet(n: usize) -> Vec<AgentProfile> {
-        (0..n).map(|i| AgentProfile::homogeneous(AgentId(i))).collect()
+        (0..n)
+            .map(|i| AgentProfile::homogeneous(AgentId(i)))
+            .collect()
     }
 
     #[test]
     fn arc_contains_handles_wraparound() {
-        let arc = AzimuthArc { start_deg: 350.0, end_deg: 370.0 };
+        let arc = AzimuthArc {
+            start_deg: 350.0,
+            end_deg: 370.0,
+        };
         assert!(arc.contains(355.0));
         assert!(arc.contains(5.0));
         assert!(!arc.contains(20.0));
@@ -322,7 +328,10 @@ mod tests {
         let rx2 = bus.take_receiver(2);
         let obs = ArcObservation {
             from: AgentId(0),
-            arc: AzimuthArc { start_deg: 0.0, end_deg: 120.0 },
+            arc: AzimuthArc {
+                start_deg: 0.0,
+                end_deg: 120.0,
+            },
             payload: vec![1.0, 2.0],
         };
         bus.publish(AgentId(0), obs.clone());
@@ -340,7 +349,10 @@ mod tests {
             AgentId(0),
             ArcObservation {
                 from: AgentId(0),
-                arc: AzimuthArc { start_deg: 0.0, end_deg: 180.0 },
+                arc: AzimuthArc {
+                    start_deg: 0.0,
+                    end_deg: 180.0,
+                },
                 payload: vec![],
             },
         );
@@ -370,7 +382,10 @@ mod tests {
         for _ in 0..5 {
             board.post(ArcObservation {
                 from: AgentId(0),
-                arc: AzimuthArc { start_deg: 0.0, end_deg: 90.0 },
+                arc: AzimuthArc {
+                    start_deg: 0.0,
+                    end_deg: 90.0,
+                },
                 payload: vec![],
             });
         }

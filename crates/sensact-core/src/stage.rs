@@ -168,9 +168,7 @@ impl<F> FnController<F> {
     }
 }
 
-impl<Feat, A, F: FnMut(&Feat, Trust, &mut StageContext) -> A> Controller<Feat>
-    for FnController<F>
-{
+impl<Feat, A, F: FnMut(&Feat, Trust, &mut StageContext) -> A> Controller<Feat> for FnController<F> {
     type Action = A;
     fn decide(&mut self, features: &Feat, trust: Trust, ctx: &mut StageContext) -> A {
         (self.0)(features, trust, ctx)
@@ -221,14 +219,15 @@ mod tests {
                 Trust::Trusted
             }
         });
-        let mut controller =
-            FnController::new(|f: &f64, t: Trust, _: &mut StageContext| {
+        let mut controller = FnController::new(
+            |f: &f64, t: Trust, _: &mut StageContext| {
                 if t.is_actionable() {
                     -f
                 } else {
                     0.0
                 }
-            });
+            },
+        );
 
         let mut ctx = StageContext::new();
         let r = sensor.sense(&21, &mut ctx);

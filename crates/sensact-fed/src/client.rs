@@ -41,19 +41,25 @@ impl HardwareProfile {
             HardwareTier::EdgeGpu => HardwareProfile {
                 tier,
                 macs_per_second: 2e9,
-                energy: MacEnergyModel { pj_per_mac_int8: 0.2 },
+                energy: MacEnergyModel {
+                    pj_per_mac_int8: 0.2,
+                },
                 comm_energy_per_param: 4e-9,
             },
             HardwareTier::Mobile => HardwareProfile {
                 tier,
                 macs_per_second: 5e8,
-                energy: MacEnergyModel { pj_per_mac_int8: 0.35 },
+                energy: MacEnergyModel {
+                    pj_per_mac_int8: 0.35,
+                },
                 comm_energy_per_param: 8e-9,
             },
             HardwareTier::Mcu => HardwareProfile {
                 tier,
                 macs_per_second: 5e7,
-                energy: MacEnergyModel { pj_per_mac_int8: 0.6 },
+                energy: MacEnergyModel {
+                    pj_per_mac_int8: 0.6,
+                },
                 comm_energy_per_param: 2e-8,
             },
         }
@@ -110,7 +116,8 @@ impl Client {
     /// Flatten the model parameters.
     pub fn params_flat(&mut self) -> Vec<f64> {
         let mut out = Vec::new();
-        self.model.visit_params(&mut |p, _| out.extend_from_slice(p));
+        self.model
+            .visit_params(&mut |p, _| out.extend_from_slice(p));
         out
     }
 
@@ -150,9 +157,7 @@ impl Client {
             }
         }
         // Dense 2 bias: always active.
-        for _ in 0..CLASSES {
-            mask.push(1.0);
-        }
+        mask.extend(std::iter::repeat_n(1.0, CLASSES));
         mask
     }
 
@@ -181,7 +186,12 @@ impl Client {
             return 0.0;
         }
         self.apply_subnetwork_mask();
-        let rows: Vec<Vec<f64>> = self.data.samples().iter().map(|s| s.features.clone()).collect();
+        let rows: Vec<Vec<f64>> = self
+            .data
+            .samples()
+            .iter()
+            .map(|s| s.features.clone())
+            .collect();
         let labels: Vec<usize> = self.data.samples().iter().map(|s| s.label).collect();
         let x = Tensor::stack_rows(&rows);
         let mut opt = Adam::new(0.01);
@@ -240,11 +250,7 @@ impl Client {
         let macs = self.macs_per_forward() * 3 * self.data.len() as u64 * epochs as u64;
         let bits = self.precision.bits().min(16);
         let compute = self.profile.energy.energy_mj(macs, bits) * 1e-3;
-        let active_params = self
-            .subnetwork_mask()
-            .iter()
-            .filter(|&&m| m > 0.0)
-            .count() as f64;
+        let active_params = self.subnetwork_mask().iter().filter(|&&m| m > 0.0).count() as f64;
         // Upload cost shrinks with precision (fewer bits on the wire).
         let comm = active_params * self.profile.comm_energy_per_param * bits as f64 / 16.0;
         compute + comm

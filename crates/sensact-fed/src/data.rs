@@ -6,8 +6,7 @@
 //! splits follow the standard shard protocol: sort by label, deal shards, so
 //! each client sees only a few classes (non-IID), or a uniform shuffle (IID).
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use sensact_math::rng::StdRng;
 
 /// Feature dimension.
 pub const INPUT_DIM: usize = 32;
@@ -120,7 +119,11 @@ impl Dataset {
             let mut samples = Vec::new();
             for &s in &shard_order[2 * c..2 * c + 2] {
                 let start = s * shard_size;
-                let end = if s == shards - 1 { sorted.len() } else { start + shard_size };
+                let end = if s == shards - 1 {
+                    sorted.len()
+                } else {
+                    start + shard_size
+                };
                 samples.extend(sorted[start..end].iter().map(|&s| s.clone()));
             }
             parts.push(Dataset::from_samples(samples));

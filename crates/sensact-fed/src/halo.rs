@@ -78,10 +78,7 @@ mod tests {
         let mut mcu = client(HardwareTier::Mcu, 1);
         let p_gpu = select_precision_for(&mut gpu);
         let p_mcu = select_precision_for(&mut mcu);
-        assert!(
-            p_mcu.bits() <= p_gpu.bits(),
-            "MCU {p_mcu} vs GPU {p_gpu}"
-        );
+        assert!(p_mcu.bits() <= p_gpu.bits(), "MCU {p_mcu} vs GPU {p_gpu}");
         assert!(p_mcu.bits() <= 8, "MCU precision {p_mcu} too conservative");
     }
 

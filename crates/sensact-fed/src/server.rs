@@ -166,7 +166,11 @@ mod tests {
     pub(crate) fn fleet(n: usize, seed: u64) -> (Vec<Client>, Dataset) {
         let all = Dataset::generate(1200, seed);
         let parts = all.split_noniid(n, seed);
-        let tiers = [HardwareTier::EdgeGpu, HardwareTier::Mobile, HardwareTier::Mcu];
+        let tiers = [
+            HardwareTier::EdgeGpu,
+            HardwareTier::Mobile,
+            HardwareTier::Mcu,
+        ];
         let clients = parts
             .into_iter()
             .enumerate()
@@ -187,12 +191,7 @@ mod tests {
     fn federation_beats_single_noniid_client() {
         let (mut clients, test) = fleet(4, 2);
         // A lone non-IID client sees ~2 classes.
-        let mut solo = Client::new(
-            9,
-            clients[0].data.clone(),
-            HardwareTier::EdgeGpu,
-            77,
-        );
+        let mut solo = Client::new(9, clients[0].data.clone(), HardwareTier::EdgeGpu, 77);
         solo.local_train(64);
         let solo_acc = solo.evaluate(&test);
         let report = run_federated(&mut clients, Strategy::Static, &FedConfig::default(), &test);
@@ -207,8 +206,7 @@ mod tests {
     #[test]
     fn dcnas_cuts_cost_without_collapsing_accuracy() {
         let (mut c1, test) = fleet(4, 3);
-        let static_report =
-            run_federated(&mut c1, Strategy::Static, &FedConfig::default(), &test);
+        let static_report = run_federated(&mut c1, Strategy::Static, &FedConfig::default(), &test);
         let (mut c2, _) = fleet(4, 3);
         let dcnas_report = run_federated(&mut c2, Strategy::DcNas, &FedConfig::default(), &test);
         assert!(dcnas_report.energy_j < static_report.energy_j);
@@ -224,8 +222,7 @@ mod tests {
     #[test]
     fn halofl_cuts_cost_without_collapsing_accuracy() {
         let (mut c1, test) = fleet(4, 4);
-        let static_report =
-            run_federated(&mut c1, Strategy::Static, &FedConfig::default(), &test);
+        let static_report = run_federated(&mut c1, Strategy::Static, &FedConfig::default(), &test);
         let (mut c2, _) = fleet(4, 4);
         let halo_report = run_federated(&mut c2, Strategy::HaloFl, &FedConfig::default(), &test);
         assert!(halo_report.energy_j < static_report.energy_j);

@@ -243,7 +243,11 @@ mod tests {
             "target calls/token {}",
             report.target_calls_per_token()
         );
-        assert!(report.acceptance_rate > 0.3, "acceptance {}", report.acceptance_rate);
+        assert!(
+            report.acceptance_rate > 0.3,
+            "acceptance {}",
+            report.acceptance_rate
+        );
     }
 
     #[test]
@@ -277,31 +281,32 @@ mod tests {
 #[cfg(test)]
 mod prop_tests {
     use super::*;
-    use proptest::prelude::*;
+    use sensact_math::rng::StdRng;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(48))]
-
-        /// The exactness guarantee holds for every prompt position, length
-        /// and lookahead: speculative output == target greedy output.
-        #[test]
-        fn prop_speculative_exactness(
-            start in 0usize..300,
-            len in 1usize..60,
-            lookahead in 1usize..8,
-            draft_order in 1usize..4)
-        {
-            let corpus = demo_corpus();
-            let chars: Vec<char> = corpus.chars().collect();
-            prop_assume!(start + 8 < chars.len());
+    /// The exactness guarantee holds for every prompt position, length
+    /// and lookahead: speculative output == target greedy output.
+    #[test]
+    fn prop_speculative_exactness() {
+        let mut rng = StdRng::seed_from_u64(0x5BEC01);
+        let corpus = demo_corpus();
+        let chars: Vec<char> = corpus.chars().collect();
+        let target = NgramModel::train(corpus, 5);
+        let drafts: Vec<NgramModel> = (1..4).map(|o| NgramModel::train(corpus, o)).collect();
+        for _ in 0..48 {
+            let start = rng.random_range(0..300usize);
+            let len = rng.random_range(1..60usize);
+            let lookahead = rng.random_range(1..8usize);
+            let draft_order = rng.random_range(1..4usize);
+            if start + 8 >= chars.len() {
+                continue;
+            }
             let prompt: String = chars[start..start + 8].iter().collect();
-            let draft = NgramModel::train(corpus, draft_order);
-            let target = NgramModel::train(corpus, 5);
+            let draft = &drafts[draft_order - 1];
             let plain = target.generate(&prompt, len);
-            let (spec, report) = speculative_generate(&draft, &target, &prompt, len, lookahead);
-            prop_assert_eq!(spec, plain);
-            prop_assert!(report.target_calls <= report.tokens.max(1) + 1);
-            prop_assert!((0.0..=1.0).contains(&report.acceptance_rate));
+            let (spec, report) = speculative_generate(draft, &target, &prompt, len, lookahead);
+            assert_eq!(spec, plain);
+            assert!(report.target_calls <= report.tokens.max(1) + 1);
+            assert!((0.0..=1.0).contains(&report.acceptance_rate));
         }
     }
 }

@@ -350,8 +350,8 @@ impl DynCore for DenseLinearCore {
     fn forward(&mut self, z: &Tensor, u: &[f64], _ctx: &[Vec<Vec<f64>>]) -> Tensor {
         let b = z.shape()[0];
         let mut out = Tensor::zeros(vec![b, Z_DIM]);
-        for r in 0..b {
-            out.row_mut(r).copy_from_slice(&self.apply(z.row(r), u[r]));
+        for (r, &ur) in u.iter().enumerate().take(b) {
+            out.row_mut(r).copy_from_slice(&self.apply(z.row(r), ur));
         }
         self.cached = Some((z.clone(), u.to_vec()));
         out
@@ -361,18 +361,18 @@ impl DynCore for DenseLinearCore {
         let (z, u) = self.cached.as_ref().expect("backward before forward");
         let b = grad.shape()[0];
         let mut g_z = Tensor::zeros(vec![b, Z_DIM]);
-        for r in 0..b {
+        for (r, &ur) in u.iter().enumerate().take(b) {
             let g = grad.row(r);
             let zr = z.row(r);
-            for i in 0..Z_DIM {
-                for j in 0..Z_DIM {
-                    self.grad_a[i * Z_DIM + j] += g[i] * zr[j];
+            for (i, &gi) in g.iter().enumerate() {
+                for (j, &zj) in zr.iter().enumerate() {
+                    self.grad_a[i * Z_DIM + j] += gi * zj;
                 }
-                self.grad_b[i] += g[i] * u[r];
+                self.grad_b[i] += gi * ur;
             }
             let gz = g_z.row_mut(r);
-            for j in 0..Z_DIM {
-                gz[j] = (0..Z_DIM).map(|i| self.a[i * Z_DIM + j] * g[i]).sum();
+            for (j, gzj) in gz.iter_mut().enumerate() {
+                *gzj = (0..Z_DIM).map(|i| self.a[i * Z_DIM + j] * g[i]).sum();
             }
         }
         g_z
@@ -405,6 +405,8 @@ impl DynCore for DenseLinearCore {
 
 impl DenseKoopman {
     /// Fresh dense-Koopman model.
+    // Factory on a marker type: the concrete model is deliberately opaque.
+    #[allow(clippy::new_ret_no_self)]
     pub fn new(seed: u64) -> impl LatentModel {
         let mut init = Initializer::new(seed.wrapping_add(101));
         ModelImpl {
@@ -440,9 +442,9 @@ impl MlpCore {
     fn stack_zu(z: &Tensor, u: &[f64]) -> Tensor {
         let b = z.shape()[0];
         let mut rows = Vec::with_capacity(b);
-        for r in 0..b {
+        for (r, &ur) in u.iter().enumerate().take(b) {
             let mut row = z.row(r).to_vec();
-            row.push(u[r]);
+            row.push(ur);
             rows.push(row);
         }
         Tensor::stack_rows(&rows)
@@ -491,6 +493,8 @@ impl DynCore for MlpCore {
 
 impl MlpDynamics {
     /// Fresh MLP-dynamics model (hidden width 64).
+    // Factory on a marker type: the concrete model is deliberately opaque.
+    #[allow(clippy::new_ret_no_self)]
     pub fn new(seed: u64) -> impl LatentModel {
         let mut init = Initializer::new(seed.wrapping_add(202));
         ModelImpl {
@@ -597,7 +601,12 @@ impl DynCore for RecurrentCore {
             Some(h) => h.clone(),
             None => {
                 let x = Tensor::from_vec(vec![1, Z_DIM], z.to_vec());
-                self.init_proj.apply(&x).into_vec().iter().map(|v| v.tanh()).collect()
+                self.init_proj
+                    .apply(&x)
+                    .into_vec()
+                    .iter()
+                    .map(|v| v.tanh())
+                    .collect()
             }
         };
         let hh = self
@@ -627,6 +636,8 @@ impl DynCore for RecurrentCore {
 
 impl RecurrentDynamics {
     /// Fresh recurrent-dynamics model (hidden width 32).
+    // Factory on a marker type: the concrete model is deliberately opaque.
+    #[allow(clippy::new_ret_no_self)]
     pub fn new(seed: u64) -> impl LatentModel {
         let mut init = Initializer::new(seed.wrapping_add(303));
         ModelImpl {
@@ -777,11 +788,7 @@ impl DynCore for TransformerCore {
                 }
                 // Softmax backward.
                 let dot: f64 = attn.iter().zip(&g_a).map(|(a, g)| a * g).sum();
-                let g_s: Vec<f64> = attn
-                    .iter()
-                    .zip(&g_a)
-                    .map(|(a, g)| a * (g - dot))
-                    .collect();
+                let g_s: Vec<f64> = attn.iter().zip(&g_a).map(|(a, g)| a * (g - dot)).collect();
                 // q and k paths.
                 let q = cache.q.row(r);
                 let mut g_q = vec![0.0; Z_DIM];
@@ -798,9 +805,9 @@ impl DynCore for TransformerCore {
                 }
                 accumulate_dense_grad(&mut self.wq, z_row, &g_q);
                 // g_z through q = W_q z.
-                for i in 0..Z_DIM {
+                for (i, gzi) in g_z_total.iter_mut().enumerate() {
                     let wrow = &self.wq.weights[i * Z_DIM..(i + 1) * Z_DIM];
-                    g_z_total[i] += wrow.iter().zip(&g_q).map(|(w, g)| w * g).sum::<f64>();
+                    *gzi += wrow.iter().zip(&g_q).map(|(w, g)| w * g).sum::<f64>();
                 }
             }
             g_z.row_mut(r).copy_from_slice(&g_z_total);
@@ -880,6 +887,8 @@ fn accumulate_dense_grad(dense: &mut Dense, input: &[f64], grad_out: &[f64]) {
 
 impl TransformerDynamics {
     /// Fresh Transformer-dynamics model (window 6, single head).
+    // Factory on a marker type: the concrete model is deliberately opaque.
+    #[allow(clippy::new_ret_no_self)]
     pub fn new(seed: u64) -> impl LatentModel {
         let mut init = Initializer::new(seed.wrapping_add(404));
         ModelImpl {

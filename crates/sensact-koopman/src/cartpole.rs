@@ -7,8 +7,7 @@
 //! the information content matches pixels (position of cart and pole tip
 //! smeared over a receptive-field grid) without a renderer.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use sensact_math::rng::StdRng;
 
 /// Physical parameters of the cart-pole.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -150,7 +149,11 @@ impl CartPole {
         {
             let magnitude = self.disturbance.a_min
                 + (self.disturbance.a_max - self.disturbance.a_min) * self.rng.random::<f64>();
-            let sign = if self.rng.random::<f64>() < 0.5 { -1.0 } else { 1.0 };
+            let sign = if self.rng.random::<f64>() < 0.5 {
+                -1.0
+            } else {
+                1.0
+            };
             f += sign * magnitude;
         }
         let [x, x_dot, theta, theta_dot] = self.state;
@@ -192,9 +195,9 @@ pub fn observe_state(state: &[f64; 4], config: &CartPoleConfig) -> [f64; OBS_DIM
     let tip_y = 2.0 * config.pole_half_length * theta.cos();
     let mut obs = [0.0; OBS_DIM];
     // 6 receptive fields over cart position in [-2.4, 2.4].
-    for i in 0..6 {
+    for (i, o) in obs.iter_mut().enumerate().take(6) {
         let center = -2.4 + 4.8 * i as f64 / 5.0;
-        obs[i] = (-(x - center) * (x - center) / (2.0 * 0.8 * 0.8)).exp();
+        *o = (-(x - center) * (x - center) / (2.0 * 0.8 * 0.8)).exp();
     }
     // 6 receptive fields over pole-tip x in [-1.2, 1.2] (relative to cart).
     for i in 0..6 {

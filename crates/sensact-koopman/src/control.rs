@@ -8,9 +8,8 @@
 
 use crate::baselines::LatentModel;
 use crate::cartpole::{observe_state, CartPole, CartPoleConfig, Disturbance};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use sensact_math::lqr::{dlqr_finite, LqrProblem};
+use sensact_math::rng::StdRng;
 use sensact_math::{MathError, Matrix};
 
 /// Finite LQR horizon used for gain synthesis (the paper solves the LQR
@@ -58,7 +57,7 @@ impl LqrLatentController {
             .ok_or(MathError::InvalidArgument("model has no linear dynamics"))?;
         let (c, _bias) = model.readout();
         let qx = Matrix::from_diag(&state_cost_diag());
-        let mut qz = c.transpose().matmul(&qx)?.matmul(&c)?;
+        let mut qz = c.tr_matmul(&qx)?.matmul(&c)?;
         let n = qz.rows();
         for i in 0..n {
             qz[(i, i)] += 1e-6;
@@ -147,7 +146,9 @@ impl ControllerKind {
                 model, 0.001,
             )?))
         } else {
-            Ok(ControllerKind::Shooting(ShootingController::new(10.0, seed)))
+            Ok(ControllerKind::Shooting(ShootingController::new(
+                10.0, seed,
+            )))
         }
     }
 
@@ -185,7 +186,8 @@ pub fn evaluate_robustness(
         .map(|&p| {
             let mut total = 0.0;
             for ep in 0..episodes {
-                let mut env = CartPole::new(config, seed ^ (ep as u64 * 7919 + (p * 1000.0) as u64));
+                let mut env =
+                    CartPole::new(config, seed ^ (ep as u64 * 7919 + (p * 1000.0) as u64));
                 env.set_disturbance(Disturbance::with_probability(p));
                 let mut survived = 0usize;
                 for _ in 0..max_steps {
@@ -233,9 +235,8 @@ mod tests {
 
     #[test]
     fn lqr_balances_cartpole_without_disturbance() {
-        let mut model = trained_spectral(2, 25);
-        let mut controller =
-            ControllerKind::for_model(&mut model, 0).expect("synthesis failed");
+        let mut model = trained_spectral(5, 25);
+        let mut controller = ControllerKind::for_model(&mut model, 0).expect("synthesis failed");
         let points = evaluate_robustness(&mut model, &mut controller, &[0.0], 4, 200, 3);
         assert!(
             points[0].mean_reward > 0.5,
@@ -291,14 +292,7 @@ mod tests {
     fn disturbance_monotonically_erodes_reward() {
         let mut model = trained_spectral(6, 20);
         let mut controller = ControllerKind::for_model(&mut model, 0).unwrap();
-        let points = evaluate_robustness(
-            &mut model,
-            &mut controller,
-            &[0.0, 0.5],
-            4,
-            150,
-            7,
-        );
+        let points = evaluate_robustness(&mut model, &mut controller, &[0.0, 0.5], 4, 150, 7);
         assert!(
             points[1].mean_reward <= points[0].mean_reward + 0.05,
             "p=0.5 reward {} vs p=0 reward {}",

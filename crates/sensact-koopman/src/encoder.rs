@@ -49,7 +49,9 @@ impl SpectralCore {
         SpectralCore {
             // RHO_MAX·σ(1.4) ≈ 1.0: start near-marginally stable.
             rho_raw: (0..m).map(|_| 1.4 + init.normal(0.0, 0.1)).collect(),
-            omega: (0..m).map(|i| 0.05 + 0.1 * i as f64 + init.normal(0.0, 0.02)).collect(),
+            omega: (0..m)
+                .map(|i| 0.05 + 0.1 * i as f64 + init.normal(0.0, 0.02))
+                .collect(),
             b: (0..Z_DIM).map(|_| init.normal(0.0, 0.05)).collect(),
             grad_rho_raw: vec![0.0; m],
             grad_omega: vec![0.0; m],
@@ -85,8 +87,8 @@ impl DynCore for SpectralCore {
     fn forward(&mut self, z: &Tensor, u: &[f64], _ctx: &[Vec<Vec<f64>>]) -> Tensor {
         let batch = z.shape()[0];
         let mut out = Tensor::zeros(vec![batch, Z_DIM]);
-        for r in 0..batch {
-            out.row_mut(r).copy_from_slice(&self.apply(z.row(r), u[r]));
+        for (r, &ur) in u.iter().enumerate().take(batch) {
+            out.row_mut(r).copy_from_slice(&self.apply(z.row(r), ur));
         }
         self.cached = Some((z.clone(), u.to_vec()));
         out
@@ -96,7 +98,7 @@ impl DynCore for SpectralCore {
         let (z, u) = self.cached.as_ref().expect("backward before forward");
         let batch = grad.shape()[0];
         let mut g_z = Tensor::zeros(vec![batch, Z_DIM]);
-        for r in 0..batch {
+        for (r, &ur) in u.iter().enumerate().take(batch) {
             let g = grad.row(r);
             let zr = z.row(r);
             for i in 0..Z_DIM / 2 {
@@ -110,8 +112,8 @@ impl DynCore for SpectralCore {
                 let d_omega = g0 * rho * (-s * z0 - c * z1) + g1 * rho * (c * z0 - s * z1);
                 self.grad_rho_raw[i] += d_rho * RHO_MAX * sig * (1.0 - sig);
                 self.grad_omega[i] += d_omega;
-                self.grad_b[2 * i] += g0 * u[r];
-                self.grad_b[2 * i + 1] += g1 * u[r];
+                self.grad_b[2 * i] += g0 * ur;
+                self.grad_b[2 * i + 1] += g1 * ur;
                 // Aᵀ g.
                 let gz = g_z.row_mut(r);
                 gz[2 * i] = rho * (c * g0 + s * g1);
@@ -200,7 +202,9 @@ impl SpectralKoopman {
         // Keep starts whose full horizon stays inside one episode.
         let valid: Vec<usize> = idx
             .into_iter()
-            .filter(|&i| i + horizon < ts.len() && data.context(i + horizon, horizon).len() == horizon)
+            .filter(|&i| {
+                i + horizon < ts.len() && data.context(i + horizon, horizon).len() == horizon
+            })
             .collect();
         if valid.is_empty() {
             return 0.0;
@@ -240,8 +244,10 @@ impl SpectralKoopman {
             let u: Vec<f64> = starts.iter().map(|&i| ts[i + h].action).collect();
             let z_prev = z_steps.last().unwrap();
             let mut z_next = Tensor::zeros(vec![b, Z_DIM]);
-            for r in 0..b {
-                z_next.row_mut(r).copy_from_slice(&core.apply(z_prev.row(r), u[r]));
+            for (r, &ur) in u.iter().enumerate().take(b) {
+                z_next
+                    .row_mut(r)
+                    .copy_from_slice(&core.apply(z_prev.row(r), ur));
             }
             z_steps.push(z_next);
             u_steps.push(u);
@@ -255,7 +261,7 @@ impl SpectralKoopman {
             let z_prev = &z_steps[h];
             let u = &u_steps[h];
             let mut g_prev = Tensor::zeros(vec![b, Z_DIM]);
-            for r in 0..b {
+            for (r, &ur) in u.iter().enumerate().take(b) {
                 let zr = z_prev.row(r);
                 let gr = g.row(r).to_vec();
                 for i in 0..Z_DIM / 2 {
@@ -265,12 +271,11 @@ impl SpectralKoopman {
                     let (z0v, z1v) = (zr[2 * i], zr[2 * i + 1]);
                     let (g0, g1) = (gr[2 * i], gr[2 * i + 1]);
                     let d_rho = g0 * (c * z0v - s * z1v) + g1 * (s * z0v + c * z1v);
-                    let d_omega =
-                        g0 * rho * (-s * z0v - c * z1v) + g1 * rho * (c * z0v - s * z1v);
+                    let d_omega = g0 * rho * (-s * z0v - c * z1v) + g1 * rho * (c * z0v - s * z1v);
                     core.grad_rho_raw[i] += d_rho * RHO_MAX * sig * (1.0 - sig);
                     core.grad_omega[i] += d_omega;
-                    core.grad_b[2 * i] += g0 * u[r];
-                    core.grad_b[2 * i + 1] += g1 * u[r];
+                    core.grad_b[2 * i] += g0 * ur;
+                    core.grad_b[2 * i + 1] += g1 * ur;
                     let gp = g_prev.row_mut(r);
                     gp[2 * i] = rho * (c * g0 + s * g1);
                     gp[2 * i + 1] = rho * (-s * g0 + c * g1);
@@ -355,13 +360,12 @@ impl SpectralKoopman {
         let (loss, grad_qn) = sensact_nn::loss::info_nce(&q_norm, &keys, self.temperature);
         // dL/dq = (I − q̂ q̂ᵀ) / ‖q‖ · dL/dq̂.
         let mut grad_q = Tensor::zeros(vec![b, Z_DIM]);
-        for r in 0..b {
+        for (r, &norm) in norms.iter().enumerate().take(b) {
             let qh = q_norm.row(r);
             let g = grad_qn.row(r);
             let dot: f64 = qh.iter().zip(g).map(|(a, b)| a * b).sum();
-            let gq = grad_q.row_mut(r);
-            for i in 0..Z_DIM {
-                gq[i] = (g[i] - qh[i] * dot) / norms[r];
+            for ((gq, &gi), &qi) in grad_q.row_mut(r).iter_mut().zip(g).zip(qh) {
+                *gq = (gi - qi * dot) / norm;
             }
         }
         let _ = self
@@ -474,7 +478,10 @@ mod tests {
         // Numeric check of the hand-derived spectral backward.
         let mut init = Initializer::new(3);
         let mut core = SpectralCore::new(&mut init);
-        let z = Tensor::from_vec(vec![1, Z_DIM], (0..Z_DIM).map(|i| 0.1 * i as f64 - 0.3).collect());
+        let z = Tensor::from_vec(
+            vec![1, Z_DIM],
+            (0..Z_DIM).map(|i| 0.1 * i as f64 - 0.3).collect(),
+        );
         let u = [0.7];
         let out = core.forward(&z, &u, &[]);
         let g_z = core.backward(&out);
@@ -623,8 +630,7 @@ impl SpectralKoopman {
                 let (z0v, z1v) = (zr[2 * i], zr[2 * i + 1]);
                 let (g0, g1) = (g[2 * i], g[2 * i + 1]);
                 let d_rho = g0 * (cs * z0v - sn * z1v) + g1 * (sn * z0v + cs * z1v);
-                let d_omega =
-                    g0 * rho * (-sn * z0v - cs * z1v) + g1 * rho * (cs * z0v - sn * z1v);
+                let d_omega = g0 * rho * (-sn * z0v - cs * z1v) + g1 * rho * (cs * z0v - sn * z1v);
                 core.grad_rho_raw[i] += d_rho * RHO_MAX * sig * (1.0 - sig);
                 core.grad_omega[i] += d_omega;
                 core.grad_b[2 * i] += g0 * u;
@@ -670,11 +676,14 @@ mod online_tests {
         let mut state = env.reset();
         for i in 0..n {
             let [x, xd, t, td] = state;
-            let u = (2.0 * x + 3.0 * xd + 30.0 * t + 4.0 * td
-                + ((i % 7) as f64 - 3.0))
+            let u = (2.0 * x + 3.0 * xd + 30.0 * t + 4.0 * td + ((i % 7) as f64 - 3.0))
                 .clamp(-10.0, 10.0);
             let next = env.step(u);
-            out.push((observe_state(&state, &config), u, observe_state(&next, &config)));
+            out.push((
+                observe_state(&state, &config),
+                u,
+                observe_state(&next, &config),
+            ));
             state = if env.failed() { env.reset() } else { next };
         }
         out
@@ -690,26 +699,26 @@ mod online_tests {
         }
         // …then the pole grows 80 % (payload change). Frozen prediction error:
         let stream = drifted_transitions(400, 31);
-        let rollout_err = |model: &mut SpectralKoopman,
-                           data: &[([f64; 16], f64, [f64; 16])]| -> f64 {
-            // 6-step open-loop rollout error (where operator drift compounds).
-            let mut total = 0.0;
-            let mut count = 0;
-            for chunk in data.windows(6).step_by(6) {
-                let mut z = model.encode(&chunk[0].0);
-                for (_, u, _) in chunk {
-                    z = model.predict(&z, *u);
+        let rollout_err =
+            |model: &mut SpectralKoopman, data: &[([f64; 16], f64, [f64; 16])]| -> f64 {
+                // 6-step open-loop rollout error (where operator drift compounds).
+                let mut total = 0.0;
+                let mut count = 0;
+                for chunk in data.windows(6).step_by(6) {
+                    let mut z = model.encode(&chunk[0].0);
+                    for (_, u, _) in chunk {
+                        z = model.predict(&z, *u);
+                    }
+                    let target = model.encode(&chunk.last().unwrap().2);
+                    total += z
+                        .iter()
+                        .zip(&target)
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum::<f64>();
+                    count += 1;
                 }
-                let target = model.encode(&chunk.last().unwrap().2);
-                total += z
-                    .iter()
-                    .zip(&target)
-                    .map(|(a, b)| (a - b) * (a - b))
-                    .sum::<f64>();
-                count += 1;
-            }
-            total / count as f64
-        };
+                total / count as f64
+            };
         let fresh = drifted_transitions(120, 32);
         let frozen_err = rollout_err(&mut model, &fresh);
         // Adapt online over the stream in 6-step windows.
@@ -735,10 +744,8 @@ mod online_tests {
             model.train_epoch(&data, e);
         }
         let ts = data.transitions();
-        let window: Vec<(Vec<f64>, f64)> = ts[..4]
-            .iter()
-            .map(|t| (t.obs.to_vec(), t.action))
-            .collect();
+        let window: Vec<(Vec<f64>, f64)> =
+            ts[..4].iter().map(|t| (t.obs.to_vec(), t.action)).collect();
         let err = model.adapt_online(&window, &ts[3].next_obs, 0.01);
         assert!(err.is_finite() && err >= 0.0);
         for e in model.eigenvalues() {

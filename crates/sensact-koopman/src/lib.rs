@@ -34,7 +34,9 @@ pub mod encoder;
 pub mod ensemble;
 pub mod train;
 
-pub use baselines::{DenseKoopman, LatentModel, MlpDynamics, RecurrentDynamics, TransformerDynamics};
+pub use baselines::{
+    DenseKoopman, LatentModel, MlpDynamics, RecurrentDynamics, TransformerDynamics,
+};
 pub use cartpole::{CartPole, CartPoleConfig, Disturbance};
 pub use control::{evaluate_robustness, LqrLatentController, RobustnessPoint, ShootingController};
 pub use encoder::SpectralKoopman;

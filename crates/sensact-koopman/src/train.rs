@@ -6,8 +6,7 @@
 //! failure.
 
 use crate::cartpole::{observe_state, CartPole, CartPoleConfig, OBS_DIM};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use sensact_math::rng::StdRng;
 
 /// One environment transition.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -67,7 +67,11 @@ impl EnergyModel {
             pulses_fired: fired,
             returns: returned,
             total_energy_j: total,
-            mean_pulse_energy_j: if fired == 0 { 0.0 } else { total / fired as f64 },
+            mean_pulse_energy_j: if fired == 0 {
+                0.0
+            } else {
+                total / fired as f64
+            },
         }
     }
 }
@@ -142,10 +146,8 @@ mod tests {
 
         let mut mask = RadialMask::sample(RadialMaskConfig::default(), 512, 1);
         let expected = full.mean_range();
-        let (masked_cloud, fired) =
-            lidar.scan_masked(&scene, |_, az| mask.fire(az, expected));
-        let adaptive =
-            model.adaptive_scan_energy(&masked_cloud, fired, model.min_pulse_energy);
+        let (masked_cloud, fired) = lidar.scan_masked(&scene, |_, az| mask.fire(az, expected));
+        let adaptive = model.adaptive_scan_energy(&masked_cloud, fired, model.min_pulse_energy);
 
         let factor = conventional / adaptive.total_energy_j;
         assert!(
@@ -153,7 +155,11 @@ mod tests {
             "adaptive saving only {factor:.1}x (paper: ~9x at sensing level)"
         );
         // Mean adaptive pulse energy well under the 50 µJ full-power pulse.
-        assert!(adaptive.mean_pulse_uj() < 25.0, "mean pulse {} µJ", adaptive.mean_pulse_uj());
+        assert!(
+            adaptive.mean_pulse_uj() < 25.0,
+            "mean pulse {} µJ",
+            adaptive.mean_pulse_uj()
+        );
     }
 
     #[test]

@@ -7,8 +7,7 @@
 //! expected range of the ray. The overall kept fraction lands around the
 //! paper's 8–10 % of the scene.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use sensact_math::rng::StdRng;
 
 /// Configuration of the two-stage radial mask.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -116,8 +115,7 @@ impl RadialMask {
 
     /// Fraction of segments kept by stage 1.
     pub fn segment_keep_fraction(&self) -> f64 {
-        self.kept_segments.iter().filter(|&&k| k).count() as f64
-            / self.kept_segments.len() as f64
+        self.kept_segments.iter().filter(|&&k| k).count() as f64 / self.kept_segments.len() as f64
     }
 }
 
@@ -354,11 +352,19 @@ mod adaptive_tests {
         for _ in 0..20 {
             mask.update_activity(0.0);
         }
-        assert!((mask.segment_keep() - 0.1).abs() < 0.02, "idle keep {}", mask.segment_keep());
+        assert!(
+            (mask.segment_keep() - 0.1).abs() < 0.02,
+            "idle keep {}",
+            mask.segment_keep()
+        );
         for _ in 0..20 {
             mask.update_activity(1.0);
         }
-        assert!((mask.segment_keep() - 0.8).abs() < 0.02, "busy keep {}", mask.segment_keep());
+        assert!(
+            (mask.segment_keep() - 0.8).abs() < 0.02,
+            "busy keep {}",
+            mask.segment_keep()
+        );
     }
 
     #[test]

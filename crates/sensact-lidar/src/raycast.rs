@@ -52,13 +52,16 @@ impl LidarConfig {
         let el = if self.beams <= 1 {
             self.fov_down
         } else {
-            self.fov_down
-                + (self.fov_up - self.fov_down) * beam as f64 / (self.beams - 1) as f64
+            self.fov_down + (self.fov_up - self.fov_down) * beam as f64 / (self.beams - 1) as f64
         };
         let az = 2.0 * std::f64::consts::PI * azimuth as f64 / self.azimuth_steps as f64;
         [el.cos() * az.cos(), el.cos() * az.sin(), el.sin()]
     }
 }
+
+/// Below this many pulses per revolution a full scan stays single-threaded —
+/// thread spawn overhead would dominate the cast work.
+pub const PAR_MIN_PULSES: usize = 4096;
 
 /// Ray/axis-aligned-box intersection by the slab method. Returns the entry
 /// distance `t >= 0` if the ray hits.
@@ -106,6 +109,18 @@ impl Lidar {
 
     /// Cast one pulse; returns the hit point if any surface is within range.
     pub fn cast(&self, scene: &Scene, beam: u16, azimuth: u16) -> Option<Point> {
+        self.cast_over(scene.objects().iter(), beam, azimuth)
+    }
+
+    /// Cast one pulse against an explicit candidate-object iterator. The
+    /// candidates must preserve scene order so first-seen-wins ties match the
+    /// unfiltered [`Lidar::cast`].
+    fn cast_over<'a>(
+        &self,
+        objects: impl Iterator<Item = &'a crate::scene::SceneObject>,
+        beam: u16,
+        azimuth: u16,
+    ) -> Option<Point> {
         let origin = [0.0, 0.0, self.config.mount_height];
         let dir = self.config.direction(beam, azimuth);
         let mut best_t = f64::INFINITY;
@@ -118,7 +133,7 @@ impl Lidar {
             }
         }
         // Scene boxes.
-        for obj in scene.objects() {
+        for obj in objects {
             if let Some(t) = ray_aabb(origin, dir, &obj.aabb) {
                 if t > 1e-9 && t < best_t {
                     best_t = t;
@@ -139,8 +154,150 @@ impl Lidar {
         }
     }
 
+    /// Azimuth-bucket broad phase: for each azimuth column, the indices (in
+    /// scene order) of objects whose horizontal angular extent covers it.
+    ///
+    /// The xy-projection of a pulse from the origin points at exactly the
+    /// column's azimuth angle, so a box can only be hit from columns inside
+    /// its angular interval — computed from the four xy-corners (the extent
+    /// of a convex region not containing the origin is attained at its
+    /// vertices) and dilated by one column on each side against rounding.
+    /// Culling is therefore exact: casting against a column's bucket returns
+    /// bit-identical results to casting against the whole scene.
+    fn azimuth_buckets(&self, scene: &Scene) -> Vec<Vec<u32>> {
+        use std::f64::consts::{PI, TAU};
+        let steps = self.config.azimuth_steps as usize;
+        let mut buckets = vec![Vec::new(); steps.max(1)];
+        for (idx, obj) in scene.objects().iter().enumerate() {
+            let bb = &obj.aabb;
+            let everywhere = |buckets: &mut Vec<Vec<u32>>| {
+                for b in buckets.iter_mut() {
+                    b.push(idx as u32);
+                }
+            };
+            // The sensor axis pierces the box's xy footprint: all azimuths.
+            if bb.min[0] <= 0.0 && bb.max[0] >= 0.0 && bb.min[1] <= 0.0 && bb.max[1] >= 0.0 {
+                everywhere(&mut buckets);
+                continue;
+            }
+            let center = (0.5 * (bb.min[1] + bb.max[1])).atan2(0.5 * (bb.min[0] + bb.max[0]));
+            let mut dmin = 0.0f64;
+            let mut dmax = 0.0f64;
+            for &x in &[bb.min[0], bb.max[0]] {
+                for &y in &[bb.min[1], bb.max[1]] {
+                    let mut d = y.atan2(x) - center;
+                    if d > PI {
+                        d -= TAU;
+                    } else if d < -PI {
+                        d += TAU;
+                    }
+                    dmin = dmin.min(d);
+                    dmax = dmax.max(d);
+                }
+            }
+            let k0 = ((center + dmin) / TAU * steps as f64).floor() as i64 - 1;
+            let k1 = ((center + dmax) / TAU * steps as f64).ceil() as i64 + 1;
+            if k1 - k0 + 1 >= steps as i64 {
+                everywhere(&mut buckets);
+            } else {
+                for k in k0..=k1 {
+                    buckets[k.rem_euclid(steps as i64) as usize].push(idx as u32);
+                }
+            }
+        }
+        buckets
+    }
+
+    /// Cast one pulse against the azimuth bucket of its column.
+    fn cast_bucketed(
+        &self,
+        scene: &Scene,
+        buckets: &[Vec<u32>],
+        beam: u16,
+        azimuth: u16,
+    ) -> Option<Point> {
+        let objs = scene.objects();
+        self.cast_over(
+            buckets[azimuth as usize].iter().map(|&i| &objs[i as usize]),
+            beam,
+            azimuth,
+        )
+    }
+
     /// Full 360° scan: every (beam, azimuth) pulse.
+    ///
+    /// Above [`PAR_MIN_PULSES`] total pulses the azimuth range is split into
+    /// contiguous column chunks cast on scoped worker threads; per-chunk
+    /// results are stitched back together in beam-major order so the output
+    /// is bit-identical to [`Lidar::scan_serial`] regardless of thread count.
     pub fn scan(&self, scene: &Scene) -> PointCloud {
+        let steps = self.config.azimuth_steps as usize;
+        let beams = self.config.beams as usize;
+        let nthreads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(steps.max(1));
+        if nthreads <= 1 || self.config.pulses_per_scan() < PAR_MIN_PULSES {
+            return self.scan_serial(scene);
+        }
+        let chunk = steps.div_ceil(nthreads);
+        let buckets = self.azimuth_buckets(scene);
+        let per_chunk: Vec<Vec<Vec<Point>>> = std::thread::scope(|s| {
+            let buckets = &buckets;
+            let handles: Vec<_> = (0..steps)
+                .step_by(chunk)
+                .map(|az0| {
+                    let az1 = (az0 + chunk).min(steps);
+                    s.spawn(move || {
+                        let mut per_beam: Vec<Vec<Point>> = vec![Vec::new(); beams];
+                        for (beam, hits) in per_beam.iter_mut().enumerate() {
+                            for az in az0..az1 {
+                                if let Some(p) =
+                                    self.cast_bucketed(scene, buckets, beam as u16, az as u16)
+                                {
+                                    hits.push(p);
+                                }
+                            }
+                        }
+                        per_beam
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("raycast worker panicked"))
+                .collect()
+        });
+        let mut cloud = PointCloud::new();
+        for beam in 0..beams {
+            for chunk_hits in &per_chunk {
+                for p in &chunk_hits[beam] {
+                    cloud.push(*p);
+                }
+            }
+        }
+        cloud
+    }
+
+    /// Single-threaded full scan over the azimuth-bucket broad phase.
+    /// Reference ordering for the parallel [`Lidar::scan`].
+    pub fn scan_serial(&self, scene: &Scene) -> PointCloud {
+        let buckets = self.azimuth_buckets(scene);
+        let mut cloud = PointCloud::new();
+        for beam in 0..self.config.beams {
+            for az in 0..self.config.azimuth_steps {
+                if let Some(p) = self.cast_bucketed(scene, &buckets, beam, az) {
+                    cloud.push(p);
+                }
+            }
+        }
+        cloud
+    }
+
+    /// Naive full scan: every pulse tested against every scene object, no
+    /// broad phase, no threads. Ground truth for the equivalence tests and
+    /// the baseline of the `kernels` benchmark.
+    pub fn scan_reference(&self, scene: &Scene) -> PointCloud {
         let mut cloud = PointCloud::new();
         for beam in 0..self.config.beams {
             for az in 0..self.config.azimuth_steps {
@@ -159,6 +316,7 @@ impl Lidar {
         scene: &Scene,
         mut fire: impl FnMut(u16, u16) -> bool,
     ) -> (PointCloud, usize) {
+        let buckets = self.azimuth_buckets(scene);
         let mut cloud = PointCloud::new();
         let mut fired = 0usize;
         for beam in 0..self.config.beams {
@@ -167,7 +325,7 @@ impl Lidar {
                     continue;
                 }
                 fired += 1;
-                if let Some(p) = self.cast(scene, beam, az) {
+                if let Some(p) = self.cast_bucketed(scene, &buckets, beam, az) {
                     cloud.push(p);
                 }
             }
@@ -314,27 +472,75 @@ mod tests {
         let lidar = Lidar::new(LidarConfig::default());
         assert_eq!(lidar.scan(&scene), lidar.scan(&scene));
     }
+
+    #[test]
+    fn parallel_scan_matches_serial_bit_for_bit() {
+        // Default config (64×512 = 32768 pulses) takes the threaded path.
+        assert!(LidarConfig::default().pulses_per_scan() >= PAR_MIN_PULSES);
+        for seed in [2u64, 11, 42] {
+            let scene = SceneGenerator::new(seed).generate();
+            let lidar = Lidar::new(LidarConfig::default());
+            let reference = lidar.scan_reference(&scene);
+            assert_eq!(lidar.scan_serial(&scene), reference);
+            assert_eq!(lidar.scan(&scene), reference);
+        }
+    }
+
+    #[test]
+    fn small_scan_stays_serial_and_matches() {
+        let scene = SceneGenerator::new(7).generate();
+        let lidar = Lidar::new(LidarConfig {
+            beams: 8,
+            azimuth_steps: 32,
+            ..LidarConfig::default()
+        });
+        assert!(lidar.config().pulses_per_scan() < PAR_MIN_PULSES);
+        assert_eq!(lidar.scan(&scene), lidar.scan_reference(&scene));
+    }
+
+    #[test]
+    fn masked_scan_matches_reference_per_pulse() {
+        let scene = SceneGenerator::new(5).generate();
+        let lidar = Lidar::new(LidarConfig::default());
+        let (bucketed, fired) = lidar.scan_masked(&scene, |b, az| (b + az) % 3 == 0);
+        let mut reference = PointCloud::new();
+        for beam in 0..lidar.config().beams {
+            for az in 0..lidar.config().azimuth_steps {
+                if (beam + az) % 3 != 0 {
+                    continue;
+                }
+                if let Some(p) = lidar.cast(&scene, beam, az) {
+                    reference.push(p);
+                }
+            }
+        }
+        assert!(fired > 0);
+        assert_eq!(bucketed, reference);
+    }
 }
 
 #[cfg(test)]
 mod prop_tests {
     use super::*;
     use crate::scene::{ObjectClass, Scene, SceneObject};
-    use proptest::prelude::*;
     use sensact_math::metrics::Aabb;
+    use sensact_math::rng::StdRng;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-
-        /// The slab test agrees with analytic point-marching: if the ray hits,
-        /// the reported entry point lies on the box boundary (within eps) and
-        /// no earlier point along the ray is inside the box.
-        #[test]
-        fn prop_ray_aabb_entry_point_on_boundary(
-            cx in 4.0f64..30.0, cy in -10.0f64..10.0, cz in 0.5f64..3.0,
-            sx in 0.5f64..4.0, sy in 0.5f64..4.0, sz in 0.5f64..2.0,
-            dir_az in 0.0f64..6.283, dir_el in -0.4f64..0.2)
-        {
+    /// The slab test agrees with analytic point-marching: if the ray hits,
+    /// the reported entry point lies on the box boundary (within eps) and
+    /// no earlier point along the ray is inside the box.
+    #[test]
+    fn prop_ray_aabb_entry_point_on_boundary() {
+        let mut rng = StdRng::seed_from_u64(0x4AA801);
+        for _ in 0..64 {
+            let cx = rng.random_range(4.0..30.0);
+            let cy = rng.random_range(-10.0..10.0);
+            let cz = rng.random_range(0.5..3.0);
+            let sx = rng.random_range(0.5..4.0);
+            let sy = rng.random_range(0.5..4.0);
+            let sz = rng.random_range(0.5..2.0);
+            let dir_az = rng.random_range(0.0..std::f64::consts::TAU);
+            let dir_el = rng.random_range(-0.4..0.2);
             let aabb = Aabb::from_center_size([cx, cy, cz], [sx, sy, sz]);
             let dir = [
                 dir_el.cos() * dir_az.cos(),
@@ -350,8 +556,8 @@ mod prop_tests {
                 ];
                 // Entry point is inside the (slightly dilated) box…
                 let eps = 1e-6;
-                for i in 0..3 {
-                    prop_assert!(p[i] >= aabb.min[i] - eps && p[i] <= aabb.max[i] + eps);
+                for ((&pi, &lo), &hi) in p.iter().zip(&aabb.min).zip(&aabb.max) {
+                    assert!(pi >= lo - eps && pi <= hi + eps);
                 }
                 // …and the midpoint of the segment before entry is outside
                 // (unless the origin itself is inside).
@@ -362,16 +568,59 @@ mod prop_tests {
                         origin[1] + half * dir[1],
                         origin[2] + half * dir[2],
                     ];
-                    prop_assert!(!aabb.contains(q), "entered earlier than reported");
+                    assert!(!aabb.contains(q), "entered earlier than reported");
                 }
             }
         }
+    }
 
-        /// Every return of a scan lies within max range and at/above ground.
-        #[test]
-        fn prop_scan_returns_within_physical_bounds(
-            x in 6.0f64..40.0, y in -8.0f64..8.0, beams in 4u16..16)
-        {
+    /// The azimuth-bucket broad phase is exact: scans of random box soups —
+    /// including boxes straddling the ±π azimuth seam and boxes whose
+    /// footprint covers the sensor axis — equal the cull-free reference
+    /// bit for bit.
+    #[test]
+    fn prop_bucketed_scan_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(0x4AA803);
+        for case in 0..24 {
+            let nobj = rng.random_range(1..12usize);
+            let mut objects = Vec::new();
+            for _ in 0..nobj {
+                let (cx, cy) = if case % 3 == 0 {
+                    // Cluster around the -x axis: angular wrap at ±π.
+                    (rng.random_range(-30.0..-4.0), rng.random_range(-3.0..3.0))
+                } else {
+                    (rng.random_range(-20.0..40.0), rng.random_range(-20.0..20.0))
+                };
+                objects.push(SceneObject::new(
+                    ObjectClass::Car,
+                    Aabb::from_center_size(
+                        [cx, cy, rng.random_range(0.2..2.0)],
+                        [
+                            rng.random_range(0.5..8.0),
+                            rng.random_range(0.5..8.0),
+                            rng.random_range(0.5..3.0),
+                        ],
+                    ),
+                ));
+            }
+            let scene = Scene::from_objects(objects);
+            let lidar = Lidar::new(LidarConfig {
+                beams: rng.random_range(2..8u16),
+                azimuth_steps: rng.random_range(16..128u16),
+                ..LidarConfig::default()
+            });
+            assert_eq!(lidar.scan_serial(&scene), lidar.scan_reference(&scene));
+        }
+    }
+
+    /// Every return of a scan lies within max range and at/above ground.
+    #[test]
+    fn prop_scan_returns_within_physical_bounds() {
+        let mut rng = StdRng::seed_from_u64(0x4AA802);
+        for _ in 0..16 {
+            let x = rng.random_range(6.0..40.0);
+            let y = rng.random_range(-8.0..8.0);
+            let beams = rng.random_range(4..16u16);
             let scene = Scene::from_objects(vec![SceneObject::new(
                 ObjectClass::Car,
                 Aabb::from_center_size([x, y, 0.75], [4.0, 1.8, 1.5]),
@@ -382,11 +631,11 @@ mod prop_tests {
                 ..LidarConfig::default()
             });
             for p in &lidar.scan(&scene) {
-                prop_assert!(p.range <= lidar.config().max_range + 1e-9);
-                prop_assert!(p.z >= -1e-9, "below ground: {}", p.z);
+                assert!(p.range <= lidar.config().max_range + 1e-9);
+                assert!(p.z >= -1e-9, "below ground: {}", p.z);
                 // Consistency: |position − origin| == range.
                 let d = (p.x * p.x + p.y * p.y + (p.z - 1.73) * (p.z - 1.73)).sqrt();
-                prop_assert!((d - p.range).abs() < 1e-9);
+                assert!((d - p.range).abs() < 1e-9);
             }
         }
     }

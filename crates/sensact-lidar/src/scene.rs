@@ -6,9 +6,8 @@
 //! statistics loosely follow KITTI's ego-centric geometry (objects between
 //! ~5 m and ~70 m ahead of the sensor).
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use sensact_math::metrics::Aabb;
+use sensact_math::rng::StdRng;
 
 /// Semantic class of a scene object (the three KITTI evaluation classes plus
 /// static structure).
@@ -27,7 +26,11 @@ pub enum ObjectClass {
 impl ObjectClass {
     /// The three classes Table I evaluates.
     pub fn detection_classes() -> [ObjectClass; 3] {
-        [ObjectClass::Car, ObjectClass::Pedestrian, ObjectClass::Cyclist]
+        [
+            ObjectClass::Car,
+            ObjectClass::Pedestrian,
+            ObjectClass::Cyclist,
+        ]
     }
 
     /// Nominal (w, l, h) size in metres, before per-instance jitter.
@@ -78,7 +81,9 @@ pub struct Scene {
 impl Scene {
     /// An empty scene (ground plane only).
     pub fn new() -> Self {
-        Scene { objects: Vec::new() }
+        Scene {
+            objects: Vec::new(),
+        }
     }
 
     /// Build from an explicit object list.
@@ -168,7 +173,12 @@ impl SceneGenerator {
         }
     }
 
-    fn place(&mut self, class: ObjectClass, x_range: (f64, f64), y_range: (f64, f64)) -> SceneObject {
+    fn place(
+        &mut self,
+        class: ObjectClass,
+        x_range: (f64, f64),
+        y_range: (f64, f64),
+    ) -> SceneObject {
         let nominal = class.nominal_size();
         let jitter = |r: &mut StdRng, v: f64| v * (0.85 + 0.3 * r.random::<f64>());
         let size = [
@@ -203,22 +213,29 @@ impl SceneGenerator {
                     || b.min[1] - margin > a.max[1]
             })
         };
-        let place_clear =
-            |gen: &mut Self, scene: &mut Scene, class: ObjectClass, xr: (f64, f64), yr: (f64, f64)| {
-                for _attempt in 0..20 {
-                    let candidate = gen.place(class, xr, yr);
-                    if clear_of(scene, &candidate) {
-                        scene.push(candidate);
-                        return;
-                    }
-                }
-                // Crowded scene: accept the last draw rather than loop forever.
+        let place_clear = |gen: &mut Self,
+                           scene: &mut Scene,
+                           class: ObjectClass,
+                           xr: (f64, f64),
+                           yr: (f64, f64)| {
+            for _attempt in 0..20 {
                 let candidate = gen.place(class, xr, yr);
-                scene.push(candidate);
-            };
+                if clear_of(scene, &candidate) {
+                    scene.push(candidate);
+                    return;
+                }
+            }
+            // Crowded scene: accept the last draw rather than loop forever.
+            let candidate = gen.place(class, xr, yr);
+            scene.push(candidate);
+        };
         // Cars on the road corridor (lanes at y ≈ ±2).
         for _ in 0..cfg.cars {
-            let lane = if self.rng.random::<f64>() < 0.5 { -2.0 } else { 2.0 };
+            let lane = if self.rng.random::<f64>() < 0.5 {
+                -2.0
+            } else {
+                2.0
+            };
             place_clear(
                 self,
                 &mut scene,
@@ -229,7 +246,11 @@ impl SceneGenerator {
         }
         // Pedestrians on the verges (|y| ≈ 5–8).
         for _ in 0..cfg.pedestrians {
-            let side = if self.rng.random::<f64>() < 0.5 { -1.0 } else { 1.0 };
+            let side = if self.rng.random::<f64>() < 0.5 {
+                -1.0
+            } else {
+                1.0
+            };
             place_clear(
                 self,
                 &mut scene,
@@ -240,7 +261,11 @@ impl SceneGenerator {
         }
         // Cyclists at lane edges (|y| ≈ 3.5–4.5).
         for _ in 0..cfg.cyclists {
-            let side = if self.rng.random::<f64>() < 0.5 { -1.0 } else { 1.0 };
+            let side = if self.rng.random::<f64>() < 0.5 {
+                -1.0
+            } else {
+                1.0
+            };
             place_clear(
                 self,
                 &mut scene,
@@ -253,11 +278,19 @@ impl SceneGenerator {
         for side in [-1.0, 1.0] {
             for b in 0..cfg.buildings_per_side {
                 let x0 = 5.0 + b as f64 * (cfg.max_range - 10.0) / cfg.buildings_per_side as f64;
-                scene.push(self.place(
+                let mut obj = self.place(
                     ObjectClass::Building,
                     (x0, x0 + 6.0),
                     (side * 12.0, side * 16.0),
-                ));
+                );
+                // A façade jittered long can reach back over the origin;
+                // slide it forward to keep the 3 m sensor clearance.
+                let intrusion = 3.0 - obj.aabb.min[0];
+                if intrusion > 0.0 {
+                    obj.aabb.min[0] += intrusion;
+                    obj.aabb.max[0] += intrusion;
+                }
+                scene.push(obj);
             }
         }
         scene

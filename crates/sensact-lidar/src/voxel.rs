@@ -133,7 +133,10 @@ impl VoxelGrid {
     ///
     /// Panics if indices are out of range.
     pub fn count(&self, ix: usize, iy: usize, iz: usize) -> u32 {
-        assert!(ix < self.nx && iy < self.ny && iz < self.nz, "voxel index out of range");
+        assert!(
+            ix < self.nx && iy < self.ny && iz < self.nz,
+            "voxel index out of range"
+        );
         self.counts[self.flat(ix, iy, iz)]
     }
 
@@ -205,7 +208,11 @@ impl VoxelGrid {
     /// Panics if `buf.len()` differs from the voxel count.
     pub fn from_occupancy_flat(config: VoxelizerConfig, buf: &[f64], threshold: f64) -> Self {
         let mut grid = VoxelGrid::new(config);
-        assert_eq!(buf.len(), grid.counts.len(), "occupancy buffer length mismatch");
+        assert_eq!(
+            buf.len(),
+            grid.counts.len(),
+            "occupancy buffer length mismatch"
+        );
         for (c, &v) in grid.counts.iter_mut().zip(buf) {
             *c = if v > threshold { 1 } else { 0 };
         }
@@ -221,7 +228,14 @@ mod tests {
     use crate::scene::SceneGenerator;
 
     fn pt(x: f64, y: f64, z: f64) -> Point {
-        Point { x, y, z, range: 0.0, beam: 0, azimuth: 0 }
+        Point {
+            x,
+            y,
+            z,
+            range: 0.0,
+            beam: 0,
+            azimuth: 0,
+        }
     }
 
     fn small_config() -> VoxelizerConfig {

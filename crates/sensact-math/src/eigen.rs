@@ -230,7 +230,12 @@ pub fn eigenvalues(a: &Matrix) -> Result<Vec<Complex64>> {
         }
         if lo == hi - 1 {
             // 2x2 block deflates: quadratic formula.
-            let (e1, e2) = eig2x2(h[(lo, lo)], h[(lo, lo + 1)], h[(lo + 1, lo)], h[(lo + 1, lo + 1)]);
+            let (e1, e2) = eig2x2(
+                h[(lo, lo)],
+                h[(lo, lo + 1)],
+                h[(lo + 1, lo)],
+                h[(lo + 1, lo + 1)],
+            );
             eigs.push(e1);
             eigs.push(e2);
             if lo == 0 {
@@ -256,7 +261,7 @@ pub fn eigenvalues(a: &Matrix) -> Result<Vec<Complex64>> {
             let t = h[(hi, hi)];
             (p + t, p * t - q * r)
         };
-        if iter_since_deflation % 16 == 0 {
+        if iter_since_deflation.is_multiple_of(16) {
             // Exceptional (ad-hoc) shift to break symmetry-induced cycling.
             let w = h[(hi, hi - 1)].abs() + h[(hi - 1, hi - 2)].abs();
             s_tr = 1.5 * w;
@@ -350,10 +355,7 @@ fn eig2x2(a: f64, b: f64, c: f64, d: f64) -> (Complex64, Complex64) {
         )
     } else {
         let sq = (-disc).sqrt();
-        (
-            Complex64::new(tr / 2.0, sq),
-            Complex64::new(tr / 2.0, -sq),
-        )
+        (Complex64::new(tr / 2.0, sq), Complex64::new(tr / 2.0, -sq))
     }
 }
 
@@ -386,7 +388,7 @@ pub fn spectral_radius(a: &Matrix) -> Result<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::rng::StdRng;
 
     fn sorted_real(mut v: Vec<f64>) -> Vec<f64> {
         v.sort_by(|a, b| b.partial_cmp(a).unwrap());
@@ -499,45 +501,64 @@ mod tests {
         assert_eq!(ev[0], Complex64::new(7.0, 0.0));
     }
 
-    fn arb_symmetric(n: usize) -> impl Strategy<Value = Matrix> {
-        proptest::collection::vec(-2.0f64..2.0, n * n).prop_map(move |v| {
-            let a = Matrix::from_vec(n, n, v);
-            // (A + Aᵀ)/2 is symmetric.
-            a.add(&a.transpose()).unwrap().scaled(0.5)
-        })
+    fn rand_square(rng: &mut StdRng, n: usize) -> Matrix {
+        Matrix::from_vec(
+            n,
+            n,
+            (0..n * n).map(|_| rng.random_range(-2.0..2.0)).collect(),
+        )
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(32))]
+    /// `(A + Aᵀ)/2` of a random matrix is symmetric.
+    fn rand_symmetric(rng: &mut StdRng, n: usize) -> Matrix {
+        let a = rand_square(rng, n);
+        a.add(&a.transpose()).unwrap().scaled(0.5)
+    }
 
-        #[test]
-        fn prop_symmetric_eigen_reconstructs(a in arb_symmetric(4)) {
+    #[test]
+    fn prop_symmetric_eigen_reconstructs() {
+        let mut rng = StdRng::seed_from_u64(0xE16E01);
+        for _ in 0..32 {
+            let a = rand_symmetric(&mut rng, 4);
             let e = symmetric_eigen(&a).unwrap();
             // V diag(λ) Vᵀ == A
             let d = Matrix::from_diag(&e.values);
-            let rec = e.vectors.matmul(&d).unwrap().matmul(&e.vectors.transpose()).unwrap();
-            prop_assert!(rec.sub(&a).unwrap().max_abs() < 1e-7);
+            let rec = e
+                .vectors
+                .matmul(&d)
+                .unwrap()
+                .matmul(&e.vectors.transpose())
+                .unwrap();
+            assert!(rec.sub(&a).unwrap().max_abs() < 1e-7);
         }
+    }
 
-        #[test]
-        fn prop_eigen_sum_matches_trace(a in proptest::collection::vec(-2.0f64..2.0, 25)) {
-            let m = Matrix::from_vec(5, 5, a);
+    #[test]
+    fn prop_eigen_sum_matches_trace() {
+        let mut rng = StdRng::seed_from_u64(0xE16E02);
+        for _ in 0..32 {
+            let m = rand_square(&mut rng, 5);
             let ev = eigenvalues(&m).unwrap();
             let sum_re: f64 = ev.iter().map(|e| e.re).sum();
             let sum_im: f64 = ev.iter().map(|e| e.im).sum();
-            prop_assert!((sum_re - m.trace().unwrap()).abs() < 1e-6);
-            prop_assert!(sum_im.abs() < 1e-6);
+            assert!((sum_re - m.trace().unwrap()).abs() < 1e-6);
+            assert!(sum_im.abs() < 1e-6);
         }
+    }
 
-        #[test]
-        fn prop_eigen_product_matches_det(a in proptest::collection::vec(-2.0f64..2.0, 16)) {
-            let m = Matrix::from_vec(4, 4, a);
+    #[test]
+    fn prop_eigen_product_matches_det() {
+        let mut rng = StdRng::seed_from_u64(0xE16E03);
+        for _ in 0..32 {
+            let m = rand_square(&mut rng, 4);
             let ev = eigenvalues(&m).unwrap();
             let mut prod = Complex64::one();
-            for e in &ev { prod = prod * *e; }
+            for e in &ev {
+                prod = prod * *e;
+            }
             let det = m.determinant().unwrap();
-            prop_assert!((prod.re - det).abs() < 1e-6 * det.abs().max(1.0));
-            prop_assert!(prod.im.abs() < 1e-6);
+            assert!((prod.re - det).abs() < 1e-6 * det.abs().max(1.0));
+            assert!(prod.im.abs() < 1e-6);
         }
     }
 }

@@ -1,0 +1,473 @@
+//! Cache-blocked, optionally parallel compute kernels.
+//!
+//! Every dense hot path in the workspace (matrix products, conv im2col
+//! lowering, LoRA adapters, Riccati iterations) funnels into the slice-level
+//! GEMM in this module, so one implementation decides the performance and the
+//! numerics of them all.
+//!
+//! Numerics contract: for each output element, products are accumulated in
+//! ascending-`k` order regardless of blocking or thread partitioning, so
+//! [`gemm_naive`], [`gemm_blocked`] and the parallel path produce **bitwise
+//! identical** results. Unlike the old `Matrix::matmul`, no zero-operand
+//! skipping is performed: NaN and signed-zero inputs propagate with full IEEE
+//! semantics.
+//!
+//! All kernels compute `C = alpha * op(A) * op(B) + beta * C` with `C`
+//! pre-scaled by `beta` (`beta == 0.0` overwrites, ignoring any stale or NaN
+//! contents, matching BLAS convention) and each product term scaled by
+//! `alpha` as it is accumulated.
+
+// BLAS-style entry points take (m, n, k, alpha, a, b, beta, c) — one argument
+// over clippy's limit, kept for parity with the conventional GEMM signature.
+#![allow(clippy::too_many_arguments)]
+
+/// Columns per k-block: 256 f64 = 2 KiB per A-row slice, so an A block row and
+/// the matching B rows stay resident in L1/L2 while a C row is updated.
+const KC: usize = 256;
+
+/// Minimum multiply-add count (`m * n * k`) before the parallel path is worth
+/// the thread-spawn overhead.
+const PAR_MIN_OPS: usize = 1 << 21;
+
+/// Tile edge for the blocked transpose (64×64 f64 = 32 KiB working set).
+const TRANSPOSE_TILE: usize = 64;
+
+#[inline]
+fn check_gemm(m: usize, n: usize, k: usize, a: &[f64], b: &[f64], c: &[f64]) {
+    assert_eq!(a.len(), m * k, "gemm: A must be m*k");
+    assert_eq!(b.len(), k * n, "gemm: B must be k*n");
+    assert_eq!(c.len(), m * n, "gemm: C must be m*n");
+}
+
+#[inline]
+fn scale_c(beta: f64, c: &mut [f64]) {
+    if beta == 0.0 {
+        c.fill(0.0);
+    } else if beta != 1.0 {
+        for x in c.iter_mut() {
+            *x *= beta;
+        }
+    }
+}
+
+/// Number of worker threads for the parallel paths.
+fn threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Reference triple-loop GEMM: `C = alpha * A[m×k] * B[k×n] + beta * C`.
+///
+/// Kept as the ground truth for equivalence tests and the `kernels` bench;
+/// accumulation order per element matches the blocked/parallel kernels.
+pub fn gemm_naive(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    b: &[f64],
+    beta: f64,
+    c: &mut [f64],
+) {
+    check_gemm(m, n, k, a, b, c);
+    scale_c(beta, c);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = c[i * n + j];
+            for kk in 0..k {
+                acc += alpha * a[i * k + kk] * b[kk * n + j];
+            }
+            c[i * n + j] = acc;
+        }
+    }
+}
+
+/// One row-band of the k-blocked kernel: rows of `a_band`/`c_band` are a
+/// contiguous horizontal slice of A and C.
+fn gemm_rows(
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a_band: &[f64],
+    b: &[f64],
+    beta: f64,
+    c_band: &mut [f64],
+) {
+    scale_c(beta, c_band);
+    if n == 0 || k == 0 {
+        return;
+    }
+    let rows = c_band.len() / n;
+    for k0 in (0..k).step_by(KC) {
+        let k1 = (k0 + KC).min(k);
+        for i in 0..rows {
+            let a_row = &a_band[i * k + k0..i * k + k1];
+            let c_row = &mut c_band[i * n..(i + 1) * n];
+            for (kk, &aik) in a_row.iter().enumerate() {
+                let scaled = alpha * aik;
+                let b_row = &b[(k0 + kk) * n..(k0 + kk + 1) * n];
+                for (cj, &bj) in c_row.iter_mut().zip(b_row) {
+                    *cj += scaled * bj;
+                }
+            }
+        }
+    }
+}
+
+/// Serial cache-blocked GEMM: `C = alpha * A[m×k] * B[k×n] + beta * C`.
+///
+/// k-blocked `ikj` loop nest: each A block-row is reused across a full C row
+/// while B is streamed row-wise, so all three operands move through cache
+/// sequentially.
+pub fn gemm_blocked(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    b: &[f64],
+    beta: f64,
+    c: &mut [f64],
+) {
+    check_gemm(m, n, k, a, b, c);
+    gemm_rows(n, k, alpha, a, b, beta, c);
+}
+
+/// Row-partitioned parallel GEMM over `std::thread::scope`.
+///
+/// Each thread owns a disjoint horizontal band of C (and the matching band of
+/// A), so no synchronisation is needed and per-element accumulation order is
+/// identical to [`gemm_blocked`] — the result is deterministic and bitwise
+/// equal to the serial kernels.
+pub fn gemm_parallel(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    b: &[f64],
+    beta: f64,
+    c: &mut [f64],
+) {
+    check_gemm(m, n, k, a, b, c);
+    let nthreads = threads().min(m).max(1);
+    if nthreads <= 1 || n == 0 || k == 0 {
+        gemm_rows(n, k, alpha, a, b, beta, c);
+        return;
+    }
+    let band = m.div_ceil(nthreads);
+    std::thread::scope(|scope| {
+        for (a_band, c_band) in a.chunks(band * k).zip(c.chunks_mut(band * n)) {
+            scope.spawn(move || gemm_rows(n, k, alpha, a_band, b, beta, c_band));
+        }
+    });
+}
+
+/// Auto-dispatching GEMM: parallel above [`PAR_MIN_OPS`] multiply-adds,
+/// serial cache-blocked below. Same results either way.
+pub fn gemm(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    b: &[f64],
+    beta: f64,
+    c: &mut [f64],
+) {
+    if m.saturating_mul(n).saturating_mul(k) >= PAR_MIN_OPS && m >= 2 {
+        gemm_parallel(m, n, k, alpha, a, b, beta, c);
+    } else {
+        gemm_blocked(m, n, k, alpha, a, b, beta, c);
+    }
+}
+
+/// `C = alpha * A[m×k] * B^T + beta * C`, with `b` stored row-major as
+/// `[n×k]` (i.e. B-transposed is never materialised).
+///
+/// Each output element is a dot product of two contiguous rows, so this is
+/// the preferred entry point for `X * W^T` / `G * P^T` shapes.
+pub fn gemm_transb(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    b: &[f64],
+    beta: f64,
+    c: &mut [f64],
+) {
+    assert_eq!(a.len(), m * k, "gemm_transb: A must be m*k");
+    assert_eq!(b.len(), n * k, "gemm_transb: B must be n*k");
+    assert_eq!(c.len(), m * n, "gemm_transb: C must be m*n");
+    scale_c(beta, c);
+    let body = |a_band: &[f64], c_band: &mut [f64]| {
+        let rows = a_band
+            .len()
+            .checked_div(k)
+            .unwrap_or(c_band.len() / n.max(1));
+        for i in 0..rows {
+            let a_row = &a_band[i * k..(i + 1) * k];
+            for j in 0..n {
+                let b_row = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0;
+                for (&x, &y) in a_row.iter().zip(b_row) {
+                    acc += alpha * x * y;
+                }
+                c_band[i * n + j] += acc;
+            }
+        }
+    };
+    let nthreads = threads().min(m).max(1);
+    if nthreads <= 1 || n == 0 || m.saturating_mul(n).saturating_mul(k) < PAR_MIN_OPS {
+        body(a, c);
+        return;
+    }
+    let band = m.div_ceil(nthreads);
+    std::thread::scope(|scope| {
+        for (a_band, c_band) in a.chunks((band * k).max(1)).zip(c.chunks_mut(band * n)) {
+            scope.spawn(move || body(a_band, c_band));
+        }
+    });
+}
+
+/// `C = alpha * A^T * B + beta * C`, with `a` stored row-major as `[k×m]`
+/// (i.e. A-transposed is never materialised).
+///
+/// Streams one row of A and one row of B per `k` step; used for `X^T * G`
+/// gradient shapes and the `B^T P A` terms of the Riccati recursion.
+pub fn gemm_transa(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    b: &[f64],
+    beta: f64,
+    c: &mut [f64],
+) {
+    assert_eq!(a.len(), k * m, "gemm_transa: A must be k*m");
+    assert_eq!(b.len(), k * n, "gemm_transa: B must be k*n");
+    assert_eq!(c.len(), m * n, "gemm_transa: C must be m*n");
+    scale_c(beta, c);
+    for kk in 0..k {
+        let a_row = &a[kk * m..(kk + 1) * m];
+        let b_row = &b[kk * n..(kk + 1) * n];
+        for (i, &aki) in a_row.iter().enumerate() {
+            let scaled = alpha * aki;
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for (cj, &bj) in c_row.iter_mut().zip(b_row) {
+                *cj += scaled * bj;
+            }
+        }
+    }
+}
+
+/// Fused matrix–vector product: `y = A[m×k] * x`, no intermediate
+/// allocations. `y` is fully overwritten.
+pub fn matvec_into(m: usize, k: usize, a: &[f64], x: &[f64], y: &mut [f64]) {
+    assert_eq!(a.len(), m * k, "matvec_into: A must be m*k");
+    assert_eq!(x.len(), k, "matvec_into: x must have len k");
+    assert_eq!(y.len(), m, "matvec_into: y must have len m");
+    for (yi, a_row) in y.iter_mut().zip(a.chunks_exact(k.max(1))) {
+        let mut acc = 0.0;
+        for (&aij, &xj) in a_row.iter().zip(x) {
+            acc += aij * xj;
+        }
+        *yi = acc;
+    }
+}
+
+/// Blocked out-of-place transpose: `dst[c][r] = src[r][c]` for a row-major
+/// `rows×cols` source. Tiling keeps both the read and write streams within a
+/// cache-sized window instead of striding the full destination per element.
+pub fn transpose_into(rows: usize, cols: usize, src: &[f64], dst: &mut [f64]) {
+    assert_eq!(
+        src.len(),
+        rows * cols,
+        "transpose_into: src must be rows*cols"
+    );
+    assert_eq!(
+        dst.len(),
+        rows * cols,
+        "transpose_into: dst must be rows*cols"
+    );
+    for r0 in (0..rows).step_by(TRANSPOSE_TILE) {
+        let r1 = (r0 + TRANSPOSE_TILE).min(rows);
+        for c0 in (0..cols).step_by(TRANSPOSE_TILE) {
+            let c1 = (c0 + TRANSPOSE_TILE).min(cols);
+            for r in r0..r1 {
+                for c in c0..c1 {
+                    dst[c * rows + r] = src[r * cols + c];
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::StdRng;
+
+    fn random_mat(rng: &mut StdRng, len: usize) -> Vec<f64> {
+        (0..len).map(|_| rng.gen_f64() * 2.0 - 1.0).collect()
+    }
+
+    fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Shapes chosen to straddle the KC block edge and the parallel-dispatch
+    /// threshold, plus degenerate 1×N / N×1 cases.
+    const SHAPES: &[(usize, usize, usize)] = &[
+        (1, 1, 1),
+        (1, 17, 5),
+        (23, 1, 9),
+        (3, 4, 1),
+        (7, 11, 13),
+        (32, 32, 32),
+        (5, 9, 255),
+        (5, 9, 256),
+        (5, 9, 257),
+        (64, 64, 300),
+        (129, 65, 257),
+        (160, 160, 160),
+    ];
+
+    #[test]
+    fn blocked_and_parallel_match_naive() {
+        let mut rng = StdRng::seed_from_u64(0xB10C);
+        for &(m, n, k) in SHAPES {
+            let a = random_mat(&mut rng, m * k);
+            let b = random_mat(&mut rng, k * n);
+            let mut c_ref = vec![0.0; m * n];
+            gemm_naive(m, n, k, 1.0, &a, &b, 0.0, &mut c_ref);
+
+            let mut c_blk = vec![f64::NAN; m * n];
+            gemm_blocked(m, n, k, 1.0, &a, &b, 0.0, &mut c_blk);
+            assert!(
+                max_abs_diff(&c_ref, &c_blk) <= 1e-12,
+                "blocked mismatch at {m}x{n}x{k}"
+            );
+
+            let mut c_par = vec![f64::NAN; m * n];
+            gemm_parallel(m, n, k, 1.0, &a, &b, 0.0, &mut c_par);
+            assert!(
+                max_abs_diff(&c_ref, &c_par) <= 1e-12,
+                "parallel mismatch at {m}x{n}x{k}"
+            );
+            // Determinism is stronger than the tolerance: bitwise equality.
+            assert_eq!(c_blk, c_par, "parallel not bitwise equal at {m}x{n}x{k}");
+
+            let mut c_auto = vec![f64::NAN; m * n];
+            gemm(m, n, k, 1.0, &a, &b, 0.0, &mut c_auto);
+            assert_eq!(c_blk, c_auto, "auto dispatch diverged at {m}x{n}x{k}");
+        }
+    }
+
+    #[test]
+    fn alpha_beta_accumulation() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let (m, n, k) = (13, 7, 19);
+        let a = random_mat(&mut rng, m * k);
+        let b = random_mat(&mut rng, k * n);
+        let base = random_mat(&mut rng, m * n);
+
+        let mut c_ref = base.clone();
+        gemm_naive(m, n, k, 0.5, &a, &b, 2.0, &mut c_ref);
+        let mut c_blk = base.clone();
+        gemm_blocked(m, n, k, 0.5, &a, &b, 2.0, &mut c_blk);
+        assert!(max_abs_diff(&c_ref, &c_blk) <= 1e-12);
+
+        // beta == 0.0 must overwrite even NaN-poisoned output buffers.
+        let mut c_nan = vec![f64::NAN; m * n];
+        gemm_blocked(m, n, k, 1.0, &a, &b, 0.0, &mut c_nan);
+        assert!(c_nan.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn transb_matches_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for &(m, n, k) in SHAPES {
+            let a = random_mat(&mut rng, m * k);
+            let bt = random_mat(&mut rng, n * k); // stored as [n, k]
+            let mut b = vec![0.0; k * n];
+            transpose_into(n, k, &bt, &mut b); // b = B as [k, n]
+
+            let mut c_ref = vec![0.0; m * n];
+            gemm_naive(m, n, k, 1.0, &a, &b, 0.0, &mut c_ref);
+            let mut c = vec![0.0; m * n];
+            gemm_transb(m, n, k, 1.0, &a, &bt, 0.0, &mut c);
+            assert!(
+                max_abs_diff(&c_ref, &c) <= 1e-12,
+                "transb mismatch at {m}x{n}x{k}"
+            );
+        }
+    }
+
+    #[test]
+    fn transa_matches_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for &(m, n, k) in SHAPES {
+            let at = random_mat(&mut rng, k * m); // stored as [k, m]
+            let b = random_mat(&mut rng, k * n);
+            let mut a = vec![0.0; m * k];
+            transpose_into(k, m, &at, &mut a); // a = A as [m, k]
+
+            let mut c_ref = vec![0.0; m * n];
+            gemm_naive(m, n, k, 1.0, &a, &b, 0.0, &mut c_ref);
+            let mut c = vec![0.0; m * n];
+            gemm_transa(m, n, k, 1.0, &at, &b, 0.0, &mut c);
+            assert!(
+                max_abs_diff(&c_ref, &c) <= 1e-12,
+                "transa mismatch at {m}x{n}x{k}"
+            );
+        }
+    }
+
+    #[test]
+    fn nan_propagates_instead_of_being_skipped() {
+        // A zero in A against a NaN in B must produce NaN (0 * NaN = NaN);
+        // the old zero-skip fast path silently returned 0 here.
+        let a = [0.0, 1.0, 2.0, 3.0];
+        let b = [f64::NAN, 1.0, 1.0, 1.0];
+        let mut c = vec![0.0; 4];
+        gemm_blocked(2, 2, 2, 1.0, &a, &b, 0.0, &mut c);
+        assert!(c[0].is_nan(), "0*NaN must propagate NaN");
+        assert!(c[2].is_nan(), "2*NaN must propagate NaN");
+        assert!(c[1].is_finite() && c[3].is_finite());
+    }
+
+    #[test]
+    fn matvec_into_matches_gemm() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for &(m, k) in &[(1, 1), (1, 9), (9, 1), (33, 257), (128, 64)] {
+            let a = random_mat(&mut rng, m * k);
+            let x = random_mat(&mut rng, k);
+            let mut y = vec![f64::NAN; m];
+            matvec_into(m, k, &a, &x, &mut y);
+            let mut y_ref = vec![0.0; m];
+            gemm_naive(m, 1, k, 1.0, &a, &x, 0.0, &mut y_ref);
+            assert!(max_abs_diff(&y, &y_ref) <= 1e-12, "matvec mismatch {m}x{k}");
+        }
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(19);
+        for &(r, c) in &[(1, 1), (1, 7), (7, 1), (63, 65), (64, 64), (130, 70)] {
+            let src = random_mat(&mut rng, r * c);
+            let mut t = vec![0.0; r * c];
+            transpose_into(r, c, &src, &mut t);
+            let mut back = vec![0.0; r * c];
+            transpose_into(c, r, &t, &mut back);
+            assert_eq!(src, back, "transpose roundtrip failed at {r}x{c}");
+        }
+    }
+}

@@ -25,14 +25,17 @@
 
 pub mod complex;
 pub mod eigen;
+pub mod kernels;
 pub mod lqr;
 pub mod matrix;
 pub mod metrics;
+pub mod rng;
 pub mod stats;
 pub mod vector;
 
 pub use complex::Complex64;
 pub use matrix::Matrix;
+pub use rng::StdRng;
 pub use stats::RunningStats;
 
 /// Error type for all fallible numerical routines in this crate.

@@ -74,18 +74,16 @@ impl LqrSolution {
 
 /// One backward Riccati step: returns (K_t, P_t) from P_{t+1}.
 fn riccati_step(p: &LqrProblem, p_next: &Matrix) -> Result<(Matrix, Matrix)> {
-    let bt = p.b.transpose();
-    let at = p.a.transpose();
+    // Bᵀ P, computed once and shared by S and K (tr_matmul reads B as its
+    // transpose, so no explicit transpose copies are made in this step).
+    let btp = p.b.tr_matmul(p_next)?;
     // S = R + Bᵀ P B  (m × m)
-    let s = p
-        .r
-        .add(&bt.matmul(p_next)?.matmul(&p.b)?)?;
+    let s = p.r.add(&btp.matmul(&p.b)?)?;
     // K = S⁻¹ Bᵀ P A
-    let rhs = bt.matmul(p_next)?.matmul(&p.a)?;
-    let k = s.solve_matrix(&rhs)?;
+    let k = s.solve_matrix(&btp.matmul(&p.a)?)?;
     // P = Q + Aᵀ P (A - B K)
     let abk = p.a.sub(&p.b.matmul(&k)?)?;
-    let p_new = p.q.add(&at.matmul(p_next)?.matmul(&abk)?)?;
+    let p_new = p.q.add(&p.a.tr_matmul(p_next)?.matmul(&abk)?)?;
     // Symmetrize to fight round-off drift.
     let p_sym = p_new.add(&p_new.transpose())?.scaled(0.5);
     Ok((k, p_sym))
@@ -239,7 +237,11 @@ mod tests {
             let bu = p.b.matvec(&u).unwrap();
             x = crate::vector::add(&ax, &bu);
         }
-        assert!(crate::vector::norm(&x) < 1e-3, "state norm {}", crate::vector::norm(&x));
+        assert!(
+            crate::vector::norm(&x) < 1e-3,
+            "state norm {}",
+            crate::vector::norm(&x)
+        );
     }
 
     #[test]
@@ -248,11 +250,7 @@ mod tests {
         let inf = dlqr(&p).unwrap();
         let fin = dlqr_finite(&p, 300).unwrap();
         // The first gain of a long horizon matches the stationary gain.
-        let diff = fin[0]
-            .feedback
-            .sub(&inf.feedback)
-            .unwrap()
-            .max_abs();
+        let diff = fin[0].feedback.sub(&inf.feedback).unwrap().max_abs();
         assert!(diff < 1e-6, "gain diff {diff}");
     }
 
@@ -296,10 +294,7 @@ mod tests {
 
     #[test]
     fn spectral_dynamics_block_structure() {
-        let a = spectral_dynamics(&[
-            Complex64::new(0.9, 0.2),
-            Complex64::new(0.7, 0.0),
-        ]);
+        let a = spectral_dynamics(&[Complex64::new(0.9, 0.2), Complex64::new(0.7, 0.0)]);
         assert_eq!(a.shape(), (3, 3));
         let ev = crate::eigen::eigenvalues(&a).unwrap();
         // Spectrum: 0.9 ± 0.2j and 0.7.

@@ -140,27 +140,149 @@ impl Matrix {
     ///
     /// Panics if `c >= cols`.
     pub fn column(&self, c: usize) -> Vec<f64> {
-        assert!(c < self.cols, "column index {c} out of bounds");
-        (0..self.rows).map(|r| self[(r, c)]).collect()
+        let mut out = vec![0.0; self.rows];
+        self.column_into(c, &mut out);
+        out
     }
 
-    /// Transposed copy.
+    /// Copy column `c` into a caller-provided buffer, avoiding the per-call
+    /// allocation of [`Matrix::column`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= cols` or `out.len() != rows`.
+    pub fn column_into(&self, c: usize, out: &mut [f64]) {
+        assert!(c < self.cols, "column index {c} out of bounds");
+        assert_eq!(out.len(), self.rows, "column_into: output length mismatch");
+        for (r, o) in out.iter_mut().enumerate() {
+            *o = self.data[r * self.cols + c];
+        }
+    }
+
+    /// Transposed copy (cache-blocked).
     pub fn transpose(&self) -> Matrix {
         let mut t = Matrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                t[(c, r)] = self[(r, c)];
-            }
-        }
+        crate::kernels::transpose_into(self.rows, self.cols, &self.data, &mut t.data);
         t
     }
 
-    /// Matrix product `self * other`.
+    /// Matrix product `self * other`, via the cache-blocked (and above a size
+    /// threshold, multi-threaded) GEMM in [`crate::kernels`].
+    ///
+    /// Full IEEE semantics: zeros in `self` are **not** skipped, so NaN and
+    /// signed-zero in `other` propagate exactly as written. For known-finite
+    /// sparse operands see [`Matrix::matmul_sparse`].
     ///
     /// # Errors
     ///
     /// Returns [`MathError::ShapeMismatch`] if `self.cols != other.rows`.
     pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out)?;
+        Ok(out)
+    }
+
+    /// Matrix product into a caller-provided output, avoiding the result
+    /// allocation: `out = self * other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::ShapeMismatch`] if `self.cols != other.rows` or
+    /// `out` is not `self.rows × other.cols`.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) -> Result<()> {
+        if self.cols != other.rows {
+            return Err(MathError::ShapeMismatch {
+                expected: (self.cols, other.cols),
+                found: (other.rows, other.cols),
+            });
+        }
+        if out.shape() != (self.rows, other.cols) {
+            return Err(MathError::ShapeMismatch {
+                expected: (self.rows, other.cols),
+                found: out.shape(),
+            });
+        }
+        crate::kernels::gemm(
+            self.rows,
+            other.cols,
+            self.cols,
+            1.0,
+            &self.data,
+            &other.data,
+            0.0,
+            &mut out.data,
+        );
+        Ok(())
+    }
+
+    /// `self * otherᵀ` without materialising the transpose; `other` is read
+    /// as its transpose, so `self.cols` must equal `other.cols`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::ShapeMismatch`] if `self.cols != other.cols`.
+    pub fn matmul_transb(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.cols {
+            return Err(MathError::ShapeMismatch {
+                expected: (self.rows, self.cols),
+                found: other.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        crate::kernels::gemm_transb(
+            self.rows,
+            other.rows,
+            self.cols,
+            1.0,
+            &self.data,
+            &other.data,
+            0.0,
+            &mut out.data,
+        );
+        Ok(out)
+    }
+
+    /// `selfᵀ * other` without materialising the transpose; `self` is read
+    /// as its transpose, so `self.rows` must equal `other.rows`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::ShapeMismatch`] if `self.rows != other.rows`.
+    pub fn tr_matmul(&self, other: &Matrix) -> Result<Matrix> {
+        if self.rows != other.rows {
+            return Err(MathError::ShapeMismatch {
+                expected: (self.rows, self.cols),
+                found: other.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        crate::kernels::gemm_transa(
+            self.cols,
+            other.cols,
+            self.rows,
+            1.0,
+            &self.data,
+            &other.data,
+            0.0,
+            &mut out.data,
+        );
+        Ok(out)
+    }
+
+    /// Zero-skipping matrix product for **known-finite** sparse operands
+    /// (e.g. occupancy grids): rows of `other` whose matching `self` entry is
+    /// exactly zero are not touched, which can be much faster when `self` is
+    /// mostly zeros.
+    ///
+    /// Not IEEE-exact: if `other` contains NaN/±∞, skipped `0 * NaN` /
+    /// `0 * ∞` terms (which are NaN) do not propagate, and summation-order
+    /// differences can flip signed zeros. Use [`Matrix::matmul`] whenever
+    /// operands may be non-finite.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::ShapeMismatch`] if `self.cols != other.rows`.
+    pub fn matmul_sparse(&self, other: &Matrix) -> Result<Matrix> {
         if self.cols != other.rows {
             return Err(MathError::ShapeMismatch {
                 expected: (self.cols, other.cols),
@@ -190,15 +312,33 @@ impl Matrix {
     ///
     /// Returns [`MathError::ShapeMismatch`] if `v.len() != cols`.
     pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        let mut out = vec![0.0; self.rows];
+        self.matvec_into(v, &mut out)?;
+        Ok(out)
+    }
+
+    /// Fused matrix-vector product into a caller-provided buffer:
+    /// `out = self * v` with no intermediate allocations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::ShapeMismatch`] if `v.len() != cols` or
+    /// `out.len() != rows`.
+    pub fn matvec_into(&self, v: &[f64], out: &mut [f64]) -> Result<()> {
         if v.len() != self.cols {
             return Err(MathError::ShapeMismatch {
                 expected: (self.cols, 1),
                 found: (v.len(), 1),
             });
         }
-        Ok((0..self.rows)
-            .map(|r| crate::vector::dot(self.row(r), v))
-            .collect())
+        if out.len() != self.rows {
+            return Err(MathError::ShapeMismatch {
+                expected: (self.rows, 1),
+                found: (out.len(), 1),
+            });
+        }
+        crate::kernels::matvec_into(self.rows, self.cols, &self.data, v, out);
+        Ok(())
     }
 
     /// Element-wise sum.
@@ -264,7 +404,9 @@ impl Matrix {
     /// Returns [`MathError::NotSquare`] for non-square matrices.
     pub fn trace(&self) -> Result<f64> {
         if !self.is_square() {
-            return Err(MathError::NotSquare { shape: self.shape() });
+            return Err(MathError::NotSquare {
+                shape: self.shape(),
+            });
         }
         Ok((0..self.rows).map(|i| self[(i, i)]).sum())
     }
@@ -278,7 +420,9 @@ impl Matrix {
     /// [`MathError::Singular`] when a pivot underflows.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
         if !self.is_square() {
-            return Err(MathError::NotSquare { shape: self.shape() });
+            return Err(MathError::NotSquare {
+                shape: self.shape(),
+            });
         }
         if b.len() != self.rows {
             return Err(MathError::ShapeMismatch {
@@ -298,7 +442,9 @@ impl Matrix {
     /// Same conditions as [`Matrix::solve`].
     pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
         if !self.is_square() {
-            return Err(MathError::NotSquare { shape: self.shape() });
+            return Err(MathError::NotSquare {
+                shape: self.shape(),
+            });
         }
         if b.rows != self.rows {
             return Err(MathError::ShapeMismatch {
@@ -379,7 +525,9 @@ impl Matrix {
     /// [`MathError::NotSquare`] for non-square input.
     pub fn determinant(&self) -> Result<f64> {
         if !self.is_square() {
-            return Err(MathError::NotSquare { shape: self.shape() });
+            return Err(MathError::NotSquare {
+                shape: self.shape(),
+            });
         }
         let n = self.rows;
         let mut lu = self.clone();
@@ -466,7 +614,7 @@ impl std::fmt::Display for Matrix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::rng::StdRng;
 
     #[test]
     fn construction_and_indexing() {
@@ -496,10 +644,7 @@ mod tests {
     fn matmul_shape_mismatch_errors() {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
-        assert!(matches!(
-            a.matmul(&b),
-            Err(MathError::ShapeMismatch { .. })
-        ));
+        assert!(matches!(a.matmul(&b), Err(MathError::ShapeMismatch { .. })));
     }
 
     #[test]
@@ -579,40 +724,141 @@ mod tests {
         assert_eq!(s.lines().count(), 2);
     }
 
-    fn arb_invertible(n: usize) -> impl Strategy<Value = Matrix> {
-        proptest::collection::vec(-3.0f64..3.0, n * n).prop_map(move |mut v| {
-            // Diagonal dominance guarantees invertibility.
-            for i in 0..n {
-                v[i * n + i] += 10.0;
-            }
-            Matrix::from_vec(n, n, v)
-        })
+    /// Random matrix with entries in `[-3, 3)` plus diagonal dominance, which
+    /// guarantees invertibility.
+    fn rand_invertible(rng: &mut StdRng, n: usize) -> Matrix {
+        let mut v: Vec<f64> = (0..n * n).map(|_| rng.random_range(-3.0..3.0)).collect();
+        for i in 0..n {
+            v[i * n + i] += 10.0;
+        }
+        Matrix::from_vec(n, n, v)
     }
 
-    proptest! {
-        #[test]
-        fn prop_solve_matches_matvec(a in arb_invertible(4),
-                                     x in proptest::collection::vec(-5.0f64..5.0, 4)) {
+    fn rand_matrix(rng: &mut StdRng, rows: usize, cols: usize) -> Matrix {
+        Matrix::from_vec(
+            rows,
+            cols,
+            (0..rows * cols)
+                .map(|_| rng.random_range(-3.0..3.0))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn prop_solve_matches_matvec() {
+        let mut rng = StdRng::seed_from_u64(0x3A7201);
+        for _ in 0..64 {
+            let a = rand_invertible(&mut rng, 4);
+            let x: Vec<f64> = (0..4).map(|_| rng.random_range(-5.0..5.0)).collect();
             let b = a.matvec(&x).unwrap();
             let x2 = a.solve(&b).unwrap();
             for (u, v) in x.iter().zip(&x2) {
-                prop_assert!((u - v).abs() < 1e-6);
+                assert!((u - v).abs() < 1e-6);
             }
         }
+    }
 
-        #[test]
-        fn prop_det_of_product(a in arb_invertible(3), b in arb_invertible(3)) {
+    #[test]
+    fn prop_det_of_product() {
+        let mut rng = StdRng::seed_from_u64(0x3A7202);
+        for _ in 0..64 {
+            let a = rand_invertible(&mut rng, 3);
+            let b = rand_invertible(&mut rng, 3);
             let dab = a.matmul(&b).unwrap().determinant().unwrap();
             let da = a.determinant().unwrap();
             let db = b.determinant().unwrap();
-            prop_assert!((dab - da * db).abs() < 1e-6 * dab.abs().max(1.0));
+            assert!((dab - da * db).abs() < 1e-6 * dab.abs().max(1.0));
         }
+    }
 
-        #[test]
-        fn prop_transpose_of_product(a in arb_invertible(3), b in arb_invertible(3)) {
+    #[test]
+    fn prop_transpose_of_product() {
+        let mut rng = StdRng::seed_from_u64(0x3A7203);
+        for _ in 0..64 {
+            let a = rand_invertible(&mut rng, 3);
+            let b = rand_invertible(&mut rng, 3);
             let lhs = a.matmul(&b).unwrap().transpose();
             let rhs = b.transpose().matmul(&a.transpose()).unwrap();
-            prop_assert!(lhs.sub(&rhs).unwrap().max_abs() < 1e-9);
+            assert!(lhs.sub(&rhs).unwrap().max_abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn matmul_propagates_nan() {
+        // Regression: the old zero-skip fast path returned 0 where IEEE says
+        // NaN (a zero row in A times a NaN entry in B).
+        let a = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 1.0]]);
+        let b = Matrix::from_rows(&[&[f64::NAN, 1.0], &[2.0, 3.0]]);
+        let c = a.matmul(&b).unwrap();
+        assert!(c[(0, 0)].is_nan(), "0 * NaN must propagate NaN");
+        assert!(c[(1, 0)].is_nan());
+        assert!((c[(0, 1)] - 0.0).abs() < 1e-15);
+        // The documented sparse path keeps the old (non-IEEE) behaviour.
+        let s = a.matmul_sparse(&b).unwrap();
+        assert_eq!(s[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn sparse_matmul_matches_dense_on_finite_input() {
+        let mut rng = StdRng::seed_from_u64(0x3A7204);
+        for _ in 0..32 {
+            let mut a = rand_matrix(&mut rng, 7, 5);
+            // Sparsify: ~half the entries exactly zero.
+            for x in a.as_mut_slice().iter_mut() {
+                if rng.gen_f64() < 0.5 {
+                    *x = 0.0;
+                }
+            }
+            let b = rand_matrix(&mut rng, 5, 6);
+            let dense = a.matmul(&b).unwrap();
+            let sparse = a.matmul_sparse(&b).unwrap();
+            assert!(dense.sub(&sparse).unwrap().max_abs() <= 1e-12);
+        }
+    }
+
+    #[test]
+    fn transb_and_tr_matmul_match_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(0x3A7205);
+        for &(m, n, k) in &[(1, 1, 1), (3, 4, 5), (8, 2, 9), (1, 7, 3)] {
+            let a = rand_matrix(&mut rng, m, k);
+            let bt = rand_matrix(&mut rng, n, k);
+            let expect = a.matmul(&bt.transpose()).unwrap();
+            let got = a.matmul_transb(&bt).unwrap();
+            assert!(expect.sub(&got).unwrap().max_abs() <= 1e-12);
+
+            let at = rand_matrix(&mut rng, k, m);
+            let b = rand_matrix(&mut rng, k, n);
+            let expect = at.transpose().matmul(&b).unwrap();
+            let got = at.tr_matmul(&b).unwrap();
+            assert!(expect.sub(&got).unwrap().max_abs() <= 1e-12);
+        }
+    }
+
+    #[test]
+    fn matmul_into_reuses_buffer() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let mut out = Matrix::from_vec(2, 2, vec![f64::NAN; 4]);
+        a.matmul_into(&b, &mut out).unwrap();
+        assert_eq!(out, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+        let mut wrong = Matrix::zeros(3, 2);
+        assert!(matches!(
+            a.matmul_into(&b, &mut wrong),
+            Err(MathError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn matvec_into_and_column_into() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let mut y = [0.0; 3];
+        m.matvec_into(&[1.0, -1.0], &mut y).unwrap();
+        assert_eq!(y, [-1.0, -1.0, -1.0]);
+        let mut col = [0.0; 3];
+        m.column_into(1, &mut col);
+        assert_eq!(col, [2.0, 4.0, 6.0]);
+        assert_eq!(m.column(1), vec![2.0, 4.0, 6.0]);
+        let mut short = [0.0; 2];
+        assert!(m.matvec_into(&[1.0, 1.0], &mut short).is_err());
     }
 }

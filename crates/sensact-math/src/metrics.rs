@@ -92,10 +92,7 @@ pub fn average_precision(detections: &[Detection], num_gt: usize) -> f64 {
     for i in 0..points.len() {
         let (r, _) = points[i];
         if r > prev_recall {
-            let max_p = points[i..]
-                .iter()
-                .map(|&(_, p)| p)
-                .fold(0.0f64, f64::max);
+            let max_p = points[i..].iter().map(|&(_, p)| p).fold(0.0f64, f64::max);
             ap += (r - prev_recall) * max_p;
             prev_recall = r;
         }
@@ -195,7 +192,12 @@ pub struct BoxPrediction {
 /// claimed once.
 pub fn ap_at_iou(predictions: &[BoxPrediction], ground_truth: &[Aabb], iou_threshold: f64) -> f64 {
     let mut order: Vec<usize> = (0..predictions.len()).collect();
-    order.sort_by(|&a, &b| predictions[b].score.partial_cmp(&predictions[a].score).unwrap());
+    order.sort_by(|&a, &b| {
+        predictions[b]
+            .score
+            .partial_cmp(&predictions[a].score)
+            .unwrap()
+    });
     let mut claimed = vec![false; ground_truth.len()];
     let mut dets = Vec::with_capacity(predictions.len());
     for &pi in &order {
@@ -260,7 +262,7 @@ pub fn accuracy(pred: &[usize], truth: &[usize]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::rng::StdRng;
 
     #[test]
     fn auc_perfect_and_inverted() {
@@ -284,15 +286,24 @@ mod tests {
     #[test]
     fn average_precision_perfect_detector() {
         let dets = vec![
-            Detection { score: 0.9, true_positive: true },
-            Detection { score: 0.8, true_positive: true },
+            Detection {
+                score: 0.9,
+                true_positive: true,
+            },
+            Detection {
+                score: 0.8,
+                true_positive: true,
+            },
         ];
         assert!((average_precision(&dets, 2) - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn average_precision_misses_cost_recall() {
-        let dets = vec![Detection { score: 0.9, true_positive: true }];
+        let dets = vec![Detection {
+            score: 0.9,
+            true_positive: true,
+        }];
         // One of two objects found: AP = 0.5 (precision 1 up to recall 0.5).
         assert!((average_precision(&dets, 2) - 0.5).abs() < 1e-12);
     }
@@ -300,13 +311,28 @@ mod tests {
     #[test]
     fn average_precision_false_positive_hurts() {
         let good = vec![
-            Detection { score: 0.9, true_positive: true },
-            Detection { score: 0.8, true_positive: true },
+            Detection {
+                score: 0.9,
+                true_positive: true,
+            },
+            Detection {
+                score: 0.8,
+                true_positive: true,
+            },
         ];
         let with_fp = vec![
-            Detection { score: 0.95, true_positive: false },
-            Detection { score: 0.9, true_positive: true },
-            Detection { score: 0.8, true_positive: true },
+            Detection {
+                score: 0.95,
+                true_positive: false,
+            },
+            Detection {
+                score: 0.9,
+                true_positive: true,
+            },
+            Detection {
+                score: 0.8,
+                true_positive: true,
+            },
         ];
         assert!(average_precision(&with_fp, 2) < average_precision(&good, 2));
     }
@@ -349,8 +375,14 @@ mod tests {
     fn ap_at_iou_matches_greedy() {
         let gt = vec![Aabb::new([0.0, 0.0, 0.0], [1.0, 1.0, 1.0])];
         let preds = vec![
-            BoxPrediction { aabb: Aabb::new([0.0, 0.0, 0.0], [1.0, 1.0, 1.0]), score: 0.9 },
-            BoxPrediction { aabb: Aabb::new([5.0, 5.0, 5.0], [6.0, 6.0, 6.0]), score: 0.5 },
+            BoxPrediction {
+                aabb: Aabb::new([0.0, 0.0, 0.0], [1.0, 1.0, 1.0]),
+                score: 0.9,
+            },
+            BoxPrediction {
+                aabb: Aabb::new([5.0, 5.0, 5.0], [6.0, 6.0, 6.0]),
+                score: 0.5,
+            },
         ];
         let ap = ap_at_iou(&preds, &gt, 0.5);
         assert!((ap - 1.0).abs() < 1e-12, "ap {ap}");
@@ -374,49 +406,80 @@ mod tests {
         assert_eq!(accuracy(&[], &[]), 0.0);
     }
 
-    proptest! {
-        #[test]
-        fn prop_auc_in_unit_interval(scores in proptest::collection::vec(0.0f64..1.0, 4..40),
-                                     seed in 0u64..1000) {
-            let labels: Vec<bool> = (0..scores.len()).map(|i| (i as u64 + seed) % 3 == 0).collect();
+    #[test]
+    fn prop_auc_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(0x3E7201);
+        for _ in 0..256 {
+            let n = rng.random_range(4..40usize);
+            let scores: Vec<f64> = (0..n).map(|_| rng.gen_f64()).collect();
+            let seed = rng.random_range(0..1000u64);
+            let labels: Vec<bool> = (0..n)
+                .map(|i| (i as u64 + seed).is_multiple_of(3))
+                .collect();
             let auc = roc_auc(&labels, &scores);
-            prop_assert!((0.0..=1.0).contains(&auc));
+            assert!((0.0..=1.0).contains(&auc));
         }
+    }
 
-        #[test]
-        fn prop_auc_invariant_to_monotone_transform(scores in proptest::collection::vec(-5.0f64..5.0, 4..32)) {
-            let labels: Vec<bool> = (0..scores.len()).map(|i| i % 2 == 0).collect();
+    #[test]
+    fn prop_auc_invariant_to_monotone_transform() {
+        let mut rng = StdRng::seed_from_u64(0x3E7202);
+        for _ in 0..256 {
+            let n = rng.random_range(4..32usize);
+            let scores: Vec<f64> = (0..n).map(|_| rng.random_range(-5.0..5.0)).collect();
+            let labels: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
             let a1 = roc_auc(&labels, &scores);
             let transformed: Vec<f64> = scores.iter().map(|s| s.exp()).collect();
             let a2 = roc_auc(&labels, &transformed);
-            prop_assert!((a1 - a2).abs() < 1e-9);
+            assert!((a1 - a2).abs() < 1e-9);
         }
+    }
 
-        #[test]
-        fn prop_iou_symmetric_and_bounded(
-            ax in -5.0f64..5.0, ay in -5.0f64..5.0, az in -5.0f64..5.0,
-            bx in -5.0f64..5.0, by in -5.0f64..5.0, bz in -5.0f64..5.0,
-            s1 in 0.1f64..3.0, s2 in 0.1f64..3.0)
-        {
-            let a = Aabb::from_center_size([ax, ay, az], [s1, s1, s1]);
-            let b = Aabb::from_center_size([bx, by, bz], [s2, s2, s2]);
+    #[test]
+    fn prop_iou_symmetric_and_bounded() {
+        let mut rng = StdRng::seed_from_u64(0x3E7203);
+        for _ in 0..256 {
+            let mut center = || {
+                [
+                    rng.random_range(-5.0..5.0),
+                    rng.random_range(-5.0..5.0),
+                    rng.random_range(-5.0..5.0),
+                ]
+            };
+            let (ca, cb) = (center(), center());
+            let s1 = rng.random_range(0.1..3.0);
+            let s2 = rng.random_range(0.1..3.0);
+            let a = Aabb::from_center_size(ca, [s1, s1, s1]);
+            let b = Aabb::from_center_size(cb, [s2, s2, s2]);
             let i1 = iou_aabb(&a, &b);
             let i2 = iou_aabb(&b, &a);
-            prop_assert!((i1 - i2).abs() < 1e-12);
-            prop_assert!((0.0..=1.0).contains(&i1));
+            assert!((i1 - i2).abs() < 1e-12);
+            assert!((0.0..=1.0).contains(&i1));
         }
+    }
 
-        #[test]
-        fn prop_ap_bounded(n_tp in 0usize..10, n_fp in 0usize..10, gt in 1usize..12) {
+    #[test]
+    fn prop_ap_bounded() {
+        let mut rng = StdRng::seed_from_u64(0x3E7204);
+        for _ in 0..256 {
+            let n_tp = rng.random_range(0..10usize);
+            let n_fp = rng.random_range(0..10usize);
+            let gt = rng.random_range(1..12usize);
             let mut dets = Vec::new();
             for i in 0..n_tp.min(gt) {
-                dets.push(Detection { score: 1.0 - i as f64 * 0.01, true_positive: true });
+                dets.push(Detection {
+                    score: 1.0 - i as f64 * 0.01,
+                    true_positive: true,
+                });
             }
             for i in 0..n_fp {
-                dets.push(Detection { score: 0.5 - i as f64 * 0.01, true_positive: false });
+                dets.push(Detection {
+                    score: 0.5 - i as f64 * 0.01,
+                    true_positive: false,
+                });
             }
             let ap = average_precision(&dets, gt);
-            prop_assert!((0.0..=1.0 + 1e-12).contains(&ap));
+            assert!((0.0..=1.0 + 1e-12).contains(&ap));
         }
     }
 }

@@ -102,8 +102,8 @@ impl RunningStats {
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
         let new_mean = self.mean + delta * other.count as f64 / total as f64;
-        self.m2 += other.m2
-            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
         self.mean = new_mean;
         self.count = total;
         self.min = self.min.min(other.min);
@@ -206,7 +206,10 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
 ///
 /// Panics on ragged input or fewer than two observations.
 pub fn covariance_matrix(data: &[Vec<f64>]) -> crate::Matrix {
-    assert!(data.len() >= 2, "covariance: need at least two observations");
+    assert!(
+        data.len() >= 2,
+        "covariance: need at least two observations"
+    );
     let d = data[0].len();
     let mut means = vec![0.0; d];
     for row in data {
@@ -244,7 +247,10 @@ pub fn covariance_matrix(data: &[Vec<f64>]) -> crate::Matrix {
 ///
 /// Panics if lengths differ or any variance is non-positive.
 pub fn diag_gaussian_log_pdf(x: &[f64], mean: &[f64], var: &[f64]) -> f64 {
-    assert!(x.len() == mean.len() && x.len() == var.len(), "length mismatch");
+    assert!(
+        x.len() == mean.len() && x.len() == var.len(),
+        "length mismatch"
+    );
     let mut lp = 0.0;
     for i in 0..x.len() {
         assert!(var[i] > 0.0, "variance must be positive");
@@ -257,7 +263,11 @@ pub fn diag_gaussian_log_pdf(x: &[f64], mean: &[f64], var: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::rng::StdRng;
+
+    fn random_vec(rng: &mut StdRng, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+        (0..n).map(|_| rng.random_range(lo..hi)).collect()
+    }
 
     #[test]
     fn running_stats_matches_batch() {
@@ -333,11 +343,7 @@ mod tests {
 
     #[test]
     fn covariance_matrix_diagonal_contains_variances() {
-        let data = vec![
-            vec![1.0, 10.0],
-            vec![2.0, 20.0],
-            vec![3.0, 30.0],
-        ];
+        let data = vec![vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 30.0]];
         let cov = covariance_matrix(&data);
         assert!((cov[(0, 0)] - 1.0).abs() < 1e-12);
         assert!((cov[(1, 1)] - 100.0).abs() < 1e-12);
@@ -354,40 +360,58 @@ mod tests {
         assert!(diag_gaussian_log_pdf(&[2.0], &[0.0], &[1.0]) < lp);
     }
 
-    proptest! {
-        #[test]
-        fn prop_running_matches_batch(xs in proptest::collection::vec(-1e3f64..1e3, 2..64)) {
+    #[test]
+    fn prop_running_matches_batch() {
+        let mut rng = StdRng::seed_from_u64(0x57A701);
+        for _ in 0..256 {
+            let n = rng.random_range(2..64usize);
+            let xs = random_vec(&mut rng, n, -1e3, 1e3);
             let s: RunningStats = xs.iter().copied().collect();
-            prop_assert!((s.mean() - mean(&xs)).abs() < 1e-8);
-            prop_assert!((s.variance() - variance(&xs)).abs() < 1e-6);
+            assert!((s.mean() - mean(&xs)).abs() < 1e-8);
+            assert!((s.variance() - variance(&xs)).abs() < 1e-6);
         }
+    }
 
-        #[test]
-        fn prop_merge_associative_mean(xs in proptest::collection::vec(-100.0f64..100.0, 1..20),
-                                       ys in proptest::collection::vec(-100.0f64..100.0, 1..20)) {
+    #[test]
+    fn prop_merge_associative_mean() {
+        let mut rng = StdRng::seed_from_u64(0x57A702);
+        for _ in 0..256 {
+            let nx = rng.random_range(1..20usize);
+            let ny = rng.random_range(1..20usize);
+            let xs = random_vec(&mut rng, nx, -100.0, 100.0);
+            let ys = random_vec(&mut rng, ny, -100.0, 100.0);
             let mut a: RunningStats = xs.iter().copied().collect();
             let b: RunningStats = ys.iter().copied().collect();
             a.merge(&b);
             let all: Vec<f64> = xs.iter().chain(&ys).copied().collect();
-            prop_assert!((a.mean() - mean(&all)).abs() < 1e-8);
+            assert!((a.mean() - mean(&all)).abs() < 1e-8);
         }
+    }
 
-        #[test]
-        fn prop_quantile_monotone(xs in proptest::collection::vec(-100.0f64..100.0, 1..32),
-                                  q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+    #[test]
+    fn prop_quantile_monotone() {
+        let mut rng = StdRng::seed_from_u64(0x57A703);
+        for _ in 0..256 {
+            let n = rng.random_range(1..32usize);
+            let xs = random_vec(&mut rng, n, -100.0, 100.0);
+            let q1 = rng.gen_f64();
+            let q2 = rng.gen_f64();
             let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
             let a = quantile(&xs, lo).unwrap();
             let b = quantile(&xs, hi).unwrap();
-            prop_assert!(a <= b + 1e-12);
+            assert!(a <= b + 1e-12);
         }
+    }
 
-        #[test]
-        fn prop_pearson_bounded(xy in (2usize..32).prop_flat_map(|n| (
-                proptest::collection::vec(-100.0f64..100.0, n),
-                proptest::collection::vec(-100.0f64..100.0, n)))) {
-            let (xs, ys) = xy;
+    #[test]
+    fn prop_pearson_bounded() {
+        let mut rng = StdRng::seed_from_u64(0x57A704);
+        for _ in 0..256 {
+            let n = rng.random_range(2..32usize);
+            let xs = random_vec(&mut rng, n, -100.0, 100.0);
+            let ys = random_vec(&mut rng, n, -100.0, 100.0);
             let r = pearson(&xs, &ys);
-            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+            assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
         }
     }
 }

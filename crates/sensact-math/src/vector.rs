@@ -129,7 +129,10 @@ pub fn cosine_similarity(a: &[f64], b: &[f64]) -> f64 {
 /// Panics if lengths differ.
 pub fn lerp(a: &[f64], b: &[f64], t: f64) -> Vec<f64> {
     assert_eq!(a.len(), b.len(), "lerp: length mismatch");
-    a.iter().zip(b).map(|(x, y)| (1.0 - t) * x + t * y).collect()
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (1.0 - t) * x + t * y)
+        .collect()
 }
 
 /// Index of the maximum element (first occurrence). `None` for an empty slice.
@@ -180,7 +183,11 @@ fn norm_inf_signed_max(a: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::rng::StdRng;
+
+    fn random_vec(rng: &mut StdRng, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+        (0..n).map(|_| rng.random_range(lo..hi)).collect()
+    }
 
     #[test]
     fn dot_and_norms() {
@@ -256,39 +263,53 @@ mod tests {
         dot(&[1.0], &[1.0, 2.0]);
     }
 
-    proptest! {
-        #[test]
-        fn prop_cauchy_schwarz(ab in (1usize..16).prop_flat_map(|n| (
-                proptest::collection::vec(-100.0f64..100.0, n),
-                proptest::collection::vec(-100.0f64..100.0, n)))) {
-            let (a, b) = ab;
+    #[test]
+    fn prop_cauchy_schwarz() {
+        let mut rng = StdRng::seed_from_u64(0x5EC01);
+        for _ in 0..256 {
+            let n = rng.random_range(1..16usize);
+            let a = random_vec(&mut rng, n, -100.0, 100.0);
+            let b = random_vec(&mut rng, n, -100.0, 100.0);
             let lhs = dot(&a, &b).abs();
             let rhs = norm(&a) * norm(&b);
-            prop_assert!(lhs <= rhs * (1.0 + 1e-9) + 1e-9);
+            assert!(lhs <= rhs * (1.0 + 1e-9) + 1e-9);
         }
+    }
 
-        #[test]
-        fn prop_triangle_inequality(a in proptest::collection::vec(-100.0f64..100.0, 4),
-                                    b in proptest::collection::vec(-100.0f64..100.0, 4),
-                                    c in proptest::collection::vec(-100.0f64..100.0, 4)) {
-            let d_ac = distance(&a, &c);
-            let d_ab = distance(&a, &b);
-            let d_bc = distance(&b, &c);
-            prop_assert!(d_ac <= d_ab + d_bc + 1e-9);
+    #[test]
+    fn prop_triangle_inequality() {
+        let mut rng = StdRng::seed_from_u64(0x5EC02);
+        for _ in 0..256 {
+            let a = random_vec(&mut rng, 4, -100.0, 100.0);
+            let b = random_vec(&mut rng, 4, -100.0, 100.0);
+            let c = random_vec(&mut rng, 4, -100.0, 100.0);
+            assert!(distance(&a, &c) <= distance(&a, &b) + distance(&b, &c) + 1e-9);
         }
+    }
 
-        #[test]
-        fn prop_softmax_is_distribution(a in proptest::collection::vec(-50.0f64..50.0, 1..12)) {
+    #[test]
+    fn prop_softmax_is_distribution() {
+        let mut rng = StdRng::seed_from_u64(0x5EC03);
+        for _ in 0..256 {
+            let n = rng.random_range(1..12usize);
+            let a = random_vec(&mut rng, n, -50.0, 50.0);
             let p = softmax(&a);
-            prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
-            prop_assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
         }
+    }
 
-        #[test]
-        fn prop_normalize_idempotent_norm(mut v in proptest::collection::vec(-100.0f64..100.0, 1..16)) {
-            prop_assume!(norm(&v) > 1e-6);
+    #[test]
+    fn prop_normalize_idempotent_norm() {
+        let mut rng = StdRng::seed_from_u64(0x5EC04);
+        for _ in 0..256 {
+            let n = rng.random_range(1..16usize);
+            let mut v = random_vec(&mut rng, n, -100.0, 100.0);
+            if norm(&v) <= 1e-6 {
+                continue;
+            }
             normalize(&mut v);
-            prop_assert!((norm(&v) - 1.0).abs() < 1e-9);
+            assert!((norm(&v) - 1.0).abs() < 1e-9);
         }
     }
 }

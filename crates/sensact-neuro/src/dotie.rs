@@ -70,8 +70,7 @@ pub fn detect_clusters(stream: &EventStream, config: &DotieConfig) -> Vec<EventC
     // Events grouped by timestep.
     let mut by_t: std::collections::BTreeMap<u16, Vec<usize>> = std::collections::BTreeMap::new();
     for e in &stream.events {
-        by_t
-            .entry(e.t)
+        by_t.entry(e.t)
             .or_default()
             .push(e.y as usize * w + e.x as usize);
     }

@@ -52,8 +52,8 @@ impl std::fmt::Display for FlowModelKind {
 
 enum Encoder {
     Ann(Sequential),
-    Snn(SpikingDense),
-    Snn2(SpikingDense, SpikingDense),
+    Snn(Box<SpikingDense>),
+    Snn2(Box<SpikingDense>, Box<SpikingDense>),
 }
 
 /// A trainable flow model.
@@ -90,12 +90,12 @@ impl FlowModel {
                 hidden,
             ),
             FlowModelKind::HybridSnnAnn => (
-                Encoder::Snn(SpikingDense::new(input_dim, hidden, &mut init)),
+                Encoder::Snn(Box::new(SpikingDense::new(input_dim, hidden, &mut init))),
                 None,
                 hidden,
             ),
             FlowModelKind::Fusion => (
-                Encoder::Snn(SpikingDense::new(input_dim, hidden, &mut init)),
+                Encoder::Snn(Box::new(SpikingDense::new(input_dim, hidden, &mut init))),
                 Some(Dense::new(frame_dim, hidden / 2, &mut init)),
                 hidden + hidden / 2,
             ),
@@ -104,14 +104,14 @@ impl FlowModel {
                 let mut l2 = SpikingDense::new(hidden, hidden, &mut init);
                 l1.learnable_dynamics = true;
                 l2.learnable_dynamics = true;
-                (Encoder::Snn2(l1, l2), None, hidden)
+                (Encoder::Snn2(Box::new(l1), Box::new(l2)), None, hidden)
             }
         };
         let decoder = match kind {
             // Full-SNN keeps the decoder linear (read-out only).
-            FlowModelKind::FullSnn => Sequential::new(vec![Box::new(Dense::new(
-                dec_in, out_dim, &mut init,
-            ))]),
+            FlowModelKind::FullSnn => {
+                Sequential::new(vec![Box::new(Dense::new(dec_in, out_dim, &mut init))])
+            }
             _ => Sequential::new(vec![
                 Box::new(Dense::new(dec_in, hidden, &mut init)),
                 Box::new(Activation::new(ActKind::Relu)),
@@ -142,8 +142,7 @@ impl FlowModel {
             Encoder::Snn(l) => l.param_count(),
             Encoder::Snn2(a, b) => a.param_count() + b.param_count(),
         };
-        enc + self.decoder.param_count()
-            + self.frame_branch.as_ref().map_or(0, |f| f.param_count())
+        enc + self.decoder.param_count() + self.frame_branch.as_ref().map_or(0, |f| f.param_count())
     }
 
     fn event_inputs(&self, scene: &MovingScene) -> Vec<Tensor> {
@@ -157,7 +156,11 @@ impl FlowModel {
 
     /// Forward to encoder features (and cache whatever training needs);
     /// returns `(features, per-step inputs for BPTT)`.
-    fn encode(&mut self, scene: &MovingScene, ledger: Option<&mut EnergyLedger>) -> (Tensor, Vec<Tensor>) {
+    fn encode(
+        &mut self,
+        scene: &MovingScene,
+        ledger: Option<&mut EnergyLedger>,
+    ) -> (Tensor, Vec<Tensor>) {
         let inputs = self.event_inputs(scene);
         let mut ledger = ledger;
         let features = match &mut self.encoder {
@@ -186,7 +189,7 @@ impl FlowModel {
             Encoder::Snn2(l1, l2) => {
                 let s1 = l1.forward_sequence(&inputs);
                 let s2 = l2.forward_sequence(&s1);
-                if let Some(l) = ledger.as_deref_mut() {
+                if let Some(l) = ledger {
                     l.add_acs(l1.synaptic_ops(&inputs));
                     l.add_acs(l2.synaptic_ops(&s1));
                 }
@@ -211,10 +214,7 @@ impl FlowModel {
             features = Tensor::from_vec(vec![1, combined.len()], combined);
         }
         let out = self.decoder.forward(&features, false);
-        out.as_slice()
-            .chunks(2)
-            .map(|c| (c[0], c[1]))
-            .collect()
+        out.as_slice().chunks(2).map(|c| (c[0], c[1])).collect()
     }
 
     /// One training pass over the scenes; returns the mean loss.
@@ -248,8 +248,10 @@ impl FlowModel {
             let enc_len = g_dec_in.len() - frame_feat_len;
             let g_enc = Tensor::from_vec(vec![1, enc_len], g_dec_in.as_slice()[..enc_len].to_vec());
             if let Some(fb) = &mut self.frame_branch {
-                let g_frame =
-                    Tensor::from_vec(vec![1, frame_feat_len], g_dec_in.as_slice()[enc_len..].to_vec());
+                let g_frame = Tensor::from_vec(
+                    vec![1, frame_feat_len],
+                    g_dec_in.as_slice()[enc_len..].to_vec(),
+                );
                 let _ = fb.backward(&g_frame);
             }
             // Encoder backward.
@@ -370,7 +372,10 @@ impl std::fmt::Debug for FlowModel {
 pub fn flow_dataset(n: usize, seed: u64) -> Vec<MovingScene> {
     (0..n)
         .map(|i| {
-            MovingScene::generate(crate::event::MovingSceneConfig::default(), seed ^ (i as u64 * 97))
+            MovingScene::generate(
+                crate::event::MovingSceneConfig::default(),
+                seed ^ (i as u64 * 97),
+            )
         })
         .collect()
 }
@@ -432,10 +437,7 @@ mod tests {
             e_ann += ann.inference_energy(s).energy_uj(&model);
             e_snn += snn.inference_energy(s).energy_uj(&model);
         }
-        assert!(
-            e_snn < e_ann,
-            "SNN {e_snn} µJ not below ANN {e_ann} µJ"
-        );
+        assert!(e_snn < e_ann, "SNN {e_snn} µJ not below ANN {e_ann} µJ");
     }
 
     #[test]

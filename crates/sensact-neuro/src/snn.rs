@@ -132,7 +132,11 @@ impl SpikingDense {
     /// Panics if the sequence lengths mismatch or forward was not run.
     pub fn backward_sequence(&mut self, grads: &[Tensor], inputs: &[Tensor]) -> Vec<Tensor> {
         assert_eq!(grads.len(), self.cache.len(), "grad/cache length mismatch");
-        assert_eq!(inputs.len(), self.cache.len(), "input/cache length mismatch");
+        assert_eq!(
+            inputs.len(),
+            self.cache.len(),
+            "input/cache length mismatch"
+        );
         let t_max = grads.len();
         let batch = grads[0].shape()[0];
         let leaks = self.leaks();
@@ -159,12 +163,9 @@ impl SpikingDense {
                     // Dynamics parameter gradients: v_t = λ v_{t−1}(1−s_{t−1}) + I.
                     if self.learnable_dynamics {
                         let lam = leaks[j];
-                        self.grad_leak[j] += g_v
-                            * cache.v_prev[idx]
-                            * (1.0 - cache.s_prev[idx])
-                            * lam
-                            * (1.0 - lam); // dλ/draw = σ'(raw)
-                        // v_th enters through the spike indicator: ∂s/∂vth = −surrogate.
+                        self.grad_leak[j] +=
+                            g_v * cache.v_prev[idx] * (1.0 - cache.s_prev[idx]) * lam * (1.0 - lam); // dλ/draw = σ'(raw)
+                                                                                                     // v_th enters through the spike indicator: ∂s/∂vth = −surrogate.
                         let dvth_draw = sigmoid(self.vth_raw[j]); // softplus'
                         self.grad_vth[j] += -grads[t][idx] * ds_dv * dvth_draw;
                     }
@@ -181,10 +182,9 @@ impl SpikingDense {
             // Prepare dL/dv_{t-1}.
             let mut g_v_prev = Tensor::zeros(vec![batch, self.out_dim]);
             for r in 0..batch {
-                for j in 0..self.out_dim {
+                for (j, &leak) in leaks.iter().enumerate().take(self.out_dim) {
                     let idx = r * self.out_dim + j;
-                    g_v_prev[idx] =
-                        g_current[idx] * leaks[j] * (1.0 - cache.s_prev[idx]);
+                    g_v_prev[idx] = g_current[idx] * leak * (1.0 - cache.s_prev[idx]);
                 }
             }
             g_v_next = g_v_prev;
@@ -211,7 +211,12 @@ impl SpikingDense {
 
     /// Trainable parameter count.
     pub fn param_count(&self) -> usize {
-        self.synapse.param_count() + if self.learnable_dynamics { 2 * self.out_dim } else { 0 }
+        self.synapse.param_count()
+            + if self.learnable_dynamics {
+                2 * self.out_dim
+            } else {
+                0
+            }
     }
 
     /// Synaptic operations (accumulates) for one sequence: only *spiking*
@@ -239,7 +244,9 @@ mod tests {
     use super::*;
 
     fn constant_sequence(value: f64, t: usize, batch: usize, dim: usize) -> Vec<Tensor> {
-        (0..t).map(|_| Tensor::full(vec![batch, dim], value)).collect()
+        (0..t)
+            .map(|_| Tensor::full(vec![batch, dim], value))
+            .collect()
     }
 
     #[test]

@@ -6,13 +6,18 @@
 //! prediction.
 //!
 //! Tensors are laid out `[batch, channels * depth * height * width]` with the
-//! spatial dimensions carried by the layer configuration. The forward pass
-//! skips all-zero input positions, which is the "spatially sparse" trick the
-//! paper's encoder relies on — empty voxels cost nothing.
+//! spatial dimensions carried by the layer configuration. Forward and backward
+//! are lowered onto the cache-blocked GEMM kernels in `sensact_math::kernels`
+//! via an im2col/col2im buffer that is allocated once per call and reused
+//! across batch items. The original gather-formulation loop (which skips
+//! all-zero input voxels — the "spatially sparse" trick the paper's encoder
+//! relies on) is kept as [`Conv3d::forward_reference`] /
+//! [`Deconv3d::forward_reference`] for equivalence testing and benchmarking.
 
 use crate::init::Initializer;
 use crate::layers::Layer;
 use crate::tensor::Tensor;
+use sensact_math::kernels;
 
 /// Spatial extents of a 3-D feature volume.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,9 +83,14 @@ impl Conv3d {
         in_dims: Dims3,
         init: &mut Initializer,
     ) -> Self {
-        assert!(kernel > 0 && stride > 0, "kernel and stride must be positive");
         assert!(
-            in_dims.d + 2 * pad >= kernel && in_dims.h + 2 * pad >= kernel && in_dims.w + 2 * pad >= kernel,
+            kernel > 0 && stride > 0,
+            "kernel and stride must be positive"
+        );
+        assert!(
+            in_dims.d + 2 * pad >= kernel
+                && in_dims.h + 2 * pad >= kernel
+                && in_dims.w + 2 * pad >= kernel,
             "kernel larger than padded input"
         );
         let out_dims = Dims3::new(
@@ -135,10 +145,107 @@ impl Conv3d {
     fn out_idx(&self, c: usize, z: usize, y: usize, x: usize) -> usize {
         ((c * self.out_dims.d + z) * self.out_dims.h + y) * self.out_dims.w + x
     }
-}
 
-impl Layer for Conv3d {
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+    /// Patch length of the im2col matrix: `cin * kernel³`.
+    #[inline]
+    fn patch_len(&self) -> usize {
+        self.cin * self.kernel * self.kernel * self.kernel
+    }
+
+    /// Unfold one batch row into `col`, laid out `[out_volume, cin*k³]`
+    /// row-major. Out-of-bounds (padding) taps are written as zero, so the
+    /// buffer never needs pre-clearing.
+    fn im2col(&self, xrow: &[f64], col: &mut [f64]) {
+        let k = self.kernel;
+        let ckk = self.patch_len();
+        let mut p = 0;
+        for oz in 0..self.out_dims.d {
+            for oy in 0..self.out_dims.h {
+                for ox in 0..self.out_dims.w {
+                    let dst = &mut col[p * ckk..(p + 1) * ckk];
+                    let mut q = 0;
+                    for ci in 0..self.cin {
+                        for kd in 0..k {
+                            let z = oz * self.stride + kd;
+                            for kh in 0..k {
+                                let y = oy * self.stride + kh;
+                                for kw in 0..k {
+                                    let x = ox * self.stride + kw;
+                                    dst[q] = if z < self.pad
+                                        || y < self.pad
+                                        || x < self.pad
+                                        || z - self.pad >= self.in_dims.d
+                                        || y - self.pad >= self.in_dims.h
+                                        || x - self.pad >= self.in_dims.w
+                                    {
+                                        0.0
+                                    } else {
+                                        xrow[self.in_idx(
+                                            ci,
+                                            z - self.pad,
+                                            y - self.pad,
+                                            x - self.pad,
+                                        )]
+                                    };
+                                    q += 1;
+                                }
+                            }
+                        }
+                    }
+                    p += 1;
+                }
+            }
+        }
+    }
+
+    /// Fold a `[out_volume, cin*k³]` column-gradient buffer back onto the
+    /// input gradient row (scatter-add; padding taps are dropped).
+    fn col2im_add(&self, col: &[f64], grad_row: &mut [f64]) {
+        let k = self.kernel;
+        let ckk = self.patch_len();
+        let mut p = 0;
+        for oz in 0..self.out_dims.d {
+            for oy in 0..self.out_dims.h {
+                for ox in 0..self.out_dims.w {
+                    let src = &col[p * ckk..(p + 1) * ckk];
+                    let mut q = 0;
+                    for ci in 0..self.cin {
+                        for kd in 0..k {
+                            let z = oz * self.stride + kd;
+                            for kh in 0..k {
+                                let y = oy * self.stride + kh;
+                                for kw in 0..k {
+                                    let x = ox * self.stride + kw;
+                                    if z >= self.pad
+                                        && y >= self.pad
+                                        && x >= self.pad
+                                        && z - self.pad < self.in_dims.d
+                                        && y - self.pad < self.in_dims.h
+                                        && x - self.pad < self.in_dims.w
+                                    {
+                                        grad_row[self.in_idx(
+                                            ci,
+                                            z - self.pad,
+                                            y - self.pad,
+                                            x - self.pad,
+                                        )] += src[q];
+                                    }
+                                    q += 1;
+                                }
+                            }
+                        }
+                    }
+                    p += 1;
+                }
+            }
+        }
+    }
+
+    /// Reference gather-formulation forward pass (sparse-friendly: all-zero
+    /// input voxels are skipped entirely). Kept for equivalence tests and as
+    /// the naive baseline in the kernel benchmarks; the production
+    /// [`Layer::forward`] lowers to im2col + GEMM instead.
+    pub fn forward_reference(&self, input: &Tensor) -> Tensor {
         let batch = input.shape()[0];
         let in_feat = self.cin * self.in_dims.volume();
         assert_eq!(input.shape()[1], in_feat, "Conv3d: input feature mismatch");
@@ -169,7 +276,7 @@ impl Layer for Conv3d {
                             // (kd, kh, kw) satisfying oz*s - p + kd == z, etc.
                             for kd in 0..k {
                                 let zp = z + self.pad;
-                                if zp < kd || (zp - kd) % self.stride != 0 {
+                                if zp < kd || !(zp - kd).is_multiple_of(self.stride) {
                                     continue;
                                 }
                                 let oz = (zp - kd) / self.stride;
@@ -178,7 +285,7 @@ impl Layer for Conv3d {
                                 }
                                 for kh in 0..k {
                                     let yp = y + self.pad;
-                                    if yp < kh || (yp - kh) % self.stride != 0 {
+                                    if yp < kh || !(yp - kh).is_multiple_of(self.stride) {
                                         continue;
                                     }
                                     let oy = (yp - kh) / self.stride;
@@ -187,7 +294,7 @@ impl Layer for Conv3d {
                                     }
                                     for kw in 0..k {
                                         let xp = x + self.pad;
-                                        if xp < kw || (xp - kw) % self.stride != 0 {
+                                        if xp < kw || !(xp - kw).is_multiple_of(self.stride) {
                                             continue;
                                         }
                                         let ox = (xp - kw) / self.stride;
@@ -206,6 +313,31 @@ impl Layer for Conv3d {
                 }
             }
         }
+        out
+    }
+}
+
+impl Layer for Conv3d {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let batch = input.shape()[0];
+        let in_feat = self.cin * self.in_dims.volume();
+        assert_eq!(input.shape()[1], in_feat, "Conv3d: input feature mismatch");
+        let vol = self.out_dims.volume();
+        let ckk = self.patch_len();
+        let mut out = Tensor::zeros(vec![batch, self.cout * vol]);
+        // im2col scratch, allocated once and reused for every batch item.
+        let mut col = vec![0.0; vol * ckk];
+        for b in 0..batch {
+            self.im2col(input.row(b), &mut col);
+            let orow = out.row_mut(b);
+            for co in 0..self.cout {
+                orow[co * vol..(co + 1) * vol].fill(self.bias[co]);
+            }
+            // out[co, p] = bias[co] + Σ_q W[co, q] · col[p, q]
+            // weights are [cout, cin*k³] row-major and col is [P, cin*k³], so
+            // this is exactly the transposed-B GEMM (beta = 1 keeps the bias).
+            kernels::gemm_transb(self.cout, vol, ckk, 1.0, &self.weights, &col, 1.0, orow);
+        }
         self.cached_input = Some(input.clone());
         out
     }
@@ -216,66 +348,31 @@ impl Layer for Conv3d {
             .as_ref()
             .expect("Conv3d::backward before forward");
         let batch = input.shape()[0];
+        let vol = self.out_dims.volume();
+        let ckk = self.patch_len();
         let mut grad_in = Tensor::zeros(vec![batch, self.cin * self.in_dims.volume()]);
-        let k = self.kernel;
+        let mut col = vec![0.0; vol * ckk];
+        let mut gcol = vec![0.0; vol * ckk];
         for b in 0..batch {
-            let xrow = input.row(b);
             let grow = grad_out.row(b);
-            // Bias grads.
             for co in 0..self.cout {
-                let base = co * self.out_dims.volume();
-                self.grad_b[co] += grow[base..base + self.out_dims.volume()].iter().sum::<f64>();
+                self.grad_b[co] += grow[co * vol..(co + 1) * vol].iter().sum::<f64>();
             }
-            for ci in 0..self.cin {
-                for z in 0..self.in_dims.d {
-                    for y in 0..self.in_dims.h {
-                        for x in 0..self.in_dims.w {
-                            let in_i = self.in_idx(ci, z, y, x);
-                            let xv = xrow[in_i];
-                            let mut gi = 0.0;
-                            for kd in 0..k {
-                                let zp = z + self.pad;
-                                if zp < kd || (zp - kd) % self.stride != 0 {
-                                    continue;
-                                }
-                                let oz = (zp - kd) / self.stride;
-                                if oz >= self.out_dims.d {
-                                    continue;
-                                }
-                                for kh in 0..k {
-                                    let yp = y + self.pad;
-                                    if yp < kh || (yp - kh) % self.stride != 0 {
-                                        continue;
-                                    }
-                                    let oy = (yp - kh) / self.stride;
-                                    if oy >= self.out_dims.h {
-                                        continue;
-                                    }
-                                    for kw in 0..k {
-                                        let xp = x + self.pad;
-                                        if xp < kw || (xp - kw) % self.stride != 0 {
-                                            continue;
-                                        }
-                                        let ox = (xp - kw) / self.stride;
-                                        if ox >= self.out_dims.w {
-                                            continue;
-                                        }
-                                        for co in 0..self.cout {
-                                            let g = grow[self.out_idx(co, oz, oy, ox)];
-                                            let wi = self.widx(co, ci, kd, kh, kw);
-                                            gi += g * self.weights[wi];
-                                            if xv != 0.0 {
-                                                self.grad_w[wi] += g * xv;
-                                            }
-                                        }
-                                    }
-                                }
-                            }
-                            grad_in.row_mut(b)[in_i] = gi;
-                        }
-                    }
-                }
-            }
+            self.im2col(input.row(b), &mut col);
+            // grad_w += g [cout, P] · col [P, cin*k³]  (beta = 1 accumulates)
+            kernels::gemm(self.cout, ckk, vol, 1.0, grow, &col, 1.0, &mut self.grad_w);
+            // grad_col = gᵀ W : [P, cin*k³]
+            kernels::gemm_transa(
+                vol,
+                ckk,
+                self.cout,
+                1.0,
+                grow,
+                &self.weights,
+                0.0,
+                &mut gcol,
+            );
+            self.col2im_add(&gcol, grad_in.row_mut(b));
         }
         grad_in
     }
@@ -338,7 +435,10 @@ impl Deconv3d {
         in_dims: Dims3,
         init: &mut Initializer,
     ) -> Self {
-        assert!(kernel > 0 && stride > 0, "kernel and stride must be positive");
+        assert!(
+            kernel > 0 && stride > 0,
+            "kernel and stride must be positive"
+        );
         let out_dims = Dims3::new(
             deconv_out(in_dims.d, kernel, stride, pad),
             deconv_out(in_dims.h, kernel, stride, pad),
@@ -413,10 +513,81 @@ impl Deconv3d {
             })
         })
     }
-}
 
-impl Layer for Deconv3d {
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+    /// Patch length of the column buffer: `cout * kernel³`.
+    #[inline]
+    fn patch_len(&self) -> usize {
+        self.cout * self.kernel * self.kernel * self.kernel
+    }
+
+    /// Scatter a `[in_volume, cout*k³]` column buffer onto an output row
+    /// (add-accumulate; taps landing in the padding margin are dropped).
+    fn col2out_add(&self, col: &[f64], orow: &mut [f64]) {
+        let k = self.kernel;
+        let k3 = k * k * k;
+        let cokk = self.patch_len();
+        let mut p = 0;
+        for z in 0..self.in_dims.d {
+            for y in 0..self.in_dims.h {
+                for x in 0..self.in_dims.w {
+                    let src = &col[p * cokk..(p + 1) * cokk];
+                    for (kd, kh, kw, oz, oy, ox) in self.scatter_targets(z, y, x) {
+                        let koff = (kd * k + kh) * k + kw;
+                        for co in 0..self.cout {
+                            orow[self.out_idx(co, oz, oy, ox)] += src[co * k3 + koff];
+                        }
+                    }
+                    p += 1;
+                }
+            }
+        }
+    }
+
+    /// Gather an output-shaped gradient into a `[in_volume, cout*k³]` column
+    /// buffer (full overwrite; out-of-bounds taps become zero).
+    fn out2col(&self, grow: &[f64], col: &mut [f64]) {
+        let k = self.kernel;
+        let (s, p) = (self.stride, self.pad);
+        let cokk = self.patch_len();
+        let mut pi = 0;
+        for z in 0..self.in_dims.d {
+            for y in 0..self.in_dims.h {
+                for x in 0..self.in_dims.w {
+                    let dst = &mut col[pi * cokk..(pi + 1) * cokk];
+                    let mut j = 0;
+                    for co in 0..self.cout {
+                        for kd in 0..k {
+                            let oz = z * s + kd;
+                            for kh in 0..k {
+                                let oy = y * s + kh;
+                                for kw in 0..k {
+                                    let ox = x * s + kw;
+                                    dst[j] = if oz < p
+                                        || oy < p
+                                        || ox < p
+                                        || oz - p >= self.out_dims.d
+                                        || oy - p >= self.out_dims.h
+                                        || ox - p >= self.out_dims.w
+                                    {
+                                        0.0
+                                    } else {
+                                        grow[self.out_idx(co, oz - p, oy - p, ox - p)]
+                                    };
+                                    j += 1;
+                                }
+                            }
+                        }
+                    }
+                    pi += 1;
+                }
+            }
+        }
+    }
+
+    /// Reference scatter-formulation forward pass (skips all-zero input
+    /// voxels). Kept for equivalence tests and benchmarking; the production
+    /// [`Layer::forward`] lowers to GEMM + column scatter instead.
+    pub fn forward_reference(&self, input: &Tensor) -> Tensor {
         let batch = input.shape()[0];
         assert_eq!(
             input.shape()[1],
@@ -452,6 +623,36 @@ impl Layer for Deconv3d {
                 }
             }
         }
+        out
+    }
+}
+
+impl Layer for Deconv3d {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let batch = input.shape()[0];
+        let pin = self.in_dims.volume();
+        assert_eq!(
+            input.shape()[1],
+            self.cin * pin,
+            "Deconv3d: input feature mismatch"
+        );
+        let vol = self.out_dims.volume();
+        let cokk = self.patch_len();
+        let mut out = Tensor::zeros(vec![batch, self.cout * vol]);
+        // Column scratch, allocated once and reused for every batch item.
+        let mut col = vec![0.0; pin * cokk];
+        for b in 0..batch {
+            let xrow = input.row(b);
+            // col[p, j] = Σ_ci x[ci, p] · W[ci, j] — the input row is
+            // [cin, Pin] row-major and weights are [cin, cout*k³], so this is
+            // the transposed-A GEMM.
+            kernels::gemm_transa(pin, cokk, self.cin, 1.0, xrow, &self.weights, 0.0, &mut col);
+            let orow = out.row_mut(b);
+            for co in 0..self.cout {
+                orow[co * vol..(co + 1) * vol].fill(self.bias[co]);
+            }
+            self.col2out_add(&col, orow);
+        }
         self.cached_input = Some(input.clone());
         out
     }
@@ -462,37 +663,31 @@ impl Layer for Deconv3d {
             .as_ref()
             .expect("Deconv3d::backward before forward");
         let batch = input.shape()[0];
-        let mut grad_in = Tensor::zeros(vec![batch, self.cin * self.in_dims.volume()]);
+        let pin = self.in_dims.volume();
+        let vol = self.out_dims.volume();
+        let cokk = self.patch_len();
+        let mut grad_in = Tensor::zeros(vec![batch, self.cin * pin]);
+        let mut gcol = vec![0.0; pin * cokk];
         for b in 0..batch {
             let xrow = input.row(b);
             let grow = grad_out.row(b);
             for co in 0..self.cout {
-                let base = co * self.out_dims.volume();
-                self.grad_b[co] += grow[base..base + self.out_dims.volume()].iter().sum::<f64>();
+                self.grad_b[co] += grow[co * vol..(co + 1) * vol].iter().sum::<f64>();
             }
-            for ci in 0..self.cin {
-                for z in 0..self.in_dims.d {
-                    for y in 0..self.in_dims.h {
-                        for x in 0..self.in_dims.w {
-                            let in_i = self.in_idx(ci, z, y, x);
-                            let xv = xrow[in_i];
-                            let mut gi = 0.0;
-                            let targets: Vec<_> = self.scatter_targets(z, y, x).collect();
-                            for (kd, kh, kw, oz, oy, ox) in targets {
-                                for co in 0..self.cout {
-                                    let g = grow[self.out_idx(co, oz, oy, ox)];
-                                    let wi = self.widx(ci, co, kd, kh, kw);
-                                    gi += g * self.weights[wi];
-                                    if xv != 0.0 {
-                                        self.grad_w[wi] += g * xv;
-                                    }
-                                }
-                            }
-                            grad_in.row_mut(b)[in_i] = gi;
-                        }
-                    }
-                }
-            }
+            self.out2col(grow, &mut gcol);
+            // grad_w += x [cin, Pin] · gcol [Pin, cout*k³]  (beta = 1 accumulates)
+            kernels::gemm(self.cin, cokk, pin, 1.0, xrow, &gcol, 1.0, &mut self.grad_w);
+            // grad_in[ci, p] = Σ_j W[ci, j] · gcol[p, j] — transposed-B GEMM.
+            kernels::gemm_transb(
+                self.cin,
+                pin,
+                cokk,
+                1.0,
+                &self.weights,
+                &gcol,
+                0.0,
+                grad_in.row_mut(b),
+            );
         }
         grad_in
     }
@@ -583,8 +778,18 @@ mod tests {
             p[i] += eps;
             let mut m = x.clone();
             m[i] -= eps;
-            let lp: f64 = c.forward(&p, false).as_slice().iter().map(|v| v * v / 2.0).sum();
-            let lm: f64 = c.forward(&m, false).as_slice().iter().map(|v| v * v / 2.0).sum();
+            let lp: f64 = c
+                .forward(&p, false)
+                .as_slice()
+                .iter()
+                .map(|v| v * v / 2.0)
+                .sum();
+            let lm: f64 = c
+                .forward(&m, false)
+                .as_slice()
+                .iter()
+                .map(|v| v * v / 2.0)
+                .sum();
             let numeric = (lp - lm) / (2.0 * eps);
             assert!(
                 (numeric - grad_in[i]).abs() < 1e-5,
@@ -611,9 +816,19 @@ mod tests {
         let eps = 1e-6;
         let wi = 3;
         c.weights[wi] += eps;
-        let lp: f64 = c.forward(&x, false).as_slice().iter().map(|v| v * v / 2.0).sum();
+        let lp: f64 = c
+            .forward(&x, false)
+            .as_slice()
+            .iter()
+            .map(|v| v * v / 2.0)
+            .sum();
         c.weights[wi] -= 2.0 * eps;
-        let lm: f64 = c.forward(&x, false).as_slice().iter().map(|v| v * v / 2.0).sum();
+        let lm: f64 = c
+            .forward(&x, false)
+            .as_slice()
+            .iter()
+            .map(|v| v * v / 2.0)
+            .sum();
         c.weights[wi] += eps;
         let numeric = (lp - lm) / (2.0 * eps);
         assert!(
@@ -640,8 +855,18 @@ mod tests {
             p[i] += eps;
             let mut m = x.clone();
             m[i] -= eps;
-            let lp: f64 = d.forward(&p, false).as_slice().iter().map(|v| v * v / 2.0).sum();
-            let lm: f64 = d.forward(&m, false).as_slice().iter().map(|v| v * v / 2.0).sum();
+            let lp: f64 = d
+                .forward(&p, false)
+                .as_slice()
+                .iter()
+                .map(|v| v * v / 2.0)
+                .sum();
+            let lm: f64 = d
+                .forward(&m, false)
+                .as_slice()
+                .iter()
+                .map(|v| v * v / 2.0)
+                .sum();
             let numeric = (lp - lm) / (2.0 * eps);
             assert!(
                 (numeric - grad_in[i]).abs() < 1e-5,
@@ -682,5 +907,100 @@ mod tests {
     fn conv_rejects_oversized_kernel() {
         let mut init = Initializer::new(0);
         let _ = Conv3d::new(1, 1, 5, 1, 0, Dims3::new(3, 3, 3), &mut init);
+    }
+
+    use sensact_math::rng::StdRng;
+
+    /// Random input with a sparse fraction of exact zeros, so the reference
+    /// path's zero-skip branch is exercised too.
+    fn sparse_input(rng: &mut StdRng, batch: usize, feat: usize) -> Tensor {
+        let data: Vec<f64> = (0..batch * feat)
+            .map(|_| {
+                if rng.random::<bool>() {
+                    0.0
+                } else {
+                    rng.random_range(-1.0..1.0)
+                }
+            })
+            .collect();
+        Tensor::from_vec(vec![batch, feat], data)
+    }
+
+    #[test]
+    fn prop_im2col_conv_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(0xC04301);
+        for _ in 0..24 {
+            let cin = rng.random_range(1..3usize);
+            let cout = rng.random_range(1..4usize);
+            let kernel = rng.random_range(1..4usize);
+            let stride = rng.random_range(1..3usize);
+            let pad = rng.random_range(0..2usize);
+            let d = rng.random_range(kernel..kernel + 3);
+            let h = rng.random_range(kernel..kernel + 3);
+            let w = rng.random_range(kernel..kernel + 3);
+            let mut init = Initializer::new(rng.next_u64());
+            let mut c = Conv3d::new(
+                cin,
+                cout,
+                kernel,
+                stride,
+                pad,
+                Dims3::new(d, h, w),
+                &mut init,
+            );
+            for b in c.bias.iter_mut() {
+                *b = rng.random_range(-0.5..0.5);
+            }
+            let batch = rng.random_range(1..3usize);
+            let x = sparse_input(&mut rng, batch, cin * d * h * w);
+            let fast = c.forward(&x, false);
+            let reference = c.forward_reference(&x);
+            assert_eq!(fast.shape(), reference.shape());
+            for (a, b) in fast.as_slice().iter().zip(reference.as_slice()) {
+                assert!(
+                    (a - b).abs() <= 1e-12,
+                    "conv mismatch: {a} vs {b} (k={kernel} s={stride} p={pad})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prop_gemm_deconv_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(0xDC4301);
+        for _ in 0..24 {
+            let cin = rng.random_range(1..3usize);
+            let cout = rng.random_range(1..4usize);
+            let kernel = rng.random_range(2..4usize);
+            let stride = rng.random_range(1..3usize);
+            let pad = rng.random_range(0..2usize);
+            let d = rng.random_range(2..5usize);
+            let h = rng.random_range(2..5usize);
+            let w = rng.random_range(2..5usize);
+            let mut init = Initializer::new(rng.next_u64());
+            let mut dc = Deconv3d::new(
+                cin,
+                cout,
+                kernel,
+                stride,
+                pad,
+                Dims3::new(d, h, w),
+                &mut init,
+            );
+            for b in dc.bias.iter_mut() {
+                *b = rng.random_range(-0.5..0.5);
+            }
+            let batch = rng.random_range(1..3usize);
+            let x = sparse_input(&mut rng, batch, cin * d * h * w);
+            let fast = dc.forward(&x, false);
+            let reference = dc.forward_reference(&x);
+            assert_eq!(fast.shape(), reference.shape());
+            for (a, b) in fast.as_slice().iter().zip(reference.as_slice()) {
+                assert!(
+                    (a - b).abs() <= 1e-12,
+                    "deconv mismatch: {a} vs {b} (k={kernel} s={stride} p={pad})"
+                );
+            }
+        }
     }
 }

@@ -116,8 +116,14 @@ mod tests {
 
     #[test]
     fn combine_adds() {
-        let a = ModelStats { params: 10, macs: 100 };
-        let b = ModelStats { params: 5, macs: 50 };
+        let a = ModelStats {
+            params: 10,
+            macs: 100,
+        };
+        let b = ModelStats {
+            params: 5,
+            macs: 50,
+        };
         let c = a.combine(b);
         assert_eq!(c.params, 15);
         assert_eq!(c.macs, 150);
@@ -143,7 +149,9 @@ mod tests {
 
     #[test]
     fn energy_mj_unit_conversion() {
-        let m = MacEnergyModel { pj_per_mac_int8: 1.0 };
+        let m = MacEnergyModel {
+            pj_per_mac_int8: 1.0,
+        };
         // 1e9 MACs at 1 pJ = 1 mJ.
         assert!((m.energy_mj(1_000_000_000, 8) - 1.0).abs() < 1e-12);
     }

@@ -3,8 +3,7 @@
 //! All stochastic components in the workspace draw from an explicit
 //! [`Initializer`] so that every experiment is reproducible from its seed.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use sensact_math::rng::StdRng;
 
 /// Seeded random source for weight init, dropout masks and reparameterization
 /// noise.

@@ -84,18 +84,27 @@ impl Dense {
         self.out_dim
     }
 
-    /// Forward pass without caching (inference-only helper).
+    /// Forward pass without caching (inference-only helper). Lowers straight
+    /// to the slice-level GEMM — no copy of the weight matrix is made.
     pub fn apply(&self, input: &Tensor) -> Tensor {
         let batch = input.shape()[0];
         assert_eq!(input.shape()[1], self.in_dim, "Dense: input dim mismatch");
-        let w = Tensor::from_vec(vec![self.in_dim, self.out_dim], self.weights.clone());
-        let mut out = input.matmul2d(&w);
+        let mut out = Tensor::zeros(vec![batch, self.out_dim]);
+        // Seed every output row with the bias, then accumulate x W on top
+        // (beta = 1.0 keeps the bias in place).
         for r in 0..batch {
-            let row = out.row_mut(r);
-            for (o, b) in row.iter_mut().zip(&self.bias) {
-                *o += b;
-            }
+            out.row_mut(r).copy_from_slice(&self.bias);
         }
+        sensact_math::kernels::gemm(
+            batch,
+            self.out_dim,
+            self.in_dim,
+            1.0,
+            input.as_slice(),
+            &self.weights,
+            1.0,
+            out.as_mut_slice(),
+        );
         out
     }
 }
@@ -115,31 +124,36 @@ impl Layer for Dense {
         let batch = input.shape()[0];
         assert_eq!(grad_out.shape(), &[batch, self.out_dim]);
         // grad_w += xᵀ g ; grad_b += Σ g ; grad_x = g Wᵀ
+        // Weight gradient accumulates in place (beta = 1.0) so repeated
+        // backward calls keep summing, matching optimiser expectations.
+        sensact_math::kernels::gemm_transa(
+            self.in_dim,
+            self.out_dim,
+            batch,
+            1.0,
+            input.as_slice(),
+            grad_out.as_slice(),
+            1.0,
+            &mut self.grad_w,
+        );
         for r in 0..batch {
-            let x = input.row(r);
-            let g = grad_out.row(r);
-            for (i, &xi) in x.iter().enumerate() {
-                if xi == 0.0 {
-                    continue;
-                }
-                let wrow = &mut self.grad_w[i * self.out_dim..(i + 1) * self.out_dim];
-                for (wg, &gj) in wrow.iter_mut().zip(g) {
-                    *wg += xi * gj;
-                }
-            }
-            for (bg, &gj) in self.grad_b.iter_mut().zip(g) {
+            for (bg, &gj) in self.grad_b.iter_mut().zip(grad_out.row(r)) {
                 *bg += gj;
             }
         }
+        // weights are stored [in_dim, out_dim] row-major, which is exactly the
+        // [n, k] layout gemm_transb expects for grad_in = grad_out · Wᵀ.
         let mut grad_in = Tensor::zeros(vec![batch, self.in_dim]);
-        for r in 0..batch {
-            let g = grad_out.row(r);
-            let gi = grad_in.row_mut(r);
-            for (i, gii) in gi.iter_mut().enumerate() {
-                let wrow = &self.weights[i * self.out_dim..(i + 1) * self.out_dim];
-                *gii = wrow.iter().zip(g).map(|(&w, &gj)| w * gj).sum();
-            }
-        }
+        sensact_math::kernels::gemm_transb(
+            batch,
+            self.in_dim,
+            self.out_dim,
+            1.0,
+            grad_out.as_slice(),
+            &self.weights,
+            0.0,
+            grad_in.as_mut_slice(),
+        );
         grad_in
     }
 
@@ -291,7 +305,10 @@ impl Dropout {
     ///
     /// Panics unless `0.0 <= p < 1.0`.
     pub fn new(p: f64, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout probability must be in [0,1)"
+        );
         Dropout {
             p,
             rng: Initializer::new(seed),
@@ -308,7 +325,13 @@ impl Layer for Dropout {
         }
         let keep = 1.0 - self.p;
         let mask: Vec<f64> = (0..input.len())
-            .map(|_| if self.rng.bernoulli(keep) { 1.0 / keep } else { 0.0 })
+            .map(|_| {
+                if self.rng.bernoulli(keep) {
+                    1.0 / keep
+                } else {
+                    0.0
+                }
+            })
             .collect();
         let mut out = input.clone();
         for (o, m) in out.as_mut_slice().iter_mut().zip(&mask) {
@@ -404,7 +427,7 @@ impl Layer for LayerNorm {
         let batch = grad_out.shape()[0];
         let d = self.dim as f64;
         let mut grad_in = Tensor::zeros(vec![batch, self.dim]);
-        for r in 0..batch {
+        for (r, &inv_std) in inv_stds.iter().enumerate().take(batch) {
             let g = grad_out.row(r);
             let n = normalized.row(r);
             // Param grads.
@@ -416,10 +439,8 @@ impl Layer for LayerNorm {
             let gn: Vec<f64> = (0..self.dim).map(|c| g[c] * self.gain[c]).collect();
             let sum_gn: f64 = gn.iter().sum();
             let sum_gn_n: f64 = gn.iter().zip(n).map(|(a, b)| a * b).sum();
-            let inv_std = inv_stds[r];
             for c in 0..self.dim {
-                grad_in.row_mut(r)[c] =
-                    inv_std * (gn[c] - sum_gn / d - n[c] * sum_gn_n / d);
+                grad_in.row_mut(r)[c] = inv_std * (gn[c] - sum_gn / d - n[c] * sum_gn_n / d);
             }
         }
         grad_in
@@ -527,7 +548,12 @@ mod tests {
 
     #[test]
     fn activation_gradients() {
-        for kind in [ActKind::Relu, ActKind::LeakyRelu, ActKind::Tanh, ActKind::Sigmoid] {
+        for kind in [
+            ActKind::Relu,
+            ActKind::LeakyRelu,
+            ActKind::Tanh,
+            ActKind::Sigmoid,
+        ] {
             let mut a = Activation::new(kind);
             let x = Tensor::from_vec(vec![1, 4], vec![0.5, -0.3, 1.2, -0.9]);
             grad_check(&mut a, &x, 1e-5);
@@ -566,7 +592,10 @@ mod tests {
         let mean = y.mean();
         assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
         // Dropped units are exactly zero; kept are scaled.
-        assert!(y.as_slice().iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-12));
+        assert!(y
+            .as_slice()
+            .iter()
+            .all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-12));
     }
 
     #[test]
@@ -586,7 +615,12 @@ mod tests {
         let x = Tensor::from_vec(vec![1, 4], vec![1.0, 2.0, 3.0, 4.0]);
         let y = ln.forward(&x, false);
         let mean = y.mean();
-        let var = y.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / 4.0;
+        let var = y
+            .as_slice()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / 4.0;
         assert!(mean.abs() < 1e-10);
         assert!((var - 1.0).abs() < 1e-6);
     }

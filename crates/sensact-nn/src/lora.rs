@@ -8,6 +8,7 @@
 use crate::init::Initializer;
 use crate::layers::{Dense, Layer};
 use crate::tensor::Tensor;
+use sensact_math::kernels;
 
 /// A [`Dense`] layer with a frozen base and a trainable low-rank adapter.
 pub struct LoraDense {
@@ -85,20 +86,36 @@ impl LoraDense {
 impl Layer for LoraDense {
     fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
         let batch = input.shape()[0];
-        assert_eq!(input.shape()[1], self.in_dim, "LoraDense: input dim mismatch");
+        assert_eq!(
+            input.shape()[1],
+            self.in_dim,
+            "LoraDense: input dim mismatch"
+        );
         // Base path (frozen — use apply to avoid caching in base).
         let mut out = self.base.apply(input);
-        // Adapter path: (x A) B · scale.
-        let a_t = Tensor::from_vec(vec![self.in_dim, self.rank], self.a.clone());
-        let xa = input.matmul2d(&a_t); // [B, rank]
-        let b_t = Tensor::from_vec(vec![self.rank, self.out_dim], self.b.clone());
-        let xab = xa.matmul2d(&b_t); // [B, out]
-        for r in 0..batch {
-            let orow = out.row_mut(r);
-            for (o, &v) in orow.iter_mut().zip(xab.row(r)) {
-                *o += self.scale * v;
-            }
-        }
+        // Adapter path: out += scale · (x A) B, lowered to two slice GEMMs
+        // (alpha carries the scale, beta = 1.0 accumulates onto the base path).
+        let mut xa = Tensor::zeros(vec![batch, self.rank]);
+        kernels::gemm(
+            batch,
+            self.rank,
+            self.in_dim,
+            1.0,
+            input.as_slice(),
+            &self.a,
+            0.0,
+            xa.as_mut_slice(),
+        );
+        kernels::gemm(
+            batch,
+            self.out_dim,
+            self.rank,
+            self.scale,
+            xa.as_slice(),
+            &self.b,
+            1.0,
+            out.as_mut_slice(),
+        );
         self.cached_input = Some(input.clone());
         self.cached_xa = Some(xa);
         out
@@ -111,47 +128,63 @@ impl Layer for LoraDense {
             .expect("LoraDense::backward before forward");
         let xa = self.cached_xa.as_ref().unwrap();
         let batch = input.shape()[0];
-        // grad_b += scale · xaᵀ g
-        for r in 0..batch {
-            let g = grad_out.row(r);
-            let xar = xa.row(r);
-            for (ri, &xv) in xar.iter().enumerate() {
-                let row = &mut self.grad_b[ri * self.out_dim..(ri + 1) * self.out_dim];
-                for (bg, &gj) in row.iter_mut().zip(g) {
-                    *bg += self.scale * xv * gj;
-                }
-            }
-        }
-        // g_xa = scale · g Bᵀ  → grad_a += xᵀ g_xa
-        for r in 0..batch {
-            let g = grad_out.row(r);
-            let x = input.row(r);
-            for ri in 0..self.rank {
-                let brow = &self.b[ri * self.out_dim..(ri + 1) * self.out_dim];
-                let gxa: f64 = brow.iter().zip(g).map(|(&b, &gj)| b * gj).sum::<f64>() * self.scale;
-                for (i, &xi) in x.iter().enumerate() {
-                    self.grad_a[i * self.rank + ri] += xi * gxa;
-                }
-            }
-        }
-        // grad_x = g (W + scale·A·B)ᵀ — combine base path and adapter path.
+        // grad_b += scale · xaᵀ g (beta = 1.0 accumulates across calls).
+        kernels::gemm_transa(
+            self.rank,
+            self.out_dim,
+            batch,
+            self.scale,
+            xa.as_slice(),
+            grad_out.as_slice(),
+            1.0,
+            &mut self.grad_b,
+        );
+        // g_xa = scale · g Bᵀ — B is [rank, out] row-major, the transb layout.
+        let mut gxa = vec![0.0; batch * self.rank];
+        kernels::gemm_transb(
+            batch,
+            self.rank,
+            self.out_dim,
+            self.scale,
+            grad_out.as_slice(),
+            &self.b,
+            0.0,
+            &mut gxa,
+        );
+        // grad_a += xᵀ g_xa
+        kernels::gemm_transa(
+            self.in_dim,
+            self.rank,
+            batch,
+            1.0,
+            input.as_slice(),
+            &gxa,
+            1.0,
+            &mut self.grad_a,
+        );
+        // grad_x = g Wᵀ + g_xa Aᵀ — base path plus adapter path, both via
+        // transb since W is [in, out] and A is [in, rank] row-major.
         let mut grad_in = Tensor::zeros(vec![batch, self.in_dim]);
-        for r in 0..batch {
-            let g = grad_out.row(r);
-            let gi = grad_in.row_mut(r);
-            for i in 0..self.in_dim {
-                // Base weights.
-                let wrow = &self.base.weights[i * self.out_dim..(i + 1) * self.out_dim];
-                let mut v: f64 = wrow.iter().zip(g).map(|(&w, &gj)| w * gj).sum();
-                // Adapter.
-                for ri in 0..self.rank {
-                    let brow = &self.b[ri * self.out_dim..(ri + 1) * self.out_dim];
-                    let gb: f64 = brow.iter().zip(g).map(|(&b, &gj)| b * gj).sum();
-                    v += self.scale * self.a[i * self.rank + ri] * gb;
-                }
-                gi[i] = v;
-            }
-        }
+        kernels::gemm_transb(
+            batch,
+            self.in_dim,
+            self.out_dim,
+            1.0,
+            grad_out.as_slice(),
+            &self.base.weights,
+            0.0,
+            grad_in.as_mut_slice(),
+        );
+        kernels::gemm_transb(
+            batch,
+            self.in_dim,
+            self.rank,
+            1.0,
+            &gxa,
+            &self.a,
+            1.0,
+            grad_in.as_mut_slice(),
+        );
         grad_in
     }
 
@@ -202,7 +235,10 @@ mod tests {
     fn adapter_trains_while_base_frozen() {
         let mut lora = fresh(1, 4, 2, 2);
         let base_weights = lora.base.weights.clone();
-        let x = Tensor::from_vec(vec![4, 4], (0..16).map(|i| (i as f64 * 0.3).sin()).collect());
+        let x = Tensor::from_vec(
+            vec![4, 4],
+            (0..16).map(|i| (i as f64 * 0.3).sin()).collect(),
+        );
         let y = Tensor::from_vec(vec![4, 2], (0..8).map(|i| (i as f64 * 0.5).cos()).collect());
         let mut opt = Adam::new(0.05);
         let mut first = 0.0;
@@ -238,8 +274,18 @@ mod tests {
             p[i] += eps;
             let mut m = x.clone();
             m[i] -= eps;
-            let lp: f64 = lora.forward(&p, false).as_slice().iter().map(|v| v * v / 2.0).sum();
-            let lm: f64 = lora.forward(&m, false).as_slice().iter().map(|v| v * v / 2.0).sum();
+            let lp: f64 = lora
+                .forward(&p, false)
+                .as_slice()
+                .iter()
+                .map(|v| v * v / 2.0)
+                .sum();
+            let lm: f64 = lora
+                .forward(&m, false)
+                .as_slice()
+                .iter()
+                .map(|v| v * v / 2.0)
+                .sum();
             let numeric = (lp - lm) / (2.0 * eps);
             assert!(
                 (numeric - grad_in[i]).abs() < 1e-5,

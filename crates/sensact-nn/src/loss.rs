@@ -86,9 +86,8 @@ pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> (f64, Tensor) {
     assert_eq!(labels.len(), batch, "cross_entropy: label count mismatch");
     let mut loss = 0.0;
     let mut grad = Tensor::zeros(vec![batch, classes]);
-    for r in 0..batch {
+    for (r, &label) in labels.iter().enumerate().take(batch) {
         let row = logits.row(r);
-        let label = labels[r];
         assert!(label < classes, "cross_entropy: label {label} out of range");
         let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let exps: Vec<f64> = row.iter().map(|x| (x - max).exp()).collect();
@@ -124,13 +123,7 @@ pub fn info_nce(queries: &Tensor, keys: &Tensor, temperature: f64) -> (f64, Tens
         let q = queries.row(i);
         // Logits over all keys.
         let logits: Vec<f64> = (0..batch)
-            .map(|j| {
-                q.iter()
-                    .zip(keys.row(j))
-                    .map(|(a, b)| a * b)
-                    .sum::<f64>()
-                    / temperature
-            })
+            .map(|j| q.iter().zip(keys.row(j)).map(|(a, b)| a * b).sum::<f64>() / temperature)
             .collect();
         let max = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let exps: Vec<f64> = logits.iter().map(|x| (x - max).exp()).collect();
@@ -138,8 +131,8 @@ pub fn info_nce(queries: &Tensor, keys: &Tensor, temperature: f64) -> (f64, Tens
         loss += z.ln() + max - logits[i];
         // dL/dq = Σ_j (p_j - 1{j==i}) k_j / temperature
         let gq = grad.row_mut(i);
-        for j in 0..batch {
-            let p = exps[j] / z - if j == i { 1.0 } else { 0.0 };
+        for (j, &ej) in exps.iter().enumerate().take(batch) {
+            let p = ej / z - if j == i { 1.0 } else { 0.0 };
             for (g, &k) in gq.iter_mut().zip(keys.row(j)) {
                 *g += p * k / (temperature * batch as f64);
             }
@@ -152,11 +145,7 @@ pub fn info_nce(queries: &Tensor, keys: &Tensor, temperature: f64) -> (f64, Tens
 mod tests {
     use super::*;
 
-    fn numeric_grad(
-        f: &dyn Fn(&Tensor) -> f64,
-        x: &Tensor,
-        eps: f64,
-    ) -> Vec<f64> {
+    fn numeric_grad(f: &dyn Fn(&Tensor) -> f64, x: &Tensor, eps: f64) -> Vec<f64> {
         (0..x.len())
             .map(|i| {
                 let mut p = x.clone();
@@ -237,7 +226,11 @@ mod tests {
         let logits = Tensor::from_slice(&[0.3, -1.2]);
         let target = Tensor::from_slice(&[1.0, 0.0]);
         let (_, g) = bce_with_logits_weighted(&logits, &target, 3.0);
-        let num = numeric_grad(&|p| bce_with_logits_weighted(p, &target, 3.0).0, &logits, 1e-6);
+        let num = numeric_grad(
+            &|p| bce_with_logits_weighted(p, &target, 3.0).0,
+            &logits,
+            1e-6,
+        );
         for (a, n) in g.as_slice().iter().zip(&num) {
             assert!((a - n).abs() < 1e-6, "{a} vs {n}");
         }

@@ -62,7 +62,12 @@ impl Sequential {
     pub fn summary(&self) -> String {
         let mut s = String::new();
         for (i, l) in self.layers.iter().enumerate() {
-            s.push_str(&format!("{:2}: {:10} params={}\n", i, l.name(), l.param_count()));
+            s.push_str(&format!(
+                "{:2}: {:10} params={}\n",
+                i,
+                l.name(),
+                l.param_count()
+            ));
         }
         s.push_str(&format!("total params: {}", self.param_count()));
         s
@@ -146,11 +151,24 @@ mod tests {
             p[i] += eps;
             let mut m = x.clone();
             m[i] -= eps;
-            let lp: f64 = net.forward(&p, false).as_slice().iter().map(|v| v * v / 2.0).sum();
-            let lm: f64 = net.forward(&m, false).as_slice().iter().map(|v| v * v / 2.0).sum();
+            let lp: f64 = net
+                .forward(&p, false)
+                .as_slice()
+                .iter()
+                .map(|v| v * v / 2.0)
+                .sum();
+            let lm: f64 = net
+                .forward(&m, false)
+                .as_slice()
+                .iter()
+                .map(|v| v * v / 2.0)
+                .sum();
             let numeric = (lp - lm) / (2.0 * eps);
-            assert!((numeric - grad_in[i]).abs() < 1e-5,
-                "grad {i}: numeric {numeric} vs analytic {}", grad_in[i]);
+            assert!(
+                (numeric - grad_in[i]).abs() < 1e-5,
+                "grad {i}: numeric {numeric} vs analytic {}",
+                grad_in[i]
+            );
         }
     }
 

@@ -283,7 +283,10 @@ impl std::fmt::Debug for Vae {
         f.debug_struct("Vae")
             .field("input_dim", &self.input_dim)
             .field("latent_dim", &self.latent_dim)
-            .field("params", &(self.encoder.param_count() + self.decoder.param_count()))
+            .field(
+                "params",
+                &(self.encoder.param_count() + self.decoder.param_count()),
+            )
             .finish()
     }
 }
@@ -344,10 +347,7 @@ mod tests {
         let e_ood = vae.elbo(&ood);
         let mean_in: f64 = e_in.iter().sum::<f64>() / e_in.len() as f64;
         let mean_ood: f64 = e_ood.iter().sum::<f64>() / e_ood.len() as f64;
-        assert!(
-            mean_in > mean_ood + 1.0,
-            "in {mean_in} vs ood {mean_ood}"
-        );
+        assert!(mean_in > mean_ood + 1.0, "in {mean_in} vs ood {mean_ood}");
     }
 
     #[test]
@@ -402,9 +402,8 @@ mod tests {
     fn param_count_consistent_with_flat() {
         let mut vae = Vae::new(4, 8, 2, 0);
         let flat = vae.encoder_params_flat();
-        let enc_count = vae.encoder.param_count()
-            + vae.mu_head.param_count()
-            + vae.logvar_head.param_count();
+        let enc_count =
+            vae.encoder.param_count() + vae.mu_head.param_count() + vae.logvar_head.param_count();
         assert_eq!(flat.len(), enc_count);
         assert!(vae.param_count() > enc_count);
     }

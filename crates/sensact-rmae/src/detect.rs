@@ -320,8 +320,7 @@ fn classify(cluster: &[(usize, usize, usize)], grid: &VoxelGrid) -> Option<Class
     for &(ix, iy, _) in cluster {
         *columns.entry((ix, iy)).or_insert(0) += 1;
     }
-    let mean_depth =
-        cluster.len() as f64 / columns.len().max(1) as f64;
+    let mean_depth = cluster.len() as f64 / columns.len().max(1) as f64;
     if long >= 2.8 && mean_depth >= 2.75 {
         return Some(Classified::Structure(footprint));
     }
@@ -454,7 +453,10 @@ mod tests {
         let cloud = scan_scene(&scene);
         let grid = VoxelGrid::from_cloud(fine_grid(), &cloud);
         let dets = Detector::second_like().detect(&grid, None);
-        let cars: Vec<_> = dets.iter().filter(|d| d.class == ObjectClass::Car).collect();
+        let cars: Vec<_> = dets
+            .iter()
+            .filter(|d| d.class == ObjectClass::Car)
+            .collect();
         assert!(!cars.is_empty(), "no car detected; got {dets:?}");
         let gt = &scene.objects()[0].aabb;
         let best = cars
@@ -512,7 +514,8 @@ mod tests {
         let grid = VoxelGrid::from_cloud(fine_grid(), &cloud);
         let dets = Detector::second_like().detect(&grid, None);
         assert!(
-            dets.iter().all(|d| d.class != ObjectClass::Car || d.score < 0.9),
+            dets.iter()
+                .all(|d| d.class != ObjectClass::Car || d.score < 0.9),
             "building produced confident car: {dets:?}"
         );
     }

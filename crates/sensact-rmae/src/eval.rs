@@ -180,17 +180,15 @@ pub fn evaluate_cell(
                 && c[1] >= rmae_config.grid.min[1]
                 && c[1] < rmae_config.grid.max[1]
         };
-        let in_region = |b: &Aabb, min_points: usize| in_box(b) && masked.points_in(b) >= min_points;
+        let in_region =
+            |b: &Aabb, min_points: usize| in_box(b) && masked.points_in(b) >= min_points;
         // Offset scene index into prediction ids is unnecessary: AP pools all
         // detections against all GT of the same class per scene; to pool
         // across scenes, shift nothing — greedy matching is done per scene
         // below instead.
         for (ci, class) in classes.iter().enumerate() {
-            let class_dets: Vec<Detection3d> = dets
-                .iter()
-                .filter(|d| d.class == *class)
-                .cloned()
-                .collect();
+            let class_dets: Vec<Detection3d> =
+                dets.iter().filter(|d| d.class == *class).cloned().collect();
             let min_points = if *class == ObjectClass::Car { 8 } else { 4 };
             let all_gt = scene.ground_truth(*class);
             let class_gt: Vec<Aabb> = all_gt
@@ -214,13 +212,9 @@ pub fn evaluate_cell(
             } else {
                 config.small_match_m
             };
-            let (scene_dets, n_gt) =
-                match_scene(&class_dets, &class_gt, &ignore_gt, max_dist);
+            let (scene_dets, n_gt) = match_scene(&class_dets, &class_gt, &ignore_gt, max_dist);
             preds[ci].extend(scene_dets);
-            gts[ci].extend(std::iter::repeat_n(
-                Aabb::new([0.0; 3], [0.0; 3]),
-                n_gt,
-            ));
+            gts[ci].extend(std::iter::repeat_n(Aabb::new([0.0; 3], [0.0; 3]), n_gt));
         }
     }
 
@@ -334,9 +328,7 @@ mod tests {
             det(ObjectClass::Car, 30.0, 8.0, 0.95),
             det(ObjectClass::Car, 10.0, 0.0, 0.9),
         ];
-        assert!(
-            ap_at_center_distance(&noisy, &gt, 1.0) < ap_at_center_distance(&clean, &gt, 1.0)
-        );
+        assert!(ap_at_center_distance(&noisy, &gt, 1.0) < ap_at_center_distance(&clean, &gt, 1.0));
     }
 
     #[test]

@@ -86,7 +86,7 @@ impl RmaeModel {
     pub fn new(config: RmaeConfig, seed: u64) -> Self {
         let dims = config.dims3();
         assert!(
-            dims.h % 2 == 0 && dims.w % 2 == 0,
+            dims.h.is_multiple_of(2) && dims.w.is_multiple_of(2),
             "grid y/x dims must be even, got {}x{}",
             dims.h,
             dims.w
@@ -153,12 +153,7 @@ impl RmaeModel {
     /// # Panics
     ///
     /// Panics on buffer/grid size mismatch.
-    pub fn train_step(
-        &mut self,
-        masked: &[f64],
-        full: &[f64],
-        opt: &mut dyn Optimizer,
-    ) -> f64 {
+    pub fn train_step(&mut self, masked: &[f64], full: &[f64], opt: &mut dyn Optimizer) -> f64 {
         assert_eq!(masked.len(), self.config.voxels(), "masked buffer size");
         assert_eq!(full.len(), self.config.voxels(), "target buffer size");
         let x = Tensor::from_vec(vec![1, masked.len()], masked.to_vec());
@@ -219,8 +214,7 @@ impl RmaeModel {
                                 if dx == 0 && dy == 0 && dz == 0 {
                                     continue;
                                 }
-                                let (x, y, z) =
-                                    (ix as i32 + dx, iy as i32 + dy, iz as i32 + dz);
+                                let (x, y, z) = (ix as i32 + dx, iy as i32 + dy, iz as i32 + dz);
                                 if x < 0
                                     || y < 0
                                     || z < 0
@@ -239,9 +233,9 @@ impl RmaeModel {
                             }
                         }
                     }
-                    let bridges = offsets.iter().any(|&(dx, dy, dz)| {
-                        offsets.contains(&(-dx, -dy, -dz))
-                    });
+                    let bridges = offsets
+                        .iter()
+                        .any(|&(dx, dy, dz)| offsets.contains(&(-dx, -dy, -dz)));
                     if bridges {
                         out[i] = 1.0;
                     }
@@ -271,7 +265,13 @@ impl RmaeModel {
         self.recon_iou_from(masked, full, threshold, 1)
     }
 
-    fn recon_iou_from(&mut self, masked: &[f64], full: &[f64], threshold: f64, z_min: usize) -> f64 {
+    fn recon_iou_from(
+        &mut self,
+        masked: &[f64],
+        full: &[f64],
+        threshold: f64,
+        z_min: usize,
+    ) -> f64 {
         let probs = self.reconstruct(masked);
         let (nx, ny, nz) = self.config.grid.dims();
         let mut inter = 0usize;
@@ -340,9 +340,9 @@ mod tests {
         let mut m = RmaeModel::new(cfg, 1);
         let mut full = vec![0.0; cfg.voxels()];
         // An L-shaped structure.
-        for i in 0..cfg.voxels() {
+        for (i, v) in full.iter_mut().enumerate() {
             if i % 16 < 3 || (i / 16) % 8 == 2 {
-                full[i] = 1.0;
+                *v = 1.0;
             }
         }
         let mut masked = full.clone();
@@ -402,6 +402,9 @@ mod tests {
         }
         let probs = m.reconstruct(&empty);
         let occupied = probs.iter().filter(|&&p| p > 0.5).count();
-        assert!(occupied < cfg.voxels() / 20, "{occupied} voxels hallucinated");
+        assert!(
+            occupied < cfg.voxels() / 20,
+            "{occupied} voxels hallucinated"
+        );
     }
 }

@@ -11,13 +11,12 @@
 //!   uses at deployment — which is why it transfers best.
 
 use crate::model::RmaeModel;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use sensact_lidar::mask::{RadialMask, RadialMaskConfig};
 use sensact_lidar::raycast::{Lidar, LidarConfig};
 use sensact_lidar::scene::Scene;
 use sensact_lidar::voxel::VoxelGrid;
 use sensact_lidar::PointCloud;
+use sensact_math::rng::StdRng;
 use sensact_nn::optim::Adam;
 
 /// Pre-training masking strategy.
@@ -185,7 +184,11 @@ mod tests {
 
     #[test]
     fn masked_pair_shapes_match_grid() {
-        let mut t = Pretrainer::new(RmaeModel::new(RmaeConfig::small(), 0), Strategy::RadialMae, 0);
+        let mut t = Pretrainer::new(
+            RmaeModel::new(RmaeConfig::small(), 0),
+            Strategy::RadialMae,
+            0,
+        );
         let full = scan_one(2);
         let (masked, target) = t.masked_pair(&full);
         assert_eq!(masked.len(), 256);
@@ -216,7 +219,11 @@ mod tests {
     #[test]
     fn training_reduces_loss() {
         let scenes = SceneGenerator::new(10).generate_many(4);
-        let mut t = Pretrainer::new(RmaeModel::new(RmaeConfig::small(), 1), Strategy::RadialMae, 1);
+        let mut t = Pretrainer::new(
+            RmaeModel::new(RmaeConfig::small(), 1),
+            Strategy::RadialMae,
+            1,
+        );
         let first = t.train(&scenes, 1);
         let later = t.train(&scenes, 6);
         assert!(later < first, "first {first} later {later}");
@@ -267,7 +274,10 @@ mod tests {
             iou_radial > iou_uniform - 0.02,
             "radial {iou_radial} vs uniform {iou_uniform}"
         );
-        assert!(iou_radial > 0.2, "radial reconstruction too weak: {iou_radial}");
+        assert!(
+            iou_radial > 0.2,
+            "radial reconstruction too weak: {iou_radial}"
+        );
     }
 
     #[test]

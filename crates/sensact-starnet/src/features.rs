@@ -68,7 +68,7 @@ pub fn extract_features(cloud: &PointCloud) -> Vec<f64> {
     // returns of the same beam.
     let mut sorted: Vec<(u16, u16, f64)> =
         cloud.iter().map(|p| (p.beam, p.azimuth, p.range)).collect();
-    sorted.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+    sorted.sort_by_key(|a| (a.0, a.1));
     let mut rough = 0.0;
     let mut pairs = 0usize;
     for w in sorted.windows(2) {
@@ -168,7 +168,12 @@ mod tests {
         let corrupted = Corruption::new(CorruptionKind::Snow, 5).apply(&clean, 3);
         let f_clean = extract_features(&clean);
         let f_cor = extract_features(&corrupted);
-        assert!(f_cor[0] > f_clean[0], "near bin {} vs {}", f_cor[0], f_clean[0]);
+        assert!(
+            f_cor[0] > f_clean[0],
+            "near bin {} vs {}",
+            f_cor[0],
+            f_clean[0]
+        );
     }
 
     #[test]

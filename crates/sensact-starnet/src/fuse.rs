@@ -7,8 +7,6 @@
 
 use crate::features::extract_features;
 use crate::monitor::Starnet;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use sensact_core::stage::Trust;
 use sensact_lidar::corrupt::{Corruption, CorruptionKind};
 use sensact_lidar::raycast::{Lidar, LidarConfig};
@@ -16,6 +14,7 @@ use sensact_lidar::scene::{ObjectClass, Scene};
 use sensact_lidar::voxel::{VoxelGrid, VoxelizerConfig};
 use sensact_lidar::PointCloud;
 use sensact_math::metrics::Aabb;
+use sensact_math::rng::StdRng;
 use sensact_rmae::detect::Detector;
 use sensact_rmae::eval::ap_at_center_distance;
 
@@ -48,7 +47,7 @@ pub fn camera_features(cloud: &PointCloud, snow_severity: u8, seed: u64) -> Vec<
     f[5] = above.iter().map(|p| p.z).sum::<f64>() / above.len().max(1) as f64 / 4.0;
     f[6] = 0.8; // nominal exposure level
     f[7] = 0.1; // nominal noise floor
-    // Weather degradation: contrast washes out, noise rises.
+                // Weather degradation: contrast washes out, noise rises.
     for v in f.iter_mut().take(6) {
         *v *= 1.0 - 0.6 * sev;
         *v += rng.random::<f64>() * 0.05 * sev;
@@ -130,8 +129,7 @@ impl SnowFilter {
                 for dy in -1..=1 {
                     if let Some(points) = grid.get(&(kx + dx, ky + dy)) {
                         for q in points {
-                            let horiz =
-                                ((q[0] - p.x).powi(2) + (q[1] - p.y).powi(2)).sqrt();
+                            let horiz = ((q[0] - p.x).powi(2) + (q[1] - p.y).powi(2)).sqrt();
                             if horiz <= self.column_radius && q[2] >= lo && q[2] <= hi {
                                 supported = true;
                                 break 'search;
@@ -221,7 +219,9 @@ pub fn evaluate_detection_under_snow(
         let dets = detector.detect(&grid, Some(&cloud));
         let visible = |b: &Aabb, min_points: usize| {
             let c = b.center();
-            c[0] < grid_cfg.max[0] && c[1].abs() < grid_cfg.max[1] && clean.points_in(b) >= min_points
+            c[0] < grid_cfg.max[0]
+                && c[1].abs() < grid_cfg.max[1]
+                && clean.points_in(b) >= min_points
         };
         // Offset scoring is per-scene; pool by running the matcher per scene
         // through `ap_at_center_distance` over the concatenated lists with a
@@ -246,21 +246,33 @@ pub fn evaluate_detection_under_snow(
         for gt in scene.ground_truth(ObjectClass::Car) {
             if visible(&gt, 15) {
                 let c = gt.center();
-                let size = [gt.max[0] - gt.min[0], gt.max[1] - gt.min[1], gt.max[2] - gt.min[2]];
+                let size = [
+                    gt.max[0] - gt.min[0],
+                    gt.max[1] - gt.min[1],
+                    gt.max[2] - gt.min[2],
+                ];
                 car_gt.push(Aabb::from_center_size([c[0] + offset, c[1], c[2]], size));
             }
         }
         for gt in scene.ground_truth(ObjectClass::Pedestrian) {
             if visible(&gt, 6) {
                 let c = gt.center();
-                let size = [gt.max[0] - gt.min[0], gt.max[1] - gt.min[1], gt.max[2] - gt.min[2]];
+                let size = [
+                    gt.max[0] - gt.min[0],
+                    gt.max[1] - gt.min[1],
+                    gt.max[2] - gt.min[2],
+                ];
                 ped_gt.push(Aabb::from_center_size([c[0] + offset, c[1], c[2]], size));
             }
         }
         for gt in scene.ground_truth(ObjectClass::Cyclist) {
             if visible(&gt, 6) {
                 let c = gt.center();
-                let size = [gt.max[0] - gt.min[0], gt.max[1] - gt.min[1], gt.max[2] - gt.min[2]];
+                let size = [
+                    gt.max[0] - gt.min[0],
+                    gt.max[1] - gt.min[1],
+                    gt.max[2] - gt.min[2],
+                ];
                 cyc_gt.push(Aabb::from_center_size([c[0] + offset, c[1], c[2]], size));
             }
         }
@@ -311,11 +323,7 @@ mod tests {
         let snowy = Corruption::new(CorruptionKind::Snow, 5).apply(clean, 7);
         let filtered = SnowFilter::default().filter(&snowy);
         // Snow flurries are floating blobs at body height in the near field.
-        let floating = |c: &PointCloud| {
-            c.iter()
-                .filter(|p| p.z >= 0.85 && p.range <= 12.5)
-                .count()
-        };
+        let floating = |c: &PointCloud| c.iter().filter(|p| p.z >= 0.85 && p.range <= 12.5).count();
         let clean_float = floating(clean);
         let snowy_float = floating(&snowy);
         let filtered_float = floating(&filtered);
@@ -359,8 +367,7 @@ mod tests {
 
         let clean = evaluate_detection_under_snow(&eval_scenes, 0, None, 1);
         let snowy = evaluate_detection_under_snow(&eval_scenes, 5, None, 1);
-        let recovered =
-            evaluate_detection_under_snow(&eval_scenes, 5, Some(&mut monitor), 1);
+        let recovered = evaluate_detection_under_snow(&eval_scenes, 5, Some(&mut monitor), 1);
 
         assert!(
             snowy.mean() < clean.mean() - 0.02,
@@ -381,6 +388,10 @@ mod tests {
         let (_, clouds) = scan_scenes(1, 4);
         let filtered = SnowFilter::default().filter(&clouds[0]);
         let kept = filtered.len() as f64 / clouds[0].len() as f64;
-        assert!(kept > 0.97, "filter dropped {:.1}% of clean points", (1.0 - kept) * 100.0);
+        assert!(
+            kept > 0.97,
+            "filter dropped {:.1}% of clean points",
+            (1.0 - kept) * 100.0
+        );
     }
 }

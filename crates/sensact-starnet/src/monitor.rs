@@ -89,10 +89,7 @@ impl Starnet {
             calls: 0,
         };
         // Calibrate on the clean set.
-        let scores: Vec<f64> = clean_features
-            .iter()
-            .map(|f| monitor.score(f))
-            .collect();
+        let scores: Vec<f64> = clean_features.iter().map(|f| monitor.score(f)).collect();
         let q = stats::quantile(&scores, config.suspect_quantile)
             .expect("non-empty calibration scores");
         let median = stats::median(&scores).expect("non-empty calibration scores");

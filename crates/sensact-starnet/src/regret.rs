@@ -11,8 +11,7 @@
 //! enough for edge devices.
 
 use crate::spsa::{spsa_minimize, SpsaConfig};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use sensact_math::rng::StdRng;
 use sensact_nn::vae::Vae;
 use sensact_nn::Tensor;
 
@@ -89,7 +88,13 @@ pub fn likelihood_regret(vae: &mut Vae, x: &[f64], config: &RegretConfig, seed: 
             let basis: Vec<Vec<f64>> = (0..rank)
                 .map(|_| {
                     (0..p)
-                        .map(|_| if rng.random::<f64>() < 0.5 { -scale } else { scale })
+                        .map(|_| {
+                            if rng.random::<f64>() < 0.5 {
+                                -scale
+                            } else {
+                                scale
+                            }
+                        })
                         .collect()
                 })
                 .collect();

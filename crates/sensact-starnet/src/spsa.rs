@@ -6,8 +6,7 @@
 //! evaluations per iteration regardless of dimension: perturb all parameters
 //! simultaneously along a random ±1 (Rademacher) direction.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use sensact_math::rng::StdRng;
 
 /// SPSA gain schedule and iteration budget (Spall's standard form:
 /// `aₖ = a / (k + 1 + A)^α`, `cₖ = c / (k + 1)^γ`).

@@ -96,8 +96,7 @@ impl TemporalConsistency {
                 if self.drift >= self.config.untrusted_drift {
                     Trust::Untrusted
                 } else if self.drift >= self.config.suspect_drift {
-                    let span =
-                        (self.config.untrusted_drift - self.config.suspect_drift).max(1e-12);
+                    let span = (self.config.untrusted_drift - self.config.suspect_drift).max(1e-12);
                     Trust::Suspect(
                         ((self.drift - self.config.suspect_drift) / span).clamp(0.05, 1.0),
                     )
@@ -128,8 +127,7 @@ impl TemporalConsistency {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{RngExt, SeedableRng};
+    use sensact_math::rng::StdRng;
 
     fn noisy(rng: &mut StdRng, level: f64) -> f64 {
         level * (0.8 + 0.4 * rng.random::<f64>())
@@ -228,6 +226,10 @@ mod tests {
         for _ in 0..200 {
             let _ = tracker.observe(noisy(&mut rng, 1.0));
         }
-        assert!(tracker.drift() < peak * 0.2, "drift stuck at {}", tracker.drift());
+        assert!(
+            tracker.drift() < peak * 0.2,
+            "drift stuck at {}",
+            tracker.drift()
+        );
     }
 }

@@ -97,7 +97,10 @@ fn main() {
         }
     }
     match alarm_frame {
-        Some(f) => println!("  gradual degradation flagged at frame {f} (drift {:.2})", tracker.drift()),
+        Some(f) => println!(
+            "  gradual degradation flagged at frame {f} (drift {:.2})",
+            tracker.drift()
+        ),
         None => println!("  no alarm raised (unexpected)"),
     }
     assert!(alarm_frame.is_some(), "drift detector must fire");

@@ -15,10 +15,19 @@ fn main() {
     // 1. Federated learning across a heterogeneous fleet.
     let all = Dataset::generate(1600, 1);
     let parts = all.split_noniid(6, 1);
-    let tiers = [HardwareTier::EdgeGpu, HardwareTier::Mobile, HardwareTier::Mcu];
+    let tiers = [
+        HardwareTier::EdgeGpu,
+        HardwareTier::Mobile,
+        HardwareTier::Mcu,
+    ];
     let test = Dataset::generate(300, 99);
     println!("6-client non-IID fleet (2 of each hardware tier):\n");
-    for strategy in [Strategy::Static, Strategy::DcNas, Strategy::HaloFl, Strategy::Combined] {
+    for strategy in [
+        Strategy::Static,
+        Strategy::DcNas,
+        Strategy::HaloFl,
+        Strategy::Combined,
+    ] {
         let mut clients: Vec<Client> = parts
             .iter()
             .enumerate()
@@ -37,7 +46,9 @@ fn main() {
 
     // 2. Coordinated sensing: the conclusion's 3x claim.
     let coordinator = CoverageCoordinator::new();
-    let fleet: Vec<AgentProfile> = (0..3).map(|i| AgentProfile::homogeneous(AgentId(i))).collect();
+    let fleet: Vec<AgentProfile> = (0..3)
+        .map(|i| AgentProfile::homogeneous(AgentId(i)))
+        .collect();
     println!(
         "\n3-agent coordinated 360-degree coverage: {:.2}x less sensing energy than solo",
         coordinator.fleet_reduction_factor(&fleet)

@@ -35,8 +35,7 @@ fn main() {
 
     let mut mask = RadialMask::sample(RadialMaskConfig::default(), 512, 1);
     let expected_range = full.mean_range();
-    let (masked_cloud, fired) =
-        lidar.scan_masked(&scene, |_, az| mask.fire(az, expected_range));
+    let (masked_cloud, fired) = lidar.scan_masked(&scene, |_, az| mask.fire(az, expected_range));
     println!(
         "\nfired {fired} of {} pulses ({:.1}% of the scene)",
         lidar.config().pulses_per_scan(),
@@ -62,7 +61,13 @@ fn main() {
     println!("\ndetections from 10% sensing:");
     for d in &detections {
         let c = d.aabb.center();
-        println!("  {:<10} at ({:5.1}, {:5.1})  score {:.2}", d.class.to_string(), c[0], c[1], d.score);
+        println!(
+            "  {:<10} at ({:5.1}, {:5.1})  score {:.2}",
+            d.class.to_string(),
+            c[0],
+            c[1],
+            d.score
+        );
     }
 
     // 4. The energy story.

@@ -54,7 +54,9 @@ fn main() {
     // The same model drives the generic controller plumbing.
     let kind = ControllerKind::for_model(&mut model, 0).expect("controller");
     match kind {
-        ControllerKind::Lqr(_) => println!("\ncontroller: LQR on linear latent dynamics (as expected)"),
+        ControllerKind::Lqr(_) => {
+            println!("\ncontroller: LQR on linear latent dynamics (as expected)")
+        }
         ControllerKind::Shooting(_) => println!("\ncontroller: shooting (unexpected for Koopman)"),
     }
 }

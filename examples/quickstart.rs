@@ -47,7 +47,10 @@ fn main() {
     let mut looop = LoopBuilder::new("quickstart")
         .with_budget(EnergyBudget::new(0.5))
         .build_full(
-            ThrottledSensor { rate: 1.0, resolution: 1.0 },
+            ThrottledSensor {
+                rate: 1.0,
+                resolution: 1.0,
+            },
             FnPerceptor::new(|r: &f64, _: &mut StageContext| *r),
             sensact::core::stage::AlwaysTrust,
             FnController::new(|f: &f64, _t: Trust, _: &mut StageContext| -0.4 * f),

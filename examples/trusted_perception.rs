@@ -60,7 +60,11 @@ fn main() {
         let out = looop.tick(&cloud);
         println!(
             "tick {tick:>2}  weather: {:<6}  trust: {:<14}  speed command: {}",
-            if (10..20).contains(&tick) { "FOG" } else { "clear" },
+            if (10..20).contains(&tick) {
+                "FOG"
+            } else {
+                "clear"
+            },
             format!("{:?}", out.trust),
             out.action
         );

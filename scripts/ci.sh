@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Repository CI gate: formatting, lints, build, tests.
+#
+# Everything runs offline (the workspace has no external dependencies);
+# pass --quick to skip the release build for a fast local loop.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=0
+[[ "${1:-}" == "--quick" ]] && quick=1
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (-D warnings) =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+if [[ "$quick" == "0" ]]; then
+    echo "== cargo build --release =="
+    cargo build --offline --release
+fi
+
+echo "== cargo test (workspace) =="
+cargo test --offline --workspace -q
+
+echo "CI gate passed."

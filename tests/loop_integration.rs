@@ -45,13 +45,15 @@ fn lidar_starnet_loop_distrusts_corruption_and_fails_safe() {
         }),
         FnPerceptor::new(|cloud: &PointCloud, _: &mut StageContext| extract_features(cloud)),
         monitor,
-        FnController::new(|_f: &Vec<f64>, trust: Trust, _: &mut StageContext| {
-            if trust.is_actionable() {
-                1.0
-            } else {
-                0.0
-            }
-        }),
+        FnController::new(
+            |_f: &Vec<f64>, trust: Trust, _: &mut StageContext| {
+                if trust.is_actionable() {
+                    1.0
+                } else {
+                    0.0
+                }
+            },
+        ),
         sensact::core::adapt::NoAdaptation,
     );
 
@@ -72,7 +74,10 @@ fn lidar_starnet_loop_distrusts_corruption_and_fails_safe() {
     let clear_go = clear_actions.iter().filter(|&&a| a == 1.0).count();
     let corrupt_stop = corrupt_actions.iter().filter(|&&a| a == 0.0).count();
     assert!(clear_go >= 3, "only {clear_go}/4 clean ticks trusted");
-    assert!(corrupt_stop >= 3, "only {corrupt_stop}/4 corrupted ticks stopped");
+    assert!(
+        corrupt_stop >= 3,
+        "only {corrupt_stop}/4 corrupted ticks stopped"
+    );
     // Telemetry captured the alternating suspicion.
     assert!(looop.telemetry().suspect_fraction() >= 0.3);
     assert!(looop.budget().consumed_j() > 0.0);
@@ -106,9 +111,7 @@ impl Sensor<sensact::lidar::scene::Scene> for AdaptiveLidarSensor {
     fn sense(&mut self, scene: &sensact::lidar::scene::Scene, ctx: &mut StageContext) -> usize {
         // Fire a rate-proportional azimuth subset; charge per pulse.
         let keep = (512.0 * self.rate) as u16;
-        let (cloud, fired) = self
-            .lidar
-            .scan_masked(scene, |_, az| az % 512 < keep);
+        let (cloud, fired) = self.lidar.scan_masked(scene, |_, az| az % 512 < keep);
         ctx.charge(fired as f64 * 50e-6, 1e-3);
         cloud.len()
     }
@@ -124,8 +127,7 @@ fn action_to_sensing_adaptation_cuts_lidar_energy_when_quiet() {
             resolution: 1.0,
         };
         let perceptor = FnPerceptor::new(|n: &usize, _: &mut StageContext| *n as f64);
-        let controller =
-            FnController::new(|_f: &f64, _t: Trust, _: &mut StageContext| 0.0f64);
+        let controller = FnController::new(|_f: &f64, _t: Trust, _: &mut StageContext| 0.0f64);
         if adaptive {
             let mut l = LoopBuilder::new("adaptive")
                 .with_budget(EnergyBudget::unlimited())

@@ -101,7 +101,11 @@ fn federated_adaptive_strategies_cut_cost() {
 
     let all = Dataset::generate(800, 4);
     let parts = all.split_noniid(4, 4);
-    let tiers = [HardwareTier::EdgeGpu, HardwareTier::Mobile, HardwareTier::Mcu];
+    let tiers = [
+        HardwareTier::EdgeGpu,
+        HardwareTier::Mobile,
+        HardwareTier::Mcu,
+    ];
     let test = Dataset::generate(200, 44);
     let config = FedConfig {
         rounds: 4,
