@@ -1,0 +1,171 @@
+//! Micro-bench (in-repo harness): overhead of the fault-tolerance layer.
+//!
+//! Two workloads, three variants each:
+//! * `plain_tick` — the infallible [`SensingActionLoop`];
+//! * `fallible_clean_tick` — [`FallibleLoop`] behind a no-fault injector
+//!   profile (the clean path the <5% overhead target is about);
+//! * `fallible_faulty_tick` — the same loop under an aggressive fault
+//!   profile, pricing the recovery machinery when it actually fires.
+//!
+//! The `trivial/*` rows use empty closure stages, so they expose the
+//! *absolute* per-tick cost of the fault layer (a few ns of Result plumbing).
+//! The `realistic/*` rows run a small feature-extraction workload — the
+//! cheapest perception stage any real loop carries — and are the rows the
+//! <5% clean-path overhead criterion is measured on. Both overheads are
+//! printed and exported to CSV.
+
+use sensact_bench::harness::Harness;
+use sensact_core::fault::{FaultInjector, FaultProfile, RecoveryPolicy, Reliable, WithFallback};
+use sensact_core::stage::{AlwaysTrust, FnController, FnPerceptor, FnSensor, StageContext, Trust};
+use sensact_core::{FallibleLoop, LoopBuilder};
+use std::hint::black_box;
+
+fn sensor() -> FnSensor<impl FnMut(&f64, &mut StageContext) -> f64> {
+    FnSensor::new(|e: &f64, ctx: &mut StageContext| {
+        ctx.charge(1e-6, 1e-6);
+        *e
+    })
+}
+
+fn perceptor() -> FnPerceptor<impl FnMut(&f64, &mut StageContext) -> f64> {
+    FnPerceptor::new(|r: &f64, _: &mut StageContext| *r)
+}
+
+fn controller() -> FnController<impl FnMut(&f64, Trust, &mut StageContext) -> f64> {
+    FnController::new(|f: &f64, _t: Trust, _: &mut StageContext| -0.5 * f)
+}
+
+/// A sensing reading with realistic perception attached: extract simple
+/// moment features from a 256-sample sweep — cheaper than any real detector,
+/// so the overhead percentage it yields is an upper bound.
+fn realistic_sensor() -> FnSensor<impl FnMut(&f64, &mut StageContext) -> Vec<f64>> {
+    FnSensor::new(|e: &f64, ctx: &mut StageContext| {
+        ctx.charge(1e-6, 1e-6);
+        let mut sweep = Vec::with_capacity(256);
+        for i in 0..256 {
+            sweep.push(e + (i as f64 * 0.1).sin());
+        }
+        sweep
+    })
+}
+
+fn realistic_perceptor() -> FnPerceptor<impl FnMut(&Vec<f64>, &mut StageContext) -> f64> {
+    FnPerceptor::new(|sweep: &Vec<f64>, _: &mut StageContext| {
+        let n = sweep.len() as f64;
+        let mean = sweep.iter().sum::<f64>() / n;
+        let var = sweep.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        mean + var
+    })
+}
+
+fn aggressive_profile() -> FaultProfile {
+    FaultProfile {
+        dropout: 0.2,
+        stuck: 0.1,
+        latency_spike: 0.1,
+        spike_latency_s: 1e-3,
+        nan: 0.05,
+    }
+}
+
+fn main() {
+    let mut c = Harness::new("bench_faults");
+
+    c.bench_function("trivial/plain_tick", |b| {
+        let mut looop = LoopBuilder::new("plain").build(sensor(), perceptor(), controller());
+        b.iter(|| black_box(looop.tick(black_box(&1.0))))
+    });
+
+    c.bench_function("trivial/fallible_clean_tick", |b| {
+        let mut looop = FallibleLoop::new(
+            "clean",
+            FaultInjector::new(sensor(), FaultProfile::none(), 1),
+            Reliable(perceptor()),
+            AlwaysTrust,
+            WithFallback::new(controller(), 0.0),
+        );
+        b.iter(|| black_box(looop.tick(black_box(&1.0))))
+    });
+
+    c.bench_function("trivial/fallible_faulty_tick", |b| {
+        let mut looop = FallibleLoop::new(
+            "faulty",
+            FaultInjector::new(sensor(), aggressive_profile(), 1),
+            Reliable(perceptor()),
+            AlwaysTrust,
+            WithFallback::new(controller(), 0.0),
+        )
+        .with_recovery(RecoveryPolicy {
+            max_retries: 2,
+            ..RecoveryPolicy::default()
+        });
+        b.iter(|| black_box(looop.tick(black_box(&1.0))))
+    });
+
+    c.bench_function("realistic/plain_tick", |b| {
+        let mut looop = LoopBuilder::new("plain-real").build(
+            realistic_sensor(),
+            realistic_perceptor(),
+            controller(),
+        );
+        b.iter(|| black_box(looop.tick(black_box(&1.0))))
+    });
+
+    c.bench_function("realistic/fallible_clean_tick", |b| {
+        let mut looop = FallibleLoop::new(
+            "clean-real",
+            FaultInjector::new(realistic_sensor(), FaultProfile::none(), 1),
+            Reliable(realistic_perceptor()),
+            AlwaysTrust,
+            WithFallback::new(controller(), 0.0),
+        );
+        b.iter(|| black_box(looop.tick(black_box(&1.0))))
+    });
+
+    c.bench_function("realistic/fallible_faulty_tick", |b| {
+        let mut looop = FallibleLoop::new(
+            "faulty-real",
+            FaultInjector::new(realistic_sensor(), aggressive_profile(), 1),
+            Reliable(realistic_perceptor()),
+            AlwaysTrust,
+            WithFallback::new(controller(), 0.0),
+        )
+        .with_recovery(RecoveryPolicy {
+            max_retries: 2,
+            ..RecoveryPolicy::default()
+        });
+        b.iter(|| black_box(looop.tick(black_box(&1.0))))
+    });
+
+    let mean = |c: &Harness, id: &str| {
+        c.results()
+            .iter()
+            .find(|(name, _)| name == id)
+            .map(|(_, s)| s.mean_ns)
+            .expect("benchmark ran")
+    };
+    let t_plain = mean(&c, "trivial/plain_tick");
+    let t_clean = mean(&c, "trivial/fallible_clean_tick");
+    let t_faulty = mean(&c, "trivial/fallible_faulty_tick");
+    let r_plain = mean(&c, "realistic/plain_tick");
+    let r_clean = mean(&c, "realistic/fallible_clean_tick");
+    let r_faulty = mean(&c, "realistic/fallible_faulty_tick");
+    let t_pct = (t_clean / t_plain - 1.0) * 100.0;
+    let r_pct = (r_clean / r_plain - 1.0) * 100.0;
+    println!(
+        "trivial stages:   clean-path overhead {:+.1} ns/tick ({t_pct:+.1}% of an empty tick)",
+        t_clean - t_plain
+    );
+    println!(
+        "realistic stages: clean-path overhead {r_pct:+.2}% (plain {r_plain:.1} ns -> fallible {r_clean:.1} ns; target < 5%); faulty path {r_faulty:.1} ns"
+    );
+    c.finish();
+    sensact_bench::write_csv(
+        "bench_faults_overhead",
+        "workload,plain_ns,fallible_clean_ns,fallible_faulty_ns,clean_overhead_pct",
+        &[
+            format!("trivial,{t_plain:.1},{t_clean:.1},{t_faulty:.1},{t_pct:.2}"),
+            format!("realistic,{r_plain:.1},{r_clean:.1},{r_faulty:.1},{r_pct:.2}"),
+        ],
+    );
+}

@@ -1,0 +1,1300 @@
+//! Fault tolerance for sensing-to-action loops (paper §II, §V).
+//!
+//! The cyclical structure of a sensing-action loop makes it uniquely
+//! vulnerable to cascading errors: one bad reading becomes a bad action,
+//! which changes what is sensed next. This module makes stage failure a
+//! *typed, first-class runtime event* instead of a panic:
+//!
+//! * [`StageError`] — what went wrong: dropout, latency-budget timeout,
+//!   out-of-range reading, NaN poisoning;
+//! * [`TrySensor`] / [`TryPerceptor`] — fallible stage traits, with
+//!   [`Reliable`] lifting any infallible stage and [`FnTrySensor`] /
+//!   [`FnTryPerceptor`] closure adapters;
+//! * [`FaultInjector`] — a deterministic, seeded chaos wrapper around any
+//!   sensor or perceptor that injects dropouts, stuck-at readings, latency
+//!   spikes and NaN poisoning with configurable per-tick probabilities
+//!   ([`FaultProfile`]);
+//! * [`FallibleLoop`] — a loop runner with graceful-degradation policies
+//!   ([`RecoveryPolicy`]): bounded retry with energy accounting,
+//!   last-good-value hold with staleness-decayed trust, and a fail-safe
+//!   fallback action supplied by the controller ([`FailSafe`] /
+//!   [`WithFallback`]).
+//!
+//! Dropouts and timeouts surface as [`StageError`]s the runner can retry;
+//! stuck-at and NaN faults are *silent* — the injector returns them as
+//! ordinary `Ok` outputs, and it is the downstream defenses (the
+//! [`FiniteCheck`] on features, the trust [`Monitor`]) that must catch them,
+//! exactly as in a real pipeline.
+//!
+//! Every recovery action is visible in [`LoopTelemetry`]'s
+//! [`FaultCounters`](crate::telemetry::FaultCounters) so experiments can
+//! assert fault/retry/fallback budgets.
+
+use crate::adapt::{AdaptationPolicy, NoAdaptation};
+use crate::budget::EnergyBudget;
+use crate::stage::{Controller, Monitor, Perceptor, Sensor, StageContext, Trust};
+use crate::telemetry::LoopTelemetry;
+use sensact_math::rng::StdRng;
+
+/// Which loop stage produced a fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StageKind {
+    /// The sensor failed to produce a reading.
+    Sensing,
+    /// The perceptor failed to produce features.
+    Perception,
+}
+
+impl std::fmt::Display for StageKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StageKind::Sensing => write!(f, "sensing"),
+            StageKind::Perception => write!(f, "perception"),
+        }
+    }
+}
+
+/// A typed stage failure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StageError {
+    /// The stage produced no output this tick (sensor blackout, dropped
+    /// frame, lost packet).
+    Dropout,
+    /// The stage finished but blew its per-attempt latency budget; acting on
+    /// the result would violate the loop deadline.
+    Timeout {
+        /// Latency the attempt actually took (seconds).
+        latency_s: f64,
+        /// The budget it was allowed (seconds).
+        budget_s: f64,
+    },
+    /// A reading left its physically plausible range.
+    OutOfRange {
+        /// The offending value.
+        value: f64,
+        /// Lower plausibility bound.
+        min: f64,
+        /// Upper plausibility bound.
+        max: f64,
+    },
+    /// The output contains non-finite values (NaN poisoning).
+    Poisoned,
+}
+
+impl std::fmt::Display for StageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StageError::Dropout => write!(f, "dropout"),
+            StageError::Timeout {
+                latency_s,
+                budget_s,
+            } => write!(f, "timeout ({latency_s:.2e} s > budget {budget_s:.2e} s)"),
+            StageError::OutOfRange { value, min, max } => {
+                write!(f, "out of range ({value} outside [{min}, {max}])")
+            }
+            StageError::Poisoned => write!(f, "poisoned (non-finite output)"),
+        }
+    }
+}
+
+/// A sensor whose acquisition can fail with a typed [`StageError`].
+pub trait TrySensor<E> {
+    /// Raw sensor reading type.
+    type Reading;
+    /// Sense the environment, charging costs to `ctx`. Costs already charged
+    /// by a failing attempt stay charged — failure is not free.
+    fn try_sense(&mut self, env: &E, ctx: &mut StageContext) -> Result<Self::Reading, StageError>;
+}
+
+/// A perceptor whose feature extraction can fail with a typed [`StageError`].
+pub trait TryPerceptor<R> {
+    /// Extracted feature type.
+    type Features;
+    /// Extract features from a reading, charging costs to `ctx`.
+    fn try_perceive(
+        &mut self,
+        reading: &R,
+        ctx: &mut StageContext,
+    ) -> Result<Self::Features, StageError>;
+}
+
+/// Lifts an infallible stage into the fallible world: `Reliable(sensor)`
+/// implements [`TrySensor`] (and `Reliable(perceptor)` implements
+/// [`TryPerceptor`]) by never failing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Reliable<T>(pub T);
+
+impl<E, S: Sensor<E>> TrySensor<E> for Reliable<S> {
+    type Reading = S::Reading;
+    fn try_sense(&mut self, env: &E, ctx: &mut StageContext) -> Result<S::Reading, StageError> {
+        Ok(self.0.sense(env, ctx))
+    }
+}
+
+impl<R, P: Perceptor<R>> TryPerceptor<R> for Reliable<P> {
+    type Features = P::Features;
+    fn try_perceive(
+        &mut self,
+        reading: &R,
+        ctx: &mut StageContext,
+    ) -> Result<P::Features, StageError> {
+        Ok(self.0.perceive(reading, ctx))
+    }
+}
+
+/// Closure adapter implementing [`TrySensor`].
+pub struct FnTrySensor<F>(F);
+
+impl<F> FnTrySensor<F> {
+    /// Wrap a closure `(env, ctx) -> Result<reading, StageError>`.
+    pub fn new(f: F) -> Self {
+        FnTrySensor(f)
+    }
+}
+
+impl<E, R, F: FnMut(&E, &mut StageContext) -> Result<R, StageError>> TrySensor<E>
+    for FnTrySensor<F>
+{
+    type Reading = R;
+    fn try_sense(&mut self, env: &E, ctx: &mut StageContext) -> Result<R, StageError> {
+        (self.0)(env, ctx)
+    }
+}
+
+/// Closure adapter implementing [`TryPerceptor`].
+pub struct FnTryPerceptor<F>(F);
+
+impl<F> FnTryPerceptor<F> {
+    /// Wrap a closure `(reading, ctx) -> Result<features, StageError>`.
+    pub fn new(f: F) -> Self {
+        FnTryPerceptor(f)
+    }
+}
+
+impl<R, O, F: FnMut(&R, &mut StageContext) -> Result<O, StageError>> TryPerceptor<R>
+    for FnTryPerceptor<F>
+{
+    type Features = O;
+    fn try_perceive(&mut self, reading: &R, ctx: &mut StageContext) -> Result<O, StageError> {
+        (self.0)(reading, ctx)
+    }
+}
+
+/// Values that can report whether they are entirely finite — the cheap
+/// poison detector [`FallibleLoop`] runs on every fresh feature vector.
+pub trait FiniteCheck {
+    /// `true` iff no component is NaN or infinite.
+    fn all_finite(&self) -> bool;
+}
+
+impl FiniteCheck for f64 {
+    fn all_finite(&self) -> bool {
+        self.is_finite()
+    }
+}
+
+impl FiniteCheck for f32 {
+    fn all_finite(&self) -> bool {
+        self.is_finite()
+    }
+}
+
+impl FiniteCheck for Vec<f64> {
+    fn all_finite(&self) -> bool {
+        self.iter().all(|x| x.is_finite())
+    }
+}
+
+impl<const N: usize> FiniteCheck for [f64; N] {
+    fn all_finite(&self) -> bool {
+        self.iter().all(|x| x.is_finite())
+    }
+}
+
+/// Values the [`FaultInjector`] knows how to NaN-poison in place.
+pub trait NanPoison {
+    /// Overwrite the value with NaNs (every scalar component).
+    fn poison(&mut self);
+}
+
+impl NanPoison for f64 {
+    fn poison(&mut self) {
+        *self = f64::NAN;
+    }
+}
+
+impl NanPoison for f32 {
+    fn poison(&mut self) {
+        *self = f32::NAN;
+    }
+}
+
+impl NanPoison for Vec<f64> {
+    fn poison(&mut self) {
+        for x in self.iter_mut() {
+            *x = f64::NAN;
+        }
+    }
+}
+
+impl<const N: usize> NanPoison for [f64; N] {
+    fn poison(&mut self) {
+        for x in self.iter_mut() {
+            *x = f64::NAN;
+        }
+    }
+}
+
+/// Per-tick fault probabilities of a [`FaultInjector`]. All probabilities
+/// are in `[0, 1]` and rolled independently, in declaration order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultProfile {
+    /// Probability the stage produces nothing ([`StageError::Dropout`]).
+    pub dropout: f64,
+    /// Probability the stage silently replays its previous output
+    /// (stuck-at fault; surfaces as `Ok`, not as an error).
+    pub stuck: f64,
+    /// Probability the attempt is charged an extra latency spike.
+    pub latency_spike: f64,
+    /// Extra latency charged when a spike fires (seconds).
+    pub spike_latency_s: f64,
+    /// Probability the output is NaN-poisoned (surfaces as `Ok`; caught by
+    /// the loop's [`FiniteCheck`] or the trust monitor).
+    pub nan: f64,
+}
+
+impl FaultProfile {
+    /// No faults at all (the injector becomes a transparent wrapper).
+    pub fn none() -> Self {
+        FaultProfile {
+            dropout: 0.0,
+            stuck: 0.0,
+            latency_spike: 0.0,
+            spike_latency_s: 0.0,
+            nan: 0.0,
+        }
+    }
+
+    /// Pure dropout faults with probability `p`.
+    pub fn dropout(p: f64) -> Self {
+        FaultProfile {
+            dropout: p,
+            ..FaultProfile::none()
+        }
+    }
+
+    /// Whether any fault can ever fire under this profile.
+    pub fn is_active(&self) -> bool {
+        self.dropout > 0.0 || self.stuck > 0.0 || self.latency_spike > 0.0 || self.nan > 0.0
+    }
+}
+
+impl Default for FaultProfile {
+    fn default() -> Self {
+        FaultProfile::none()
+    }
+}
+
+/// A deterministic, seeded fault injector wrapping any sensor or perceptor.
+///
+/// `V` is the wrapped stage's output type ([`Sensor::Reading`] or
+/// [`Perceptor::Features`]); it must be [`Clone`] (stuck-at replays the last
+/// output) and [`NanPoison`]-able. Wrapping a [`Sensor`] yields a
+/// [`TrySensor`]; wrapping a [`Perceptor`] yields a [`TryPerceptor`].
+///
+/// Identical `(profile, seed)` pairs reproduce identical fault sequences —
+/// the same guarantee [`sensact_lidar::corrupt`-style] corruptions give per
+/// cloud, applied at the loop level.
+#[derive(Debug)]
+pub struct FaultInjector<T, V> {
+    inner: T,
+    profile: FaultProfile,
+    /// Cached `profile.is_active()` so the fault-free fast path is a single
+    /// predictable branch per call.
+    active: bool,
+    rng: StdRng,
+    last_good: Option<V>,
+    injected: u64,
+}
+
+impl<T, V> FaultInjector<T, V> {
+    /// Wrap `inner`, injecting faults per `profile`, deterministically from
+    /// `seed`.
+    pub fn new(inner: T, profile: FaultProfile, seed: u64) -> Self {
+        FaultInjector {
+            inner,
+            profile,
+            active: profile.is_active(),
+            rng: StdRng::seed_from_u64(seed ^ 0xFA_17),
+            last_good: None,
+            injected: 0,
+        }
+    }
+
+    /// Number of faults injected so far (of any kind).
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Borrow the wrapped stage.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// Mutably borrow the wrapped stage (e.g. for [`SensingKnobs`]
+    /// adaptation through the wrapper).
+    ///
+    /// [`SensingKnobs`]: crate::adapt::SensingKnobs
+    pub fn inner_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T, V: Clone + NanPoison> FaultInjector<T, V> {
+    /// Run one wrapped stage invocation through the fault dice.
+    fn inject(
+        &mut self,
+        ctx: &mut StageContext,
+        produce: impl FnOnce(&mut T, &mut StageContext) -> V,
+    ) -> Result<V, StageError> {
+        // Fault-free profiles take a zero-cost path: no dice, no last-good
+        // bookkeeping (which would clone every output).
+        if !self.active {
+            return Ok(produce(&mut self.inner, ctx));
+        }
+        let p = self.profile;
+        // Dropout: the stage never produces anything (and charges nothing).
+        if p.dropout > 0.0 && self.rng.gen_f64() < p.dropout {
+            self.injected += 1;
+            return Err(StageError::Dropout);
+        }
+        // Stuck-at: silently replay the previous output. Only possible once
+        // a good output exists.
+        if p.stuck > 0.0 && self.rng.gen_f64() < p.stuck {
+            if let Some(last) = &self.last_good {
+                self.injected += 1;
+                return Ok(last.clone());
+            }
+        }
+        let mut v = produce(&mut self.inner, ctx);
+        if p.latency_spike > 0.0 && self.rng.gen_f64() < p.latency_spike {
+            self.injected += 1;
+            ctx.charge(0.0, p.spike_latency_s);
+        }
+        if p.nan > 0.0 && self.rng.gen_f64() < p.nan {
+            self.injected += 1;
+            v.poison();
+            // A poisoned output is not retained as last-good.
+            return Ok(v);
+        }
+        // Last-good is only consulted by stuck-at faults; skip the clone
+        // when the profile can never fire one.
+        if p.stuck > 0.0 {
+            self.last_good = Some(v.clone());
+        }
+        Ok(v)
+    }
+}
+
+impl<E, S: Sensor<E>> TrySensor<E> for FaultInjector<S, S::Reading>
+where
+    S::Reading: Clone + NanPoison,
+{
+    type Reading = S::Reading;
+    fn try_sense(&mut self, env: &E, ctx: &mut StageContext) -> Result<S::Reading, StageError> {
+        self.inject(ctx, |inner, ctx| inner.sense(env, ctx))
+    }
+}
+
+impl<R, P: Perceptor<R>> TryPerceptor<R> for FaultInjector<P, P::Features>
+where
+    P::Features: Clone + NanPoison,
+{
+    type Features = P::Features;
+    fn try_perceive(
+        &mut self,
+        reading: &R,
+        ctx: &mut StageContext,
+    ) -> Result<P::Features, StageError> {
+        self.inject(ctx, |inner, ctx| inner.perceive(reading, ctx))
+    }
+}
+
+/// A controller that can also supply a fail-safe action for ticks where no
+/// features could be produced at all (sensing dead beyond recovery).
+pub trait FailSafe<F>: Controller<F> {
+    /// The action emitted when the loop must fail safe (brake, hover, hold
+    /// position). Charged to `ctx` like any stage.
+    fn fail_safe(&mut self, ctx: &mut StageContext) -> Self::Action;
+}
+
+/// Pairs any controller with a constant fail-safe action, implementing
+/// [`FailSafe`].
+#[derive(Debug, Clone, Copy)]
+pub struct WithFallback<C, A> {
+    /// The decision-making controller.
+    pub inner: C,
+    /// The constant fail-safe action.
+    pub fallback: A,
+}
+
+impl<C, A> WithFallback<C, A> {
+    /// Pair `inner` with a constant `fallback` action.
+    pub fn new(inner: C, fallback: A) -> Self {
+        WithFallback { inner, fallback }
+    }
+}
+
+impl<F, C: Controller<F>> Controller<F> for WithFallback<C, C::Action> {
+    type Action = C::Action;
+    fn decide(&mut self, features: &F, trust: Trust, ctx: &mut StageContext) -> C::Action {
+        self.inner.decide(features, trust, ctx)
+    }
+}
+
+impl<F, C: Controller<F>> FailSafe<F> for WithFallback<C, C::Action>
+where
+    C::Action: Clone,
+{
+    fn fail_safe(&mut self, _ctx: &mut StageContext) -> C::Action {
+        self.fallback.clone()
+    }
+}
+
+/// Recovery policy of a [`FallibleLoop`]: what to do when a stage fails.
+///
+/// Recovery escalates in order: bounded **retry** (each re-attempt re-runs
+/// the stages, whose costs are charged to the tick — failure is never free),
+/// then **hold** the last good features for up to `max_hold_ticks`
+/// consecutive ticks with trust decayed by staleness, then emit the
+/// controller's **fail-safe** action.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Maximum sense→perceive re-attempts within one tick.
+    pub max_retries: u32,
+    /// Fixed extra energy charged per retry (sensor re-arm cost), on top of
+    /// whatever the re-run stages charge themselves (joules).
+    pub retry_energy_j: f64,
+    /// Maximum consecutive ticks served from held last-good features before
+    /// falling back.
+    pub max_hold_ticks: u32,
+    /// Suspicion added per held tick — staleness decays trust until the
+    /// verdict saturates at [`Trust::Untrusted`].
+    pub staleness_decay: f64,
+    /// Per-attempt latency budget; an attempt exceeding it fails with
+    /// [`StageError::Timeout`] even though it produced output.
+    pub latency_budget_s: Option<f64>,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_retries: 2,
+            retry_energy_j: 0.0,
+            max_hold_ticks: 3,
+            staleness_decay: 0.25,
+            latency_budget_s: None,
+        }
+    }
+}
+
+/// How a [`FallibleLoop`] tick obtained its action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TickResolution {
+    /// Fresh features from a successful sense→perceive pass.
+    Fresh,
+    /// Features held from a previous tick; `staleness` counts consecutive
+    /// held ticks (≥ 1).
+    Held {
+        /// Consecutive ticks served from the same last-good features.
+        staleness: u32,
+    },
+    /// No usable features — the controller's fail-safe action was emitted.
+    Fallback,
+}
+
+/// Output of one [`FallibleLoop`] tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FallibleOutput<A> {
+    /// The decided (or fail-safe) action.
+    pub action: A,
+    /// Trust verdict, including any staleness degradation.
+    pub trust: Trust,
+    /// How the action was obtained.
+    pub resolution: TickResolution,
+    /// Stage errors observed this tick (including retried ones).
+    pub faults: u32,
+    /// Retries issued this tick.
+    pub retries: u32,
+    /// Energy charged this tick (joules), including failed attempts.
+    pub energy_j: f64,
+    /// Latency of this tick (seconds), including failed attempts.
+    pub latency_s: f64,
+    /// Tick index.
+    pub tick: u64,
+}
+
+/// A sensing-to-action loop over *fallible* stages with graceful
+/// degradation.
+///
+/// The type parameter `F` is the feature type held across ticks for the
+/// last-good-value recovery path (it equals the perceptor's
+/// [`TryPerceptor::Features`]; inference pins it at the first
+/// [`FallibleLoop::tick`] call).
+#[derive(Debug)]
+pub struct FallibleLoop<S, P, M, C, Ad, F> {
+    name: String,
+    sensor: S,
+    perceptor: P,
+    monitor: M,
+    controller: C,
+    policy: Ad,
+    budget: EnergyBudget,
+    telemetry: LoopTelemetry,
+    recovery: RecoveryPolicy,
+    held: Option<F>,
+    staleness: u32,
+}
+
+impl<S, P, M, C, F> FallibleLoop<S, P, M, C, NoAdaptation, F> {
+    /// A fallible loop with the default [`RecoveryPolicy`], an unlimited
+    /// budget and no adaptation; chain `with_*` to customize.
+    pub fn new(
+        name: impl Into<String>,
+        sensor: S,
+        perceptor: P,
+        monitor: M,
+        controller: C,
+    ) -> Self {
+        FallibleLoop {
+            name: name.into(),
+            sensor,
+            perceptor,
+            monitor,
+            controller,
+            policy: NoAdaptation,
+            budget: EnergyBudget::unlimited(),
+            telemetry: LoopTelemetry::new(),
+            recovery: RecoveryPolicy::default(),
+            held: None,
+            staleness: 0,
+        }
+    }
+}
+
+impl<S, P, M, C, Ad, F> FallibleLoop<S, P, M, C, Ad, F> {
+    /// Attach an energy budget.
+    pub fn with_budget(mut self, budget: EnergyBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Replace the recovery policy.
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Replace the adaptation policy (action-to-sensing feedback).
+    pub fn with_policy<Ad2>(self, policy: Ad2) -> FallibleLoop<S, P, M, C, Ad2, F> {
+        FallibleLoop {
+            name: self.name,
+            sensor: self.sensor,
+            perceptor: self.perceptor,
+            monitor: self.monitor,
+            controller: self.controller,
+            policy,
+            budget: self.budget,
+            telemetry: self.telemetry,
+            recovery: self.recovery,
+            held: self.held,
+            staleness: self.staleness,
+        }
+    }
+
+    /// Cap the number of per-tick telemetry records retained.
+    pub fn with_telemetry_capacity(mut self, capacity: usize) -> Self {
+        let counters_fresh = self.telemetry.ticks() == 0;
+        debug_assert!(counters_fresh, "set capacity before ticking");
+        self.telemetry = LoopTelemetry::with_capacity(capacity);
+        self
+    }
+
+    /// Loop name (for reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Telemetry accumulated so far (including fault counters).
+    pub fn telemetry(&self) -> &LoopTelemetry {
+        &self.telemetry
+    }
+
+    /// Budget state.
+    pub fn budget(&self) -> &EnergyBudget {
+        &self.budget
+    }
+
+    /// Borrow the sensor (e.g. to read its adapted knobs).
+    pub fn sensor(&self) -> &S {
+        &self.sensor
+    }
+
+    /// Mutably borrow the sensor.
+    pub fn sensor_mut(&mut self) -> &mut S {
+        &mut self.sensor
+    }
+
+    /// Borrow the controller.
+    pub fn controller(&self) -> &C {
+        &self.controller
+    }
+
+    /// Active recovery policy.
+    pub fn recovery(&self) -> &RecoveryPolicy {
+        &self.recovery
+    }
+
+    /// One sense→perceive attempt with timeout and poison detection.
+    fn attempt<E>(&mut self, env: &E, ctx: &mut StageContext) -> Result<F, (StageKind, StageError)>
+    where
+        S: TrySensor<E>,
+        P: TryPerceptor<S::Reading, Features = F>,
+        F: FiniteCheck,
+    {
+        let budget_s = self.recovery.latency_budget_s;
+        let lat0 = ctx.latency_s();
+        let reading = self
+            .sensor
+            .try_sense(env, ctx)
+            .map_err(|e| (StageKind::Sensing, e))?;
+        if let Some(b) = budget_s {
+            let lat = ctx.latency_s() - lat0;
+            if lat > b {
+                return Err((
+                    StageKind::Sensing,
+                    StageError::Timeout {
+                        latency_s: lat,
+                        budget_s: b,
+                    },
+                ));
+            }
+        }
+        let lat1 = ctx.latency_s();
+        let features = self
+            .perceptor
+            .try_perceive(&reading, ctx)
+            .map_err(|e| (StageKind::Perception, e))?;
+        if let Some(b) = budget_s {
+            let lat = ctx.latency_s() - lat1;
+            if lat > b {
+                return Err((
+                    StageKind::Perception,
+                    StageError::Timeout {
+                        latency_s: lat,
+                        budget_s: b,
+                    },
+                ));
+            }
+        }
+        if !features.all_finite() {
+            return Err((StageKind::Perception, StageError::Poisoned));
+        }
+        Ok(features)
+    }
+
+    /// Run one tick: sense → perceive (with retry/timeout/poison handling) →
+    /// assess → decide — or degrade to held features / the fail-safe action.
+    /// Never panics on stage faults; every tick yields an action.
+    pub fn tick<E>(&mut self, env: &E) -> FallibleOutput<C::Action>
+    where
+        S: TrySensor<E>,
+        P: TryPerceptor<S::Reading, Features = F>,
+        F: Clone + FiniteCheck,
+        M: Monitor<F>,
+        C: FailSafe<F>,
+        Ad: AdaptationPolicy<S, C::Action>,
+    {
+        let mut ctx = StageContext::new();
+        let mut retries = 0u32;
+        let mut faults = 0u32;
+        let fresh: Option<F> = loop {
+            match self.attempt(env, &mut ctx) {
+                Ok(features) => break Some(features),
+                Err((_kind, error)) => {
+                    faults += 1;
+                    self.telemetry.record_fault(&error);
+                    if retries < self.recovery.max_retries && !self.budget.exhausted() {
+                        retries += 1;
+                        ctx.charge(self.recovery.retry_energy_j, 0.0);
+                        continue;
+                    }
+                    break None;
+                }
+            }
+        };
+        if retries > 0 {
+            self.telemetry.record_retries(retries);
+        }
+        let (action, trust, resolution) = match fresh {
+            Some(features) => {
+                let trust = self.monitor.assess(&features, &mut ctx);
+                let action = self.controller.decide(&features, trust, &mut ctx);
+                self.held = Some(features);
+                self.staleness = 0;
+                (action, trust, TickResolution::Fresh)
+            }
+            None => {
+                let can_hold = self.held.is_some() && self.staleness < self.recovery.max_hold_ticks;
+                if can_hold {
+                    self.staleness += 1;
+                    let staleness = self.staleness;
+                    let held = self.held.clone().expect("checked above");
+                    let base = self.monitor.assess(&held, &mut ctx);
+                    let trust = base.degraded(staleness as f64 * self.recovery.staleness_decay);
+                    let action = self.controller.decide(&held, trust, &mut ctx);
+                    self.telemetry.record_hold();
+                    (action, trust, TickResolution::Held { staleness })
+                } else {
+                    let action = self.controller.fail_safe(&mut ctx);
+                    self.telemetry.record_fallback();
+                    (action, Trust::Untrusted, TickResolution::Fallback)
+                }
+            }
+        };
+        // Consume before adapting: the policy sees this tick's pressure.
+        self.budget.consume(ctx.energy_j(), ctx.latency_s());
+        self.policy
+            .adapt(&mut self.sensor, &action, trust, &self.budget);
+        self.telemetry
+            .record(ctx.energy_j(), ctx.latency_s(), trust);
+        FallibleOutput {
+            action,
+            trust,
+            resolution,
+            faults,
+            retries,
+            energy_j: ctx.energy_j(),
+            latency_s: ctx.latency_s(),
+            tick: self.telemetry.ticks() - 1,
+        }
+    }
+
+    /// Run `n` ticks against a mutable environment, applying each action via
+    /// `apply`. Returns the outputs.
+    pub fn run<E>(
+        &mut self,
+        env: &mut E,
+        n: usize,
+        mut apply: impl FnMut(&mut E, &C::Action),
+    ) -> Vec<FallibleOutput<C::Action>>
+    where
+        S: TrySensor<E>,
+        P: TryPerceptor<S::Reading, Features = F>,
+        F: Clone + FiniteCheck,
+        M: Monitor<F>,
+        C: FailSafe<F>,
+        Ad: AdaptationPolicy<S, C::Action>,
+    {
+        let mut outputs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let out = self.tick(env);
+            apply(env, &out.action);
+            outputs.push(out);
+        }
+        outputs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stage::{AlwaysTrust, FnController, FnMonitor, FnPerceptor, FnSensor};
+
+    fn scalar_sensor() -> FnSensor<impl FnMut(&f64, &mut StageContext) -> f64> {
+        FnSensor::new(|e: &f64, ctx: &mut StageContext| {
+            ctx.charge(1e-3, 1e-4);
+            *e
+        })
+    }
+
+    fn identity_perceptor() -> FnPerceptor<impl FnMut(&f64, &mut StageContext) -> f64> {
+        FnPerceptor::new(|r: &f64, _: &mut StageContext| *r)
+    }
+
+    fn gain_controller(
+    ) -> WithFallback<FnController<impl FnMut(&f64, Trust, &mut StageContext) -> f64>, f64> {
+        WithFallback::new(
+            FnController::new(|f: &f64, _t: Trust, _: &mut StageContext| -0.5 * f),
+            0.0,
+        )
+    }
+
+    #[test]
+    fn stage_error_displays() {
+        assert_eq!(StageError::Dropout.to_string(), "dropout");
+        assert!(StageError::Timeout {
+            latency_s: 0.2,
+            budget_s: 0.1
+        }
+        .to_string()
+        .contains("timeout"));
+        assert!(StageError::OutOfRange {
+            value: 9.0,
+            min: 0.0,
+            max: 1.0
+        }
+        .to_string()
+        .contains("out of range"));
+        assert!(StageError::Poisoned.to_string().contains("poisoned"));
+        assert_eq!(StageKind::Sensing.to_string(), "sensing");
+        assert_eq!(StageKind::Perception.to_string(), "perception");
+    }
+
+    #[test]
+    fn reliable_lifts_infallible_stages() {
+        let mut s = Reliable(scalar_sensor());
+        let mut p = Reliable(identity_perceptor());
+        let mut ctx = StageContext::new();
+        let r = s.try_sense(&2.0, &mut ctx).unwrap();
+        assert_eq!(p.try_perceive(&r, &mut ctx).unwrap(), 2.0);
+        assert!(ctx.energy_j() > 0.0);
+    }
+
+    #[test]
+    fn clean_loop_matches_infallible_behavior() {
+        let mut env = 8.0f64;
+        let mut looop = FallibleLoop::new(
+            "clean",
+            Reliable(scalar_sensor()),
+            Reliable(identity_perceptor()),
+            AlwaysTrust,
+            gain_controller(),
+        );
+        let outs = looop.run(&mut env, 40, |e, a| *e += a);
+        assert!(env.abs() < 1e-3, "env {env}");
+        assert!(outs.iter().all(|o| o.resolution == TickResolution::Fresh));
+        assert!(outs.iter().all(|o| o.faults == 0 && o.retries == 0));
+        let c = looop.telemetry().fault_counters();
+        assert_eq!((c.faults, c.retries, c.holds, c.fallbacks), (0, 0, 0, 0));
+        assert_eq!(looop.telemetry().ticks(), 40);
+        assert_eq!(looop.name(), "clean");
+    }
+
+    #[test]
+    fn injector_dropout_is_deterministic_and_counted() {
+        let run = |seed: u64| -> Vec<bool> {
+            let mut inj: FaultInjector<_, f64> =
+                FaultInjector::new(scalar_sensor(), FaultProfile::dropout(0.3), seed);
+            (0..64)
+                .map(|_| inj.try_sense(&1.0, &mut StageContext::new()).is_err())
+                .collect()
+        };
+        let a = run(7);
+        assert_eq!(a, run(7), "same seed, same fault sequence");
+        assert_ne!(a, run(8), "different seed, different faults");
+        let dropped = a.iter().filter(|&&d| d).count();
+        assert!((5..30).contains(&dropped), "{dropped}/64 dropped at p=0.3");
+    }
+
+    #[test]
+    fn injector_stuck_at_replays_last_good() {
+        let mut counter = 0.0;
+        let sensor = FnSensor::new(move |_: &f64, _: &mut StageContext| {
+            counter += 1.0;
+            counter
+        });
+        let mut inj: FaultInjector<_, f64> = FaultInjector::new(
+            sensor,
+            FaultProfile {
+                stuck: 0.5,
+                ..FaultProfile::none()
+            },
+            3,
+        );
+        let mut ctx = StageContext::new();
+        let vals: Vec<f64> = (0..32)
+            .map(|_| inj.try_sense(&0.0, &mut ctx).unwrap())
+            .collect();
+        // Stuck ticks repeat the previous value instead of advancing.
+        let repeats = vals.windows(2).filter(|w| w[0] == w[1]).count();
+        assert!(repeats > 4, "only {repeats} stuck repeats in {vals:?}");
+        assert!(inj.injected() > 0);
+        // Monotone non-decreasing: stuck-at never invents new values.
+        assert!(vals.windows(2).all(|w| w[1] >= w[0]));
+    }
+
+    #[test]
+    fn injector_nan_poisons_output() {
+        let mut inj: FaultInjector<_, f64> = FaultInjector::new(
+            scalar_sensor(),
+            FaultProfile {
+                nan: 1.0,
+                ..FaultProfile::none()
+            },
+            1,
+        );
+        let v = inj.try_sense(&1.0, &mut StageContext::new()).unwrap();
+        assert!(v.is_nan());
+    }
+
+    #[test]
+    fn injector_latency_spike_charges_ctx() {
+        let mut inj: FaultInjector<_, f64> = FaultInjector::new(
+            scalar_sensor(),
+            FaultProfile {
+                latency_spike: 1.0,
+                spike_latency_s: 0.5,
+                ..FaultProfile::none()
+            },
+            1,
+        );
+        let mut ctx = StageContext::new();
+        let _ = inj.try_sense(&1.0, &mut ctx).unwrap();
+        assert!(ctx.latency_s() > 0.5);
+    }
+
+    #[test]
+    fn retry_recovers_from_transient_dropout() {
+        // Fails exactly twice, then succeeds: default policy (2 retries)
+        // recovers within the tick.
+        let mut remaining_failures = 2;
+        let sensor = FnTrySensor::new(move |e: &f64, ctx: &mut StageContext| {
+            ctx.charge(1e-3, 0.0);
+            if remaining_failures > 0 {
+                remaining_failures -= 1;
+                Err(StageError::Dropout)
+            } else {
+                Ok(*e)
+            }
+        });
+        let mut looop = FallibleLoop::new(
+            "retry",
+            sensor,
+            Reliable(identity_perceptor()),
+            AlwaysTrust,
+            gain_controller(),
+        )
+        .with_recovery(RecoveryPolicy {
+            retry_energy_j: 1e-4,
+            ..RecoveryPolicy::default()
+        });
+        let out = looop.tick(&4.0);
+        assert_eq!(out.resolution, TickResolution::Fresh);
+        assert_eq!(out.action, -2.0);
+        assert_eq!(out.faults, 2);
+        assert_eq!(out.retries, 2);
+        // Three sense attempts + two retry surcharges all charged.
+        assert!(
+            (out.energy_j - (3e-3 + 2e-4)).abs() < 1e-12,
+            "{}",
+            out.energy_j
+        );
+        let c = looop.telemetry().fault_counters();
+        assert_eq!(c.faults, 2);
+        assert_eq!(c.retries, 2);
+        assert_eq!(c.dropouts, 2);
+    }
+
+    #[test]
+    fn hold_then_fallback_with_staleness_decayed_trust() {
+        // One good tick, then the sensor dies for good.
+        let mut alive = true;
+        let sensor = FnTrySensor::new(move |e: &f64, _: &mut StageContext| {
+            if alive {
+                alive = false;
+                Ok(*e)
+            } else {
+                Err(StageError::Dropout)
+            }
+        });
+        let mut looop = FallibleLoop::new(
+            "hold",
+            sensor,
+            Reliable(identity_perceptor()),
+            AlwaysTrust,
+            WithFallback::new(
+                FnController::new(|f: &f64, _t: Trust, _: &mut StageContext| *f),
+                -1.0,
+            ),
+        )
+        .with_recovery(RecoveryPolicy {
+            max_retries: 0,
+            max_hold_ticks: 2,
+            staleness_decay: 0.4,
+            ..RecoveryPolicy::default()
+        });
+        let o0 = looop.tick(&7.0);
+        assert_eq!(o0.resolution, TickResolution::Fresh);
+        assert_eq!(o0.trust, Trust::Trusted);
+        // Held tick 1: same features, trust degraded by one staleness step.
+        let o1 = looop.tick(&99.0);
+        assert_eq!(o1.resolution, TickResolution::Held { staleness: 1 });
+        assert_eq!(o1.action, 7.0, "held features, not the new env");
+        assert_eq!(o1.trust, Trust::Suspect(0.4));
+        // Held tick 2: staleness decays trust further.
+        let o2 = looop.tick(&99.0);
+        assert_eq!(o2.resolution, TickResolution::Held { staleness: 2 });
+        assert_eq!(o2.trust, Trust::Suspect(0.8));
+        // Hold budget exhausted: fail-safe action, untrusted.
+        let o3 = looop.tick(&99.0);
+        assert_eq!(o3.resolution, TickResolution::Fallback);
+        assert_eq!(o3.action, -1.0);
+        assert_eq!(o3.trust, Trust::Untrusted);
+        let c = looop.telemetry().fault_counters();
+        assert_eq!(c.holds, 2);
+        assert_eq!(c.fallbacks, 1);
+        assert_eq!(c.faults, 3);
+    }
+
+    #[test]
+    fn fresh_tick_resets_staleness() {
+        // Alternating dead/alive sensor: each successful tick re-arms the
+        // full hold budget.
+        let mut tick = 0u32;
+        let sensor = FnTrySensor::new(move |e: &f64, _: &mut StageContext| {
+            tick += 1;
+            if tick.is_multiple_of(2) {
+                Err(StageError::Dropout)
+            } else {
+                Ok(*e)
+            }
+        });
+        let mut looop = FallibleLoop::new(
+            "alt",
+            sensor,
+            Reliable(identity_perceptor()),
+            AlwaysTrust,
+            gain_controller(),
+        )
+        .with_recovery(RecoveryPolicy {
+            max_retries: 0,
+            max_hold_ticks: 1,
+            ..RecoveryPolicy::default()
+        });
+        for _ in 0..6 {
+            let out = looop.tick(&1.0);
+            assert_ne!(out.resolution, TickResolution::Fallback);
+        }
+        assert_eq!(looop.telemetry().fault_counters().holds, 3);
+        assert_eq!(looop.telemetry().fault_counters().fallbacks, 0);
+    }
+
+    #[test]
+    fn poisoned_features_detected_and_recovered() {
+        // NaN-poisoning injector at p=1 on the first attempt only would be
+        // nondeterministic; instead poison every attempt and verify the
+        // finite check converts it into a typed fault and the loop falls
+        // back (never handing NaN to the controller).
+        let inj: FaultInjector<_, f64> = FaultInjector::new(
+            scalar_sensor(),
+            FaultProfile {
+                nan: 1.0,
+                ..FaultProfile::none()
+            },
+            5,
+        );
+        let mut looop = FallibleLoop::new(
+            "poison",
+            inj,
+            Reliable(identity_perceptor()),
+            FnMonitor::new(|_f: &f64, _: &mut StageContext| Trust::Trusted),
+            WithFallback::new(
+                FnController::new(|f: &f64, _t: Trust, _: &mut StageContext| {
+                    assert!(f.is_finite(), "controller must never see NaN features");
+                    *f
+                }),
+                0.0,
+            ),
+        );
+        let out = looop.tick(&1.0);
+        assert_eq!(out.resolution, TickResolution::Fallback);
+        assert_eq!(out.action, 0.0);
+        assert!(out.faults >= 1);
+        assert_eq!(
+            looop.telemetry().fault_counters().poisoned,
+            out.faults as u64
+        );
+    }
+
+    #[test]
+    fn latency_budget_turns_spikes_into_timeouts() {
+        let inj: FaultInjector<_, f64> = FaultInjector::new(
+            scalar_sensor(),
+            FaultProfile {
+                latency_spike: 1.0,
+                spike_latency_s: 0.2,
+                ..FaultProfile::none()
+            },
+            2,
+        );
+        let mut looop = FallibleLoop::new(
+            "timeout",
+            inj,
+            Reliable(identity_perceptor()),
+            AlwaysTrust,
+            gain_controller(),
+        )
+        .with_recovery(RecoveryPolicy {
+            max_retries: 1,
+            latency_budget_s: Some(0.05),
+            ..RecoveryPolicy::default()
+        });
+        let out = looop.tick(&1.0);
+        // Every attempt spikes, so the tick degrades to fallback and the
+        // faults are classified as timeouts.
+        assert_eq!(out.resolution, TickResolution::Fallback);
+        let c = looop.telemetry().fault_counters();
+        assert_eq!(c.timeouts, out.faults as u64);
+        assert!(c.timeouts >= 1);
+    }
+
+    #[test]
+    fn retries_stop_when_budget_exhausted() {
+        let sensor = FnTrySensor::new(|_: &f64, ctx: &mut StageContext| {
+            ctx.charge(1.0, 0.0);
+            Err::<f64, _>(StageError::Dropout)
+        });
+        let mut looop = FallibleLoop::new(
+            "broke",
+            sensor,
+            Reliable(identity_perceptor()),
+            AlwaysTrust,
+            gain_controller(),
+        )
+        .with_budget(EnergyBudget::new(0.5))
+        .with_recovery(RecoveryPolicy {
+            max_retries: 10,
+            ..RecoveryPolicy::default()
+        });
+        let out = looop.tick(&1.0);
+        // First failed attempt alone exhausts the budget — but consumption
+        // happens at tick end, so exhaustion is only visible to *later*
+        // retries... within the tick the budget still reads fresh. The
+        // second attempt's failure then sees the un-consumed budget too:
+        // retries are bounded by max_retries here, not the budget.
+        assert_eq!(out.retries, 10);
+        // Next tick the budget is exhausted: no retries at all.
+        let out2 = looop.tick(&1.0);
+        assert_eq!(out2.retries, 0);
+        assert_eq!(out2.resolution, TickResolution::Fallback);
+    }
+
+    #[test]
+    fn with_policy_adapts_sensor_through_injector() {
+        use crate::adapt::{ActionMagnitudeRate, SensingKnobs};
+
+        #[derive(Debug)]
+        struct KnobSensor {
+            rate: f64,
+        }
+        impl SensingKnobs for KnobSensor {
+            fn rate(&self) -> f64 {
+                self.rate
+            }
+            fn set_rate(&mut self, r: f64) {
+                self.rate = r.clamp(0.0, 1.0);
+            }
+            fn resolution(&self) -> f64 {
+                1.0
+            }
+            fn set_resolution(&mut self, _: f64) {}
+        }
+        impl Sensor<f64> for KnobSensor {
+            type Reading = f64;
+            fn sense(&mut self, env: &f64, ctx: &mut StageContext) -> f64 {
+                ctx.charge(1e-3 * self.rate, 0.0);
+                *env
+            }
+        }
+        // Let adaptation reach the wrapped sensor through the injector.
+        impl<V> SensingKnobs for FaultInjector<KnobSensor, V> {
+            fn rate(&self) -> f64 {
+                self.inner().rate()
+            }
+            fn set_rate(&mut self, r: f64) {
+                self.inner_mut().set_rate(r);
+            }
+            fn resolution(&self) -> f64 {
+                self.inner().resolution()
+            }
+            fn set_resolution(&mut self, r: f64) {
+                self.inner_mut().set_resolution(r);
+            }
+        }
+
+        let inj: FaultInjector<_, f64> =
+            FaultInjector::new(KnobSensor { rate: 1.0 }, FaultProfile::none(), 0);
+        let mut looop = FallibleLoop::new(
+            "adapt",
+            inj,
+            Reliable(identity_perceptor()),
+            AlwaysTrust,
+            WithFallback::new(
+                FnController::new(|_f: &f64, _t: Trust, _: &mut StageContext| 0.0f64),
+                0.0,
+            ),
+        )
+        .with_policy(ActionMagnitudeRate::default());
+        for _ in 0..50 {
+            let _ = looop.tick(&0.0);
+        }
+        // Quiet environment: the rate decays to idle through the wrapper.
+        assert!(
+            (looop.sensor().rate() - 0.1).abs() < 1e-6,
+            "rate {}",
+            looop.sensor().rate()
+        );
+    }
+
+    #[test]
+    fn finite_check_impls() {
+        assert!(1.0f64.all_finite());
+        assert!(!f64::NAN.all_finite());
+        assert!(!f64::INFINITY.all_finite());
+        assert!(vec![1.0, 2.0].all_finite());
+        assert!(!vec![1.0, f64::NAN].all_finite());
+        assert!([1.0, 2.0].all_finite());
+        assert!(![f64::NAN].all_finite());
+        assert!(2.0f32.all_finite());
+    }
+
+    #[test]
+    fn nan_poison_impls() {
+        let mut x = 1.0f64;
+        x.poison();
+        assert!(x.is_nan());
+        let mut v = vec![1.0, 2.0];
+        v.poison();
+        assert!(v.iter().all(|x| x.is_nan()));
+        let mut a = [1.0; 3];
+        a.poison();
+        assert!(a.iter().all(|x| x.is_nan()));
+        let mut f = 1.0f32;
+        f.poison();
+        assert!(f.is_nan());
+    }
+
+    #[test]
+    fn fn_try_adapters_compose() {
+        let mut s = FnTrySensor::new(|e: &f64, _: &mut StageContext| {
+            if *e < 0.0 {
+                Err(StageError::OutOfRange {
+                    value: *e,
+                    min: 0.0,
+                    max: 10.0,
+                })
+            } else {
+                Ok(*e)
+            }
+        });
+        let mut p = FnTryPerceptor::new(|r: &f64, _: &mut StageContext| Ok(*r * 2.0));
+        let mut ctx = StageContext::new();
+        let r = s.try_sense(&3.0, &mut ctx).unwrap();
+        assert_eq!(p.try_perceive(&r, &mut ctx).unwrap(), 6.0);
+        assert!(matches!(
+            s.try_sense(&-1.0, &mut ctx),
+            Err(StageError::OutOfRange { .. })
+        ));
+    }
+}

@@ -19,7 +19,9 @@
 //! Every stage charges its energy and latency to a [`stage::StageContext`];
 //! the per-tick ledger feeds the [`telemetry::LoopTelemetry`] that the
 //! experiments report. [`multi`] extends the abstraction to coordinated
-//! multi-agent loops (§VII).
+//! multi-agent loops (§VII), and [`fault`] makes stage failure a typed
+//! runtime event with graceful-degradation policies (retry, last-good hold,
+//! fail-safe fallback) plus a deterministic fault injector.
 //!
 //! ## Example
 //!
@@ -44,6 +46,7 @@
 
 pub mod adapt;
 pub mod budget;
+pub mod fault;
 pub mod multi;
 pub mod stage;
 pub mod telemetry;
@@ -51,6 +54,10 @@ pub mod telemetry;
 mod loop_;
 
 pub use budget::EnergyBudget;
+pub use fault::{
+    FallibleLoop, FallibleOutput, FaultInjector, FaultProfile, RecoveryPolicy, Reliable,
+    StageError, TickResolution, TryPerceptor, TrySensor, WithFallback,
+};
 pub use loop_::{LoopBuilder, LoopOutput, SensingActionLoop};
 pub use stage::{StageContext, Trust};
-pub use telemetry::LoopTelemetry;
+pub use telemetry::{FaultCounters, LoopTelemetry};

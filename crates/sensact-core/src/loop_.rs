@@ -83,9 +83,12 @@ impl<S, P, M, C, Ad> SensingActionLoop<S, P, M, C, Ad> {
         let features = self.perceptor.perceive(&reading, &mut ctx);
         let trust = self.monitor.assess(&features, &mut ctx);
         let action = self.controller.decide(&features, trust, &mut ctx);
+        // Consume *before* adapting: the policy must see this tick's budget
+        // pressure, not last tick's, or a single huge-energy tick could not
+        // throttle the very next one.
+        self.budget.consume(ctx.energy_j(), ctx.latency_s());
         self.policy
             .adapt(&mut self.sensor, &action, trust, &self.budget);
-        self.budget.consume(ctx.energy_j(), ctx.latency_s());
         self.telemetry
             .record(ctx.energy_j(), ctx.latency_s(), trust);
         LoopOutput {
@@ -127,6 +130,7 @@ impl<S, P, M, C, Ad> SensingActionLoop<S, P, M, C, Ad> {
 pub struct LoopBuilder {
     name: String,
     budget: EnergyBudget,
+    telemetry_capacity: usize,
 }
 
 impl LoopBuilder {
@@ -135,12 +139,20 @@ impl LoopBuilder {
         LoopBuilder {
             name: name.into(),
             budget: EnergyBudget::unlimited(),
+            telemetry_capacity: crate::telemetry::DEFAULT_RECORD_CAPACITY,
         }
     }
 
     /// Attach an energy budget.
     pub fn with_budget(mut self, budget: EnergyBudget) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// Cap the number of per-tick telemetry records retained (aggregate
+    /// statistics stay exact over all ticks regardless).
+    pub fn with_telemetry_capacity(mut self, capacity: usize) -> Self {
+        self.telemetry_capacity = capacity;
         self
     }
 
@@ -182,7 +194,7 @@ impl LoopBuilder {
             controller,
             policy,
             budget: self.budget,
-            telemetry: LoopTelemetry::new(),
+            telemetry: LoopTelemetry::with_capacity(self.telemetry_capacity),
         }
     }
 }
@@ -325,6 +337,59 @@ mod tests {
             env += out.action + if i % 2 == 0 { 3.0 } else { -3.0 };
         }
         assert!(l.sensor().rate() > 0.6, "rate {}", l.sensor().rate());
+    }
+
+    /// Regression: `tick` must consume the budget *before* the adaptation
+    /// policy runs, so `ActionMagnitudeRate`'s budget-pressure ceiling acts
+    /// on this tick's pressure. With the old (adapt-then-consume) ordering a
+    /// single huge-energy tick left the rate at full for the next tick.
+    #[test]
+    fn budget_pressure_throttles_the_very_next_tick() {
+        let sensor = RateSensor {
+            rate: 1.0,
+            resolution: 1.0,
+        };
+        let mut l = LoopBuilder::new("spike")
+            .with_budget(EnergyBudget::new(1.0))
+            .build_full(
+                sensor,
+                FnPerceptor::new(|r: &f64, _: &mut StageContext| *r),
+                AlwaysTrust,
+                // Huge action keeps the dynamism target at 1 — only the
+                // budget ceiling can pull the rate down.
+                FnController::new(|_f: &f64, _t, ctx: &mut StageContext| {
+                    // One tick burns 90 % of the whole budget.
+                    ctx.charge(0.9, 0.0);
+                    100.0
+                }),
+                ActionMagnitudeRate {
+                    gain: 1.0,
+                    ..ActionMagnitudeRate::default()
+                },
+            );
+        let _ = l.tick(&0.0);
+        // Pressure after the spike is ≈0.9 ⇒ ceiling = 1 − 0.9·0.9 ≈ 0.19.
+        // The *very next* tick must already sense at the throttled rate.
+        assert!(
+            l.sensor().rate() < 0.2,
+            "rate {} not throttled by the spike tick",
+            l.sensor().rate()
+        );
+    }
+
+    #[test]
+    fn telemetry_capacity_flows_through_builder() {
+        let mut l = LoopBuilder::new("cap").with_telemetry_capacity(2).build(
+            FnSensor::new(|e: &f64, _: &mut StageContext| *e),
+            FnPerceptor::new(|r: &f64, _: &mut StageContext| *r),
+            FnController::new(|_f: &f64, _t, _: &mut StageContext| 0.0),
+        );
+        for _ in 0..5 {
+            let _ = l.tick(&0.0);
+        }
+        assert_eq!(l.telemetry().capacity(), 2);
+        assert_eq!(l.telemetry().records().count(), 2);
+        assert_eq!(l.telemetry().ticks(), 5);
     }
 
     #[test]

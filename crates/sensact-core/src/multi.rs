@@ -198,7 +198,20 @@ impl ObservationBus {
     }
 
     /// Publish an observation from agent `from` to all other agents.
+    ///
+    /// `from` must identify a bus member: an out-of-range id would otherwise
+    /// skip the self-delivery exclusion and broadcast to *everyone*,
+    /// spoofing a nonexistent peer. Debug builds panic on an out-of-range
+    /// `from`; release builds deliver to no one.
     pub fn publish(&self, from: AgentId, obs: ArcObservation) {
+        debug_assert!(
+            from.0 < self.senders.len(),
+            "{from} is not a member of this {}-agent bus",
+            self.senders.len()
+        );
+        if from.0 >= self.senders.len() {
+            return;
+        }
         for (i, tx) in self.senders.iter().enumerate() {
             if i != from.0 {
                 // A disconnected peer (dropped receiver) is not an error.
@@ -397,5 +410,101 @@ mod tests {
     #[should_panic(expected = "no agents")]
     fn empty_fleet_panics() {
         let _ = CoverageCoordinator::new().assign(&[]);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "not a member"))]
+    fn publish_from_nonmember_reaches_no_one() {
+        let mut bus = ObservationBus::new(2);
+        let rx0 = bus.take_receiver(0);
+        let rx1 = bus.take_receiver(1);
+        // AgentId(2) is not on a 2-agent bus. Debug builds panic; release
+        // builds must deliver to no one (previously this spoofed a
+        // broadcast to every member).
+        bus.publish(
+            AgentId(2),
+            ArcObservation {
+                from: AgentId(2),
+                arc: AzimuthArc {
+                    start_deg: 0.0,
+                    end_deg: 90.0,
+                },
+                payload: vec![],
+            },
+        );
+        assert!(rx0.try_recv().is_err());
+        assert!(rx1.try_recv().is_err());
+    }
+
+    #[test]
+    fn arc_contains_agrees_with_width_accounting() {
+        // Property: the number of contained half-degree sample points equals
+        // the arc width (capped at the full circle), for arbitrary start
+        // angles (any real, including negatives) and widths (including
+        // zero-width and ≥ 360° arcs).
+        let mut rng = sensact_math::rng::StdRng::seed_from_u64(42);
+        for _ in 0..200 {
+            let start = rng.random_range(-720.0..720.0);
+            let width = rng.random_range(0.0..450.0);
+            let arc = AzimuthArc {
+                start_deg: start,
+                end_deg: start + width,
+            };
+            let contained = (0..360).filter(|k| arc.contains(*k as f64 + 0.5)).count() as f64;
+            let expected = width.min(360.0);
+            assert!(
+                (contained - expected).abs() <= 1.0,
+                "arc [{start}, {}) contains {contained} samples, width {expected}",
+                start + width
+            );
+        }
+        // Degenerate endpoints of the property.
+        let empty = AzimuthArc {
+            start_deg: 10.0,
+            end_deg: 10.0,
+        };
+        assert!((0..360).all(|k| !empty.contains(k as f64 + 0.5)));
+        let full = AzimuthArc {
+            start_deg: 123.0,
+            end_deg: 123.0 + 360.0,
+        };
+        assert!((0..360).all(|k| full.contains(k as f64 + 0.5)));
+    }
+
+    #[test]
+    fn assignment_stays_disjoint_partition_with_zero_battery_agents() {
+        // Property: even with zero-battery agents (zero-width arcs), every
+        // azimuth belongs to exactly one assigned arc — no gaps, no double
+        // coverage.
+        let mut rng = sensact_math::rng::StdRng::seed_from_u64(7);
+        for trial in 0..50 {
+            let n = 2 + (trial % 6);
+            let agents: Vec<AgentProfile> = (0..n)
+                .map(|i| {
+                    let mut a = AgentProfile::homogeneous(AgentId(i));
+                    // Roughly a third of the fleet is fully drained.
+                    a.battery_j = if rng.gen_f64() < 0.33 {
+                        0.0
+                    } else {
+                        rng.random_range(1.0..100.0)
+                    };
+                    a
+                })
+                .collect();
+            if agents.iter().map(|a| a.battery_j).sum::<f64>() <= 0.0 {
+                continue; // assign() panics on a fully dead fleet, by contract
+            }
+            let assignments = CoverageCoordinator::new().assign(&agents);
+            let total: f64 = assignments.iter().map(|a| a.arc.width()).sum();
+            assert!((total - 360.0).abs() < 1e-9, "total width {total}");
+            for _ in 0..64 {
+                let az = rng.random_range(0.0..360.0);
+                let owners = assignments
+                    .iter()
+                    .filter(|asg| asg.arc.contains(az))
+                    .count();
+                assert_eq!(owners, 1, "azimuth {az} owned by {owners} arcs");
+            }
+        }
     }
 }

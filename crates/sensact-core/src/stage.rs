@@ -26,6 +26,20 @@ impl Trust {
     pub fn is_actionable(&self) -> bool {
         !matches!(self, Trust::Untrusted)
     }
+
+    /// This verdict worsened by `extra` additional suspicion (e.g. staleness
+    /// decay while a fallible loop holds its last good features). Saturates
+    /// at [`Trust::Untrusted`] once total suspicion reaches 1.
+    pub fn degraded(&self, extra: f64) -> Trust {
+        let s = self.suspicion() + extra.max(0.0);
+        if s >= 1.0 {
+            Trust::Untrusted
+        } else if s <= 0.0 {
+            Trust::Trusted
+        } else {
+            Trust::Suspect(s)
+        }
+    }
 }
 
 /// Per-tick cost ledger handed to every stage.
@@ -188,6 +202,17 @@ mod tests {
         assert!(Trust::Trusted.is_actionable());
         assert!(Trust::Suspect(0.9).is_actionable());
         assert!(!Trust::Untrusted.is_actionable());
+    }
+
+    #[test]
+    fn trust_degrades_and_saturates() {
+        assert_eq!(Trust::Trusted.degraded(0.0), Trust::Trusted);
+        assert_eq!(Trust::Trusted.degraded(0.3), Trust::Suspect(0.3));
+        assert_eq!(Trust::Suspect(0.5).degraded(0.25), Trust::Suspect(0.75));
+        assert_eq!(Trust::Suspect(0.5).degraded(0.6), Trust::Untrusted);
+        assert_eq!(Trust::Untrusted.degraded(0.0), Trust::Untrusted);
+        // Negative extra never improves a verdict.
+        assert_eq!(Trust::Suspect(0.5).degraded(-1.0), Trust::Suspect(0.5));
     }
 
     #[test]

@@ -2,10 +2,21 @@
 //!
 //! The cyclical nature of sensing-action loops makes them sensitive to
 //! cascading errors (§II); telemetry is how the experiments observe drift —
-//! energy/latency trends, trust degradation, and consecutive-suspect streaks.
+//! energy/latency trends, trust degradation, consecutive-suspect streaks,
+//! and (for fallible loops) fault/retry/fallback counts.
+//!
+//! Aggregates are maintained *incrementally*: totals, suspect fractions and
+//! the energy/latency statistics are exact over **all** ticks and O(1) to
+//! query, while the per-tick [`TickRecord`] history is retained in a bounded
+//! ring buffer (capacity via [`LoopTelemetry::with_capacity`]) so a
+//! million-tick production run does not grow memory without bound.
 
+use crate::fault::StageError;
 use crate::stage::Trust;
 use sensact_math::RunningStats;
+
+/// Default number of per-tick records retained by the ring buffer.
+pub const DEFAULT_RECORD_CAPACITY: usize = 4096;
 
 /// One tick's record.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -20,34 +31,99 @@ pub struct TickRecord {
     pub trust: Trust,
 }
 
+/// Fault-handling counters of a fallible loop (all zero for infallible
+/// loops).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Stage errors observed (including ones later recovered by retry).
+    pub faults: u64,
+    /// Faults that were dropouts.
+    pub dropouts: u64,
+    /// Faults that were latency-budget timeouts.
+    pub timeouts: u64,
+    /// Faults that were out-of-range readings.
+    pub out_of_range: u64,
+    /// Faults that were NaN-poisoned outputs.
+    pub poisoned: u64,
+    /// Stage re-attempts issued by the retry policy.
+    pub retries: u64,
+    /// Ticks served from held (stale) last-good features.
+    pub holds: u64,
+    /// Ticks that fell back to the controller's fail-safe action.
+    pub fallbacks: u64,
+}
+
 /// Aggregated telemetry of one loop.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct LoopTelemetry {
     records: Vec<TickRecord>,
+    /// Oldest record's index once the ring is full.
+    head: usize,
+    capacity: usize,
+    ticks: u64,
+    total_energy_j: f64,
+    total_latency_s: f64,
+    suspect_ticks: u64,
     energy: RunningStats,
     latency: RunningStats,
     suspect_streak: u32,
     max_suspect_streak: u32,
+    counters: FaultCounters,
+}
+
+impl Default for LoopTelemetry {
+    fn default() -> Self {
+        LoopTelemetry::with_capacity(DEFAULT_RECORD_CAPACITY)
+    }
 }
 
 impl LoopTelemetry {
-    /// Fresh telemetry.
+    /// Fresh telemetry with the default record capacity.
     pub fn new() -> Self {
         LoopTelemetry::default()
     }
 
+    /// Fresh telemetry retaining at most `capacity` per-tick records
+    /// (clamped to ≥ 1). Aggregate statistics remain exact over all ticks
+    /// regardless of capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        LoopTelemetry {
+            records: Vec::new(),
+            head: 0,
+            capacity: capacity.max(1),
+            ticks: 0,
+            total_energy_j: 0.0,
+            total_latency_s: 0.0,
+            suspect_ticks: 0,
+            energy: RunningStats::new(),
+            latency: RunningStats::new(),
+            suspect_streak: 0,
+            max_suspect_streak: 0,
+            counters: FaultCounters::default(),
+        }
+    }
+
     /// Record a tick.
     pub fn record(&mut self, energy_j: f64, latency_s: f64, trust: Trust) {
-        let tick = self.records.len() as u64;
-        self.records.push(TickRecord {
-            tick,
+        let rec = TickRecord {
+            tick: self.ticks,
             energy_j,
             latency_s,
             trust,
-        });
+        };
+        if self.records.len() < self.capacity {
+            self.records.push(rec);
+        } else {
+            self.records[self.head] = rec;
+            self.head = (self.head + 1) % self.capacity;
+        }
+        self.ticks += 1;
+        self.total_energy_j += energy_j;
+        self.total_latency_s += latency_s;
         self.energy.push(energy_j);
         self.latency.push(latency_s);
         if trust.suspicion() > 0.0 {
+            self.suspect_ticks += 1;
             self.suspect_streak += 1;
             self.max_suspect_streak = self.max_suspect_streak.max(self.suspect_streak);
         } else {
@@ -55,19 +131,57 @@ impl LoopTelemetry {
         }
     }
 
-    /// Number of recorded ticks.
+    /// Count one stage error (classified by kind).
+    pub fn record_fault(&mut self, error: &StageError) {
+        self.counters.faults += 1;
+        match error {
+            StageError::Dropout => self.counters.dropouts += 1,
+            StageError::Timeout { .. } => self.counters.timeouts += 1,
+            StageError::OutOfRange { .. } => self.counters.out_of_range += 1,
+            StageError::Poisoned => self.counters.poisoned += 1,
+        }
+    }
+
+    /// Count `n` retry attempts issued within one tick.
+    pub fn record_retries(&mut self, n: u32) {
+        self.counters.retries += n as u64;
+    }
+
+    /// Count one tick served from held (stale) features.
+    pub fn record_hold(&mut self) {
+        self.counters.holds += 1;
+    }
+
+    /// Count one tick resolved by the fail-safe fallback action.
+    pub fn record_fallback(&mut self) {
+        self.counters.fallbacks += 1;
+    }
+
+    /// Number of recorded ticks (all ticks ever, not just retained records).
     pub fn ticks(&self) -> u64 {
-        self.records.len() as u64
+        self.ticks
     }
 
-    /// All per-tick records.
-    pub fn records(&self) -> &[TickRecord] {
-        &self.records
+    /// Retained per-tick records, oldest first. At most
+    /// [`LoopTelemetry::capacity`] of the most recent ticks are kept.
+    pub fn records(&self) -> impl Iterator<Item = &TickRecord> {
+        let (wrapped, ordered) = self.records.split_at(self.head);
+        ordered.iter().chain(wrapped.iter())
     }
 
-    /// Total energy over all ticks (joules).
+    /// Maximum number of per-tick records retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total energy over all ticks (joules); O(1).
     pub fn total_energy_j(&self) -> f64 {
-        self.records.iter().map(|r| r.energy_j).sum()
+        self.total_energy_j
+    }
+
+    /// Total latency over all ticks (seconds); O(1).
+    pub fn total_latency_s(&self) -> f64 {
+        self.total_latency_s
     }
 
     /// Energy statistics across ticks.
@@ -80,16 +194,17 @@ impl LoopTelemetry {
         &self.latency
     }
 
-    /// Fraction of ticks with non-zero suspicion.
+    /// Fault-handling counters (zero for loops without a fault layer).
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.counters
+    }
+
+    /// Fraction of ticks with non-zero suspicion; O(1).
     pub fn suspect_fraction(&self) -> f64 {
-        if self.records.is_empty() {
+        if self.ticks == 0 {
             return 0.0;
         }
-        self.records
-            .iter()
-            .filter(|r| r.trust.suspicion() > 0.0)
-            .count() as f64
-            / self.records.len() as f64
+        self.suspect_ticks as f64 / self.ticks as f64
     }
 
     /// Longest run of consecutive suspect/untrusted ticks — the cascading-
@@ -113,7 +228,16 @@ impl std::fmt::Display for LoopTelemetry {
             self.total_energy_j(),
             self.latency.mean(),
             self.suspect_fraction() * 100.0
-        )
+        )?;
+        let c = self.counters;
+        if c != FaultCounters::default() {
+            write!(
+                f,
+                ", {} faults ({} retries, {} holds, {} fallbacks)",
+                c.faults, c.retries, c.holds, c.fallbacks
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -130,7 +254,7 @@ mod tests {
         assert_eq!(t.total_energy_j(), 4.0);
         assert_eq!(t.energy_stats().mean(), 2.0);
         assert_eq!(t.latency_stats().max(), 0.3);
-        assert_eq!(t.records()[1].tick, 1);
+        assert_eq!(t.records().nth(1).unwrap().tick, 1);
     }
 
     #[test]
@@ -157,6 +281,70 @@ mod tests {
         assert_eq!(t.ticks(), 0);
         assert_eq!(t.suspect_fraction(), 0.0);
         assert_eq!(t.total_energy_j(), 0.0);
+        assert_eq!(t.records().count(), 0);
+    }
+
+    #[test]
+    fn ring_buffer_caps_records_but_keeps_exact_aggregates() {
+        let mut t = LoopTelemetry::with_capacity(4);
+        for i in 0..10 {
+            let trust = if i % 2 == 0 {
+                Trust::Trusted
+            } else {
+                Trust::Suspect(0.5)
+            };
+            t.record(i as f64, 0.1, trust);
+        }
+        // Only the 4 most recent records retained, oldest first.
+        let kept: Vec<u64> = t.records().map(|r| r.tick).collect();
+        assert_eq!(kept, vec![6, 7, 8, 9]);
+        assert_eq!(t.capacity(), 4);
+        // Aggregates stay exact over all 10 ticks.
+        assert_eq!(t.ticks(), 10);
+        assert_eq!(t.total_energy_j(), 45.0);
+        assert!((t.total_latency_s() - 1.0).abs() < 1e-12);
+        assert_eq!(t.suspect_fraction(), 0.5);
+        assert_eq!(t.energy_stats().mean(), 4.5);
+    }
+
+    #[test]
+    fn capacity_clamped_to_one() {
+        let mut t = LoopTelemetry::with_capacity(0);
+        t.record(1.0, 0.0, Trust::Trusted);
+        t.record(2.0, 0.0, Trust::Trusted);
+        assert_eq!(t.capacity(), 1);
+        assert_eq!(t.records().count(), 1);
+        assert_eq!(t.records().next().unwrap().tick, 1);
+        assert_eq!(t.total_energy_j(), 3.0);
+    }
+
+    #[test]
+    fn fault_counters_classify_errors() {
+        let mut t = LoopTelemetry::new();
+        t.record_fault(&StageError::Dropout);
+        t.record_fault(&StageError::Dropout);
+        t.record_fault(&StageError::Timeout {
+            latency_s: 0.2,
+            budget_s: 0.1,
+        });
+        t.record_fault(&StageError::OutOfRange {
+            value: 9.0,
+            min: 0.0,
+            max: 1.0,
+        });
+        t.record_fault(&StageError::Poisoned);
+        t.record_retries(3);
+        t.record_hold();
+        t.record_fallback();
+        let c = t.fault_counters();
+        assert_eq!(c.faults, 5);
+        assert_eq!(c.dropouts, 2);
+        assert_eq!(c.timeouts, 1);
+        assert_eq!(c.out_of_range, 1);
+        assert_eq!(c.poisoned, 1);
+        assert_eq!(c.retries, 3);
+        assert_eq!(c.holds, 1);
+        assert_eq!(c.fallbacks, 1);
     }
 
     #[test]
@@ -166,5 +354,11 @@ mod tests {
         let s = t.to_string();
         assert!(s.contains("1 ticks"));
         assert!(s.contains("0% suspect"));
+        assert!(!s.contains("faults"), "clean loop shows no fault section");
+        t.record_fault(&StageError::Dropout);
+        t.record_fallback();
+        let s = t.to_string();
+        assert!(s.contains("1 faults"), "{s}");
+        assert!(s.contains("1 fallbacks"), "{s}");
     }
 }

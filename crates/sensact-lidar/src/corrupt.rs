@@ -7,6 +7,7 @@
 //! grows with `severity ∈ 1..=5`.
 
 use crate::pointcloud::{Point, PointCloud};
+use sensact_core::fault::{FiniteCheck, NanPoison};
 use sensact_math::rng::StdRng;
 
 /// The corruption families of the KITTI-C benchmark reproduced here.
@@ -105,6 +106,31 @@ impl Corruption {
 impl std::fmt::Display for Corruption {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{}@{}", self.kind, self.severity)
+    }
+}
+
+/// NaN poisoning of a whole cloud — the fault a
+/// [`sensact_core::fault::FaultInjector`] injects on a wrapped lidar sensor.
+/// Every coordinate and range of every point becomes NaN; beam/azimuth
+/// indices are untouched (the failure corrupts the measurement, not the
+/// firing schedule).
+impl NanPoison for PointCloud {
+    fn poison(&mut self) {
+        for p in self.points_mut() {
+            p.x = f64::NAN;
+            p.y = f64::NAN;
+            p.z = f64::NAN;
+            p.range = f64::NAN;
+        }
+    }
+}
+
+/// Finiteness check over every coordinate and range in the cloud. An empty
+/// cloud is vacuously finite (emptiness is a dropout, not a poisoning).
+impl FiniteCheck for PointCloud {
+    fn all_finite(&self) -> bool {
+        self.iter()
+            .all(|p| p.x.is_finite() && p.y.is_finite() && p.z.is_finite() && p.range.is_finite())
     }
 }
 
@@ -406,6 +432,26 @@ mod tests {
         let c = Corruption::new(CorruptionKind::Rain, 9);
         assert_eq!(c.severity, 5);
         assert_eq!(c.intensity(), 1.0);
+    }
+
+    #[test]
+    fn nan_poison_and_finite_check_on_clouds() {
+        let mut c = clean_cloud();
+        assert!(c.all_finite(), "clean scan must be finite");
+        let beams: Vec<u16> = c.iter().map(|p| p.beam).collect();
+        c.poison();
+        assert!(!c.all_finite());
+        assert!(c
+            .iter()
+            .all(|p| p.x.is_nan() && p.y.is_nan() && p.z.is_nan() && p.range.is_nan()));
+        // Indices survive poisoning.
+        assert_eq!(c.iter().map(|p| p.beam).collect::<Vec<_>>(), beams);
+        // A single NaN taints the whole cloud.
+        let mut one_bad = clean_cloud();
+        one_bad.points_mut()[0].range = f64::NAN;
+        assert!(!one_bad.all_finite());
+        // Emptiness is not poisoning.
+        assert!(PointCloud::new().all_finite());
     }
 }
 

@@ -11,6 +11,11 @@
 /// Computed via the rank-sum (Mann–Whitney) formulation with midrank tie
 /// handling. Returns `0.5` when either class is absent.
 ///
+/// Ranking uses [`f64::total_cmp`], so NaN scores never panic: a positive NaN
+/// ranks above every finite score (it reads as "maximally positive"), which
+/// keeps the AUC defined — and in `[0, 1]` — when a faulted monitor poisons
+/// some scores.
+///
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
@@ -29,7 +34,7 @@ pub fn roc_auc(labels: &[bool], scores: &[f64]) -> f64 {
     }
     // Midranks.
     let mut idx: Vec<usize> = (0..scores.len()).collect();
-    idx.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap());
+    idx.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
     let mut ranks = vec![0.0; scores.len()];
     let mut i = 0;
     while i < idx.len() {
@@ -66,13 +71,16 @@ pub struct Detection {
 /// objects, using the continuous (all-points) interpolation that KITTI's
 /// "40 recall positions" protocol approximates.
 ///
+/// Ranking uses [`f64::total_cmp`] (descending), so NaN confidences never
+/// panic: a positive NaN ranks as the *most* confident detection.
+///
 /// Returns `0.0` when `num_gt == 0`.
 pub fn average_precision(detections: &[Detection], num_gt: usize) -> f64 {
     if num_gt == 0 {
         return 0.0;
     }
     let mut dets = detections.to_vec();
-    dets.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap());
+    dets.sort_by(|a, b| b.score.total_cmp(&a.score));
     let mut tp = 0usize;
     let mut fp = 0usize;
     let mut points: Vec<(f64, f64)> = Vec::with_capacity(dets.len());
@@ -188,16 +196,12 @@ pub struct BoxPrediction {
 /// Greedy-match predictions to ground-truth boxes at an IoU threshold and
 /// compute average precision (the Table I protocol).
 ///
-/// Predictions are matched highest-score-first; each ground-truth box can be
-/// claimed once.
+/// Predictions are matched highest-score-first (NaN-safe via
+/// [`f64::total_cmp`]; a positive-NaN score matches first); each ground-truth
+/// box can be claimed once.
 pub fn ap_at_iou(predictions: &[BoxPrediction], ground_truth: &[Aabb], iou_threshold: f64) -> f64 {
     let mut order: Vec<usize> = (0..predictions.len()).collect();
-    order.sort_by(|&a, &b| {
-        predictions[b]
-            .score
-            .partial_cmp(&predictions[a].score)
-            .unwrap()
-    });
+    order.sort_by(|&a, &b| predictions[b].score.total_cmp(&predictions[a].score));
     let mut claimed = vec![false; ground_truth.len()];
     let mut dets = Vec::with_capacity(predictions.len());
     for &pi in &order {
@@ -281,6 +285,60 @@ mod tests {
     fn auc_degenerate_classes() {
         assert_eq!(roc_auc(&[true, true], &[0.1, 0.2]), 0.5);
         assert_eq!(roc_auc(&[false, false], &[0.1, 0.2]), 0.5);
+    }
+
+    #[test]
+    fn auc_tolerates_nan_scores() {
+        // A NaN anomaly score from a faulted monitor must not abort the
+        // experiment: NaN ranks above every finite score.
+        let labels = [false, false, true, true];
+        let auc = roc_auc(&labels, &[0.1, 0.2, f64::NAN, 0.9]);
+        assert!((0.0..=1.0).contains(&auc), "auc {auc}");
+        // NaN on a positive sample reads as "maximally anomalous": a
+        // detector that poisons only positives still scores perfectly.
+        assert_eq!(auc, 1.0);
+        // NaN on a negative sample outranks both true positives.
+        let auc_bad = roc_auc(&labels, &[0.1, f64::NAN, 0.8, 0.9]);
+        assert_eq!(auc_bad, 0.5);
+        // All-NaN scores collapse to a defined (if useless) ranking.
+        let all_nan = [f64::NAN; 4];
+        assert!((0.0..=1.0).contains(&roc_auc(&labels, &all_nan)));
+    }
+
+    #[test]
+    fn average_precision_tolerates_nan_scores() {
+        let dets = vec![
+            Detection {
+                score: f64::NAN,
+                true_positive: false,
+            },
+            Detection {
+                score: 0.9,
+                true_positive: true,
+            },
+        ];
+        let ap = average_precision(&dets, 1);
+        // The NaN false positive ranks first, halving precision at recall 1.
+        assert!((ap - 0.5).abs() < 1e-12, "ap {ap}");
+    }
+
+    #[test]
+    fn ap_at_iou_tolerates_nan_scores() {
+        let gt = vec![Aabb::new([0.0, 0.0, 0.0], [1.0, 1.0, 1.0])];
+        let preds = vec![
+            BoxPrediction {
+                aabb: Aabb::new([0.0, 0.0, 0.0], [1.0, 1.0, 1.0]),
+                score: f64::NAN,
+            },
+            BoxPrediction {
+                aabb: Aabb::new([5.0, 5.0, 5.0], [6.0, 6.0, 6.0]),
+                score: 0.5,
+            },
+        ];
+        let ap = ap_at_iou(&preds, &gt, 0.5);
+        assert!((0.0..=1.0).contains(&ap), "ap {ap}");
+        // The NaN-scored (but geometrically correct) box still matches.
+        assert!((ap - 1.0).abs() < 1e-12, "ap {ap}");
     }
 
     #[test]

@@ -158,12 +158,17 @@ pub fn median(xs: &[f64]) -> Option<f64> {
 
 /// Linear-interpolated quantile `q ∈ [0, 1]`; `None` for empty input or
 /// out-of-range `q`.
+///
+/// Sorting uses [`f64::total_cmp`], so NaN inputs never panic: positive NaNs
+/// order above `+inf` (and negative NaNs below `-inf`), which pushes poisoned
+/// samples into the extreme quantiles instead of aborting the experiment.
+/// A NaN that lands in the interpolation window propagates to the result.
 pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
     if xs.is_empty() || !(0.0..=1.0).contains(&q) {
         return None;
     }
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(f64::total_cmp);
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -328,6 +333,20 @@ mod tests {
         assert_eq!(quantile(&[1.0, 2.0, 3.0, 4.0, 5.0], 1.0), Some(5.0));
         assert_eq!(quantile(&[], 0.5), None);
         assert_eq!(quantile(&[1.0], 1.5), None);
+    }
+
+    #[test]
+    fn quantile_tolerates_nan_inputs() {
+        // A faulted monitor can emit NaN scores; the quantile must not panic.
+        // total_cmp sorts positive NaN above every number, so low/mid
+        // quantiles of mostly-finite data stay finite.
+        let xs = [1.0, f64::NAN, 3.0, 2.0, f64::NAN];
+        assert_eq!(quantile(&xs, 0.0), Some(1.0));
+        assert_eq!(median(&xs), Some(3.0));
+        // The top quantile lands on a poisoned sample and propagates NaN.
+        assert!(quantile(&xs, 1.0).unwrap().is_nan());
+        // All-NaN input still returns without panicking.
+        assert!(median(&[f64::NAN, f64::NAN]).unwrap().is_nan());
     }
 
     #[test]

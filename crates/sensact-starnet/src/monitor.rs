@@ -115,8 +115,14 @@ impl Starnet {
         self.score(&extract_features(cloud))
     }
 
-    /// Trust verdict for a feature vector.
+    /// Trust verdict for a feature vector. Non-finite features (NaN
+    /// poisoning, overflow) are immediately [`Trust::Untrusted`] without
+    /// scoring: a NaN would silently propagate through the VAE and produce a
+    /// NaN score, which no threshold comparison can catch.
     pub fn assess_features(&mut self, features: &[f64]) -> Trust {
+        if !features.iter().all(|x| x.is_finite()) {
+            return Trust::Untrusted;
+        }
         let s = self.score(features);
         if s <= self.suspect_threshold {
             Trust::Trusted
@@ -258,5 +264,26 @@ mod tests {
     fn too_few_samples_panics() {
         let samples = vec![vec![0.0; 4]; 3];
         let _ = Starnet::train(&samples, StarnetConfig::default(), 0);
+    }
+
+    #[test]
+    fn poisoned_features_are_untrusted_without_panic() {
+        use sensact_core::fault::NanPoison;
+
+        let train = clouds(10, 5);
+        let mut monitor = train_on_clouds(&train, fast_config(), 0);
+        // A fully NaN-poisoned cloud must come back Untrusted, not panic —
+        // and must not advance the scorer (no NaN reaches the VAE).
+        let mut cloud = clouds(1, 60).remove(0);
+        cloud.poison();
+        let features = extract_features(&cloud);
+        assert_eq!(monitor.assess_features(&features), Trust::Untrusted);
+        // A single NaN component is enough.
+        let mut features = extract_features(&clouds(1, 61)[0]);
+        features[0] = f64::NAN;
+        assert_eq!(monitor.assess_features(&features), Trust::Untrusted);
+        // Infinities are equally unusable.
+        features[0] = f64::INFINITY;
+        assert_eq!(monitor.assess_features(&features), Trust::Untrusted);
     }
 }

@@ -1,0 +1,83 @@
+//! Fault injection and graceful degradation in a sensing-to-action loop.
+//!
+//! A scalar tracking loop runs under a hostile fault profile — dropouts,
+//! stuck-at readings, latency spikes (escalated to timeouts by the latency
+//! budget) and NaN poisoning — and degrades through the recovery ladder:
+//! bounded retry, last-good hold with staleness-decayed trust, fail-safe
+//! fallback. The telemetry summary at the end accounts for every fault.
+//!
+//! Run: `cargo run --release --example faulty_loop`
+
+use sensact::core::fault::{
+    FaultInjector, FaultProfile, RecoveryPolicy, Reliable, TickResolution, WithFallback,
+};
+use sensact::core::stage::{AlwaysTrust, FnController, FnPerceptor, FnSensor, StageContext, Trust};
+use sensact::core::FallibleLoop;
+
+fn main() {
+    // A plant drifting upward; the controller pushes it back toward zero.
+    let mut plant = 4.0f64;
+
+    // Every fault kind at once: the sensor survives none of them unscathed.
+    let profile = FaultProfile {
+        dropout: 0.12,
+        stuck: 0.10,
+        latency_spike: 0.10,
+        spike_latency_s: 0.05,
+        nan: 0.08,
+    };
+    let sensor = FaultInjector::new(
+        FnSensor::new(|env: &f64, ctx: &mut StageContext| {
+            ctx.charge(2e-4, 2e-3);
+            *env
+        }),
+        profile,
+        11,
+    );
+
+    let mut looop = FallibleLoop::new(
+        "faulty-demo",
+        sensor,
+        Reliable(FnPerceptor::new(|r: &f64, _: &mut StageContext| *r)),
+        AlwaysTrust,
+        WithFallback::new(
+            FnController::new(|f: &f64, trust: Trust, ctx: &mut StageContext| {
+                ctx.charge(1e-5, 1e-4);
+                // Suspect features get a proportionally timid response.
+                -0.5 * f * (1.0 - trust.suspicion())
+            }),
+            0.0, // fail safe: hold position
+        ),
+    )
+    .with_recovery(RecoveryPolicy {
+        max_retries: 1,
+        retry_energy_j: 5e-5,
+        max_hold_ticks: 2,
+        staleness_decay: 0.35,
+        // The 50 ms spikes blow this budget -> typed timeouts.
+        latency_budget_s: Some(0.01),
+    });
+
+    println!("== fallible loop under {profile:?} ==");
+    for tick in 0..30 {
+        let out = looop.tick(&plant);
+        plant += out.action + 0.05; // constant upward drift
+        let label = match out.resolution {
+            TickResolution::Fresh => "fresh".to_string(),
+            TickResolution::Held { staleness } => format!("held(x{staleness})"),
+            TickResolution::Fallback => "FALLBACK".to_string(),
+        };
+        println!(
+            "  tick {tick:>2}  {label:<10} action {:>6.3}  trust {:?}  faults {}  retries {}",
+            out.action, out.trust, out.faults, out.retries
+        );
+    }
+
+    println!("\nplant settled near {plant:.3}");
+    println!("telemetry: {}", looop.telemetry());
+    let c = looop.telemetry().fault_counters();
+    println!(
+        "breakdown: {} dropouts, {} timeouts, {} poisoned (stuck-at faults are silent)",
+        c.dropouts, c.timeouts, c.poisoned
+    );
+}

@@ -18,6 +18,9 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 if [[ "$quick" == "0" ]]; then
     echo "== cargo build --release =="
     cargo build --offline --release
+
+    echo "== cargo build --release --examples =="
+    cargo build --offline --release --examples
 fi
 
 echo "== cargo test (workspace) =="
