@@ -1,0 +1,336 @@
+//! Structured telemetry export: JSONL span/tick events and a human-readable
+//! text report.
+//!
+//! The JSONL format is one flat JSON object per line, tagged by a `"type"`
+//! field (`"span"` or `"tick"`). Floats are serialized with Rust's shortest
+//! round-trip `Display`, so `parse(export(x)) == x` holds bit-exactly — the
+//! in-repo parser ([`parse_span`], [`parse_tick`]) needs no external JSON
+//! dependency because events are flat: string values never contain commas,
+//! braces or escapes.
+//!
+//! The text report ([`text_report`]) renders the per-stage attribution table
+//! and an ASCII latency histogram for quick terminal inspection (see
+//! `examples/observed_loop.rs`).
+
+use crate::stage::Trust;
+use crate::telemetry::{LoopTelemetry, TickRecord};
+use crate::trace::{Span, StageBreakdown, StageId};
+use std::fmt::Write as _;
+
+/// Serialize one span as a single JSONL line (no trailing newline).
+pub fn span_to_json(s: &Span) -> String {
+    format!(
+        "{{\"type\":\"span\",\"tick\":{},\"stage\":\"{}\",\"start_s\":{},\"end_s\":{},\"energy_j\":{},\"latency_s\":{},\"ok\":{}}}",
+        s.tick, s.stage, s.start_s, s.end_s, s.energy_j, s.latency_s, s.ok
+    )
+}
+
+/// Serialize one tick record (including its per-stage breakdown) as a single
+/// JSONL line (no trailing newline).
+pub fn tick_to_json(r: &TickRecord) -> String {
+    let (kind, suspicion) = match r.trust {
+        Trust::Trusted => ("trusted", 0.0),
+        Trust::Suspect(s) => ("suspect", s),
+        Trust::Untrusted => ("untrusted", 1.0),
+    };
+    let mut line = format!(
+        "{{\"type\":\"tick\",\"tick\":{},\"energy_j\":{},\"latency_s\":{},\"trust\":\"{kind}\",\"suspicion\":{suspicion}",
+        r.tick, r.energy_j, r.latency_s
+    );
+    for (stage, cost) in r.stages.iter() {
+        let _ = write!(
+            line,
+            ",\"{n}_j\":{},\"{n}_s\":{}",
+            cost.energy_j,
+            cost.latency_s,
+            n = stage.name()
+        );
+    }
+    line.push('}');
+    line
+}
+
+/// Export every retained tick record of a telemetry as JSONL (one event per
+/// line, oldest first).
+pub fn ticks_to_jsonl(telemetry: &LoopTelemetry) -> String {
+    let mut out = String::new();
+    for rec in telemetry.records() {
+        out.push_str(&tick_to_json(rec));
+        out.push('\n');
+    }
+    out
+}
+
+/// Export a slice of spans as JSONL (one event per line).
+pub fn spans_to_jsonl(spans: &[Span]) -> String {
+    let mut out = String::new();
+    for s in spans {
+        out.push_str(&span_to_json(s));
+        out.push('\n');
+    }
+    out
+}
+
+/// Split a flat JSON object line into `(key, raw_value)` pairs. Returns
+/// `None` on anything that is not a one-level `{"k":v,...}` object.
+fn parse_flat(line: &str) -> Option<Vec<(&str, &str)>> {
+    let body = line.trim().strip_prefix('{')?.strip_suffix('}')?;
+    let mut fields = Vec::new();
+    for part in body.split(',') {
+        let (k, v) = part.split_once(':')?;
+        let k = k.trim().strip_prefix('"')?.strip_suffix('"')?;
+        fields.push((k, v.trim()));
+    }
+    Some(fields)
+}
+
+fn field<'a>(fields: &[(&'a str, &'a str)], key: &str) -> Option<&'a str> {
+    fields.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+}
+
+fn f64_field(fields: &[(&str, &str)], key: &str) -> Option<f64> {
+    field(fields, key)?.parse().ok()
+}
+
+fn str_field<'a>(fields: &[(&'a str, &'a str)], key: &str) -> Option<&'a str> {
+    field(fields, key)?.strip_prefix('"')?.strip_suffix('"')
+}
+
+/// Parse one JSONL line produced by [`span_to_json`].
+pub fn parse_span(line: &str) -> Option<Span> {
+    let fields = parse_flat(line)?;
+    if str_field(&fields, "type")? != "span" {
+        return None;
+    }
+    Some(Span {
+        tick: field(&fields, "tick")?.parse().ok()?,
+        stage: StageId::from_name(str_field(&fields, "stage")?)?,
+        start_s: f64_field(&fields, "start_s")?,
+        end_s: f64_field(&fields, "end_s")?,
+        energy_j: f64_field(&fields, "energy_j")?,
+        latency_s: f64_field(&fields, "latency_s")?,
+        ok: field(&fields, "ok")?.parse().ok()?,
+    })
+}
+
+/// Parse one JSONL line produced by [`tick_to_json`].
+pub fn parse_tick(line: &str) -> Option<TickRecord> {
+    let fields = parse_flat(line)?;
+    if str_field(&fields, "type")? != "tick" {
+        return None;
+    }
+    let trust = match str_field(&fields, "trust")? {
+        "trusted" => Trust::Trusted,
+        "untrusted" => Trust::Untrusted,
+        "suspect" => Trust::Suspect(f64_field(&fields, "suspicion")?),
+        _ => return None,
+    };
+    let mut stages = StageBreakdown::new();
+    for stage in StageId::ALL {
+        let e = f64_field(&fields, &format!("{}_j", stage.name()))?;
+        let l = f64_field(&fields, &format!("{}_s", stage.name()))?;
+        stages.add(stage, e, l);
+    }
+    Some(TickRecord {
+        tick: field(&fields, "tick")?.parse().ok()?,
+        energy_j: f64_field(&fields, "energy_j")?,
+        latency_s: f64_field(&fields, "latency_s")?,
+        trust,
+        stages,
+    })
+}
+
+/// Parse a JSONL document, returning every tick event (other event types
+/// and malformed lines are skipped).
+pub fn parse_ticks(jsonl: &str) -> Vec<TickRecord> {
+    jsonl.lines().filter_map(parse_tick).collect()
+}
+
+/// Parse a JSONL document, returning every span event.
+pub fn parse_spans(jsonl: &str) -> Vec<Span> {
+    jsonl.lines().filter_map(parse_span).collect()
+}
+
+/// Render an ASCII histogram of the non-empty buckets, coalesced into at
+/// most `max_rows` rows, bars scaled to `bar_width` characters.
+pub fn ascii_histogram(
+    hist: &crate::metrics::Histogram,
+    max_rows: usize,
+    bar_width: usize,
+) -> String {
+    let buckets = hist.nonzero_buckets();
+    if buckets.is_empty() {
+        return "  (no samples)\n".to_string();
+    }
+    let max_rows = max_rows.max(1);
+    // Coalesce adjacent buckets so at most max_rows rows render.
+    let chunk = buckets.len().div_ceil(max_rows);
+    let rows: Vec<(f64, f64, u64)> = buckets
+        .chunks(chunk)
+        .map(|c| {
+            let lo = c.first().unwrap().0;
+            let hi = c.last().unwrap().1;
+            let n = c.iter().map(|(_, _, n)| n).sum();
+            (lo, hi, n)
+        })
+        .collect();
+    let peak = rows.iter().map(|(_, _, n)| *n).max().unwrap_or(1).max(1);
+    let mut out = String::new();
+    for (lo, hi, n) in rows {
+        let bar = (n as usize * bar_width).div_ceil(peak as usize);
+        let hi_str = if hi.is_infinite() {
+            "+inf".to_string()
+        } else {
+            format!("{hi:9.3e}")
+        };
+        let _ = writeln!(
+            out,
+            "  [{lo:9.3e}, {hi_str:>9})  {:<bar_width$}  {n}",
+            "#".repeat(bar)
+        );
+    }
+    out
+}
+
+/// Render a human-readable observability report: header aggregates, the
+/// per-stage attribution table (energy share, latency quantiles), fault
+/// counters, and an ASCII histogram of whole-tick latency.
+pub fn text_report(name: &str, telemetry: &LoopTelemetry) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== loop '{name}' — {} ticks, {:.3e} J, mean tick latency {:.3e} s ==",
+        telemetry.ticks(),
+        telemetry.total_energy_j(),
+        telemetry.latency_stats().mean(),
+    );
+    let _ = writeln!(
+        out,
+        "{:<10} {:>12} {:>7} {:>8} {:>12} {:>12} {:>12} {:>12}",
+        "stage", "energy_j", "share", "ticks", "lat_mean_s", "lat_p50_s", "lat_p99_s", "lat_max_s"
+    );
+    let totals = telemetry.stage_totals();
+    let total_e = totals.total_energy_j();
+    for stage in StageId::ALL {
+        let cost = totals.get(stage);
+        let share = if total_e > 0.0 {
+            100.0 * cost.energy_j / total_e
+        } else {
+            0.0
+        };
+        let h = telemetry.stage_latency(stage);
+        let _ = writeln!(
+            out,
+            "{:<10} {:>12.3e} {:>6.1}% {:>8} {:>12.3e} {:>12.3e} {:>12.3e} {:>12.3e}",
+            stage.name(),
+            cost.energy_j,
+            share,
+            h.count(),
+            h.mean(),
+            h.p50(),
+            h.p99(),
+            h.max()
+        );
+    }
+    let counters = telemetry.fault_counters();
+    if counters != Default::default() {
+        let _ = writeln!(out, "faults: {counters}");
+    }
+    let _ = writeln!(
+        out,
+        "suspect: {:.1}% of ticks, max streak {}",
+        telemetry.suspect_fraction() * 100.0,
+        telemetry.max_suspect_streak()
+    );
+    let _ = writeln!(out, "tick latency histogram:");
+    out.push_str(&ascii_histogram(telemetry.latency_histogram(), 12, 40));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Histogram;
+
+    fn sample_span() -> Span {
+        Span {
+            tick: 42,
+            stage: StageId::Perceive,
+            start_s: 0.125,
+            end_s: 0.25,
+            energy_j: 1.5e-3,
+            latency_s: 2.5e-4,
+            ok: false,
+        }
+    }
+
+    #[test]
+    fn span_round_trips() {
+        let s = sample_span();
+        let line = span_to_json(&s);
+        assert_eq!(parse_span(&line), Some(s));
+        // And through the multi-line path.
+        let doc = spans_to_jsonl(&[s, s]);
+        assert_eq!(parse_spans(&doc), vec![s, s]);
+    }
+
+    #[test]
+    fn tick_round_trips_all_trust_kinds() {
+        for trust in [
+            Trust::Trusted,
+            Trust::Suspect(0.123456789),
+            Trust::Suspect(1.0 / 3.0), // not exactly representable in decimal
+            Trust::Untrusted,
+        ] {
+            let mut stages = StageBreakdown::new();
+            stages.add(StageId::Sense, 1e-3, 0.1 + 0.2); // 0.30000000000000004
+            stages.add(StageId::Act, 7.25e-9, 0.0);
+            let rec = TickRecord {
+                tick: 999,
+                energy_j: 0.1 + 0.2,
+                latency_s: 1e-4,
+                trust,
+                stages,
+            };
+            let line = tick_to_json(&rec);
+            assert_eq!(parse_tick(&line), Some(rec), "line: {line}");
+        }
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert_eq!(parse_span("not json"), None);
+        assert_eq!(parse_span("{}"), None);
+        assert_eq!(parse_span("{\"type\":\"tick\"}"), None);
+        assert_eq!(parse_tick("{\"type\":\"span\"}"), None);
+        assert_eq!(parse_tick(""), None);
+        // Mixed documents: parse_ticks skips span lines and garbage.
+        let doc = format!("{}\ngarbage\n", span_to_json(&sample_span()));
+        assert!(parse_ticks(&doc).is_empty());
+        assert_eq!(parse_spans(&doc).len(), 1);
+    }
+
+    #[test]
+    fn ascii_histogram_renders_and_coalesces() {
+        let mut h = Histogram::new();
+        for i in 1..=100 {
+            h.record(i as f64 * 1e-3);
+        }
+        let art = ascii_histogram(&h, 8, 30);
+        assert!(art.lines().count() <= 8, "{art}");
+        assert!(art.contains('#'));
+        // Every sample accounted for across rows.
+        let total: u64 = art
+            .lines()
+            .filter_map(|l| {
+                l.rsplit_once("  ")
+                    .and_then(|(_, n)| n.trim().parse::<u64>().ok())
+            })
+            .sum();
+        assert_eq!(total, 100);
+        assert_eq!(
+            ascii_histogram(&Histogram::new(), 8, 30),
+            "  (no samples)\n"
+        );
+    }
+}

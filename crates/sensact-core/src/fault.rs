@@ -34,7 +34,46 @@ use crate::adapt::{AdaptationPolicy, NoAdaptation};
 use crate::budget::EnergyBudget;
 use crate::stage::{Controller, Monitor, Perceptor, Sensor, StageContext, Trust};
 use crate::telemetry::LoopTelemetry;
+use crate::trace::{StageBreakdown, StageId, Tracer};
 use sensact_math::rng::StdRng;
+
+/// Tracks one tick's per-stage attribution: a cursor into the [`StageContext`]
+/// ledger plus the accumulating [`StageBreakdown`].
+struct Attribution {
+    tick: u64,
+    cursor: (f64, f64),
+    stages: StageBreakdown,
+}
+
+impl Attribution {
+    fn new(tick: u64) -> Self {
+        Attribution {
+            tick,
+            cursor: (0.0, 0.0),
+            stages: StageBreakdown::new(),
+        }
+    }
+
+    /// Close one stage's window: compute the ledger delta since the cursor,
+    /// attribute it to `stage`, and emit a span (no-op when the tracer is
+    /// disabled).
+    fn close(
+        &mut self,
+        tracer: &mut Tracer,
+        ctx: &StageContext,
+        stage: StageId,
+        t0: f64,
+        ok: bool,
+    ) {
+        let (de, dl) = (
+            ctx.energy_j() - self.cursor.0,
+            ctx.latency_s() - self.cursor.1,
+        );
+        self.cursor = (ctx.energy_j(), ctx.latency_s());
+        self.stages.add(stage, de, dl);
+        tracer.finish(self.tick, stage, t0, de, dl, ok);
+    }
+}
 
 /// Which loop stage produced a fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -303,7 +342,7 @@ impl Default for FaultProfile {
 /// [`TrySensor`]; wrapping a [`Perceptor`] yields a [`TryPerceptor`].
 ///
 /// Identical `(profile, seed)` pairs reproduce identical fault sequences —
-/// the same guarantee [`sensact_lidar::corrupt`-style] corruptions give per
+/// the same guarantee `sensact_lidar::corrupt`-style corruptions give per
 /// cloud, applied at the loop level.
 #[derive(Debug)]
 pub struct FaultInjector<T, V> {
@@ -554,6 +593,7 @@ pub struct FallibleLoop<S, P, M, C, Ad, F> {
     recovery: RecoveryPolicy,
     held: Option<F>,
     staleness: u32,
+    tracer: Tracer,
 }
 
 impl<S, P, M, C, F> FallibleLoop<S, P, M, C, NoAdaptation, F> {
@@ -578,6 +618,7 @@ impl<S, P, M, C, F> FallibleLoop<S, P, M, C, NoAdaptation, F> {
             recovery: RecoveryPolicy::default(),
             held: None,
             staleness: 0,
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -609,6 +650,7 @@ impl<S, P, M, C, Ad, F> FallibleLoop<S, P, M, C, Ad, F> {
             recovery: self.recovery,
             held: self.held,
             staleness: self.staleness,
+            tracer: self.tracer,
         }
     }
 
@@ -655,8 +697,36 @@ impl<S, P, M, C, Ad, F> FallibleLoop<S, P, M, C, Ad, F> {
         &self.recovery
     }
 
+    /// Attach a tracer (e.g. [`Tracer::sim`] for deterministic spans).
+    /// Defaults to [`Tracer::disabled`]. Failed sense/perceive attempts emit
+    /// spans with `ok == false`.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// Borrow the tracer (e.g. to export collected spans).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Mutably borrow the tracer (e.g. to drain spans via
+    /// [`Tracer::take_spans`]).
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
+
     /// One sense→perceive attempt with timeout and poison detection.
-    fn attempt<E>(&mut self, env: &E, ctx: &mut StageContext) -> Result<F, (StageKind, StageError)>
+    ///
+    /// Both stages are attributed to `stages` — *failed* attempts included
+    /// (failure is charged where it happened) — and emit spans with
+    /// `ok == false` on error when tracing is enabled.
+    fn attempt<E>(
+        &mut self,
+        env: &E,
+        ctx: &mut StageContext,
+        attr: &mut Attribution,
+    ) -> Result<F, (StageKind, StageError)>
     where
         S: TrySensor<E>,
         P: TryPerceptor<S::Reading, Features = F>,
@@ -664,43 +734,55 @@ impl<S, P, M, C, Ad, F> FallibleLoop<S, P, M, C, Ad, F> {
     {
         let budget_s = self.recovery.latency_budget_s;
         let lat0 = ctx.latency_s();
-        let reading = self
-            .sensor
-            .try_sense(env, ctx)
-            .map_err(|e| (StageKind::Sensing, e))?;
-        if let Some(b) = budget_s {
-            let lat = ctx.latency_s() - lat0;
-            if lat > b {
-                return Err((
+        let t0 = self.tracer.start();
+        let sensed = self.sensor.try_sense(env, ctx);
+        let sense_result = match sensed {
+            Err(e) => Err((StageKind::Sensing, e)),
+            Ok(reading) => match budget_s {
+                Some(b) if ctx.latency_s() - lat0 > b => Err((
                     StageKind::Sensing,
                     StageError::Timeout {
-                        latency_s: lat,
+                        latency_s: ctx.latency_s() - lat0,
                         budget_s: b,
                     },
-                ));
-            }
-        }
+                )),
+                _ => Ok(reading),
+            },
+        };
+        attr.close(
+            &mut self.tracer,
+            ctx,
+            StageId::Sense,
+            t0,
+            sense_result.is_ok(),
+        );
+        let reading = sense_result?;
+
         let lat1 = ctx.latency_s();
-        let features = self
-            .perceptor
-            .try_perceive(&reading, ctx)
-            .map_err(|e| (StageKind::Perception, e))?;
-        if let Some(b) = budget_s {
-            let lat = ctx.latency_s() - lat1;
-            if lat > b {
-                return Err((
+        let t1 = self.tracer.start();
+        let perceived = self.perceptor.try_perceive(&reading, ctx);
+        let perceive_result = match perceived {
+            Err(e) => Err((StageKind::Perception, e)),
+            Ok(features) => match budget_s {
+                Some(b) if ctx.latency_s() - lat1 > b => Err((
                     StageKind::Perception,
                     StageError::Timeout {
-                        latency_s: lat,
+                        latency_s: ctx.latency_s() - lat1,
                         budget_s: b,
                     },
-                ));
-            }
-        }
-        if !features.all_finite() {
-            return Err((StageKind::Perception, StageError::Poisoned));
-        }
-        Ok(features)
+                )),
+                _ if !features.all_finite() => Err((StageKind::Perception, StageError::Poisoned)),
+                _ => Ok(features),
+            },
+        };
+        attr.close(
+            &mut self.tracer,
+            ctx,
+            StageId::Perceive,
+            t1,
+            perceive_result.is_ok(),
+        );
+        perceive_result
     }
 
     /// Run one tick: sense → perceive (with retry/timeout/poison handling) →
@@ -715,17 +797,22 @@ impl<S, P, M, C, Ad, F> FallibleLoop<S, P, M, C, Ad, F> {
         C: FailSafe<F>,
         Ad: AdaptationPolicy<S, C::Action>,
     {
+        let tick = self.telemetry.ticks();
         let mut ctx = StageContext::new();
+        let mut attr = Attribution::new(tick);
         let mut retries = 0u32;
         let mut faults = 0u32;
         let fresh: Option<F> = loop {
-            match self.attempt(env, &mut ctx) {
+            match self.attempt(env, &mut ctx, &mut attr) {
                 Ok(features) => break Some(features),
                 Err((_kind, error)) => {
                     faults += 1;
                     self.telemetry.record_fault(&error);
                     if retries < self.recovery.max_retries && !self.budget.exhausted() {
                         retries += 1;
+                        // The re-arm surcharge lands before the next
+                        // attempt's sense window closes, so it is
+                        // attributed to the Sense stage.
                         ctx.charge(self.recovery.retry_energy_j, 0.0);
                         continue;
                     }
@@ -738,8 +825,12 @@ impl<S, P, M, C, Ad, F> FallibleLoop<S, P, M, C, Ad, F> {
         }
         let (action, trust, resolution) = match fresh {
             Some(features) => {
+                let t0 = self.tracer.start();
                 let trust = self.monitor.assess(&features, &mut ctx);
+                attr.close(&mut self.tracer, &ctx, StageId::Monitor, t0, true);
+                let t0 = self.tracer.start();
                 let action = self.controller.decide(&features, trust, &mut ctx);
+                attr.close(&mut self.tracer, &ctx, StageId::Control, t0, true);
                 self.held = Some(features);
                 self.staleness = 0;
                 (action, trust, TickResolution::Fresh)
@@ -750,24 +841,33 @@ impl<S, P, M, C, Ad, F> FallibleLoop<S, P, M, C, Ad, F> {
                     self.staleness += 1;
                     let staleness = self.staleness;
                     let held = self.held.clone().expect("checked above");
+                    let t0 = self.tracer.start();
                     let base = self.monitor.assess(&held, &mut ctx);
                     let trust = base.degraded(staleness as f64 * self.recovery.staleness_decay);
+                    attr.close(&mut self.tracer, &ctx, StageId::Monitor, t0, true);
+                    let t0 = self.tracer.start();
                     let action = self.controller.decide(&held, trust, &mut ctx);
+                    attr.close(&mut self.tracer, &ctx, StageId::Control, t0, true);
                     self.telemetry.record_hold();
                     (action, trust, TickResolution::Held { staleness })
                 } else {
+                    let t0 = self.tracer.start();
                     let action = self.controller.fail_safe(&mut ctx);
+                    attr.close(&mut self.tracer, &ctx, StageId::Control, t0, true);
                     self.telemetry.record_fallback();
                     (action, Trust::Untrusted, TickResolution::Fallback)
                 }
             }
         };
-        // Consume before adapting: the policy sees this tick's pressure.
+        // Act: consume before adapting — the policy sees this tick's
+        // pressure.
+        let t0 = self.tracer.start();
         self.budget.consume(ctx.energy_j(), ctx.latency_s());
         self.policy
             .adapt(&mut self.sensor, &action, trust, &self.budget);
+        attr.close(&mut self.tracer, &ctx, StageId::Act, t0, true);
         self.telemetry
-            .record(ctx.energy_j(), ctx.latency_s(), trust);
+            .record_with_stages(ctx.energy_j(), ctx.latency_s(), trust, attr.stages);
         FallibleOutput {
             action,
             trust,
@@ -776,7 +876,7 @@ impl<S, P, M, C, Ad, F> FallibleLoop<S, P, M, C, Ad, F> {
             retries,
             energy_j: ctx.energy_j(),
             latency_s: ctx.latency_s(),
-            tick: self.telemetry.ticks() - 1,
+            tick,
         }
     }
 
@@ -994,6 +1094,92 @@ mod tests {
         assert_eq!(c.faults, 2);
         assert_eq!(c.retries, 2);
         assert_eq!(c.dropouts, 2);
+    }
+
+    #[test]
+    fn retry_surcharge_is_attributed_to_sense_and_failed_spans_marked() {
+        use crate::trace::Tracer;
+        // Fails exactly twice, then succeeds, with a retry surcharge.
+        let mut remaining_failures = 2;
+        let sensor = FnTrySensor::new(move |e: &f64, ctx: &mut StageContext| {
+            ctx.charge(1e-3, 1e-4);
+            if remaining_failures > 0 {
+                remaining_failures -= 1;
+                Err(StageError::Dropout)
+            } else {
+                Ok(*e)
+            }
+        });
+        let mut looop = FallibleLoop::new(
+            "retry-attr",
+            sensor,
+            Reliable(identity_perceptor()),
+            AlwaysTrust,
+            gain_controller(),
+        )
+        .with_recovery(RecoveryPolicy {
+            retry_energy_j: 1e-4,
+            ..RecoveryPolicy::default()
+        })
+        .with_tracer(Tracer::sim(1.0));
+        let out = looop.tick(&4.0);
+        assert_eq!(out.resolution, TickResolution::Fresh);
+        let rec = *looop.telemetry().records().next().unwrap();
+        // Sense carries all three attempts plus both retry surcharges.
+        let sense = rec.stages.get(StageId::Sense);
+        assert!((sense.energy_j - (3e-3 + 2e-4)).abs() < 1e-12, "{sense:?}");
+        assert!((sense.latency_s - 3e-4).abs() < 1e-12, "{sense:?}");
+        // Breakdown sums to the blended totals.
+        assert!((rec.stages.total_energy_j() - out.energy_j).abs() < 1e-12);
+        assert!((rec.stages.total_latency_s() - out.latency_s).abs() < 1e-12);
+        // Spans: two failed sense attempts, then sense/perceive/monitor/
+        // control/act of the successful pass.
+        let spans: Vec<_> = looop.tracer().spans().copied().collect();
+        assert_eq!(spans.len(), 7);
+        assert!(!spans[0].ok && spans[0].stage == StageId::Sense);
+        assert!(!spans[1].ok && spans[1].stage == StageId::Sense);
+        assert!(spans[2..].iter().all(|s| s.ok));
+        assert_eq!(
+            spans[2..].iter().map(|s| s.stage).collect::<Vec<_>>(),
+            StageId::ALL.to_vec()
+        );
+        assert!(spans.iter().all(|s| s.tick == 0));
+    }
+
+    #[test]
+    fn fallback_tick_attributes_failed_sense_and_failsafe_control() {
+        // Sensor always down, no retries, no held features: the fail-safe
+        // path must still attribute the failed attempt and the controller's
+        // fail-safe cost.
+        let sensor = FnTrySensor::new(|_e: &f64, ctx: &mut StageContext| {
+            ctx.charge(5e-4, 2e-5);
+            Err::<f64, _>(StageError::Dropout)
+        });
+        let mut looop = FallibleLoop::new(
+            "fallback-attr",
+            sensor,
+            Reliable(identity_perceptor()),
+            AlwaysTrust,
+            gain_controller(),
+        )
+        .with_recovery(RecoveryPolicy {
+            max_retries: 0,
+            max_hold_ticks: 0,
+            ..RecoveryPolicy::default()
+        });
+        let out = looop.tick(&1.0);
+        assert_eq!(out.resolution, TickResolution::Fallback);
+        let rec = *looop.telemetry().records().next().unwrap();
+        assert!((rec.stages.get(StageId::Sense).energy_j - 5e-4).abs() < 1e-15);
+        // Perceive never ran; its attribution stays zero.
+        assert_eq!(rec.stages.get(StageId::Perceive).energy_j, 0.0);
+        assert!((rec.stages.total_energy_j() - out.energy_j).abs() < 1e-15);
+        // Per-stage histograms: sense active, perceive idle.
+        assert_eq!(looop.telemetry().stage_latency(StageId::Sense).count(), 1);
+        assert_eq!(
+            looop.telemetry().stage_latency(StageId::Perceive).count(),
+            0
+        );
     }
 
     #[test]

@@ -23,6 +23,14 @@
 //! runtime event with graceful-degradation policies (retry, last-good hold,
 //! fail-safe fallback) plus a deterministic fault injector.
 //!
+//! The observability layer attributes cost per stage: [`trace`] provides
+//! lightweight spans under a pluggable [`trace::Clock`] (deterministic
+//! [`trace::SimClock`] for tests, monotonic [`trace::WallClock`] for
+//! benches), [`metrics`] provides a hermetic [`metrics::MetricsRegistry`]
+//! of counters, gauges and log-bucketed [`metrics::Histogram`]s, and
+//! [`export`] serializes spans/ticks as round-trippable JSONL plus a
+//! human-readable text report.
+//!
 //! ## Example
 //!
 //! ```
@@ -46,10 +54,13 @@
 
 pub mod adapt;
 pub mod budget;
+pub mod export;
 pub mod fault;
+pub mod metrics;
 pub mod multi;
 pub mod stage;
 pub mod telemetry;
+pub mod trace;
 
 mod loop_;
 
@@ -59,5 +70,9 @@ pub use fault::{
     StageError, TickResolution, TryPerceptor, TrySensor, WithFallback,
 };
 pub use loop_::{LoopBuilder, LoopOutput, SensingActionLoop};
+pub use metrics::{Histogram, MetricsRegistry};
 pub use stage::{StageContext, Trust};
-pub use telemetry::{FaultCounters, LoopTelemetry};
+pub use telemetry::{FaultCounters, LoopTelemetry, TickRecord};
+pub use trace::{
+    Clock, SimClock, Span, SpanGuard, StageBreakdown, StageCost, StageId, Tracer, WallClock,
+};

@@ -4,6 +4,7 @@ use crate::adapt::{AdaptationPolicy, NoAdaptation};
 use crate::budget::EnergyBudget;
 use crate::stage::{AlwaysTrust, Controller, Monitor, Perceptor, Sensor, StageContext, Trust};
 use crate::telemetry::LoopTelemetry;
+use crate::trace::{StageBreakdown, StageId, Tracer};
 
 /// Output of one loop tick.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -35,6 +36,7 @@ pub struct SensingActionLoop<S, P, M, C, Ad> {
     policy: Ad,
     budget: EnergyBudget,
     telemetry: LoopTelemetry,
+    tracer: Tracer,
 }
 
 impl<S, P, M, C, Ad> SensingActionLoop<S, P, M, C, Ad> {
@@ -68,8 +70,23 @@ impl<S, P, M, C, Ad> SensingActionLoop<S, P, M, C, Ad> {
         &self.controller
     }
 
+    /// Borrow the tracer (e.g. to export collected spans).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Mutably borrow the tracer (e.g. to drain spans via
+    /// [`Tracer::take_spans`]).
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
+
     /// Run one tick against an environment snapshot: sense, perceive, assess,
     /// decide, then adapt the sensor for the next tick.
+    ///
+    /// Every stage's charged energy/latency is attributed to a
+    /// [`StageBreakdown`] carried by the tick's telemetry record; when the
+    /// loop's [`Tracer`] is enabled, each stage also emits a [`Span`](crate::trace::Span).
     pub fn tick<E>(&mut self, env: &E) -> LoopOutput<C::Action>
     where
         S: Sensor<E>,
@@ -78,25 +95,57 @@ impl<S, P, M, C, Ad> SensingActionLoop<S, P, M, C, Ad> {
         C: Controller<P::Features>,
         Ad: AdaptationPolicy<S, C::Action>,
     {
+        let tick = self.telemetry.ticks();
         let mut ctx = StageContext::new();
+        let mut stages = StageBreakdown::new();
+        // Attribute each stage by snapshotting the ledger around it. The
+        // closure-free repetition keeps the hot path monomorphic and branch-
+        // predictable; tracer start/finish are single branches when disabled.
+        let (mut e0, mut l0) = (0.0f64, 0.0f64);
+        let mut charge = |ctx: &StageContext,
+                          stages: &mut StageBreakdown,
+                          tracer: &mut Tracer,
+                          stage: StageId,
+                          t0: f64| {
+            let (de, dl) = (ctx.energy_j() - e0, ctx.latency_s() - l0);
+            (e0, l0) = (ctx.energy_j(), ctx.latency_s());
+            stages.add(stage, de, dl);
+            tracer.finish(tick, stage, t0, de, dl, true);
+        };
+
+        let t0 = self.tracer.start();
         let reading = self.sensor.sense(env, &mut ctx);
+        charge(&ctx, &mut stages, &mut self.tracer, StageId::Sense, t0);
+
+        let t0 = self.tracer.start();
         let features = self.perceptor.perceive(&reading, &mut ctx);
+        charge(&ctx, &mut stages, &mut self.tracer, StageId::Perceive, t0);
+
+        let t0 = self.tracer.start();
         let trust = self.monitor.assess(&features, &mut ctx);
+        charge(&ctx, &mut stages, &mut self.tracer, StageId::Monitor, t0);
+
+        let t0 = self.tracer.start();
         let action = self.controller.decide(&features, trust, &mut ctx);
-        // Consume *before* adapting: the policy must see this tick's budget
-        // pressure, not last tick's, or a single huge-energy tick could not
-        // throttle the very next one.
+        charge(&ctx, &mut stages, &mut self.tracer, StageId::Control, t0);
+
+        // Act stage: consume *before* adapting — the policy must see this
+        // tick's budget pressure, not last tick's, or a single huge-energy
+        // tick could not throttle the very next one.
+        let t0 = self.tracer.start();
         self.budget.consume(ctx.energy_j(), ctx.latency_s());
         self.policy
             .adapt(&mut self.sensor, &action, trust, &self.budget);
+        charge(&ctx, &mut stages, &mut self.tracer, StageId::Act, t0);
+
         self.telemetry
-            .record(ctx.energy_j(), ctx.latency_s(), trust);
+            .record_with_stages(ctx.energy_j(), ctx.latency_s(), trust, stages);
         LoopOutput {
             action,
             trust,
             energy_j: ctx.energy_j(),
             latency_s: ctx.latency_s(),
-            tick: self.telemetry.ticks() - 1,
+            tick,
         }
     }
 
@@ -126,20 +175,23 @@ impl<S, P, M, C, Ad> SensingActionLoop<S, P, M, C, Ad> {
 }
 
 /// Builder for [`SensingActionLoop`].
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct LoopBuilder {
     name: String,
     budget: EnergyBudget,
     telemetry_capacity: usize,
+    tracer: Tracer,
 }
 
 impl LoopBuilder {
-    /// Start building a loop with the given name and an unlimited budget.
+    /// Start building a loop with the given name, an unlimited budget and a
+    /// disabled tracer.
     pub fn new(name: impl Into<String>) -> Self {
         LoopBuilder {
             name: name.into(),
             budget: EnergyBudget::unlimited(),
             telemetry_capacity: crate::telemetry::DEFAULT_RECORD_CAPACITY,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -153,6 +205,13 @@ impl LoopBuilder {
     /// statistics stay exact over all ticks regardless).
     pub fn with_telemetry_capacity(mut self, capacity: usize) -> Self {
         self.telemetry_capacity = capacity;
+        self
+    }
+
+    /// Attach a tracer (e.g. [`Tracer::sim`] for deterministic spans,
+    /// [`Tracer::wall`] for real timing). Defaults to [`Tracer::disabled`].
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
         self
     }
 
@@ -195,6 +254,7 @@ impl LoopBuilder {
             policy,
             budget: self.budget,
             telemetry: LoopTelemetry::with_capacity(self.telemetry_capacity),
+            tracer: self.tracer,
         }
     }
 }
@@ -409,6 +469,75 @@ mod tests {
         }
         assert!(l.budget().exhausted());
         assert!((l.budget().consumed_j() - 10e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tick_attributes_cost_per_stage() {
+        let mut l = LoopBuilder::new("attr").build_monitored(
+            FnSensor::new(|e: &f64, ctx: &mut StageContext| {
+                ctx.charge(3e-3, 1e-4);
+                *e
+            }),
+            FnPerceptor::new(|r: &f64, ctx: &mut StageContext| {
+                ctx.charge(1e-3, 2e-4);
+                *r
+            }),
+            FnMonitor::new(|_f: &f64, ctx: &mut StageContext| {
+                ctx.charge(5e-4, 0.0);
+                Trust::Trusted
+            }),
+            FnController::new(|f: &f64, _t, ctx: &mut StageContext| {
+                ctx.charge(2e-3, 5e-5);
+                -*f
+            }),
+        );
+        let out = l.tick(&1.0);
+        let rec = *l.telemetry().records().next().unwrap();
+        use crate::trace::StageId::*;
+        // Deltas come from ledger subtraction — tolerate ulp-level noise.
+        let close = |a: f64, b: f64| (a - b).abs() < 1e-15;
+        assert!(close(rec.stages.get(Sense).energy_j, 3e-3));
+        assert!(close(rec.stages.get(Perceive).latency_s, 2e-4));
+        assert!(close(rec.stages.get(Monitor).energy_j, 5e-4));
+        assert!(close(rec.stages.get(Control).energy_j, 2e-3));
+        // Act (consume + no-op adaptation) charges nothing here.
+        assert!(close(rec.stages.get(Act).energy_j, 0.0));
+        // Breakdown sums to the blended totals.
+        assert!((rec.stages.total_energy_j() - out.energy_j).abs() < 1e-15);
+        assert!((rec.stages.total_latency_s() - out.latency_s).abs() < 1e-15);
+        assert_eq!(l.telemetry().stage_latency(Sense).count(), 1);
+    }
+
+    #[test]
+    fn traced_loop_emits_one_span_per_stage() {
+        let mut l = LoopBuilder::new("traced")
+            .with_tracer(Tracer::sim(1.0))
+            .build(
+                FnSensor::new(|e: &f64, ctx: &mut StageContext| {
+                    ctx.charge(1e-3, 1e-4);
+                    *e
+                }),
+                FnPerceptor::new(|r: &f64, _: &mut StageContext| *r),
+                FnController::new(|f: &f64, _t, _: &mut StageContext| -*f),
+            );
+        let _ = l.tick(&1.0);
+        let _ = l.tick(&2.0);
+        assert!(l.tracer().is_enabled());
+        assert_eq!(l.tracer().len(), 10); // 5 stages × 2 ticks
+        let spans: Vec<_> = l.tracer().spans().copied().collect();
+        let stage_order: Vec<StageId> = spans.iter().take(5).map(|s| s.stage).collect();
+        assert_eq!(stage_order.as_slice(), StageId::ALL.as_slice());
+        assert_eq!(spans[0].tick, 0);
+        assert_eq!(spans[0].energy_j, 1e-3);
+        assert_eq!(spans[5].tick, 1);
+        // SimClock with step 1: span k runs [2k, 2k+1).
+        assert_eq!(spans[3].start_s, 6.0);
+        assert_eq!(spans[3].end_s, 7.0);
+        assert!(spans.iter().all(|s| s.ok));
+        // Untraced loop (default) stores no spans but still attributes.
+        let drained = l.tracer_mut().take_spans();
+        assert_eq!(drained.len(), 10);
+        assert!(l.tracer().is_empty());
     }
 
     #[test]

@@ -1,0 +1,469 @@
+//! Metrics primitives: counters, gauges, log-bucketed histograms, and a
+//! registry keyed by static metric names.
+//!
+//! The histogram is HDR-style: values are bucketed by exponent plus the top
+//! mantissa bits of their IEEE-754 representation, so recording is O(1) with
+//! no transcendental math, bucket edges are *exact* binary values (a value
+//! exactly on an edge always lands in the bucket whose lower bound it
+//! equals), and quantile queries return a guaranteed upper bound within one
+//! bucket width (≤ 12.5 % relative error at 8 sub-buckets per octave).
+//!
+//! Naming convention (see DESIGN.md §10): `<subsystem>.<object>.<metric>_<unit>`,
+//! e.g. `stage.sense.latency_s`, `loop.energy_j`, `bus.published_total`.
+//! Registry keys are `&'static str` so hot paths never allocate.
+
+use std::collections::BTreeMap;
+
+/// Sub-bucket resolution: 2^3 = 8 sub-buckets per power of two.
+const SUB_BITS: u32 = 3;
+/// Sub-buckets per octave.
+const SUBS: usize = 1 << SUB_BITS;
+/// Smallest bucketed exponent: values below 2^MIN_EXP fall in the zero
+/// bucket (≈ 9.1e-13 — well under a nanosecond or a nanojoule).
+const MIN_EXP: i32 = -40;
+/// Largest bucketed exponent: values ≥ 2^(MAX_EXP+1) (≈ 3.4e7) are clamped
+/// into the overflow bucket, as are `+inf` outliers.
+const MAX_EXP: i32 = 24;
+/// Main (log-linear) bucket count.
+const MAIN_BUCKETS: usize = ((MAX_EXP - MIN_EXP + 1) as usize) * SUBS;
+/// Total buckets: zero/underflow + main + overflow.
+const BUCKETS: usize = 1 + MAIN_BUCKETS + 1;
+
+/// A log-bucketed histogram of non-negative `f64` samples.
+///
+/// O(1) record, exact bucket edges, bounded-error quantiles. NaN samples are
+/// ignored; negative samples and zeros fall into the zero bucket; `+inf` and
+/// values above the top edge are clamped into the overflow bucket.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Bucket index for a sample (NaN handled by the caller).
+    #[inline]
+    fn bucket_index(v: f64) -> usize {
+        if v < f64::from_bits(((MIN_EXP + 1023) as u64) << 52) {
+            // Zero, negative, or below the smallest edge: the zero bucket.
+            return 0;
+        }
+        let bits = v.to_bits();
+        let exp = ((bits >> 52) & 0x7ff) as i32 - 1023;
+        if exp > MAX_EXP {
+            return BUCKETS - 1; // overflow bucket (also +inf)
+        }
+        let sub = ((bits >> (52 - SUB_BITS)) & (SUBS as u64 - 1)) as usize;
+        1 + ((exp - MIN_EXP) as usize) * SUBS + sub
+    }
+
+    /// `[lower, upper)` value bounds of bucket `idx`.
+    fn bucket_bounds(idx: usize) -> (f64, f64) {
+        let edge = |i: usize| -> f64 {
+            // Edge i (0-based over main buckets): 2^(MIN_EXP + i/SUBS) * (1 + (i%SUBS)/SUBS).
+            let exp = MIN_EXP + (i / SUBS) as i32;
+            let frac = 1.0 + (i % SUBS) as f64 / SUBS as f64;
+            frac * f64::from_bits(((exp + 1023) as u64) << 52)
+        };
+        if idx == 0 {
+            (0.0, edge(0))
+        } else if idx >= BUCKETS - 1 {
+            (edge(MAIN_BUCKETS), f64::INFINITY)
+        } else {
+            (edge(idx - 1), edge(idx))
+        }
+    }
+
+    /// Record one sample. NaN is ignored.
+    #[inline]
+    pub fn record(&mut self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        self.counts[Self::bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Exact smallest recorded sample (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact largest recorded sample (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Quantile upper bound: the smallest bucket upper edge (clamped to the
+    /// exact max) such that at least `ceil(q·count)` samples fall at or
+    /// below it. The true quantile is ≤ the returned value, within one
+    /// bucket width. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let (_, upper) = Self::bucket_bounds(idx);
+                return upper.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median upper bound.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile upper bound.
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile upper bound.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Non-empty buckets as `(lower, upper, count)` triples, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(f64, f64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let (lo, hi) = Self::bucket_bounds(i);
+                (lo, hi, c)
+            })
+            .collect()
+    }
+
+    /// Merge another histogram into this one (bucket-wise).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// A registry of counters, gauges and histograms keyed by static names.
+///
+/// Iteration order is deterministic (sorted by key), so text reports and
+/// exports are reproducible. Lookups never allocate; the expected usage is
+/// static keys like [`StageId::latency_key`](crate::trace::StageId::latency_key).
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Increment counter `name` by 1.
+    pub fn inc(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Increment counter `name` by `delta`.
+    pub fn add(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Counter value (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Set gauge `name` to `value` (last write wins).
+    pub fn set(&mut self, name: &'static str, value: f64) {
+        self.gauges.insert(name, value);
+    }
+
+    /// Gauge value, if ever set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Record `value` into histogram `name` (created on first use).
+    pub fn observe(&mut self, name: &'static str, value: f64) {
+        self.histograms.entry(name).or_default().record(value);
+    }
+
+    /// Histogram by name, if any samples were observed.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Install a pre-populated histogram under `name` (replacing any
+    /// existing one) — used to export a loop's internal histograms.
+    pub fn install_histogram(&mut self, name: &'static str, hist: Histogram) {
+        self.histograms.insert(name, hist);
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// All gauges, sorted by name.
+    pub fn gauges(&self) -> impl Iterator<Item = (&'static str, f64)> + '_ {
+        self.gauges.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// All histograms, sorted by name.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
+        self.histograms.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+impl std::fmt::Display for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (name, v) in self.counters() {
+            writeln!(f, "{name:<36} {v}")?;
+        }
+        for (name, v) in self.gauges() {
+            writeln!(f, "{name:<36} {v:.6e}")?;
+        }
+        for (name, h) in self.histograms() {
+            writeln!(
+                f,
+                "{name:<36} n={} mean={:.3e} p50={:.3e} p99={:.3e} max={:.3e}",
+                h.count(),
+                h.mean(),
+                h.p50(),
+                h.p99(),
+                h.max()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_benign() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert_eq!(h.p50(), 0.0);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn exact_stats_track_samples() {
+        let mut h = Histogram::new();
+        for v in [1e-3, 2e-3, 4e-3, 8e-3] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert!((h.sum() - 15e-3).abs() < 1e-15);
+        assert!((h.mean() - 3.75e-3).abs() < 1e-15);
+        assert_eq!(h.min(), 1e-3);
+        assert_eq!(h.max(), 8e-3);
+    }
+
+    #[test]
+    fn quantile_bounds_are_upper_bounds_within_a_bucket() {
+        let mut h = Histogram::new();
+        for i in 1..=1000 {
+            h.record(i as f64 * 1e-4); // 0.1 ms .. 100 ms
+        }
+        for q in [0.5, 0.9, 0.99] {
+            let true_q = 1e-4 * (q * 1000.0_f64).ceil();
+            let est = h.quantile(q);
+            assert!(est >= true_q, "q{q}: est {est} < true {true_q}");
+            assert!(est <= true_q * 1.125 + 1e-12, "q{q}: est {est} too loose");
+        }
+        assert_eq!(h.quantile(1.0), h.max());
+        // q=0 clamps to rank 1: an upper bound on the minimum.
+        assert!(h.quantile(0.0) >= 1e-4);
+    }
+
+    #[test]
+    fn bucket_edges_are_exact() {
+        // A value exactly on a bucket edge must land in the bucket whose
+        // *lower* bound it equals: [edge, next_edge).
+        for &edge in &[1.0, 1.125, 1.25, 2.0, 0.5, 0.625, 256.0, 7.0 / 4.0] {
+            let idx = Histogram::bucket_index(edge);
+            let (lo, hi) = Histogram::bucket_bounds(idx);
+            assert_eq!(lo, edge, "edge {edge} not a lower bound (got [{lo},{hi}))");
+            assert!(edge < hi);
+            // The value just below the edge belongs to the previous bucket.
+            let below = f64::from_bits(edge.to_bits() - 1);
+            let (lo2, hi2) = Histogram::bucket_bounds(Histogram::bucket_index(below));
+            assert_eq!(hi2, edge, "just-below {below} not capped by edge");
+            assert!(lo2 < edge);
+        }
+    }
+
+    #[test]
+    fn zero_and_tiny_values_fall_in_zero_bucket() {
+        let mut h = Histogram::new();
+        h.record(0.0);
+        h.record(1e-300); // far below 2^-40
+        h.record(-1.0); // clamped (negative charges are rejected upstream)
+        assert_eq!(h.count(), 3);
+        let buckets = h.nonzero_buckets();
+        assert_eq!(buckets.len(), 1);
+        let (lo, hi, c) = buckets[0];
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0 && hi < 1e-11);
+        assert_eq!(c, 3);
+        // Quantiles of an all-zero-bucket histogram clamp to the exact max.
+        assert_eq!(h.p50(), 1e-300_f64.max(0.0));
+    }
+
+    #[test]
+    fn inf_clamped_outliers_land_in_overflow_bucket() {
+        let mut h = Histogram::new();
+        h.record(f64::INFINITY);
+        h.record(1e300); // far above 2^25
+        h.record(1.0);
+        assert_eq!(h.count(), 3);
+        let buckets = h.nonzero_buckets();
+        // One main bucket (the 1.0) + the overflow bucket.
+        assert_eq!(buckets.len(), 2);
+        let (lo, hi, c) = *buckets.last().unwrap();
+        assert!(lo.is_finite());
+        assert!(hi.is_infinite());
+        assert_eq!(c, 2);
+        // Quantiles in the overflow bucket clamp to the exact max, so a
+        // finite outlier never reports as +inf...
+        let mut finite = Histogram::new();
+        finite.record(1e300);
+        assert_eq!(finite.p99(), 1e300);
+        // ...while a true +inf sample reports +inf.
+        assert!(h.p99().is_infinite());
+        assert!(h.max().is_infinite());
+    }
+
+    #[test]
+    fn nan_samples_are_ignored() {
+        let mut h = Histogram::new();
+        h.record(f64::NAN);
+        assert_eq!(h.count(), 0);
+        h.record(2.0);
+        h.record(f64::NAN);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), 2.0);
+    }
+
+    #[test]
+    fn merge_combines_bucket_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(1.0);
+        b.record(1.0);
+        b.record(100.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), 100.0);
+        assert_eq!(a.min(), 1.0);
+        let total: u64 = a.nonzero_buckets().iter().map(|(_, _, c)| c).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn registry_counters_gauges_histograms() {
+        let mut r = MetricsRegistry::new();
+        assert!(r.is_empty());
+        r.inc("loop.ticks_total");
+        r.add("loop.ticks_total", 2);
+        r.set("loop.energy_j", 0.5);
+        r.set("loop.energy_j", 0.75);
+        r.observe("stage.sense.latency_s", 1e-3);
+        r.observe("stage.sense.latency_s", 2e-3);
+        assert_eq!(r.counter("loop.ticks_total"), 3);
+        assert_eq!(r.counter("missing"), 0);
+        assert_eq!(r.gauge("loop.energy_j"), Some(0.75));
+        assert_eq!(r.gauge("missing"), None);
+        assert_eq!(r.histogram("stage.sense.latency_s").unwrap().count(), 2);
+        assert!(r.histogram("missing").is_none());
+        let text = r.to_string();
+        assert!(text.contains("loop.ticks_total"));
+        assert!(text.contains("stage.sense.latency_s"));
+    }
+
+    #[test]
+    fn registry_iteration_is_sorted() {
+        let mut r = MetricsRegistry::new();
+        r.inc("b.second");
+        r.inc("a.first");
+        let names: Vec<&str> = r.counters().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a.first", "b.second"]);
+    }
+}

@@ -10,9 +10,18 @@
 //! query, while the per-tick [`TickRecord`] history is retained in a bounded
 //! ring buffer (capacity via [`LoopTelemetry::with_capacity`]) so a
 //! million-tick production run does not grow memory without bound.
+//!
+//! Since the observability layer, every record also carries a per-stage
+//! [`StageBreakdown`] (sense/perceive/monitor/control/act attribution), and
+//! the telemetry keeps per-stage totals plus log-bucketed latency
+//! [`Histogram`]s — still O(1) per tick and O(1) to query. Export via
+//! [`export::ticks_to_jsonl`](crate::export::ticks_to_jsonl) (round-trip
+//! JSONL) or [`export::text_report`](crate::export::text_report).
 
 use crate::fault::StageError;
+use crate::metrics::{Histogram, MetricsRegistry};
 use crate::stage::Trust;
+use crate::trace::{StageBreakdown, StageId, STAGE_COUNT};
 use sensact_math::RunningStats;
 
 /// Default number of per-tick records retained by the ring buffer.
@@ -29,6 +38,8 @@ pub struct TickRecord {
     pub latency_s: f64,
     /// Monitor verdict.
     pub trust: Trust,
+    /// Per-stage energy/latency attribution of this tick.
+    pub stages: StageBreakdown,
 }
 
 /// Fault-handling counters of a fallible loop (all zero for infallible
@@ -53,6 +64,24 @@ pub struct FaultCounters {
     pub fallbacks: u64,
 }
 
+impl std::fmt::Display for FaultCounters {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} faults ({} dropouts, {} timeouts, {} out-of-range, {} poisoned; \
+             {} retries, {} holds, {} fallbacks)",
+            self.faults,
+            self.dropouts,
+            self.timeouts,
+            self.out_of_range,
+            self.poisoned,
+            self.retries,
+            self.holds,
+            self.fallbacks
+        )
+    }
+}
+
 /// Aggregated telemetry of one loop.
 #[derive(Debug, Clone)]
 pub struct LoopTelemetry {
@@ -69,6 +98,13 @@ pub struct LoopTelemetry {
     suspect_streak: u32,
     max_suspect_streak: u32,
     counters: FaultCounters,
+    /// Running per-stage energy/latency totals over all ticks.
+    stage_totals: StageBreakdown,
+    /// Per-stage charged-latency histograms (only ticks where the stage
+    /// charged anything are recorded, so idle stages stay empty).
+    stage_latency: [Histogram; STAGE_COUNT],
+    /// Whole-tick latency histogram over all ticks.
+    latency_hist: Histogram,
 }
 
 impl Default for LoopTelemetry {
@@ -100,16 +136,31 @@ impl LoopTelemetry {
             suspect_streak: 0,
             max_suspect_streak: 0,
             counters: FaultCounters::default(),
+            stage_totals: StageBreakdown::new(),
+            stage_latency: std::array::from_fn(|_| Histogram::new()),
+            latency_hist: Histogram::new(),
         }
     }
 
-    /// Record a tick.
+    /// Record a tick with no per-stage attribution (all stages zero).
     pub fn record(&mut self, energy_j: f64, latency_s: f64, trust: Trust) {
+        self.record_with_stages(energy_j, latency_s, trust, StageBreakdown::new());
+    }
+
+    /// Record a tick with its per-stage energy/latency attribution.
+    pub fn record_with_stages(
+        &mut self,
+        energy_j: f64,
+        latency_s: f64,
+        trust: Trust,
+        stages: StageBreakdown,
+    ) {
         let rec = TickRecord {
             tick: self.ticks,
             energy_j,
             latency_s,
             trust,
+            stages,
         };
         if self.records.len() < self.capacity {
             self.records.push(rec);
@@ -122,6 +173,15 @@ impl LoopTelemetry {
         self.total_latency_s += latency_s;
         self.energy.push(energy_j);
         self.latency.push(latency_s);
+        self.latency_hist.record(latency_s);
+        self.stage_totals.merge(&stages);
+        for (stage, cost) in stages.iter() {
+            // Idle stages (charged nothing) don't pollute the histogram
+            // with zeros — their count stays the number of active ticks.
+            if cost.energy_j > 0.0 || cost.latency_s > 0.0 {
+                self.stage_latency[stage.index()].record(cost.latency_s);
+            }
+        }
         if trust.suspicion() > 0.0 {
             self.suspect_ticks += 1;
             self.suspect_streak += 1;
@@ -162,8 +222,9 @@ impl LoopTelemetry {
         self.ticks
     }
 
-    /// Retained per-tick records, oldest first. At most
-    /// [`LoopTelemetry::capacity`] of the most recent ticks are kept.
+    /// Retained per-tick records in chronological (oldest-first) order,
+    /// across ring wraparound. At most [`LoopTelemetry::capacity`] of the
+    /// most recent ticks are kept.
     pub fn records(&self) -> impl Iterator<Item = &TickRecord> {
         let (wrapped, ordered) = self.records.split_at(self.head);
         ordered.iter().chain(wrapped.iter())
@@ -194,9 +255,47 @@ impl LoopTelemetry {
         &self.latency
     }
 
+    /// Per-stage energy/latency totals over all ticks; O(1).
+    pub fn stage_totals(&self) -> &StageBreakdown {
+        &self.stage_totals
+    }
+
+    /// Charged-latency histogram of one stage (ticks where the stage
+    /// charged nothing are excluded).
+    pub fn stage_latency(&self, stage: StageId) -> &Histogram {
+        &self.stage_latency[stage.index()]
+    }
+
+    /// Whole-tick latency histogram over all ticks.
+    pub fn latency_histogram(&self) -> &Histogram {
+        &self.latency_hist
+    }
+
     /// Fault-handling counters (zero for loops without a fault layer).
     pub fn fault_counters(&self) -> FaultCounters {
         self.counters
+    }
+
+    /// Export aggregates into a [`MetricsRegistry`] under the standard
+    /// metric names: `loop.*` counters/gauges, `stage.<name>.*` per-stage
+    /// energy gauges and latency histograms.
+    pub fn export_into(&self, registry: &mut MetricsRegistry) {
+        registry.add("loop.ticks_total", self.ticks);
+        registry.add("loop.faults_total", self.counters.faults);
+        registry.add("loop.retries_total", self.counters.retries);
+        registry.add("loop.holds_total", self.counters.holds);
+        registry.add("loop.fallbacks_total", self.counters.fallbacks);
+        registry.set("loop.energy_j", self.total_energy_j);
+        registry.set("loop.latency_s", self.total_latency_s);
+        registry.set("loop.suspect_fraction", self.suspect_fraction());
+        registry.install_histogram("loop.tick.latency_s", self.latency_hist.clone());
+        for stage in StageId::ALL {
+            registry.set(stage.energy_key(), self.stage_totals.get(stage).energy_j);
+            registry.install_histogram(
+                stage.latency_key(),
+                self.stage_latency[stage.index()].clone(),
+            );
+        }
     }
 
     /// Fraction of ticks with non-zero suspicion; O(1).
@@ -229,13 +328,8 @@ impl std::fmt::Display for LoopTelemetry {
             self.latency.mean(),
             self.suspect_fraction() * 100.0
         )?;
-        let c = self.counters;
-        if c != FaultCounters::default() {
-            write!(
-                f,
-                ", {} faults ({} retries, {} holds, {} fallbacks)",
-                c.faults, c.retries, c.holds, c.fallbacks
-            )?;
+        if self.counters != FaultCounters::default() {
+            write!(f, ", {}", self.counters)?;
         }
         Ok(())
     }
@@ -282,6 +376,8 @@ mod tests {
         assert_eq!(t.suspect_fraction(), 0.0);
         assert_eq!(t.total_energy_j(), 0.0);
         assert_eq!(t.records().count(), 0);
+        assert_eq!(t.latency_histogram().count(), 0);
+        assert_eq!(t.stage_latency(StageId::Sense).count(), 0);
     }
 
     #[test]
@@ -305,6 +401,39 @@ mod tests {
         assert!((t.total_latency_s() - 1.0).abs() < 1e-12);
         assert_eq!(t.suspect_fraction(), 0.5);
         assert_eq!(t.energy_stats().mean(), 4.5);
+        assert_eq!(t.latency_histogram().count(), 10);
+    }
+
+    /// Regression: `records()` must yield chronological order exactly at the
+    /// capacity boundaries, where an off-by-one in the head index is easiest
+    /// to introduce (len == cap: no wraparound yet; len == cap + 1: the ring
+    /// has wrapped by exactly one slot).
+    #[test]
+    fn records_chronological_at_capacity_boundaries() {
+        const CAP: usize = 5;
+        // len == cap: every record retained, insertion order.
+        let mut t = LoopTelemetry::with_capacity(CAP);
+        for i in 0..CAP {
+            t.record(i as f64, 0.0, Trust::Trusted);
+        }
+        let kept: Vec<u64> = t.records().map(|r| r.tick).collect();
+        assert_eq!(kept, vec![0, 1, 2, 3, 4]);
+        // len == cap + 1: oldest evicted, order still strictly ascending.
+        t.record(CAP as f64, 0.0, Trust::Trusted);
+        let kept: Vec<u64> = t.records().map(|r| r.tick).collect();
+        assert_eq!(kept, vec![1, 2, 3, 4, 5]);
+        assert_eq!(t.records().count(), CAP);
+        // Energies ride along with their ticks (records were not merely
+        // reordered indices).
+        for rec in t.records() {
+            assert_eq!(rec.energy_j, rec.tick as f64);
+        }
+        // And a full extra lap keeps the invariant.
+        for i in (CAP + 1)..(2 * CAP + 2) {
+            t.record(i as f64, 0.0, Trust::Trusted);
+        }
+        let kept: Vec<u64> = t.records().map(|r| r.tick).collect();
+        assert_eq!(kept, vec![7, 8, 9, 10, 11]);
     }
 
     #[test]
@@ -316,6 +445,52 @@ mod tests {
         assert_eq!(t.records().count(), 1);
         assert_eq!(t.records().next().unwrap().tick, 1);
         assert_eq!(t.total_energy_j(), 3.0);
+    }
+
+    #[test]
+    fn stage_attribution_accumulates() {
+        let mut t = LoopTelemetry::new();
+        let mut stages = StageBreakdown::new();
+        stages.add(StageId::Sense, 2e-3, 1e-3);
+        stages.add(StageId::Control, 1e-3, 5e-4);
+        t.record_with_stages(3e-3, 1.5e-3, Trust::Trusted, stages);
+        t.record_with_stages(3e-3, 1.5e-3, Trust::Trusted, stages);
+        let totals = t.stage_totals();
+        assert!((totals.get(StageId::Sense).energy_j - 4e-3).abs() < 1e-15);
+        assert!((totals.get(StageId::Control).latency_s - 1e-3).abs() < 1e-15);
+        assert_eq!(totals.get(StageId::Perceive).energy_j, 0.0);
+        // Active stages have histogram samples; idle stages stay empty.
+        assert_eq!(t.stage_latency(StageId::Sense).count(), 2);
+        assert_eq!(t.stage_latency(StageId::Perceive).count(), 0);
+        assert_eq!(t.latency_histogram().count(), 2);
+        // The retained record carries the breakdown.
+        assert_eq!(t.records().next().unwrap().stages, stages);
+    }
+
+    #[test]
+    fn export_into_registry_uses_standard_names() {
+        let mut t = LoopTelemetry::new();
+        let mut stages = StageBreakdown::new();
+        stages.add(StageId::Sense, 1e-3, 1e-4);
+        t.record_with_stages(1e-3, 1e-4, Trust::Trusted, stages);
+        t.record_fault(&StageError::Dropout);
+        let mut reg = MetricsRegistry::new();
+        t.export_into(&mut reg);
+        assert_eq!(reg.counter("loop.ticks_total"), 1);
+        assert_eq!(reg.counter("loop.faults_total"), 1);
+        assert_eq!(reg.gauge("loop.energy_j"), Some(1e-3));
+        assert_eq!(reg.gauge(StageId::Sense.energy_key()), Some(1e-3));
+        assert_eq!(reg.histogram("loop.tick.latency_s").unwrap().count(), 1);
+        assert_eq!(
+            reg.histogram(StageId::Sense.latency_key()).unwrap().count(),
+            1
+        );
+        assert_eq!(
+            reg.histogram(StageId::Perceive.latency_key())
+                .unwrap()
+                .count(),
+            0
+        );
     }
 
     #[test]
@@ -345,6 +520,30 @@ mod tests {
         assert_eq!(c.retries, 3);
         assert_eq!(c.holds, 1);
         assert_eq!(c.fallbacks, 1);
+    }
+
+    #[test]
+    fn fault_counters_display_formats_every_field() {
+        let c = FaultCounters {
+            faults: 9,
+            dropouts: 4,
+            timeouts: 2,
+            out_of_range: 2,
+            poisoned: 1,
+            retries: 5,
+            holds: 3,
+            fallbacks: 1,
+        };
+        let s = c.to_string();
+        assert_eq!(
+            s,
+            "9 faults (4 dropouts, 2 timeouts, 2 out-of-range, 1 poisoned; \
+             5 retries, 3 holds, 1 fallbacks)"
+        );
+        // All-zero counters still render (callers decide whether to show).
+        let zero = FaultCounters::default().to_string();
+        assert!(zero.starts_with("0 faults"));
+        assert!(zero.contains("0 fallbacks"));
     }
 
     #[test]

@@ -1,0 +1,590 @@
+//! Per-stage tracing for sensing-to-action loops.
+//!
+//! The paper's co-design argument (§II) needs *per-stage* visibility: a
+//! blended energy/latency number per tick cannot tell whether the sensor or
+//! the perceptor is eating the budget, which is exactly the breakdown
+//! Fig. 5a and Table II report per model. This module provides:
+//!
+//! * [`StageId`] — the five canonical loop stages (sense → perceive →
+//!   monitor → control → act), each with static metric names;
+//! * [`StageBreakdown`] — a per-stage energy/latency ledger carried by every
+//!   [`TickRecord`](crate::telemetry::TickRecord);
+//! * [`Clock`] — a pluggable time source: deterministic [`SimClock`] for
+//!   tests and reproducible exports, monotonic [`WallClock`] for benches;
+//! * [`Span`] / [`SpanGuard`] / [`Tracer`] — lightweight spans wrapping each
+//!   stage invocation, retained in a bounded ring buffer.
+//!
+//! Tracing is **off by default** ([`Tracer::disabled`]): the disabled path
+//! costs one predictable branch per stage, bounded < 3 % of a realistic tick
+//! by `benches/bench_obs.rs`. Per-stage energy/latency *attribution* (the
+//! [`StageBreakdown`]) is always on — it only snapshots the
+//! [`StageContext`](crate::stage::StageContext) ledger around each stage.
+
+use std::time::Instant;
+
+/// The number of canonical loop stages ([`StageId::ALL`]).
+pub const STAGE_COUNT: usize = 5;
+
+/// One of the five canonical stages of a sensing-to-action loop.
+///
+/// `Act` covers the tail of the tick — budget consumption and the
+/// action-to-sensing adaptation — rather than a physical actuator, which
+/// lives outside the loop (the `apply` closure of `run`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StageId {
+    /// Raw acquisition ([`Sensor::sense`](crate::stage::Sensor::sense)).
+    Sense,
+    /// Feature extraction ([`Perceptor::perceive`](crate::stage::Perceptor::perceive)).
+    Perceive,
+    /// Trust assessment ([`Monitor::assess`](crate::stage::Monitor::assess)).
+    Monitor,
+    /// Action decision ([`Controller::decide`](crate::stage::Controller::decide)).
+    Control,
+    /// Budget consumption + action-to-sensing adaptation.
+    Act,
+}
+
+impl StageId {
+    /// All stages, in loop execution order.
+    pub const ALL: [StageId; STAGE_COUNT] = [
+        StageId::Sense,
+        StageId::Perceive,
+        StageId::Monitor,
+        StageId::Control,
+        StageId::Act,
+    ];
+
+    /// Stable index of this stage in [`StageId::ALL`].
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            StageId::Sense => 0,
+            StageId::Perceive => 1,
+            StageId::Monitor => 2,
+            StageId::Control => 3,
+            StageId::Act => 4,
+        }
+    }
+
+    /// Short static name (`"sense"`, `"perceive"`, …) used in exports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            StageId::Sense => "sense",
+            StageId::Perceive => "perceive",
+            StageId::Monitor => "monitor",
+            StageId::Control => "control",
+            StageId::Act => "act",
+        }
+    }
+
+    /// Static metric key for this stage's latency histogram, following the
+    /// `stage.<name>.<metric>_<unit>` naming convention.
+    pub const fn latency_key(self) -> &'static str {
+        match self {
+            StageId::Sense => "stage.sense.latency_s",
+            StageId::Perceive => "stage.perceive.latency_s",
+            StageId::Monitor => "stage.monitor.latency_s",
+            StageId::Control => "stage.control.latency_s",
+            StageId::Act => "stage.act.latency_s",
+        }
+    }
+
+    /// Static metric key for this stage's total energy gauge.
+    pub const fn energy_key(self) -> &'static str {
+        match self {
+            StageId::Sense => "stage.sense.energy_j",
+            StageId::Perceive => "stage.perceive.energy_j",
+            StageId::Monitor => "stage.monitor.energy_j",
+            StageId::Control => "stage.control.energy_j",
+            StageId::Act => "stage.act.energy_j",
+        }
+    }
+
+    /// Parse a stage from its [`StageId::name`].
+    pub fn from_name(name: &str) -> Option<StageId> {
+        StageId::ALL.into_iter().find(|s| s.name() == name)
+    }
+}
+
+impl std::fmt::Display for StageId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Energy/latency charged by one stage within one tick.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageCost {
+    /// Energy charged (joules).
+    pub energy_j: f64,
+    /// Latency charged (seconds).
+    pub latency_s: f64,
+}
+
+/// Per-stage energy/latency attribution of one tick.
+///
+/// For fallible loops the sense/perceive entries include *failed* attempts
+/// and retry surcharges — failure is charged where it happened.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageBreakdown {
+    costs: [StageCost; STAGE_COUNT],
+}
+
+impl StageBreakdown {
+    /// A zero breakdown.
+    pub fn new() -> Self {
+        StageBreakdown::default()
+    }
+
+    /// Cost attributed to `stage`.
+    #[inline]
+    pub fn get(&self, stage: StageId) -> StageCost {
+        self.costs[stage.index()]
+    }
+
+    /// Add energy/latency to `stage` (accumulates across retries).
+    #[inline]
+    pub fn add(&mut self, stage: StageId, energy_j: f64, latency_s: f64) {
+        let c = &mut self.costs[stage.index()];
+        c.energy_j += energy_j;
+        c.latency_s += latency_s;
+    }
+
+    /// Accumulate another breakdown stage-by-stage (running totals).
+    pub fn merge(&mut self, other: &StageBreakdown) {
+        for (mine, theirs) in self.costs.iter_mut().zip(&other.costs) {
+            mine.energy_j += theirs.energy_j;
+            mine.latency_s += theirs.latency_s;
+        }
+    }
+
+    /// Sum of per-stage energies (joules).
+    pub fn total_energy_j(&self) -> f64 {
+        self.costs.iter().map(|c| c.energy_j).sum()
+    }
+
+    /// Sum of per-stage latencies (seconds).
+    pub fn total_latency_s(&self) -> f64 {
+        self.costs.iter().map(|c| c.latency_s).sum()
+    }
+
+    /// Iterate `(stage, cost)` pairs in execution order.
+    pub fn iter(&self) -> impl Iterator<Item = (StageId, StageCost)> + '_ {
+        StageId::ALL.into_iter().map(|s| (s, self.get(s)))
+    }
+}
+
+/// A pluggable monotonic time source for span timestamps.
+///
+/// `now_s` takes `&mut self` so deterministic clocks can advance per query.
+pub trait Clock: std::fmt::Debug + Send {
+    /// Current time in seconds since the clock's origin.
+    fn now_s(&mut self) -> f64;
+}
+
+/// Deterministic simulation clock: every [`Clock::now_s`] query returns the
+/// current time and advances it by a fixed step, so traces are bit-identical
+/// across runs — the property the JSONL round-trip tests rely on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimClock {
+    now_s: f64,
+    step_s: f64,
+}
+
+impl SimClock {
+    /// A clock frozen at zero (advance manually via [`SimClock::advance`]).
+    pub fn new() -> Self {
+        SimClock::with_step(0.0)
+    }
+
+    /// A clock advancing by `step_s` seconds per query.
+    pub fn with_step(step_s: f64) -> Self {
+        SimClock { now_s: 0.0, step_s }
+    }
+
+    /// Manually advance the clock by `dt_s` seconds.
+    pub fn advance(&mut self, dt_s: f64) {
+        self.now_s += dt_s.max(0.0);
+    }
+}
+
+impl Default for SimClock {
+    fn default() -> Self {
+        SimClock::new()
+    }
+}
+
+impl Clock for SimClock {
+    fn now_s(&mut self) -> f64 {
+        let t = self.now_s;
+        self.now_s += self.step_s;
+        t
+    }
+}
+
+/// Monotonic wall clock ([`std::time::Instant`]-based) for real timing.
+#[derive(Debug)]
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl WallClock {
+    /// A wall clock with its origin at construction time.
+    pub fn new() -> Self {
+        WallClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_s(&mut self) -> f64 {
+        self.origin.elapsed().as_secs_f64()
+    }
+}
+
+/// One completed stage span: where a slice of the tick's time and cost went.
+///
+/// `start_s`/`end_s` come from the tracer's [`Clock`] (wall time when
+/// tracing a real run, deterministic time under [`SimClock`]); `energy_j`
+/// and `latency_s` are the *charged* costs from the stage ledger, which in
+/// simulation are independent of wall time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Span {
+    /// Tick the span belongs to.
+    pub tick: u64,
+    /// Which stage ran.
+    pub stage: StageId,
+    /// Clock time when the stage started (seconds).
+    pub start_s: f64,
+    /// Clock time when the stage finished (seconds).
+    pub end_s: f64,
+    /// Energy the stage charged (joules).
+    pub energy_j: f64,
+    /// Latency the stage charged (seconds).
+    pub latency_s: f64,
+    /// Whether the stage succeeded (`false` for failed fallible attempts).
+    pub ok: bool,
+}
+
+impl Span {
+    /// Clock-observed duration of the span (seconds).
+    pub fn wall_s(&self) -> f64 {
+        (self.end_s - self.start_s).max(0.0)
+    }
+}
+
+/// Default number of spans retained by a tracer's ring buffer.
+pub const DEFAULT_SPAN_CAPACITY: usize = 16384;
+
+/// Collects per-stage [`Span`]s under a pluggable [`Clock`].
+///
+/// Loops own a tracer ([`Tracer::disabled`] by default). When disabled,
+/// [`Tracer::start`]/[`Tracer::finish`] reduce to one predictable branch
+/// each and no span is stored. Spans are retained in a bounded ring buffer;
+/// aggregates belong to [`LoopTelemetry`](crate::telemetry::LoopTelemetry),
+/// not the tracer.
+#[derive(Debug)]
+pub struct Tracer {
+    clock: Option<Box<dyn Clock>>,
+    spans: Vec<Span>,
+    /// Oldest span's index once the ring is full.
+    head: usize,
+    capacity: usize,
+}
+
+impl Tracer {
+    /// A disabled tracer: records nothing, costs one branch per call.
+    pub fn disabled() -> Self {
+        Tracer {
+            clock: None,
+            spans: Vec::new(),
+            head: 0,
+            capacity: DEFAULT_SPAN_CAPACITY,
+        }
+    }
+
+    /// An enabled tracer over an arbitrary clock.
+    pub fn new(clock: Box<dyn Clock>) -> Self {
+        Tracer {
+            clock: Some(clock),
+            spans: Vec::new(),
+            head: 0,
+            capacity: DEFAULT_SPAN_CAPACITY,
+        }
+    }
+
+    /// An enabled tracer over a deterministic [`SimClock`] advancing
+    /// `step_s` per timestamp query (two queries per span).
+    pub fn sim(step_s: f64) -> Self {
+        Tracer::new(Box::new(SimClock::with_step(step_s)))
+    }
+
+    /// An enabled tracer over the monotonic [`WallClock`].
+    pub fn wall() -> Self {
+        Tracer::new(Box::new(WallClock::new()))
+    }
+
+    /// Cap the number of retained spans (clamped to ≥ 1).
+    pub fn with_span_capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity.max(1);
+        self
+    }
+
+    /// Whether spans are being recorded.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.clock.is_some()
+    }
+
+    /// Timestamp the start of a stage; returns `0.0` when disabled.
+    #[inline]
+    pub fn start(&mut self) -> f64 {
+        match &mut self.clock {
+            Some(c) => c.now_s(),
+            None => 0.0,
+        }
+    }
+
+    /// Close a stage span opened at `start_s`, attributing the charged
+    /// costs. No-op when disabled.
+    #[inline]
+    pub fn finish(
+        &mut self,
+        tick: u64,
+        stage: StageId,
+        start_s: f64,
+        energy_j: f64,
+        latency_s: f64,
+        ok: bool,
+    ) {
+        let Some(clock) = &mut self.clock else {
+            return;
+        };
+        let end_s = clock.now_s();
+        self.push(Span {
+            tick,
+            stage,
+            start_s,
+            end_s,
+            energy_j,
+            latency_s,
+            ok,
+        });
+    }
+
+    fn push(&mut self, span: Span) {
+        if self.spans.len() < self.capacity {
+            self.spans.push(span);
+        } else {
+            self.spans[self.head] = span;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    /// Open an RAII span; it records itself on drop. Set the charged costs
+    /// via [`SpanGuard::set_cost`] before dropping.
+    pub fn span(&mut self, tick: u64, stage: StageId) -> SpanGuard<'_> {
+        let start_s = self.start();
+        SpanGuard {
+            tracer: self,
+            tick,
+            stage,
+            start_s,
+            energy_j: 0.0,
+            latency_s: 0.0,
+            ok: true,
+        }
+    }
+
+    /// Retained spans, oldest first (at most the configured capacity).
+    pub fn spans(&self) -> impl Iterator<Item = &Span> {
+        let (wrapped, ordered) = self.spans.split_at(self.head);
+        ordered.iter().chain(wrapped.iter())
+    }
+
+    /// Number of retained spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether no spans are retained.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Drain all retained spans in chronological order.
+    pub fn take_spans(&mut self) -> Vec<Span> {
+        let out: Vec<Span> = self.spans().copied().collect();
+        self.spans.clear();
+        self.head = 0;
+        out
+    }
+
+    /// Drop all retained spans.
+    pub fn clear(&mut self) {
+        self.spans.clear();
+        self.head = 0;
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::disabled()
+    }
+}
+
+/// RAII guard created by [`Tracer::span`]; records the span when dropped.
+#[derive(Debug)]
+pub struct SpanGuard<'t> {
+    tracer: &'t mut Tracer,
+    tick: u64,
+    stage: StageId,
+    start_s: f64,
+    energy_j: f64,
+    latency_s: f64,
+    ok: bool,
+}
+
+impl SpanGuard<'_> {
+    /// Attribute charged energy/latency to this span (replaces, not adds).
+    pub fn set_cost(&mut self, energy_j: f64, latency_s: f64) {
+        self.energy_j = energy_j;
+        self.latency_s = latency_s;
+    }
+
+    /// Mark the span as a failed attempt.
+    pub fn set_failed(&mut self) {
+        self.ok = false;
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.tracer.finish(
+            self.tick,
+            self.stage,
+            self.start_s,
+            self.energy_j,
+            self.latency_s,
+            self.ok,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_names_round_trip() {
+        for stage in StageId::ALL {
+            assert_eq!(StageId::from_name(stage.name()), Some(stage));
+            assert_eq!(stage.to_string(), stage.name());
+            assert!(stage.latency_key().contains(stage.name()));
+            assert!(stage.energy_key().contains(stage.name()));
+        }
+        assert_eq!(StageId::from_name("warp"), None);
+        assert_eq!(StageId::ALL[StageId::Control.index()], StageId::Control);
+    }
+
+    #[test]
+    fn breakdown_accumulates_and_totals() {
+        let mut b = StageBreakdown::new();
+        b.add(StageId::Sense, 1e-3, 1e-4);
+        b.add(StageId::Sense, 1e-3, 1e-4); // retry accumulates
+        b.add(StageId::Control, 2e-3, 0.0);
+        assert_eq!(b.get(StageId::Sense).energy_j, 2e-3);
+        assert_eq!(b.get(StageId::Perceive), StageCost::default());
+        assert!((b.total_energy_j() - 4e-3).abs() < 1e-15);
+        assert!((b.total_latency_s() - 2e-4).abs() < 1e-15);
+        let mut sum = StageBreakdown::new();
+        sum.merge(&b);
+        sum.merge(&b);
+        assert_eq!(sum.get(StageId::Sense).energy_j, 4e-3);
+        assert_eq!(sum.iter().count(), STAGE_COUNT);
+    }
+
+    #[test]
+    fn sim_clock_is_deterministic() {
+        let mut c = SimClock::with_step(0.5);
+        assert_eq!(c.now_s(), 0.0);
+        assert_eq!(c.now_s(), 0.5);
+        c.advance(1.0);
+        assert_eq!(c.now_s(), 2.0);
+        // Negative advances are ignored — the clock is monotonic.
+        c.advance(-5.0);
+        assert_eq!(c.now_s(), 2.5);
+    }
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let mut c = WallClock::new();
+        let a = c.now_s();
+        let b = c.now_s();
+        assert!(b >= a);
+        assert!(a >= 0.0);
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        let s = t.start();
+        t.finish(0, StageId::Sense, s, 1.0, 1.0, true);
+        assert!(t.is_empty());
+        assert_eq!(t.take_spans().len(), 0);
+    }
+
+    #[test]
+    fn spans_carry_cost_and_clock_time() {
+        let mut t = Tracer::sim(0.25);
+        let s = t.start();
+        t.finish(3, StageId::Perceive, s, 2e-3, 1e-3, true);
+        assert_eq!(t.len(), 1);
+        let span = *t.spans().next().unwrap();
+        assert_eq!(span.tick, 3);
+        assert_eq!(span.stage, StageId::Perceive);
+        assert_eq!(span.start_s, 0.0);
+        assert_eq!(span.end_s, 0.25);
+        assert_eq!(span.wall_s(), 0.25);
+        assert_eq!(span.energy_j, 2e-3);
+        assert!(span.ok);
+    }
+
+    #[test]
+    fn span_guard_records_on_drop() {
+        let mut t = Tracer::sim(0.1);
+        {
+            let mut g = t.span(7, StageId::Monitor);
+            g.set_cost(1e-6, 2e-6);
+            g.set_failed();
+        }
+        let span = *t.spans().next().unwrap();
+        assert_eq!(span.tick, 7);
+        assert_eq!(span.stage, StageId::Monitor);
+        assert!(!span.ok);
+        assert_eq!(span.latency_s, 2e-6);
+    }
+
+    #[test]
+    fn span_ring_keeps_most_recent_in_order() {
+        let mut t = Tracer::sim(1.0).with_span_capacity(4);
+        for i in 0..10u64 {
+            let s = t.start();
+            t.finish(i, StageId::Sense, s, 0.0, 0.0, true);
+        }
+        let ticks: Vec<u64> = t.spans().map(|s| s.tick).collect();
+        assert_eq!(ticks, vec![6, 7, 8, 9]);
+        let drained = t.take_spans();
+        assert_eq!(drained.len(), 4);
+        assert_eq!(drained[0].tick, 6);
+        assert!(t.is_empty());
+    }
+}

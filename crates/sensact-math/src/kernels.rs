@@ -165,7 +165,7 @@ pub fn gemm_parallel(
     });
 }
 
-/// Auto-dispatching GEMM: parallel above [`PAR_MIN_OPS`] multiply-adds,
+/// Auto-dispatching GEMM: parallel above `PAR_MIN_OPS` multiply-adds,
 /// serial cache-blocked below. Same results either way.
 pub fn gemm(
     m: usize,

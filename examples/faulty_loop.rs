@@ -80,4 +80,9 @@ fn main() {
         "breakdown: {} dropouts, {} timeouts, {} poisoned (stuck-at faults are silent)",
         c.dropouts, c.timeouts, c.poisoned
     );
+    println!();
+    print!(
+        "{}",
+        sensact::core::export::text_report(looop.name(), looop.telemetry())
+    );
 }

@@ -26,4 +26,10 @@ fi
 echo "== cargo test (workspace) =="
 cargo test --offline --workspace -q
 
+echo "== cargo doc (-D warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps -q
+
+echo "== bench_obs smoke (quick mode) =="
+SENSACT_QUICK=1 cargo bench --offline -p sensact-bench --bench bench_obs
+
 echo "CI gate passed."
