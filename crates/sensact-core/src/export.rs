@@ -73,7 +73,7 @@ pub fn spans_to_jsonl(spans: &[Span]) -> String {
 
 /// Split a flat JSON object line into `(key, raw_value)` pairs. Returns
 /// `None` on anything that is not a one-level `{"k":v,...}` object.
-fn parse_flat(line: &str) -> Option<Vec<(&str, &str)>> {
+pub(crate) fn parse_flat(line: &str) -> Option<Vec<(&str, &str)>> {
     let body = line.trim().strip_prefix('{')?.strip_suffix('}')?;
     let mut fields = Vec::new();
     for part in body.split(',') {
@@ -84,15 +84,15 @@ fn parse_flat(line: &str) -> Option<Vec<(&str, &str)>> {
     Some(fields)
 }
 
-fn field<'a>(fields: &[(&'a str, &'a str)], key: &str) -> Option<&'a str> {
+pub(crate) fn field<'a>(fields: &[(&'a str, &'a str)], key: &str) -> Option<&'a str> {
     fields.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
 }
 
-fn f64_field(fields: &[(&str, &str)], key: &str) -> Option<f64> {
+pub(crate) fn f64_field(fields: &[(&str, &str)], key: &str) -> Option<f64> {
     field(fields, key)?.parse().ok()
 }
 
-fn str_field<'a>(fields: &[(&'a str, &'a str)], key: &str) -> Option<&'a str> {
+pub(crate) fn str_field<'a>(fields: &[(&'a str, &'a str)], key: &str) -> Option<&'a str> {
     field(fields, key)?.strip_prefix('"')?.strip_suffix('"')
 }
 
@@ -308,6 +308,53 @@ mod tests {
         let doc = format!("{}\ngarbage\n", span_to_json(&sample_span()));
         assert!(parse_ticks(&doc).is_empty());
         assert_eq!(parse_spans(&doc).len(), 1);
+    }
+
+    #[test]
+    fn parser_survives_truncated_lines() {
+        // Truncation at *every* byte boundary — a torn write or a killed
+        // process must yield `None`, never a panic or a half-parsed event.
+        let span_line = span_to_json(&sample_span());
+        let mut stages = StageBreakdown::new();
+        stages.add(StageId::Sense, 1e-3, 2e-4);
+        let tick_line = tick_to_json(&TickRecord {
+            tick: 7,
+            energy_j: 1e-3,
+            latency_s: 2e-4,
+            trust: Trust::Suspect(0.5),
+            stages,
+        });
+        for line in [span_line.as_str(), tick_line.as_str()] {
+            for cut in 0..line.len() {
+                let truncated = &line[..cut];
+                assert_eq!(parse_span(truncated), None, "cut at {cut}: {truncated}");
+                assert_eq!(parse_tick(truncated), None, "cut at {cut}: {truncated}");
+            }
+        }
+    }
+
+    #[test]
+    fn parser_survives_corrupted_values() {
+        // Field-level corruption: wrong types, missing fields, garbage
+        // numbers — all must be rejected, not panic.
+        for line in [
+            "{\"type\":\"span\",\"tick\":abc,\"stage\":\"sense\"}",
+            "{\"type\":\"span\",\"tick\":1,\"stage\":\"warp\",\"start_s\":0,\"end_s\":0,\"energy_j\":0,\"latency_s\":0,\"ok\":true}",
+            "{\"type\":\"tick\",\"tick\":1,\"energy_j\":1e999x,\"latency_s\":0}",
+            "{\"type\":\"tick\",\"tick\":1,\"energy_j\":0,\"latency_s\":0,\"trust\":\"odd\",\"suspicion\":0}",
+            "{\"type\":\"tick\"",
+            "{:}",
+            "{\"\":}",
+            "null",
+            "[1,2,3]",
+        ] {
+            assert_eq!(parse_span(line), None, "span accepted: {line}");
+            assert_eq!(parse_tick(line), None, "tick accepted: {line}");
+        }
+        // And document-level: a stream of junk parses to zero events.
+        let doc = "{\"type\":\"tick\"\n\n}{\n";
+        assert!(parse_ticks(doc).is_empty());
+        assert!(parse_spans(doc).is_empty());
     }
 
     #[test]

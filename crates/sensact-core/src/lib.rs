@@ -58,6 +58,7 @@ pub mod export;
 pub mod fault;
 pub mod metrics;
 pub mod multi;
+pub mod replay;
 pub mod stage;
 pub mod telemetry;
 pub mod trace;
@@ -71,6 +72,7 @@ pub use fault::{
 };
 pub use loop_::{LoopBuilder, LoopOutput, SensingActionLoop};
 pub use metrics::{Histogram, MetricsRegistry};
+pub use replay::{first_divergence, Divergence, Recording, RecordingMeta};
 pub use stage::{StageContext, Trust};
 pub use telemetry::{FaultCounters, LoopTelemetry, TickRecord};
 pub use trace::{

@@ -277,6 +277,11 @@ impl ObservationBus {
 
 /// A shared fleet blackboard combining everyone's latest arc observations;
 /// protected by a mutex for cross-thread use.
+///
+/// The mutex is poison-tolerant: if one agent thread panics while posting,
+/// the rest of the fleet keeps reading and writing the board (each entry is
+/// a complete `insert`, so the map is never left half-updated) instead of
+/// cascading the panic fleet-wide.
 #[derive(Debug, Clone, Default)]
 pub struct FleetBlackboard {
     inner: StdArc<Mutex<HashMap<AgentId, ArcObservation>>>,
@@ -288,17 +293,21 @@ impl FleetBlackboard {
         FleetBlackboard::default()
     }
 
+    /// Lock the board, recovering the guard from a poisoned mutex — one
+    /// panicked agent must not take down every other loop in the fleet.
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<AgentId, ArcObservation>> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Post (or replace) an agent's latest observation.
     pub fn post(&self, obs: ArcObservation) {
-        self.inner.lock().unwrap().insert(obs.from, obs);
+        self.lock().insert(obs.from, obs);
     }
 
     /// Total azimuth coverage (degrees, ≤ 360) of all posted observations,
     /// assuming coordinator-assigned (disjoint) arcs.
     pub fn coverage_deg(&self) -> f64 {
-        self.inner
-            .lock()
-            .unwrap()
+        self.lock()
             .values()
             .map(|o| o.arc.width())
             .sum::<f64>()
@@ -307,7 +316,7 @@ impl FleetBlackboard {
 
     /// Number of agents that have posted.
     pub fn contributors(&self) -> usize {
-        self.inner.lock().unwrap().len()
+        self.lock().len()
     }
 }
 
@@ -488,6 +497,42 @@ mod tests {
         }
         assert_eq!(board.contributors(), 1);
         assert_eq!(board.coverage_deg(), 90.0);
+    }
+
+    #[test]
+    fn blackboard_survives_poisoned_lock() {
+        // Regression: a panic while holding the blackboard mutex poisons it;
+        // `lock().unwrap()` then cascaded the panic into every other agent.
+        // The board must recover the guard and keep serving the fleet.
+        let board = FleetBlackboard::new();
+        board.post(ArcObservation {
+            from: AgentId(0),
+            arc: AzimuthArc {
+                start_deg: 0.0,
+                end_deg: 90.0,
+            },
+            payload: vec![],
+        });
+        let cloned = board.clone();
+        let result = std::thread::spawn(move || {
+            let _guard = cloned.inner.lock().unwrap();
+            panic!("agent crashed mid-post");
+        })
+        .join();
+        assert!(result.is_err(), "the posting thread must have panicked");
+        assert!(board.inner.is_poisoned(), "the mutex must be poisoned");
+        // Reads and writes still work for the surviving agents.
+        assert_eq!(board.contributors(), 1);
+        board.post(ArcObservation {
+            from: AgentId(1),
+            arc: AzimuthArc {
+                start_deg: 90.0,
+                end_deg: 180.0,
+            },
+            payload: vec![],
+        });
+        assert_eq!(board.contributors(), 2);
+        assert!((board.coverage_deg() - 180.0).abs() < 1e-9);
     }
 
     #[test]

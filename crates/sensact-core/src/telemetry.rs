@@ -230,6 +230,21 @@ impl LoopTelemetry {
         ordered.iter().chain(wrapped.iter())
     }
 
+    /// The most recently recorded tick, if any; O(1). This is what a replay
+    /// driver compares against after each tick, so replay verification works
+    /// even when the ring capacity is smaller than the run length.
+    pub fn last_record(&self) -> Option<&TickRecord> {
+        if self.records.is_empty() {
+            return None;
+        }
+        let idx = if self.head == 0 {
+            self.records.len() - 1
+        } else {
+            self.head - 1
+        };
+        Some(&self.records[idx])
+    }
+
     /// Maximum number of per-tick records retained.
     pub fn capacity(&self) -> usize {
         self.capacity

@@ -235,7 +235,7 @@ impl Client {
             .filter(|(i, s)| {
                 let row = logits.row(*i);
                 let pred = (0..CLASSES)
-                    .max_by(|&a, &b| row[a].partial_cmp(&row[b]).unwrap())
+                    .max_by(|&a, &b| row[a].total_cmp(&row[b]))
                     .unwrap();
                 pred == s.label
             })
@@ -350,6 +350,20 @@ mod tests {
         assert!(c.round_energy_j(1) < e_full);
         assert!(c.round_latency_s(1) < l_full);
         assert!(c.area_utilization() < 1.0);
+    }
+
+    #[test]
+    fn evaluate_survives_nan_features() {
+        // Regression: the argmax over logits used `partial_cmp().unwrap()`,
+        // which panics as soon as a NaN feature poisons a logit row. A
+        // sensor-dropout sample must degrade accuracy, not crash evaluation.
+        let mut c = small_client(7);
+        let mut samples = Dataset::generate(50, 97).samples().to_vec();
+        for s in samples.iter_mut().take(10) {
+            s.features[0] = f64::NAN;
+        }
+        let acc = c.evaluate(&Dataset::from_samples(samples));
+        assert!((0.0..=1.0).contains(&acc), "accuracy {acc}");
     }
 
     #[test]

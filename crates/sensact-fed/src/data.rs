@@ -199,7 +199,7 @@ mod tests {
                             .zip(&s.features)
                             .map(|(c, f)| (c - f) * (c - f))
                             .sum();
-                        da.partial_cmp(&db).unwrap()
+                        da.total_cmp(&db)
                     })
                     .unwrap();
                 best == s.label
@@ -232,7 +232,7 @@ mod tests {
         // Each client's top-2 classes should dominate.
         for p in &parts {
             let mut dist = p.class_distribution().to_vec();
-            dist.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            dist.sort_by(|a, b| b.total_cmp(a));
             let top2: f64 = dist[0] + dist[1];
             assert!(top2 > 0.8, "top-2 class mass {top2} too low for non-IID");
         }

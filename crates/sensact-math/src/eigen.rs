@@ -102,7 +102,7 @@ pub fn symmetric_eigen(a: &Matrix) -> Result<SymmetricEigen> {
 fn finish_symmetric(m: Matrix, v: Matrix) -> SymmetricEigen {
     let n = m.rows();
     let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (m[(i, i)], i)).collect();
-    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    pairs.sort_by(|a, b| b.0.total_cmp(&a.0));
     let values: Vec<f64> = pairs.iter().map(|p| p.0).collect();
     let mut vectors = Matrix::zeros(n, n);
     for (new_col, &(_, old_col)) in pairs.iter().enumerate() {
@@ -338,7 +338,7 @@ pub fn eigenvalues(a: &Matrix) -> Result<Vec<Complex64>> {
         }
     }
 
-    eigs.sort_by(|a, b| b.abs().partial_cmp(&a.abs()).unwrap());
+    eigs.sort_by(|a, b| b.abs().total_cmp(&a.abs()));
     Ok(eigs)
 }
 
@@ -391,7 +391,7 @@ mod tests {
     use crate::rng::StdRng;
 
     fn sorted_real(mut v: Vec<f64>) -> Vec<f64> {
-        v.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        v.sort_by(|a, b| b.total_cmp(a));
         v
     }
 

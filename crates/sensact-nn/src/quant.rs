@@ -65,11 +65,52 @@ pub struct QuantReport {
     pub mse: f64,
 }
 
+/// Typed error from [`try_fake_quantize`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuantError {
+    /// The buffer holds a NaN or infinite entry at `index`; quantizing it
+    /// would either poison the scale or silently invent a value.
+    NonFinite {
+        /// Index of the first non-finite entry.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for QuantError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuantError::NonFinite { index } => {
+                write!(f, "non-finite value at index {index} cannot be quantized")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QuantError {}
+
+/// Strict variant of [`fake_quantize`]: reject non-finite inputs instead of
+/// saturating them. On error the buffer is left untouched, so a caller can
+/// route the poisoned layer to a recovery path (e.g. hold the last-good
+/// weights) rather than shipping sanitized garbage.
+pub fn try_fake_quantize(buf: &mut [f64], precision: Precision) -> Result<QuantReport, QuantError> {
+    if let Some(index) = buf.iter().position(|v| !v.is_finite()) {
+        return Err(QuantError::NonFinite { index });
+    }
+    Ok(fake_quantize(buf, precision))
+}
+
 /// Symmetric uniform fake-quantization of a buffer in place.
 ///
 /// Values are mapped to the integer grid `[-2^(b-1)+1, 2^(b-1)-1]` scaled by
 /// the buffer's max-abs, then dequantized back to floats. `Precision::Full`
 /// is a no-op with zero error.
+///
+/// Non-finite entries (sensor dropouts, upstream NaN poisoning) are
+/// **saturated, never propagated**: the scale is computed over the finite
+/// entries only, NaN becomes `0.0` and ±∞ clamps to ±max-abs — exactly where
+/// the grid would clamp any out-of-range finite value. (Previously a single
+/// `inf` made the scale infinite and dequantized *every* entry to NaN via
+/// `0 × ∞`.) Use [`try_fake_quantize`] to reject such buffers instead.
 pub fn fake_quantize(buf: &mut [f64], precision: Precision) -> QuantReport {
     if precision == Precision::Full || buf.is_empty() {
         return QuantReport {
@@ -78,7 +119,19 @@ pub fn fake_quantize(buf: &mut [f64], precision: Precision) -> QuantReport {
         };
     }
     let qmax = ((1i64 << (precision.bits() - 1)) - 1) as f64;
-    let max_abs = buf.iter().fold(0.0f64, |m, x| m.max(x.abs()));
+    let max_abs = buf
+        .iter()
+        .filter(|v| v.is_finite())
+        .fold(0.0f64, |m, x| m.max(x.abs()));
+    for v in buf.iter_mut() {
+        if !v.is_finite() {
+            *v = if v.is_nan() {
+                0.0
+            } else {
+                v.signum() * max_abs
+            };
+        }
+    }
     if max_abs == 0.0 {
         return QuantReport {
             scale: 0.0,
@@ -203,6 +256,51 @@ mod tests {
     }
 
     #[test]
+    fn non_finite_input_saturates_instead_of_poisoning_grid() {
+        // Regression: one inf made scale = inf, so every entry dequantized
+        // to 0 × inf = NaN — the whole buffer was silently destroyed.
+        let mut buf = vec![0.5, f64::INFINITY, -0.25, f64::NAN, f64::NEG_INFINITY];
+        let r = fake_quantize(&mut buf, Precision::Int8);
+        assert!(buf.iter().all(|v| v.is_finite()), "poisoned output {buf:?}");
+        assert!(r.scale.is_finite() && r.mse.is_finite());
+        // Finite entries quantize exactly as they would without the poison.
+        let mut clean = vec![0.5, -0.25];
+        let rc = fake_quantize(&mut clean, Precision::Int8);
+        assert_eq!(r.scale, rc.scale);
+        assert_eq!(&buf[..1], &clean[..1]);
+        assert_eq!(buf[2], clean[1]);
+        // NaN zeroes out; ±inf saturates to ±max-abs.
+        assert_eq!(buf[3], 0.0);
+        assert_eq!(buf[1], 0.5);
+        assert_eq!(buf[4], -0.5);
+    }
+
+    #[test]
+    fn all_non_finite_buffer_zeroes_out() {
+        let mut buf = vec![f64::NAN, f64::INFINITY, f64::NEG_INFINITY];
+        let r = fake_quantize(&mut buf, Precision::Int4);
+        assert_eq!(buf, vec![0.0; 3]);
+        assert_eq!(r.scale, 0.0);
+        assert_eq!(r.mse, 0.0);
+    }
+
+    #[test]
+    fn try_fake_quantize_rejects_and_preserves() {
+        let mut buf = vec![0.5, -0.25, f64::NAN, 1.0];
+        let orig = buf.clone();
+        let err = try_fake_quantize(&mut buf, Precision::Int8).unwrap_err();
+        assert_eq!(err, QuantError::NonFinite { index: 2 });
+        assert!(err.to_string().contains("index 2"));
+        assert_eq!(buf[..2], orig[..2]);
+        assert!(buf[2].is_nan());
+        assert_eq!(buf[3], orig[3]);
+
+        let mut clean = vec![0.5, -0.25, 1.0];
+        let r = try_fake_quantize(&mut clean, Precision::Int8).unwrap();
+        assert!(r.scale > 0.0);
+    }
+
+    #[test]
     fn precision_display_and_bits() {
         assert_eq!(Precision::Int8.to_string(), "INT8");
         assert_eq!(Precision::Full.to_string(), "FP64");
@@ -239,6 +337,51 @@ mod prop_tests {
                 let second = fake_quantize(&mut q2, precision);
                 assert!(second.mse < 1e-20, "not idempotent: {}", second.mse);
                 assert_eq!(&q2, &q);
+            }
+        }
+    }
+
+    /// Poisoned buffers (random NaN/±inf injections) always quantize to a
+    /// finite on-grid result, and the strict variant always rejects them
+    /// with the first poisoned index.
+    #[test]
+    fn prop_poisoned_buffers_never_produce_nan() {
+        let mut rng = StdRng::seed_from_u64(0xBADF00D);
+        for _ in 0..64 {
+            let len = rng.random_range(2..64usize);
+            let mut buf: Vec<f64> = (0..len).map(|_| rng.random_range(-5.0..5.0)).collect();
+            let poisons = rng.random_range(1..=len / 2 + 1);
+            let mut first = usize::MAX;
+            for _ in 0..poisons {
+                let i = rng.random_range(0..len);
+                buf[i] = match rng.random_range(0..3u32) {
+                    0 => f64::NAN,
+                    1 => f64::INFINITY,
+                    _ => f64::NEG_INFINITY,
+                };
+            }
+            for (i, v) in buf.iter().enumerate() {
+                if !v.is_finite() {
+                    first = i;
+                    break;
+                }
+            }
+            for precision in [Precision::Int2, Precision::Int8, Precision::Int16] {
+                let mut strict = buf.clone();
+                assert_eq!(
+                    try_fake_quantize(&mut strict, precision),
+                    Err(QuantError::NonFinite { index: first })
+                );
+                let mut q = buf.clone();
+                let report = fake_quantize(&mut q, precision);
+                assert!(report.scale.is_finite() && report.mse.is_finite());
+                for v in &q {
+                    assert!(v.is_finite(), "poison leaked: {q:?}");
+                    if report.scale > 0.0 {
+                        let grid = v / report.scale;
+                        assert!((grid - grid.round()).abs() < 1e-9, "{v} off-grid");
+                    }
+                }
             }
         }
     }

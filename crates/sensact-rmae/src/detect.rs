@@ -148,7 +148,7 @@ pub fn debug_clusters(grid: &VoxelGrid) -> Vec<String> {
 /// Class-aware center-distance NMS: within each class, suppress detections
 /// whose center lies within the class radius of a higher-scoring detection.
 fn nms(mut detections: Vec<Detection3d>) -> Vec<Detection3d> {
-    detections.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap());
+    detections.sort_by(|a, b| b.score.total_cmp(&a.score));
     let radius = |class: ObjectClass| match class {
         ObjectClass::Car => 2.5,
         ObjectClass::Cyclist => 1.4,

@@ -252,7 +252,7 @@ fn match_scene(
     max_dist: f64,
 ) -> (Vec<Detection3d>, usize) {
     let mut order: Vec<usize> = (0..dets.len()).collect();
-    order.sort_by(|&a, &b| dets[b].score.partial_cmp(&dets[a].score).unwrap());
+    order.sort_by(|&a, &b| dets[b].score.total_cmp(&dets[a].score));
     let mut claimed = vec![false; gt.len()];
     let mut out = Vec::with_capacity(dets.len());
     for &di in &order {

@@ -32,4 +32,10 @@ RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps -q
 echo "== bench_obs smoke (quick mode) =="
 SENSACT_QUICK=1 cargo bench --offline -p sensact-bench --bench bench_obs
 
+echo "== replay round-trip (1k-tick faulty run) =="
+cargo test --offline -q --test replay_integration
+
+echo "== conformance smoke (differential kernel matrix) =="
+cargo run --offline --release -p sensact-bench --bin conformance -- --smoke
+
 echo "CI gate passed."
