@@ -1,0 +1,269 @@
+//! Fleet-runtime scaling bench: `sensact-sched` throughput and overhead.
+//!
+//! Two questions, two sections:
+//!
+//! 1. **Fleet throughput** (virtual time): a fleet of N identical loops on
+//!    W = 8 deterministic virtual workers versus the same fleet on a single
+//!    worker (the sequential baseline). The schedule is sized to exact
+//!    capacity — each loop ticks K = 5 times at a period chosen so the
+//!    aggregate charged latency just saturates the pool — so the ideal
+//!    speedup is W. Acceptance: ≥ 4× at 1 000 loops. Sizes 100 / 1 000 /
+//!    4 000 (smoke: 16 / 64).
+//! 2. **Scheduler overhead** (wall clock) at fleet size 1: the realistic
+//!    256-sample workload ticked raw (`SensingActionLoop::tick` in a plain
+//!    loop) versus through `FleetScheduler::run_deterministic`. Batches are
+//!    paired and interleaved so CPU frequency drift cancels. Acceptance:
+//!    < 5 % per-tick overhead.
+//!
+//! Writes `BENCH_sched.json` at the repo root (full mode only, so CI smoke
+//! runs don't clobber recorded numbers). Run with `--smoke` (or
+//! `SENSACT_QUICK=1`) for the reduced sizes.
+
+use sensact_bench::{compare, header};
+use sensact_core::stage::{FnController, FnPerceptor, FnSensor, StageContext, Trust};
+use sensact_core::trace::SimClock;
+use sensact_core::LoopBuilder;
+use sensact_sched::{FleetConfig, FleetReport, FleetScheduler, LoopHandle, LoopSpec};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Virtual workers for the fleet runs (the machine's core count is
+/// irrelevant — deterministic mode simulates the pool in virtual time).
+const WORKERS: usize = 8;
+/// Ticks per loop in every throughput run.
+const TICKS_PER_LOOP: u64 = 5;
+/// Charged latency of one trivial tick (virtual seconds).
+const TICK_LATENCY_S: f64 = 1e-4;
+
+fn smoke() -> bool {
+    sensact_bench::quick() || std::env::args().any(|a| a == "--smoke")
+}
+
+/// A trivial member loop charging a fixed latency/energy per tick.
+fn trivial_handle(name: String) -> LoopHandle {
+    let looop = LoopBuilder::new(name).build(
+        FnSensor::new(|e: &f64, ctx: &mut StageContext| {
+            ctx.charge(1e-6, TICK_LATENCY_S);
+            *e
+        }),
+        FnPerceptor::new(|r: &f64, _: &mut StageContext| *r),
+        FnController::new(|f: &f64, _t: Trust, _: &mut StageContext| -0.5 * f),
+    );
+    LoopHandle::closed(looop, 1.0f64, |_, _| {})
+}
+
+/// Run N trivial loops over `workers` virtual workers at exact capacity:
+/// period = N·latency/WORKERS, horizon = K periods ⇒ K ticks per loop.
+fn fleet_run(n: usize, workers: usize) -> FleetReport {
+    let period_s = n as f64 * TICK_LATENCY_S / WORKERS as f64;
+    let horizon_s = TICKS_PER_LOOP as f64 * period_s;
+    let mut fleet = FleetScheduler::new(FleetConfig {
+        workers,
+        watts_cap: None,
+        seed: 42,
+    });
+    for i in 0..n {
+        fleet.register(
+            trivial_handle(format!("m{i}")),
+            // Effectively unbounded queue: the single-worker baseline runs
+            // far behind the release schedule and must not shed load, so
+            // both runs execute the identical N·K ticks.
+            LoopSpec::periodic(period_s).with_queue_capacity(usize::MAX),
+        );
+    }
+    fleet.run_deterministic(horizon_s, &mut SimClock::new())
+}
+
+struct ThroughputRow {
+    loops: usize,
+    fleet_makespan_s: f64,
+    sequential_makespan_s: f64,
+    ticks: u64,
+    speedup: f64,
+    utilization: f64,
+}
+
+fn throughput_case(n: usize) -> ThroughputRow {
+    let fleet = fleet_run(n, WORKERS);
+    let sequential = fleet_run(n, 1);
+    assert_eq!(
+        fleet.ticks, sequential.ticks,
+        "both runs must execute the identical schedule"
+    );
+    assert_eq!(fleet.drops + sequential.drops, 0, "no run may drop ticks");
+    ThroughputRow {
+        loops: n,
+        fleet_makespan_s: fleet.makespan_s,
+        sequential_makespan_s: sequential.makespan_s,
+        ticks: fleet.ticks,
+        speedup: sequential.makespan_s / fleet.makespan_s,
+        utilization: fleet.mean_utilization(),
+    }
+}
+
+/// The realistic workload from `bench_obs`: a 256-sample sweep sensor and a
+/// mean+variance perceptor (~2.6 µs of real work per tick).
+#[allow(clippy::type_complexity)]
+fn realistic_stages() -> (
+    FnSensor<impl FnMut(&f64, &mut StageContext) -> Vec<f64>>,
+    FnPerceptor<impl FnMut(&Vec<f64>, &mut StageContext) -> f64>,
+    FnController<impl FnMut(&f64, Trust, &mut StageContext) -> f64>,
+) {
+    (
+        FnSensor::new(|e: &f64, ctx: &mut StageContext| {
+            ctx.charge(1e-6, 1e-6);
+            let mut sweep = Vec::with_capacity(256);
+            for i in 0..256 {
+                sweep.push(e + (i as f64 * 0.1).sin());
+            }
+            sweep
+        }),
+        FnPerceptor::new(|sweep: &Vec<f64>, _: &mut StageContext| {
+            let n = sweep.len() as f64;
+            let mean = sweep.iter().sum::<f64>() / n;
+            let var = sweep.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+            mean + var
+        }),
+        FnController::new(|f: &f64, _t: Trust, _: &mut StageContext| -0.5 * f),
+    )
+}
+
+struct OverheadRow {
+    raw_tick_ns: f64,
+    scheduled_tick_ns: f64,
+    overhead_pct: f64,
+}
+
+/// Paired interleaved measurement of raw vs scheduled ticks at fleet size 1.
+fn overhead_case(batch: u64, rounds: u32) -> OverheadRow {
+    let (s, p, c) = realistic_stages();
+    let mut raw = LoopBuilder::new("raw").build(s, p, c);
+    let env = 0.25f64;
+
+    let (s, p, c) = realistic_stages();
+    let scheduled = LoopBuilder::new("scheduled").build(s, p, c);
+    let mut fleet = FleetScheduler::new(FleetConfig {
+        workers: 1,
+        watts_cap: None,
+        seed: 0,
+    });
+    let period_s = 1e-3;
+    fleet.register(
+        LoopHandle::closed(scheduled, env, |_, _| {}),
+        LoopSpec::periodic(period_s).with_queue_capacity(TICKS_PER_LOOP as usize),
+    );
+    let horizon_s = batch as f64 * period_s;
+
+    // Warm-up (untimed) pass for each side, then alternating timed batches.
+    for _ in 0..batch {
+        black_box(raw.tick(&env));
+    }
+    black_box(fleet.run_deterministic(horizon_s, &mut SimClock::new()));
+
+    let mut raw_ns = 0.0f64;
+    let mut sched_ns = 0.0f64;
+    let mut sched_ticks = 0u64;
+    for _ in 0..rounds {
+        let t = Instant::now();
+        for _ in 0..batch {
+            black_box(raw.tick(&env));
+        }
+        raw_ns += t.elapsed().as_nanos() as f64;
+
+        let t = Instant::now();
+        let report = fleet.run_deterministic(horizon_s, &mut SimClock::new());
+        sched_ns += t.elapsed().as_nanos() as f64;
+        assert_eq!(report.ticks, batch, "scheduler must execute every release");
+        sched_ticks += report.ticks;
+    }
+    let raw_tick_ns = raw_ns / (batch * rounds as u64) as f64;
+    let scheduled_tick_ns = sched_ns / sched_ticks as f64;
+    OverheadRow {
+        raw_tick_ns,
+        scheduled_tick_ns,
+        overhead_pct: 100.0 * (scheduled_tick_ns - raw_tick_ns) / raw_tick_ns,
+    }
+}
+
+fn main() {
+    let smoke = smoke();
+    let sizes: &[usize] = if smoke { &[16, 64] } else { &[100, 1000, 4000] };
+
+    header(&format!(
+        "fleet throughput — {WORKERS} virtual workers vs sequential, K = {TICKS_PER_LOOP} ticks/loop"
+    ));
+    let rows: Vec<ThroughputRow> = sizes.iter().map(|&n| throughput_case(n)).collect();
+    for r in &rows {
+        compare(
+            &format!("{} loops ({} ticks)", r.loops, r.ticks),
+            "ideal 8.0x",
+            &format!(
+                "{:.2}x  (makespan {:.4} s vs {:.4} s, util {:.0}%)",
+                r.speedup,
+                r.fleet_makespan_s,
+                r.sequential_makespan_s,
+                100.0 * r.utilization
+            ),
+        );
+    }
+
+    header("scheduler overhead at fleet size 1 — realistic 256-sample workload");
+    let (batch, rounds) = if smoke { (256, 4) } else { (2048, 12) };
+    let overhead = overhead_case(batch, rounds);
+    compare(
+        "per-tick overhead (target < 5 %)",
+        "raw tick",
+        &format!(
+            "raw {:.1} ns, scheduled {:.1} ns, overhead {:+.2} %",
+            overhead.raw_tick_ns, overhead.scheduled_tick_ns, overhead.overhead_pct
+        ),
+    );
+
+    let csv_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{},{},{},{:.6},{:.6},{:.3},{:.3}",
+                r.loops,
+                WORKERS,
+                r.ticks,
+                r.fleet_makespan_s,
+                r.sequential_makespan_s,
+                r.speedup,
+                r.utilization
+            )
+        })
+        .collect();
+    sensact_bench::write_csv(
+        "bench_sched",
+        "loops,workers,ticks,fleet_makespan_s,sequential_makespan_s,speedup,utilization",
+        &csv_rows,
+    );
+
+    if !smoke {
+        let throughput_json: Vec<String> = rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "    {{ \"loops\": {}, \"ticks\": {}, \"fleet_makespan_s\": {:.6}, \"sequential_makespan_s\": {:.6}, \"speedup\": {:.3}, \"utilization\": {:.3} }}",
+                    r.loops,
+                    r.ticks,
+                    r.fleet_makespan_s,
+                    r.sequential_makespan_s,
+                    r.speedup,
+                    r.utilization
+                )
+            })
+            .collect();
+        let json = format!(
+            "{{\n  \"workers\": {WORKERS},\n  \"ticks_per_loop\": {TICKS_PER_LOOP},\n  \"throughput\": [\n{}\n  ],\n  \"overhead_fleet1\": {{\n    \"raw_tick_ns\": {:.1},\n    \"scheduled_tick_ns\": {:.1},\n    \"overhead_pct\": {:.2}\n  }}\n}}\n",
+            throughput_json.join(",\n"),
+            overhead.raw_tick_ns,
+            overhead.scheduled_tick_ns,
+            overhead.overhead_pct
+        );
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sched.json");
+        std::fs::write(path, json).expect("write BENCH_sched.json");
+        println!("wrote BENCH_sched.json");
+    }
+}

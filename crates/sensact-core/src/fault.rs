@@ -672,6 +672,13 @@ impl<S, P, M, C, Ad, F> FallibleLoop<S, P, M, C, Ad, F> {
         &self.telemetry
     }
 
+    /// Mutably borrow the telemetry — lets an external runtime (e.g. a fleet
+    /// scheduler) attribute events it observes from outside the loop, such as
+    /// a deadline miss surfaced as a [`StageError::Timeout`] fault.
+    pub fn telemetry_mut(&mut self) -> &mut LoopTelemetry {
+        &mut self.telemetry
+    }
+
     /// Budget state.
     pub fn budget(&self) -> &EnergyBudget {
         &self.budget

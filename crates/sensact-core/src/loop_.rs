@@ -50,6 +50,14 @@ impl<S, P, M, C, Ad> SensingActionLoop<S, P, M, C, Ad> {
         &self.telemetry
     }
 
+    /// Mutably borrow the telemetry — the hook an external runtime (e.g. a
+    /// fleet scheduler) uses to attribute events it observes from outside the
+    /// loop, such as a deadline miss surfaced as a
+    /// [`StageError::Timeout`](crate::fault::StageError::Timeout) fault.
+    pub fn telemetry_mut(&mut self) -> &mut LoopTelemetry {
+        &mut self.telemetry
+    }
+
     /// Budget state.
     pub fn budget(&self) -> &EnergyBudget {
         &self.budget

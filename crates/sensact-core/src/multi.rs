@@ -124,6 +124,41 @@ impl CoverageCoordinator {
         out
     }
 
+    /// Re-partition the circle after fleet membership changed, preserving
+    /// assignment *stability* for surviving agents: survivors keep their
+    /// relative order from `previous` (so their arc starts move as little as
+    /// the battery weights allow, and the first survivor stays anchored where
+    /// it was), while joining agents are appended after them in `agents`
+    /// order. Departed agents are simply dropped.
+    ///
+    /// With an unchanged membership and unchanged batteries this reproduces
+    /// `previous` exactly, so a coordinator may call it every epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `agents` is empty or total battery is not positive (via
+    /// [`CoverageCoordinator::assign`]).
+    pub fn reassign(
+        &self,
+        previous: &[ArcAssignment],
+        agents: &[AgentProfile],
+    ) -> Vec<ArcAssignment> {
+        let mut ordered: Vec<AgentProfile> = Vec::with_capacity(agents.len());
+        // Survivors first, in their previous assignment order.
+        for prev in previous {
+            if let Some(a) = agents.iter().find(|a| a.id == prev.id) {
+                ordered.push(*a);
+            }
+        }
+        // Then joiners, in the order the caller listed them.
+        for a in agents {
+            if !previous.iter().any(|p| p.id == a.id) {
+                ordered.push(*a);
+            }
+        }
+        self.assign(&ordered)
+    }
+
     /// Energy for one agent to sense the full circle alone.
     pub fn solo_energy(&self, agent: &AgentProfile) -> f64 {
         agent.sense_energy_per_deg * 360.0
@@ -213,15 +248,11 @@ impl ObservationBus {
 
     /// Take agent `i`'s receiving endpoint (each can be taken once).
     ///
-    /// # Panics
-    ///
-    /// Panics if `i` is out of range or the endpoint was already taken.
-    pub fn take_receiver(&mut self, i: usize) -> Receiver<ArcObservation> {
-        self.receivers
-            .get_mut(i)
-            .expect("agent index out of range")
-            .take()
-            .expect("receiver already taken")
+    /// Returns `None` when `i` is out of range or the endpoint was already
+    /// taken — a runtime that restarts a loop probes for its endpoint rather
+    /// than trusting that nobody claimed it first, so neither case panics.
+    pub fn take_receiver(&mut self, i: usize) -> Option<Receiver<ArcObservation>> {
+        self.receivers.get_mut(i)?.take()
     }
 
     /// Publish an observation from agent `from` to all other agents.
@@ -399,9 +430,9 @@ mod tests {
     #[test]
     fn bus_broadcasts_to_others_only() {
         let mut bus = ObservationBus::new(3);
-        let rx0 = bus.take_receiver(0);
-        let rx1 = bus.take_receiver(1);
-        let rx2 = bus.take_receiver(2);
+        let rx0 = bus.take_receiver(0).unwrap();
+        let rx1 = bus.take_receiver(1).unwrap();
+        let rx2 = bus.take_receiver(2).unwrap();
         let obs = ArcObservation {
             from: AgentId(0),
             arc: AzimuthArc {
@@ -419,7 +450,7 @@ mod tests {
     #[test]
     fn bus_works_across_threads() {
         let mut bus = ObservationBus::new(2);
-        let rx1 = bus.take_receiver(1);
+        let rx1 = bus.take_receiver(1).unwrap();
         let handle = std::thread::spawn(move || rx1.recv().unwrap());
         bus.publish(
             AgentId(0),
@@ -439,9 +470,9 @@ mod tests {
     #[test]
     fn bus_counters_track_publishes_deliveries_and_drops() {
         let mut bus = ObservationBus::new(3);
-        let _rx0 = bus.take_receiver(0);
-        let rx1 = bus.take_receiver(1);
-        drop(bus.take_receiver(2)); // agent 2 went offline
+        let _rx0 = bus.take_receiver(0).unwrap();
+        let rx1 = bus.take_receiver(1).unwrap();
+        drop(bus.take_receiver(2).unwrap()); // agent 2 went offline
         let obs = ArcObservation {
             from: AgentId(0),
             arc: AzimuthArc {
@@ -545,8 +576,8 @@ mod tests {
     #[cfg_attr(debug_assertions, should_panic(expected = "not a member"))]
     fn publish_from_nonmember_reaches_no_one() {
         let mut bus = ObservationBus::new(2);
-        let rx0 = bus.take_receiver(0);
-        let rx1 = bus.take_receiver(1);
+        let rx0 = bus.take_receiver(0).unwrap();
+        let rx1 = bus.take_receiver(1).unwrap();
         // AgentId(2) is not on a 2-agent bus. Debug builds panic; release
         // builds must deliver to no one (previously this spoofed a
         // broadcast to every member).
@@ -635,5 +666,126 @@ mod tests {
                 assert_eq!(owners, 1, "azimuth {az} owned by {owners} arcs");
             }
         }
+    }
+
+    #[test]
+    fn take_receiver_is_none_on_repeat_or_out_of_range() {
+        let mut bus = ObservationBus::new(2);
+        assert!(bus.take_receiver(5).is_none(), "out-of-range index");
+        let rx = bus.take_receiver(0);
+        assert!(rx.is_some());
+        assert!(bus.take_receiver(0).is_none(), "repeated take");
+        // A restarting loop can still claim the untouched endpoint.
+        assert!(bus.take_receiver(1).is_some());
+    }
+
+    #[test]
+    fn reassign_keeps_survivors_stable_through_join_and_leave() {
+        // The 1 → 2 → 1 membership transition: agent 0 runs solo, agent 1
+        // joins, then leaves again.
+        let coordinator = CoverageCoordinator::new();
+        let solo = fleet(1);
+        let initial = coordinator.assign(&solo);
+        assert_eq!(initial[0].arc.width(), 360.0);
+
+        // Join: the survivor must keep its anchor (arc start) while shrinking
+        // to make room for the newcomer.
+        let pair = fleet(2);
+        let joined = coordinator.reassign(&initial, &pair);
+        assert_eq!(joined.len(), 2);
+        assert_eq!(joined[0].id, AgentId(0));
+        assert_eq!(joined[0].arc.start_deg, 0.0, "survivor anchor moved");
+        assert!((joined[0].arc.width() - 180.0).abs() < 1e-9);
+        assert_eq!(joined[1].id, AgentId(1));
+        let total: f64 = joined.iter().map(|a| a.arc.width()).sum();
+        assert!((total - 360.0).abs() < 1e-9);
+
+        // Leave: the survivor gets the full circle back, bit-identical to its
+        // original solo assignment.
+        let left = coordinator.reassign(&joined, &solo);
+        assert_eq!(left, initial);
+
+        // Unchanged membership is a fixpoint.
+        assert_eq!(coordinator.reassign(&joined, &pair), joined);
+
+        // Survivor ordering is taken from `previous`, not from the caller's
+        // agent list: listing the fleet in reverse must not reshuffle arcs.
+        let reversed: Vec<AgentProfile> = pair.iter().rev().copied().collect();
+        assert_eq!(coordinator.reassign(&joined, &reversed), joined);
+    }
+
+    #[test]
+    fn blackboard_contention_is_monotone_and_recovers_from_poison() {
+        // ≥8 posters race `post` against a sampler calling `coverage_deg`.
+        // Arcs are coordinator-assigned (disjoint), and a re-post replaces an
+        // identical entry, so observed coverage must be monotone
+        // non-decreasing. Midway, one poster panics while holding the lock;
+        // the PR 4 poison recovery must keep everyone else running.
+        let board = FleetBlackboard::new();
+        let assignments = CoverageCoordinator::new().assign(&fleet(8));
+
+        let sampler = {
+            let board = board.clone();
+            std::thread::spawn(move || {
+                let mut last = 0.0f64;
+                for _ in 0..400 {
+                    let c = board.coverage_deg();
+                    assert!(
+                        c >= last,
+                        "coverage went backwards under contention: {c} < {last}"
+                    );
+                    last = c;
+                    std::thread::yield_now();
+                }
+                last
+            })
+        };
+
+        let posters: Vec<_> = assignments
+            .iter()
+            .map(|asg| {
+                let board = board.clone();
+                let asg = *asg;
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        board.post(ArcObservation {
+                            from: asg.id,
+                            arc: asg.arc,
+                            payload: vec![asg.arc.start_deg],
+                        });
+                        std::thread::yield_now();
+                    }
+                })
+            })
+            .collect();
+
+        // A ninth participant crashes while holding the raw mutex, poisoning
+        // it in the middle of the race.
+        let crasher = {
+            let board = board.clone();
+            std::thread::spawn(move || {
+                let _guard = board.inner.lock().unwrap_or_else(|e| e.into_inner());
+                panic!("agent crashed mid-post");
+            })
+        };
+        assert!(crasher.join().is_err(), "the crasher must have panicked");
+        assert!(board.inner.is_poisoned(), "the mutex must be poisoned");
+
+        for p in posters {
+            p.join().expect("poster survived the poisoned mutex");
+        }
+        let final_sampled = sampler.join().expect("sampler survived");
+        assert!(final_sampled <= 360.0);
+
+        // Recovery engaged: reads and writes still work, and the fleet ended
+        // fully covered despite the poisoned lock.
+        assert_eq!(board.contributors(), 8);
+        assert!((board.coverage_deg() - 360.0).abs() < 1e-9);
+        board.post(ArcObservation {
+            from: AgentId(0),
+            arc: assignments[0].arc,
+            payload: vec![],
+        });
+        assert_eq!(board.contributors(), 8);
     }
 }

@@ -206,6 +206,14 @@ impl SimClock {
     pub fn advance(&mut self, dt_s: f64) {
         self.now_s += dt_s.max(0.0);
     }
+
+    /// Read the current time *without* advancing it — unlike
+    /// [`Clock::now_s`], which steps the clock per query. Event-driven
+    /// runtimes use this to compare the clock against a pending event time
+    /// before deciding how far to [`SimClock::advance`].
+    pub fn peek_s(&self) -> f64 {
+        self.now_s
+    }
 }
 
 impl Default for SimClock {
@@ -521,6 +529,17 @@ mod tests {
         // Negative advances are ignored — the clock is monotonic.
         c.advance(-5.0);
         assert_eq!(c.now_s(), 2.5);
+    }
+
+    #[test]
+    fn sim_clock_peek_does_not_advance() {
+        let mut c = SimClock::with_step(1.0);
+        assert_eq!(c.peek_s(), 0.0);
+        assert_eq!(c.peek_s(), 0.0);
+        let _ = c.now_s();
+        assert_eq!(c.peek_s(), 1.0);
+        c.advance(2.5);
+        assert_eq!(c.peek_s(), 3.5);
     }
 
     #[test]

@@ -58,8 +58,9 @@ pub trait LatentModel {
 }
 
 /// The latent transition sub-module: batched forward/backward on `(z, u)`
-/// plus per-sample context for attention models.
-pub(crate) trait DynCore {
+/// plus per-sample context for attention models. `Send` so models migrate
+/// across the fleet runtime's worker threads (see [`Layer`]).
+pub(crate) trait DynCore: Send {
     fn forward(&mut self, z: &Tensor, u: &[f64], ctx: &[Vec<Vec<f64>>]) -> Tensor;
     fn backward(&mut self, grad: &Tensor) -> Tensor;
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f64], &mut [f64]));

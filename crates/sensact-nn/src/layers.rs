@@ -13,7 +13,11 @@ use crate::tensor::Tensor;
 /// and returns the gradient w.r.t. the input, accumulating parameter
 /// gradients internally; optimizers traverse `(param, grad)` pairs through
 /// [`Layer::visit_params`].
-pub trait Layer {
+///
+/// `Send` is a supertrait so models built from boxed layers can migrate
+/// across the fleet runtime's worker threads; every layer is plain owned
+/// data, so this costs implementors nothing.
+pub trait Layer: Send {
     /// Run the layer. `train` enables stochastic behaviour (dropout).
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
 

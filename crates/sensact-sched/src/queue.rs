@@ -1,0 +1,204 @@
+//! Sharded EDF ready-queue with work stealing.
+//!
+//! Each worker owns one shard (a binary min-heap ordered by absolute
+//! deadline); a loop's releases always land on its *home* shard
+//! (`loop_idx % workers`), so an unloaded fleet runs shard-local with no
+//! cross-worker traffic. A worker whose shard runs dry scans the other
+//! shards round-robin and *steals* the earliest-deadline release it finds —
+//! stealing keeps tail latency bounded when the battery-heavy loops cluster
+//! on one shard, and every steal is counted for the metrics export.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One pending tick release, ordered by absolute deadline (EDF).
+///
+/// `deadline_bits` is the IEEE-754 bit pattern of the (non-negative)
+/// deadline: for non-negative floats the bit pattern is order-preserving, so
+/// integer comparison gives exact float ordering with total order and `Eq`.
+/// `tie` is a seeded per-release key that breaks deadline ties — it is what
+/// makes a fleet run's interleaving a pure function of the seed.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Release {
+    /// Absolute deadline, as order-preserving bits of a non-negative f64.
+    pub deadline_bits: u64,
+    /// Seeded tie-break key for equal deadlines.
+    pub tie: u64,
+    /// Index of the loop this release belongs to.
+    pub loop_idx: usize,
+    /// Monotone release counter within the loop (drops advance it too).
+    pub release_idx: u64,
+    /// Release time (seconds, virtual).
+    pub release_s: f64,
+}
+
+impl Release {
+    fn key(&self) -> (u64, u64, usize, u64) {
+        (
+            self.deadline_bits,
+            self.tie,
+            self.loop_idx,
+            self.release_idx,
+        )
+    }
+}
+
+impl PartialEq for Release {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl Eq for Release {}
+impl PartialOrd for Release {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Release {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+/// SplitMix64 — the seeded tie-break generator. A release's key depends only
+/// on `(seed, loop, release index)`, never on execution order, so the EDF
+/// order is reproducible regardless of which worker pushed the release.
+pub(crate) fn tie_break(seed: u64, loop_idx: usize, release_idx: u64) -> u64 {
+    let mut x = seed
+        ^ (loop_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ release_idx.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The multi-worker ready queue: one mutex-guarded heap per worker plus
+/// relaxed counters for depth sampling and steal accounting.
+#[derive(Debug)]
+pub(crate) struct ShardedQueue {
+    shards: Vec<Mutex<BinaryHeap<Reverse<Release>>>>,
+    len: AtomicUsize,
+    steals: AtomicU64,
+}
+
+impl ShardedQueue {
+    pub fn new(workers: usize) -> Self {
+        ShardedQueue {
+            shards: (0..workers.max(1)).map(|_| Mutex::default()).collect(),
+            len: AtomicUsize::new(0),
+            steals: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, i: usize) -> std::sync::MutexGuard<'_, BinaryHeap<Reverse<Release>>> {
+        // A worker that panicked mid-push cannot corrupt a BinaryHeap
+        // invariant we rely on for safety — recover rather than cascade.
+        self.shards[i].lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Push onto the release's home shard.
+    pub fn push(&self, release: Release) {
+        let home = release.loop_idx % self.shards.len();
+        self.shard(home).push(Reverse(release));
+        self.len.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Pop the earliest-deadline release visible to `worker`: its own shard
+    /// first, then the other shards round-robin (a hit there is a steal).
+    pub fn pop(&self, worker: usize) -> Option<Release> {
+        let n = self.shards.len();
+        let own = worker % n;
+        if let Some(Reverse(r)) = self.shard(own).pop() {
+            self.len.fetch_sub(1, Ordering::Relaxed);
+            return Some(r);
+        }
+        for k in 1..n {
+            let victim = (own + k) % n;
+            if let Some(Reverse(r)) = self.shard(victim).pop() {
+                self.len.fetch_sub(1, Ordering::Relaxed);
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(r);
+            }
+        }
+        None
+    }
+
+    /// Approximate total queued releases (for depth sampling).
+    pub fn depth(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// Steals so far.
+    pub fn steals(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn release(loop_idx: usize, deadline_s: f64, tie: u64) -> Release {
+        Release {
+            deadline_bits: deadline_s.to_bits(),
+            tie,
+            loop_idx,
+            release_idx: 0,
+            release_s: 0.0,
+        }
+    }
+
+    #[test]
+    fn deadline_bits_preserve_float_order() {
+        let times: [f64; 7] = [0.0, 1e-9, 1e-3, 0.5, 1.0, 7.25, 1e6];
+        for w in times.windows(2) {
+            assert!(w[0].to_bits() < w[1].to_bits(), "{} vs {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn pop_is_edf_within_a_shard() {
+        let q = ShardedQueue::new(1);
+        q.push(release(0, 3.0, 0));
+        q.push(release(0, 1.0, 0));
+        q.push(release(0, 2.0, 0));
+        let order: Vec<f64> = (0..3)
+            .map(|_| f64::from_bits(q.pop(0).unwrap().deadline_bits))
+            .collect();
+        assert_eq!(order, vec![1.0, 2.0, 3.0]);
+        assert_eq!(q.steals(), 0);
+        assert!(q.pop(0).is_none());
+    }
+
+    #[test]
+    fn equal_deadlines_break_by_tie_key() {
+        let q = ShardedQueue::new(1);
+        q.push(release(5, 1.0, 20));
+        q.push(release(9, 1.0, 10));
+        assert_eq!(q.pop(0).unwrap().loop_idx, 9);
+        assert_eq!(q.pop(0).unwrap().loop_idx, 5);
+    }
+
+    #[test]
+    fn empty_own_shard_steals_from_victims() {
+        let q = ShardedQueue::new(2);
+        // Loop 1's home is shard 1; worker 0 must steal it.
+        q.push(release(1, 1.0, 0));
+        assert_eq!(q.depth(), 1);
+        let got = q.pop(0).unwrap();
+        assert_eq!(got.loop_idx, 1);
+        assert_eq!(q.steals(), 1);
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn tie_break_is_a_pure_function_of_seed_loop_and_index() {
+        assert_eq!(tie_break(7, 3, 11), tie_break(7, 3, 11));
+        assert_ne!(tie_break(7, 3, 11), tie_break(8, 3, 11));
+        assert_ne!(tie_break(7, 3, 11), tie_break(7, 4, 11));
+        assert_ne!(tie_break(7, 3, 11), tie_break(7, 3, 12));
+    }
+}

@@ -1,0 +1,969 @@
+//! The fleet scheduler: deadline-aware multiplexing of N loops over W
+//! workers.
+//!
+//! Time here is *virtual* — the same simulated seconds every stage charges
+//! through [`StageContext`](sensact_core::StageContext). A loop with period
+//! `p` releases its k-th tick at `k·p` (stretched by the energy arbiter
+//! when the fleet is over its watts cap); the tick *starts* once its
+//! release is due and the loop's previous tick has completed (a loop is
+//! sequential), and *completes* at `start + charged latency`. A completion
+//! later than `release + latency budget` is a deadline miss, surfaced
+//! through the loop's own
+//! [`StageError::Timeout`](sensact_core::StageError) fault path.
+//!
+//! Two execution modes share these semantics:
+//!
+//! * [`FleetScheduler::run`] — OS worker threads over the sharded
+//!   work-stealing EDF queue. Throughput-oriented: the OS threads *are* the
+//!   capacity, so no virtual worker clock is modeled and — absent a watts
+//!   cap — every loop's tick/drop/miss schedule is independent of the
+//!   interleaving; only steals, wall time, and utilization vary.
+//! * [`FleetScheduler::run_deterministic`] — a single-threaded event-driven
+//!   simulation of W *virtual* workers under a caller-provided
+//!   [`SimClock`]: a tick additionally waits for the earliest-free virtual
+//!   worker, so fleet makespan reflects worker capacity. The interleaving
+//!   is a pure function of the seed: EDF ties break by seeded per-release
+//!   keys, and the run's execution trace is folded into
+//!   [`FleetReport::trace_hash`] so two runs can be compared
+//!   tick-for-tick.
+
+use crate::arbiter::EnergyArbiter;
+use crate::handle::LoopHandle;
+use crate::queue::{tie_break, Release, ShardedQueue};
+use sensact_core::trace::SimClock;
+use sensact_core::{Histogram, LoopTelemetry, MetricsRegistry};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Default bound on a loop's pending-tick backlog.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 4;
+
+/// A member loop's timing contract with the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoopSpec {
+    /// Tick release period (virtual seconds, > 0).
+    pub period_s: f64,
+    /// Response-time budget per tick; a completion later than
+    /// `release + budget` is a deadline miss. `None` uses the period as an
+    /// implicit deadline for EDF ordering and disables miss accounting.
+    pub latency_budget_s: Option<f64>,
+    /// Bound on the backlog of released-but-unexecuted ticks; beyond it the
+    /// *oldest* pending releases are dropped (and counted), keeping the loop
+    /// fresh instead of arbitrarily late.
+    pub queue_capacity: usize,
+}
+
+impl LoopSpec {
+    /// A periodic loop with no explicit latency budget.
+    pub fn periodic(period_s: f64) -> Self {
+        LoopSpec {
+            period_s,
+            latency_budget_s: None,
+            queue_capacity: DEFAULT_QUEUE_CAPACITY,
+        }
+    }
+
+    /// Set the per-tick latency budget (reusing the loop's
+    /// [`EnergyBudget`](sensact_core::EnergyBudget) latency notion).
+    pub fn with_budget(mut self, latency_budget_s: f64) -> Self {
+        self.latency_budget_s = Some(latency_budget_s);
+        self
+    }
+
+    /// Set the pending-tick queue bound (clamped to ≥ 1).
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    fn deadline_s(&self, release_s: f64) -> f64 {
+        release_s + self.latency_budget_s.unwrap_or(self.period_s)
+    }
+}
+
+impl Default for LoopSpec {
+    fn default() -> Self {
+        LoopSpec::periodic(1e-2)
+    }
+}
+
+/// Fleet-level configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetConfig {
+    /// Worker count (virtual workers in deterministic mode, OS threads in
+    /// threaded mode). Clamped to ≥ 1.
+    pub workers: usize,
+    /// Optional fleet-average power cap (watts) enforced by the
+    /// [`EnergyArbiter`].
+    pub watts_cap: Option<f64>,
+    /// Seed for the EDF tie-break keys — the knob that makes deterministic
+    /// runs reproducible and distinguishable.
+    pub seed: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            workers: 4,
+            watts_cap: None,
+            seed: 0,
+        }
+    }
+}
+
+/// Identifier of a registered loop (index order of registration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LoopId(pub usize);
+
+/// Scheduler-side accounting for one member loop (cumulative across runs).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LoopStats {
+    /// Ticks executed.
+    pub ticks: u64,
+    /// Pending releases dropped by backpressure (drop-oldest).
+    pub drops: u64,
+    /// Deadline misses (also surfaced as `Timeout` faults in the loop).
+    pub deadline_misses: u64,
+    /// Stage faults reported by the loop itself.
+    pub faults: u64,
+    /// Energy charged (joules).
+    pub energy_j: f64,
+    /// Charged latency executed (virtual seconds).
+    pub busy_s: f64,
+}
+
+#[derive(Debug)]
+struct Slot {
+    handle: LoopHandle,
+    spec: LoopSpec,
+    stats: LoopStats,
+    /// Completion time of the loop's latest tick this run (virtual seconds).
+    /// A loop is sequential: tick k+1 can never start before tick k
+    /// completed, whichever worker runs it.
+    last_completion_s: f64,
+}
+
+/// Per-loop summary embedded in a [`FleetReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopSummary {
+    /// Loop name.
+    pub name: String,
+    /// Cumulative stats at the end of the run.
+    pub stats: LoopStats,
+}
+
+/// What one fleet run did.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Virtual-time horizon the fleet ran to.
+    pub horizon_s: f64,
+    /// Worker count.
+    pub workers: usize,
+    /// Ticks executed this run.
+    pub ticks: u64,
+    /// Pending releases dropped by backpressure this run.
+    pub drops: u64,
+    /// Deadline misses this run.
+    pub deadline_misses: u64,
+    /// Cross-shard steals this run (0 in deterministic mode — it models an
+    /// ideal shared queue).
+    pub steals: u64,
+    /// Completions that observed an over-cap fleet.
+    pub throttle_events: u64,
+    /// Fleet virtual makespan: the latest worker clock (seconds).
+    pub makespan_s: f64,
+    /// Summed charged energy this run (joules).
+    pub energy_j: f64,
+    /// Wall-clock duration of the run (seconds).
+    pub wall_s: f64,
+    /// Per-worker executed charged latency (virtual seconds).
+    pub worker_busy_s: Vec<f64>,
+    /// Ready-queue depth sampled at every pop.
+    pub queue_depth: Histogram,
+    /// Order-sensitive FNV-1a fold of the execution trace
+    /// `(loop, release, worker, completion)`; `0` in threaded mode.
+    pub trace_hash: u64,
+    /// Per-loop summaries (cumulative stats, registration order).
+    pub loops: Vec<LoopSummary>,
+}
+
+impl FleetReport {
+    /// Fleet throughput in virtual time (ticks per simulated second).
+    pub fn throughput_ticks_per_vs(&self) -> f64 {
+        if self.makespan_s > 0.0 {
+            self.ticks as f64 / self.makespan_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Utilization of worker `w`: executed latency over makespan.
+    pub fn utilization(&self, w: usize) -> f64 {
+        if self.makespan_s > 0.0 {
+            self.worker_busy_s.get(w).copied().unwrap_or(0.0) / self.makespan_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean worker utilization.
+    pub fn mean_utilization(&self) -> f64 {
+        if self.worker_busy_s.is_empty() {
+            return 0.0;
+        }
+        (0..self.worker_busy_s.len())
+            .map(|w| self.utilization(w))
+            .sum::<f64>()
+            / self.worker_busy_s.len() as f64
+    }
+
+    /// Fleet average power over the run (watts).
+    pub fn watts(&self) -> f64 {
+        if self.makespan_s > 0.0 {
+            self.energy_j / self.makespan_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Export scheduler-level metrics under `sched.*` names: counters for
+    /// ticks/drops/deadline-misses/steals/throttles, gauges for
+    /// makespan/energy/watts, and histograms for queue depth and per-worker
+    /// utilization.
+    pub fn export_into(&self, registry: &mut MetricsRegistry) {
+        registry.add("sched.ticks_total", self.ticks);
+        registry.add("sched.drops_total", self.drops);
+        registry.add("sched.deadline_miss_total", self.deadline_misses);
+        registry.add("sched.steals_total", self.steals);
+        registry.add("sched.throttle_total", self.throttle_events);
+        registry.set("sched.workers", self.workers as f64);
+        registry.set("sched.makespan_s", self.makespan_s);
+        registry.set("sched.fleet_energy_j", self.energy_j);
+        registry.set("sched.fleet_watts", self.watts());
+        registry.install_histogram("sched.queue.depth", self.queue_depth.clone());
+        for w in 0..self.worker_busy_s.len() {
+            registry.observe("sched.worker.utilization_frac", self.utilization(w));
+        }
+    }
+
+    /// Human-readable fleet report (also available via `Display`).
+    pub fn text_report(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl std::fmt::Display for FleetReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "fleet: {} loops over {} workers, horizon {:.4} s (virtual)",
+            self.loops.len(),
+            self.workers,
+            self.horizon_s
+        )?;
+        writeln!(
+            f,
+            "  ticks {}  drops {}  deadline-misses {}  steals {}  throttles {}",
+            self.ticks, self.drops, self.deadline_misses, self.steals, self.throttle_events
+        )?;
+        writeln!(
+            f,
+            "  makespan {:.4} s  throughput {:.1} ticks/vs  energy {:.3e} J ({:.3e} W)  util {:.0}%",
+            self.makespan_s,
+            self.throughput_ticks_per_vs(),
+            self.energy_j,
+            self.watts(),
+            100.0 * self.mean_utilization()
+        )?;
+        writeln!(
+            f,
+            "  {:<20} {:>8} {:>7} {:>7} {:>7}",
+            "loop", "ticks", "drops", "misses", "faults"
+        )?;
+        for s in &self.loops {
+            writeln!(
+                f,
+                "  {:<20} {:>8} {:>7} {:>7} {:>7}",
+                s.name, s.stats.ticks, s.stats.drops, s.stats.deadline_misses, s.stats.faults
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Clamp a charged latency to something a virtual clock can advance by.
+fn sane_latency(latency_s: f64) -> f64 {
+    if latency_s.is_finite() && latency_s > 0.0 {
+        latency_s
+    } else {
+        0.0
+    }
+}
+
+/// Execute one release on a slot: tick the loop, advance accounting, check
+/// the deadline. A tick starts when its release is due, its loop's previous
+/// tick has completed (a loop is sequential), and — in deterministic mode —
+/// its assigned virtual worker is free (`worker_avail_s`; threaded mode
+/// passes `0` because OS threads provide real capacity). Returns
+/// `(start_s, completion_s, charged_energy_j)`.
+fn execute_release(slot: &mut Slot, release: &Release, worker_avail_s: f64) -> (f64, f64, f64) {
+    let start_s = worker_avail_s
+        .max(release.release_s)
+        .max(slot.last_completion_s);
+    let out = slot.handle.tick_once();
+    let latency_s = sane_latency(out.latency_s);
+    let completion_s = start_s + latency_s;
+    slot.last_completion_s = completion_s;
+    slot.stats.ticks += 1;
+    slot.stats.faults += out.faults as u64;
+    slot.stats.busy_s += latency_s;
+    if out.energy_j.is_finite() && out.energy_j > 0.0 {
+        slot.stats.energy_j += out.energy_j;
+    }
+    if let Some(budget_s) = slot.spec.latency_budget_s {
+        let response_s = completion_s - release.release_s;
+        if response_s > budget_s {
+            slot.stats.deadline_misses += 1;
+            slot.handle.record_deadline_miss(response_s, budget_s);
+        }
+    }
+    (start_s, completion_s, out.energy_j)
+}
+
+/// Compute the loop's next release after a completion, applying drop-oldest
+/// backpressure and the arbiter's stride stretch. `None` retires the loop
+/// (next release would fall past the horizon).
+fn next_release(
+    slot: &mut Slot,
+    release: &Release,
+    completion_s: f64,
+    stretch: f64,
+    horizon_s: f64,
+    seed: u64,
+) -> Option<Release> {
+    let period_s = slot.spec.period_s;
+    let stride_s = period_s * stretch.max(1.0);
+    let throttled = stretch > 1.0;
+    // While unthrottled, anchor to the exact `idx · period` grid instead of
+    // accumulating strides — repeated addition drifts below the true grid
+    // and would sneak an extra release in before the horizon. A throttled
+    // loop has no fixed grid, so there we accumulate (monotone via `max`).
+    let step = |to_idx: u64| {
+        let accumulated = release.release_s + (to_idx - release.release_idx) as f64 * stride_s;
+        if throttled {
+            accumulated
+        } else {
+            accumulated.max(to_idx as f64 * period_s)
+        }
+    };
+    let mut release_idx = release.release_idx + 1;
+    let mut release_s = step(release_idx);
+    if release_s < horizon_s && completion_s >= release_s {
+        // Backlog: releases due in (last executed, completion]. Keep the
+        // newest `queue_capacity`, drop the oldest beyond it.
+        let behind = ((completion_s - release_s) / stride_s).floor() as u64 + 1;
+        let cap = slot.spec.queue_capacity as u64;
+        if behind > cap {
+            // Only releases strictly before the horizon exist to be dropped —
+            // a completion far past the horizon must not count phantom
+            // releases that were never scheduled.
+            let mut dropped = behind - cap;
+            let in_horizon = ((horizon_s - release_s) / stride_s).ceil().max(0.0) as u64 + 1;
+            dropped = dropped.min(in_horizon);
+            while dropped > 0 && step(release_idx + dropped - 1) >= horizon_s {
+                dropped -= 1;
+            }
+            slot.stats.drops += dropped;
+            release_idx += dropped;
+            release_s = step(release_idx);
+        }
+    }
+    if release_s >= horizon_s {
+        return None;
+    }
+    Some(Release {
+        deadline_bits: slot.spec.deadline_s(release_s).to_bits(),
+        tie: tie_break(seed, release.loop_idx, release_idx),
+        loop_idx: release.loop_idx,
+        release_idx,
+        release_s,
+    })
+}
+
+fn fnv_fold(mut hash: u64, value: u64) -> u64 {
+    for byte in value.to_le_bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+
+/// A fleet of heterogeneous loops multiplexed over a worker pool.
+#[derive(Debug)]
+pub struct FleetScheduler {
+    config: FleetConfig,
+    slots: Vec<Mutex<Slot>>,
+}
+
+impl FleetScheduler {
+    /// An empty fleet.
+    pub fn new(config: FleetConfig) -> Self {
+        FleetScheduler {
+            config,
+            slots: Vec::new(),
+        }
+    }
+
+    /// The fleet configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Register a member loop under a timing spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec's period or latency budget is not positive and
+    /// finite — a zero period would release infinitely often at one instant.
+    pub fn register(&mut self, handle: LoopHandle, spec: LoopSpec) -> LoopId {
+        assert!(
+            spec.period_s.is_finite() && spec.period_s > 0.0,
+            "loop period must be positive and finite"
+        );
+        if let Some(b) = spec.latency_budget_s {
+            assert!(
+                b.is_finite() && b > 0.0,
+                "latency budget must be positive and finite"
+            );
+        }
+        let spec = LoopSpec {
+            queue_capacity: spec.queue_capacity.max(1),
+            ..spec
+        };
+        self.slots.push(Mutex::new(Slot {
+            handle,
+            spec,
+            stats: LoopStats::default(),
+            last_completion_s: 0.0,
+        }));
+        LoopId(self.slots.len() - 1)
+    }
+
+    /// Number of registered loops.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether no loops are registered.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    fn slot_mut(&mut self, id: LoopId) -> &mut Slot {
+        self.slots[id.0]
+            .get_mut()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// A member loop's telemetry (preserved across scheduling).
+    pub fn loop_telemetry(&mut self, id: LoopId) -> &LoopTelemetry {
+        self.slot_mut(id).handle.telemetry()
+    }
+
+    /// A member loop's scheduler-side stats (cumulative).
+    pub fn loop_stats(&mut self, id: LoopId) -> LoopStats {
+        self.slot_mut(id).stats
+    }
+
+    /// A member loop's name.
+    pub fn loop_name(&mut self, id: LoopId) -> String {
+        self.slot_mut(id).handle.name().to_string()
+    }
+
+    fn initial_release(&mut self, idx: usize) -> Release {
+        let seed = self.config.seed;
+        let slot = self.slot_mut(LoopId(idx));
+        // Virtual time restarts at zero for every run.
+        slot.last_completion_s = 0.0;
+        Release {
+            deadline_bits: slot.spec.deadline_s(0.0).to_bits(),
+            tie: tie_break(seed, idx, 0),
+            loop_idx: idx,
+            release_idx: 0,
+            release_s: 0.0,
+        }
+    }
+
+    /// Fleet-wide (ticks, drops, deadline misses) so far — slot stats are
+    /// cumulative, so per-run report counters subtract a pre-run snapshot.
+    fn totals(&mut self) -> (u64, u64, u64) {
+        (0..self.slots.len()).fold((0, 0, 0), |acc, i| {
+            let s = self.slot_mut(LoopId(i)).stats;
+            (acc.0 + s.ticks, acc.1 + s.drops, acc.2 + s.deadline_misses)
+        })
+    }
+
+    fn summaries(&mut self) -> Vec<LoopSummary> {
+        (0..self.slots.len())
+            .map(|i| {
+                let slot = self.slot_mut(LoopId(i));
+                LoopSummary {
+                    name: slot.handle.name().to_string(),
+                    stats: slot.stats,
+                }
+            })
+            .collect()
+    }
+
+    fn empty_report(&mut self, horizon_s: f64, workers: usize) -> FleetReport {
+        FleetReport {
+            horizon_s,
+            workers,
+            ticks: 0,
+            drops: 0,
+            deadline_misses: 0,
+            steals: 0,
+            throttle_events: 0,
+            makespan_s: 0.0,
+            energy_j: 0.0,
+            wall_s: 0.0,
+            worker_busy_s: vec![0.0; workers],
+            queue_depth: Histogram::new(),
+            trace_hash: FNV_OFFSET,
+            loops: self.summaries(),
+        }
+    }
+
+    /// Run the fleet to the virtual horizon on OS worker threads pulling
+    /// from the sharded work-stealing EDF queue.
+    ///
+    /// Per-loop telemetry and stats are exact, and — absent a watts cap —
+    /// each loop's tick/drop/miss schedule is interleaving-independent
+    /// (a loop's virtual timeline depends only on its own history). Steal
+    /// counts, wall time, and utilization do depend on OS scheduling — use
+    /// [`FleetScheduler::run_deterministic`] for fully reproducible runs.
+    pub fn run(&mut self, horizon_s: f64) -> FleetReport {
+        let workers = self.config.workers.max(1);
+        let runnable = horizon_s.is_finite() && horizon_s > 0.0;
+        if self.slots.is_empty() || !runnable {
+            return self.empty_report(horizon_s, workers);
+        }
+        let wall_start = std::time::Instant::now();
+        let (base_ticks, base_drops, base_misses) = self.totals();
+        let n = self.slots.len();
+        let queue = ShardedQueue::new(workers);
+        for i in 0..n {
+            let r = self.initial_release(i);
+            queue.push(r);
+        }
+        let outstanding = AtomicUsize::new(n);
+        let arbiter = Mutex::new(EnergyArbiter::new(self.config.watts_cap));
+        let seed = self.config.seed;
+        let slots = &self.slots;
+        let queue_ref = &queue;
+        let outstanding_ref = &outstanding;
+        let arbiter_ref = &arbiter;
+
+        // (virtual clock, busy, depth histogram) per worker.
+        let worker_results: Vec<(f64, f64, Histogram)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|wid| {
+                    scope.spawn(move || {
+                        let mut frontier_s = 0.0f64;
+                        let mut busy_s = 0.0f64;
+                        let mut depth = Histogram::new();
+                        loop {
+                            if outstanding_ref.load(Ordering::Acquire) == 0 {
+                                break;
+                            }
+                            let Some(release) = queue_ref.pop(wid) else {
+                                // Releases in flight on other workers will
+                                // repopulate the queue (or retire).
+                                std::thread::yield_now();
+                                continue;
+                            };
+                            depth.record(queue_ref.depth() as f64);
+                            let mut slot = slots[release.loop_idx]
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner());
+                            // Virtual capacity is not modeled here — the OS
+                            // threads are the capacity — so each loop's
+                            // timeline depends only on its own history and
+                            // drop/miss accounting is interleaving-
+                            // independent (given no watts cap).
+                            let (start_s, completion_s, energy_j) =
+                                execute_release(&mut slot, &release, 0.0);
+                            busy_s += completion_s - start_s;
+                            frontier_s = frontier_s.max(completion_s);
+                            let stretch = arbiter_ref
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .on_completion(energy_j, completion_s);
+                            match next_release(
+                                &mut slot,
+                                &release,
+                                completion_s,
+                                stretch,
+                                horizon_s,
+                                seed,
+                            ) {
+                                Some(next) => {
+                                    drop(slot);
+                                    queue_ref.push(next);
+                                }
+                                None => {
+                                    drop(slot);
+                                    outstanding_ref.fetch_sub(1, Ordering::AcqRel);
+                                }
+                            }
+                        }
+                        (frontier_s, busy_s, depth)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("fleet worker panicked"))
+                .collect()
+        });
+
+        let arbiter = arbiter.into_inner().unwrap_or_else(|e| e.into_inner());
+        let mut queue_depth = Histogram::new();
+        let mut worker_busy_s = Vec::with_capacity(workers);
+        let mut makespan_s = 0.0f64;
+        for (frontier_s, busy_s, depth) in &worker_results {
+            makespan_s = makespan_s.max(*frontier_s);
+            worker_busy_s.push(*busy_s);
+            queue_depth.merge(depth);
+        }
+        let (ticks, drops, misses) = self.totals();
+        let loops = self.summaries();
+        FleetReport {
+            horizon_s,
+            workers,
+            ticks: ticks - base_ticks,
+            drops: drops - base_drops,
+            deadline_misses: misses - base_misses,
+            steals: queue.steals(),
+            throttle_events: arbiter.throttle_events(),
+            makespan_s,
+            energy_j: arbiter.energy_j(),
+            wall_s: wall_start.elapsed().as_secs_f64(),
+            worker_busy_s,
+            queue_depth,
+            trace_hash: 0,
+            loops,
+        }
+    }
+
+    /// Run the fleet to the virtual horizon as a single-threaded,
+    /// event-driven simulation of the same `workers` virtual workers, kept
+    /// in lockstep with the caller's [`SimClock`] (advanced to each
+    /// completion's virtual time).
+    ///
+    /// The run is a pure function of the fleet and the configured seed:
+    /// identical seeds give identical per-loop tick counts, bit-identical
+    /// telemetry, and an identical [`FleetReport::trace_hash`]; a different
+    /// seed reorders equal-deadline releases and is observable through the
+    /// hash.
+    pub fn run_deterministic(&mut self, horizon_s: f64, clock: &mut SimClock) -> FleetReport {
+        let workers = self.config.workers.max(1);
+        let runnable = horizon_s.is_finite() && horizon_s > 0.0;
+        if self.slots.is_empty() || !runnable {
+            return self.empty_report(horizon_s, workers);
+        }
+        let wall_start = std::time::Instant::now();
+        let (base_ticks, base_drops, base_misses) = self.totals();
+        let seed = self.config.seed;
+        let mut heap: BinaryHeap<Reverse<Release>> = BinaryHeap::new();
+        for i in 0..self.slots.len() {
+            let r = self.initial_release(i);
+            heap.push(Reverse(r));
+        }
+        let mut worker_clock_s = vec![0.0f64; workers];
+        let mut worker_busy_s = vec![0.0f64; workers];
+        let mut arbiter = EnergyArbiter::new(self.config.watts_cap);
+        let mut queue_depth = Histogram::new();
+        let mut trace_hash = FNV_OFFSET;
+
+        while let Some(Reverse(release)) = heap.pop() {
+            queue_depth.record(heap.len() as f64);
+            // Earliest-available worker takes the earliest deadline; ties on
+            // the clock break by worker index. Deterministic by construction.
+            let mut wid = 0usize;
+            for w in 1..workers {
+                if worker_clock_s[w] < worker_clock_s[wid] {
+                    wid = w;
+                }
+            }
+            let slot = self.slots[release.loop_idx]
+                .get_mut()
+                .unwrap_or_else(|e| e.into_inner());
+            let (start_s, completion_s, energy_j) =
+                execute_release(slot, &release, worker_clock_s[wid]);
+            worker_busy_s[wid] += completion_s - start_s;
+            worker_clock_s[wid] = completion_s;
+            // Clock plumbing: keep the caller's SimClock at the fleet's
+            // virtual frontier (advance clamps regressions to zero).
+            clock.advance(completion_s - clock.peek_s());
+            let stretch = arbiter.on_completion(energy_j, completion_s);
+            trace_hash = fnv_fold(trace_hash, release.loop_idx as u64);
+            trace_hash = fnv_fold(trace_hash, release.release_idx);
+            trace_hash = fnv_fold(trace_hash, wid as u64);
+            trace_hash = fnv_fold(trace_hash, completion_s.to_bits());
+            if let Some(next) = next_release(slot, &release, completion_s, stretch, horizon_s, seed)
+            {
+                heap.push(Reverse(next));
+            }
+        }
+
+        let makespan_s = worker_clock_s.iter().fold(0.0f64, |a, &b| a.max(b));
+        let (ticks, drops, misses) = self.totals();
+        let loops = self.summaries();
+        FleetReport {
+            horizon_s,
+            workers,
+            ticks: ticks - base_ticks,
+            drops: drops - base_drops,
+            deadline_misses: misses - base_misses,
+            steals: 0,
+            throttle_events: arbiter.throttle_events(),
+            makespan_s,
+            energy_j: arbiter.energy_j(),
+            wall_s: wall_start.elapsed().as_secs_f64(),
+            worker_busy_s,
+            queue_depth,
+            trace_hash,
+            loops,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handle::LoopHandle;
+    use sensact_core::stage::{FnController, FnPerceptor, FnSensor, StageContext};
+    use sensact_core::LoopBuilder;
+
+    /// A scalar loop charging `latency_s`/`energy_j` per tick.
+    fn handle(name: &str, energy_j: f64, latency_s: f64) -> LoopHandle {
+        let looop = LoopBuilder::new(name).build(
+            FnSensor::new(move |e: &f64, ctx: &mut StageContext| {
+                ctx.charge(energy_j, latency_s);
+                *e
+            }),
+            FnPerceptor::new(|r: &f64, _: &mut StageContext| *r),
+            FnController::new(|f: &f64, _t, _: &mut StageContext| -0.2 * f),
+        );
+        LoopHandle::closed(looop, 1.0f64, |e, a| *e += a)
+    }
+
+    fn fleet(n: usize, workers: usize, seed: u64) -> FleetScheduler {
+        let mut sched = FleetScheduler::new(FleetConfig {
+            workers,
+            watts_cap: None,
+            seed,
+        });
+        for i in 0..n {
+            sched.register(
+                handle(&format!("loop-{i}"), 1e-6, 1e-4),
+                LoopSpec::periodic(1e-2),
+            );
+        }
+        sched
+    }
+
+    #[test]
+    fn deterministic_run_executes_every_release() {
+        let mut sched = fleet(3, 2, 42);
+        let report = sched.run_deterministic(0.1, &mut SimClock::new());
+        // 10 releases per loop in [0, 0.1): k·0.01 for k = 0..9.
+        assert_eq!(report.ticks, 30);
+        assert_eq!(report.drops, 0);
+        assert_eq!(report.deadline_misses, 0);
+        for i in 0..3 {
+            assert_eq!(sched.loop_stats(LoopId(i)).ticks, 10);
+            assert_eq!(sched.loop_telemetry(LoopId(i)).ticks(), 10);
+        }
+        assert!(report.makespan_s > 0.0 && report.makespan_s < 0.1);
+        assert!(report.throughput_ticks_per_vs() > 0.0);
+    }
+
+    #[test]
+    fn threaded_run_matches_release_schedule() {
+        let mut sched = fleet(8, 4, 7);
+        let report = sched.run(0.1);
+        // No backlog (latency ≪ period), so nothing can be dropped and every
+        // loop executes its full schedule regardless of interleaving.
+        assert_eq!(report.ticks, 80);
+        assert_eq!(report.drops, 0);
+        for i in 0..8 {
+            assert_eq!(sched.loop_telemetry(LoopId(i)).ticks(), 10);
+        }
+        assert!(report.wall_s > 0.0);
+    }
+
+    #[test]
+    fn simclock_tracks_virtual_frontier() {
+        let mut sched = fleet(2, 1, 0);
+        let mut clock = SimClock::new();
+        let report = sched.run_deterministic(0.05, &mut clock);
+        assert_eq!(clock.peek_s(), report.makespan_s);
+        assert!(clock.peek_s() > 0.0);
+    }
+
+    #[test]
+    fn overrunning_tick_surfaces_timeout_and_misses() {
+        let mut sched = FleetScheduler::new(FleetConfig {
+            workers: 1,
+            watts_cap: None,
+            seed: 0,
+        });
+        // 5 ms charged latency against a 1 ms budget: every tick misses.
+        let id = sched.register(
+            handle("laggard", 1e-6, 5e-3),
+            LoopSpec::periodic(1e-2).with_budget(1e-3),
+        );
+        let report = sched.run_deterministic(0.1, &mut SimClock::new());
+        assert_eq!(report.ticks, 10);
+        assert_eq!(report.deadline_misses, 10);
+        let counters = sched.loop_telemetry(id).fault_counters();
+        assert_eq!(
+            counters.timeouts, 10,
+            "missed deadlines must surface as Timeout faults"
+        );
+        let text = report.text_report();
+        assert!(text.contains("deadline-misses 10"), "{text}");
+    }
+
+    #[test]
+    fn backlogged_loop_drops_oldest_and_stays_bounded() {
+        let mut sched = FleetScheduler::new(FleetConfig {
+            workers: 1,
+            watts_cap: None,
+            seed: 0,
+        });
+        // 5 ms per tick released every 1 ms: the loop falls 4 releases
+        // behind per executed tick; capacity 2 forces steady drops.
+        let id = sched.register(
+            handle("swamped", 1e-6, 5e-3),
+            LoopSpec::periodic(1e-3).with_queue_capacity(2),
+        );
+        let report = sched.run_deterministic(0.1, &mut SimClock::new());
+        let stats = sched.loop_stats(id);
+        assert!(stats.drops > 0, "backpressure must drop releases");
+        assert_eq!(report.drops, stats.drops);
+        // Conservation: executed + dropped never exceeds the release
+        // schedule (100 releases in [0, 0.1) at 1 ms).
+        assert!(stats.ticks + stats.drops <= 100);
+        // Drop-oldest keeps the loop fresh: it still ticks regularly.
+        assert!(stats.ticks >= 100 / 5 / 2, "ticks {}", stats.ticks);
+        assert!(
+            report.text_report().contains("drops"),
+            "report must show drops"
+        );
+    }
+
+    #[test]
+    fn energy_arbiter_throttles_over_cap_fleet() {
+        let run = |watts_cap: Option<f64>| {
+            let mut sched = FleetScheduler::new(FleetConfig {
+                workers: 1,
+                watts_cap,
+                seed: 0,
+            });
+            // 1 J per 1 ms tick ⇒ 1000 W average; cap at 1 W.
+            let id = sched.register(handle("hot", 1.0, 1e-3), LoopSpec::periodic(1e-3));
+            let report = sched.run_deterministic(0.2, &mut SimClock::new());
+            (report, sched.loop_stats(id))
+        };
+        let (free, free_stats) = run(None);
+        let (capped, capped_stats) = run(Some(1.0));
+        assert_eq!(free.throttle_events, 0);
+        assert!(capped.throttle_events > 0, "cap must throttle");
+        assert!(
+            capped_stats.ticks < free_stats.ticks / 4,
+            "throttled {} vs free {}",
+            capped_stats.ticks,
+            free_stats.ticks
+        );
+    }
+
+    #[test]
+    fn report_exports_into_registry() {
+        let mut sched = fleet(4, 2, 3);
+        let report = sched.run_deterministic(0.1, &mut SimClock::new());
+        let mut registry = MetricsRegistry::new();
+        report.export_into(&mut registry);
+        assert_eq!(registry.counter("sched.ticks_total"), report.ticks);
+        assert_eq!(registry.counter("sched.drops_total"), 0);
+        assert_eq!(registry.counter("sched.deadline_miss_total"), 0);
+        assert!(registry.gauge("sched.fleet_watts").is_some());
+        assert!(registry.histogram("sched.queue.depth").is_some());
+        let util = registry.histogram("sched.worker.utilization_frac").unwrap();
+        assert_eq!(util.count(), 2);
+        // The registry's Display is the textual metrics surface.
+        let text = registry.to_string();
+        assert!(text.contains("sched.deadline_miss_total"), "{text}");
+        assert!(text.contains("sched.drops_total"), "{text}");
+    }
+
+    /// Satellite: scheduler determinism. Same seed ⇒ identical per-loop tick
+    /// counts and bit-identical telemetry totals; different seed ⇒ an
+    /// observably different interleaving.
+    #[test]
+    fn same_seed_reproduces_bit_exactly_different_seed_interleaves_differently() {
+        let run = |seed: u64| {
+            let mut sched = fleet(6, 3, seed);
+            let report = sched.run_deterministic(1.0, &mut SimClock::new());
+            let telem: Vec<(u64, u64, u64)> = (0..6)
+                .map(|i| {
+                    let t = sched.loop_telemetry(LoopId(i));
+                    (
+                        t.ticks(),
+                        t.total_energy_j().to_bits(),
+                        t.total_latency_s().to_bits(),
+                    )
+                })
+                .collect();
+            let ticks: Vec<u64> = (0..6).map(|i| sched.loop_stats(LoopId(i)).ticks).collect();
+            (report.trace_hash, ticks, telem)
+        };
+        let (hash_a, ticks_a, telem_a) = run(42);
+        let (hash_b, ticks_b, telem_b) = run(42);
+        assert_eq!(hash_a, hash_b, "same seed must replay the same trace");
+        assert_eq!(ticks_a, ticks_b);
+        assert_eq!(telem_a, telem_b, "telemetry must be bit-identical");
+        let (hash_c, ticks_c, _) = run(43);
+        assert_ne!(
+            hash_a, hash_c,
+            "a different seed must reorder equal-deadline releases"
+        );
+        // The schedule itself is unchanged — only the interleaving moved.
+        assert_eq!(ticks_a, ticks_c);
+    }
+
+    #[test]
+    fn empty_fleet_and_zero_horizon_are_benign() {
+        let mut sched = FleetScheduler::new(FleetConfig::default());
+        assert!(sched.is_empty());
+        let r = sched.run(1.0);
+        assert_eq!(r.ticks, 0);
+        let mut sched = fleet(2, 2, 0);
+        let r = sched.run_deterministic(0.0, &mut SimClock::new());
+        assert_eq!(r.ticks, 0);
+        assert_eq!(sched.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_is_rejected() {
+        let mut sched = FleetScheduler::new(FleetConfig::default());
+        let _ = sched.register(handle("bad", 1e-6, 1e-4), LoopSpec::periodic(0.0));
+    }
+}

@@ -38,4 +38,7 @@ cargo test --offline -q --test replay_integration
 echo "== conformance smoke (differential kernel matrix) =="
 cargo run --offline --release -p sensact-bench --bin conformance -- --smoke
 
+echo "== fleet scheduler smoke (throughput + overhead) =="
+cargo run --offline --release -p sensact-bench --bin bench_sched -- --smoke
+
 echo "CI gate passed."

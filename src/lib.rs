@@ -16,6 +16,9 @@
 //! * [`neuro`] — §VI neuromorphic loops: event cameras, SNNs, optical flow.
 //! * [`fed`] — §VII federated multi-agent loops: DC-NAS, HaLo-FL,
 //!   speculative decoding.
+//! * [`sched`] — §VII fleet runtime: deadline-aware multiplexing of
+//!   heterogeneous loops over a worker pool, with work stealing, drop-oldest
+//!   backpressure, an energy arbiter and a deterministic mode.
 //! * [`math`] / [`nn`] — numerical and neural-network substrates.
 //!
 //! ## Quickstart
@@ -38,4 +41,5 @@ pub use sensact_math as math;
 pub use sensact_neuro as neuro;
 pub use sensact_nn as nn;
 pub use sensact_rmae as rmae;
+pub use sensact_sched as sched;
 pub use sensact_starnet as starnet;

@@ -1,0 +1,324 @@
+//! Cross-crate fleet-runtime integration.
+//!
+//! Two pillars:
+//!
+//! 1. A **mixed fleet** — a fault-injected lidar → STARNet monitor loop, two
+//!    cartpole → Koopman control loops under disturbances, and a handful of
+//!    scalar control loops — multiplexed by one [`FleetScheduler`] over a
+//!    deterministic 4-worker pool. Every member executes its full release
+//!    schedule, per-loop telemetry survives the multiplexing, and the
+//!    injected faults land in the right member's counters.
+//! 2. The **determinism acceptance proof**: a seeded `SimClock` fleet run is
+//!    captured through PR 4's [`Recording`] from a member loop, then a
+//!    freshly built identical loop replays the recording standalone with
+//!    zero [`Divergence`] — scheduling thousands of interleaved ticks does
+//!    not perturb a member's virtual-time behavior by a single bit.
+
+use sensact::core::fault::{FaultInjector, FaultProfile, RecoveryPolicy, Reliable, WithFallback};
+use sensact::core::replay::Recording;
+use sensact::core::stage::{AlwaysTrust, FnController, FnPerceptor, FnSensor, StageContext, Trust};
+use sensact::core::trace::SimClock;
+use sensact::core::{FallibleLoop, LoopBuilder, MetricsRegistry};
+use sensact::koopman::baselines::LatentModel;
+use sensact::koopman::cartpole::{CartPole, CartPoleConfig, Disturbance, OBS_DIM};
+use sensact::koopman::control::LqrLatentController;
+use sensact::koopman::encoder::SpectralKoopman;
+use sensact::koopman::train::collect_dataset;
+use sensact::lidar::raycast::{Lidar, LidarConfig};
+use sensact::lidar::scene::SceneGenerator;
+use sensact::lidar::PointCloud;
+use sensact::sched::{FleetConfig, FleetScheduler, LoopHandle, LoopSpec};
+use sensact::starnet::features::extract_features;
+use sensact::starnet::monitor::{train_on_clouds, StarnetConfig};
+use sensact::starnet::regret::RegretConfig;
+use sensact::starnet::spsa::SpsaConfig;
+
+fn fast_monitor_config() -> StarnetConfig {
+    StarnetConfig {
+        train_epochs: 200,
+        regret: RegretConfig {
+            spsa: SpsaConfig {
+                iterations: 8,
+                ..SpsaConfig::default()
+            },
+            low_rank: Some(8),
+            elbo_samples: 0,
+        },
+        ..StarnetConfig::default()
+    }
+}
+
+/// A lidar → STARNet member with a fault-injected acquisition stage. The
+/// handle owns the scene stream: each tick re-scans a fresh generated scene.
+fn starnet_member() -> LoopHandle {
+    let lidar = Lidar::new(LidarConfig::default());
+    let clean: Vec<PointCloud> = SceneGenerator::new(1)
+        .generate_many(12)
+        .iter()
+        .map(|s| lidar.scan(s))
+        .collect();
+    let monitor = train_on_clouds(&clean, fast_monitor_config(), 0);
+
+    let looop = FallibleLoop::new(
+        "starnet-lidar",
+        FaultInjector::new(
+            FnSensor::new(|cloud: &PointCloud, ctx: &mut StageContext| {
+                ctx.charge(1e-3, 1e-4);
+                cloud.clone()
+            }),
+            FaultProfile {
+                dropout: 0.25,
+                nan: 0.05,
+                ..FaultProfile::none()
+            },
+            9,
+        ),
+        Reliable(FnPerceptor::new(
+            |cloud: &PointCloud, _: &mut StageContext| extract_features(cloud),
+        )),
+        monitor,
+        WithFallback::new(
+            FnController::new(
+                |_f: &Vec<f64>, trust: Trust, _: &mut StageContext| {
+                    if trust.is_actionable() {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                },
+            ),
+            -1.0,
+        ),
+    )
+    .with_recovery(RecoveryPolicy {
+        max_retries: 0,
+        max_hold_ticks: 1,
+        staleness_decay: 0.3,
+        ..RecoveryPolicy::default()
+    });
+
+    let mut eval = SceneGenerator::new(40);
+    let first = lidar.scan(&eval.generate());
+    LoopHandle::closed_fallible(looop, first, move |cloud, _action| {
+        *cloud = lidar.scan(&eval.generate());
+    })
+}
+
+/// A cartpole → Koopman member: spectral Koopman encoder, latent LQR
+/// controller, disturbance-injected plant owned by the handle.
+fn koopman_member(seed: u64) -> LoopHandle {
+    let data = collect_dataset(300, seed);
+    let mut model = SpectralKoopman::new(seed);
+    for epoch in 0..3 {
+        model.train_epoch(&data, epoch);
+    }
+    let lqr = LqrLatentController::synthesize(&mut model, 0.001).expect("LQR synthesis");
+
+    let looop = LoopBuilder::new(format!("koopman-{seed}")).build(
+        FnSensor::new(|env: &CartPole, ctx: &mut StageContext| {
+            ctx.charge(2e-4, 1e-4);
+            env.observe()
+        }),
+        FnPerceptor::new(move |obs: &[f64; OBS_DIM], _: &mut StageContext| model.encode(&obs[..])),
+        FnController::new(move |z: &Vec<f64>, _t: Trust, ctx: &mut StageContext| {
+            ctx.charge(1e-5, 1e-5);
+            lqr.act(z)
+        }),
+    );
+
+    let mut plant = CartPole::new(CartPoleConfig::default(), seed);
+    plant.set_disturbance(Disturbance::with_probability(0.1));
+    LoopHandle::closed(looop, plant, |env, force| {
+        env.step(*force);
+    })
+}
+
+/// A trivial scalar control member.
+fn scalar_member(name: &str) -> LoopHandle {
+    let looop = LoopBuilder::new(name).build(
+        FnSensor::new(|e: &f64, ctx: &mut StageContext| {
+            ctx.charge(1e-6, 1e-4);
+            *e
+        }),
+        FnPerceptor::new(|r: &f64, _: &mut StageContext| *r),
+        FnController::new(|f: &f64, _t: Trust, _: &mut StageContext| -0.4 * f),
+    );
+    LoopHandle::closed(looop, 1.0f64, |e, a| *e += a)
+}
+
+#[test]
+fn mixed_fleet_multiplexes_starnet_and_koopman_members_through_faults() {
+    let mut fleet = FleetScheduler::new(FleetConfig {
+        workers: 4,
+        watts_cap: None,
+        seed: 11,
+    });
+    // Periods divide the 0.1 s horizon exactly: 20 / 50 / 50 / 10 / 10 ticks.
+    let starnet = fleet.register(starnet_member(), LoopSpec::periodic(5e-3));
+    let koop_a = fleet.register(koopman_member(3), LoopSpec::periodic(2e-3));
+    let koop_b = fleet.register(koopman_member(4), LoopSpec::periodic(2e-3));
+    let ctrl_a = fleet.register(scalar_member("ctrl-a"), LoopSpec::periodic(1e-2));
+    let ctrl_b = fleet.register(scalar_member("ctrl-b"), LoopSpec::periodic(1e-2));
+
+    let mut clock = SimClock::new();
+    let report = fleet.run_deterministic(0.1, &mut clock);
+
+    // Every member executed its full release schedule — the fleet is far
+    // under capacity, so nothing may be dropped or late.
+    let expected = [
+        (starnet, 20),
+        (koop_a, 50),
+        (koop_b, 50),
+        (ctrl_a, 10),
+        (ctrl_b, 10),
+    ];
+    for (id, ticks) in expected {
+        assert_eq!(fleet.loop_stats(id).ticks, ticks, "{}", fleet.loop_name(id));
+        assert_eq!(
+            fleet.loop_telemetry(id).ticks(),
+            ticks,
+            "telemetry survives multiplexing"
+        );
+    }
+    assert_eq!(report.ticks, 140);
+    assert_eq!(report.drops, 0);
+    assert!(
+        clock.peek_s() > 0.0,
+        "SimClock must track the virtual frontier"
+    );
+
+    // The injected faults landed in the STARNet member — and only there.
+    let starnet_faults = fleet.loop_telemetry(starnet).fault_counters();
+    assert!(
+        starnet_faults.dropouts > 0,
+        "25% dropout over 20 ticks must fault at least once"
+    );
+    for id in [koop_a, koop_b, ctrl_a, ctrl_b] {
+        assert_eq!(fleet.loop_telemetry(id).fault_counters().faults, 0);
+    }
+
+    // The cartpole plants actually ran under LQR: charged energy flowed.
+    assert!(fleet.loop_stats(koop_a).energy_j > 0.0);
+
+    // Scheduler metrics export: counters visible in the registry text.
+    let mut registry = MetricsRegistry::new();
+    report.export_into(&mut registry);
+    assert_eq!(registry.counter("sched.ticks_total"), 140);
+    let text = registry.to_string();
+    assert!(text.contains("sched.deadline_miss_total"), "{text}");
+    assert!(report.text_report().contains("starnet-lidar"));
+}
+
+const REPLAY_TICKS: u64 = 100;
+const FAULT_SEED: u64 = 21;
+
+/// The fleet member and the standalone replay loop must be built from
+/// identical ingredients; one constructor keeps them from drifting apart.
+#[allow(clippy::type_complexity)]
+fn faulty_member(
+    seed: u64,
+) -> FallibleLoop<
+    FaultInjector<FnSensor<impl FnMut(&f64, &mut StageContext) -> f64>, f64>,
+    Reliable<FnPerceptor<impl FnMut(&f64, &mut StageContext) -> f64>>,
+    AlwaysTrust,
+    WithFallback<FnController<impl FnMut(&f64, Trust, &mut StageContext) -> f64>, f64>,
+    sensact::core::adapt::NoAdaptation,
+    f64,
+> {
+    FallibleLoop::new(
+        "replay-member",
+        FaultInjector::new(
+            FnSensor::new(|env: &f64, ctx: &mut StageContext| {
+                ctx.charge(2e-4, 1e-4);
+                *env
+            }),
+            FaultProfile {
+                dropout: 0.15,
+                nan: 0.05,
+                ..FaultProfile::none()
+            },
+            seed,
+        ),
+        Reliable(FnPerceptor::new(|r: &f64, _: &mut StageContext| *r)),
+        AlwaysTrust,
+        WithFallback::new(
+            FnController::new(|f: &f64, trust: Trust, _: &mut StageContext| {
+                -0.4 * f * (1.0 - trust.suspicion())
+            }),
+            0.0,
+        ),
+    )
+    .with_recovery(RecoveryPolicy {
+        max_retries: 1,
+        retry_energy_j: 5e-5,
+        max_hold_ticks: 2,
+        staleness_decay: 0.3,
+        ..RecoveryPolicy::default()
+    })
+    .with_telemetry_capacity(REPLAY_TICKS as usize)
+}
+
+fn apply_plant(env: &mut f64, action: &f64) {
+    *env += action + 0.01;
+}
+
+#[test]
+fn seeded_fleet_run_replays_member_loop_with_zero_divergence() {
+    let mut fleet = FleetScheduler::new(FleetConfig {
+        workers: 2,
+        watts_cap: None,
+        seed: 5,
+    });
+    let member = fleet.register(
+        LoopHandle::closed_fallible(faulty_member(FAULT_SEED), 3.0f64, apply_plant),
+        LoopSpec::periodic(1e-3),
+    );
+    // Interleaving pressure: other members contend for the virtual workers.
+    for i in 0..3 {
+        fleet.register(scalar_member(&format!("bg-{i}")), LoopSpec::periodic(4e-3));
+    }
+
+    let report = fleet.run_deterministic(0.1, &mut SimClock::new());
+    assert_eq!(fleet.loop_stats(member).ticks, REPLAY_TICKS);
+    assert!(
+        report.ticks > REPLAY_TICKS,
+        "the fleet must actually interleave"
+    );
+    assert!(
+        fleet.loop_telemetry(member).fault_counters().faults > 0,
+        "the member must run through injected faults"
+    );
+
+    // Capture the member through the PR 4 recording format...
+    let recording = Recording::capture("replay-member", FAULT_SEED, fleet.loop_telemetry(member));
+    assert_eq!(recording.meta.ticks, REPLAY_TICKS);
+
+    // ...and replay a freshly built identical loop, standalone — no
+    // scheduler. Zero divergence: fleet multiplexing left no trace in the
+    // member's virtual-time telemetry.
+    let mut standalone = faulty_member(FAULT_SEED);
+    let mut plant = 3.0f64;
+    let verified = standalone
+        .replay(&mut plant, &recording, apply_plant)
+        .expect("seeded fleet run must replay with zero divergence");
+    assert_eq!(verified, REPLAY_TICKS);
+
+    // And a second fleet run reproduces the same recording bit-for-bit.
+    let mut fleet2 = FleetScheduler::new(FleetConfig {
+        workers: 2,
+        watts_cap: None,
+        seed: 5,
+    });
+    let member2 = fleet2.register(
+        LoopHandle::closed_fallible(faulty_member(FAULT_SEED), 3.0f64, apply_plant),
+        LoopSpec::periodic(1e-3),
+    );
+    for i in 0..3 {
+        fleet2.register(scalar_member(&format!("bg-{i}")), LoopSpec::periodic(4e-3));
+    }
+    let report2 = fleet2.run_deterministic(0.1, &mut SimClock::new());
+    assert_eq!(report2.trace_hash, report.trace_hash);
+    let recording2 =
+        Recording::capture("replay-member", FAULT_SEED, fleet2.loop_telemetry(member2));
+    assert_eq!(recording2, recording);
+}
