@@ -8,22 +8,34 @@
 //! per kernel pair, and fails (non-zero exit) on any violated contract — the
 //! regression oracle every future perf PR runs against.
 //!
-//! The matrix:
-//! - `gemm_blocked`/`gemm_parallel`/`gemm` (dispatcher) vs. `gemm_naive`
-//!   over shape/alpha/beta sweeps — **bitwise** (ascending-k contract)
-//! - `gemm_transa`/`gemm_transb`/`matvec_into` vs. `gemm_naive` on
-//!   explicitly transposed operands, `beta = 0` — **bitwise**
+//! The matrix, tiered by precision mode:
+//! - `gemm_blocked`/`gemm_parallel` vs. `gemm_naive` over shape/alpha/beta
+//!   sweeps — **bitwise** (ascending-k contract)
+//! - `gemm` (dispatcher)/`gemm_simd`/`gemm_transb` vs. `gemm_naive` —
+//!   per-element error ratio against the analytic FMA forward-error bound
+//!   `2·γ_{k+2}·(|αA|·|B|)` ≤ 1; collapses to bitwise (ratio 0) on SSE2,
+//!   scalar, and `SENSACT_FORCE_SCALAR=1` hosts
+//! - `gemm_f32`/`gemm_transb_f32` vs. f64 accumulation of the f32-rounded
+//!   operands — ratio against the single-precision bound ≤ 1
+//! - `gemm_int8`/`gemm_transb_int8` vs. `gemm_naive` — ratio against the
+//!   quantization bound `k·(max|A|·s_b/2 + (max|B|+s_b/2)·s_a/2)` ≤ 1
+//!   (integer accumulation is exact; the two int8 layouts are bitwise equal)
+//! - `gemm_transa`/`matvec_into` vs. `gemm_naive` on explicitly transposed
+//!   operands, `beta = 0` — **bitwise**
 //! - `Conv3d::forward`/`Deconv3d::forward` vs. `forward_reference` —
 //!   max |Δ| ≤ 1e-12 (im2col reorders additions), ULP reported
 //! - `Lidar::scan`/`scan_serial` vs. `scan_reference` — **bitwise**
 //! - fake-quantize grid invariants (on-grid, idempotent, half-step error
 //!   bound, poisoned-buffer saturation) over seeded buffers
-//! - JSONL export round-trips (span/tick, hostile floats) — **bitwise**
+//! - JSONL export round-trips (span/tick, hostile floats, all precision
+//!   modes) — **bitwise**
 //! - record → serialize → parse → replay of a faulty 1k-tick loop —
 //!   **bitwise** per tick (`--smoke`: 200 ticks)
+//! - the same round-trip for a budget-pressured mixed-precision loop that
+//!   must visit all three precision modes and replay its exact schedule
 //!
-//! Results land in `BENCH_conformance.json`. Run with `--smoke` for the
-//! small CI matrix.
+//! Results land in `BENCH_conformance.json` (tagged with the host ISA). Run
+//! with `--smoke` for the small CI matrix.
 
 use sensact_core::export::{parse_span, parse_tick, span_to_json, tick_to_json};
 use sensact_core::replay::Recording;
@@ -31,7 +43,8 @@ use sensact_core::stage::{AlwaysTrust, FnController, FnPerceptor, FnSensor, Stag
 use sensact_core::telemetry::TickRecord;
 use sensact_core::trace::{Span, StageBreakdown, StageId};
 use sensact_core::{
-    FallibleLoop, FaultInjector, FaultProfile, RecoveryPolicy, Reliable, WithFallback,
+    EnergyBudget, FallibleLoop, FaultInjector, FaultProfile, Precision as RunPrecision,
+    PrecisionPolicy, RecoveryPolicy, Reliable, WithFallback,
 };
 use sensact_lidar::raycast::{Lidar, LidarConfig};
 use sensact_lidar::scene::SceneGenerator;
@@ -112,6 +125,47 @@ impl Pair {
     }
 }
 
+/// Per-element forward-error bound for the FMA microkernel versus the naive
+/// ascending-k kernel: `2·γ_{k+2}·(|αA|·|B|) + 2ε·|β·C₀|`. The `1e-300`
+/// floor keeps an exact-zero element from turning the ratio into `0/0`.
+#[allow(clippy::too_many_arguments)] // mirrors the GEMM signature it bounds
+fn fma_bound(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    b: &[f64],
+    beta: f64,
+    c0: &[f64],
+) -> Vec<f64> {
+    let abs_a: Vec<f64> = a.iter().map(|x| (alpha * x).abs()).collect();
+    let abs_b: Vec<f64> = b.iter().map(|x| x.abs()).collect();
+    let mut bound = vec![0.0; m * n];
+    kernels::gemm_naive(m, n, k, 1.0, &abs_a, &abs_b, 0.0, &mut bound);
+    let gamma = 2.0 * (k as f64 + 2.0) * f64::EPSILON;
+    for (i, x) in bound.iter_mut().enumerate() {
+        let beta_term = if beta == 0.0 {
+            0.0
+        } else {
+            2.0 * f64::EPSILON * (beta * c0[i]).abs()
+        };
+        *x = *x * gamma + beta_term + 1e-300;
+    }
+    bound
+}
+
+/// Largest per-element `|reference - candidate| / bound`; ≤ 1 means the
+/// candidate conforms to its analytic tier.
+fn max_ratio(reference: &[f64], candidate: &[f64], bound: &[f64]) -> f64 {
+    reference
+        .iter()
+        .zip(candidate)
+        .zip(bound)
+        .map(|((&r, &c), &b)| (r - c).abs() / b)
+        .fold(0.0, f64::max)
+}
+
 fn gemm_pairs(smoke: bool, pairs: &mut Vec<Pair>) {
     let shapes: &[(usize, usize, usize)] = if smoke {
         &[(5, 7, 11), (16, 16, 16), (24, 1, 32)]
@@ -128,8 +182,10 @@ fn gemm_pairs(smoke: bool, pairs: &mut Vec<Pair>) {
     };
     let params: &[(f64, f64)] = &[(1.0, 0.0), (0.5, 0.0), (-1.25, 0.75), (1.0, 1.0)];
     let mut rng = StdRng::seed_from_u64(0xC0F0_0001);
-    let (mut trio_ulp, mut trio_abs, mut trio_cases) = (0u64, 0.0f64, 0usize);
+    let (mut duo_ulp, mut duo_abs, mut duo_cases) = (0u64, 0.0f64, 0usize);
+    let (mut simd_ulp, mut simd_ratio, mut simd_cases) = (0u64, 0.0f64, 0usize);
     let (mut trans_ulp, mut trans_abs, mut trans_cases) = (0u64, 0.0f64, 0usize);
+    let (mut tb_ulp, mut tb_ratio, mut tb_cases) = (0u64, 0.0f64, 0usize);
     for &(m, n, k) in shapes {
         let a: Vec<f64> = (0..m * k)
             .map(|_| rng.random::<f64>() * 2.0 - 1.0)
@@ -143,12 +199,25 @@ fn gemm_pairs(smoke: bool, pairs: &mut Vec<Pair>) {
         for &(alpha, beta) in params {
             let mut c_ref = c0.clone();
             kernels::gemm_naive(m, n, k, alpha, &a, &b, beta, &mut c_ref);
-            for gemm in [kernels::gemm_blocked, kernels::gemm_parallel, kernels::gemm] {
+            // Scalar tier: the cache-blocked and row-banded kernels keep the
+            // ascending-k contract, so they stay bitwise.
+            for gemm in [kernels::gemm_blocked, kernels::gemm_parallel] {
                 let mut c = c0.clone();
                 gemm(m, n, k, alpha, &a, &b, beta, &mut c);
-                trio_ulp = trio_ulp.max(max_ulp(&c_ref, &c));
-                trio_abs = trio_abs.max(max_abs_diff(&c_ref, &c));
-                trio_cases += 1;
+                duo_ulp = duo_ulp.max(max_ulp(&c_ref, &c));
+                duo_abs = duo_abs.max(max_abs_diff(&c_ref, &c));
+                duo_cases += 1;
+            }
+            // SIMD tier: the dispatcher and the pinned SIMD entry point may
+            // take the FMA microkernel, which rounds once per step — checked
+            // against the per-element analytic bound instead of bitwise.
+            let bound = fma_bound(m, n, k, alpha, &a, &b, beta, &c0);
+            for gemm in [kernels::gemm, kernels::gemm_simd] {
+                let mut c = c0.clone();
+                gemm(m, n, k, alpha, &a, &b, beta, &mut c);
+                simd_ulp = simd_ulp.max(max_ulp(&c_ref, &c));
+                simd_ratio = simd_ratio.max(max_ratio(&c_ref, &c, &bound));
+                simd_cases += 1;
             }
         }
 
@@ -159,12 +228,15 @@ fn gemm_pairs(smoke: bool, pairs: &mut Vec<Pair>) {
         let mut c_ref = vec![0.0; m * n];
         kernels::gemm_naive(m, n, k, alpha, &a, &b, 0.0, &mut c_ref);
 
+        // transb dispatches to the SIMD microkernel too: FMA-bound tier.
+        let bound = fma_bound(m, n, k, alpha, &a, &b, 0.0, &c0);
         let mut bt = vec![0.0; k * n];
         kernels::transpose_into(k, n, &b, &mut bt);
         let mut c = vec![1.0; m * n]; // stale contents must be ignored
         kernels::gemm_transb(m, n, k, alpha, &a, &bt, 0.0, &mut c);
-        trans_ulp = trans_ulp.max(max_ulp(&c_ref, &c));
-        trans_abs = trans_abs.max(max_abs_diff(&c_ref, &c));
+        tb_ulp = tb_ulp.max(max_ulp(&c_ref, &c));
+        tb_ratio = tb_ratio.max(max_ratio(&c_ref, &c, &bound));
+        tb_cases += 1;
 
         let mut at = vec![0.0; m * k];
         kernels::transpose_into(m, k, &a, &mut at);
@@ -180,21 +252,126 @@ fn gemm_pairs(smoke: bool, pairs: &mut Vec<Pair>) {
         kernels::matvec_into(m, k, &a, x, &mut y);
         trans_ulp = trans_ulp.max(max_ulp(&y_ref, &y));
         trans_abs = trans_abs.max(max_abs_diff(&y_ref, &y));
-        trans_cases += 3;
+        trans_cases += 2;
     }
     pairs.push(Pair::check(
-        "gemm_blocked_parallel_dispatch_vs_naive",
-        trio_cases,
-        trio_ulp,
-        trio_abs,
+        "gemm_blocked_parallel_vs_naive",
+        duo_cases,
+        duo_ulp,
+        duo_abs,
         0.0,
     ));
     pairs.push(Pair::check(
-        "gemm_trans_matvec_vs_naive",
+        "gemm_simd_dispatch_fma_error_ratio",
+        simd_cases,
+        simd_ulp,
+        simd_ratio,
+        1.0,
+    ));
+    pairs.push(Pair::check(
+        "gemm_transb_fma_error_ratio",
+        tb_cases,
+        tb_ulp,
+        tb_ratio,
+        1.0,
+    ));
+    pairs.push(Pair::check(
+        "gemm_transa_matvec_vs_naive",
         trans_cases,
         trans_ulp,
         trans_abs,
         0.0,
+    ));
+}
+
+/// Per-precision tolerance tiers for the f32 and int8 GEMM paths, each
+/// checked as a ratio against its own analytic bound.
+fn precision_pairs(smoke: bool, pairs: &mut Vec<Pair>) {
+    let shapes: &[(usize, usize, usize)] = if smoke {
+        &[(4, 7, 5), (16, 16, 64)]
+    } else {
+        &[(4, 7, 5), (1, 33, 16), (64, 64, 64), (40, 50, 300)]
+    };
+    let mut rng = StdRng::seed_from_u64(0xC0F0_0004);
+    let (mut f_ulp, mut f_ratio, mut f_cases) = (0u64, 0.0f64, 0usize);
+    let (mut q_ulp, mut q_ratio, mut q_cases) = (0u64, 0.0f64, 0usize);
+    for &(m, n, k) in shapes {
+        // f32 tier: reference is f64 accumulation of the *f32-rounded*
+        // operands, so the measured error is purely the f32 accumulation.
+        let a32: Vec<f32> = (0..m * k)
+            .map(|_| rng.random::<f64>() as f32 - 0.5)
+            .collect();
+        let b32: Vec<f32> = (0..k * n)
+            .map(|_| rng.random::<f64>() as f32 - 0.5)
+            .collect();
+        let a64: Vec<f64> = a32.iter().map(|&x| x as f64).collect();
+        let b64: Vec<f64> = b32.iter().map(|&x| x as f64).collect();
+        let mut c_ref = vec![0.0f64; m * n];
+        kernels::gemm_naive(m, n, k, 1.0, &a64, &b64, 0.0, &mut c_ref);
+        let mut bound = fma_bound(m, n, k, 1.0, &a64, &b64, 0.0, &[]);
+        for x in bound.iter_mut() {
+            // Same |A|·|B| magnitude profile, single-precision epsilon.
+            *x = *x / f64::EPSILON * f32::EPSILON as f64 + 1e-30;
+        }
+        let mut c32 = vec![f32::NAN; m * n];
+        kernels::gemm_f32(m, n, k, 1.0, &a32, &b32, 0.0, &mut c32);
+        let mut bt32 = vec![0.0f32; n * k];
+        for kk in 0..k {
+            for j in 0..n {
+                bt32[j * k + kk] = b32[kk * n + j];
+            }
+        }
+        let mut c32t = vec![f32::NAN; m * n];
+        kernels::gemm_transb_f32(m, n, k, 1.0, &a32, &bt32, 0.0, &mut c32t);
+        for c in [&c32, &c32t] {
+            let c64: Vec<f64> = c.iter().map(|&x| x as f64).collect();
+            f_ulp = f_ulp.max(max_ulp(&c_ref, &c64));
+            f_ratio = f_ratio.max(max_ratio(&c_ref, &c64, &bound));
+            f_cases += 1;
+        }
+
+        // int8 tier: integer accumulation is exact, so the whole error is
+        // input quantization — bounded by the scales the call reports.
+        let a: Vec<f64> = (0..m * k)
+            .map(|_| rng.random::<f64>() * 2.0 - 1.0)
+            .collect();
+        let b: Vec<f64> = (0..k * n)
+            .map(|_| rng.random::<f64>() * 2.0 - 1.0)
+            .collect();
+        let mut c_ref = vec![0.0f64; m * n];
+        kernels::gemm_naive(m, n, k, 1.0, &a, &b, 0.0, &mut c_ref);
+        let mut c_q = vec![f64::NAN; m * n];
+        let report = kernels::gemm_int8(m, n, k, &a, &b, &mut c_q);
+        let max_a = a.iter().fold(0.0f64, |acc, &x| acc.max(x.abs()));
+        let max_b = b.iter().fold(0.0f64, |acc, &x| acc.max(x.abs()));
+        let half_a = report.scale_a / 2.0;
+        let half_b = report.scale_b / 2.0;
+        let tol = k as f64 * (max_a * half_b + (max_b + half_b) * half_a) + 1e-12;
+        q_ulp = q_ulp.max(max_ulp(&c_ref, &c_q));
+        q_ratio = q_ratio.max(max_abs_diff(&c_ref, &c_q) / tol);
+        // The transb layout quantizes to the same codes: bitwise equal.
+        let mut bt = vec![0.0f64; n * k];
+        kernels::transpose_into(k, n, &b, &mut bt);
+        let mut c_qt = vec![f64::NAN; m * n];
+        let report_t = kernels::gemm_transb_int8(m, n, k, &a, &bt, &mut c_qt);
+        if c_qt != c_q || report_t != report {
+            q_ratio = f64::INFINITY;
+        }
+        q_cases += 2;
+    }
+    pairs.push(Pair::check(
+        "gemm_f32_error_ratio",
+        f_cases,
+        f_ulp,
+        f_ratio,
+        1.0,
+    ));
+    pairs.push(Pair::check(
+        "gemm_int8_quant_error_ratio",
+        q_cases,
+        q_ulp,
+        q_ratio,
+        1.0,
     ));
 }
 
@@ -405,6 +582,7 @@ fn export_pair(pairs: &mut Vec<Pair>) {
                 1 => Trust::Suspect(v.abs().min(1.0)),
                 _ => Trust::Untrusted,
             },
+            precision: RunPrecision::ALL[i % 3],
             stages,
         };
         match parse_tick(&tick_to_json(&rec)) {
@@ -416,7 +594,7 @@ fn export_pair(pairs: &mut Vec<Pair>) {
                     ulp = ulp.max(ulp_diff(a.energy_j, b.energy_j));
                     ulp = ulp.max(ulp_diff(a.latency_s, b.latency_s));
                 }
-                if rt.trust != rec.trust || rt.tick != rec.tick {
+                if rt.trust != rec.trust || rt.tick != rec.tick || rt.precision != rec.precision {
                     ulp = u64::MAX;
                 }
             }
@@ -501,20 +679,74 @@ fn replay_pair(smoke: bool, pairs: &mut Vec<Pair>) {
     ));
 }
 
+/// Record → serialize → replay a loop whose precision governor actually
+/// switches modes under budget pressure. The replay must reproduce the
+/// recorded precision schedule tick-for-tick (the diff includes the
+/// per-tick precision field), and the run must visit all three modes —
+/// otherwise the tier proves nothing.
+fn mixed_precision_replay_pair(smoke: bool, pairs: &mut Vec<Pair>) {
+    let ticks = if smoke { 200 } else { 1000 };
+    let seed = 99;
+    // Capacity sized so pressure sweeps 0 → ~0.8 over the run, crossing
+    // both policy thresholds regardless of the tick count.
+    let capacity_j = ticks as f64 * 2e-4 * 1.2;
+    let build = |seed: u64| {
+        faulty_loop(seed)
+            .with_budget(EnergyBudget::new(capacity_j))
+            .with_precision(PrecisionPolicy::adaptive(0.25, 0.6))
+    };
+    let mut recorded = build(seed);
+    let mut env = 3.0f64;
+    recorded.run(&mut env, ticks, |e, a| *e += a + 0.01);
+    let modes_seen = RunPrecision::ALL
+        .iter()
+        .filter(|&&p| recorded.telemetry().precision_ticks(p) > 0)
+        .count();
+    let recording = Recording::capture("conformance-mixed-precision", seed, recorded.telemetry());
+
+    let parsed = Recording::from_jsonl(&recording.to_jsonl());
+    let mut ulp = if parsed == recording && modes_seen == 3 {
+        0
+    } else {
+        u64::MAX
+    };
+    let mut env = 3.0f64;
+    match build(parsed.meta.seed).replay(&mut env, &parsed, |e, a| *e += a + 0.01) {
+        Ok(verified) if verified == ticks as u64 => {}
+        Ok(_) => ulp = u64::MAX,
+        Err(d) => {
+            eprintln!("mixed-precision replay diverged: {d}");
+            ulp = u64::MAX;
+        }
+    }
+    pairs.push(Pair::check(
+        "mixed_precision_record_replay",
+        ticks,
+        ulp,
+        0.0,
+        0.0,
+    ));
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let mode = if smoke { "smoke" } else { "full" };
     println!("== conformance matrix ({mode}) ==");
 
+    let isa = sensact_math::simd::isa_name();
+    println!("host isa: {isa}");
+
     let mut pairs = Vec::new();
     gemm_pairs(smoke, &mut pairs);
+    precision_pairs(smoke, &mut pairs);
     conv_pairs(smoke, &mut pairs);
     raycast_pair(smoke, &mut pairs);
     quant_pair(smoke, &mut pairs);
     export_pair(&mut pairs);
     replay_pair(smoke, &mut pairs);
+    mixed_precision_replay_pair(smoke, &mut pairs);
 
-    let mut json = format!("{{\n  \"mode\": \"{mode}\",\n  \"pairs\": {{\n");
+    let mut json = format!("{{\n  \"mode\": \"{mode}\",\n  \"isa\": \"{isa}\",\n  \"pairs\": {{\n");
     for (i, p) in pairs.iter().enumerate() {
         let verdict = if p.pass { "pass" } else { "FAIL" };
         let requirement = if p.tolerance == 0.0 {

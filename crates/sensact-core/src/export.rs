@@ -12,6 +12,7 @@
 //! and an ASCII latency histogram for quick terminal inspection (see
 //! `examples/observed_loop.rs`).
 
+use crate::precision::Precision;
 use crate::stage::Trust;
 use crate::telemetry::{LoopTelemetry, TickRecord};
 use crate::trace::{Span, StageBreakdown, StageId};
@@ -34,8 +35,8 @@ pub fn tick_to_json(r: &TickRecord) -> String {
         Trust::Untrusted => ("untrusted", 1.0),
     };
     let mut line = format!(
-        "{{\"type\":\"tick\",\"tick\":{},\"energy_j\":{},\"latency_s\":{},\"trust\":\"{kind}\",\"suspicion\":{suspicion}",
-        r.tick, r.energy_j, r.latency_s
+        "{{\"type\":\"tick\",\"tick\":{},\"energy_j\":{},\"latency_s\":{},\"trust\":\"{kind}\",\"suspicion\":{suspicion},\"precision\":\"{}\"",
+        r.tick, r.energy_j, r.latency_s, r.precision.as_str()
     );
     for (stage, cost) in r.stages.iter() {
         let _ = write!(
@@ -131,11 +132,17 @@ pub fn parse_tick(line: &str) -> Option<TickRecord> {
         let l = f64_field(&fields, &format!("{}_s", stage.name()))?;
         stages.add(stage, e, l);
     }
+    // Lenient on the precision field so ticks recorded before the
+    // mixed-precision mode existed still parse (they ran at f64).
+    let precision = str_field(&fields, "precision")
+        .and_then(Precision::parse)
+        .unwrap_or(Precision::F64);
     Some(TickRecord {
         tick: field(&fields, "tick")?.parse().ok()?,
         energy_j: f64_field(&fields, "energy_j")?,
         latency_s: f64_field(&fields, "latency_s")?,
         trust,
+        precision,
         stages,
     })
 }
@@ -282,19 +289,41 @@ mod tests {
             Trust::Suspect(1.0 / 3.0), // not exactly representable in decimal
             Trust::Untrusted,
         ] {
-            let mut stages = StageBreakdown::new();
-            stages.add(StageId::Sense, 1e-3, 0.1 + 0.2); // 0.30000000000000004
-            stages.add(StageId::Act, 7.25e-9, 0.0);
-            let rec = TickRecord {
-                tick: 999,
-                energy_j: 0.1 + 0.2,
-                latency_s: 1e-4,
-                trust,
-                stages,
-            };
-            let line = tick_to_json(&rec);
-            assert_eq!(parse_tick(&line), Some(rec), "line: {line}");
+            for precision in Precision::ALL {
+                let mut stages = StageBreakdown::new();
+                stages.add(StageId::Sense, 1e-3, 0.1 + 0.2); // 0.30000000000000004
+                stages.add(StageId::Act, 7.25e-9, 0.0);
+                let rec = TickRecord {
+                    tick: 999,
+                    energy_j: 0.1 + 0.2,
+                    latency_s: 1e-4,
+                    trust,
+                    precision,
+                    stages,
+                };
+                let line = tick_to_json(&rec);
+                assert_eq!(parse_tick(&line), Some(rec), "line: {line}");
+            }
         }
+    }
+
+    #[test]
+    fn tick_without_precision_field_parses_as_f64() {
+        // A pre-mixed-precision JSONL line (no "precision" key) still parses.
+        let mut stages = StageBreakdown::new();
+        stages.add(StageId::Sense, 1e-3, 2e-4);
+        let rec = TickRecord {
+            tick: 3,
+            energy_j: 1e-3,
+            latency_s: 2e-4,
+            trust: Trust::Trusted,
+            precision: Precision::F32,
+            stages,
+        };
+        let line = tick_to_json(&rec).replace(",\"precision\":\"f32\"", "");
+        let parsed = parse_tick(&line).expect("legacy line parses");
+        assert_eq!(parsed.precision, Precision::F64);
+        assert_eq!(parsed.tick, 3);
     }
 
     #[test]
@@ -322,6 +351,7 @@ mod tests {
             energy_j: 1e-3,
             latency_s: 2e-4,
             trust: Trust::Suspect(0.5),
+            precision: Precision::Int8,
             stages,
         });
         for line in [span_line.as_str(), tick_line.as_str()] {

@@ -32,6 +32,7 @@
 
 use crate::adapt::{AdaptationPolicy, NoAdaptation};
 use crate::budget::EnergyBudget;
+use crate::precision::{Precision, PrecisionGovernor, PrecisionPolicy};
 use crate::stage::{Controller, Monitor, Perceptor, Sensor, StageContext, Trust};
 use crate::telemetry::LoopTelemetry;
 use crate::trace::{StageBreakdown, StageId, Tracer};
@@ -594,6 +595,7 @@ pub struct FallibleLoop<S, P, M, C, Ad, F> {
     held: Option<F>,
     staleness: u32,
     tracer: Tracer,
+    governor: PrecisionGovernor,
 }
 
 impl<S, P, M, C, F> FallibleLoop<S, P, M, C, NoAdaptation, F> {
@@ -619,6 +621,7 @@ impl<S, P, M, C, F> FallibleLoop<S, P, M, C, NoAdaptation, F> {
             held: None,
             staleness: 0,
             tracer: Tracer::disabled(),
+            governor: PrecisionGovernor::disabled(),
         }
     }
 }
@@ -651,7 +654,26 @@ impl<S, P, M, C, Ad, F> FallibleLoop<S, P, M, C, Ad, F> {
             held: self.held,
             staleness: self.staleness,
             tracer: self.tracer,
+            governor: self.governor,
         }
+    }
+
+    /// Enable runtime mixed precision under the given policy (see
+    /// [`LoopBuilder::with_precision`](crate::LoopBuilder::with_precision)).
+    pub fn with_precision(mut self, policy: PrecisionPolicy) -> Self {
+        self.governor = PrecisionGovernor::new(policy);
+        self
+    }
+
+    /// The precision governor deciding each tick's numeric mode.
+    pub fn precision_governor(&self) -> &PrecisionGovernor {
+        &self.governor
+    }
+
+    /// Install or clear a fleet-level precision hint (e.g. from the
+    /// scheduler's energy arbiter). A disabled governor ignores hints.
+    pub fn set_precision_hint(&mut self, hint: Option<Precision>) {
+        self.governor.set_hint(hint);
     }
 
     /// Cap the number of per-tick telemetry records retained.
@@ -806,6 +828,10 @@ impl<S, P, M, C, Ad, F> FallibleLoop<S, P, M, C, Ad, F> {
     {
         let tick = self.telemetry.ticks();
         let mut ctx = StageContext::new();
+        // Decide this tick's numeric mode from current budget pressure and
+        // stamp it into the context before any stage runs.
+        let precision = self.governor.decide(self.budget.pressure());
+        ctx.set_precision(precision);
         let mut attr = Attribution::new(tick);
         let mut retries = 0u32;
         let mut faults = 0u32;
@@ -873,8 +899,16 @@ impl<S, P, M, C, Ad, F> FallibleLoop<S, P, M, C, Ad, F> {
         self.policy
             .adapt(&mut self.sensor, &action, trust, &self.budget);
         attr.close(&mut self.tracer, &ctx, StageId::Act, t0, true);
-        self.telemetry
-            .record_with_stages(ctx.energy_j(), ctx.latency_s(), trust, attr.stages);
+        // Trust drift (fresh, degraded-held or fallback verdicts alike)
+        // feeds back into the governor for the next tick.
+        self.governor.observe_trust(trust);
+        self.telemetry.record_with_precision(
+            ctx.energy_j(),
+            ctx.latency_s(),
+            trust,
+            attr.stages,
+            precision,
+        );
         FallibleOutput {
             action,
             trust,

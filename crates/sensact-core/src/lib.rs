@@ -58,6 +58,7 @@ pub mod export;
 pub mod fault;
 pub mod metrics;
 pub mod multi;
+pub mod precision;
 pub mod replay;
 pub mod stage;
 pub mod telemetry;
@@ -72,6 +73,7 @@ pub use fault::{
 };
 pub use loop_::{LoopBuilder, LoopOutput, SensingActionLoop};
 pub use metrics::{Histogram, MetricsRegistry};
+pub use precision::{Precision, PrecisionGovernor, PrecisionPolicy};
 pub use replay::{first_divergence, Divergence, Recording, RecordingMeta};
 pub use stage::{StageContext, Trust};
 pub use telemetry::{FaultCounters, LoopTelemetry, TickRecord};

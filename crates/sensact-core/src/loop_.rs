@@ -2,6 +2,7 @@
 
 use crate::adapt::{AdaptationPolicy, NoAdaptation};
 use crate::budget::EnergyBudget;
+use crate::precision::{Precision, PrecisionGovernor, PrecisionPolicy};
 use crate::stage::{AlwaysTrust, Controller, Monitor, Perceptor, Sensor, StageContext, Trust};
 use crate::telemetry::LoopTelemetry;
 use crate::trace::{StageBreakdown, StageId, Tracer};
@@ -37,6 +38,7 @@ pub struct SensingActionLoop<S, P, M, C, Ad> {
     budget: EnergyBudget,
     telemetry: LoopTelemetry,
     tracer: Tracer,
+    governor: PrecisionGovernor,
 }
 
 impl<S, P, M, C, Ad> SensingActionLoop<S, P, M, C, Ad> {
@@ -89,6 +91,20 @@ impl<S, P, M, C, Ad> SensingActionLoop<S, P, M, C, Ad> {
         &mut self.tracer
     }
 
+    /// The precision governor deciding each tick's numeric mode (disabled —
+    /// always f64 — unless [`LoopBuilder::with_precision`] installed a
+    /// policy).
+    pub fn precision_governor(&self) -> &PrecisionGovernor {
+        &self.governor
+    }
+
+    /// Install or clear a fleet-level precision hint (e.g. the scheduler's
+    /// energy arbiter recommending a cheaper mode). A disabled governor
+    /// ignores hints.
+    pub fn set_precision_hint(&mut self, hint: Option<Precision>) {
+        self.governor.set_hint(hint);
+    }
+
     /// Run one tick against an environment snapshot: sense, perceive, assess,
     /// decide, then adapt the sensor for the next tick.
     ///
@@ -105,6 +121,10 @@ impl<S, P, M, C, Ad> SensingActionLoop<S, P, M, C, Ad> {
     {
         let tick = self.telemetry.ticks();
         let mut ctx = StageContext::new();
+        // Decide this tick's numeric mode from current budget pressure and
+        // stamp it into the context before any stage runs.
+        let precision = self.governor.decide(self.budget.pressure());
+        ctx.set_precision(precision);
         let mut stages = StageBreakdown::new();
         // Attribute each stage by snapshotting the ledger around it. The
         // closure-free repetition keeps the hot path monomorphic and branch-
@@ -132,6 +152,9 @@ impl<S, P, M, C, Ad> SensingActionLoop<S, P, M, C, Ad> {
         let t0 = self.tracer.start();
         let trust = self.monitor.assess(&features, &mut ctx);
         charge(&ctx, &mut stages, &mut self.tracer, StageId::Monitor, t0);
+        // Trust drift feeds back into the governor: suspicion at or above
+        // the policy's drift threshold forces f64 from the next tick on.
+        self.governor.observe_trust(trust);
 
         let t0 = self.tracer.start();
         let action = self.controller.decide(&features, trust, &mut ctx);
@@ -146,8 +169,13 @@ impl<S, P, M, C, Ad> SensingActionLoop<S, P, M, C, Ad> {
             .adapt(&mut self.sensor, &action, trust, &self.budget);
         charge(&ctx, &mut stages, &mut self.tracer, StageId::Act, t0);
 
-        self.telemetry
-            .record_with_stages(ctx.energy_j(), ctx.latency_s(), trust, stages);
+        self.telemetry.record_with_precision(
+            ctx.energy_j(),
+            ctx.latency_s(),
+            trust,
+            stages,
+            precision,
+        );
         LoopOutput {
             action,
             trust,
@@ -189,6 +217,7 @@ pub struct LoopBuilder {
     budget: EnergyBudget,
     telemetry_capacity: usize,
     tracer: Tracer,
+    governor: PrecisionGovernor,
 }
 
 impl LoopBuilder {
@@ -200,6 +229,7 @@ impl LoopBuilder {
             budget: EnergyBudget::unlimited(),
             telemetry_capacity: crate::telemetry::DEFAULT_RECORD_CAPACITY,
             tracer: Tracer::disabled(),
+            governor: PrecisionGovernor::disabled(),
         }
     }
 
@@ -220,6 +250,16 @@ impl LoopBuilder {
     /// [`Tracer::wall`] for real timing). Defaults to [`Tracer::disabled`].
     pub fn with_tracer(mut self, tracer: Tracer) -> Self {
         self.tracer = tracer;
+        self
+    }
+
+    /// Enable runtime mixed precision under the given policy: each tick the
+    /// loop maps its budget pressure (and any scheduler hint) to a
+    /// [`Precision`] mode, stamps it into the
+    /// [`StageContext`](crate::stage::StageContext), and records it in
+    /// telemetry. Without this call the loop always runs at f64.
+    pub fn with_precision(mut self, policy: PrecisionPolicy) -> Self {
+        self.governor = PrecisionGovernor::new(policy);
         self
     }
 
@@ -263,6 +303,7 @@ impl LoopBuilder {
             budget: self.budget,
             telemetry: LoopTelemetry::with_capacity(self.telemetry_capacity),
             tracer: self.tracer,
+            governor: self.governor,
         }
     }
 }
@@ -546,6 +587,98 @@ mod tests {
         let drained = l.tracer_mut().take_spans();
         assert_eq!(drained.len(), 10);
         assert!(l.tracer().is_empty());
+    }
+
+    #[test]
+    fn precision_mode_tracks_budget_pressure_and_trust_drift() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        // What the perceptor saw on the StageContext, tick by tick.
+        let seen: Rc<RefCell<Vec<Precision>>> = Rc::default();
+        let seen_p = Rc::clone(&seen);
+        let mut l = LoopBuilder::new("mp")
+            .with_budget(EnergyBudget::new(1.0))
+            .with_precision(PrecisionPolicy::adaptive(0.3, 0.6).with_hold_ticks(2))
+            .build_monitored(
+                FnSensor::new(|e: &f64, ctx: &mut StageContext| {
+                    ctx.charge(0.05, 1e-4);
+                    *e
+                }),
+                FnPerceptor::new(move |r: &f64, ctx: &mut StageContext| {
+                    seen_p.borrow_mut().push(ctx.precision());
+                    *r
+                }),
+                FnMonitor::new(|f: &f64, _: &mut StageContext| {
+                    if f.abs() > 100.0 {
+                        Trust::Suspect(0.9)
+                    } else {
+                        Trust::Trusted
+                    }
+                }),
+                FnController::new(|f: &f64, _t, _: &mut StageContext| -*f),
+            );
+        // Pressure before tick t is 0.05·t: f64 until 0.3 (tick 6), f32
+        // until 0.6 (tick 12), int8 after.
+        for _ in 0..14 {
+            let _ = l.tick(&1.0);
+        }
+        let recorded: Vec<Precision> = l.telemetry().records().map(|r| r.precision).collect();
+        assert_eq!(&recorded[..6], &[Precision::F64; 6]);
+        assert_eq!(&recorded[6..12], &[Precision::F32; 6]);
+        assert_eq!(&recorded[12..14], &[Precision::Int8; 2]);
+        // The context carried the same schedule the telemetry recorded.
+        assert_eq!(*seen.borrow(), recorded);
+        // Drift: suspicious features force f64 for hold_ticks ticks.
+        let _ = l.tick(&1000.0); // decided before the verdict: still int8
+        assert_eq!(
+            l.telemetry().last_record().unwrap().precision,
+            Precision::Int8
+        );
+        let _ = l.tick(&1.0);
+        assert_eq!(
+            l.telemetry().last_record().unwrap().precision,
+            Precision::F64
+        );
+        let _ = l.tick(&1.0);
+        assert_eq!(
+            l.telemetry().last_record().unwrap().precision,
+            Precision::F64
+        );
+        let _ = l.tick(&1.0);
+        assert_eq!(
+            l.telemetry().last_record().unwrap().precision,
+            Precision::Int8
+        );
+        assert_eq!(l.precision_governor().current(), Precision::Int8);
+        assert!(l.telemetry().precision_ticks(Precision::F64) >= 8);
+    }
+
+    #[test]
+    fn precision_hint_cheapens_an_enabled_loop() {
+        let mut l = LoopBuilder::new("hinted")
+            .with_precision(PrecisionPolicy::adaptive(0.5, 0.9))
+            .build(
+                FnSensor::new(|e: &f64, _: &mut StageContext| *e),
+                FnPerceptor::new(|r: &f64, _: &mut StageContext| *r),
+                FnController::new(|_f: &f64, _t, _: &mut StageContext| 0.0),
+            );
+        let _ = l.tick(&0.0);
+        assert_eq!(
+            l.telemetry().last_record().unwrap().precision,
+            Precision::F64
+        );
+        l.set_precision_hint(Some(Precision::F32));
+        let _ = l.tick(&0.0);
+        assert_eq!(
+            l.telemetry().last_record().unwrap().precision,
+            Precision::F32
+        );
+        l.set_precision_hint(None);
+        let _ = l.tick(&0.0);
+        assert_eq!(
+            l.telemetry().last_record().unwrap().precision,
+            Precision::F64
+        );
     }
 
     #[test]

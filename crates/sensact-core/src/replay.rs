@@ -73,6 +73,11 @@ pub struct RecordingMeta {
     /// Number of ticks the original run executed (may exceed the retained
     /// tick records when the telemetry ring was smaller than the run).
     pub ticks: u64,
+    /// ISA path the math kernels took on the capturing host (`"avx2+fma"`,
+    /// `"sse2"`, `"scalar"`, or `"unknown"` for recordings predating the
+    /// field). Informational: replay compares ledgers, not ISAs, but a
+    /// divergence across hosts is explicable from this header.
+    pub isa: String,
 }
 
 /// A recorded run: meta header plus the retained per-tick records and spans,
@@ -104,6 +109,7 @@ impl Recording {
                 name,
                 seed,
                 ticks: telemetry.ticks(),
+                isa: sensact_math::simd::isa_name().to_string(),
             },
             ticks: telemetry.records().copied().collect(),
             spans: Vec::new(),
@@ -134,8 +140,8 @@ impl Recording {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{{\"type\":\"replay_meta\",\"name\":\"{}\",\"seed\":{},\"ticks\":{}}}",
-            self.meta.name, self.meta.seed, self.meta.ticks
+            "{{\"type\":\"replay_meta\",\"name\":\"{}\",\"seed\":{},\"ticks\":{},\"isa\":\"{}\"}}",
+            self.meta.name, self.meta.seed, self.meta.ticks, self.meta.isa
         );
         for s in &self.spans {
             out.push_str(&span_to_json(s));
@@ -169,6 +175,7 @@ impl Recording {
             name: "unnamed".to_string(),
             seed: 0,
             ticks: ticks.len() as u64,
+            isa: "unknown".to_string(),
         });
         Recording { meta, ticks, spans }
     }
@@ -184,6 +191,8 @@ fn parse_meta(line: &str) -> Option<RecordingMeta> {
         name: str_field(&fields, "name")?.to_string(),
         seed: field(&fields, "seed")?.parse().ok()?,
         ticks: field(&fields, "ticks")?.parse().ok()?,
+        // Lenient: recordings captured before the ISA header existed.
+        isa: str_field(&fields, "isa").unwrap_or("unknown").to_string(),
     })
 }
 
@@ -268,6 +277,13 @@ pub fn diff_records(recorded: &TickRecord, replayed: &TickRecord) -> Option<Dive
             "trust",
             render_trust(recorded.trust),
             render_trust(replayed.trust),
+        );
+    }
+    if recorded.precision != replayed.precision {
+        return diverged(
+            "precision",
+            recorded.precision.to_string(),
+            replayed.precision.to_string(),
         );
     }
     for stage in StageId::ALL {
@@ -385,6 +401,7 @@ impl<S, P, M, C, Ad, F> FallibleLoop<S, P, M, C, Ad, F> {
 mod tests {
     use super::*;
     use crate::fault::{FaultInjector, FaultProfile, RecoveryPolicy, Reliable, WithFallback};
+    use crate::precision::Precision;
     use crate::stage::{AlwaysTrust, FnController, FnPerceptor, FnSensor, StageContext};
     use crate::trace::StageBreakdown;
     use crate::LoopBuilder;
@@ -397,6 +414,7 @@ mod tests {
             energy_j: energy,
             latency_s: 1e-4,
             trust: Trust::Trusted,
+            precision: Precision::F64,
             stages,
         }
     }
@@ -464,6 +482,32 @@ mod tests {
         assert_eq!(d.field, "trust");
         assert_eq!(d.recorded, "trusted");
         assert_eq!(d.replayed, "suspect(0.5)");
+
+        let mut p = a;
+        p.precision = Precision::F32;
+        let d = diff_records(&a, &p).unwrap();
+        assert_eq!(d.field, "precision");
+        assert_eq!((d.recorded.as_str(), d.replayed.as_str()), ("f64", "f32"));
+    }
+
+    #[test]
+    fn meta_captures_isa_and_legacy_meta_defaults_to_unknown() {
+        let mut t = LoopTelemetry::new();
+        t.record(1.0, 0.1, Trust::Trusted);
+        let rec = Recording::capture("isa-rt", 1, &t);
+        assert!(
+            ["avx2+fma", "sse2", "scalar"].contains(&rec.meta.isa.as_str()),
+            "unexpected isa {:?}",
+            rec.meta.isa
+        );
+        let parsed = Recording::from_jsonl(&rec.to_jsonl());
+        assert_eq!(parsed.meta, rec.meta);
+        // A meta line written before the isa header existed still parses.
+        let legacy = "{\"type\":\"replay_meta\",\"name\":\"old\",\"seed\":9,\"ticks\":0}\n";
+        let parsed = Recording::from_jsonl(legacy);
+        assert_eq!(parsed.meta.isa, "unknown");
+        assert_eq!(parsed.meta.seed, 9);
+        assert_eq!(parsed.meta.name, "old");
     }
 
     #[test]

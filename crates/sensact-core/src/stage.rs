@@ -1,5 +1,7 @@
 //! Stage traits of a sensing-to-action loop, plus closure adapters.
 
+use crate::precision::Precision;
+
 /// Trust verdict from a [`Monitor`] (STARNet-style) about the current
 /// sensing/feature stream.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -46,17 +48,32 @@ impl Trust {
 ///
 /// Stages call [`StageContext::charge`] with the energy (joules) and latency
 /// (seconds) they consumed; the loop accumulates these into its budget and
-/// telemetry.
+/// telemetry. The context also carries the tick's numeric
+/// [`Precision`] mode, decided by the loop's precision governor before the
+/// sense stage runs — precision-aware perceptors read it to route their
+/// compute through the matching kernel family.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct StageContext {
     energy_j: f64,
     latency_s: f64,
+    precision: Precision,
 }
 
 impl StageContext {
-    /// A fresh (zero-cost) context.
+    /// A fresh (zero-cost) context at the default [`Precision::F64`].
     pub fn new() -> Self {
         StageContext::default()
+    }
+
+    /// The numeric precision mode stages should compute at this tick.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Set the tick's precision mode (called by the loop runner before the
+    /// first stage; stages themselves should only read it).
+    pub fn set_precision(&mut self, precision: Precision) {
+        self.precision = precision;
     }
 
     /// Charge energy (joules) and latency (seconds) to this tick.

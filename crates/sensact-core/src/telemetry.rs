@@ -20,6 +20,7 @@
 
 use crate::fault::StageError;
 use crate::metrics::{Histogram, MetricsRegistry};
+use crate::precision::Precision;
 use crate::stage::Trust;
 use crate::trace::{StageBreakdown, StageId, STAGE_COUNT};
 use sensact_math::RunningStats;
@@ -38,6 +39,9 @@ pub struct TickRecord {
     pub latency_s: f64,
     /// Monitor verdict.
     pub trust: Trust,
+    /// Numeric precision mode the tick computed at (f64 unless a precision
+    /// governor chose otherwise).
+    pub precision: Precision,
     /// Per-stage energy/latency attribution of this tick.
     pub stages: StageBreakdown,
 }
@@ -105,6 +109,8 @@ pub struct LoopTelemetry {
     stage_latency: [Histogram; STAGE_COUNT],
     /// Whole-tick latency histogram over all ticks.
     latency_hist: Histogram,
+    /// Ticks computed per precision mode (indexed by [`Precision::rank`]).
+    precision_ticks: [u64; 3],
 }
 
 impl Default for LoopTelemetry {
@@ -139,6 +145,7 @@ impl LoopTelemetry {
             stage_totals: StageBreakdown::new(),
             stage_latency: std::array::from_fn(|_| Histogram::new()),
             latency_hist: Histogram::new(),
+            precision_ticks: [0; 3],
         }
     }
 
@@ -147,7 +154,8 @@ impl LoopTelemetry {
         self.record_with_stages(energy_j, latency_s, trust, StageBreakdown::new());
     }
 
-    /// Record a tick with its per-stage energy/latency attribution.
+    /// Record a tick with its per-stage energy/latency attribution (at the
+    /// default f64 precision).
     pub fn record_with_stages(
         &mut self,
         energy_j: f64,
@@ -155,11 +163,25 @@ impl LoopTelemetry {
         trust: Trust,
         stages: StageBreakdown,
     ) {
+        self.record_with_precision(energy_j, latency_s, trust, stages, Precision::F64);
+    }
+
+    /// Record a tick with per-stage attribution and the precision mode it
+    /// computed at.
+    pub fn record_with_precision(
+        &mut self,
+        energy_j: f64,
+        latency_s: f64,
+        trust: Trust,
+        stages: StageBreakdown,
+        precision: Precision,
+    ) {
         let rec = TickRecord {
             tick: self.ticks,
             energy_j,
             latency_s,
             trust,
+            precision,
             stages,
         };
         if self.records.len() < self.capacity {
@@ -174,6 +196,7 @@ impl LoopTelemetry {
         self.energy.push(energy_j);
         self.latency.push(latency_s);
         self.latency_hist.record(latency_s);
+        self.precision_ticks[precision.rank() as usize] += 1;
         self.stage_totals.merge(&stages);
         for (stage, cost) in stages.iter() {
             // Idle stages (charged nothing) don't pollute the histogram
@@ -291,6 +314,11 @@ impl LoopTelemetry {
         self.counters
     }
 
+    /// Number of ticks computed at the given precision mode; O(1).
+    pub fn precision_ticks(&self, precision: Precision) -> u64 {
+        self.precision_ticks[precision.rank() as usize]
+    }
+
     /// Export aggregates into a [`MetricsRegistry`] under the standard
     /// metric names: `loop.*` counters/gauges, `stage.<name>.*` per-stage
     /// energy gauges and latency histograms.
@@ -303,6 +331,9 @@ impl LoopTelemetry {
         registry.set("loop.energy_j", self.total_energy_j);
         registry.set("loop.latency_s", self.total_latency_s);
         registry.set("loop.suspect_fraction", self.suspect_fraction());
+        registry.add("loop.precision.f64_ticks", self.precision_ticks[0]);
+        registry.add("loop.precision.f32_ticks", self.precision_ticks[1]);
+        registry.add("loop.precision.int8_ticks", self.precision_ticks[2]);
         registry.install_histogram("loop.tick.latency_s", self.latency_hist.clone());
         for stage in StageId::ALL {
             registry.set(stage.energy_key(), self.stage_totals.get(stage).energy_j);
@@ -364,6 +395,23 @@ mod tests {
         assert_eq!(t.energy_stats().mean(), 2.0);
         assert_eq!(t.latency_stats().max(), 0.3);
         assert_eq!(t.records().nth(1).unwrap().tick, 1);
+    }
+
+    #[test]
+    fn precision_ticks_are_counted_per_mode() {
+        let mut t = LoopTelemetry::new();
+        t.record(1.0, 0.1, Trust::Trusted);
+        let stages = StageBreakdown::new();
+        t.record_with_precision(1.0, 0.1, Trust::Trusted, stages, Precision::F32);
+        t.record_with_precision(1.0, 0.1, Trust::Trusted, stages, Precision::Int8);
+        t.record_with_precision(1.0, 0.1, Trust::Trusted, stages, Precision::Int8);
+        assert_eq!(t.precision_ticks(Precision::F64), 1);
+        assert_eq!(t.precision_ticks(Precision::F32), 1);
+        assert_eq!(t.precision_ticks(Precision::Int8), 2);
+        assert_eq!(t.last_record().unwrap().precision, Precision::Int8);
+        let mut m = MetricsRegistry::new();
+        t.export_into(&mut m);
+        assert_eq!(m.counter("loop.precision.int8_ticks"), 2);
     }
 
     #[test]

@@ -26,8 +26,10 @@
 const KC: usize = 256;
 
 /// Minimum multiply-add count (`m * n * k`) before the parallel path is worth
-/// the thread-spawn overhead.
-const PAR_MIN_OPS: usize = 1 << 21;
+/// the thread-spawn overhead. Also the per-thread work floor: the parallel
+/// kernels never split the problem so fine that a band has fewer
+/// multiply-adds than this.
+pub(crate) const PAR_MIN_OPS: usize = 1 << 21;
 
 /// Tile edge for the blocked transpose (64×64 f64 = 32 KiB working set).
 const TRANSPOSE_TILE: usize = 64;
@@ -40,7 +42,18 @@ fn check_gemm(m: usize, n: usize, k: usize, a: &[f64], b: &[f64], c: &[f64]) {
 }
 
 #[inline]
-fn scale_c(beta: f64, c: &mut [f64]) {
+pub(crate) fn scale_c(beta: f64, c: &mut [f64]) {
+    if beta == 0.0 {
+        c.fill(0.0);
+    } else if beta != 1.0 {
+        for x in c.iter_mut() {
+            *x *= beta;
+        }
+    }
+}
+
+#[inline]
+pub(crate) fn scale_c_f32(beta: f32, c: &mut [f32]) {
     if beta == 0.0 {
         c.fill(0.0);
     } else if beta != 1.0 {
@@ -51,7 +64,7 @@ fn scale_c(beta: f64, c: &mut [f64]) {
 }
 
 /// Number of worker threads for the parallel paths.
-fn threads() -> usize {
+pub(crate) fn threads() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
@@ -141,6 +154,11 @@ pub fn gemm_blocked(
 /// A), so no synchronisation is needed and per-element accumulation order is
 /// identical to [`gemm_blocked`] — the result is deterministic and bitwise
 /// equal to the serial kernels.
+///
+/// The thread count is capped so every band carries at least
+/// `PAR_MIN_OPS` multiply-adds; below that total the call degenerates to
+/// the serial blocked kernel, so this entry point never loses to
+/// single-threaded dispatch on problems too small to amortize thread spawns.
 pub fn gemm_parallel(
     m: usize,
     n: usize,
@@ -152,7 +170,8 @@ pub fn gemm_parallel(
     c: &mut [f64],
 ) {
     check_gemm(m, n, k, a, b, c);
-    let nthreads = threads().min(m).max(1);
+    let ops = m.saturating_mul(n).saturating_mul(k);
+    let nthreads = threads().min(m).min((ops / PAR_MIN_OPS).max(1)).max(1);
     if nthreads <= 1 || n == 0 || k == 0 {
         gemm_rows(n, k, alpha, a, b, beta, c);
         return;
@@ -165,8 +184,15 @@ pub fn gemm_parallel(
     });
 }
 
-/// Auto-dispatching GEMM: parallel above `PAR_MIN_OPS` multiply-adds,
-/// serial cache-blocked below. Same results either way.
+/// Auto-dispatching GEMM: the register-blocked SIMD path
+/// ([`simd`](crate::simd)) when the host ISA supports it and the problem is
+/// large enough to amortize packing, then parallel above `PAR_MIN_OPS`
+/// multiply-adds, then the serial cache-blocked kernel.
+///
+/// On SSE2 and scalar paths the result is bitwise identical to
+/// [`gemm_blocked`]; the AVX2+FMA path differs only within the analytic
+/// forward-error bound checked by the conformance harness (fused
+/// multiply-add rounds once per step instead of twice).
 pub fn gemm(
     m: usize,
     n: usize,
@@ -177,9 +203,53 @@ pub fn gemm(
     beta: f64,
     c: &mut [f64],
 ) {
+    check_gemm(m, n, k, a, b, c);
+    if crate::simd::gemm_f64(
+        m,
+        n,
+        k,
+        alpha,
+        a,
+        b,
+        beta,
+        c,
+        crate::simd::BLayout::RowMajor,
+    ) {
+        return;
+    }
     if m.saturating_mul(n).saturating_mul(k) >= PAR_MIN_OPS && m >= 2 {
         gemm_parallel(m, n, k, alpha, a, b, beta, c);
     } else {
+        gemm_blocked(m, n, k, alpha, a, b, beta, c);
+    }
+}
+
+/// SIMD-first GEMM: takes the register-blocked SIMD path whenever the host
+/// supports one (ignoring the size threshold used by [`gemm`]), falling back
+/// to [`gemm_blocked`] otherwise. Primarily for benches and conformance
+/// runs that need to pin the path taken.
+pub fn gemm_simd(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    b: &[f64],
+    beta: f64,
+    c: &mut [f64],
+) {
+    check_gemm(m, n, k, a, b, c);
+    if !crate::simd::gemm_f64(
+        m,
+        n,
+        k,
+        alpha,
+        a,
+        b,
+        beta,
+        c,
+        crate::simd::BLayout::RowMajor,
+    ) {
         gemm_blocked(m, n, k, alpha, a, b, beta, c);
     }
 }
@@ -202,6 +272,19 @@ pub fn gemm_transb(
     assert_eq!(a.len(), m * k, "gemm_transb: A must be m*k");
     assert_eq!(b.len(), n * k, "gemm_transb: B must be n*k");
     assert_eq!(c.len(), m * n, "gemm_transb: C must be m*n");
+    if crate::simd::gemm_f64(
+        m,
+        n,
+        k,
+        alpha,
+        a,
+        b,
+        beta,
+        c,
+        crate::simd::BLayout::Transposed,
+    ) {
+        return;
+    }
     scale_c(beta, c);
     let body = |a_band: &[f64], c_band: &mut [f64]| {
         let rows = a_band
@@ -307,6 +390,328 @@ pub fn transpose_into(rows: usize, cols: usize, src: &[f64], dst: &mut [f64]) {
     }
 }
 
+/// One row-band of `C += alpha * A * op(B)` with `C` already pre-scaled
+/// (portable fallback for the SIMD driver on non-x86 targets).
+pub(crate) fn gemm_rows_scaled(
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a_band: &[f64],
+    b: &[f64],
+    c_band: &mut [f64],
+    b_transposed: bool,
+) {
+    if n == 0 || k == 0 {
+        return;
+    }
+    if !b_transposed {
+        gemm_rows(n, k, alpha, a_band, b, 1.0, c_band);
+        return;
+    }
+    let rows = c_band.len() / n;
+    for i in 0..rows {
+        let a_row = &a_band[i * k..(i + 1) * k];
+        for (cij, b_row) in c_band[i * n..(i + 1) * n].iter_mut().zip(b.chunks_exact(k)) {
+            let mut acc = 0.0;
+            for (&x, &y) in a_row.iter().zip(b_row) {
+                acc += alpha * x * y;
+            }
+            *cij += acc;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Precision modes
+// ---------------------------------------------------------------------------
+
+/// Numeric precision of a compute path, ordered from most precise (and most
+/// expensive) to cheapest.
+///
+/// This is the currency of the runtime mixed-precision mode: the precision
+/// governor in `sensact-core` (which re-exports this type) picks one of
+/// these per tick, loop runners record it in telemetry, and perception
+/// stages route their GEMM/conv calls through the matching kernel family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum Precision {
+    /// Full double precision — the default and the trusted-fallback mode.
+    #[default]
+    F64,
+    /// Single precision (AVX2 f32 microkernels; ~2× f64 SIMD throughput).
+    F32,
+    /// Symmetric 8-bit quantization on the `fake_quantize` max-abs/127
+    /// grid, with exact integer accumulation.
+    Int8,
+}
+
+impl Precision {
+    /// All modes, most precise first.
+    pub const ALL: [Precision; 3] = [Precision::F64, Precision::F32, Precision::Int8];
+
+    /// Stable lowercase name used in telemetry and JSONL recordings.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Precision::F64 => "f64",
+            Precision::F32 => "f32",
+            Precision::Int8 => "int8",
+        }
+    }
+
+    /// Parse the [`as_str`](Precision::as_str) form back.
+    pub fn parse(s: &str) -> Option<Precision> {
+        match s {
+            "f64" => Some(Precision::F64),
+            "f32" => Some(Precision::F32),
+            "int8" => Some(Precision::Int8),
+            _ => None,
+        }
+    }
+
+    /// The cheaper (lower-precision) of two modes.
+    pub fn cheaper_of(self, other: Precision) -> Precision {
+        self.max(other)
+    }
+
+    /// Cost rank: `0` (f64, most expensive) to `2` (int8, cheapest).
+    pub fn rank(self) -> u8 {
+        self as u8
+    }
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// f32 path
+// ---------------------------------------------------------------------------
+
+/// Scalar f32 band kernel mirroring [`gemm_blocked`]'s loop nest.
+fn gemm_rows_f32(
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a_band: &[f32],
+    b: &[f32],
+    beta: f32,
+    c_band: &mut [f32],
+) {
+    scale_c_f32(beta, c_band);
+    if n == 0 || k == 0 {
+        return;
+    }
+    let rows = c_band.len() / n;
+    for k0 in (0..k).step_by(KC) {
+        let k1 = (k0 + KC).min(k);
+        for i in 0..rows {
+            let a_row = &a_band[i * k + k0..i * k + k1];
+            let c_row = &mut c_band[i * n..(i + 1) * n];
+            for (kk, &aik) in a_row.iter().enumerate() {
+                let scaled = alpha * aik;
+                let b_row = &b[(k0 + kk) * n..(k0 + kk + 1) * n];
+                for (cj, &bj) in c_row.iter_mut().zip(b_row) {
+                    *cj += scaled * bj;
+                }
+            }
+        }
+    }
+}
+
+/// Single-precision GEMM: `C = alpha * A[m×k] * B[k×n] + beta * C` on f32
+/// operands. Dispatches to the AVX2+FMA `4×16` microkernel when the host
+/// supports it, otherwise runs a scalar kernel with the same blocking as
+/// [`gemm_blocked`].
+pub fn gemm_f32(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    beta: f32,
+    c: &mut [f32],
+) {
+    assert_eq!(a.len(), m * k, "gemm_f32: A must be m*k");
+    assert_eq!(b.len(), k * n, "gemm_f32: B must be k*n");
+    assert_eq!(c.len(), m * n, "gemm_f32: C must be m*n");
+    if crate::simd::gemm_f32(
+        m,
+        n,
+        k,
+        alpha,
+        a,
+        b,
+        beta,
+        c,
+        crate::simd::BLayout::RowMajor,
+    ) {
+        return;
+    }
+    gemm_rows_f32(n, k, alpha, a, b, beta, c);
+}
+
+/// Single-precision `C = alpha * A[m×k] * B^T + beta * C` with `b` stored
+/// row-major as `[n×k]` — the f32 twin of [`gemm_transb`], used by the
+/// precision-aware conv forward path.
+pub fn gemm_transb_f32(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    beta: f32,
+    c: &mut [f32],
+) {
+    assert_eq!(a.len(), m * k, "gemm_transb_f32: A must be m*k");
+    assert_eq!(b.len(), n * k, "gemm_transb_f32: B must be n*k");
+    assert_eq!(c.len(), m * n, "gemm_transb_f32: C must be m*n");
+    if crate::simd::gemm_f32(
+        m,
+        n,
+        k,
+        alpha,
+        a,
+        b,
+        beta,
+        c,
+        crate::simd::BLayout::Transposed,
+    ) {
+        return;
+    }
+    scale_c_f32(beta, c);
+    if n == 0 || k == 0 {
+        return;
+    }
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        for (cij, b_row) in c[i * n..(i + 1) * n].iter_mut().zip(b.chunks_exact(k)) {
+            let mut acc = 0.0f32;
+            for (&x, &y) in a_row.iter().zip(b_row) {
+                acc += alpha * x * y;
+            }
+            *cij += acc;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// int8 path
+// ---------------------------------------------------------------------------
+
+/// The quantization scales an int8 GEMM call used (`0.0` for an all-zero
+/// operand). Enough to reconstruct the analytic error bound
+/// `k · (max|A|·s_b/2 + (max|B| + s_b/2)·s_a/2)` per output element.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantGemmReport {
+    /// Grid step of A's quantization (`max|A| / 127`).
+    pub scale_a: f64,
+    /// Grid step of B's quantization (`max|B| / 127`).
+    pub scale_b: f64,
+}
+
+/// Symmetric int8 quantization onto the grid `sensact_nn`'s `fake_quantize`
+/// uses at 8 bits: `scale = max|x| / 127` over finite entries, round to
+/// nearest, clamp to `[-127, 127]`; NaN maps to `0`, ±inf saturates.
+/// Codes are returned as `i16` so the AVX2 `madd` dot path can consume them
+/// without widening.
+pub fn quantize_i8(src: &[f64]) -> (Vec<i16>, f64) {
+    let max_abs = src
+        .iter()
+        .filter(|x| x.is_finite())
+        .fold(0.0f64, |m, &x| m.max(x.abs()));
+    if max_abs == 0.0 {
+        return (vec![0; src.len()], 0.0);
+    }
+    let scale = max_abs / 127.0;
+    let q = src
+        .iter()
+        .map(|&x| {
+            if x.is_nan() {
+                0
+            } else {
+                let v = if x.is_infinite() {
+                    x.signum() * max_abs
+                } else {
+                    x
+                };
+                (v / scale).round().clamp(-127.0, 127.0) as i16
+            }
+        })
+        .collect();
+    (q, scale)
+}
+
+fn int8_core(m: usize, n: usize, k: usize, qa: &[i16], qbt: &[i16], scale: f64, c: &mut [f64]) {
+    debug_assert!(k < (1 << 20), "int8 gemm: k too large for i32 lanes");
+    if m == 0 || n == 0 {
+        c.fill(0.0);
+        return;
+    }
+    for i in 0..m {
+        let a_row = &qa[i * k..(i + 1) * k];
+        for (j, cij) in c[i * n..(i + 1) * n].iter_mut().enumerate() {
+            let b_row = &qbt[j * k..(j + 1) * k];
+            *cij = scale * crate::simd::dot_i16(a_row, b_row) as f64;
+        }
+    }
+}
+
+/// Quantized int8 GEMM: `C = dequant(Q(A) · Q(B))` (implicit `alpha = 1`,
+/// `beta = 0` — the perception fast-path shape). Integer accumulation is
+/// exact, so the only error versus f64 is the input quantization itself;
+/// the returned [`QuantGemmReport`] carries the scales needed to bound it.
+pub fn gemm_int8(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f64],
+    b: &[f64],
+    c: &mut [f64],
+) -> QuantGemmReport {
+    check_gemm(m, n, k, a, b, c);
+    let (qa, sa) = quantize_i8(a);
+    let (qb, sb) = quantize_i8(b);
+    // Transpose the codes so every dot product runs over two contiguous
+    // rows (the layout the vector dot kernel wants).
+    let mut qbt = vec![0i16; qb.len()];
+    for kk in 0..k {
+        for j in 0..n {
+            qbt[j * k + kk] = qb[kk * n + j];
+        }
+    }
+    int8_core(m, n, k, &qa, &qbt, sa * sb, c);
+    QuantGemmReport {
+        scale_a: sa,
+        scale_b: sb,
+    }
+}
+
+/// Quantized int8 `C = dequant(Q(A) · Q(B)^T)` with `b` stored row-major as
+/// `[n×k]` — the natural int8 layout (both operands contiguous in `k`), and
+/// the shape the conv im2col path feeds.
+pub fn gemm_transb_int8(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f64],
+    b: &[f64],
+    c: &mut [f64],
+) -> QuantGemmReport {
+    assert_eq!(a.len(), m * k, "gemm_transb_int8: A must be m*k");
+    assert_eq!(b.len(), n * k, "gemm_transb_int8: B must be n*k");
+    assert_eq!(c.len(), m * n, "gemm_transb_int8: C must be m*n");
+    let (qa, sa) = quantize_i8(a);
+    let (qbt, sb) = quantize_i8(b);
+    int8_core(m, n, k, &qa, &qbt, sa * sb, c);
+    QuantGemmReport {
+        scale_a: sa,
+        scale_b: sb,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -367,8 +772,187 @@ mod tests {
 
             let mut c_auto = vec![f64::NAN; m * n];
             gemm(m, n, k, 1.0, &a, &b, 0.0, &mut c_auto);
-            assert_eq!(c_blk, c_auto, "auto dispatch diverged at {m}x{n}x{k}");
+            assert!(
+                max_abs_diff(&c_blk, &c_auto) <= auto_tol(k),
+                "auto dispatch diverged at {m}x{n}x{k}"
+            );
         }
+    }
+
+    /// Tolerance for the auto-dispatching `gemm` versus the scalar kernels:
+    /// zero (bitwise) unless the host can take the FMA path, in which case
+    /// the analytic forward-error bound for inputs in [-1, 1] applies.
+    fn auto_tol(k: usize) -> f64 {
+        if crate::simd::cpu_features().simd_f64() {
+            4.0 * (k as f64 + 2.0) * f64::EPSILON * k as f64 + f64::MIN_POSITIVE
+        } else {
+            0.0
+        }
+    }
+
+    /// Satellite: every dispatch path over non-square and degenerate shapes
+    /// (k = 0 pure beta-scale, single-row, single-column, tall/skinny).
+    #[test]
+    fn dispatch_paths_agree_on_degenerate_and_skinny_shapes() {
+        const ODD_SHAPES: &[(usize, usize, usize)] = &[
+            (1, 1, 0),
+            (4, 7, 0),
+            (0, 5, 3),
+            (5, 0, 3),
+            (1, 64, 16),
+            (1, 300, 257),
+            (200, 1, 31),
+            (3, 500, 9),
+            (500, 3, 9),
+            (37, 2, 400),
+            (2, 37, 400),
+        ];
+        let mut rng = StdRng::seed_from_u64(0xD15);
+        for &(m, n, k) in ODD_SHAPES {
+            let a = random_mat(&mut rng, m * k);
+            let b = random_mat(&mut rng, k * n);
+            let base = random_mat(&mut rng, m * n);
+
+            let mut c_ref = base.clone();
+            gemm_naive(m, n, k, 0.7, &a, &b, 0.3, &mut c_ref);
+
+            // Scalar paths: bitwise.
+            let mut c_blk = base.clone();
+            gemm_blocked(m, n, k, 0.7, &a, &b, 0.3, &mut c_blk);
+            assert_eq!(c_ref, c_blk, "blocked at {m}x{n}x{k}");
+            let mut c_par = base.clone();
+            gemm_parallel(m, n, k, 0.7, &a, &b, 0.3, &mut c_par);
+            assert_eq!(c_ref, c_par, "parallel at {m}x{n}x{k}");
+
+            // Auto and SIMD-pinned dispatch: within the FMA bound.
+            let mut c_auto = base.clone();
+            gemm(m, n, k, 0.7, &a, &b, 0.3, &mut c_auto);
+            assert!(
+                max_abs_diff(&c_ref, &c_auto) <= auto_tol(k),
+                "auto at {m}x{n}x{k}"
+            );
+            let mut c_simd = base.clone();
+            gemm_simd(m, n, k, 0.7, &a, &b, 0.3, &mut c_simd);
+            assert!(
+                max_abs_diff(&c_ref, &c_simd) <= auto_tol(k),
+                "simd at {m}x{n}x{k}"
+            );
+
+            // Transposed-B path over the same shapes.
+            if m > 0 && n > 0 {
+                let bt = random_mat(&mut rng, n * k);
+                let mut b_rm = vec![0.0; k * n];
+                transpose_into(n, k, &bt, &mut b_rm);
+                let mut c_t_ref = base.clone();
+                gemm_naive(m, n, k, 0.7, &a, &b_rm, 0.3, &mut c_t_ref);
+                let mut c_t = base.clone();
+                gemm_transb(m, n, k, 0.7, &a, &bt, 0.3, &mut c_t);
+                assert!(
+                    max_abs_diff(&c_t_ref, &c_t) <= auto_tol(k).max(1e-12),
+                    "transb at {m}x{n}x{k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn f32_path_matches_f64_reference_within_single_precision_bound() {
+        let mut rng = StdRng::seed_from_u64(0xF32);
+        for &(m, n, k) in &[(4, 7, 5), (1, 33, 16), (64, 64, 64), (40, 50, 300)] {
+            let a32: Vec<f32> = (0..m * k).map(|_| rng.gen_f64() as f32 - 0.5).collect();
+            let b32: Vec<f32> = (0..k * n).map(|_| rng.gen_f64() as f32 - 0.5).collect();
+            // Reference: the same (f32-rounded) inputs accumulated in f64.
+            let a64: Vec<f64> = a32.iter().map(|&x| x as f64).collect();
+            let b64: Vec<f64> = b32.iter().map(|&x| x as f64).collect();
+            let mut c_ref = vec![0.0f64; m * n];
+            gemm_naive(m, n, k, 1.0, &a64, &b64, 0.0, &mut c_ref);
+
+            let mut c32 = vec![f32::NAN; m * n];
+            gemm_f32(m, n, k, 1.0, &a32, &b32, 0.0, &mut c32);
+            // Inputs in [-0.5, 0.5]: |c| ≤ k/4, forward error ≤ γ_{k+2}·k/4.
+            let tol = 2.0 * (k as f64 + 2.0) * f32::EPSILON as f64 * k as f64 / 4.0 + 1e-12;
+            for (i, (&x, &y)) in c_ref.iter().zip(&c32).enumerate() {
+                assert!(
+                    (x - y as f64).abs() <= tol,
+                    "f32 diff {} > {tol} at {i} ({m}x{n}x{k})",
+                    (x - y as f64).abs()
+                );
+            }
+
+            // transb twin against an explicit transpose.
+            let mut bt32 = vec![0.0f32; n * k];
+            for kk in 0..k {
+                for j in 0..n {
+                    bt32[j * k + kk] = b32[kk * n + j];
+                }
+            }
+            let mut c32t = vec![f32::NAN; m * n];
+            gemm_transb_f32(m, n, k, 1.0, &a32, &bt32, 0.0, &mut c32t);
+            for (i, (&x, &y)) in c_ref.iter().zip(&c32t).enumerate() {
+                assert!(
+                    (x - y as f64).abs() <= tol,
+                    "f32 transb diff at {i} ({m}x{n}x{k})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn int8_gemm_error_is_bounded_by_quantization() {
+        let mut rng = StdRng::seed_from_u64(0x18);
+        for &(m, n, k) in &[(1, 1, 1), (4, 7, 5), (16, 16, 64), (8, 40, 300)] {
+            let a = random_mat(&mut rng, m * k);
+            let b = random_mat(&mut rng, k * n);
+            let mut c_ref = vec![0.0; m * n];
+            gemm_naive(m, n, k, 1.0, &a, &b, 0.0, &mut c_ref);
+
+            let mut c_q = vec![f64::NAN; m * n];
+            let report = gemm_int8(m, n, k, &a, &b, &mut c_q);
+            let max_a = a.iter().fold(0.0f64, |acc, &x| acc.max(x.abs()));
+            let max_b = b.iter().fold(0.0f64, |acc, &x| acc.max(x.abs()));
+            let half_a = report.scale_a / 2.0;
+            let half_b = report.scale_b / 2.0;
+            let tol = k as f64 * (max_a * half_b + (max_b + half_b) * half_a) + 1e-12;
+            for (i, (&x, &y)) in c_ref.iter().zip(&c_q).enumerate() {
+                assert!(
+                    (x - y).abs() <= tol,
+                    "int8 diff {} > bound {tol} at {i} ({m}x{n}x{k})",
+                    (x - y).abs()
+                );
+            }
+
+            // The transb variant on pre-transposed codes is bitwise equal.
+            let mut bt = vec![0.0; n * k];
+            transpose_into(k, n, &b, &mut bt);
+            let mut c_qt = vec![f64::NAN; m * n];
+            let report_t = gemm_transb_int8(m, n, k, &a, &bt, &mut c_qt);
+            assert_eq!(c_q, c_qt, "int8 transb mismatch at {m}x{n}x{k}");
+            assert_eq!(report, report_t);
+        }
+    }
+
+    #[test]
+    fn int8_quantization_grid_handles_non_finite_inputs() {
+        let (q, scale) = quantize_i8(&[1.27, -1.27, f64::NAN, f64::INFINITY, f64::NEG_INFINITY]);
+        assert_eq!(q, vec![127, -127, 0, 127, -127]);
+        assert!((scale - 0.01).abs() < 1e-15);
+        let (q0, s0) = quantize_i8(&[0.0, -0.0]);
+        assert_eq!(q0, vec![0, 0]);
+        assert_eq!(s0, 0.0);
+    }
+
+    #[test]
+    fn precision_mode_round_trips_and_orders_by_cost() {
+        for p in Precision::ALL {
+            assert_eq!(Precision::parse(p.as_str()), Some(p));
+            assert_eq!(format!("{p}"), p.as_str());
+        }
+        assert_eq!(Precision::parse("bf16"), None);
+        assert_eq!(Precision::default(), Precision::F64);
+        assert_eq!(Precision::F64.cheaper_of(Precision::Int8), Precision::Int8);
+        assert_eq!(Precision::F32.cheaper_of(Precision::F64), Precision::F32);
+        assert!(Precision::F64.rank() < Precision::F32.rank());
+        assert!(Precision::F32.rank() < Precision::Int8.rank());
     }
 
     #[test]

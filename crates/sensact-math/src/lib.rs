@@ -30,6 +30,7 @@ pub mod lqr;
 pub mod matrix;
 pub mod metrics;
 pub mod rng;
+pub mod simd;
 pub mod stats;
 pub mod vector;
 

@@ -1,0 +1,710 @@
+//! Register-blocked SIMD microkernels behind runtime feature detection.
+//!
+//! The GEMM entry points in [`kernels`](crate::kernels) dispatch into this
+//! module when the host CPU supports a vector ISA and the problem is large
+//! enough to amortize operand packing. The design is the classic
+//! register-blocked formulation (BLIS/GotoBLAS): the `k` dimension is cut
+//! into cache-sized blocks, `B` is packed into column panels of width `NR`,
+//! `A` is packed into row panels of height `MR` with `alpha` folded in, and
+//! an unrolled microkernel keeps an `MR × NR` tile of `C` in vector
+//! registers across the whole `k` block.
+//!
+//! Three paths exist, selected once per process by [`cpu_features`]:
+//!
+//! - **AVX2+FMA** (`6×8` f64 tile, `6×16` f32 tile; 12 YMM accumulators):
+//!   fused multiply-add changes rounding versus the scalar kernels (one
+//!   rounding per step instead of two), so results differ from
+//!   [`gemm_naive`](crate::kernels::gemm_naive) by a forward error bounded
+//!   by `2·γ_{k+2}·(|αA|·|B|)_ij` — the conformance harness checks this
+//!   bound analytically per element.
+//! - **SSE2** (`4×4` f64 tile): multiply *then* add per step, in ascending
+//!   `k` order — the exact rounding sequence of the scalar blocked kernel,
+//!   so this path stays **bitwise identical** to it.
+//! - **scalar**: the caller falls back to the blocked kernel in
+//!   [`kernels`](crate::kernels); forced everywhere by setting the
+//!   `SENSACT_FORCE_SCALAR` environment variable (satisfied by any value
+//!   other than `0`/empty).
+//!
+//! The int8 quantized path shares the symmetric max-abs/127 grid of
+//! `sensact_nn`'s `fake_quantize` and accumulates exactly in 32-bit integers
+//! (`_mm256_madd_epi16` under AVX2), so its only error is the quantization
+//! itself — also bounded analytically in the conformance harness.
+
+use std::sync::OnceLock;
+
+/// Register-tile height of the AVX2+FMA microkernels (12 YMM accumulators
+/// out of 16 architectural registers — the classic 6-row DGEMM shape).
+pub const MR_FMA: usize = 6;
+/// Register-tile height of the SSE2 microkernel.
+pub const MR_SSE: usize = 4;
+/// Columns per packed B panel on the AVX2 f64 path.
+pub const NR_F64: usize = 8;
+/// Columns per packed B panel on the SSE2 f64 path.
+pub const NR_SSE: usize = 4;
+/// Columns per packed B panel on the AVX2 f32 path.
+pub const NR_F32: usize = 16;
+
+/// `k`-block depth: panels of `KC` rows of B (2 KiB per f64 column panel)
+/// stay L1/L2-resident while a C tile is updated.
+const KC: usize = 256;
+
+/// Minimum `m*n*k` before packing overhead pays for itself.
+const SIMD_MIN_OPS: usize = 1 << 14;
+
+/// Largest microkernel tile in scalar lanes (edge tiles stage through a
+/// stack buffer of this size).
+const MAX_TILE: usize = MR_FMA * NR_F32;
+
+/// CPU feature detection results, resolved once per process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuFeatures {
+    /// AVX2 available.
+    pub avx2: bool,
+    /// FMA3 available.
+    pub fma: bool,
+    /// SSE2 available (baseline on x86_64).
+    pub sse2: bool,
+    /// `SENSACT_FORCE_SCALAR` was set: all SIMD paths are disabled.
+    pub forced_scalar: bool,
+}
+
+impl CpuFeatures {
+    /// Whether any f64 SIMD path may be taken.
+    pub fn simd_f64(&self) -> bool {
+        !self.forced_scalar && ((self.avx2 && self.fma) || self.sse2)
+    }
+
+    /// Whether the f32 SIMD path may be taken (requires AVX2+FMA).
+    pub fn simd_f32(&self) -> bool {
+        !self.forced_scalar && self.avx2 && self.fma
+    }
+
+    /// Whether the vectorized int8 dot path may be taken.
+    pub fn simd_int8(&self) -> bool {
+        !self.forced_scalar && self.avx2
+    }
+
+    /// Name of the ISA path GEMM dispatch takes on this host.
+    pub fn isa_name(&self) -> &'static str {
+        if self.forced_scalar {
+            "scalar"
+        } else if self.avx2 && self.fma {
+            "avx2+fma"
+        } else if self.sse2 {
+            "sse2"
+        } else {
+            "scalar"
+        }
+    }
+}
+
+/// Detected CPU features (cached after the first call; reads
+/// `SENSACT_FORCE_SCALAR` once).
+pub fn cpu_features() -> &'static CpuFeatures {
+    static FEATURES: OnceLock<CpuFeatures> = OnceLock::new();
+    FEATURES.get_or_init(detect)
+}
+
+/// Name of the ISA path GEMM dispatch takes on this host
+/// (`"avx2+fma"`, `"sse2"` or `"scalar"`).
+pub fn isa_name() -> &'static str {
+    cpu_features().isa_name()
+}
+
+fn detect() -> CpuFeatures {
+    let forced_scalar = std::env::var("SENSACT_FORCE_SCALAR")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false);
+    #[cfg(target_arch = "x86_64")]
+    {
+        CpuFeatures {
+            avx2: std::arch::is_x86_feature_detected!("avx2"),
+            fma: std::arch::is_x86_feature_detected!("fma"),
+            sse2: std::arch::is_x86_feature_detected!("sse2"),
+            forced_scalar,
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        CpuFeatures {
+            avx2: false,
+            fma: false,
+            sse2: false,
+            forced_scalar,
+        }
+    }
+}
+
+/// How the B operand is stored in memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BLayout {
+    /// Row-major `[k × n]` (plain GEMM).
+    RowMajor,
+    /// Row-major `[n × k]`, i.e. `B` transposed (the `gemm_transb` shape).
+    Transposed,
+}
+
+/// Signature of an `MR × NR` microkernel: accumulate `kc` packed steps into
+/// the C tile at `c` with row stride `ldc`.
+type PanelKernel = unsafe fn(usize, *const f64, *const f64, *mut f64, usize);
+#[cfg(target_arch = "x86_64")]
+type PanelKernelF32 = unsafe fn(usize, *const f32, *const f32, *mut f32, usize);
+
+// ---------------------------------------------------------------------------
+// f64 path
+// ---------------------------------------------------------------------------
+
+/// SIMD GEMM attempt: `C = alpha*A*B + beta*C` (`b_layout` selects the
+/// `gemm_transb` operand shape). Returns `false` — leaving `c` untouched —
+/// when no SIMD path applies and the caller must run its scalar kernel.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_f64(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    b: &[f64],
+    beta: f64,
+    c: &mut [f64],
+    b_layout: BLayout,
+) -> bool {
+    let f = cpu_features();
+    let ops = m.saturating_mul(n).saturating_mul(k);
+    if !f.simd_f64() || n == 0 || k == 0 || ops < SIMD_MIN_OPS {
+        return false;
+    }
+    crate::kernels::scale_c(beta, c);
+    let nthreads = crate::kernels::threads()
+        .min(m)
+        .min((ops / crate::kernels::PAR_MIN_OPS).max(1))
+        .max(1);
+    if nthreads > 1 {
+        // Parallel over row bands: each thread owns a disjoint horizontal
+        // slice of A and C and packs its own panels (B packing is repeated
+        // per band — bounded overhead versus the saved wall-clock).
+        let band = m.div_ceil(nthreads).div_ceil(MR_FMA) * MR_FMA;
+        std::thread::scope(|scope| {
+            for (a_band, c_band) in a.chunks(band * k).zip(c.chunks_mut(band * n)) {
+                scope.spawn(move || {
+                    let rows = c_band.len() / n;
+                    gemm_f64_serial(rows, n, k, alpha, a_band, b, c_band, b_layout);
+                });
+            }
+        });
+    } else {
+        gemm_f64_serial(m, n, k, alpha, a, b, c, b_layout);
+    }
+    true
+}
+
+/// Serial packed-panel driver (C pre-scaled by beta; computes `C += αAB`).
+#[allow(clippy::too_many_arguments)]
+fn gemm_f64_serial(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    b: &[f64],
+    c: &mut [f64],
+    b_layout: BLayout,
+) {
+    let f = cpu_features();
+    #[cfg(target_arch = "x86_64")]
+    if f.avx2 && f.fma {
+        return gemm_panels::<MR_FMA, NR_F64>(
+            m,
+            n,
+            k,
+            alpha,
+            a,
+            b,
+            c,
+            b_layout,
+            kernel_6x8_f64_fma,
+        );
+    }
+    #[cfg(target_arch = "x86_64")]
+    if f.sse2 {
+        return gemm_panels::<MR_SSE, NR_SSE>(
+            m,
+            n,
+            k,
+            alpha,
+            a,
+            b,
+            c,
+            b_layout,
+            kernel_4x4_f64_sse2,
+        );
+    }
+    // Unreachable when simd_f64() gated the call, but keep a correct
+    // portable fallback: the caller's scalar kernel semantics.
+    let _ = f;
+    crate::kernels::gemm_rows_scaled(n, k, alpha, a, b, c, b_layout == BLayout::Transposed);
+}
+
+/// Pack one `NR`-wide column panel of B for the `[k0, k0+kc)` block.
+#[allow(clippy::too_many_arguments)]
+fn pack_b_panel<const NR: usize>(
+    n: usize,
+    k: usize,
+    k0: usize,
+    kc: usize,
+    j0: usize,
+    b: &[f64],
+    bp: &mut [f64],
+    b_layout: BLayout,
+) {
+    let nr = (n - j0).min(NR);
+    for kk in 0..kc {
+        let dst = &mut bp[kk * NR..(kk + 1) * NR];
+        match b_layout {
+            BLayout::RowMajor => {
+                let src = &b[(k0 + kk) * n + j0..];
+                dst[..nr].copy_from_slice(&src[..nr]);
+            }
+            BLayout::Transposed => {
+                for (l, d) in dst.iter_mut().take(nr).enumerate() {
+                    *d = b[(j0 + l) * k + k0 + kk];
+                }
+            }
+        }
+        dst[nr..].fill(0.0);
+    }
+}
+
+/// Pack one `MR`-high row panel of A (alpha folded in, short panels
+/// zero-padded).
+#[allow(clippy::too_many_arguments)]
+fn pack_a_panel<const MR: usize>(
+    k: usize,
+    k0: usize,
+    kc: usize,
+    i0: usize,
+    mr: usize,
+    alpha: f64,
+    a: &[f64],
+    ap: &mut [f64],
+) {
+    for kk in 0..kc {
+        let dst = &mut ap[kk * MR..(kk + 1) * MR];
+        for (r, d) in dst.iter_mut().take(mr).enumerate() {
+            *d = alpha * a[(i0 + r) * k + k0 + kk];
+        }
+        dst[mr..].fill(0.0);
+    }
+}
+
+/// Packed-panel GEMM driver, generic over the tile shape and microkernel.
+#[allow(clippy::too_many_arguments)]
+fn gemm_panels<const MR: usize, const NR: usize>(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    b: &[f64],
+    c: &mut [f64],
+    b_layout: BLayout,
+    kernel: PanelKernel,
+) {
+    let np = n.div_ceil(NR);
+    let mut bp = vec![0.0f64; np * KC.min(k) * NR];
+    let mut ap = vec![0.0f64; KC.min(k) * MR];
+    for k0 in (0..k).step_by(KC) {
+        let kc = (k0 + KC).min(k) - k0;
+        for jp in 0..np {
+            pack_b_panel::<NR>(
+                n,
+                k,
+                k0,
+                kc,
+                jp * NR,
+                b,
+                &mut bp[jp * kc * NR..(jp + 1) * kc * NR],
+                b_layout,
+            );
+        }
+        for i0 in (0..m).step_by(MR) {
+            let mr = (m - i0).min(MR);
+            pack_a_panel::<MR>(k, k0, kc, i0, mr, alpha, a, &mut ap[..kc * MR]);
+            for jp in 0..np {
+                let j0 = jp * NR;
+                let nr = (n - j0).min(NR);
+                let bpp = bp[jp * kc * NR..].as_ptr();
+                if mr == MR && nr == NR {
+                    // Full tile: accumulate straight into C.
+                    unsafe { kernel(kc, ap.as_ptr(), bpp, c.as_mut_ptr().add(i0 * n + j0), n) };
+                } else {
+                    // Edge tile: stage through a stack tile so the kernel
+                    // never reads or writes past the valid C region. The
+                    // padded A rows / B columns are zero, so the dead lanes
+                    // accumulate zeros and are simply not copied back.
+                    let mut tile = [0.0f64; MAX_TILE];
+                    for r in 0..mr {
+                        tile[r * NR..r * NR + nr]
+                            .copy_from_slice(&c[(i0 + r) * n + j0..(i0 + r) * n + j0 + nr]);
+                    }
+                    unsafe { kernel(kc, ap.as_ptr(), bpp, tile.as_mut_ptr(), NR) };
+                    for r in 0..mr {
+                        c[(i0 + r) * n + j0..(i0 + r) * n + j0 + nr]
+                            .copy_from_slice(&tile[r * NR..r * NR + nr]);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// AVX2+FMA `6×8` f64 microkernel: 12 YMM accumulators hold the C tile, one
+/// broadcast + two FMAs per row per `k` step (ascending `k`).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn kernel_6x8_f64_fma(kc: usize, ap: *const f64, bp: *const f64, c: *mut f64, ldc: usize) {
+    use std::arch::x86_64::*;
+    let mut acc = [[_mm256_setzero_pd(); 2]; MR_FMA];
+    for (r, row) in acc.iter_mut().enumerate() {
+        row[0] = _mm256_loadu_pd(c.add(r * ldc));
+        row[1] = _mm256_loadu_pd(c.add(r * ldc + 4));
+    }
+    for kk in 0..kc {
+        let b0 = _mm256_loadu_pd(bp.add(kk * NR_F64));
+        let b1 = _mm256_loadu_pd(bp.add(kk * NR_F64 + 4));
+        for (r, row) in acc.iter_mut().enumerate() {
+            let av = _mm256_broadcast_sd(&*ap.add(kk * MR_FMA + r));
+            row[0] = _mm256_fmadd_pd(av, b0, row[0]);
+            row[1] = _mm256_fmadd_pd(av, b1, row[1]);
+        }
+    }
+    for (r, row) in acc.iter().enumerate() {
+        _mm256_storeu_pd(c.add(r * ldc), row[0]);
+        _mm256_storeu_pd(c.add(r * ldc + 4), row[1]);
+    }
+}
+
+/// SSE2 `4×4` f64 microkernel. Multiply **then** add per step, ascending
+/// `k` — the same rounding sequence as the scalar blocked kernel, so this
+/// path is bitwise identical to it.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn kernel_4x4_f64_sse2(kc: usize, ap: *const f64, bp: *const f64, c: *mut f64, ldc: usize) {
+    use std::arch::x86_64::*;
+    let mut acc: [[__m128d; 2]; MR_SSE] = [
+        [_mm_loadu_pd(c), _mm_loadu_pd(c.add(2))],
+        [_mm_loadu_pd(c.add(ldc)), _mm_loadu_pd(c.add(ldc + 2))],
+        [
+            _mm_loadu_pd(c.add(2 * ldc)),
+            _mm_loadu_pd(c.add(2 * ldc + 2)),
+        ],
+        [
+            _mm_loadu_pd(c.add(3 * ldc)),
+            _mm_loadu_pd(c.add(3 * ldc + 2)),
+        ],
+    ];
+    for kk in 0..kc {
+        let b0 = _mm_loadu_pd(bp.add(kk * NR_SSE));
+        let b1 = _mm_loadu_pd(bp.add(kk * NR_SSE + 2));
+        for (r, row) in acc.iter_mut().enumerate() {
+            let av = _mm_set1_pd(*ap.add(kk * MR_SSE + r));
+            row[0] = _mm_add_pd(row[0], _mm_mul_pd(av, b0));
+            row[1] = _mm_add_pd(row[1], _mm_mul_pd(av, b1));
+        }
+    }
+    for (r, row) in acc.iter().enumerate() {
+        _mm_storeu_pd(c.add(r * ldc), row[0]);
+        _mm_storeu_pd(c.add(r * ldc + 2), row[1]);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// f32 path
+// ---------------------------------------------------------------------------
+
+/// SIMD f32 GEMM attempt (AVX2+FMA only). Returns `false` — leaving `c`
+/// untouched — when the caller must run the scalar f32 kernel.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_f32(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    beta: f32,
+    c: &mut [f32],
+    b_layout: BLayout,
+) -> bool {
+    let f = cpu_features();
+    let ops = m.saturating_mul(n).saturating_mul(k);
+    if !f.simd_f32() || n == 0 || k == 0 || ops < SIMD_MIN_OPS {
+        return false;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        crate::kernels::scale_c_f32(beta, c);
+        gemm_panels_f32(m, n, k, alpha, a, b, c, b_layout, kernel_6x16_f32_fma);
+        true
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (alpha, beta);
+        false
+    }
+}
+
+/// f32 packed-panel driver (`6×16` tiles; mirrors [`gemm_panels`]).
+#[allow(clippy::too_many_arguments)]
+#[cfg(target_arch = "x86_64")]
+fn gemm_panels_f32(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    b_layout: BLayout,
+    kernel: PanelKernelF32,
+) {
+    const MR: usize = MR_FMA;
+    const NR: usize = NR_F32;
+    let np = n.div_ceil(NR);
+    let mut bp = vec![0.0f32; np * KC.min(k) * NR];
+    let mut ap = vec![0.0f32; KC.min(k) * MR];
+    for k0 in (0..k).step_by(KC) {
+        let kc = (k0 + KC).min(k) - k0;
+        for jp in 0..np {
+            let j0 = jp * NR;
+            let nr = (n - j0).min(NR);
+            let panel = &mut bp[jp * kc * NR..(jp + 1) * kc * NR];
+            for kk in 0..kc {
+                let dst = &mut panel[kk * NR..(kk + 1) * NR];
+                match b_layout {
+                    BLayout::RowMajor => {
+                        dst[..nr].copy_from_slice(&b[(k0 + kk) * n + j0..(k0 + kk) * n + j0 + nr]);
+                    }
+                    BLayout::Transposed => {
+                        for (l, d) in dst.iter_mut().take(nr).enumerate() {
+                            *d = b[(j0 + l) * k + k0 + kk];
+                        }
+                    }
+                }
+                dst[nr..].fill(0.0);
+            }
+        }
+        for i0 in (0..m).step_by(MR) {
+            let mr = (m - i0).min(MR);
+            for kk in 0..kc {
+                let dst = &mut ap[kk * MR..(kk + 1) * MR];
+                for (r, d) in dst.iter_mut().take(mr).enumerate() {
+                    *d = alpha * a[(i0 + r) * k + k0 + kk];
+                }
+                dst[mr..].fill(0.0);
+            }
+            for jp in 0..np {
+                let j0 = jp * NR;
+                let nr = (n - j0).min(NR);
+                let bpp = bp[jp * kc * NR..].as_ptr();
+                if mr == MR && nr == NR {
+                    unsafe { kernel(kc, ap.as_ptr(), bpp, c.as_mut_ptr().add(i0 * n + j0), n) };
+                } else {
+                    let mut tile = [0.0f32; MAX_TILE];
+                    for r in 0..mr {
+                        tile[r * NR..r * NR + nr]
+                            .copy_from_slice(&c[(i0 + r) * n + j0..(i0 + r) * n + j0 + nr]);
+                    }
+                    unsafe { kernel(kc, ap.as_ptr(), bpp, tile.as_mut_ptr(), NR) };
+                    for r in 0..mr {
+                        c[(i0 + r) * n + j0..(i0 + r) * n + j0 + nr]
+                            .copy_from_slice(&tile[r * NR..r * NR + nr]);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// AVX2+FMA `6×16` f32 microkernel (12 YMM accumulators, 8 lanes each).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn kernel_6x16_f32_fma(kc: usize, ap: *const f32, bp: *const f32, c: *mut f32, ldc: usize) {
+    use std::arch::x86_64::*;
+    let mut acc = [[_mm256_setzero_ps(); 2]; MR_FMA];
+    for (r, row) in acc.iter_mut().enumerate() {
+        row[0] = _mm256_loadu_ps(c.add(r * ldc));
+        row[1] = _mm256_loadu_ps(c.add(r * ldc + 8));
+    }
+    for kk in 0..kc {
+        let b0 = _mm256_loadu_ps(bp.add(kk * NR_F32));
+        let b1 = _mm256_loadu_ps(bp.add(kk * NR_F32 + 8));
+        for (r, row) in acc.iter_mut().enumerate() {
+            let av = _mm256_broadcast_ss(&*ap.add(kk * MR_FMA + r));
+            row[0] = _mm256_fmadd_ps(av, b0, row[0]);
+            row[1] = _mm256_fmadd_ps(av, b1, row[1]);
+        }
+    }
+    for (r, row) in acc.iter().enumerate() {
+        _mm256_storeu_ps(c.add(r * ldc), row[0]);
+        _mm256_storeu_ps(c.add(r * ldc + 8), row[1]);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// int8 path
+// ---------------------------------------------------------------------------
+
+/// Signed 16-bit dot product over `len` entries, exact in integer
+/// arithmetic. Values are int8-range (`|x| ≤ 127`), so the i32 lanes of the
+/// AVX2 `madd` accumulation cannot overflow for `k < 2^20`.
+pub(crate) fn dot_i16(x: &[i16], y: &[i16]) -> i64 {
+    debug_assert_eq!(x.len(), y.len());
+    #[cfg(target_arch = "x86_64")]
+    if cpu_features().simd_int8() {
+        return unsafe { dot_i16_avx2(x.as_ptr(), y.as_ptr(), x.len()) };
+    }
+    x.iter()
+        .zip(y)
+        .map(|(&a, &b)| a as i64 * b as i64)
+        .sum::<i64>()
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn dot_i16_avx2(x: *const i16, y: *const i16, len: usize) -> i64 {
+    use std::arch::x86_64::*;
+    let chunks = len / 16;
+    let mut acc = _mm256_setzero_si256();
+    for t in 0..chunks {
+        let xv = _mm256_loadu_si256(x.add(t * 16) as *const __m256i);
+        let yv = _mm256_loadu_si256(y.add(t * 16) as *const __m256i);
+        acc = _mm256_add_epi32(acc, _mm256_madd_epi16(xv, yv));
+    }
+    let mut lanes = [0i32; 8];
+    _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, acc);
+    let mut sum: i64 = lanes.iter().map(|&v| v as i64).sum();
+    for t in chunks * 16..len {
+        sum += *x.add(t) as i64 * *y.add(t) as i64;
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{gemm_blocked, gemm_naive};
+    use crate::rng::StdRng;
+
+    fn random_mat(rng: &mut StdRng, len: usize) -> Vec<f64> {
+        (0..len).map(|_| rng.gen_f64() * 2.0 - 1.0).collect()
+    }
+
+    /// Forward-error bound for the FMA path versus the naive kernel:
+    /// both orderings satisfy |ĉ - c| ≤ γ_{k+2}(|αA||B|)_ij + |βc0| terms,
+    /// so their difference is within twice that.
+    fn fma_bound(m: usize, n: usize, k: usize, alpha: f64, a: &[f64], b: &[f64]) -> Vec<f64> {
+        let abs_a: Vec<f64> = a.iter().map(|x| (alpha * x).abs()).collect();
+        let abs_b: Vec<f64> = b.iter().map(|x| x.abs()).collect();
+        let mut bound = vec![0.0; m * n];
+        gemm_naive(m, n, k, 1.0, &abs_a, &abs_b, 0.0, &mut bound);
+        let gamma = 2.0 * (k as f64 + 2.0) * f64::EPSILON;
+        for x in bound.iter_mut() {
+            *x = *x * gamma + 1e-300;
+        }
+        bound
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn sse2_panel_path_is_bitwise_vs_blocked() {
+        if !cpu_features().sse2 {
+            return;
+        }
+        let mut rng = StdRng::seed_from_u64(0x55E2);
+        for &(m, n, k) in &[(4, 4, 8), (7, 9, 300), (64, 33, 257), (1, 16, 40)] {
+            let a = random_mat(&mut rng, m * k);
+            let b = random_mat(&mut rng, k * n);
+            let mut c_ref = vec![0.0; m * n];
+            gemm_blocked(m, n, k, 1.25, &a, &b, 0.0, &mut c_ref);
+            let mut c = vec![0.0; m * n];
+            gemm_panels::<MR_SSE, NR_SSE>(
+                m,
+                n,
+                k,
+                1.25,
+                &a,
+                &b,
+                &mut c,
+                BLayout::RowMajor,
+                kernel_4x4_f64_sse2,
+            );
+            assert_eq!(c_ref, c, "sse2 path not bitwise at {m}x{n}x{k}");
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn fma_panel_path_is_within_forward_error_bound() {
+        let f = cpu_features();
+        if !(f.avx2 && f.fma) {
+            return;
+        }
+        let mut rng = StdRng::seed_from_u64(0xF3A);
+        for &(m, n, k) in &[(6, 8, 16), (13, 21, 300), (64, 64, 64), (3, 100, 257)] {
+            let alpha = -0.75;
+            let a = random_mat(&mut rng, m * k);
+            let b = random_mat(&mut rng, k * n);
+            let mut c_ref = vec![0.0; m * n];
+            gemm_naive(m, n, k, alpha, &a, &b, 0.0, &mut c_ref);
+            let mut c = vec![0.0; m * n];
+            gemm_panels::<MR_FMA, NR_F64>(
+                m,
+                n,
+                k,
+                alpha,
+                &a,
+                &b,
+                &mut c,
+                BLayout::RowMajor,
+                kernel_6x8_f64_fma,
+            );
+            let bound = fma_bound(m, n, k, alpha, &a, &b);
+            for (i, ((&x, &y), &tol)) in c_ref.iter().zip(&c).zip(&bound).enumerate() {
+                assert!(
+                    (x - y).abs() <= tol,
+                    "fma diff {} > bound {tol} at {i} ({m}x{n}x{k})",
+                    (x - y).abs()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dot_i16_matches_scalar_reference() {
+        let mut rng = StdRng::seed_from_u64(0xD07);
+        for len in [0usize, 1, 15, 16, 17, 64, 257] {
+            let x: Vec<i16> = (0..len)
+                .map(|_| (rng.random_range(0..255u32) as i16) - 127)
+                .collect();
+            let y: Vec<i16> = (0..len)
+                .map(|_| (rng.random_range(0..255u32) as i16) - 127)
+                .collect();
+            let reference: i64 = x.iter().zip(&y).map(|(&a, &b)| a as i64 * b as i64).sum();
+            assert_eq!(dot_i16(&x, &y), reference, "len {len}");
+        }
+    }
+
+    #[test]
+    fn feature_report_is_coherent() {
+        let f = cpu_features();
+        // The name must be one of the three documented paths, and forcing
+        // scalar implies every simd_* gate is closed.
+        assert!(["avx2+fma", "sse2", "scalar"].contains(&f.isa_name()));
+        if f.forced_scalar {
+            assert!(!f.simd_f64() && !f.simd_f32() && !f.simd_int8());
+            assert_eq!(f.isa_name(), "scalar");
+        }
+        assert_eq!(isa_name(), f.isa_name());
+    }
+}

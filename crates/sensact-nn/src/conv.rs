@@ -18,6 +18,7 @@ use crate::init::Initializer;
 use crate::layers::Layer;
 use crate::tensor::Tensor;
 use sensact_math::kernels;
+use sensact_math::kernels::Precision as RunPrecision;
 
 /// Spatial extents of a 3-D feature volume.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,6 +67,9 @@ pub struct Conv3d {
     grad_w: Vec<f64>,
     grad_b: Vec<f64>,
     cached_input: Option<Tensor>,
+    /// Lazily-built f32 copy of `weights` for the reduced-precision forward
+    /// path; invalidated whenever the parameters become mutable.
+    weights_f32: Option<Vec<f32>>,
 }
 
 impl Conv3d {
@@ -113,6 +117,7 @@ impl Conv3d {
             grad_w: vec![0.0; wcount],
             grad_b: vec![0.0; cout],
             cached_input: None,
+            weights_f32: None,
         }
     }
 
@@ -315,6 +320,89 @@ impl Conv3d {
         }
         out
     }
+
+    /// Inference forward pass at a runtime-selected numeric precision (the
+    /// mixed-precision mode a loop's
+    /// `StageContext::precision` carries):
+    ///
+    /// - [`RunPrecision::F64`] — the production im2col + f64 GEMM path,
+    ///   bit-identical to [`Layer::forward`].
+    /// - [`RunPrecision::F32`] — weights cast once into a cached f32 copy,
+    ///   the im2col buffer cast per batch, lowered onto the f32 SIMD GEMM.
+    /// - [`RunPrecision::Int8`] — weights and columns quantized to the
+    ///   symmetric int8 grid (the same grid as
+    ///   [`fake_quantize`](crate::quant::fake_quantize) at 8 bits) with exact
+    ///   integer accumulation.
+    ///
+    /// Inference-only: does not cache the input for [`Layer::backward`].
+    pub fn forward_with_precision(&mut self, input: &Tensor, precision: RunPrecision) -> Tensor {
+        let batch = input.shape()[0];
+        let in_feat = self.cin * self.in_dims.volume();
+        assert_eq!(input.shape()[1], in_feat, "Conv3d: input feature mismatch");
+        let vol = self.out_dims.volume();
+        let ckk = self.patch_len();
+        let mut out = Tensor::zeros(vec![batch, self.cout * vol]);
+        let mut col = vec![0.0; vol * ckk];
+        match precision {
+            RunPrecision::F64 => {
+                for b in 0..batch {
+                    self.im2col(input.row(b), &mut col);
+                    let orow = out.row_mut(b);
+                    for co in 0..self.cout {
+                        orow[co * vol..(co + 1) * vol].fill(self.bias[co]);
+                    }
+                    kernels::gemm_transb(self.cout, vol, ckk, 1.0, &self.weights, &col, 1.0, orow);
+                }
+            }
+            RunPrecision::F32 => {
+                if self.weights_f32.is_none() {
+                    self.weights_f32 = Some(self.weights.iter().map(|w| *w as f32).collect());
+                }
+                let mut colf = vec![0.0f32; vol * ckk];
+                let mut outf = vec![0.0f32; self.cout * vol];
+                for b in 0..batch {
+                    self.im2col(input.row(b), &mut col);
+                    for (dst, src) in colf.iter_mut().zip(&col) {
+                        *dst = *src as f32;
+                    }
+                    for co in 0..self.cout {
+                        outf[co * vol..(co + 1) * vol].fill(self.bias[co] as f32);
+                    }
+                    let wf = self.weights_f32.as_ref().expect("built above");
+                    kernels::gemm_transb_f32(self.cout, vol, ckk, 1.0, wf, &colf, 1.0, &mut outf);
+                    for (dst, src) in out.row_mut(b).iter_mut().zip(&outf) {
+                        *dst = *src as f64;
+                    }
+                }
+            }
+            RunPrecision::Int8 => {
+                let mut prod = vec![0.0; self.cout * vol];
+                for b in 0..batch {
+                    self.im2col(input.row(b), &mut col);
+                    // Integer accumulation is exact; the bias is added after
+                    // dequantization so it is not quantized away.
+                    let _ = kernels::gemm_transb_int8(
+                        self.cout,
+                        vol,
+                        ckk,
+                        &self.weights,
+                        &col,
+                        &mut prod,
+                    );
+                    let orow = out.row_mut(b);
+                    for co in 0..self.cout {
+                        for (dst, src) in orow[co * vol..(co + 1) * vol]
+                            .iter_mut()
+                            .zip(&prod[co * vol..(co + 1) * vol])
+                        {
+                            *dst = self.bias[co] + *src;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
 }
 
 impl Layer for Conv3d {
@@ -378,6 +466,9 @@ impl Layer for Conv3d {
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f64], &mut [f64])) {
+        // The caller may mutate the weights (optimizer step, quantization) —
+        // the reduced-precision copy must be rebuilt.
+        self.weights_f32 = None;
         f(&mut self.weights, &mut self.grad_w);
         f(&mut self.bias, &mut self.grad_b);
     }
@@ -963,6 +1054,57 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn precision_forward_routes_through_matching_kernels() {
+        let mut rng = StdRng::seed_from_u64(0xF0DD);
+        let mut init = Initializer::new(0xBEEF);
+        let mut c = Conv3d::new(2, 3, 3, 1, 1, Dims3::new(6, 6, 6), &mut init);
+        for b in c.bias.iter_mut() {
+            *b = rng.random_range(-0.5..0.5);
+        }
+        let vol_in = Dims3::new(6, 6, 6).volume();
+        let x = sparse_input(&mut rng, 2, 2 * vol_in);
+        let reference = c.forward(&x, false);
+
+        // f64 mode is the production path, bit for bit.
+        let out64 = c.forward_with_precision(&x, RunPrecision::F64);
+        assert_eq!(out64.as_slice(), reference.as_slice());
+
+        // f32 mode stays within a coarse single-precision envelope.
+        let max_ref = reference
+            .as_slice()
+            .iter()
+            .fold(0.0f64, |m, v| m.max(v.abs()));
+        let out32 = c.forward_with_precision(&x, RunPrecision::F32);
+        for (a, b) in out32.as_slice().iter().zip(reference.as_slice()) {
+            assert!(
+                (a - b).abs() <= 1e-4 * (1.0 + max_ref),
+                "f32 conv drifted: {a} vs {b}"
+            );
+        }
+
+        // int8 mode stays within the analytic quantization bound
+        // k·(max|W|·s_col/2 + (max|col| + s_col/2)·s_w/2), using the input's
+        // max-abs as an upper proxy for the column buffer's.
+        let ckk = 2 * 27;
+        let wmax = c.weights.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        let inmax = x.as_slice().iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        let (sw, sc) = (wmax / 127.0, inmax / 127.0);
+        let bound = ckk as f64 * (wmax * sc / 2.0 + (inmax + sc / 2.0) * sw / 2.0) + 1e-12;
+        let out8 = c.forward_with_precision(&x, RunPrecision::Int8);
+        for (a, b) in out8.as_slice().iter().zip(reference.as_slice()) {
+            assert!(
+                (a - b).abs() <= bound,
+                "int8 conv outside bound {bound}: {a} vs {b}"
+            );
+        }
+
+        // The f32 weight cache is invalidated when params become mutable.
+        assert!(c.weights_f32.is_some());
+        c.visit_params(&mut |_, _| {});
+        assert!(c.weights_f32.is_none());
     }
 
     #[test]

@@ -5,6 +5,16 @@
 //! exceeds a configured watts cap, the arbiter stretches every loop's
 //! release stride by the overshoot factor — tick rates throttle smoothly
 //! until the average power drops back under the cap.
+//!
+//! Beyond stretching strides, the arbiter also translates sustained
+//! overshoot into a fleet-wide numeric-precision recommendation
+//! ([`EnergyArbiter::recommended_precision`]): moderate pressure suggests
+//! f32 perception, severe pressure suggests int8. Loop handles forward the
+//! hint to each loop's precision governor, which may only *cheapen* the
+//! loop's own policy choice — and a loop whose trust monitor flags drift
+//! still forces f64 locally regardless of the hint.
+
+use sensact_core::Precision;
 
 /// Upper bound on the stride stretch so a single pathological tick cannot
 /// freeze the fleet.
@@ -77,6 +87,20 @@ impl EnergyArbiter {
         self.stretch
     }
 
+    /// Fleet-wide precision recommendation derived from the current
+    /// overshoot: `None` (run at full f64) while at or near the cap, f32
+    /// beyond 1.5× overshoot, int8 beyond 4×. Advisory — each loop's
+    /// governor combines it with its own policy and trust state.
+    pub fn recommended_precision(&self) -> Option<Precision> {
+        if self.stretch >= 4.0 {
+            Some(Precision::Int8)
+        } else if self.stretch > 1.5 {
+            Some(Precision::F32)
+        } else {
+            None
+        }
+    }
+
     /// Completions that observed an over-cap fleet (throttled releases).
     pub fn throttle_events(&self) -> u64 {
         self.throttle_events
@@ -115,6 +139,20 @@ mod tests {
         let mut a = EnergyArbiter::new(Some(10.0));
         assert_eq!(a.on_completion(1.0, 1.0), 1.0);
         assert_eq!(a.throttle_events(), 0);
+    }
+
+    #[test]
+    fn precision_recommendation_tracks_overshoot() {
+        let mut a = EnergyArbiter::new(Some(1.0));
+        assert_eq!(a.recommended_precision(), None, "fresh arbiter");
+        let _ = a.on_completion(1.2, 1.0); // 1.2× overshoot: still f64
+        assert_eq!(a.recommended_precision(), None);
+        let mut a = EnergyArbiter::new(Some(1.0));
+        let _ = a.on_completion(2.0, 1.0); // 2× overshoot: f32
+        assert_eq!(a.recommended_precision(), Some(Precision::F32));
+        let mut a = EnergyArbiter::new(Some(1.0));
+        let _ = a.on_completion(8.0, 1.0); // 8× overshoot: int8
+        assert_eq!(a.recommended_precision(), Some(Precision::Int8));
     }
 
     #[test]

@@ -11,7 +11,7 @@
 use sensact_core::adapt::AdaptationPolicy;
 use sensact_core::fault::{FailSafe, FiniteCheck, TryPerceptor, TrySensor};
 use sensact_core::stage::{Controller, Monitor, Perceptor, Sensor};
-use sensact_core::{FallibleLoop, LoopTelemetry, SensingActionLoop, StageError};
+use sensact_core::{FallibleLoop, LoopTelemetry, Precision, SensingActionLoop, StageError};
 
 /// What one multiplexed tick cost, as observed by the scheduler.
 ///
@@ -48,6 +48,11 @@ pub trait DynLoop: Send {
     /// its budget shows up in the loop's own [`FaultCounters`](sensact_core::FaultCounters)
     /// instead of silently skewing the fleet.
     fn record_deadline_miss(&mut self, latency_s: f64, budget_s: f64);
+
+    /// Forward a fleet-level precision hint (the energy arbiter's
+    /// recommendation) to the loop's precision governor. Loops without a
+    /// governor — and custom runners that don't override this — ignore it.
+    fn set_precision_hint(&mut self, _hint: Option<Precision>) {}
 }
 
 /// A [`SensingActionLoop`] closed over its environment.
@@ -92,6 +97,10 @@ where
                 latency_s,
                 budget_s,
             });
+    }
+
+    fn set_precision_hint(&mut self, hint: Option<Precision>) {
+        self.inner.set_precision_hint(hint);
     }
 }
 
@@ -138,6 +147,10 @@ where
                 latency_s,
                 budget_s,
             });
+    }
+
+    fn set_precision_hint(&mut self, hint: Option<Precision>) {
+        self.inner.set_precision_hint(hint);
     }
 }
 
@@ -225,6 +238,12 @@ impl LoopHandle {
     /// Surface a deadline miss (see [`DynLoop::record_deadline_miss`]).
     pub fn record_deadline_miss(&mut self, latency_s: f64, budget_s: f64) {
         self.inner.record_deadline_miss(latency_s, budget_s);
+    }
+
+    /// Forward a fleet-level precision hint (see
+    /// [`DynLoop::set_precision_hint`]).
+    pub fn set_precision_hint(&mut self, hint: Option<Precision>) {
+        self.inner.set_precision_hint(hint);
     }
 }
 

@@ -599,10 +599,12 @@ impl FleetScheduler {
                                 execute_release(&mut slot, &release, 0.0);
                             busy_s += completion_s - start_s;
                             frontier_s = frontier_s.max(completion_s);
-                            let stretch = arbiter_ref
-                                .lock()
-                                .unwrap_or_else(|e| e.into_inner())
-                                .on_completion(energy_j, completion_s);
+                            let (stretch, hint) = {
+                                let mut arb = arbiter_ref.lock().unwrap_or_else(|e| e.into_inner());
+                                let stretch = arb.on_completion(energy_j, completion_s);
+                                (stretch, arb.recommended_precision())
+                            };
+                            slot.handle.set_precision_hint(hint);
                             match next_release(
                                 &mut slot,
                                 &release,
@@ -711,6 +713,8 @@ impl FleetScheduler {
             // virtual frontier (advance clamps regressions to zero).
             clock.advance(completion_s - clock.peek_s());
             let stretch = arbiter.on_completion(energy_j, completion_s);
+            slot.handle
+                .set_precision_hint(arbiter.recommended_precision());
             trace_hash = fnv_fold(trace_hash, release.loop_idx as u64);
             trace_hash = fnv_fold(trace_hash, release.release_idx);
             trace_hash = fnv_fold(trace_hash, wid as u64);

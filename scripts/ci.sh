@@ -35,8 +35,17 @@ SENSACT_QUICK=1 cargo bench --offline -p sensact-bench --bench bench_obs
 echo "== replay round-trip (1k-tick faulty run) =="
 cargo test --offline -q --test replay_integration
 
-echo "== conformance smoke (differential kernel matrix) =="
+echo "== conformance smoke (differential kernel matrix, host ISA) =="
 cargo run --offline --release -p sensact-bench --bin conformance -- --smoke
+
+echo "== conformance smoke (forced-scalar path) =="
+SENSACT_FORCE_SCALAR=1 cargo run --offline --release -p sensact-bench --bin conformance -- --smoke
+
+echo "== kernels bench smoke (SIMD + precision tiers, host ISA) =="
+cargo run --offline --release -p sensact-bench --bin kernels -- --smoke
+
+echo "== kernels bench smoke (forced-scalar path) =="
+SENSACT_FORCE_SCALAR=1 cargo run --offline --release -p sensact-bench --bin kernels -- --smoke
 
 echo "== fleet scheduler smoke (throughput + overhead) =="
 cargo run --offline --release -p sensact-bench --bin bench_sched -- --smoke
