@@ -76,7 +76,7 @@ pub use metrics::{Histogram, MetricsRegistry};
 pub use precision::{Precision, PrecisionGovernor, PrecisionPolicy};
 pub use replay::{first_divergence, Divergence, Recording, RecordingMeta};
 pub use stage::{StageContext, Trust};
-pub use telemetry::{FaultCounters, LoopTelemetry, TickRecord};
+pub use telemetry::{CommCounters, FaultCounters, LoopTelemetry, TickRecord};
 pub use trace::{
     Clock, SimClock, Span, SpanGuard, StageBreakdown, StageCost, StageId, Tracer, WallClock,
 };

@@ -86,6 +86,43 @@ impl std::fmt::Display for FaultCounters {
     }
 }
 
+/// Communication counters of a loop that talks over a (possibly simulated)
+/// network — federated clients, coverage coordinators, serving front-ends.
+/// All zero for loops that never communicate.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CommCounters {
+    /// Messages handed to the network for transmission.
+    pub msgs_sent: u64,
+    /// Messages confirmed delivered to the peer.
+    pub msgs_delivered: u64,
+    /// Messages lost in transit (exhausted retries, partitions).
+    pub msgs_dropped: u64,
+    /// Retransmission attempts beyond each message's first send.
+    pub retransmits: u64,
+    /// Payload bytes transmitted (per attempt-0 payload, not per retry).
+    pub bytes_tx: u64,
+    /// Payload bytes received.
+    pub bytes_rx: u64,
+    /// Total off-compute communication time (propagation tails, seconds).
+    pub comm_s: f64,
+}
+
+impl std::fmt::Display for CommCounters {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} sent ({} delivered, {} dropped, {} retransmits), {} B up, {} B down, {:.3e} s comm",
+            self.msgs_sent,
+            self.msgs_delivered,
+            self.msgs_dropped,
+            self.retransmits,
+            self.bytes_tx,
+            self.bytes_rx,
+            self.comm_s
+        )
+    }
+}
+
 /// Aggregated telemetry of one loop.
 #[derive(Debug, Clone)]
 pub struct LoopTelemetry {
@@ -102,6 +139,7 @@ pub struct LoopTelemetry {
     suspect_streak: u32,
     max_suspect_streak: u32,
     counters: FaultCounters,
+    comm: CommCounters,
     /// Running per-stage energy/latency totals over all ticks.
     stage_totals: StageBreakdown,
     /// Per-stage charged-latency histograms (only ticks where the stage
@@ -142,6 +180,7 @@ impl LoopTelemetry {
             suspect_streak: 0,
             max_suspect_streak: 0,
             counters: FaultCounters::default(),
+            comm: CommCounters::default(),
             stage_totals: StageBreakdown::new(),
             stage_latency: std::array::from_fn(|_| Histogram::new()),
             latency_hist: Histogram::new(),
@@ -240,6 +279,29 @@ impl LoopTelemetry {
         self.counters.fallbacks += 1;
     }
 
+    /// Count one transmitted message: its payload size, retransmissions
+    /// beyond the first attempt, whether it was ultimately delivered, and
+    /// the off-compute communication tail it cost (propagation + retry
+    /// timeouts; non-finite/negative tails count as zero).
+    pub fn record_comm_tx(&mut self, bytes: u64, retransmits: u32, delivered: bool, comm_s: f64) {
+        self.comm.msgs_sent += 1;
+        self.comm.bytes_tx += bytes;
+        self.comm.retransmits += retransmits as u64;
+        if delivered {
+            self.comm.msgs_delivered += 1;
+        } else {
+            self.comm.msgs_dropped += 1;
+        }
+        if comm_s.is_finite() && comm_s > 0.0 {
+            self.comm.comm_s += comm_s;
+        }
+    }
+
+    /// Count one received message.
+    pub fn record_comm_rx(&mut self, bytes: u64) {
+        self.comm.bytes_rx += bytes;
+    }
+
     /// Number of recorded ticks (all ticks ever, not just retained records).
     pub fn ticks(&self) -> u64 {
         self.ticks
@@ -314,6 +376,11 @@ impl LoopTelemetry {
         self.counters
     }
 
+    /// Communication counters (all zero for loops that never communicate).
+    pub fn comm_counters(&self) -> CommCounters {
+        self.comm
+    }
+
     /// Number of ticks computed at the given precision mode; O(1).
     pub fn precision_ticks(&self, precision: Precision) -> u64 {
         self.precision_ticks[precision.rank() as usize]
@@ -334,6 +401,15 @@ impl LoopTelemetry {
         registry.add("loop.precision.f64_ticks", self.precision_ticks[0]);
         registry.add("loop.precision.f32_ticks", self.precision_ticks[1]);
         registry.add("loop.precision.int8_ticks", self.precision_ticks[2]);
+        if self.comm != CommCounters::default() {
+            registry.add("loop.comm.msgs_sent_total", self.comm.msgs_sent);
+            registry.add("loop.comm.msgs_delivered_total", self.comm.msgs_delivered);
+            registry.add("loop.comm.msgs_dropped_total", self.comm.msgs_dropped);
+            registry.add("loop.comm.retransmits_total", self.comm.retransmits);
+            registry.add("loop.comm.bytes_tx_total", self.comm.bytes_tx);
+            registry.add("loop.comm.bytes_rx_total", self.comm.bytes_rx);
+            registry.set("loop.comm.latency_s", self.comm.comm_s);
+        }
         registry.install_histogram("loop.tick.latency_s", self.latency_hist.clone());
         for stage in StageId::ALL {
             registry.set(stage.energy_key(), self.stage_totals.get(stage).energy_j);
@@ -607,6 +683,44 @@ mod tests {
         let zero = FaultCounters::default().to_string();
         assert!(zero.starts_with("0 faults"));
         assert!(zero.contains("0 fallbacks"));
+    }
+
+    #[test]
+    fn comm_counters_accumulate_and_export() {
+        let mut t = LoopTelemetry::new();
+        assert_eq!(t.comm_counters(), CommCounters::default());
+        // Fresh telemetry exports no comm metrics at all.
+        let mut reg = MetricsRegistry::new();
+        t.export_into(&mut reg);
+        assert_eq!(reg.counter("loop.comm.msgs_sent_total"), 0);
+        assert!(reg.gauge("loop.comm.latency_s").is_none());
+
+        t.record_comm_tx(1024, 2, true, 3e-3);
+        t.record_comm_tx(512, 0, false, 1e-3);
+        t.record_comm_rx(2048);
+        // Non-finite and negative tails are ignored, not accumulated.
+        t.record_comm_tx(16, 0, true, f64::NAN);
+        t.record_comm_tx(16, 0, true, -1.0);
+        let c = t.comm_counters();
+        assert_eq!(c.msgs_sent, 4);
+        assert_eq!(c.msgs_delivered, 3);
+        assert_eq!(c.msgs_dropped, 1);
+        assert_eq!(c.retransmits, 2);
+        assert_eq!(c.bytes_tx, 1024 + 512 + 32);
+        assert_eq!(c.bytes_rx, 2048);
+        assert!((c.comm_s - 4e-3).abs() < 1e-15);
+
+        let mut reg = MetricsRegistry::new();
+        t.export_into(&mut reg);
+        assert_eq!(reg.counter("loop.comm.msgs_sent_total"), 4);
+        assert_eq!(reg.counter("loop.comm.msgs_dropped_total"), 1);
+        assert_eq!(reg.counter("loop.comm.bytes_rx_total"), 2048);
+        assert_eq!(reg.gauge("loop.comm.latency_s"), Some(c.comm_s));
+
+        let s = c.to_string();
+        assert!(s.contains("4 sent"), "{s}");
+        assert!(s.contains("1 dropped"), "{s}");
+        assert!(s.contains("2 retransmits"), "{s}");
     }
 
     #[test]

@@ -243,6 +243,17 @@ impl Client {
         correct as f64 / test.len() as f64
     }
 
+    /// Parameters inside the active subnetwork (what an upload carries).
+    pub fn active_param_count(&self) -> usize {
+        self.subnetwork_mask().iter().filter(|&&m| m > 0.0).count()
+    }
+
+    /// Bytes on the wire for one model upload at `wire_bits` bits per
+    /// parameter (the arbiter's communication-throttling knob).
+    pub fn upload_bytes(&self, wire_bits: u8) -> u64 {
+        (self.active_param_count() as u64 * wire_bits as u64).div_ceil(8)
+    }
+
     /// Energy (J) of one local round: training MACs at the operating
     /// precision plus parameter upload.
     pub fn round_energy_j(&self, epochs: usize) -> f64 {
@@ -250,9 +261,10 @@ impl Client {
         let macs = self.macs_per_forward() * 3 * self.data.len() as u64 * epochs as u64;
         let bits = self.precision.bits().min(16);
         let compute = self.profile.energy.energy_mj(macs, bits) * 1e-3;
-        let active_params = self.subnetwork_mask().iter().filter(|&&m| m > 0.0).count() as f64;
         // Upload cost shrinks with precision (fewer bits on the wire).
-        let comm = active_params * self.profile.comm_energy_per_param * bits as f64 / 16.0;
+        let comm =
+            self.active_param_count() as f64 * self.profile.comm_energy_per_param * bits as f64
+                / 16.0;
         compute + comm
     }
 
@@ -329,6 +341,10 @@ mod tests {
         assert_eq!(mask.len(), c.params_flat().len());
         let active = mask.iter().filter(|&&m| m > 0.0).count();
         assert!(active < mask.len());
+        assert_eq!(c.active_param_count(), active);
+        // 16-bit wire: 2 bytes per active parameter; 4-bit: a quarter.
+        assert_eq!(c.upload_bytes(16), 2 * active as u64);
+        assert_eq!(c.upload_bytes(4), (active as u64).div_ceil(2));
     }
 
     #[test]

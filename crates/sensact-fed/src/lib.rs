@@ -19,14 +19,27 @@
 //! * [`speculative`] — edge-cloud speculative decoding over character-level
 //!   n-gram models: the draft model runs on the edge, the target verifies in
 //!   batches, provably matching the target's greedy output.
+//! * [`sim`] — a deterministic simulated network (seeded per-link latency,
+//!   loss, partitions, stragglers) making communication a schedulable
+//!   resource.
+//! * [`fleet`] — federated clients as [`sensact_sched::DynLoop`]s: the EDF
+//!   scheduler multiplexes download → train → upload ticks, the server
+//!   aggregates online with straggler cutoffs, and upload/download time
+//!   feeds the same deadline/energy model as compute.
 
 pub mod client;
 pub mod data;
 pub mod dcnas;
+pub mod fleet;
 pub mod halo;
 pub mod server;
+pub mod sim;
 pub mod speculative;
 
 pub use client::{Client, HardwareProfile, HardwareTier};
 pub use data::{Dataset, Sample};
-pub use server::{run_federated, FedConfig, FedReport, Strategy};
+pub use fleet::{run_federated_scheduled, FedFleetConfig, FedFleetReport, ServerStats};
+pub use server::{
+    aggregate_masked, apply_strategy, run_federated, FedConfig, FedReport, MaskedUpdate, Strategy,
+};
+pub use sim::{NetCounters, NetworkConfig, SimNetwork, Transfer};

@@ -105,6 +105,20 @@ impl EnergyArbiter {
     pub fn throttle_events(&self) -> u64 {
         self.throttle_events
     }
+
+    /// Map a precision hint to a wire quantization (bits per model
+    /// parameter) for communication throttling: the same arbiter pressure
+    /// that cheapens compute also shrinks uploads. Full precision ships
+    /// f16-quantized deltas (16 bits), f32 pressure halves that to 8-bit,
+    /// int8 pressure halves again to 4-bit — matching HALO-FL's
+    /// precision-scaled payload model.
+    pub fn wire_bits(hint: Option<Precision>) -> u8 {
+        match hint {
+            None | Some(Precision::F64) => 16,
+            Some(Precision::F32) => 8,
+            Some(Precision::Int8) => 4,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -153,6 +167,14 @@ mod tests {
         let mut a = EnergyArbiter::new(Some(1.0));
         let _ = a.on_completion(8.0, 1.0); // 8× overshoot: int8
         assert_eq!(a.recommended_precision(), Some(Precision::Int8));
+    }
+
+    #[test]
+    fn wire_bits_shrink_with_precision_pressure() {
+        assert_eq!(EnergyArbiter::wire_bits(None), 16);
+        assert_eq!(EnergyArbiter::wire_bits(Some(Precision::F64)), 16);
+        assert_eq!(EnergyArbiter::wire_bits(Some(Precision::F32)), 8);
+        assert_eq!(EnergyArbiter::wire_bits(Some(Precision::Int8)), 4);
     }
 
     #[test]

@@ -24,6 +24,14 @@ pub struct TickOutcome {
     pub energy_j: f64,
     /// Latency the tick charged (seconds).
     pub latency_s: f64,
+    /// Off-worker communication tail (seconds): time the tick's result is
+    /// still in flight on a network *after* compute finished. The scheduler
+    /// frees the worker once `latency_s` elapses, but the loop stays
+    /// sequential — and its deadline is checked — at
+    /// `start + latency_s + comm_s`, so upload/download time feeds the same
+    /// deadline model as compute without burning worker capacity. Zero for
+    /// loops that never communicate.
+    pub comm_s: f64,
     /// Stage faults observed during the tick (fallible loops only).
     pub faults: u32,
 }
@@ -35,6 +43,13 @@ pub struct TickOutcome {
 pub trait DynLoop: Send {
     /// Loop name (for reports).
     fn name(&self) -> &str;
+
+    /// Inform the loop of the virtual time at which its next tick starts.
+    /// The scheduler calls this immediately before [`DynLoop::tick_once`],
+    /// in both execution modes, so a loop that talks to other loops (a
+    /// federated client timestamping an upload, say) can anchor its sends
+    /// on the fleet's virtual timeline. Loops that don't care ignore it.
+    fn set_tick_start(&mut self, _start_s: f64) {}
 
     /// Run exactly one tick against the owned environment and apply the
     /// action back to it.
@@ -82,6 +97,7 @@ where
         TickOutcome {
             energy_j: out.energy_j,
             latency_s: out.latency_s,
+            comm_s: 0.0,
             faults: 0,
         }
     }
@@ -132,6 +148,7 @@ where
         TickOutcome {
             energy_j: out.energy_j,
             latency_s: out.latency_s,
+            comm_s: 0.0,
             faults: out.faults,
         }
     }
@@ -223,6 +240,12 @@ impl LoopHandle {
     /// Loop name.
     pub fn name(&self) -> &str {
         self.inner.name()
+    }
+
+    /// Anchor the loop on the fleet's virtual timeline (see
+    /// [`DynLoop::set_tick_start`]).
+    pub fn set_tick_start(&mut self, start_s: f64) {
+        self.inner.set_tick_start(start_s);
     }
 
     /// Run one tick (see [`DynLoop::tick_once`]).

@@ -35,6 +35,35 @@ pub(crate) struct Release {
 }
 
 impl Release {
+    /// Build a release from a *seconds* deadline, enforcing the
+    /// non-negative invariant the bit-pattern ordering relies on:
+    /// `f64::to_bits` ordering silently inverts for negative floats (the
+    /// sign bit is the most significant bit), so a negative deadline —
+    /// possible once simulated-network delays are subtracted from budgets —
+    /// would sort *after* every non-negative one and starve the release.
+    /// Negative and NaN deadlines clamp to `0.0` (immediately due), with a
+    /// `debug_assert` so debug builds surface the caller's arithmetic bug.
+    pub fn new(
+        deadline_s: f64,
+        tie: u64,
+        loop_idx: usize,
+        release_idx: u64,
+        release_s: f64,
+    ) -> Self {
+        debug_assert!(
+            deadline_s >= 0.0,
+            "EDF deadline must be non-negative, got {deadline_s} \
+             (loop {loop_idx}, release {release_idx})"
+        );
+        Release {
+            deadline_bits: clamp_deadline(deadline_s).to_bits(),
+            tie,
+            loop_idx,
+            release_idx,
+            release_s,
+        }
+    }
+
     fn key(&self) -> (u64, u64, usize, u64) {
         (
             self.deadline_bits,
@@ -60,6 +89,14 @@ impl Ord for Release {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         self.key().cmp(&other.key())
     }
+}
+
+/// Clamp a deadline to the non-negative range bit-pattern ordering needs.
+/// Negative deadlines become `0.0` (immediately due — the safest reading of
+/// an already-blown budget); `f64::max(NaN, 0.0)` is `0.0`, so NaN clamps
+/// too.
+fn clamp_deadline(deadline_s: f64) -> f64 {
+    deadline_s.max(0.0)
 }
 
 /// SplitMix64 — the seeded tie-break generator. A release's key depends only
@@ -192,6 +229,43 @@ mod tests {
         assert_eq!(got.loop_idx, 1);
         assert_eq!(q.steals(), 1);
         assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn raw_bit_ordering_inverts_for_negative_deadlines() {
+        // The failure mode the constructor guards against: as raw bit
+        // patterns, a negative deadline sorts *after* every non-negative one
+        // (sign bit on top), so naive `to_bits` keys would starve it.
+        assert!((-1.0f64).to_bits() > 1.0f64.to_bits());
+        assert!((-1e-9f64).to_bits() > 1e6f64.to_bits());
+    }
+
+    #[test]
+    fn clamped_negative_deadlines_stay_earliest() {
+        // Negative and NaN deadlines clamp to 0.0 (immediately due).
+        assert_eq!(clamp_deadline(-3.0), 0.0);
+        assert_eq!(clamp_deadline(-1e-12), 0.0);
+        assert_eq!(clamp_deadline(f64::NAN), 0.0);
+        assert_eq!(clamp_deadline(0.0), 0.0);
+        assert_eq!(clamp_deadline(2.5), 2.5);
+        // A release whose budget arithmetic went negative (network delay
+        // subtracted past zero) is popped before any positive deadline.
+        let q = ShardedQueue::new(1);
+        q.push(Release::new(clamp_deadline(-0.5), 0, 0, 0, 0.0));
+        q.push(Release::new(1.0, 0, 1, 0, 0.0));
+        assert_eq!(
+            q.pop(0).unwrap().loop_idx,
+            0,
+            "clamped release is due first"
+        );
+        assert_eq!(q.pop(0).unwrap().loop_idx, 1);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "non-negative")]
+    fn negative_deadline_asserts_in_debug_builds() {
+        let _ = Release::new(-1.0, 0, 0, 0, 0.0);
     }
 
     #[test]

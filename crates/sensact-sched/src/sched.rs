@@ -132,6 +132,10 @@ pub struct LoopStats {
     pub energy_j: f64,
     /// Charged latency executed (virtual seconds).
     pub busy_s: f64,
+    /// Off-worker communication tail time (virtual seconds): in-flight
+    /// network time after compute finished. Counts toward the loop's
+    /// sequential timeline and deadlines, never toward worker busy time.
+    pub comm_s: f64,
 }
 
 #[derive(Debug)]
@@ -172,7 +176,8 @@ pub struct FleetReport {
     pub steals: u64,
     /// Completions that observed an over-cap fleet.
     pub throttle_events: u64,
-    /// Fleet virtual makespan: the latest worker clock (seconds).
+    /// Fleet virtual makespan: the latest tick completion, including
+    /// off-worker communication tails (seconds).
     pub makespan_s: f64,
     /// Summed charged energy this run (joules).
     pub energy_j: f64,
@@ -302,23 +307,42 @@ fn sane_latency(latency_s: f64) -> f64 {
     }
 }
 
+/// What executing one release did, on the virtual timeline.
+struct Executed {
+    /// When the tick started (worker free, release due, loop sequential).
+    start_s: f64,
+    /// When the *worker* is free again: `start + charged latency`.
+    busy_end_s: f64,
+    /// When the tick fully completes: `busy_end + comm tail`. This is what
+    /// the loop's sequential timeline, deadlines, and fleet makespan use.
+    completion_s: f64,
+    /// Energy the tick charged (joules), as reported.
+    energy_j: f64,
+}
+
 /// Execute one release on a slot: tick the loop, advance accounting, check
 /// the deadline. A tick starts when its release is due, its loop's previous
 /// tick has completed (a loop is sequential), and — in deterministic mode —
 /// its assigned virtual worker is free (`worker_avail_s`; threaded mode
-/// passes `0` because OS threads provide real capacity). Returns
-/// `(start_s, completion_s, charged_energy_j)`.
-fn execute_release(slot: &mut Slot, release: &Release, worker_avail_s: f64) -> (f64, f64, f64) {
+/// passes `0` because OS threads provide real capacity). The worker is
+/// occupied only for the charged compute latency; a communication tail
+/// ([`TickOutcome::comm_s`](crate::handle::TickOutcome)) extends the loop's
+/// completion — and its deadline check — without burning worker capacity.
+fn execute_release(slot: &mut Slot, release: &Release, worker_avail_s: f64) -> Executed {
     let start_s = worker_avail_s
         .max(release.release_s)
         .max(slot.last_completion_s);
+    slot.handle.set_tick_start(start_s);
     let out = slot.handle.tick_once();
     let latency_s = sane_latency(out.latency_s);
-    let completion_s = start_s + latency_s;
+    let comm_s = sane_latency(out.comm_s);
+    let busy_end_s = start_s + latency_s;
+    let completion_s = busy_end_s + comm_s;
     slot.last_completion_s = completion_s;
     slot.stats.ticks += 1;
     slot.stats.faults += out.faults as u64;
     slot.stats.busy_s += latency_s;
+    slot.stats.comm_s += comm_s;
     if out.energy_j.is_finite() && out.energy_j > 0.0 {
         slot.stats.energy_j += out.energy_j;
     }
@@ -329,7 +353,12 @@ fn execute_release(slot: &mut Slot, release: &Release, worker_avail_s: f64) -> (
             slot.handle.record_deadline_miss(response_s, budget_s);
         }
     }
-    (start_s, completion_s, out.energy_j)
+    Executed {
+        start_s,
+        busy_end_s,
+        completion_s,
+        energy_j: out.energy_j,
+    }
 }
 
 /// Compute the loop's next release after a completion, applying drop-oldest
@@ -383,13 +412,13 @@ fn next_release(
     if release_s >= horizon_s {
         return None;
     }
-    Some(Release {
-        deadline_bits: slot.spec.deadline_s(release_s).to_bits(),
-        tie: tie_break(seed, release.loop_idx, release_idx),
-        loop_idx: release.loop_idx,
+    Some(Release::new(
+        slot.spec.deadline_s(release_s),
+        tie_break(seed, release.loop_idx, release_idx),
+        release.loop_idx,
         release_idx,
         release_s,
-    })
+    ))
 }
 
 fn fnv_fold(mut hash: u64, value: u64) -> u64 {
@@ -489,13 +518,13 @@ impl FleetScheduler {
         let slot = self.slot_mut(LoopId(idx));
         // Virtual time restarts at zero for every run.
         slot.last_completion_s = 0.0;
-        Release {
-            deadline_bits: slot.spec.deadline_s(0.0).to_bits(),
-            tie: tie_break(seed, idx, 0),
-            loop_idx: idx,
-            release_idx: 0,
-            release_s: 0.0,
-        }
+        Release::new(
+            slot.spec.deadline_s(0.0),
+            tie_break(seed, idx, 0),
+            idx,
+            0,
+            0.0,
+        )
     }
 
     /// Fleet-wide (ticks, drops, deadline misses) so far — slot stats are
@@ -595,20 +624,19 @@ impl FleetScheduler {
                             // timeline depends only on its own history and
                             // drop/miss accounting is interleaving-
                             // independent (given no watts cap).
-                            let (start_s, completion_s, energy_j) =
-                                execute_release(&mut slot, &release, 0.0);
-                            busy_s += completion_s - start_s;
-                            frontier_s = frontier_s.max(completion_s);
+                            let exec = execute_release(&mut slot, &release, 0.0);
+                            busy_s += exec.busy_end_s - exec.start_s;
+                            frontier_s = frontier_s.max(exec.completion_s);
                             let (stretch, hint) = {
                                 let mut arb = arbiter_ref.lock().unwrap_or_else(|e| e.into_inner());
-                                let stretch = arb.on_completion(energy_j, completion_s);
+                                let stretch = arb.on_completion(exec.energy_j, exec.completion_s);
                                 (stretch, arb.recommended_precision())
                             };
                             slot.handle.set_precision_hint(hint);
                             match next_release(
                                 &mut slot,
                                 &release,
-                                completion_s,
+                                exec.completion_s,
                                 stretch,
                                 horizon_s,
                                 seed,
@@ -691,6 +719,9 @@ impl FleetScheduler {
         let mut arbiter = EnergyArbiter::new(self.config.watts_cap);
         let mut queue_depth = Histogram::new();
         let mut trace_hash = FNV_OFFSET;
+        // Fleet makespan frontier: the latest *full* completion, including
+        // off-worker comm tails that finish after their worker was freed.
+        let mut frontier_s = 0.0f64;
 
         while let Some(Reverse(release)) = heap.pop() {
             queue_depth.record(heap.len() as f64);
@@ -705,27 +736,30 @@ impl FleetScheduler {
             let slot = self.slots[release.loop_idx]
                 .get_mut()
                 .unwrap_or_else(|e| e.into_inner());
-            let (start_s, completion_s, energy_j) =
-                execute_release(slot, &release, worker_clock_s[wid]);
-            worker_busy_s[wid] += completion_s - start_s;
-            worker_clock_s[wid] = completion_s;
+            let exec = execute_release(slot, &release, worker_clock_s[wid]);
+            // The worker is free once compute ends; a comm tail keeps the
+            // *loop* busy (sequential + deadline) but not the worker.
+            worker_busy_s[wid] += exec.busy_end_s - exec.start_s;
+            worker_clock_s[wid] = exec.busy_end_s;
+            frontier_s = frontier_s.max(exec.completion_s);
             // Clock plumbing: keep the caller's SimClock at the fleet's
             // virtual frontier (advance clamps regressions to zero).
-            clock.advance(completion_s - clock.peek_s());
-            let stretch = arbiter.on_completion(energy_j, completion_s);
+            clock.advance(exec.completion_s - clock.peek_s());
+            let stretch = arbiter.on_completion(exec.energy_j, exec.completion_s);
             slot.handle
                 .set_precision_hint(arbiter.recommended_precision());
             trace_hash = fnv_fold(trace_hash, release.loop_idx as u64);
             trace_hash = fnv_fold(trace_hash, release.release_idx);
             trace_hash = fnv_fold(trace_hash, wid as u64);
-            trace_hash = fnv_fold(trace_hash, completion_s.to_bits());
-            if let Some(next) = next_release(slot, &release, completion_s, stretch, horizon_s, seed)
+            trace_hash = fnv_fold(trace_hash, exec.completion_s.to_bits());
+            if let Some(next) =
+                next_release(slot, &release, exec.completion_s, stretch, horizon_s, seed)
             {
                 heap.push(Reverse(next));
             }
         }
 
-        let makespan_s = worker_clock_s.iter().fold(0.0f64, |a, &b| a.max(b));
+        let makespan_s = worker_clock_s.iter().fold(frontier_s, |a, &b| a.max(b));
         let (ticks, drops, misses) = self.totals();
         let loops = self.summaries();
         FleetReport {
@@ -969,5 +1003,127 @@ mod tests {
     fn zero_period_is_rejected() {
         let mut sched = FleetScheduler::new(FleetConfig::default());
         let _ = sched.register(handle("bad", 1e-6, 1e-4), LoopSpec::periodic(0.0));
+    }
+
+    /// A bare [`DynLoop`] charging fixed compute latency plus an off-worker
+    /// communication tail, recording each tick's virtual start time.
+    struct CommLoop {
+        telemetry: sensact_core::LoopTelemetry,
+        latency_s: f64,
+        comm_s: f64,
+        starts: std::sync::Arc<Mutex<Vec<f64>>>,
+    }
+
+    impl CommLoop {
+        fn boxed(latency_s: f64, comm_s: f64) -> LoopHandle {
+            Self::observed(latency_s, comm_s).0
+        }
+
+        fn observed(latency_s: f64, comm_s: f64) -> (LoopHandle, std::sync::Arc<Mutex<Vec<f64>>>) {
+            let starts = std::sync::Arc::new(Mutex::new(Vec::new()));
+            let handle = LoopHandle::from_dyn(Box::new(CommLoop {
+                telemetry: sensact_core::LoopTelemetry::new(),
+                latency_s,
+                comm_s,
+                starts: starts.clone(),
+            }));
+            (handle, starts)
+        }
+    }
+
+    impl crate::handle::DynLoop for CommLoop {
+        fn name(&self) -> &str {
+            "comm"
+        }
+        fn set_tick_start(&mut self, start_s: f64) {
+            self.starts
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(start_s);
+        }
+        fn tick_once(&mut self) -> crate::handle::TickOutcome {
+            self.telemetry
+                .record(1e-6, self.latency_s, sensact_core::Trust::Trusted);
+            crate::handle::TickOutcome {
+                energy_j: 1e-6,
+                latency_s: self.latency_s,
+                comm_s: self.comm_s,
+                faults: 0,
+            }
+        }
+        fn telemetry(&self) -> &sensact_core::LoopTelemetry {
+            &self.telemetry
+        }
+        fn record_deadline_miss(&mut self, latency_s: f64, budget_s: f64) {
+            self.telemetry
+                .record_fault(&sensact_core::StageError::Timeout {
+                    latency_s,
+                    budget_s,
+                });
+        }
+    }
+
+    /// Satellite: a comm tail frees the worker (tails of different loops
+    /// overlap on one worker; worker busy time excludes them) but extends
+    /// the loop's completion, so makespan and deadline checks see it.
+    #[test]
+    fn comm_tails_overlap_across_loops_but_count_toward_deadlines() {
+        let mut sched = FleetScheduler::new(FleetConfig {
+            workers: 1,
+            watts_cap: None,
+            seed: 0,
+        });
+        // 4 loops, one release each (period = horizon): 1 ms of compute
+        // followed by a 0.5 s upload, against a 0.1 s budget.
+        let ids: Vec<LoopId> = (0..4)
+            .map(|_| {
+                sched.register(
+                    CommLoop::boxed(1e-3, 0.5),
+                    LoopSpec::periodic(1.0).with_budget(0.1),
+                )
+            })
+            .collect();
+        let report = sched.run_deterministic(1.0, &mut SimClock::new());
+        assert_eq!(report.ticks, 4);
+        // The single worker only holds each tick for its compute time, so
+        // the four uploads are in flight concurrently: makespan is one tail
+        // past the last compute slot, nowhere near the serialized 4 × 0.501.
+        assert!((report.worker_busy_s[0] - 4e-3).abs() < 1e-12);
+        assert!(
+            (report.makespan_s - (4e-3 + 0.5)).abs() < 1e-9,
+            "{}",
+            report.makespan_s
+        );
+        // But each loop's completion includes its tail: every tick blows the
+        // 0.1 s budget and surfaces as a Timeout fault.
+        assert_eq!(report.deadline_misses, 4);
+        for id in &ids {
+            let stats = sched.loop_stats(*id);
+            assert!((stats.comm_s - 0.5).abs() < 1e-12);
+            assert!((stats.busy_s - 1e-3).abs() < 1e-12);
+            assert_eq!(sched.loop_telemetry(*id).fault_counters().timeouts, 1);
+        }
+    }
+
+    /// The scheduler anchors every tick on the virtual timeline via
+    /// `set_tick_start` before the tick runs — a communicating loop can
+    /// timestamp its sends on the fleet's clock.
+    #[test]
+    fn set_tick_start_reports_virtual_start_times() {
+        let mut sched = FleetScheduler::new(FleetConfig {
+            workers: 1,
+            watts_cap: None,
+            seed: 0,
+        });
+        let (handle, starts) = CommLoop::observed(1e-3, 0.0);
+        let _ = sched.register(handle, LoopSpec::periodic(1e-2));
+        let _ = sched.run_deterministic(0.05, &mut SimClock::new());
+        // Releases at k·0.01 with 1 ms compute never backlog, so each tick
+        // starts exactly at its release.
+        let got = starts.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        assert_eq!(got.len(), 5);
+        for (k, s) in got.iter().enumerate() {
+            assert!((s - k as f64 * 1e-2).abs() < 1e-12, "tick {k} start {s}");
+        }
     }
 }

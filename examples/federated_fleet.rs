@@ -1,7 +1,8 @@
 //! Federated multi-agent loops (§VII): a heterogeneous fleet trains a shared
-//! model with DC-NAS pruning + HaLo-FL precision selection, the coverage
-//! coordinator splits the sensing work 3×, and speculative decoding shows the
-//! edge-cloud pattern.
+//! model with DC-NAS pruning + HaLo-FL precision selection, the same fleet
+//! re-runs *through the scheduler* over a lossy simulated network, the
+//! coverage coordinator splits the sensing work 3×, and speculative decoding
+//! shows the edge-cloud pattern.
 //!
 //! Run: `cargo run --release --example federated_fleet`
 
@@ -9,7 +10,9 @@ use sensact::core::multi::{AgentId, AgentProfile, CoverageCoordinator};
 use sensact::fed::client::{Client, HardwareTier};
 use sensact::fed::data::Dataset;
 use sensact::fed::server::{run_federated, FedConfig, Strategy};
+use sensact::fed::sim::NetworkConfig;
 use sensact::fed::speculative::{demo_corpus, speculative_generate, NgramModel};
+use sensact::fed::{run_federated_scheduled, FedFleetConfig};
 
 fn main() {
     // 1. Federated learning across a heterogeneous fleet.
@@ -44,7 +47,36 @@ fn main() {
         );
     }
 
-    // 2. Coordinated sensing: the conclusion's 3x claim.
+    // 2. The same fleet as scheduled sensing-action loops over a lossy edge
+    //    network: rounds become cutoffs, stragglers land late, and the whole
+    //    run is reproducible bit-for-bit from the two seeds.
+    let clients: Vec<Client> = parts
+        .iter()
+        .enumerate()
+        .map(|(i, d)| Client::new(i, d.clone(), tiers[i % 3], 7 + i as u64))
+        .collect();
+    let report = run_federated_scheduled(
+        clients,
+        Strategy::DcNas,
+        &FedFleetConfig::default(),
+        NetworkConfig::edge(3).with_loss(0.1),
+        &test,
+        &[],
+    );
+    println!("\nscheduled federation over a 10%-loss edge network (dc-nas):");
+    println!(
+        "  accuracy {:.3}  makespan {:.3} s (sync accounting {:.3} s)  round period {:.4} s",
+        report.accuracy, report.makespan_s, report.sync_latency_s, report.round_period_s
+    );
+    println!(
+        "  participation {:.0}%  late updates {}  retransmits {}  trace 0x{:016x}",
+        100.0 * report.mean_participation(6),
+        report.server.late_updates,
+        report.net.retransmits,
+        report.trace_hash
+    );
+
+    // 3. Coordinated sensing: the conclusion's 3x claim.
     let coordinator = CoverageCoordinator::new();
     let fleet: Vec<AgentProfile> = (0..3)
         .map(|i| AgentProfile::homogeneous(AgentId(i)))
@@ -54,7 +86,7 @@ fn main() {
         coordinator.fleet_reduction_factor(&fleet)
     );
 
-    // 3. Edge-cloud speculative decoding.
+    // 4. Edge-cloud speculative decoding.
     let draft = NgramModel::train(demo_corpus(), 2);
     let target = NgramModel::train(demo_corpus(), 5);
     let (text, report) = speculative_generate(&draft, &target, "the robot", 100, 4);

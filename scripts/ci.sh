@@ -50,4 +50,10 @@ SENSACT_FORCE_SCALAR=1 cargo run --offline --release -p sensact-bench --bin kern
 echo "== fleet scheduler smoke (throughput + overhead) =="
 cargo run --offline --release -p sensact-bench --bin bench_sched -- --smoke
 
+echo "== federated fleet smoke (network sweeps, host ISA) =="
+cargo run --offline --release -p sensact-bench --bin bench_fed -- --smoke
+
+echo "== federated fleet smoke (forced-scalar path) =="
+SENSACT_FORCE_SCALAR=1 cargo run --offline --release -p sensact-bench --bin bench_fed -- --smoke
+
 echo "CI gate passed."
