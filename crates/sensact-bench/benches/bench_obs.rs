@@ -27,10 +27,15 @@
 //! runs don't clobber recorded numbers).
 
 use sensact_bench::harness::Harness;
+use sensact_bench::obsbench::{
+    baseline_tick, controller, paired_realistic, realistic_perceptor, realistic_sensor,
+    BaselineTelemetry,
+};
 use sensact_core::export::{parse_ticks, ticks_to_jsonl};
-use sensact_core::stage::{FnController, FnPerceptor, FnSensor, StageContext, Trust};
+use sensact_core::stage::{FnPerceptor, FnSensor, StageContext, Trust};
+use sensact_core::trace::SimClock;
 use sensact_core::{Histogram, LoopBuilder, LoopTelemetry, Tracer};
-use sensact_math::RunningStats;
+use sensact_sched::{FleetConfig, FleetScheduler, LoopHandle, LoopSpec};
 use std::hint::black_box;
 
 fn sensor() -> FnSensor<impl FnMut(&f64, &mut StageContext) -> f64> {
@@ -42,153 +47,6 @@ fn sensor() -> FnSensor<impl FnMut(&f64, &mut StageContext) -> f64> {
 
 fn perceptor() -> FnPerceptor<impl FnMut(&f64, &mut StageContext) -> f64> {
     FnPerceptor::new(|r: &f64, _: &mut StageContext| *r)
-}
-
-fn controller() -> FnController<impl FnMut(&f64, Trust, &mut StageContext) -> f64> {
-    FnController::new(|f: &f64, _t: Trust, _: &mut StageContext| -0.5 * f)
-}
-
-fn realistic_sensor() -> FnSensor<impl FnMut(&f64, &mut StageContext) -> Vec<f64>> {
-    FnSensor::new(|e: &f64, ctx: &mut StageContext| {
-        ctx.charge(1e-6, 1e-6);
-        let mut sweep = Vec::with_capacity(256);
-        for i in 0..256 {
-            sweep.push(e + (i as f64 * 0.1).sin());
-        }
-        sweep
-    })
-}
-
-fn realistic_perceptor() -> FnPerceptor<impl FnMut(&Vec<f64>, &mut StageContext) -> f64> {
-    FnPerceptor::new(|sweep: &Vec<f64>, _: &mut StageContext| {
-        let n = sweep.len() as f64;
-        let mean = sweep.iter().sum::<f64>() / n;
-        let var = sweep.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
-        mean + var
-    })
-}
-
-/// The PR 2-era telemetry: bounded ring of slim records plus O(1)
-/// aggregates — what `LoopTelemetry` kept per tick before the observability
-/// layer added breakdowns and histograms. Benchmarking against this
-/// isolates the always-on attribution cost.
-struct BaselineTelemetry {
-    records: Vec<(u64, f64, f64, Trust)>,
-    head: usize,
-    capacity: usize,
-    ticks: u64,
-    total_energy_j: f64,
-    total_latency_s: f64,
-    energy: RunningStats,
-    latency: RunningStats,
-}
-
-impl BaselineTelemetry {
-    fn new() -> Self {
-        BaselineTelemetry {
-            records: Vec::new(),
-            head: 0,
-            capacity: 4096,
-            ticks: 0,
-            total_energy_j: 0.0,
-            total_latency_s: 0.0,
-            energy: RunningStats::new(),
-            latency: RunningStats::new(),
-        }
-    }
-
-    fn record(&mut self, energy_j: f64, latency_s: f64, trust: Trust) {
-        let rec = (self.ticks, energy_j, latency_s, trust);
-        if self.records.len() < self.capacity {
-            self.records.push(rec);
-        } else {
-            self.records[self.head] = rec;
-            self.head = (self.head + 1) % self.capacity;
-        }
-        self.ticks += 1;
-        self.total_energy_j += energy_j;
-        self.total_latency_s += latency_s;
-        self.energy.push(energy_j);
-        self.latency.push(latency_s);
-    }
-}
-
-/// One hand-rolled pre-observability tick: stage calls, budget consumption
-/// and the slim aggregate record — everything PR 2's `tick` did, nothing the
-/// observability layer added.
-fn baseline_tick<R>(
-    env: &f64,
-    sensor: &mut FnSensor<impl FnMut(&f64, &mut StageContext) -> R>,
-    perceptor: &mut FnPerceptor<impl FnMut(&R, &mut StageContext) -> f64>,
-    controller: &mut FnController<impl FnMut(&f64, Trust, &mut StageContext) -> f64>,
-    budget: &mut sensact_core::EnergyBudget,
-    telemetry: &mut BaselineTelemetry,
-) -> f64 {
-    use sensact_core::stage::{Controller, Perceptor, Sensor};
-    let mut ctx = StageContext::new();
-    let reading = sensor.sense(env, &mut ctx);
-    let features = perceptor.perceive(&reading, &mut ctx);
-    let action = controller.decide(&features, Trust::Trusted, &mut ctx);
-    budget.consume(ctx.energy_j(), ctx.latency_s());
-    telemetry.record(ctx.energy_j(), ctx.latency_s(), Trust::Trusted);
-    action
-}
-
-/// Paired interleaved measurement: alternate batches of the two workloads
-/// so slow drift (CPU frequency scaling, thermal throttling) hits both
-/// sides equally, and take the per-side minimum over many rounds. Two
-/// independent harness rows measured minutes apart wander by double-digit
-/// percent on a busy host; the paired floor is stable to ~1 %.
-fn paired_min_ns(
-    rounds: usize,
-    batch: usize,
-    mut a: impl FnMut(),
-    mut b: impl FnMut(),
-) -> (f64, f64) {
-    let (mut min_a, mut min_b) = (f64::INFINITY, f64::INFINITY);
-    for _ in 0..rounds {
-        let t = std::time::Instant::now();
-        for _ in 0..batch {
-            a();
-        }
-        min_a = min_a.min(t.elapsed().as_nanos() as f64 / batch as f64);
-        let t = std::time::Instant::now();
-        for _ in 0..batch {
-            b();
-        }
-        min_b = min_b.min(t.elapsed().as_nanos() as f64 / batch as f64);
-    }
-    (min_a, min_b)
-}
-
-/// One paired round of `baseline_tick` vs a realistic loop built with the
-/// given tracer; returns (baseline_ns, candidate_ns) floors.
-fn paired_realistic(rounds: usize, batch: usize, tracer: Tracer) -> (f64, f64) {
-    let (mut s, mut p, mut k) = (realistic_sensor(), realistic_perceptor(), controller());
-    let mut budget = sensact_core::EnergyBudget::unlimited();
-    let mut t = BaselineTelemetry::new();
-    let mut looop = LoopBuilder::new("paired").with_tracer(tracer).build(
-        realistic_sensor(),
-        realistic_perceptor(),
-        controller(),
-    );
-    paired_min_ns(
-        rounds,
-        batch,
-        || {
-            black_box(baseline_tick(
-                black_box(&1.0),
-                &mut s,
-                &mut p,
-                &mut k,
-                &mut budget,
-                &mut t,
-            ));
-        },
-        || {
-            black_box(looop.tick(black_box(&1.0)));
-        },
-    )
 }
 
 fn main() {
@@ -286,6 +144,26 @@ fn main() {
             let doc = ticks_to_jsonl(black_box(&telemetry));
             black_box(parse_ticks(&doc).len())
         })
+    });
+
+    // Fleet-aggregation path: roll 16 member telemetries (counters, gauges,
+    // latency histograms) up into one fleet-level registry per scrape.
+    c.bench_function("micro/fleet_rollup_16", |b| {
+        let mut sched = FleetScheduler::new(FleetConfig {
+            workers: 2,
+            watts_cap: None,
+            seed: 1,
+        });
+        for i in 0..16 {
+            let looop =
+                LoopBuilder::new(format!("m{i}")).build(sensor(), perceptor(), controller());
+            sched.register(
+                LoopHandle::closed(looop, 1.0f64, |_, _| {}),
+                LoopSpec::periodic(1e-3),
+            );
+        }
+        let _ = sched.run_deterministic(0.1, &mut SimClock::new());
+        b.iter(|| black_box(sched.rollup_metrics().counter("loop.ticks_total")))
     });
 
     // Overhead ratios use the minimum sample: the realistic tick's mean

@@ -1,0 +1,100 @@
+//! CI perf-regression gate: re-measure the recorded overhead headlines with
+//! the exact shared workloads ([`sensact_bench::obsbench`]) and compare them
+//! against the committed baselines with a tolerance band.
+//!
+//! Two headline checks:
+//!
+//! * `BENCH_obs.json` → `realistic.disabled_overhead_pct` — the paired
+//!   baseline-vs-disabled-tracer tick (the plane's always-on cost);
+//! * `BENCH_sched.json` → `overhead_fleet1.overhead_pct` — the paired
+//!   raw-vs-scheduled tick at fleet size 1.
+//!
+//! Overheads are percentages of a microsecond-scale tick, so the band is
+//! absolute percentage points: a fresh measurement may exceed its committed
+//! baseline by at most `SENSACT_GATE_TOL_PP` (default 4.0). A fresh number
+//! *below* the baseline always passes — the gate catches regressions, not
+//! improvements. Each headline is measured three times and the best (lowest)
+//! overhead is compared: a genuine regression raises every repeat, while a
+//! scheduling hiccup only pollutes one. Exits 1 on regression; the
+//! `scripts/ci.sh` bench_gate step.
+
+use sensact_bench::obsbench::{paired_realistic, sched_overhead_case};
+use sensact_core::Tracer;
+
+/// Extract the number following `"key":` — enough JSON for our own
+/// generated baseline files, no parser dependency.
+fn json_number(doc: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = doc.find(&pat)? + pat.len();
+    let rest = doc[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Best (lowest) of three repeats of a fresh overhead measurement. One
+/// repeat can land on a noisy scheduler quantum; a real regression raises
+/// the floor of all three.
+fn best_of_three(measure: impl Fn() -> f64) -> f64 {
+    (0..3).map(|_| measure()).fold(f64::INFINITY, f64::min)
+}
+
+/// One gate line: pass unless `fresh` exceeds `committed` by > `tol_pp`.
+fn check(name: &str, committed: f64, fresh: f64, tol_pp: f64, failures: &mut u32) {
+    let regressed = fresh > committed + tol_pp;
+    println!(
+        "{:<36} committed {committed:+6.2} %  fresh {fresh:+6.2} %  band +{tol_pp:.1} pp  {}",
+        name,
+        if regressed { "FAIL" } else { "ok" }
+    );
+    if regressed {
+        *failures += 1;
+    }
+}
+
+fn main() {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let tol_pp: f64 = std::env::var("SENSACT_GATE_TOL_PP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4.0);
+    let mut failures = 0u32;
+
+    println!("bench_gate: fresh paired headlines vs committed baselines\n");
+
+    let obs = std::fs::read_to_string(format!("{root}/BENCH_obs.json"))
+        .expect("read BENCH_obs.json at the repo root");
+    let committed_obs = json_number(&obs, "disabled_overhead_pct")
+        .expect("BENCH_obs.json carries realistic.disabled_overhead_pct");
+    let fresh_obs = best_of_three(|| {
+        let (base_ns, off_ns) = paired_realistic(120, 300, Tracer::disabled());
+        (off_ns / base_ns - 1.0) * 100.0
+    });
+    check(
+        "obs disabled-path overhead",
+        committed_obs,
+        fresh_obs,
+        tol_pp,
+        &mut failures,
+    );
+
+    let sched = std::fs::read_to_string(format!("{root}/BENCH_sched.json"))
+        .expect("read BENCH_sched.json at the repo root");
+    let committed_sched = json_number(&sched, "overhead_pct")
+        .expect("BENCH_sched.json carries overhead_fleet1.overhead_pct");
+    let fresh_sched = best_of_three(|| sched_overhead_case(512, 6).overhead_pct);
+    check(
+        "scheduler per-tick overhead",
+        committed_sched,
+        fresh_sched,
+        tol_pp,
+        &mut failures,
+    );
+
+    if failures > 0 {
+        eprintln!("\nbench_gate FAILED: {failures} headline(s) regressed past the band");
+        std::process::exit(1);
+    }
+    println!("\nbench_gate passed.");
+}

@@ -19,13 +19,12 @@
 //! runs don't clobber recorded numbers). Run with `--smoke` (or
 //! `SENSACT_QUICK=1`) for the reduced sizes.
 
+use sensact_bench::obsbench::sched_overhead_case;
 use sensact_bench::{compare, header};
 use sensact_core::stage::{FnController, FnPerceptor, FnSensor, StageContext, Trust};
 use sensact_core::trace::SimClock;
 use sensact_core::LoopBuilder;
 use sensact_sched::{FleetConfig, FleetReport, FleetScheduler, LoopHandle, LoopSpec};
-use std::hint::black_box;
-use std::time::Instant;
 
 /// Virtual workers for the fleet runs (the machine's core count is
 /// irrelevant — deterministic mode simulates the pool in virtual time).
@@ -101,90 +100,6 @@ fn throughput_case(n: usize) -> ThroughputRow {
     }
 }
 
-/// The realistic workload from `bench_obs`: a 256-sample sweep sensor and a
-/// mean+variance perceptor (~2.6 µs of real work per tick).
-#[allow(clippy::type_complexity)]
-fn realistic_stages() -> (
-    FnSensor<impl FnMut(&f64, &mut StageContext) -> Vec<f64>>,
-    FnPerceptor<impl FnMut(&Vec<f64>, &mut StageContext) -> f64>,
-    FnController<impl FnMut(&f64, Trust, &mut StageContext) -> f64>,
-) {
-    (
-        FnSensor::new(|e: &f64, ctx: &mut StageContext| {
-            ctx.charge(1e-6, 1e-6);
-            let mut sweep = Vec::with_capacity(256);
-            for i in 0..256 {
-                sweep.push(e + (i as f64 * 0.1).sin());
-            }
-            sweep
-        }),
-        FnPerceptor::new(|sweep: &Vec<f64>, _: &mut StageContext| {
-            let n = sweep.len() as f64;
-            let mean = sweep.iter().sum::<f64>() / n;
-            let var = sweep.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
-            mean + var
-        }),
-        FnController::new(|f: &f64, _t: Trust, _: &mut StageContext| -0.5 * f),
-    )
-}
-
-struct OverheadRow {
-    raw_tick_ns: f64,
-    scheduled_tick_ns: f64,
-    overhead_pct: f64,
-}
-
-/// Paired interleaved measurement of raw vs scheduled ticks at fleet size 1.
-fn overhead_case(batch: u64, rounds: u32) -> OverheadRow {
-    let (s, p, c) = realistic_stages();
-    let mut raw = LoopBuilder::new("raw").build(s, p, c);
-    let env = 0.25f64;
-
-    let (s, p, c) = realistic_stages();
-    let scheduled = LoopBuilder::new("scheduled").build(s, p, c);
-    let mut fleet = FleetScheduler::new(FleetConfig {
-        workers: 1,
-        watts_cap: None,
-        seed: 0,
-    });
-    let period_s = 1e-3;
-    fleet.register(
-        LoopHandle::closed(scheduled, env, |_, _| {}),
-        LoopSpec::periodic(period_s).with_queue_capacity(TICKS_PER_LOOP as usize),
-    );
-    let horizon_s = batch as f64 * period_s;
-
-    // Warm-up (untimed) pass for each side, then alternating timed batches.
-    for _ in 0..batch {
-        black_box(raw.tick(&env));
-    }
-    black_box(fleet.run_deterministic(horizon_s, &mut SimClock::new()));
-
-    let mut raw_ns = 0.0f64;
-    let mut sched_ns = 0.0f64;
-    let mut sched_ticks = 0u64;
-    for _ in 0..rounds {
-        let t = Instant::now();
-        for _ in 0..batch {
-            black_box(raw.tick(&env));
-        }
-        raw_ns += t.elapsed().as_nanos() as f64;
-
-        let t = Instant::now();
-        let report = fleet.run_deterministic(horizon_s, &mut SimClock::new());
-        sched_ns += t.elapsed().as_nanos() as f64;
-        assert_eq!(report.ticks, batch, "scheduler must execute every release");
-        sched_ticks += report.ticks;
-    }
-    let raw_tick_ns = raw_ns / (batch * rounds as u64) as f64;
-    let scheduled_tick_ns = sched_ns / sched_ticks as f64;
-    OverheadRow {
-        raw_tick_ns,
-        scheduled_tick_ns,
-        overhead_pct: 100.0 * (scheduled_tick_ns - raw_tick_ns) / raw_tick_ns,
-    }
-}
-
 fn main() {
     let smoke = smoke();
     let sizes: &[usize] = if smoke { &[16, 64] } else { &[100, 1000, 4000] };
@@ -209,7 +124,7 @@ fn main() {
 
     header("scheduler overhead at fleet size 1 — realistic 256-sample workload");
     let (batch, rounds) = if smoke { (256, 4) } else { (2048, 12) };
-    let overhead = overhead_case(batch, rounds);
+    let overhead = sched_overhead_case(batch, rounds);
     compare(
         "per-tick overhead (target < 5 %)",
         "raw tick",

@@ -26,6 +26,7 @@ use std::io::Write;
 use std::path::PathBuf;
 
 pub mod harness;
+pub mod obsbench;
 
 /// Whether quick mode is requested (smaller problem sizes).
 pub fn quick() -> bool {

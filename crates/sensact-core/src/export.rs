@@ -12,10 +12,11 @@
 //! and an ASCII latency histogram for quick terminal inspection (see
 //! `examples/observed_loop.rs`).
 
+use crate::metrics::MetricsRegistry;
 use crate::precision::Precision;
 use crate::stage::Trust;
 use crate::telemetry::{LoopTelemetry, TickRecord};
-use crate::trace::{Span, StageBreakdown, StageId};
+use crate::trace::{CausalSpan, Span, SpanKind, StageBreakdown, StageId};
 use std::fmt::Write as _;
 
 /// Serialize one span as a single JSONL line (no trailing newline).
@@ -70,6 +71,72 @@ pub fn spans_to_jsonl(spans: &[Span]) -> String {
         out.push('\n');
     }
     out
+}
+
+/// Serialize one causal span as a single JSONL line (no trailing newline).
+///
+/// Ids are serialized as decimal `u64` — the in-repo parser reads them back
+/// bit-exactly (tools that funnel JSON numbers through `f64` would truncate
+/// above 2^53; use the in-repo parser for id-faithful reconstruction).
+pub fn causal_span_to_json(s: &CausalSpan) -> String {
+    format!(
+        "{{\"type\":\"causal\",\"trace\":{},\"span\":{},\"parent\":{},\"kind\":\"{}\",\"node\":{},\"detail\":{},\"start_s\":{},\"end_s\":{},\"ok\":{}}}",
+        s.trace_id, s.span_id, s.parent_id, s.kind, s.node, s.detail, s.start_s, s.end_s, s.ok
+    )
+}
+
+/// Export a slice of causal spans as JSONL (one event per line).
+pub fn causal_spans_to_jsonl(spans: &[CausalSpan]) -> String {
+    let mut out = String::new();
+    for s in spans {
+        out.push_str(&causal_span_to_json(s));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse one JSONL line produced by [`causal_span_to_json`].
+pub fn parse_causal_span(line: &str) -> Option<CausalSpan> {
+    let fields = parse_flat(line)?;
+    if str_field(&fields, "type")? != "causal" {
+        return None;
+    }
+    Some(CausalSpan {
+        trace_id: field(&fields, "trace")?.parse().ok()?,
+        span_id: field(&fields, "span")?.parse().ok()?,
+        parent_id: field(&fields, "parent")?.parse().ok()?,
+        kind: SpanKind::from_name(str_field(&fields, "kind")?)?,
+        node: field(&fields, "node")?.parse().ok()?,
+        detail: field(&fields, "detail")?.parse().ok()?,
+        start_s: f64_field(&fields, "start_s")?,
+        end_s: f64_field(&fields, "end_s")?,
+        ok: field(&fields, "ok")?.parse().ok()?,
+    })
+}
+
+/// Parse a JSONL document, returning every causal-span event.
+pub fn parse_causal_spans(jsonl: &str) -> Vec<CausalSpan> {
+    jsonl.lines().filter_map(parse_causal_span).collect()
+}
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// Order-sensitive FNV-1a hash of a byte stream.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// FNV-1a hash over the exported JSONL of a causal-span stream — the
+/// acceptance fingerprint for bit-for-bit trace reproducibility: two runs
+/// from the same seeds must produce identical hashes.
+pub fn trace_stream_hash(spans: &[CausalSpan]) -> u64 {
+    fnv1a(causal_spans_to_jsonl(spans).as_bytes())
 }
 
 /// Split a flat JSON object line into `(key, raw_value)` pairs. Returns
@@ -195,6 +262,70 @@ pub fn ascii_histogram(
             "  [{lo:9.3e}, {hi_str:>9})  {:<bar_width$}  {n}",
             "#".repeat(bar)
         );
+    }
+    out
+}
+
+/// Sanitize a metric name for Prometheus: dots (and any other
+/// non-alphanumeric byte) become underscores.
+fn prom_name(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// Render a registry in the Prometheus text exposition format (version
+/// 0.0.4): `# TYPE` comments plus `name{labels} value` sample lines.
+///
+/// Counters and gauges render as single samples; histograms render as
+/// cumulative `_bucket{le="…"}` series (upper bucket edges, shortest
+/// round-trip float form) plus `_sum` and `_count`. This is the scrape
+/// payload ROADMAP item 3's serving front-end will mount at `/metrics`.
+pub fn prometheus_text(registry: &MetricsRegistry) -> String {
+    prometheus_text_with_labels(registry, &[])
+}
+
+/// [`prometheus_text`] with constant labels attached to every sample —
+/// e.g. `&[("fleet", "edge-a")]` or a per-loop `("loop", name)`.
+pub fn prometheus_text_with_labels(registry: &MetricsRegistry, labels: &[(&str, &str)]) -> String {
+    let render_labels = |extra: Option<(&str, &str)>| -> String {
+        let mut parts: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+        if let Some((k, v)) = extra {
+            parts.push(format!("{k}=\"{v}\""));
+        }
+        if parts.is_empty() {
+            String::new()
+        } else {
+            format!("{{{}}}", parts.join(","))
+        }
+    };
+    let plain = render_labels(None);
+    let mut out = String::new();
+    for (name, v) in registry.counters() {
+        let n = prom_name(name);
+        let _ = writeln!(out, "# TYPE {n} counter");
+        let _ = writeln!(out, "{n}{plain} {v}");
+    }
+    for (name, v) in registry.gauges() {
+        let n = prom_name(name);
+        let _ = writeln!(out, "# TYPE {n} gauge");
+        let _ = writeln!(out, "{n}{plain} {v}");
+    }
+    for (name, h) in registry.histograms() {
+        let n = prom_name(name);
+        let _ = writeln!(out, "# TYPE {n} histogram");
+        let mut cumulative = 0u64;
+        for (_, upper, count) in h.nonzero_buckets() {
+            cumulative += count;
+            if upper.is_finite() {
+                let le = render_labels(Some(("le", &format!("{upper}"))));
+                let _ = writeln!(out, "{n}_bucket{le} {cumulative}");
+            }
+        }
+        let inf = render_labels(Some(("le", "+Inf")));
+        let _ = writeln!(out, "{n}_bucket{inf} {}", h.count());
+        let _ = writeln!(out, "{n}_sum{plain} {}", h.sum());
+        let _ = writeln!(out, "{n}_count{plain} {}", h.count());
     }
     out
 }
@@ -385,6 +516,161 @@ mod tests {
         let doc = "{\"type\":\"tick\"\n\n}{\n";
         assert!(parse_ticks(doc).is_empty());
         assert!(parse_spans(doc).is_empty());
+    }
+
+    fn sample_causal(kind: SpanKind) -> CausalSpan {
+        CausalSpan {
+            trace_id: u64::MAX - 3, // above 2^53: must survive bit-exactly
+            span_id: 0x1234_5678_9ABC_DEF0,
+            parent_id: 7,
+            kind,
+            node: 1001,
+            detail: 3,
+            start_s: 0.1 + 0.2, // 0.30000000000000004
+            end_s: 1.0 / 3.0,
+            ok: false,
+        }
+    }
+
+    #[test]
+    fn causal_span_round_trips_every_kind() {
+        for kind in SpanKind::ALL {
+            let s = sample_causal(kind);
+            let line = causal_span_to_json(&s);
+            assert_eq!(parse_causal_span(&line), Some(s), "line: {line}");
+        }
+        let doc = causal_spans_to_jsonl(&[
+            sample_causal(SpanKind::NetSend),
+            sample_causal(SpanKind::ServerAggregate),
+        ]);
+        assert_eq!(parse_causal_spans(&doc).len(), 2);
+        // Causal lines are invisible to the other parsers and vice versa.
+        assert!(parse_spans(&doc).is_empty());
+        assert_eq!(parse_causal_span(&span_to_json(&sample_span())), None);
+    }
+
+    #[test]
+    fn causal_parser_survives_truncated_and_corrupted_lines() {
+        // Truncation at every byte boundary must never panic (PR 4 contract).
+        for kind in [SpanKind::NetRetry, SpanKind::Health, SpanKind::Adopt] {
+            let line = causal_span_to_json(&sample_causal(kind));
+            for cut in 0..line.len() {
+                assert_eq!(parse_causal_span(&line[..cut]), None, "cut at {cut}");
+            }
+        }
+        for line in [
+            "{\"type\":\"causal\",\"trace\":x,\"span\":1,\"parent\":0,\"kind\":\"round\",\"node\":0,\"detail\":0,\"start_s\":0,\"end_s\":0,\"ok\":true}",
+            "{\"type\":\"causal\",\"trace\":1,\"span\":1,\"parent\":0,\"kind\":\"warp\",\"node\":0,\"detail\":0,\"start_s\":0,\"end_s\":0,\"ok\":true}",
+            "{\"type\":\"causal\",\"trace\":-1,\"span\":1,\"parent\":0,\"kind\":\"round\",\"node\":0,\"detail\":0,\"start_s\":0,\"end_s\":0,\"ok\":true}",
+            "{\"type\":\"span\",\"trace\":1}",
+            "null",
+        ] {
+            assert_eq!(parse_causal_span(line), None, "accepted: {line}");
+        }
+    }
+
+    #[test]
+    fn trace_stream_hash_is_order_sensitive_and_deterministic() {
+        let a = sample_causal(SpanKind::NetSend);
+        let b = sample_causal(SpanKind::NetDeliver);
+        assert_eq!(trace_stream_hash(&[a, b]), trace_stream_hash(&[a, b]));
+        assert_ne!(trace_stream_hash(&[a, b]), trace_stream_hash(&[b, a]));
+        assert_ne!(trace_stream_hash(&[a]), trace_stream_hash(&[]));
+        // Known-answer for the empty stream: the FNV-1a offset basis.
+        assert_eq!(trace_stream_hash(&[]), 0xCBF2_9CE4_8422_2325);
+    }
+
+    #[test]
+    fn prometheus_text_renders_all_metric_kinds() {
+        let mut r = MetricsRegistry::new();
+        r.add("fleet.ticks_total", 12);
+        r.set("fleet.energy_j", 0.5);
+        r.observe("sched.tick.latency_s", 1e-3);
+        r.observe("sched.tick.latency_s", 2e-3);
+        let text = prometheus_text(&r);
+        assert!(text.contains("# TYPE fleet_ticks_total counter"));
+        assert!(text.contains("fleet_ticks_total 12"));
+        assert!(text.contains("# TYPE fleet_energy_j gauge"));
+        assert!(text.contains("fleet_energy_j 0.5"));
+        assert!(text.contains("# TYPE sched_tick_latency_s histogram"));
+        assert!(text.contains("sched_tick_latency_s_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("sched_tick_latency_s_count 2"));
+        assert!(text.contains("sched_tick_latency_s_sum 0.003"));
+        // No dots survive sanitization in sample names.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let name = line.split(['{', ' ']).next().unwrap();
+            assert!(!name.contains('.'), "unsanitized name: {line}");
+        }
+    }
+
+    /// Every non-comment line must parse as `name{labels} value` with a
+    /// valid metric name and a numeric value — the acceptance-criteria
+    /// format check.
+    fn assert_prometheus_wellformed(text: &str) {
+        for line in text.lines() {
+            if line.starts_with('#') {
+                assert!(line.starts_with("# TYPE "), "bad comment: {line}");
+                continue;
+            }
+            let (series, value) = line.rsplit_once(' ').expect("sample has value");
+            let name = series.split('{').next().unwrap();
+            assert!(!name.is_empty(), "empty name: {line}");
+            assert!(
+                name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                "bad name {name}: {line}"
+            );
+            assert!(!name.starts_with(|c: char| c.is_ascii_digit()));
+            if let Some(rest) = series.strip_prefix(name) {
+                if !rest.is_empty() {
+                    let inner = rest
+                        .strip_prefix('{')
+                        .and_then(|r| r.strip_suffix('}'))
+                        .unwrap_or_else(|| panic!("bad label block: {line}"));
+                    for pair in inner.split(',') {
+                        let (k, v) = pair.split_once('=').expect("label has =");
+                        assert!(!k.is_empty());
+                        assert!(v.starts_with('"') && v.ends_with('"'), "label {pair}");
+                    }
+                }
+            }
+            assert!(
+                value.parse::<f64>().is_ok() || value == "+Inf",
+                "bad value {value}: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn prometheus_lines_are_wellformed_with_and_without_labels() {
+        let mut r = MetricsRegistry::new();
+        r.add("net.msgs_sent_total", 5);
+        r.set("loop.trust_drift", 0.25);
+        for i in 1..=50 {
+            r.observe("stage.act.latency_s", i as f64 * 1e-4);
+        }
+        assert_prometheus_wellformed(&prometheus_text(&r));
+        let labeled = prometheus_text_with_labels(&r, &[("fleet", "edge-a"), ("shard", "3")]);
+        assert_prometheus_wellformed(&labeled);
+        assert!(labeled.contains("net_msgs_sent_total{fleet=\"edge-a\",shard=\"3\"} 5"));
+        assert!(labeled.contains("fleet=\"edge-a\",shard=\"3\",le=\"+Inf\""));
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative() {
+        let mut r = MetricsRegistry::new();
+        r.observe("h.latency_s", 1e-3);
+        r.observe("h.latency_s", 1e-3);
+        r.observe("h.latency_s", 1.0);
+        let text = prometheus_text(&r);
+        let cums: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("h_latency_s_bucket"))
+            .map(|l| l.rsplit_once(' ').unwrap().1.parse().unwrap())
+            .collect();
+        // Monotone non-decreasing, ending at the total count.
+        assert!(cums.windows(2).all(|w| w[0] <= w[1]), "{cums:?}");
+        assert_eq!(*cums.last().unwrap(), 3);
+        assert_eq!(cums[0], 2, "first nonzero bucket holds the two 1e-3s");
     }
 
     #[test]

@@ -827,6 +827,7 @@ impl<S, P, M, C, Ad, F> FallibleLoop<S, P, M, C, Ad, F> {
         Ad: AdaptationPolicy<S, C::Action>,
     {
         let tick = self.telemetry.ticks();
+        self.tracer.new_tick();
         let mut ctx = StageContext::new();
         // Decide this tick's numeric mode from current budget pressure and
         // stamp it into the context before any stage runs.

@@ -29,7 +29,11 @@
 //! benches), [`metrics`] provides a hermetic [`metrics::MetricsRegistry`]
 //! of counters, gauges and log-bucketed [`metrics::Histogram`]s, and
 //! [`export`] serializes spans/ticks as round-trippable JSONL plus a
-//! human-readable text report.
+//! human-readable text report and a Prometheus text exposition. On top of
+//! those, [`trace::FleetTracer`] collects *causally linked*
+//! [`trace::CausalSpan`]s — deterministic trace/span ids derived from seeds
+//! and structural indices — and [`health`] scores loop and fleet SLO state
+//! (healthy/degraded/critical) with hysteresis.
 //!
 //! ## Example
 //!
@@ -56,6 +60,7 @@ pub mod adapt;
 pub mod budget;
 pub mod export;
 pub mod fault;
+pub mod health;
 pub mod metrics;
 pub mod multi;
 pub mod precision;
@@ -71,6 +76,7 @@ pub use fault::{
     FallibleLoop, FallibleOutput, FaultInjector, FaultProfile, RecoveryPolicy, Reliable,
     StageError, TickResolution, TryPerceptor, TrySensor, WithFallback,
 };
+pub use health::{FleetHealth, HealthPolicy, HealthScorer, HealthSignals, HealthStatus};
 pub use loop_::{LoopBuilder, LoopOutput, SensingActionLoop};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use precision::{Precision, PrecisionGovernor, PrecisionPolicy};
@@ -78,5 +84,6 @@ pub use replay::{first_divergence, Divergence, Recording, RecordingMeta};
 pub use stage::{StageContext, Trust};
 pub use telemetry::{CommCounters, FaultCounters, LoopTelemetry, TickRecord};
 pub use trace::{
-    Clock, SimClock, Span, SpanGuard, StageBreakdown, StageCost, StageId, Tracer, WallClock,
+    CausalSpan, Clock, FleetTracer, SimClock, Span, SpanGuard, SpanKind, StageBreakdown, StageCost,
+    StageId, TraceContext, Tracer, WallClock,
 };

@@ -233,6 +233,15 @@ impl MetricsRegistry {
         *self.counters.entry(name).or_insert(0) += delta;
     }
 
+    /// Set counter `name` to an absolute value (last write wins).
+    ///
+    /// Exporters that re-publish a snapshot (e.g. a scrape endpoint reading
+    /// the same fleet report twice) use this instead of
+    /// [`MetricsRegistry::add`] so re-export is idempotent.
+    pub fn set_counter(&mut self, name: &'static str, value: u64) {
+        self.counters.insert(name, value);
+    }
+
     /// Counter value (0 if never incremented).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
@@ -282,6 +291,32 @@ impl MetricsRegistry {
     /// Whether nothing has been recorded.
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Merge another registry into this one: counters add, gauges add, and
+    /// histograms merge bucket-wise in O(buckets).
+    ///
+    /// This is the fleet-rollup primitive: per-loop registries fold into one
+    /// fleet-level registry whose totals equal what a single registry would
+    /// have recorded had every loop written into it directly. Gauges are
+    /// *summed* (additive rollup — energy, busy time); rollups that need a
+    /// different gauge semantic (e.g. last-write) should overwrite after
+    /// merging.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, v) in other.counters() {
+            *self.counters.entry(name).or_insert(0) += v;
+        }
+        for (name, v) in other.gauges() {
+            *self.gauges.entry(name).or_insert(0.0) += v;
+        }
+        for (name, hist) in other.histograms() {
+            match self.histograms.get_mut(name) {
+                Some(mine) => mine.merge(hist),
+                None => {
+                    self.histograms.insert(name, hist.clone());
+                }
+            }
+        }
     }
 }
 
@@ -465,5 +500,137 @@ mod tests {
         r.inc("a.first");
         let names: Vec<&str> = r.counters().map(|(n, _)| n).collect();
         assert_eq!(names, vec!["a.first", "b.second"]);
+    }
+
+    #[test]
+    fn set_counter_is_idempotent_overwrite() {
+        let mut r = MetricsRegistry::new();
+        r.set_counter("fleet.ticks_total", 10);
+        r.set_counter("fleet.ticks_total", 10);
+        assert_eq!(r.counter("fleet.ticks_total"), 10);
+        r.set_counter("fleet.ticks_total", 7);
+        assert_eq!(r.counter("fleet.ticks_total"), 7);
+    }
+
+    /// SplitMix64 — a tiny seeded generator for property tests.
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A positive sample spanning many octaves (~1e-9 .. ~1e5), plus
+    /// occasional zeros and edge-exact powers of two.
+    fn sample(state: &mut u64) -> f64 {
+        let r = splitmix(state);
+        match r % 16 {
+            0 => 0.0,
+            1 => (1u64 << ((r >> 8) % 20)) as f64, // exact edge values
+            _ => {
+                let mag = ((r >> 16) % 47) as i32 - 30; // 2^-30 .. 2^16
+                let frac = 1.0 + ((r >> 32) & 0xFFFF) as f64 / 65536.0;
+                frac * (mag as f64).exp2()
+            }
+        }
+    }
+
+    fn hist_of(seed: u64, n: usize) -> (Histogram, Vec<f64>) {
+        let mut state = seed;
+        let mut h = Histogram::new();
+        let mut vals = Vec::with_capacity(n);
+        for _ in 0..n {
+            let v = sample(&mut state);
+            h.record(v);
+            vals.push(v);
+        }
+        (h, vals)
+    }
+
+    fn assert_hist_eq(a: &Histogram, b: &Histogram) {
+        assert_eq!(a.count(), b.count());
+        assert_eq!(a.min().to_bits(), b.min().to_bits());
+        assert_eq!(a.max().to_bits(), b.max().to_bits());
+        assert_eq!(a.nonzero_buckets(), b.nonzero_buckets());
+        // Sums accumulate in different orders, so compare with a tolerance.
+        assert!((a.sum() - b.sum()).abs() <= 1e-9 * a.sum().abs().max(1.0));
+    }
+
+    #[test]
+    fn merge_matches_recording_all_samples_into_one() {
+        // Merging shard histograms must preserve exact bucket bounds and
+        // counts against the ground truth of one histogram that saw every
+        // sample directly.
+        for seed in [1u64, 99, 0xDEAD] {
+            let (a, va) = hist_of(seed, 500);
+            let (b, vb) = hist_of(seed ^ 0xF0F0, 700);
+            let (c, vc) = hist_of(seed.rotate_left(17), 300);
+            let mut truth = Histogram::new();
+            for v in va.iter().chain(&vb).chain(&vc) {
+                truth.record(*v);
+            }
+            let mut merged = a.clone();
+            merged.merge(&b);
+            merged.merge(&c);
+            assert_hist_eq(&merged, &truth);
+            // Quantiles of the merged histogram are identical to the truth's
+            // (same buckets, same counts, same exact max).
+            for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+                assert_eq!(merged.quantile(q).to_bits(), truth.quantile(q).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn merge_is_commutative_and_associative() {
+        let (a, _) = hist_of(11, 400);
+        let (b, _) = hist_of(22, 400);
+        let (c, _) = hist_of(33, 400);
+
+        // a ⊕ b == b ⊕ a
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_hist_eq(&ab, &ba);
+
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+        let mut ab_c = ab.clone();
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_hist_eq(&ab_c, &a_bc);
+
+        // Identity: merging an empty histogram changes nothing.
+        let mut id = a.clone();
+        id.merge(&Histogram::new());
+        assert_hist_eq(&id, &a);
+    }
+
+    #[test]
+    fn registry_merge_rolls_up_counters_gauges_histograms() {
+        let mut a = MetricsRegistry::new();
+        a.add("loop.ticks_total", 5);
+        a.set("loop.energy_j", 1.5);
+        a.observe("stage.sense.latency_s", 1e-3);
+
+        let mut b = MetricsRegistry::new();
+        b.add("loop.ticks_total", 3);
+        b.add("loop.faults_total", 2);
+        b.set("loop.energy_j", 0.5);
+        b.observe("stage.sense.latency_s", 2e-3);
+        b.observe("stage.act.latency_s", 4e-3);
+
+        a.merge(&b);
+        assert_eq!(a.counter("loop.ticks_total"), 8);
+        assert_eq!(a.counter("loop.faults_total"), 2);
+        assert_eq!(a.gauge("loop.energy_j"), Some(2.0));
+        assert_eq!(a.histogram("stage.sense.latency_s").unwrap().count(), 2);
+        assert_eq!(a.histogram("stage.act.latency_s").unwrap().count(), 1);
+        // b is unchanged (merge borrows).
+        assert_eq!(b.counter("loop.ticks_total"), 3);
     }
 }

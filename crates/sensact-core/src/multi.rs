@@ -221,7 +221,10 @@ pub struct BusCounters {
 #[derive(Debug)]
 pub struct ObservationBus {
     senders: Vec<Sender<ArcObservation>>,
-    receivers: Vec<Option<Receiver<ArcObservation>>>,
+    /// Untaken receiving endpoints, behind a mutex so the bus as a whole is
+    /// `Sync` (a bare `Receiver` is not) and can be shared across publisher
+    /// threads as its documentation promises.
+    receivers: Mutex<Vec<Option<Receiver<ArcObservation>>>>,
     published: AtomicU64,
     delivered: AtomicU64,
     rejected: AtomicU64,
@@ -239,7 +242,7 @@ impl ObservationBus {
         }
         ObservationBus {
             senders,
-            receivers,
+            receivers: Mutex::new(receivers),
             published: AtomicU64::new(0),
             delivered: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
@@ -251,8 +254,12 @@ impl ObservationBus {
     /// Returns `None` when `i` is out of range or the endpoint was already
     /// taken — a runtime that restarts a loop probes for its endpoint rather
     /// than trusting that nobody claimed it first, so neither case panics.
-    pub fn take_receiver(&mut self, i: usize) -> Option<Receiver<ArcObservation>> {
-        self.receivers.get_mut(i)?.take()
+    pub fn take_receiver(&self, i: usize) -> Option<Receiver<ArcObservation>> {
+        self.receivers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get_mut(i)?
+            .take()
     }
 
     /// Publish an observation from agent `from` to all other agents.
@@ -271,16 +278,20 @@ impl ObservationBus {
             self.rejected.fetch_add(1, Ordering::Relaxed);
             return;
         }
-        self.published.fetch_add(1, Ordering::Relaxed);
+        // `published` is bumped with Release *before* any delivery counter,
+        // and `counters()` reads it *after* the delivery counters with
+        // Acquire — so a concurrent snapshot can never observe deliveries
+        // from a publish it has not yet counted (see `counters`).
+        self.published.fetch_add(1, Ordering::Release);
         for (i, tx) in self.senders.iter().enumerate() {
             if i != from.0 {
                 // A disconnected peer (dropped receiver) is not an error.
                 match tx.send(obs.clone()) {
                     Ok(()) => {
-                        self.delivered.fetch_add(1, Ordering::Relaxed);
+                        self.delivered.fetch_add(1, Ordering::Release);
                     }
                     Err(_) => {
-                        self.rejected.fetch_add(1, Ordering::Relaxed);
+                        self.rejected.fetch_add(1, Ordering::Release);
                     }
                 }
             }
@@ -288,21 +299,43 @@ impl ObservationBus {
     }
 
     /// Snapshot the traffic counters.
+    ///
+    /// The snapshot is *causally consistent* under concurrent publishing:
+    /// delivery counters are loaded first (Acquire) and `published` last, so
+    /// every delivery or rejection the snapshot contains is matched by its
+    /// publish. Three independent `Relaxed` loads could instead observe a
+    /// torn state — deliveries from a publish whose `published` increment is
+    /// missing — which a concurrent exporter would report as
+    /// `delivered > published × (n−1)`.
     pub fn counters(&self) -> BusCounters {
+        let delivered = self.delivered.load(Ordering::Acquire);
+        let rejected = self.rejected.load(Ordering::Acquire);
+        let published = self.published.load(Ordering::Acquire);
         BusCounters {
-            published: self.published.load(Ordering::Relaxed),
-            delivered: self.delivered.load(Ordering::Relaxed),
-            rejected: self.rejected.load(Ordering::Relaxed),
+            published,
+            delivered,
+            rejected,
         }
     }
 
+    /// Number of agents on the bus.
+    pub fn len(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Whether the bus has no members.
+    pub fn is_empty(&self) -> bool {
+        self.senders.is_empty()
+    }
+
     /// Export the traffic counters into a [`MetricsRegistry`] under
-    /// `bus.*` names.
+    /// `bus.*` names. Idempotent: the counters are absolute totals, so
+    /// re-exporting the same bus overwrites rather than double-counts.
     pub fn export_into(&self, registry: &mut MetricsRegistry) {
         let c = self.counters();
-        registry.add("bus.published_total", c.published);
-        registry.add("bus.delivered_total", c.delivered);
-        registry.add("bus.rejected_total", c.rejected);
+        registry.set_counter("bus.published_total", c.published);
+        registry.set_counter("bus.delivered_total", c.delivered);
+        registry.set_counter("bus.rejected_total", c.rejected);
     }
 }
 
@@ -429,7 +462,7 @@ mod tests {
 
     #[test]
     fn bus_broadcasts_to_others_only() {
-        let mut bus = ObservationBus::new(3);
+        let bus = ObservationBus::new(3);
         let rx0 = bus.take_receiver(0).unwrap();
         let rx1 = bus.take_receiver(1).unwrap();
         let rx2 = bus.take_receiver(2).unwrap();
@@ -449,7 +482,7 @@ mod tests {
 
     #[test]
     fn bus_works_across_threads() {
-        let mut bus = ObservationBus::new(2);
+        let bus = ObservationBus::new(2);
         let rx1 = bus.take_receiver(1).unwrap();
         let handle = std::thread::spawn(move || rx1.recv().unwrap());
         bus.publish(
@@ -469,7 +502,7 @@ mod tests {
 
     #[test]
     fn bus_counters_track_publishes_deliveries_and_drops() {
-        let mut bus = ObservationBus::new(3);
+        let bus = ObservationBus::new(3);
         let _rx0 = bus.take_receiver(0).unwrap();
         let rx1 = bus.take_receiver(1).unwrap();
         drop(bus.take_receiver(2).unwrap()); // agent 2 went offline
@@ -495,6 +528,58 @@ mod tests {
         assert_eq!(reg.counter("bus.published_total"), 2);
         assert_eq!(reg.counter("bus.delivered_total"), 2);
         assert_eq!(reg.counter("bus.rejected_total"), 2);
+        // Re-export is idempotent: a scrape endpoint reading the same bus
+        // twice must not double-count.
+        bus.export_into(&mut reg);
+        assert_eq!(reg.counter("bus.published_total"), 2);
+        assert_eq!(reg.counter("bus.delivered_total"), 2);
+        assert_eq!(reg.counter("bus.rejected_total"), 2);
+        assert_eq!(bus.len(), 3);
+        assert!(!bus.is_empty());
+    }
+
+    #[test]
+    fn bus_counter_snapshots_are_causally_consistent_under_contention() {
+        // Two publisher threads hammer the bus while the main thread
+        // snapshots. Every snapshot must satisfy the causal invariant:
+        // deliveries + rejections never exceed published × (n−1) — i.e. no
+        // snapshot observes a delivery whose publish it has not counted.
+        let n = 4;
+        let bus = ObservationBus::new(n);
+        // Receivers stay alive (undrained) so sends succeed.
+        let _rxs: Vec<_> = (0..n).map(|i| bus.take_receiver(i).unwrap()).collect();
+        let bus = StdArc::new(bus);
+        let obs = |from: usize| ArcObservation {
+            from: AgentId(from),
+            arc: AzimuthArc {
+                start_deg: 0.0,
+                end_deg: 1.0,
+            },
+            payload: vec![],
+        };
+        let mut handles = Vec::new();
+        for from in 0..2 {
+            let bus = StdArc::clone(&bus);
+            let o = obs(from);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..2000 {
+                    bus.publish(AgentId(from), o.clone());
+                }
+            }));
+        }
+        for _ in 0..20_000 {
+            let c = bus.counters();
+            assert!(
+                c.delivered + c.rejected <= c.published * (n as u64 - 1),
+                "torn snapshot: {c:?}"
+            );
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let c = bus.counters();
+        assert_eq!(c.published, 4000);
+        assert_eq!(c.delivered + c.rejected, c.published * (n as u64 - 1));
     }
 
     #[test]
@@ -575,7 +660,7 @@ mod tests {
     #[test]
     #[cfg_attr(debug_assertions, should_panic(expected = "not a member"))]
     fn publish_from_nonmember_reaches_no_one() {
-        let mut bus = ObservationBus::new(2);
+        let bus = ObservationBus::new(2);
         let rx0 = bus.take_receiver(0).unwrap();
         let rx1 = bus.take_receiver(1).unwrap();
         // AgentId(2) is not on a 2-agent bus. Debug builds panic; release
@@ -670,7 +755,7 @@ mod tests {
 
     #[test]
     fn take_receiver_is_none_on_repeat_or_out_of_range() {
-        let mut bus = ObservationBus::new(2);
+        let bus = ObservationBus::new(2);
         assert!(bus.take_receiver(5).is_none(), "out-of-range index");
         let rx = bus.take_receiver(0);
         assert!(rx.is_some());

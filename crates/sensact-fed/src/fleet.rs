@@ -24,13 +24,46 @@ use crate::client::Client;
 use crate::data::Dataset;
 use crate::server::{aggregate_masked, apply_strategy, MaskedUpdate, Strategy};
 use crate::sim::{NetCounters, NetworkConfig, SimNetwork};
-use sensact_core::trace::SimClock;
-use sensact_core::{LoopTelemetry, Precision, StageError, Trust};
+use sensact_core::export::trace_stream_hash;
+use sensact_core::trace::{trace_mix, SimClock};
+use sensact_core::{
+    CausalSpan, FleetTracer, LoopTelemetry, Precision, SpanKind, StageError, TraceContext, Trust,
+};
 use sensact_sched::{
     DynLoop, EnergyArbiter, FleetConfig, FleetReport, FleetScheduler, LoopHandle, LoopSpec,
     TickOutcome,
 };
 use std::sync::{Arc, Mutex};
+
+/// Salt mixed into federated round trace ids, keeping them disjoint from the
+/// scheduler's own tick traces derived from the same seeds.
+const ROUND_TRACE_SALT: u64 = 0xFED0_0500;
+
+/// Root context of server round `round`'s causal trace. A pure function of
+/// `(trace seed, round)`: clients, the server, and offline reconstruction
+/// all derive the same ids without any context handoff — that is how a
+/// network message "carries" its trace context without serialising it.
+pub fn round_trace_root(trace_seed: u64, round: u64) -> TraceContext {
+    let trace_id = trace_mix(trace_seed ^ ROUND_TRACE_SALT, &[round]);
+    TraceContext::root(trace_id, &[SpanKind::Round.tag()])
+}
+
+/// Context of round `round`'s server-aggregation span.
+pub fn round_aggregate_context(trace_seed: u64, round: u64) -> TraceContext {
+    round_trace_root(trace_seed, round).child(&[SpanKind::ServerAggregate.tag()])
+}
+
+/// Context of the broadcast of round `round`'s model towards `client`.
+pub fn broadcast_context(trace_seed: u64, round: u64, client: u64) -> TraceContext {
+    round_aggregate_context(trace_seed, round).child(&[SpanKind::Broadcast.tag(), client])
+}
+
+/// Context of `client`'s tick `tick_idx` span: the tick uploads towards the
+/// cutoff of server round `tick_idx + 1`, so it belongs to that round's
+/// trace.
+pub fn client_tick_context(trace_seed: u64, tick_idx: u64, client: u64) -> TraceContext {
+    round_trace_root(trace_seed, tick_idx + 1).child(&[SpanKind::ClientTick.tag(), client])
+}
 
 /// Scheduled-federation configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -82,6 +115,10 @@ struct GlobalModel {
     params: Vec<f64>,
     /// Aggregation generation (0 = the initial model all clients hold).
     version: u64,
+    /// Server round whose cutoff produced this version (trace parentage:
+    /// a broadcast of this version parents under that round's aggregation
+    /// span).
+    round: u64,
     /// Virtual time the broadcast of this version started.
     publish_s: f64,
 }
@@ -91,6 +128,10 @@ struct Shared {
     net: Mutex<SimNetwork>,
     inbox: Mutex<Vec<Delivery>>,
     global: Mutex<GlobalModel>,
+    /// Causal tracer (disabled unless the run was started traced).
+    tracer: Arc<FleetTracer>,
+    /// Seed all round trace ids derive from.
+    trace_seed: u64,
 }
 
 /// Server-side aggregation accounting.
@@ -122,8 +163,9 @@ struct FedClientLoop {
     wire_bits: u8,
     /// Latest version a downlink transfer was drawn for (drawn once each).
     checked_version: u64,
-    /// A delivered-but-not-yet-arrived broadcast: (version, ready_s, params).
-    pending: Option<(u64, f64, Vec<f64>)>,
+    /// A delivered-but-not-yet-arrived broadcast:
+    /// (version, producing round, ready_s, params).
+    pending: Option<(u64, u64, f64, Vec<f64>)>,
 }
 
 impl FedClientLoop {
@@ -132,33 +174,76 @@ impl FedClientLoop {
     /// at the first tick that starts after its delivery time. A lost
     /// broadcast means training on stale parameters until the next version.
     fn maybe_download(&mut self) {
-        let (version, publish_s, params) = {
+        let (version, round, publish_s, params) = {
             let g = self.shared.global.lock().unwrap_or_else(|e| e.into_inner());
             if g.version <= self.checked_version {
-                (0, 0.0, None)
+                (0, 0, 0.0, None)
             } else {
-                (g.version, g.publish_s, Some(g.params.clone()))
+                (g.version, g.round, g.publish_s, Some(g.params.clone()))
             }
         };
         if let Some(params) = params {
             self.checked_version = version;
+            let id = self.client.id as u64;
             // Broadcast at 16-bit wire precision.
             let bytes = (params.len() as u64 * 16).div_ceil(8);
+            let tracer = &self.shared.tracer;
             let t = {
                 let mut net = self.shared.net.lock().unwrap_or_else(|e| e.into_inner());
-                net.transfer(SimNetwork::SERVER, self.client.id as u64, bytes, publish_s)
+                if tracer.is_enabled() {
+                    let bctx = broadcast_context(self.shared.trace_seed, round, id);
+                    let t = net.transfer_traced(
+                        SimNetwork::SERVER,
+                        id,
+                        bytes,
+                        publish_s,
+                        tracer,
+                        &bctx,
+                    );
+                    tracer.record(CausalSpan {
+                        trace_id: bctx.trace_id,
+                        span_id: bctx.span_id,
+                        parent_id: bctx.parent_id,
+                        kind: SpanKind::Broadcast,
+                        node: id,
+                        detail: version,
+                        start_s: publish_s,
+                        end_s: publish_s + t.delay_s,
+                        ok: t.delivered,
+                    });
+                    t
+                } else {
+                    net.transfer(SimNetwork::SERVER, id, bytes, publish_s)
+                }
             };
             if t.delivered {
-                self.pending = Some((version, publish_s + t.delay_s, params));
+                self.pending = Some((version, round, publish_s + t.delay_s, params));
             }
         }
-        if let Some((version, ready_s, params)) = self.pending.take() {
+        if let Some((version, round, ready_s, params)) = self.pending.take() {
             if ready_s <= self.tick_start_s {
                 self.client.set_params_flat(&params);
                 let bytes = (params.len() as u64 * 16).div_ceil(8);
                 self.telemetry.record_comm_rx(bytes);
+                let tracer = &self.shared.tracer;
+                if tracer.is_enabled() {
+                    let id = self.client.id as u64;
+                    let actx = broadcast_context(self.shared.trace_seed, round, id)
+                        .child(&[SpanKind::Adopt.tag()]);
+                    tracer.record(CausalSpan {
+                        trace_id: actx.trace_id,
+                        span_id: actx.span_id,
+                        parent_id: actx.parent_id,
+                        kind: SpanKind::Adopt,
+                        node: id,
+                        detail: version,
+                        start_s: self.tick_start_s,
+                        end_s: self.tick_start_s,
+                        ok: true,
+                    });
+                }
             } else {
-                self.pending = Some((version, ready_s, params));
+                self.pending = Some((version, round, ready_s, params));
             }
         }
     }
@@ -182,9 +267,31 @@ impl DynLoop for FedClientLoop {
         // communication throttle.
         let bytes = self.client.upload_bytes(self.wire_bits);
         let send_s = self.tick_start_s + latency_s;
+        let id = self.client.id as u64;
+        let tracer = Arc::clone(&self.shared.tracer);
+        let tick_ctx = tracer.is_enabled().then(|| {
+            let ctx = client_tick_context(self.shared.trace_seed, self.tick_idx, id);
+            tracer.record(CausalSpan {
+                trace_id: ctx.trace_id,
+                span_id: ctx.span_id,
+                parent_id: ctx.parent_id,
+                kind: SpanKind::ClientTick,
+                node: id,
+                detail: self.tick_idx,
+                start_s: self.tick_start_s,
+                end_s: send_s,
+                ok: true,
+            });
+            ctx
+        });
         let t = {
             let mut net = self.shared.net.lock().unwrap_or_else(|e| e.into_inner());
-            net.transfer(self.client.id as u64, SimNetwork::SERVER, bytes, send_s)
+            match &tick_ctx {
+                Some(ctx) => {
+                    net.transfer_traced(id, SimNetwork::SERVER, bytes, send_s, &tracer, ctx)
+                }
+                None => net.transfer(id, SimNetwork::SERVER, bytes, send_s),
+            }
         };
         self.telemetry
             .record_comm_tx(bytes, t.attempts - 1, t.delivered, t.delay_s);
@@ -278,7 +385,23 @@ fn drain_and_aggregate(
     let mut g = shared.global.lock().unwrap_or_else(|e| e.into_inner());
     g.params = aggregate_masked(&updates, &g.params);
     g.version += 1;
+    g.round = round;
     g.publish_s = cutoff_s + AGG_LATENCY_BASE_S + AGG_LATENCY_PER_UPDATE_S * updates.len() as f64;
+    drop(g);
+    if shared.tracer.is_enabled() {
+        let actx = round_aggregate_context(shared.trace_seed, round);
+        shared.tracer.record(CausalSpan {
+            trace_id: actx.trace_id,
+            span_id: actx.span_id,
+            parent_id: actx.parent_id,
+            kind: SpanKind::ServerAggregate,
+            node: SimNetwork::SERVER,
+            detail: updates.len() as u64,
+            start_s: cutoff_s,
+            end_s: cutoff_s + AGG_LATENCY_BASE_S + AGG_LATENCY_PER_UPDATE_S * updates.len() as f64,
+            ok: true,
+        });
+    }
     updates.len()
 }
 
@@ -288,6 +411,8 @@ struct FedServerLoop {
     telemetry: LoopTelemetry,
     tick_start_s: f64,
     round: u64,
+    /// Cutoff of the previous round — the start of the current one's span.
+    last_cutoff_s: f64,
     stats: Arc<Mutex<ServerStats>>,
     fleet_size: usize,
 }
@@ -309,6 +434,32 @@ impl DynLoop for FedServerLoop {
             self.tick_start_s,
             self.round,
         );
+        if self.shared.tracer.is_enabled() {
+            // The round's root span: previous cutoff to this one (extended
+            // to the publish instant when the cutoff aggregated anything).
+            let root = round_trace_root(self.shared.trace_seed, self.round);
+            let end_s = if aggregated > 0 {
+                self.shared
+                    .global
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .publish_s
+            } else {
+                self.tick_start_s
+            };
+            self.shared.tracer.record(CausalSpan {
+                trace_id: root.trace_id,
+                span_id: root.span_id,
+                parent_id: root.parent_id,
+                kind: SpanKind::Round,
+                node: SimNetwork::SERVER,
+                detail: self.round,
+                start_s: self.last_cutoff_s,
+                end_s,
+                ok: aggregated > 0,
+            });
+        }
+        self.last_cutoff_s = self.tick_start_s;
         self.round += 1;
         let latency_s = AGG_LATENCY_BASE_S + AGG_LATENCY_PER_UPDATE_S * aggregated as f64;
         let energy_j = AGG_ENERGY_PER_UPDATE_J * aggregated.max(1) as f64;
@@ -352,6 +503,9 @@ pub struct FedFleetReport {
     /// Combined fleet ⊕ network trace hash — bit-for-bit reproducible from
     /// the two seeds.
     pub trace_hash: u64,
+    /// FNV-1a hash of the causal-span stream's JSONL export (0 when the run
+    /// was untraced). Two identically-seeded traced runs agree bit-for-bit.
+    pub span_stream_hash: u64,
     /// Server-side aggregation accounting.
     pub server: ServerStats,
     /// Network counters (sent/delivered/dropped/retransmits/bytes).
@@ -418,12 +572,43 @@ fn derive_round_period(clients: &[Client], epochs: usize, net: &NetworkConfig) -
 ///
 /// Panics if `clients` is empty.
 pub fn run_federated_scheduled(
+    clients: Vec<Client>,
+    strategy: Strategy,
+    config: &FedFleetConfig,
+    net_config: NetworkConfig,
+    test: &Dataset,
+    partitions: &[(u64, f64, f64)],
+) -> FedFleetReport {
+    run_federated_scheduled_traced(
+        clients,
+        strategy,
+        config,
+        net_config,
+        test,
+        partitions,
+        Arc::new(FleetTracer::disabled()),
+    )
+}
+
+/// [`run_federated_scheduled`] with causal tracing: the shared `tracer`
+/// collects the full cross-layer span stream — scheduler ticks and comm
+/// tails, client ticks, every network send/retry/deliver/drop, round roots,
+/// server aggregations, broadcasts, and adoptions — with all ids derived
+/// from the two seeds, so one federated round reconstructs end-to-end as a
+/// span tree and two identically-seeded runs export bit-identical streams
+/// ([`FedFleetReport::span_stream_hash`]).
+///
+/// # Panics
+///
+/// Panics if `clients` is empty.
+pub fn run_federated_scheduled_traced(
     mut clients: Vec<Client>,
     strategy: Strategy,
     config: &FedFleetConfig,
     net_config: NetworkConfig,
     test: &Dataset,
     partitions: &[(u64, f64, f64)],
+    tracer: Arc<FleetTracer>,
 ) -> FedFleetReport {
     assert!(!clients.is_empty(), "no clients");
     apply_strategy(&mut clients, strategy);
@@ -448,14 +633,20 @@ pub fn run_federated_scheduled(
     for &(node, from_s, until_s) in partitions {
         net.partition(node, from_s, until_s);
     }
+    // One trace seed covers the whole plane: scheduler, network, and round
+    // span ids all re-derive from the same pair of run seeds.
+    let trace_seed = fnv_combine(config.seed, net_config.seed);
     let shared = Arc::new(Shared {
         net: Mutex::new(net),
         inbox: Mutex::new(Vec::new()),
         global: Mutex::new(GlobalModel {
             params: global0,
             version: 0,
+            round: 0,
             publish_s: 0.0,
         }),
+        tracer: Arc::clone(&tracer),
+        trace_seed,
     });
     let server_stats = Arc::new(Mutex::new(ServerStats::default()));
 
@@ -464,6 +655,7 @@ pub fn run_federated_scheduled(
         watts_cap: config.watts_cap,
         seed: config.seed,
     });
+    sched.set_tracer(Arc::clone(&tracer));
     for client in clients {
         let name = format!("fed-client-{}", client.id);
         sched.register(
@@ -490,6 +682,7 @@ pub fn run_federated_scheduled(
             telemetry: LoopTelemetry::new(),
             tick_start_s: 0.0,
             round: 0,
+            last_cutoff_s: 0.0,
             stats: server_stats.clone(),
             fleet_size,
         })),
@@ -529,6 +722,11 @@ pub fn run_federated_scheduled(
     let trace_hash = fnv_combine(fleet_report.trace_hash, net.trace_hash());
     let net_counters = net.counters();
     drop(net);
+    let span_stream_hash = if tracer.is_enabled() {
+        trace_stream_hash(&tracer.spans())
+    } else {
+        0
+    };
     let server_stats = *server_stats.lock().unwrap_or_else(|e| e.into_inner());
     FedFleetReport {
         strategy,
@@ -538,6 +736,7 @@ pub fn run_federated_scheduled(
         sync_latency_s,
         round_period_s: period_s,
         trace_hash,
+        span_stream_hash,
         server: server_stats,
         net: net_counters,
         fleet: fleet_report,
@@ -638,8 +837,11 @@ mod tests {
             global: Mutex::new(GlobalModel {
                 params: global0,
                 version: 0,
+                round: 0,
                 publish_s: 0.0,
             }),
+            tracer: Arc::new(FleetTracer::disabled()),
+            trace_seed: 0,
         });
         let mut lp = FedClientLoop {
             client,
@@ -679,6 +881,132 @@ mod tests {
         let before = bytes_delivered();
         let _ = lp.tick_once();
         assert_eq!(bytes_delivered() - before, full.div_ceil(2));
+    }
+
+    /// One aggregated round of a traced run reconstructs end-to-end as a
+    /// span tree — client tick → uplink sends → server aggregation →
+    /// broadcast → adoption — with every id re-derivable from the two run
+    /// seeds alone, and the exported stream bit-identical across runs.
+    #[test]
+    fn traced_round_reconstructs_as_a_span_tree() {
+        use std::collections::HashMap;
+        let run = || {
+            let (clients, test) = fleet(5, 9);
+            let config = FedFleetConfig {
+                rounds: 3,
+                local_epochs: 1,
+                seed: 7,
+                ..FedFleetConfig::default()
+            };
+            let net = NetworkConfig::edge(3).with_loss(0.05);
+            let tracer = Arc::new(FleetTracer::new());
+            let report = run_federated_scheduled_traced(
+                clients,
+                Strategy::DcNas,
+                &config,
+                net,
+                &test,
+                &[],
+                Arc::clone(&tracer),
+            );
+            (report, tracer.spans())
+        };
+        let (a, spans) = run();
+        let (b, spans_b) = run();
+        assert_ne!(a.span_stream_hash, 0, "traced run must export spans");
+        assert_eq!(
+            a.span_stream_hash, b.span_stream_hash,
+            "span stream must reproduce bit-for-bit from the seeds"
+        );
+        assert_eq!(spans.len(), spans_b.len());
+        assert_eq!(a.trace_hash, b.trace_hash);
+
+        let trace_seed = fnv_combine(7, 3);
+        let by_id: HashMap<u64, &CausalSpan> = spans.iter().map(|s| (s.span_id, s)).collect();
+
+        // An aggregated round's root re-derives from the seeds alone.
+        let round_span = spans
+            .iter()
+            .find(|s| s.kind == SpanKind::Round && s.ok)
+            .expect("at least one aggregated round");
+        let round = round_span.detail;
+        let root = round_trace_root(trace_seed, round);
+        assert_eq!(
+            (
+                round_span.trace_id,
+                round_span.span_id,
+                round_span.parent_id
+            ),
+            (root.trace_id, root.span_id, 0)
+        );
+
+        // Its server aggregation hangs off the root …
+        let agg = round_aggregate_context(trace_seed, round);
+        let agg_span = by_id.get(&agg.span_id).expect("aggregate span recorded");
+        assert_eq!(agg_span.kind, SpanKind::ServerAggregate);
+        assert_eq!(agg_span.parent_id, round_span.span_id);
+        assert!(
+            agg_span.detail > 0,
+            "an ok round folded at least one update"
+        );
+
+        // … fed by the previous period's client ticks (tick r-1 uploads
+        // into round r), each parenting its own uplink sends.
+        let ticks: Vec<&CausalSpan> = spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::ClientTick && s.trace_id == root.trace_id)
+            .collect();
+        assert!(!ticks.is_empty(), "round has feeding client ticks");
+        for t in &ticks {
+            assert_eq!(t.parent_id, root.span_id);
+            let expect = client_tick_context(trace_seed, round - 1, t.node);
+            assert_eq!((expect.trace_id, expect.span_id), (t.trace_id, t.span_id));
+        }
+
+        // Broadcasts of this round's model hang off its aggregation, and
+        // every adoption off the broadcast that delivered it.
+        let bcasts: Vec<&CausalSpan> = spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::Broadcast && s.parent_id == agg_span.span_id)
+            .collect();
+        assert!(!bcasts.is_empty(), "aggregated model gets broadcast");
+        for bc in &bcasts {
+            assert_eq!(
+                broadcast_context(trace_seed, round, bc.node).span_id,
+                bc.span_id
+            );
+        }
+        let adopt_spans: Vec<&CausalSpan> =
+            spans.iter().filter(|s| s.kind == SpanKind::Adopt).collect();
+        assert!(
+            !adopt_spans.is_empty(),
+            "at least one client adopts a global"
+        );
+        for s in &adopt_spans {
+            assert_eq!(by_id[&s.parent_id].kind, SpanKind::Broadcast);
+        }
+
+        // Network spans link under their owning tick or broadcast, retries
+        // and terminals under their send.
+        for s in spans.iter().filter(|s| s.kind == SpanKind::NetSend) {
+            let parent = by_id.get(&s.parent_id).expect("send has a recorded parent");
+            assert!(matches!(
+                parent.kind,
+                SpanKind::ClientTick | SpanKind::Broadcast
+            ));
+        }
+        for s in spans.iter().filter(|s| {
+            matches!(
+                s.kind,
+                SpanKind::NetRetry | SpanKind::NetDeliver | SpanKind::NetDrop
+            )
+        }) {
+            assert_eq!(by_id[&s.parent_id].kind, SpanKind::NetSend);
+        }
+
+        // Scheduler ticks ride the same stream (the fed tracer is shared
+        // with the fleet scheduler).
+        assert!(spans.iter().any(|s| s.kind == SpanKind::SchedTick));
     }
 
     /// A fleet burning past its watts cap gets throttled: releases stretch,

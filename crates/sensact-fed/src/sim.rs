@@ -26,6 +26,7 @@
 //! schedule agree on the hash, and a single reordered or re-drawn delivery
 //! diverges.
 
+use sensact_core::{CausalSpan, FleetTracer, SpanKind, TraceContext};
 use std::collections::HashMap;
 
 /// Simulated network parameters. All rates/latencies are in virtual seconds.
@@ -215,6 +216,37 @@ impl SimNetwork {
     /// the link, how many transfers this link has carried, and the partition
     /// windows covering the attempts — not on call order across links.
     pub fn transfer(&mut self, src: u64, dst: u64, bytes: u64, send_s: f64) -> Transfer {
+        self.transfer_impl(src, dst, bytes, send_s, None)
+    }
+
+    /// [`SimNetwork::transfer`], additionally emitting causal spans under
+    /// `parent`: a `NetSend` span covering the whole transfer, one
+    /// `NetRetry` child per re-attempt, and a terminal `NetDeliver` or
+    /// `NetDrop` child at the destination. The message "carries" its context
+    /// without serialising it — span ids are pure functions of
+    /// `(parent, link, msg index, attempt)`, so the receiving side can
+    /// re-derive them. The transfer outcome is identical to the untraced
+    /// call: tracing observes the schedule, never perturbs it.
+    pub fn transfer_traced(
+        &mut self,
+        src: u64,
+        dst: u64,
+        bytes: u64,
+        send_s: f64,
+        tracer: &FleetTracer,
+        parent: &TraceContext,
+    ) -> Transfer {
+        self.transfer_impl(src, dst, bytes, send_s, Some((tracer, parent)))
+    }
+
+    fn transfer_impl(
+        &mut self,
+        src: u64,
+        dst: u64,
+        bytes: u64,
+        send_s: f64,
+        trace: Option<(&FleetTracer, &TraceContext)>,
+    ) -> Transfer {
         let msg = {
             let counter = self.links.entry((src, dst)).or_insert(0);
             let m = *counter;
@@ -232,6 +264,9 @@ impl SimNetwork {
         } else {
             1.0
         };
+        let send_ctx =
+            trace.map(|(_, parent)| parent.child(&[SpanKind::NetSend.tag(), src, dst, msg]));
+        let mut retry_spans: Vec<CausalSpan> = Vec::new();
         let mut elapsed_s = serialize_s;
         let mut delivered = false;
         let mut attempts = 0u32;
@@ -241,17 +276,36 @@ impl SimNetwork {
             let cut = self.is_partitioned(src, attempt_start_s)
                 || self.is_partitioned(dst, attempt_start_s);
             let lost = unit(mix(cfg.seed ^ LOSS_SALT, &[src, dst, msg, attempt as u64])) < cfg.loss;
-            if cut || lost {
+            let ok = !(cut || lost);
+            if ok {
+                let jitter = unit(mix(
+                    cfg.seed ^ JITTER_SALT,
+                    &[src, dst, msg, attempt as u64],
+                )) * cfg.jitter_s;
+                elapsed_s += cfg.base_latency_s * straggle + jitter;
+                delivered = true;
+            } else {
                 elapsed_s += cfg.retry_timeout_s.max(cfg.base_latency_s);
-                continue;
             }
-            let jitter = unit(mix(
-                cfg.seed ^ JITTER_SALT,
-                &[src, dst, msg, attempt as u64],
-            )) * cfg.jitter_s;
-            elapsed_s += cfg.base_latency_s * straggle + jitter;
-            delivered = true;
-            break;
+            if attempt > 0 {
+                if let Some(ctx) = &send_ctx {
+                    let rctx = ctx.child(&[SpanKind::NetRetry.tag(), attempt as u64]);
+                    retry_spans.push(CausalSpan {
+                        trace_id: rctx.trace_id,
+                        span_id: rctx.span_id,
+                        parent_id: rctx.parent_id,
+                        kind: SpanKind::NetRetry,
+                        node: src,
+                        detail: attempt as u64,
+                        start_s: attempt_start_s,
+                        end_s: send_s + elapsed_s,
+                        ok,
+                    });
+                }
+            }
+            if delivered {
+                break;
+            }
         }
         self.counters.msgs_sent += 1;
         if delivered {
@@ -262,6 +316,39 @@ impl SimNetwork {
         }
         self.counters.retransmits += (attempts - 1) as u64;
         self.fold_trace(src, dst, msg, delivered, elapsed_s);
+        if let (Some((tracer, _)), Some(ctx)) = (trace, &send_ctx) {
+            tracer.record(CausalSpan {
+                trace_id: ctx.trace_id,
+                span_id: ctx.span_id,
+                parent_id: ctx.parent_id,
+                kind: SpanKind::NetSend,
+                node: src,
+                detail: msg,
+                start_s: send_s,
+                end_s: send_s + elapsed_s,
+                ok: delivered,
+            });
+            for span in retry_spans {
+                tracer.record(span);
+            }
+            let kind = if delivered {
+                SpanKind::NetDeliver
+            } else {
+                SpanKind::NetDrop
+            };
+            let tctx = ctx.child(&[kind.tag()]);
+            tracer.record(CausalSpan {
+                trace_id: tctx.trace_id,
+                span_id: tctx.span_id,
+                parent_id: tctx.parent_id,
+                kind,
+                node: dst,
+                detail: attempts as u64,
+                start_s: send_s + elapsed_s,
+                end_s: send_s + elapsed_s,
+                ok: delivered,
+            });
+        }
         Transfer {
             delivered,
             delay_s: elapsed_s,
@@ -412,6 +499,65 @@ mod tests {
         }
         let (slow, fast) = (slow.unwrap(), fast.unwrap());
         assert!(slow > 5.0 * fast, "straggler {slow} vs normal {fast}");
+    }
+
+    /// Tracing observes a transfer without perturbing it, and the emitted
+    /// spans reconstruct as send → retries → deliver/drop under the caller's
+    /// parent context.
+    #[test]
+    fn traced_transfer_matches_untraced_and_links_spans() {
+        let cfg = NetworkConfig::edge(5).with_loss(0.6);
+        let mut plain = SimNetwork::new(cfg);
+        let mut traced = SimNetwork::new(cfg);
+        let tracer = FleetTracer::new();
+        let parent = TraceContext::root(0xF00D, &[1]);
+        for k in 0..30u64 {
+            let a = plain.transfer(2, SimNetwork::SERVER, 256, k as f64);
+            let b = traced.transfer_traced(2, SimNetwork::SERVER, 256, k as f64, &tracer, &parent);
+            assert_eq!(a, b, "tracing must not perturb the schedule");
+        }
+        assert_eq!(plain.trace_hash(), traced.trace_hash());
+        let spans = tracer.spans();
+        let sends: Vec<&CausalSpan> = spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::NetSend)
+            .collect();
+        assert_eq!(sends.len(), 30);
+        for send in &sends {
+            assert_eq!(send.parent_id, parent.span_id);
+            assert_eq!(send.trace_id, parent.trace_id);
+        }
+        // 60% loss over 30 messages: retries are near-certain, and every
+        // retry/terminal span parents under its message's send span.
+        let retries = spans.iter().filter(|s| s.kind == SpanKind::NetRetry);
+        let mut saw_retry = false;
+        for r in retries {
+            saw_retry = true;
+            assert!(sends.iter().any(|s| s.span_id == r.parent_id));
+        }
+        assert!(saw_retry, "0.6 loss must force at least one retry in 30");
+        for s in &spans {
+            let terminal = s.kind == SpanKind::NetDeliver || s.kind == SpanKind::NetDrop;
+            if terminal {
+                assert_eq!(s.node, SimNetwork::SERVER);
+                let send = sends.iter().find(|p| p.span_id == s.parent_id).unwrap();
+                assert_eq!(s.ok, send.ok);
+                assert!((s.start_s - send.end_s).abs() < 1e-12);
+            }
+        }
+        let delivered = plain.counters().msgs_delivered as usize;
+        let dropped = plain.counters().msgs_dropped as usize;
+        assert_eq!(
+            spans
+                .iter()
+                .filter(|s| s.kind == SpanKind::NetDeliver)
+                .count(),
+            delivered
+        );
+        assert_eq!(
+            spans.iter().filter(|s| s.kind == SpanKind::NetDrop).count(),
+            dropped
+        );
     }
 
     #[test]

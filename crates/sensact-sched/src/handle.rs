@@ -11,7 +11,9 @@
 use sensact_core::adapt::AdaptationPolicy;
 use sensact_core::fault::{FailSafe, FiniteCheck, TryPerceptor, TrySensor};
 use sensact_core::stage::{Controller, Monitor, Perceptor, Sensor};
-use sensact_core::{FallibleLoop, LoopTelemetry, Precision, SensingActionLoop, StageError};
+use sensact_core::{
+    FallibleLoop, LoopTelemetry, Precision, SensingActionLoop, StageError, TraceContext,
+};
 
 /// What one multiplexed tick cost, as observed by the scheduler.
 ///
@@ -68,6 +70,14 @@ pub trait DynLoop: Send {
     /// recommendation) to the loop's precision governor. Loops without a
     /// governor — and custom runners that don't override this — ignore it.
     fn set_precision_hint(&mut self, _hint: Option<Precision>) {}
+
+    /// Hand the loop the causal [`TraceContext`] of the tick about to run.
+    /// When fleet tracing is enabled the scheduler calls this immediately
+    /// before [`DynLoop::tick_once`], so a communicating loop (a federated
+    /// client, say) can parent its own causal spans — uploads, adoptions —
+    /// under the scheduler's tick span and one distributed operation
+    /// reconstructs as a single trace tree. Loops that don't trace ignore it.
+    fn set_trace_context(&mut self, _ctx: TraceContext) {}
 }
 
 /// A [`SensingActionLoop`] closed over its environment.
@@ -267,6 +277,12 @@ impl LoopHandle {
     /// [`DynLoop::set_precision_hint`]).
     pub fn set_precision_hint(&mut self, hint: Option<Precision>) {
         self.inner.set_precision_hint(hint);
+    }
+
+    /// Hand the loop its tick's causal trace context (see
+    /// [`DynLoop::set_trace_context`]).
+    pub fn set_trace_context(&mut self, ctx: TraceContext) {
+        self.inner.set_trace_context(ctx);
     }
 }
 

@@ -68,6 +68,7 @@ mod queue;
 pub use arbiter::EnergyArbiter;
 pub use handle::{DynLoop, LoopHandle, TickOutcome};
 pub use sched::{
-    FleetConfig, FleetReport, FleetScheduler, LoopId, LoopSpec, LoopStats, LoopSummary,
-    DEFAULT_QUEUE_CAPACITY,
+    FleetConfig, FleetReport, FleetScheduler, Incident, IncidentReason, LoopId, LoopSpec,
+    LoopStats, LoopSummary, DEFAULT_QUEUE_CAPACITY, FLIGHT_RECORDER_CAPACITY, HEALTH_WINDOW_TICKS,
+    MAX_INCIDENTS,
 };

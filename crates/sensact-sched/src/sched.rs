@@ -30,15 +30,43 @@
 use crate::arbiter::EnergyArbiter;
 use crate::handle::LoopHandle;
 use crate::queue::{tie_break, Release, ShardedQueue};
-use sensact_core::trace::SimClock;
-use sensact_core::{Histogram, LoopTelemetry, MetricsRegistry};
+use sensact_core::health::{encode_transition, HealthScorer};
+use sensact_core::trace::{trace_mix, SimClock};
+use sensact_core::{
+    CausalSpan, FleetHealth, FleetTracer, HealthPolicy, HealthSignals, HealthStatus, Histogram,
+    LoopTelemetry, MetricsRegistry, SpanKind, TraceContext,
+};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Default bound on a loop's pending-tick backlog.
 pub const DEFAULT_QUEUE_CAPACITY: usize = 4;
+
+/// Salt mixed into scheduler-owned trace ids, keeping tick traces disjoint
+/// from the federated round traces derived from the same fleet seed.
+const SCHED_TRACE_SALT: u64 = 0x5C4E_D71C;
+
+/// Salt for health-transition trace ids.
+const HEALTH_TRACE_SALT: u64 = 0x5C4E_D41F;
+
+/// Causal spans each worker's flight recorder retains (ring buffer).
+pub const FLIGHT_RECORDER_CAPACITY: usize = 32;
+
+/// Per-loop completion window between health evaluations in deterministic
+/// runs — small enough to catch a storm mid-run, large enough for the rates
+/// to mean something.
+pub const HEALTH_WINDOW_TICKS: u64 = 16;
+
+/// Bound on flight-recorder incidents one run will capture.
+pub const MAX_INCIDENTS: usize = 8;
+
+/// Sliding completion window the miss-storm invariant watches per worker.
+const MISS_STORM_WINDOW: usize = 8;
+
+/// Misses within [`MISS_STORM_WINDOW`] that trip the invariant.
+const MISS_STORM_THRESHOLD: usize = 6;
 
 /// A member loop's timing contract with the scheduler.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -158,6 +186,44 @@ pub struct LoopSummary {
     pub stats: LoopStats,
 }
 
+/// Why a flight-recorder dump was taken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IncidentReason {
+    /// ≥ `MISS_STORM_THRESHOLD` deadline misses inside one worker's last
+    /// `MISS_STORM_WINDOW` completions.
+    MissStorm,
+    /// A loop's health scorer transitioned into [`HealthStatus::Critical`]
+    /// (trust collapse, sustained SLO violation).
+    HealthCollapse,
+}
+
+impl IncidentReason {
+    /// Short static name for reports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            IncidentReason::MissStorm => "miss_storm",
+            IncidentReason::HealthCollapse => "health_collapse",
+        }
+    }
+}
+
+/// A flight-recorder dump: the last few causal spans a worker executed
+/// before an invariant tripped, frozen for post-mortem without keeping the
+/// whole trace stream around.
+#[derive(Debug, Clone)]
+pub struct Incident {
+    /// Virtual worker whose recorder was dumped.
+    pub worker: usize,
+    /// Loop whose completion tripped the invariant.
+    pub loop_idx: usize,
+    /// Virtual time of the trip.
+    pub at_s: f64,
+    /// Which invariant tripped.
+    pub reason: IncidentReason,
+    /// The recorder's contents, oldest first (≤ [`FLIGHT_RECORDER_CAPACITY`]).
+    pub spans: Vec<CausalSpan>,
+}
+
 /// What one fleet run did.
 #[derive(Debug, Clone)]
 pub struct FleetReport {
@@ -192,6 +258,15 @@ pub struct FleetReport {
     pub trace_hash: u64,
     /// Per-loop summaries (cumulative stats, registration order).
     pub loops: Vec<LoopSummary>,
+    /// End-of-run per-loop health classification (whole-run rates against
+    /// the scheduler's [`HealthPolicy`], registration order).
+    pub loop_health: Vec<HealthStatus>,
+    /// Fleet-level roll-up of `loop_health`.
+    pub health: FleetHealth,
+    /// Flight-recorder dumps captured when an invariant tripped
+    /// (deterministic mode with tracing enabled; bounded by
+    /// [`MAX_INCIDENTS`]).
+    pub incidents: Vec<Incident>,
 }
 
 impl FleetReport {
@@ -235,27 +310,62 @@ impl FleetReport {
 
     /// Export scheduler-level metrics under `sched.*` names: counters for
     /// ticks/drops/deadline-misses/steals/throttles, gauges for
-    /// makespan/energy/watts, and histograms for queue depth and per-worker
-    /// utilization.
+    /// makespan/energy/watts and health, and histograms for queue depth and
+    /// per-worker utilization.
+    ///
+    /// The export is *idempotent*: every sample describes this report's
+    /// totals (`set_counter`/`set`/`install_histogram`, never accumulation),
+    /// so re-exporting the same report — a scrape loop rendering the same
+    /// run twice — cannot double-count.
     pub fn export_into(&self, registry: &mut MetricsRegistry) {
-        registry.add("sched.ticks_total", self.ticks);
-        registry.add("sched.drops_total", self.drops);
-        registry.add("sched.deadline_miss_total", self.deadline_misses);
-        registry.add("sched.steals_total", self.steals);
-        registry.add("sched.throttle_total", self.throttle_events);
+        registry.set_counter("sched.ticks_total", self.ticks);
+        registry.set_counter("sched.drops_total", self.drops);
+        registry.set_counter("sched.deadline_miss_total", self.deadline_misses);
+        registry.set_counter("sched.steals_total", self.steals);
+        registry.set_counter("sched.throttle_total", self.throttle_events);
+        registry.set_counter("sched.incidents_total", self.incidents.len() as u64);
+        registry.set_counter("sched.health.healthy", self.health.healthy as u64);
+        registry.set_counter("sched.health.degraded", self.health.degraded as u64);
+        registry.set_counter("sched.health.critical", self.health.critical as u64);
+        registry.set("sched.health.status_code", self.health.status.code() as f64);
         registry.set("sched.workers", self.workers as f64);
         registry.set("sched.makespan_s", self.makespan_s);
         registry.set("sched.fleet_energy_j", self.energy_j);
         registry.set("sched.fleet_watts", self.watts());
         registry.install_histogram("sched.queue.depth", self.queue_depth.clone());
+        let mut util = Histogram::new();
         for w in 0..self.worker_busy_s.len() {
-            registry.observe("sched.worker.utilization_frac", self.utilization(w));
+            util.record(self.utilization(w));
         }
+        registry.install_histogram("sched.worker.utilization_frac", util);
     }
 
     /// Human-readable fleet report (also available via `Display`).
     pub fn text_report(&self) -> String {
         self.to_string()
+    }
+}
+
+impl FleetReport {
+    /// Render the ASCII fleet dashboard: the report summary (fleet rollups,
+    /// health states, per-loop rows, incidents) plus the fleet-wide tick
+    /// latency distribution from a rolled-up registry
+    /// ([`FleetScheduler::rollup_metrics`]) — the
+    /// [`text_report`](sensact_core::export::text_report)-style companion to
+    /// the Prometheus exposition.
+    pub fn dashboard(&self, rollup: &MetricsRegistry) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!("{self}");
+        for (key, title) in [
+            ("loop.tick.latency_s", "tick latency (s)"),
+            ("sched.worker.utilization_frac", "worker utilization"),
+        ] {
+            if let Some(hist) = rollup.histogram(key) {
+                let _ = writeln!(out, "  {title}, {} samples:", hist.count());
+                out.push_str(&sensact_core::export::ascii_histogram(hist, 8, 40));
+            }
+        }
+        out
     }
 }
 
@@ -284,14 +394,44 @@ impl std::fmt::Display for FleetReport {
         )?;
         writeln!(
             f,
-            "  {:<20} {:>8} {:>7} {:>7} {:>7}",
+            "  health {}: {} healthy / {} degraded / {} critical  incidents {}",
+            self.health.status,
+            self.health.healthy,
+            self.health.degraded,
+            self.health.critical,
+            self.incidents.len()
+        )?;
+        writeln!(
+            f,
+            "  {:<20} {:>8} {:>7} {:>7} {:>7}  health",
             "loop", "ticks", "drops", "misses", "faults"
         )?;
-        for s in &self.loops {
+        for (i, s) in self.loops.iter().enumerate() {
+            let health = self
+                .loop_health
+                .get(i)
+                .copied()
+                .unwrap_or(HealthStatus::Healthy);
             writeln!(
                 f,
-                "  {:<20} {:>8} {:>7} {:>7} {:>7}",
-                s.name, s.stats.ticks, s.stats.drops, s.stats.deadline_misses, s.stats.faults
+                "  {:<20} {:>8} {:>7} {:>7} {:>7}  {}",
+                s.name,
+                s.stats.ticks,
+                s.stats.drops,
+                s.stats.deadline_misses,
+                s.stats.faults,
+                health
+            )?;
+        }
+        for inc in &self.incidents {
+            writeln!(
+                f,
+                "  incident {} worker {} loop {} at {:.4} s ({} spans)",
+                inc.reason.name(),
+                inc.worker,
+                inc.loop_idx,
+                inc.at_s,
+                inc.spans.len()
             )?;
         }
         Ok(())
@@ -318,6 +458,8 @@ struct Executed {
     completion_s: f64,
     /// Energy the tick charged (joules), as reported.
     energy_j: f64,
+    /// Whether the completion blew the loop's latency budget.
+    missed: bool,
 }
 
 /// Execute one release on a slot: tick the loop, advance accounting, check
@@ -328,11 +470,19 @@ struct Executed {
 /// occupied only for the charged compute latency; a communication tail
 /// ([`TickOutcome::comm_s`](crate::handle::TickOutcome)) extends the loop's
 /// completion — and its deadline check — without burning worker capacity.
-fn execute_release(slot: &mut Slot, release: &Release, worker_avail_s: f64) -> Executed {
+fn execute_release(
+    slot: &mut Slot,
+    release: &Release,
+    worker_avail_s: f64,
+    ctx: Option<TraceContext>,
+) -> Executed {
     let start_s = worker_avail_s
         .max(release.release_s)
         .max(slot.last_completion_s);
     slot.handle.set_tick_start(start_s);
+    if let Some(ctx) = ctx {
+        slot.handle.set_trace_context(ctx);
+    }
     let out = slot.handle.tick_once();
     let latency_s = sane_latency(out.latency_s);
     let comm_s = sane_latency(out.comm_s);
@@ -346,9 +496,11 @@ fn execute_release(slot: &mut Slot, release: &Release, worker_avail_s: f64) -> E
     if out.energy_j.is_finite() && out.energy_j > 0.0 {
         slot.stats.energy_j += out.energy_j;
     }
+    let mut missed = false;
     if let Some(budget_s) = slot.spec.latency_budget_s {
         let response_s = completion_s - release.release_s;
         if response_s > budget_s {
+            missed = true;
             slot.stats.deadline_misses += 1;
             slot.handle.record_deadline_miss(response_s, budget_s);
         }
@@ -358,7 +510,56 @@ fn execute_release(slot: &mut Slot, release: &Release, worker_avail_s: f64) -> E
         busy_end_s,
         completion_s,
         energy_j: out.energy_j,
+        missed,
     }
+}
+
+/// The root context of one release's scheduler tick trace. Pure function of
+/// `(seed, loop, release)`, so any participant — the loop itself, a test
+/// reconstructing the tree — can re-derive it without a handoff.
+fn sched_tick_context(seed: u64, loop_idx: usize, release_idx: u64) -> TraceContext {
+    let trace_id = trace_mix(seed ^ SCHED_TRACE_SALT, &[loop_idx as u64, release_idx]);
+    TraceContext::root(trace_id, &[SpanKind::SchedTick.tag()])
+}
+
+/// Record a release's SchedTick span (and its CommTail child when the tick
+/// had an off-worker tail). Returns the spans so deterministic mode can also
+/// feed its flight recorder.
+fn record_tick_spans(
+    tracer: &FleetTracer,
+    ctx: TraceContext,
+    release: &Release,
+    exec: &Executed,
+) -> (CausalSpan, Option<CausalSpan>) {
+    let tick = CausalSpan {
+        trace_id: ctx.trace_id,
+        span_id: ctx.span_id,
+        parent_id: ctx.parent_id,
+        kind: SpanKind::SchedTick,
+        node: release.loop_idx as u64,
+        detail: release.release_idx,
+        start_s: exec.start_s,
+        end_s: exec.busy_end_s,
+        ok: !exec.missed,
+    };
+    tracer.record(tick);
+    let tail = (exec.completion_s > exec.busy_end_s).then(|| {
+        let child = ctx.child(&[SpanKind::CommTail.tag()]);
+        let span = CausalSpan {
+            trace_id: child.trace_id,
+            span_id: child.span_id,
+            parent_id: child.parent_id,
+            kind: SpanKind::CommTail,
+            node: release.loop_idx as u64,
+            detail: release.release_idx,
+            start_s: exec.busy_end_s,
+            end_s: exec.completion_s,
+            ok: !exec.missed,
+        };
+        tracer.record(span);
+        span
+    });
+    (tick, tail)
 }
 
 /// Compute the loop's next release after a completion, applying drop-oldest
@@ -421,6 +622,36 @@ fn next_release(
     ))
 }
 
+/// Health signals for one loop over a stats window `[base, stats]`: miss and
+/// drop rates over the window's releases, trust/retransmit fractions from
+/// the loop's cumulative telemetry, and completion lag against the fleet
+/// frontier in units of the loop's period.
+fn window_signals(
+    stats: &LoopStats,
+    base: &LoopStats,
+    telemetry: &LoopTelemetry,
+    spec: &LoopSpec,
+    frontier_s: f64,
+    last_completion_s: f64,
+) -> HealthSignals {
+    let ticks = stats.ticks - base.ticks;
+    let misses = stats.deadline_misses - base.deadline_misses;
+    let drops = stats.drops - base.drops;
+    let comm = telemetry.comm_counters();
+    let staleness = if ticks == 0 {
+        0.0
+    } else {
+        ((frontier_s - last_completion_s) / spec.period_s).max(0.0)
+    };
+    HealthSignals {
+        miss_rate: misses as f64 / ticks.max(1) as f64,
+        drop_rate: drops as f64 / (ticks + drops).max(1) as f64,
+        trust_drift: telemetry.suspect_fraction(),
+        staleness,
+        retransmit_rate: comm.retransmits as f64 / comm.msgs_sent.max(1) as f64,
+    }
+}
+
 fn fnv_fold(mut hash: u64, value: u64) -> u64 {
     for byte in value.to_le_bytes() {
         hash ^= byte as u64;
@@ -436,20 +667,61 @@ const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
 pub struct FleetScheduler {
     config: FleetConfig,
     slots: Vec<Mutex<Slot>>,
+    tracer: Arc<FleetTracer>,
+    health_policy: HealthPolicy,
 }
 
 impl FleetScheduler {
-    /// An empty fleet.
+    /// An empty fleet (causal tracing disabled, default health policy).
     pub fn new(config: FleetConfig) -> Self {
         FleetScheduler {
             config,
             slots: Vec::new(),
+            tracer: Arc::new(FleetTracer::disabled()),
+            health_policy: HealthPolicy::default(),
         }
     }
 
     /// The fleet configuration.
     pub fn config(&self) -> &FleetConfig {
         &self.config
+    }
+
+    /// Attach a shared [`FleetTracer`]: every executed release emits a
+    /// `SchedTick` causal span (plus a `CommTail` child for off-worker
+    /// tails), and each tick's [`TraceContext`] is handed to the loop via
+    /// [`DynLoop::set_trace_context`](crate::handle::DynLoop::set_trace_context)
+    /// so downstream layers (the federated runtime, the network simulator)
+    /// can link their spans into the same causal stream.
+    pub fn set_tracer(&mut self, tracer: Arc<FleetTracer>) {
+        self.tracer = tracer;
+    }
+
+    /// Builder-style [`FleetScheduler::set_tracer`].
+    pub fn with_tracer(mut self, tracer: Arc<FleetTracer>) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// The attached tracer (disabled unless one was set).
+    pub fn tracer(&self) -> &Arc<FleetTracer> {
+        &self.tracer
+    }
+
+    /// Replace the health policy used for per-loop SLO scoring.
+    pub fn set_health_policy(&mut self, policy: HealthPolicy) {
+        self.health_policy = policy;
+    }
+
+    /// Builder-style [`FleetScheduler::set_health_policy`].
+    pub fn with_health_policy(mut self, policy: HealthPolicy) -> Self {
+        self.health_policy = policy;
+        self
+    }
+
+    /// The active health policy.
+    pub fn health_policy(&self) -> &HealthPolicy {
+        &self.health_policy
     }
 
     /// Register a member loop under a timing spec.
@@ -536,6 +808,57 @@ impl FleetScheduler {
         })
     }
 
+    /// Per-loop stats snapshot, registration order.
+    fn stats_snapshot(&mut self) -> Vec<LoopStats> {
+        (0..self.slots.len())
+            .map(|i| self.slot_mut(LoopId(i)).stats)
+            .collect()
+    }
+
+    /// End-of-run health: classify every loop's whole-run signals
+    /// (hysteresis-free — one window covers the run) and roll them up.
+    fn classify_health(
+        &mut self,
+        base: &[LoopStats],
+        makespan_s: f64,
+    ) -> (Vec<HealthStatus>, FleetHealth) {
+        let policy = self.health_policy;
+        let statuses: Vec<HealthStatus> = (0..self.slots.len())
+            .map(|i| {
+                let slot = self.slot_mut(LoopId(i));
+                let signals = window_signals(
+                    &slot.stats,
+                    &base[i],
+                    slot.handle.telemetry(),
+                    &slot.spec,
+                    makespan_s,
+                    slot.last_completion_s,
+                );
+                policy.classify(&signals)
+            })
+            .collect();
+        let fleet = FleetHealth::roll_up(statuses.iter().copied(), &policy);
+        (statuses, fleet)
+    }
+
+    /// Roll every member loop's telemetry up into one fleet-level registry:
+    /// each loop exports into a scratch registry which is merged in —
+    /// counters add, gauges sum, histograms merge bucket-wise in
+    /// O(buckets) — so the result equals a single registry that had
+    /// observed every loop directly.
+    pub fn rollup_metrics(&mut self) -> MetricsRegistry {
+        let mut fleet = MetricsRegistry::new();
+        for i in 0..self.slots.len() {
+            let mut per_loop = MetricsRegistry::new();
+            self.slot_mut(LoopId(i))
+                .handle
+                .telemetry()
+                .export_into(&mut per_loop);
+            fleet.merge(&per_loop);
+        }
+        fleet
+    }
+
     fn summaries(&mut self) -> Vec<LoopSummary> {
         (0..self.slots.len())
             .map(|i| {
@@ -549,6 +872,8 @@ impl FleetScheduler {
     }
 
     fn empty_report(&mut self, horizon_s: f64, workers: usize) -> FleetReport {
+        let base = self.stats_snapshot();
+        let (loop_health, health) = self.classify_health(&base, 0.0);
         FleetReport {
             horizon_s,
             workers,
@@ -564,6 +889,9 @@ impl FleetScheduler {
             queue_depth: Histogram::new(),
             trace_hash: FNV_OFFSET,
             loops: self.summaries(),
+            loop_health,
+            health,
+            incidents: Vec::new(),
         }
     }
 
@@ -582,6 +910,7 @@ impl FleetScheduler {
             return self.empty_report(horizon_s, workers);
         }
         let wall_start = std::time::Instant::now();
+        let base = self.stats_snapshot();
         let (base_ticks, base_drops, base_misses) = self.totals();
         let n = self.slots.len();
         let queue = ShardedQueue::new(workers);
@@ -592,10 +921,12 @@ impl FleetScheduler {
         let outstanding = AtomicUsize::new(n);
         let arbiter = Mutex::new(EnergyArbiter::new(self.config.watts_cap));
         let seed = self.config.seed;
+        let traced = self.tracer.is_enabled();
         let slots = &self.slots;
         let queue_ref = &queue;
         let outstanding_ref = &outstanding;
         let arbiter_ref = &arbiter;
+        let tracer_ref = &self.tracer;
 
         // (virtual clock, busy, depth histogram) per worker.
         let worker_results: Vec<(f64, f64, Histogram)> = std::thread::scope(|scope| {
@@ -624,7 +955,13 @@ impl FleetScheduler {
                             // timeline depends only on its own history and
                             // drop/miss accounting is interleaving-
                             // independent (given no watts cap).
-                            let exec = execute_release(&mut slot, &release, 0.0);
+                            let ctx = traced.then(|| {
+                                sched_tick_context(seed, release.loop_idx, release.release_idx)
+                            });
+                            let exec = execute_release(&mut slot, &release, 0.0, ctx);
+                            if let Some(ctx) = ctx {
+                                record_tick_spans(tracer_ref, ctx, &release, &exec);
+                            }
                             busy_s += exec.busy_end_s - exec.start_s;
                             frontier_s = frontier_s.max(exec.completion_s);
                             let (stretch, hint) = {
@@ -672,6 +1009,7 @@ impl FleetScheduler {
         }
         let (ticks, drops, misses) = self.totals();
         let loops = self.summaries();
+        let (loop_health, health) = self.classify_health(&base, makespan_s);
         FleetReport {
             horizon_s,
             workers,
@@ -687,6 +1025,11 @@ impl FleetScheduler {
             queue_depth,
             trace_hash: 0,
             loops,
+            loop_health,
+            health,
+            // Flight recording needs a deterministic span order per worker —
+            // threaded mode leaves it to `run_deterministic`.
+            incidents: Vec::new(),
         }
     }
 
@@ -707,8 +1050,12 @@ impl FleetScheduler {
             return self.empty_report(horizon_s, workers);
         }
         let wall_start = std::time::Instant::now();
+        let base = self.stats_snapshot();
         let (base_ticks, base_drops, base_misses) = self.totals();
         let seed = self.config.seed;
+        let tracer = Arc::clone(&self.tracer);
+        let traced = tracer.is_enabled();
+        let policy = self.health_policy;
         let mut heap: BinaryHeap<Reverse<Release>> = BinaryHeap::new();
         for i in 0..self.slots.len() {
             let r = self.initial_release(i);
@@ -722,6 +1069,16 @@ impl FleetScheduler {
         // Fleet makespan frontier: the latest *full* completion, including
         // off-worker comm tails that finish after their worker was freed.
         let mut frontier_s = 0.0f64;
+        // Per-worker flight recorders + miss-storm windows, and per-loop
+        // health scorers evaluated on fixed completion windows.
+        let mut recorder: Vec<VecDeque<CausalSpan>> = vec![VecDeque::new(); workers];
+        let mut miss_window: Vec<VecDeque<bool>> = vec![VecDeque::new(); workers];
+        let mut incidents: Vec<Incident> = Vec::new();
+        let mut scorers: Vec<HealthScorer> = (0..self.slots.len())
+            .map(|_| HealthScorer::new(policy))
+            .collect();
+        let mut window_base: Vec<LoopStats> = base.clone();
+        let mut health_evals: Vec<u64> = vec![0; self.slots.len()];
 
         while let Some(Reverse(release)) = heap.pop() {
             queue_depth.record(heap.len() as f64);
@@ -736,7 +1093,9 @@ impl FleetScheduler {
             let slot = self.slots[release.loop_idx]
                 .get_mut()
                 .unwrap_or_else(|e| e.into_inner());
-            let exec = execute_release(slot, &release, worker_clock_s[wid]);
+            let ctx =
+                traced.then(|| sched_tick_context(seed, release.loop_idx, release.release_idx));
+            let exec = execute_release(slot, &release, worker_clock_s[wid], ctx);
             // The worker is free once compute ends; a comm tail keeps the
             // *loop* busy (sequential + deadline) but not the worker.
             worker_busy_s[wid] += exec.busy_end_s - exec.start_s;
@@ -752,6 +1111,84 @@ impl FleetScheduler {
             trace_hash = fnv_fold(trace_hash, release.release_idx);
             trace_hash = fnv_fold(trace_hash, wid as u64);
             trace_hash = fnv_fold(trace_hash, exec.completion_s.to_bits());
+            if let Some(ctx) = ctx {
+                let (tick_span, tail_span) = record_tick_spans(&tracer, ctx, &release, &exec);
+                let ring = &mut recorder[wid];
+                for span in std::iter::once(tick_span).chain(tail_span) {
+                    if ring.len() == FLIGHT_RECORDER_CAPACITY {
+                        ring.pop_front();
+                    }
+                    ring.push_back(span);
+                }
+                // Miss-storm invariant: mostly-missing completions inside
+                // one worker's recent window freeze that worker's recorder.
+                let misses = &mut miss_window[wid];
+                if misses.len() == MISS_STORM_WINDOW {
+                    misses.pop_front();
+                }
+                misses.push_back(exec.missed);
+                if misses.len() == MISS_STORM_WINDOW
+                    && misses.iter().filter(|&&m| m).count() >= MISS_STORM_THRESHOLD
+                    && incidents.len() < MAX_INCIDENTS
+                {
+                    incidents.push(Incident {
+                        worker: wid,
+                        loop_idx: release.loop_idx,
+                        at_s: exec.completion_s,
+                        reason: IncidentReason::MissStorm,
+                        spans: ring.iter().copied().collect(),
+                    });
+                    misses.clear();
+                }
+            }
+            // Health window: every HEALTH_WINDOW_TICKS completions of a loop,
+            // feed its windowed signals through the hysteresis scorer.
+            let li = release.loop_idx;
+            if slot.stats.ticks - window_base[li].ticks >= HEALTH_WINDOW_TICKS {
+                let signals = window_signals(
+                    &slot.stats,
+                    &window_base[li],
+                    slot.handle.telemetry(),
+                    &slot.spec,
+                    frontier_s,
+                    slot.last_completion_s,
+                );
+                window_base[li] = slot.stats;
+                health_evals[li] += 1;
+                if let Some((from, to)) = scorers[li].observe(&signals) {
+                    if traced {
+                        let trace_id = trace_mix(seed ^ HEALTH_TRACE_SALT, &[li as u64]);
+                        let hctx = TraceContext::root(
+                            trace_id,
+                            &[SpanKind::Health.tag(), health_evals[li]],
+                        );
+                        let span = CausalSpan {
+                            trace_id: hctx.trace_id,
+                            span_id: hctx.span_id,
+                            parent_id: hctx.parent_id,
+                            kind: SpanKind::Health,
+                            node: li as u64,
+                            detail: encode_transition(from, to),
+                            start_s: exec.completion_s,
+                            end_s: exec.completion_s,
+                            ok: to == HealthStatus::Healthy,
+                        };
+                        tracer.record(span);
+                        if to == HealthStatus::Critical && incidents.len() < MAX_INCIDENTS {
+                            let mut spans: Vec<CausalSpan> =
+                                recorder[wid].iter().copied().collect();
+                            spans.push(span);
+                            incidents.push(Incident {
+                                worker: wid,
+                                loop_idx: li,
+                                at_s: exec.completion_s,
+                                reason: IncidentReason::HealthCollapse,
+                                spans,
+                            });
+                        }
+                    }
+                }
+            }
             if let Some(next) =
                 next_release(slot, &release, exec.completion_s, stretch, horizon_s, seed)
             {
@@ -762,6 +1199,7 @@ impl FleetScheduler {
         let makespan_s = worker_clock_s.iter().fold(frontier_s, |a, &b| a.max(b));
         let (ticks, drops, misses) = self.totals();
         let loops = self.summaries();
+        let (loop_health, health) = self.classify_health(&base, makespan_s);
         FleetReport {
             horizon_s,
             workers,
@@ -777,6 +1215,9 @@ impl FleetScheduler {
             queue_depth,
             trace_hash,
             loops,
+            loop_health,
+            health,
+            incidents,
         }
     }
 }
@@ -1012,6 +1453,7 @@ mod tests {
         latency_s: f64,
         comm_s: f64,
         starts: std::sync::Arc<Mutex<Vec<f64>>>,
+        ctxs: std::sync::Arc<Mutex<Vec<TraceContext>>>,
     }
 
     impl CommLoop {
@@ -1020,14 +1462,29 @@ mod tests {
         }
 
         fn observed(latency_s: f64, comm_s: f64) -> (LoopHandle, std::sync::Arc<Mutex<Vec<f64>>>) {
+            let (handle, starts, _) = Self::instrumented(latency_s, comm_s);
+            (handle, starts)
+        }
+
+        #[allow(clippy::type_complexity)]
+        fn instrumented(
+            latency_s: f64,
+            comm_s: f64,
+        ) -> (
+            LoopHandle,
+            std::sync::Arc<Mutex<Vec<f64>>>,
+            std::sync::Arc<Mutex<Vec<TraceContext>>>,
+        ) {
             let starts = std::sync::Arc::new(Mutex::new(Vec::new()));
+            let ctxs = std::sync::Arc::new(Mutex::new(Vec::new()));
             let handle = LoopHandle::from_dyn(Box::new(CommLoop {
                 telemetry: sensact_core::LoopTelemetry::new(),
                 latency_s,
                 comm_s,
                 starts: starts.clone(),
+                ctxs: ctxs.clone(),
             }));
-            (handle, starts)
+            (handle, starts, ctxs)
         }
     }
 
@@ -1040,6 +1497,12 @@ mod tests {
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
                 .push(start_s);
+        }
+        fn set_trace_context(&mut self, ctx: TraceContext) {
+            self.ctxs
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(ctx);
         }
         fn tick_once(&mut self) -> crate::handle::TickOutcome {
             self.telemetry
@@ -1103,6 +1566,218 @@ mod tests {
             assert!((stats.busy_s - 1e-3).abs() < 1e-12);
             assert_eq!(sched.loop_telemetry(*id).fault_counters().timeouts, 1);
         }
+    }
+
+    /// Tentpole: tracing. SchedTick spans cover every executed release,
+    /// CommTail spans parent under their tick, and two identically-seeded
+    /// runs export a bit-identical trace stream.
+    #[test]
+    fn tracer_records_causally_linked_tick_and_tail_spans() {
+        use sensact_core::export::trace_stream_hash;
+        let run = || {
+            let mut sched = FleetScheduler::new(FleetConfig {
+                workers: 2,
+                watts_cap: None,
+                seed: 9,
+            })
+            .with_tracer(Arc::new(FleetTracer::new()));
+            for _ in 0..2 {
+                sched.register(CommLoop::boxed(1e-3, 2e-3), LoopSpec::periodic(1e-2));
+            }
+            let report = sched.run_deterministic(0.05, &mut SimClock::new());
+            let spans = sched.tracer().spans();
+            (report, spans)
+        };
+        let (report, spans) = run();
+        let ticks: Vec<&CausalSpan> = spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::SchedTick)
+            .collect();
+        let tails: Vec<&CausalSpan> = spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::CommTail)
+            .collect();
+        assert_eq!(ticks.len() as u64, report.ticks);
+        assert_eq!(tails.len() as u64, report.ticks, "every tick had a tail");
+        for tail in &tails {
+            let parent = ticks
+                .iter()
+                .find(|t| t.span_id == tail.parent_id && t.trace_id == tail.trace_id)
+                .expect("comm tail must parent under its tick span");
+            assert_eq!(parent.node, tail.node);
+            assert!((tail.start_s - parent.end_s).abs() < 1e-12);
+        }
+        // Context is re-derivable without a handoff: the span ids match the
+        // pure function of (seed, loop, release).
+        for t in &ticks {
+            let ctx = sched_tick_context(9, t.node as usize, t.detail);
+            assert_eq!(t.span_id, ctx.span_id);
+        }
+        let (_, spans_b) = run();
+        assert_eq!(
+            trace_stream_hash(&spans),
+            trace_stream_hash(&spans_b),
+            "same seed must export a bit-identical trace stream"
+        );
+    }
+
+    /// The scheduler hands each loop its tick's [`TraceContext`] before
+    /// `tick_once` when tracing is on — and never when it is off — so loops
+    /// can parent their own downstream spans (network sends, stage work)
+    /// under the scheduler's tick span.
+    #[test]
+    fn loops_receive_their_tick_trace_context() {
+        let seed = 5;
+        let mut sched = FleetScheduler::new(FleetConfig {
+            workers: 2,
+            watts_cap: None,
+            seed,
+        })
+        .with_tracer(Arc::new(FleetTracer::new()));
+        let (handle, _, ctxs) = CommLoop::instrumented(1e-3, 0.0);
+        let id = sched.register(handle, LoopSpec::periodic(1e-2));
+        let report = sched.run_deterministic(0.05, &mut SimClock::new());
+        let got = ctxs.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        assert_eq!(got.len() as u64, report.ticks, "one context per tick");
+        for (release_idx, ctx) in got.iter().enumerate() {
+            assert_eq!(
+                *ctx,
+                sched_tick_context(seed, id.0, release_idx as u64),
+                "context must re-derive from (seed, loop, release)"
+            );
+        }
+
+        // Untraced: the default no-op hook is never fed a context.
+        let mut sched = FleetScheduler::new(FleetConfig {
+            workers: 2,
+            watts_cap: None,
+            seed,
+        });
+        let (handle, _, ctxs) = CommLoop::instrumented(1e-3, 0.0);
+        sched.register(handle, LoopSpec::periodic(1e-2));
+        let _ = sched.run_deterministic(0.05, &mut SimClock::new());
+        assert!(ctxs.lock().unwrap_or_else(|e| e.into_inner()).is_empty());
+    }
+
+    /// A disabled tracer records nothing and the report is still complete.
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut sched = fleet(3, 2, 1);
+        let report = sched.run_deterministic(0.05, &mut SimClock::new());
+        assert!(sched.tracer().is_empty());
+        assert!(!sched.tracer().is_enabled());
+        assert_eq!(report.incidents.len(), 0);
+        assert_eq!(report.loop_health.len(), 3);
+    }
+
+    /// Satellite: the report export is idempotent — exporting the same
+    /// report twice into one registry must not double any sample.
+    #[test]
+    fn report_export_is_idempotent() {
+        let mut sched = fleet(4, 2, 3);
+        let report = sched.run_deterministic(0.1, &mut SimClock::new());
+        let mut registry = MetricsRegistry::new();
+        report.export_into(&mut registry);
+        report.export_into(&mut registry);
+        assert_eq!(registry.counter("sched.ticks_total"), report.ticks);
+        assert_eq!(
+            registry.counter("sched.health.healthy"),
+            report.health.healthy as u64
+        );
+        let util = registry.histogram("sched.worker.utilization_frac").unwrap();
+        assert_eq!(util.count(), 2, "one sample per worker, not per export");
+    }
+
+    /// Health scoring: a fleet whose every tick misses its deadline ends the
+    /// run critical (miss_rate 1.0), and the roll-up reflects it; a clean
+    /// fleet stays healthy.
+    #[test]
+    fn health_classifies_missing_and_clean_fleets() {
+        let mut sick = FleetScheduler::new(FleetConfig {
+            workers: 1,
+            watts_cap: None,
+            seed: 0,
+        });
+        sick.register(
+            handle("laggard", 1e-6, 5e-3),
+            LoopSpec::periodic(1e-2).with_budget(1e-3),
+        );
+        let report = sick.run_deterministic(0.1, &mut SimClock::new());
+        assert_eq!(report.loop_health, vec![HealthStatus::Critical]);
+        assert_eq!(report.health.status, HealthStatus::Critical);
+        assert_eq!(report.health.critical, 1);
+        let text = report.text_report();
+        assert!(text.contains("health critical"), "{text}");
+        assert!(text.contains("laggard"), "{text}");
+
+        let mut clean = fleet(4, 2, 0);
+        let report = clean.run_deterministic(0.1, &mut SimClock::new());
+        assert_eq!(report.health.status, HealthStatus::Healthy);
+        assert_eq!(report.health.healthy, 4);
+        assert_eq!(report.loop_health, vec![HealthStatus::Healthy; 4]);
+    }
+
+    /// Tentpole: the flight recorder. A sustained miss storm trips the
+    /// per-worker invariant and dumps the recorder's recent spans into the
+    /// report; the hysteresis scorer's collapse emits a Health span.
+    #[test]
+    fn miss_storm_trips_flight_recorder_and_health_span() {
+        let mut sched = FleetScheduler::new(FleetConfig {
+            workers: 1,
+            watts_cap: None,
+            seed: 0,
+        })
+        .with_tracer(Arc::new(FleetTracer::new()));
+        // Every tick misses: 5 ms latency against a 1 ms budget, long enough
+        // for several health windows (HEALTH_WINDOW_TICKS completions each).
+        sched.register(
+            handle("stormy", 1e-6, 5e-3),
+            LoopSpec::periodic(1e-2).with_budget(1e-3),
+        );
+        let report = sched.run_deterministic(5.0, &mut SimClock::new());
+        assert!(report.ticks >= 3 * HEALTH_WINDOW_TICKS);
+        let storm = report
+            .incidents
+            .iter()
+            .find(|i| i.reason == IncidentReason::MissStorm)
+            .expect("a permanent miss storm must trip the recorder");
+        assert_eq!(storm.worker, 0);
+        assert!(!storm.spans.is_empty());
+        assert!(storm.spans.len() <= FLIGHT_RECORDER_CAPACITY);
+        assert!(storm.spans.iter().all(|s| !s.ok), "storm spans all missed");
+        assert!(report.incidents.len() <= MAX_INCIDENTS);
+        // The scorer's downgrade to critical is visible in the trace stream.
+        let spans = sched.tracer().spans();
+        let collapse = spans
+            .iter()
+            .find(|s| s.kind == SpanKind::Health && !s.ok)
+            .expect("health collapse must emit a span");
+        assert_eq!(collapse.node, 0);
+        let (_, to) = sensact_core::health::decode_transition(collapse.detail).unwrap();
+        assert_ne!(to, HealthStatus::Healthy);
+    }
+
+    /// Satellite: fleet rollup. Merging every loop's telemetry export equals
+    /// what the per-loop registries hold summed, histograms included.
+    #[test]
+    fn rollup_metrics_aggregates_per_loop_telemetry() {
+        let mut sched = fleet(3, 2, 5);
+        let _ = sched.run_deterministic(0.1, &mut SimClock::new());
+        let fleet_reg = sched.rollup_metrics();
+        let total_ticks: u64 = (0..3)
+            .map(|i| sched.loop_telemetry(LoopId(i)).ticks())
+            .sum();
+        assert_eq!(fleet_reg.counter("loop.ticks_total"), total_ticks);
+        let hist = fleet_reg.histogram("loop.tick.latency_s").unwrap();
+        assert_eq!(hist.count(), total_ticks);
+        // Rolled-up registry renders on the fleet-level Prometheus surface.
+        let prom = sensact_core::export::prometheus_text(&fleet_reg);
+        assert!(prom.contains("loop_ticks_total"), "{prom}");
+        // … and on the ASCII dashboard, latency histogram included.
+        let report = sched.run_deterministic(0.0, &mut SimClock::new());
+        let dash = report.dashboard(&fleet_reg);
+        assert!(dash.contains("health"), "{dash}");
+        assert!(dash.contains("tick latency (s)"), "{dash}");
     }
 
     /// The scheduler anchors every tick on the virtual timeline via

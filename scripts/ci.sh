@@ -32,6 +32,9 @@ RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps -q
 echo "== bench_obs smoke (quick mode) =="
 SENSACT_QUICK=1 cargo bench --offline -p sensact-bench --bench bench_obs
 
+echo "== bench_gate (perf-regression gate vs committed baselines) =="
+cargo run --offline --release -p sensact-bench --bin bench_gate
+
 echo "== replay round-trip (1k-tick faulty run) =="
 cargo test --offline -q --test replay_integration
 

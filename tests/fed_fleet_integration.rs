@@ -2,10 +2,16 @@
 //! simulated network — 1k-client bit-for-bit determinism and
 //! partition-heals-and-converges.
 
+use std::sync::Arc;
+
+use sensact::core::FleetTracer;
 use sensact::fed::client::{Client, HardwareTier};
 use sensact::fed::data::Dataset;
 use sensact::fed::sim::NetworkConfig;
-use sensact::fed::{run_federated_scheduled, FedFleetConfig, FedFleetReport, Strategy};
+use sensact::fed::{
+    run_federated_scheduled, run_federated_scheduled_traced, FedFleetConfig, FedFleetReport,
+    Strategy,
+};
 
 /// A heterogeneous non-IID fleet (tiers round-robin) plus held-out test data.
 fn fleet(n: usize, samples: usize, seed: u64) -> (Vec<Client>, Dataset) {
@@ -59,6 +65,52 @@ fn thousand_client_run_reproduces_bit_for_bit() {
         a.trace_hash, c.trace_hash,
         "a different network seed must re-draw every transfer"
     );
+}
+
+/// Observability acceptance: tracing a 1 000-client run observes without
+/// perturbing — the traced run's schedule hash matches the untraced one —
+/// and the exported causal-span stream is bit-identical across two
+/// identically-seeded runs.
+#[test]
+fn thousand_client_trace_stream_is_bit_reproducible() {
+    let run_traced = || {
+        let (clients, test) = fleet(1000, 2000, 21);
+        let config = FedFleetConfig {
+            rounds: 2,
+            local_epochs: 1,
+            workers: 8,
+            seed: 7,
+            ..FedFleetConfig::default()
+        };
+        let net = NetworkConfig::edge(3).with_loss(0.05);
+        let tracer = Arc::new(FleetTracer::new());
+        let report = run_federated_scheduled_traced(
+            clients,
+            Strategy::DcNas,
+            &config,
+            net,
+            &test,
+            &[],
+            Arc::clone(&tracer),
+        );
+        (report, tracer)
+    };
+    let (a, tracer) = run_traced();
+    let (b, _) = run_traced();
+    assert_ne!(a.span_stream_hash, 0, "traced run must export spans");
+    assert_eq!(
+        a.span_stream_hash, b.span_stream_hash,
+        "span stream must be bit-identical across identically-seeded runs"
+    );
+    // The full stream fits the ring — nothing was evicted.
+    assert_eq!(tracer.recorded(), tracer.spans().len() as u64);
+
+    // Tracing observes; it never perturbs the schedule or the learning.
+    let untraced = run_1k(7, 3);
+    assert_eq!(untraced.span_stream_hash, 0);
+    assert_eq!(a.trace_hash, untraced.trace_hash);
+    assert_eq!(a.accuracy.to_bits(), untraced.accuracy.to_bits());
+    assert_eq!(a.net, untraced.net);
 }
 
 /// Clients cut off by a network partition drop out of aggregation, then
