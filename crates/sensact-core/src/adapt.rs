@@ -133,6 +133,31 @@ impl<S, A, P1: AdaptationPolicy<S, A>, P2: AdaptationPolicy<S, A>> AdaptationPol
     }
 }
 
+// All shipped adaptation policies are pure configuration (the mutable knobs
+// live in the sensor they steer), so they checkpoint with the no-op
+// defaults. `Both` recurses so a future stateful member still participates.
+impl crate::checkpoint::StageState for NoAdaptation {}
+impl crate::checkpoint::StageState for ActionMagnitudeRate {}
+impl crate::checkpoint::StageState for TrustDrivenResolution {}
+
+impl<P1: crate::checkpoint::StageState, P2: crate::checkpoint::StageState>
+    crate::checkpoint::StageState for Both<P1, P2>
+{
+    fn save_state(&self, ckpt: &mut crate::checkpoint::Checkpoint, ns: &str) {
+        self.0.save_state(ckpt, &format!("{ns}.0"));
+        self.1.save_state(ckpt, &format!("{ns}.1"));
+    }
+
+    fn restore_state(
+        &mut self,
+        ckpt: &crate::checkpoint::Checkpoint,
+        ns: &str,
+    ) -> Result<(), crate::checkpoint::CheckpointError> {
+        self.0.restore_state(ckpt, &format!("{ns}.0"))?;
+        self.1.restore_state(ckpt, &format!("{ns}.1"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

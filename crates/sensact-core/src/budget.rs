@@ -5,6 +5,8 @@
 //! budgets. [`EnergyBudget`] tracks consumption against a capacity and
 //! reports pressure, which the adaptation policies use to throttle sensing.
 
+use crate::checkpoint::{Checkpoint, CheckpointError, Section, StageState};
+
 /// A consumable energy budget with an optional per-tick latency deadline.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyBudget {
@@ -89,6 +91,26 @@ impl EnergyBudget {
 impl Default for EnergyBudget {
     fn default() -> Self {
         EnergyBudget::unlimited()
+    }
+}
+
+impl StageState for EnergyBudget {
+    fn save_state(&self, ckpt: &mut Checkpoint, ns: &str) {
+        let mut s = Section::new(ns);
+        // `consumed_j` drives pressure, which drives the precision schedule
+        // and the adaptation policies — restoring it bit-exactly is what
+        // keeps a resumed loop's precision/adaptation decisions on the
+        // recorded trajectory.
+        s.put_f64("consumed_j", self.consumed_j);
+        s.put_u64("deadline_misses", self.deadline_misses);
+        ckpt.push(s);
+    }
+
+    fn restore_state(&mut self, ckpt: &Checkpoint, ns: &str) -> Result<(), CheckpointError> {
+        let s = ckpt.section(ns)?;
+        self.consumed_j = s.get_f64("consumed_j")?;
+        self.deadline_misses = s.get_u64("deadline_misses")?;
+        Ok(())
     }
 }
 

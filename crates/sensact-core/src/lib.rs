@@ -58,6 +58,7 @@
 
 pub mod adapt;
 pub mod budget;
+pub mod checkpoint;
 pub mod export;
 pub mod fault;
 pub mod health;
@@ -72,6 +73,9 @@ pub mod trace;
 mod loop_;
 
 pub use budget::EnergyBudget;
+pub use checkpoint::{
+    Checkpoint, CheckpointError, Section, StageState, StateVec, CHECKPOINT_VERSION,
+};
 pub use fault::{
     FallibleLoop, FallibleOutput, FaultInjector, FaultProfile, RecoveryPolicy, Reliable,
     StageError, TickResolution, TryPerceptor, TrySensor, WithFallback,

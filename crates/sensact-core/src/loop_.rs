@@ -2,6 +2,7 @@
 
 use crate::adapt::{AdaptationPolicy, NoAdaptation};
 use crate::budget::EnergyBudget;
+use crate::checkpoint::{Checkpoint, CheckpointError, StageState};
 use crate::precision::{Precision, PrecisionGovernor, PrecisionPolicy};
 use crate::stage::{AlwaysTrust, Controller, Monitor, Perceptor, Sensor, StageContext, Trust};
 use crate::telemetry::LoopTelemetry;
@@ -184,6 +185,57 @@ impl<S, P, M, C, Ad> SensingActionLoop<S, P, M, C, Ad> {
             latency_s: ctx.latency_s(),
             tick,
         }
+    }
+
+    /// Serialize the loop's complete live state — telemetry, budget,
+    /// precision governor, tracer ring, plus every stage's [`StageState`] —
+    /// into a versioned [`Checkpoint`] for kill-and-resume or live migration.
+    ///
+    /// The contract: [`SensingActionLoop::restore`] of this checkpoint onto
+    /// an *identically constructed* loop makes every subsequent tick
+    /// bit-identical to the uninterrupted run.
+    pub fn snapshot(&self) -> Checkpoint
+    where
+        S: StageState,
+        P: StageState,
+        M: StageState,
+        C: StageState,
+        Ad: StageState,
+    {
+        let mut ckpt = Checkpoint::new(&self.name);
+        self.telemetry.save_state(&mut ckpt, "telemetry");
+        self.budget.save_state(&mut ckpt, "budget");
+        self.governor.save_state(&mut ckpt, "governor");
+        self.tracer.save_state(&mut ckpt, "tracer");
+        self.sensor.save_state(&mut ckpt, "sensor");
+        self.perceptor.save_state(&mut ckpt, "perceptor");
+        self.monitor.save_state(&mut ckpt, "monitor");
+        self.controller.save_state(&mut ckpt, "controller");
+        self.policy.save_state(&mut ckpt, "policy");
+        ckpt
+    }
+
+    /// Restore live state saved by [`SensingActionLoop::snapshot`]. The loop
+    /// must be built with the same configuration (stages, budget capacity,
+    /// precision policy, telemetry capacity) as the snapshotted one; only
+    /// mutable state travels through the checkpoint.
+    pub fn restore(&mut self, ckpt: &Checkpoint) -> Result<(), CheckpointError>
+    where
+        S: StageState,
+        P: StageState,
+        M: StageState,
+        C: StageState,
+        Ad: StageState,
+    {
+        self.telemetry.restore_state(ckpt, "telemetry")?;
+        self.budget.restore_state(ckpt, "budget")?;
+        self.governor.restore_state(ckpt, "governor")?;
+        self.tracer.restore_state(ckpt, "tracer")?;
+        self.sensor.restore_state(ckpt, "sensor")?;
+        self.perceptor.restore_state(ckpt, "perceptor")?;
+        self.monitor.restore_state(ckpt, "monitor")?;
+        self.controller.restore_state(ckpt, "controller")?;
+        self.policy.restore_state(ckpt, "policy")
     }
 
     /// Run `n` ticks against a mutable environment, applying each action via
@@ -679,6 +731,74 @@ mod tests {
         assert_eq!(
             l.telemetry().last_record().unwrap().precision,
             Precision::F64
+        );
+    }
+
+    /// A budgeted mixed-precision loop snapshotted mid-run (including mid-
+    /// precision-hold) and restored onto a freshly built twin must continue
+    /// bit-identically to the uninterrupted run.
+    #[test]
+    fn snapshot_restore_resumes_bit_exactly_mid_hold() {
+        let build = || {
+            LoopBuilder::new("ckpt")
+                .with_budget(EnergyBudget::new(1.0))
+                .with_precision(PrecisionPolicy::adaptive(0.3, 0.6).with_hold_ticks(3))
+                .with_telemetry_capacity(16)
+                .build_monitored(
+                    FnSensor::new(|e: &f64, ctx: &mut StageContext| {
+                        ctx.charge(0.02, 1e-4);
+                        *e
+                    }),
+                    FnPerceptor::new(|r: &f64, _: &mut StageContext| *r),
+                    FnMonitor::new(|f: &f64, _: &mut StageContext| {
+                        if f.abs() > 10.0 {
+                            Trust::Suspect(0.9)
+                        } else {
+                            Trust::Trusted
+                        }
+                    }),
+                    FnController::new(|f: &f64, _t, _: &mut StageContext| -0.3 * f),
+                )
+        };
+        let drive =
+            |l: &mut SensingActionLoop<_, _, _, _, _>, env: &mut f64, from: u64, to: u64| {
+                for i in from..to {
+                    // A spike at tick 24 arms the governor's f64 hold; the
+                    // snapshot at tick 26 lands mid-hold.
+                    if i == 24 {
+                        *env = 50.0;
+                    }
+                    let out = l.tick(env);
+                    *env += out.action;
+                }
+            };
+        let mut env_a = 8.0f64;
+        let mut uninterrupted = build();
+        drive(&mut uninterrupted, &mut env_a, 0, 40);
+
+        let mut env_b = 8.0f64;
+        let mut first = build();
+        drive(&mut first, &mut env_b, 0, 26);
+        assert!(
+            first.precision_governor().holding(),
+            "snapshot point must land inside the forced-f64 hold"
+        );
+        let wire = first.snapshot().to_jsonl();
+        drop(first);
+        let mut resumed = build();
+        resumed
+            .restore(&Checkpoint::from_jsonl(&wire).unwrap())
+            .unwrap();
+        drive(&mut resumed, &mut env_b, 26, 40);
+
+        assert_eq!(env_a.to_bits(), env_b.to_bits(), "trajectories diverged");
+        let recs_a: Vec<_> = uninterrupted.telemetry().records().copied().collect();
+        let recs_b: Vec<_> = resumed.telemetry().records().copied().collect();
+        assert_eq!(recs_a, recs_b);
+        let prec_a: Vec<Precision> = recs_a.iter().map(|r| r.precision).collect();
+        assert!(
+            prec_a.contains(&Precision::F64) && prec_a.iter().any(|p| *p != Precision::F64),
+            "test must exercise a mixed-precision schedule, got {prec_a:?}"
         );
     }
 

@@ -14,6 +14,8 @@
 
 use std::collections::BTreeMap;
 
+use crate::checkpoint::{CheckpointError, Section};
+
 /// Sub-bucket resolution: 2^3 = 8 sub-buckets per power of two.
 const SUB_BITS: u32 = 3;
 /// Sub-buckets per octave.
@@ -106,6 +108,14 @@ impl Histogram {
         self.count
     }
 
+    /// Whether no samples have been recorded. When this is true,
+    /// [`Histogram::min`] and [`Histogram::max`] return the benign `0.0`
+    /// placeholder, *not* a real sample bound — rollups must check this
+    /// before folding those values into fleet-level extrema.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
     /// Sum of recorded samples.
     pub fn sum(&self) -> f64 {
         self.sum
@@ -188,7 +198,15 @@ impl Histogram {
     }
 
     /// Merge another histogram into this one (bucket-wise).
+    ///
+    /// An empty source is a no-op: it contributes no buckets, and skipping
+    /// it outright guarantees its placeholder bounds can never perturb this
+    /// histogram's exact `min`/`max`, even for future samplers that tighten
+    /// the empty-state representation.
     pub fn merge(&mut self, other: &Histogram) {
+        if other.is_empty() {
+            return;
+        }
         for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
             *mine += theirs;
         }
@@ -196,6 +214,51 @@ impl Histogram {
         self.sum += other.sum;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+    }
+
+    /// Serialize into `section` under `prefix` (sparse buckets plus the
+    /// exact running aggregates, all bit-exact).
+    pub(crate) fn save_into(&self, section: &mut Section, prefix: &str) {
+        let mut sparse = Vec::new();
+        for (idx, &c) in self.counts.iter().enumerate() {
+            if c > 0 {
+                sparse.push(idx as u64);
+                sparse.push(c);
+            }
+        }
+        section.put_u64s(&format!("{prefix}_buckets"), &sparse);
+        section.put_u64(&format!("{prefix}_count"), self.count);
+        section.put_f64(&format!("{prefix}_sum"), self.sum);
+        section.put_f64(&format!("{prefix}_min"), self.min);
+        section.put_f64(&format!("{prefix}_max"), self.max);
+    }
+
+    /// Rebuild a histogram saved with [`Histogram::save_into`], bit-exactly
+    /// (the ±∞ empty-state sentinels travel as raw bit patterns).
+    pub(crate) fn restore_from(section: &Section, prefix: &str) -> Result<Self, CheckpointError> {
+        let sparse = section.get_u64s(&format!("{prefix}_buckets"))?;
+        if !sparse.len().is_multiple_of(2) {
+            return Err(CheckpointError::BadValue(format!(
+                "{}.{prefix}_buckets",
+                section.id()
+            )));
+        }
+        let mut h = Histogram::new();
+        for pair in sparse.chunks_exact(2) {
+            let idx = pair[0] as usize;
+            if idx >= BUCKETS {
+                return Err(CheckpointError::BadValue(format!(
+                    "{}.{prefix}_buckets",
+                    section.id()
+                )));
+            }
+            h.counts[idx] = pair[1];
+        }
+        h.count = section.get_u64(&format!("{prefix}_count"))?;
+        h.sum = section.get_f64(&format!("{prefix}_sum"))?;
+        h.min = section.get_f64(&format!("{prefix}_min"))?;
+        h.max = section.get_f64(&format!("{prefix}_max"))?;
+        Ok(h)
     }
 }
 
@@ -310,6 +373,12 @@ impl MetricsRegistry {
             *self.gauges.entry(name).or_insert(0.0) += v;
         }
         for (name, hist) in other.histograms() {
+            // Skip empty sources entirely: cloning one in would create an
+            // entry whose min()/max() read as the 0.0 empty placeholder —
+            // a fake sample bound in rollup reports.
+            if hist.is_empty() {
+                continue;
+            }
             match self.histograms.get_mut(name) {
                 Some(mine) => mine.merge(hist),
                 None => {
@@ -608,6 +677,79 @@ mod tests {
         let mut id = a.clone();
         id.merge(&Histogram::new());
         assert_hist_eq(&id, &a);
+    }
+
+    #[test]
+    fn empty_histogram_merge_cannot_leak_placeholder_bounds() {
+        // Regression: an empty histogram's min()/max() read as the 0.0
+        // placeholder. Merging one must be a strict no-op, and a registry
+        // rollup must not materialize empty entries whose placeholder
+        // bounds would masquerade as real sample extrema.
+        let mut a = Histogram::new();
+        a.record(3.0);
+        a.record(7.0);
+        a.merge(&Histogram::new());
+        assert_eq!(a.min(), 3.0);
+        assert_eq!(a.max(), 7.0);
+        assert_eq!(a.count(), 2);
+
+        let mut fleet = MetricsRegistry::new();
+        let mut quiet = MetricsRegistry::new();
+        quiet.observe("stage.sense.latency_s", f64::NAN); // NaN ignored: stays empty
+        assert!(quiet.histogram("stage.sense.latency_s").unwrap().is_empty());
+        fleet.merge(&quiet);
+        // The empty source must not appear in the rollup at all.
+        assert!(fleet.histogram("stage.sense.latency_s").is_none());
+
+        let mut busy = MetricsRegistry::new();
+        busy.observe("stage.sense.latency_s", 2e-3);
+        fleet.merge(&busy);
+        fleet.merge(&quiet);
+        let h = fleet.histogram("stage.sense.latency_s").unwrap();
+        assert_eq!(h.min(), 2e-3, "empty merge perturbed the rollup min");
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn histogram_checkpoint_round_trips_bit_exactly() {
+        use crate::checkpoint::Section;
+        let (h, _) = hist_of(0xC0FFEE, 800);
+        let mut s = Section::new("hist");
+        h.save_into(&mut s, "lat");
+        let back = Histogram::restore_from(&s, "lat").expect("restores");
+        assert_eq!(back.count(), h.count());
+        assert_eq!(back.sum().to_bits(), h.sum().to_bits());
+        assert_eq!(back.min().to_bits(), h.min().to_bits());
+        assert_eq!(back.max().to_bits(), h.max().to_bits());
+        assert_eq!(back.nonzero_buckets(), h.nonzero_buckets());
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(back.quantile(q).to_bits(), h.quantile(q).to_bits());
+        }
+
+        // Empty histograms round-trip too (±inf internal sentinels travel
+        // as bit patterns) and still report the benign empty-state values.
+        let empty = Histogram::new();
+        let mut s2 = Section::new("hist");
+        empty.save_into(&mut s2, "lat");
+        let back2 = Histogram::restore_from(&s2, "lat").expect("restores");
+        assert!(back2.is_empty());
+        assert_eq!(back2.min(), 0.0);
+        let mut again = back2;
+        again.record(5.0);
+        assert_eq!(again.min(), 5.0);
+
+        // Corrupt bucket indices are typed errors, not panics.
+        let mut s3 = Section::new("hist");
+        empty.save_into(&mut s3, "lat");
+        s3.put_u64s("lat_buckets", &[9999, 1]);
+        assert!(matches!(
+            Histogram::restore_from(&s3, "lat"),
+            Err(crate::checkpoint::CheckpointError::BadValue(_))
+        ));
+        let mut s4 = Section::new("hist");
+        empty.save_into(&mut s4, "lat");
+        s4.put_u64s("lat_buckets", &[3]); // odd-length pair list
+        assert!(Histogram::restore_from(&s4, "lat").is_err());
     }
 
     #[test]

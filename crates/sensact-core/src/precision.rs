@@ -27,6 +27,7 @@
 
 pub use sensact_math::kernels::Precision;
 
+use crate::checkpoint::{Checkpoint, CheckpointError, Section, StageState};
 use crate::stage::Trust;
 use sensact_math::simd;
 
@@ -182,6 +183,43 @@ impl PrecisionGovernor {
     pub fn current(&self) -> Precision {
         self.current
     }
+
+    /// Whether a trust-drift hold is forcing f64 for upcoming ticks.
+    pub fn holding(&self) -> bool {
+        self.hold > 0
+    }
+}
+
+fn rank_to_precision(rank: u64) -> Option<Precision> {
+    Precision::ALL.into_iter().find(|p| p.rank() as u64 == rank)
+}
+
+impl StageState for PrecisionGovernor {
+    fn save_state(&self, ckpt: &mut Checkpoint, ns: &str) {
+        let mut s = Section::new(ns);
+        // The policy is construction-time config; only the runtime decision
+        // state travels. `hold` is the load-bearing field: dropping it lets
+        // a restored loop cheapen to f32 one tick early, diverging the
+        // recorded precision schedule mid-hold.
+        s.put_u64("hold", self.hold as u64);
+        s.put_u64("current", self.current.rank() as u64);
+        s.put_bool("hint_some", self.hint.is_some());
+        s.put_u64("hint", self.hint.unwrap_or(Precision::F64).rank() as u64);
+        ckpt.push(s);
+    }
+
+    fn restore_state(&mut self, ckpt: &Checkpoint, ns: &str) -> Result<(), CheckpointError> {
+        let s = ckpt.section(ns)?;
+        let bad = |key: &str| CheckpointError::BadValue(format!("{ns}.{key}"));
+        self.hold = s.get_u64("hold")? as u32;
+        self.current = rank_to_precision(s.get_u64("current")?).ok_or_else(|| bad("current"))?;
+        self.hint = if s.get_bool("hint_some")? {
+            Some(rank_to_precision(s.get_u64("hint")?).ok_or_else(|| bad("hint"))?)
+        } else {
+            None
+        };
+        Ok(())
+    }
 }
 
 /// Record the host's CPU feature detection into a metrics registry as
@@ -255,6 +293,51 @@ mod tests {
         g.set_hint(None);
         assert_eq!(g.decide(0.6), Precision::F32);
         assert_eq!(g.current(), Precision::F32);
+    }
+
+    /// Regression (hidden-state sweep): a governor snapshotted mid-hold must
+    /// resume with the remaining hold ticks intact — without `hold` in the
+    /// checkpoint, the restored governor cheapens to f32 one tick early.
+    #[test]
+    fn checkpoint_carries_hold_through_restore() {
+        use crate::checkpoint::Checkpoint;
+        let policy = PrecisionPolicy::adaptive(0.1, 0.9).with_hold_ticks(4);
+        let mut live = PrecisionGovernor::new(policy);
+        assert_eq!(live.decide(0.5), Precision::F32);
+        live.observe_trust(Trust::Suspect(0.9)); // arm the 4-tick hold
+        assert_eq!(live.decide(0.5), Precision::F64); // 3 hold ticks remain
+        live.set_hint(Some(Precision::Int8));
+
+        let mut ckpt = Checkpoint::new("g");
+        live.save_state(&mut ckpt, "governor");
+        let ckpt = Checkpoint::from_jsonl(&ckpt.to_jsonl()).expect("parses");
+        // Restore onto an identically-constructed (fresh) governor.
+        let mut restored = PrecisionGovernor::new(policy);
+        restored.restore_state(&ckpt, "governor").expect("restores");
+        assert_eq!(restored, live, "full decision state must round-trip");
+
+        // Both schedules must agree tick for tick across the hold release.
+        for tick in 0..6 {
+            assert_eq!(live.decide(0.5), restored.decide(0.5), "tick {tick}");
+        }
+        // The released schedule honors the restored hint (int8 cheapening).
+        assert_eq!(restored.current(), Precision::Int8);
+    }
+
+    #[test]
+    fn checkpoint_rejects_corrupt_precision_ranks() {
+        use crate::checkpoint::{Checkpoint, CheckpointError};
+        let mut ckpt = Checkpoint::new("g");
+        PrecisionGovernor::new(PrecisionPolicy::default()).save_state(&mut ckpt, "governor");
+        let doc = ckpt
+            .to_jsonl()
+            .replace("\"current\":\"u:0\"", "\"current\":\"u:9\"");
+        let ckpt = Checkpoint::from_jsonl(&doc).expect("parses");
+        let mut g = PrecisionGovernor::new(PrecisionPolicy::default());
+        assert!(matches!(
+            g.restore_state(&ckpt, "governor"),
+            Err(CheckpointError::BadValue(_))
+        ));
     }
 
     #[test]

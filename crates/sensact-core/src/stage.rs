@@ -206,6 +206,16 @@ impl<Feat, A, F: FnMut(&Feat, Trust, &mut StageContext) -> A> Controller<Feat> f
     }
 }
 
+// Stateless stages participate in checkpointing with the no-op defaults.
+// Closure adapters are declared stateless by contract: a capture that *does*
+// mutate across ticks will surface as a named `Divergence` in replay-after-
+// restore — the checkpoint layer's intended bug detector.
+impl crate::checkpoint::StageState for AlwaysTrust {}
+impl<F> crate::checkpoint::StageState for FnSensor<F> {}
+impl<F> crate::checkpoint::StageState for FnPerceptor<F> {}
+impl<F> crate::checkpoint::StageState for FnMonitor<F> {}
+impl<F> crate::checkpoint::StageState for FnController<F> {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

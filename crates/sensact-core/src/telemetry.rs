@@ -18,6 +18,7 @@
 //! [`export::ticks_to_jsonl`](crate::export::ticks_to_jsonl) (round-trip
 //! JSONL) or [`export::text_report`](crate::export::text_report).
 
+use crate::checkpoint::{Checkpoint, CheckpointError, Section, StageState};
 use crate::fault::StageError;
 use crate::metrics::{Histogram, MetricsRegistry};
 use crate::precision::Precision;
@@ -440,6 +441,240 @@ impl LoopTelemetry {
     }
 }
 
+fn trust_code(t: Trust) -> (u64, f64) {
+    match t {
+        Trust::Trusted => (0, 0.0),
+        Trust::Suspect(s) => (1, s),
+        Trust::Untrusted => (2, 0.0),
+    }
+}
+
+fn trust_from_code(code: u64, suspicion: f64) -> Option<Trust> {
+    match code {
+        0 => Some(Trust::Trusted),
+        1 => Some(Trust::Suspect(suspicion)),
+        2 => Some(Trust::Untrusted),
+        _ => None,
+    }
+}
+
+fn precision_from_rank(rank: u64) -> Option<Precision> {
+    Precision::ALL.into_iter().find(|p| p.rank() as u64 == rank)
+}
+
+fn save_stats(section: &mut Section, prefix: &str, stats: &RunningStats) {
+    let (count, mean, m2, min, max) = stats.raw_parts();
+    section.put_u64(&format!("{prefix}_count"), count);
+    section.put_f64s(&format!("{prefix}_acc"), &[mean, m2, min, max]);
+}
+
+fn restore_stats(section: &Section, prefix: &str) -> Result<RunningStats, CheckpointError> {
+    let count = section.get_u64(&format!("{prefix}_count"))?;
+    let acc = section.get_f64s(&format!("{prefix}_acc"))?;
+    if acc.len() != 4 {
+        return Err(CheckpointError::BadValue(format!(
+            "{}.{prefix}_acc",
+            section.id()
+        )));
+    }
+    Ok(RunningStats::from_raw_parts(
+        count, acc[0], acc[1], acc[2], acc[3],
+    ))
+}
+
+impl StageState for LoopTelemetry {
+    fn save_state(&self, ckpt: &mut Checkpoint, ns: &str) {
+        let mut s = Section::new(ns);
+        s.put_u64("capacity", self.capacity as u64);
+        s.put_u64("ticks", self.ticks);
+        s.put_f64("total_energy_j", self.total_energy_j);
+        s.put_f64("total_latency_s", self.total_latency_s);
+        s.put_u64("suspect_ticks", self.suspect_ticks);
+        s.put_u64("suspect_streak", self.suspect_streak as u64);
+        s.put_u64("max_suspect_streak", self.max_suspect_streak as u64);
+        save_stats(&mut s, "energy", &self.energy);
+        save_stats(&mut s, "latency", &self.latency);
+        let c = &self.counters;
+        s.put_u64s(
+            "fault_counters",
+            &[
+                c.faults,
+                c.dropouts,
+                c.timeouts,
+                c.out_of_range,
+                c.poisoned,
+                c.retries,
+                c.holds,
+                c.fallbacks,
+            ],
+        );
+        s.put_u64s(
+            "comm_counters",
+            &[
+                self.comm.msgs_sent,
+                self.comm.msgs_delivered,
+                self.comm.msgs_dropped,
+                self.comm.retransmits,
+                self.comm.bytes_tx,
+                self.comm.bytes_rx,
+            ],
+        );
+        s.put_f64("comm_s", self.comm.comm_s);
+        let totals: Vec<f64> = StageId::ALL
+            .into_iter()
+            .flat_map(|st| {
+                let cost = self.stage_totals.get(st);
+                [cost.energy_j, cost.latency_s]
+            })
+            .collect();
+        s.put_f64s("stage_totals", &totals);
+        for (i, h) in self.stage_latency.iter().enumerate() {
+            h.save_into(&mut s, &format!("stage{i}"));
+        }
+        self.latency_hist.save_into(&mut s, "lat");
+        s.put_u64s("precision_ticks", &self.precision_ticks);
+
+        // Retained records, serialized in *chronological* order as parallel
+        // arrays. Restore rebuilds them from index 0 with `head = 0`, which
+        // makes the on-disk form canonical: a ring snapshotted exactly at
+        // its wrap boundary restores with identical record order (the
+        // head-vs-len ambiguity at len == capacity never reaches the wire).
+        let recs: Vec<&TickRecord> = self.records().collect();
+        s.put_u64s("rec_tick", &recs.iter().map(|r| r.tick).collect::<Vec<_>>());
+        s.put_f64s(
+            "rec_energy",
+            &recs.iter().map(|r| r.energy_j).collect::<Vec<_>>(),
+        );
+        s.put_f64s(
+            "rec_latency",
+            &recs.iter().map(|r| r.latency_s).collect::<Vec<_>>(),
+        );
+        let (trust_codes, suspicions): (Vec<u64>, Vec<f64>) =
+            recs.iter().map(|r| trust_code(r.trust)).unzip();
+        s.put_u64s("rec_trust", &trust_codes);
+        s.put_f64s("rec_susp", &suspicions);
+        s.put_u64s(
+            "rec_prec",
+            &recs
+                .iter()
+                .map(|r| r.precision.rank() as u64)
+                .collect::<Vec<_>>(),
+        );
+        let mut stage_e = Vec::with_capacity(recs.len() * STAGE_COUNT);
+        let mut stage_l = Vec::with_capacity(recs.len() * STAGE_COUNT);
+        for r in &recs {
+            for (_, cost) in r.stages.iter() {
+                stage_e.push(cost.energy_j);
+                stage_l.push(cost.latency_s);
+            }
+        }
+        s.put_f64s("rec_stage_e", &stage_e);
+        s.put_f64s("rec_stage_l", &stage_l);
+        ckpt.push(s);
+    }
+
+    fn restore_state(&mut self, ckpt: &Checkpoint, ns: &str) -> Result<(), CheckpointError> {
+        let s = ckpt.section(ns)?;
+        let bad = |key: &str| CheckpointError::BadValue(format!("{ns}.{key}"));
+        let mut t = LoopTelemetry::with_capacity(s.get_u64("capacity")? as usize);
+        t.ticks = s.get_u64("ticks")?;
+        t.total_energy_j = s.get_f64("total_energy_j")?;
+        t.total_latency_s = s.get_f64("total_latency_s")?;
+        t.suspect_ticks = s.get_u64("suspect_ticks")?;
+        t.suspect_streak = s.get_u64("suspect_streak")? as u32;
+        t.max_suspect_streak = s.get_u64("max_suspect_streak")? as u32;
+        t.energy = restore_stats(s, "energy")?;
+        t.latency = restore_stats(s, "latency")?;
+        let fc = s.get_u64s("fault_counters")?;
+        if fc.len() != 8 {
+            return Err(bad("fault_counters"));
+        }
+        t.counters = FaultCounters {
+            faults: fc[0],
+            dropouts: fc[1],
+            timeouts: fc[2],
+            out_of_range: fc[3],
+            poisoned: fc[4],
+            retries: fc[5],
+            holds: fc[6],
+            fallbacks: fc[7],
+        };
+        let cc = s.get_u64s("comm_counters")?;
+        if cc.len() != 6 {
+            return Err(bad("comm_counters"));
+        }
+        t.comm = CommCounters {
+            msgs_sent: cc[0],
+            msgs_delivered: cc[1],
+            msgs_dropped: cc[2],
+            retransmits: cc[3],
+            bytes_tx: cc[4],
+            bytes_rx: cc[5],
+            comm_s: s.get_f64("comm_s")?,
+        };
+        let totals = s.get_f64s("stage_totals")?;
+        if totals.len() != 2 * STAGE_COUNT {
+            return Err(bad("stage_totals"));
+        }
+        t.stage_totals = StageBreakdown::new();
+        for (i, st) in StageId::ALL.into_iter().enumerate() {
+            t.stage_totals.add(st, totals[2 * i], totals[2 * i + 1]);
+        }
+        for (i, h) in t.stage_latency.iter_mut().enumerate() {
+            *h = Histogram::restore_from(s, &format!("stage{i}"))?;
+        }
+        t.latency_hist = Histogram::restore_from(s, "lat")?;
+        let pt = s.get_u64s("precision_ticks")?;
+        t.precision_ticks = pt.try_into().map_err(|_| bad("precision_ticks"))?;
+
+        let ticks = s.get_u64s("rec_tick")?;
+        let energies = s.get_f64s("rec_energy")?;
+        let latencies = s.get_f64s("rec_latency")?;
+        let trusts = s.get_u64s("rec_trust")?;
+        let susps = s.get_f64s("rec_susp")?;
+        let precs = s.get_u64s("rec_prec")?;
+        let stage_e = s.get_f64s("rec_stage_e")?;
+        let stage_l = s.get_f64s("rec_stage_l")?;
+        let n = ticks.len();
+        if n > t.capacity
+            || [
+                energies.len(),
+                latencies.len(),
+                trusts.len(),
+                susps.len(),
+                precs.len(),
+            ]
+            .iter()
+            .any(|&l| l != n)
+            || stage_e.len() != n * STAGE_COUNT
+            || stage_l.len() != n * STAGE_COUNT
+        {
+            return Err(bad("rec_tick"));
+        }
+        for i in 0..n {
+            let mut stages = StageBreakdown::new();
+            for (j, st) in StageId::ALL.into_iter().enumerate() {
+                stages.add(
+                    st,
+                    stage_e[i * STAGE_COUNT + j],
+                    stage_l[i * STAGE_COUNT + j],
+                );
+            }
+            t.records.push(TickRecord {
+                tick: ticks[i],
+                energy_j: energies[i],
+                latency_s: latencies[i],
+                trust: trust_from_code(trusts[i], susps[i]).ok_or_else(|| bad("rec_trust"))?,
+                precision: precision_from_rank(precs[i]).ok_or_else(|| bad("rec_prec"))?,
+                stages,
+            });
+        }
+        t.head = 0;
+        *self = t;
+        Ok(())
+    }
+}
+
 impl std::fmt::Display for LoopTelemetry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -721,6 +956,130 @@ mod tests {
         assert!(s.contains("4 sent"), "{s}");
         assert!(s.contains("1 dropped"), "{s}");
         assert!(s.contains("2 retransmits"), "{s}");
+    }
+
+    /// Snapshot `t`, restore into a fresh instance, and assert the restored
+    /// telemetry is observably identical — records (order included),
+    /// aggregates, histograms, counters.
+    fn assert_round_trip(t: &LoopTelemetry) -> LoopTelemetry {
+        use crate::checkpoint::Checkpoint;
+        let mut ckpt = Checkpoint::new("t");
+        t.save_state(&mut ckpt, "telemetry");
+        // Through the wire, not just through the object graph.
+        let ckpt = Checkpoint::from_jsonl(&ckpt.to_jsonl()).expect("parses");
+        let mut back = LoopTelemetry::new();
+        back.restore_state(&ckpt, "telemetry").expect("restores");
+        assert_eq!(back.ticks(), t.ticks());
+        assert_eq!(back.capacity(), t.capacity());
+        let a: Vec<TickRecord> = t.records().copied().collect();
+        let b: Vec<TickRecord> = back.records().copied().collect();
+        assert_eq!(a, b, "record order/content diverged");
+        assert_eq!(back.last_record().copied(), t.last_record().copied());
+        assert_eq!(
+            back.total_energy_j().to_bits(),
+            t.total_energy_j().to_bits()
+        );
+        assert_eq!(
+            back.energy_stats().mean().to_bits(),
+            t.energy_stats().mean().to_bits()
+        );
+        assert_eq!(
+            back.suspect_fraction().to_bits(),
+            t.suspect_fraction().to_bits()
+        );
+        assert_eq!(back.max_suspect_streak(), t.max_suspect_streak());
+        assert_eq!(back.current_suspect_streak(), t.current_suspect_streak());
+        assert_eq!(back.fault_counters(), t.fault_counters());
+        assert_eq!(back.comm_counters(), t.comm_counters());
+        assert_eq!(
+            back.latency_histogram().count(),
+            t.latency_histogram().count()
+        );
+        for st in StageId::ALL {
+            assert_eq!(
+                back.stage_latency(st).nonzero_buckets(),
+                t.stage_latency(st).nonzero_buckets()
+            );
+        }
+        for p in Precision::ALL {
+            assert_eq!(back.precision_ticks(p), t.precision_ticks(p));
+        }
+        back
+    }
+
+    fn busy_telemetry(capacity: usize, ticks: usize) -> LoopTelemetry {
+        let mut t = LoopTelemetry::with_capacity(capacity);
+        for i in 0..ticks {
+            let trust = match i % 3 {
+                0 => Trust::Trusted,
+                1 => Trust::Suspect(0.1 + (i as f64) * 1e-3),
+                _ => Trust::Untrusted,
+            };
+            let prec = Precision::ALL[i % 3];
+            let mut stages = StageBreakdown::new();
+            stages.add(StageId::Sense, 1e-3 + i as f64 * 1e-6, 1e-4);
+            stages.add(StageId::Control, 2e-3, 5e-5 + i as f64 * 1e-8);
+            t.record_with_precision(i as f64 * 1e-3, 1e-4 + i as f64 * 1e-7, trust, stages, prec);
+        }
+        t.record_fault(&StageError::Dropout);
+        t.record_comm_tx(128, 1, true, 2e-3);
+        t
+    }
+
+    #[test]
+    fn checkpoint_round_trips_live_telemetry() {
+        assert_round_trip(&LoopTelemetry::new());
+        assert_round_trip(&busy_telemetry(8, 3)); // partially filled ring
+        assert_round_trip(&busy_telemetry(8, 100)); // well past wraparound
+    }
+
+    /// Regression (hidden-state sweep): the ring's `head` is ambiguous
+    /// against `len` exactly when `len == capacity` (head == 0 both before
+    /// the first wrap and after every full lap). Snapshot/restore at
+    /// `capacity - 1`, `capacity`, and `capacity + 1` ticks must preserve
+    /// chronological record order, and a restored ring must keep evicting
+    /// in the right order as new ticks land.
+    #[test]
+    fn checkpoint_preserves_ring_order_at_wrap_boundary() {
+        const CAP: usize = 6;
+        for ticks in [CAP - 1, CAP, CAP + 1] {
+            let t = busy_telemetry(CAP, ticks);
+            let mut restored = assert_round_trip(&t);
+            let mut uninterrupted = busy_telemetry(CAP, ticks);
+            // Keep ticking both: eviction order must stay identical.
+            for i in 0..CAP {
+                let e = 100.0 + i as f64;
+                restored.record(e, 0.0, Trust::Trusted);
+                uninterrupted.record(e, 0.0, Trust::Trusted);
+                let a: Vec<u64> = restored.records().map(|r| r.tick).collect();
+                let b: Vec<u64> = uninterrupted.records().map(|r| r.tick).collect();
+                assert_eq!(a, b, "snapshot at {ticks} ticks, +{} more", i + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_restore_rejects_inconsistent_records() {
+        use crate::checkpoint::{Checkpoint, CheckpointError};
+        let t = busy_telemetry(8, 5);
+        let mut ckpt = Checkpoint::new("t");
+        t.save_state(&mut ckpt, "telemetry");
+        // Parse, then corrupt one parallel array's length.
+        let doc = ckpt.to_jsonl();
+        let broken = doc.replace("\"rec_trust\":\"U:0;1;2;0;1\"", "\"rec_trust\":\"U:0;1\"");
+        assert_ne!(doc, broken, "corruption target not found");
+        let ckpt = Checkpoint::from_jsonl(&broken).expect("still parses");
+        let mut back = LoopTelemetry::new();
+        assert!(matches!(
+            back.restore_state(&ckpt, "telemetry"),
+            Err(CheckpointError::BadValue(_))
+        ));
+        // Missing section is typed, not a panic.
+        let empty = Checkpoint::new("t");
+        assert!(matches!(
+            back.restore_state(&empty, "telemetry"),
+            Err(CheckpointError::MissingSection(_))
+        ));
     }
 
     #[test]

@@ -23,6 +23,8 @@
 use std::sync::Mutex;
 use std::time::Instant;
 
+use crate::checkpoint::{Checkpoint, CheckpointError, Section, StageState};
+
 /// The number of canonical loop stages ([`StageId::ALL`]).
 pub const STAGE_COUNT: usize = 5;
 
@@ -497,6 +499,99 @@ impl Default for Tracer {
     }
 }
 
+impl StageState for Tracer {
+    fn save_state(&self, ckpt: &mut Checkpoint, ns: &str) {
+        let mut s = Section::new(ns);
+        // The clock is a trait object and stays with the constructed
+        // instance (a restored wall tracer re-times from its own origin;
+        // replay conformance compares telemetry, which carries the charged
+        // costs, not tracer timestamps). The span ring and the pending
+        // coarse stamp are the mutable state.
+        s.put_u64("capacity", self.capacity as u64);
+        s.put_bool("pending_some", self.pending_stamp.is_some());
+        s.put_f64("pending", self.pending_stamp.unwrap_or(0.0));
+        let spans: Vec<&Span> = self.spans().collect();
+        s.put_u64s("sp_tick", &spans.iter().map(|x| x.tick).collect::<Vec<_>>());
+        s.put_u64s(
+            "sp_stage",
+            &spans
+                .iter()
+                .map(|x| x.stage.index() as u64)
+                .collect::<Vec<_>>(),
+        );
+        s.put_f64s(
+            "sp_start",
+            &spans.iter().map(|x| x.start_s).collect::<Vec<_>>(),
+        );
+        s.put_f64s("sp_end", &spans.iter().map(|x| x.end_s).collect::<Vec<_>>());
+        s.put_f64s(
+            "sp_energy",
+            &spans.iter().map(|x| x.energy_j).collect::<Vec<_>>(),
+        );
+        s.put_f64s(
+            "sp_latency",
+            &spans.iter().map(|x| x.latency_s).collect::<Vec<_>>(),
+        );
+        s.put_u64s(
+            "sp_ok",
+            &spans.iter().map(|x| x.ok as u64).collect::<Vec<_>>(),
+        );
+        ckpt.push(s);
+    }
+
+    fn restore_state(&mut self, ckpt: &Checkpoint, ns: &str) -> Result<(), CheckpointError> {
+        let s = ckpt.section(ns)?;
+        let bad = |key: &str| CheckpointError::BadValue(format!("{ns}.{key}"));
+        self.capacity = (s.get_u64("capacity")? as usize).max(1);
+        self.pending_stamp = if s.get_bool("pending_some")? {
+            Some(s.get_f64("pending")?)
+        } else {
+            None
+        };
+        let ticks = s.get_u64s("sp_tick")?;
+        let stages = s.get_u64s("sp_stage")?;
+        let starts = s.get_f64s("sp_start")?;
+        let ends = s.get_f64s("sp_end")?;
+        let energies = s.get_f64s("sp_energy")?;
+        let latencies = s.get_f64s("sp_latency")?;
+        let oks = s.get_u64s("sp_ok")?;
+        let n = ticks.len();
+        if n > self.capacity
+            || [
+                stages.len(),
+                starts.len(),
+                ends.len(),
+                energies.len(),
+                latencies.len(),
+                oks.len(),
+            ]
+            .iter()
+            .any(|&l| l != n)
+        {
+            return Err(bad("sp_tick"));
+        }
+        // Chronological rebuild with head = 0: the wire form is canonical,
+        // so a ring snapshotted at its wrap boundary restores in order.
+        self.spans.clear();
+        self.head = 0;
+        for i in 0..n {
+            let stage = *StageId::ALL
+                .get(stages[i] as usize)
+                .ok_or_else(|| bad("sp_stage"))?;
+            self.spans.push(Span {
+                tick: ticks[i],
+                stage,
+                start_s: starts[i],
+                end_s: ends[i],
+                energy_j: energies[i],
+                latency_s: latencies[i],
+                ok: oks[i] != 0,
+            });
+        }
+        Ok(())
+    }
+}
+
 /// RAII guard created by [`Tracer::span`]; records the span when dropped.
 #[derive(Debug)]
 pub struct SpanGuard<'t> {
@@ -864,6 +959,105 @@ impl Default for FleetTracer {
     }
 }
 
+impl StageState for FleetTracer {
+    fn save_state(&self, ckpt: &mut Checkpoint, ns: &str) {
+        let mut s = Section::new(ns);
+        let ring = self.lock();
+        s.put_u64("capacity", ring.capacity as u64);
+        s.put_u64("recorded", ring.recorded);
+        let (wrapped, ordered) = ring.spans.split_at(ring.head);
+        let spans: Vec<&CausalSpan> = ordered.iter().chain(wrapped.iter()).collect();
+        s.put_u64s(
+            "cs_trace",
+            &spans.iter().map(|x| x.trace_id).collect::<Vec<_>>(),
+        );
+        s.put_u64s(
+            "cs_span",
+            &spans.iter().map(|x| x.span_id).collect::<Vec<_>>(),
+        );
+        s.put_u64s(
+            "cs_parent",
+            &spans.iter().map(|x| x.parent_id).collect::<Vec<_>>(),
+        );
+        s.put_u64s(
+            "cs_kind",
+            &spans.iter().map(|x| x.kind.tag()).collect::<Vec<_>>(),
+        );
+        s.put_u64s("cs_node", &spans.iter().map(|x| x.node).collect::<Vec<_>>());
+        s.put_u64s(
+            "cs_detail",
+            &spans.iter().map(|x| x.detail).collect::<Vec<_>>(),
+        );
+        s.put_f64s(
+            "cs_start",
+            &spans.iter().map(|x| x.start_s).collect::<Vec<_>>(),
+        );
+        s.put_f64s("cs_end", &spans.iter().map(|x| x.end_s).collect::<Vec<_>>());
+        s.put_u64s(
+            "cs_ok",
+            &spans.iter().map(|x| x.ok as u64).collect::<Vec<_>>(),
+        );
+        ckpt.push(s);
+    }
+
+    fn restore_state(&mut self, ckpt: &Checkpoint, ns: &str) -> Result<(), CheckpointError> {
+        let s = ckpt.section(ns)?;
+        let bad = |key: &str| CheckpointError::BadValue(format!("{ns}.{key}"));
+        let traces = s.get_u64s("cs_trace")?;
+        let span_ids = s.get_u64s("cs_span")?;
+        let parents = s.get_u64s("cs_parent")?;
+        let kinds = s.get_u64s("cs_kind")?;
+        let nodes = s.get_u64s("cs_node")?;
+        let details = s.get_u64s("cs_detail")?;
+        let starts = s.get_f64s("cs_start")?;
+        let ends = s.get_f64s("cs_end")?;
+        let oks = s.get_u64s("cs_ok")?;
+        let capacity = (s.get_u64("capacity")? as usize).max(1);
+        let n = traces.len();
+        if n > capacity
+            || [
+                span_ids.len(),
+                parents.len(),
+                kinds.len(),
+                nodes.len(),
+                details.len(),
+                starts.len(),
+                ends.len(),
+                oks.len(),
+            ]
+            .iter()
+            .any(|&l| l != n)
+        {
+            return Err(bad("cs_trace"));
+        }
+        let mut spans = Vec::with_capacity(n);
+        for i in 0..n {
+            let kind = SpanKind::ALL
+                .into_iter()
+                .find(|k| k.tag() == kinds[i])
+                .ok_or_else(|| bad("cs_kind"))?;
+            spans.push(CausalSpan {
+                trace_id: traces[i],
+                span_id: span_ids[i],
+                parent_id: parents[i],
+                kind,
+                node: nodes[i],
+                detail: details[i],
+                start_s: starts[i],
+                end_s: ends[i],
+                ok: oks[i] != 0,
+            });
+        }
+        let recorded = s.get_u64("recorded")?;
+        let mut ring = self.lock();
+        ring.capacity = capacity;
+        ring.recorded = recorded;
+        ring.spans = spans;
+        ring.head = 0;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -937,6 +1131,78 @@ mod tests {
         t.finish(0, StageId::Sense, s, 1.0, 1.0, true);
         assert!(t.is_empty());
         assert_eq!(t.take_spans().len(), 0);
+    }
+
+    #[test]
+    fn tracer_checkpoint_round_trips_span_ring() {
+        use crate::checkpoint::Checkpoint;
+        let mut t = Tracer::sim(0.25).with_span_capacity(4);
+        for tick in 0..7u64 {
+            let s = t.start();
+            t.finish(
+                tick,
+                StageId::ALL[(tick % 5) as usize],
+                s,
+                1e-3 * tick as f64,
+                1e-4,
+                tick % 2 == 0,
+            );
+        }
+        let mut ckpt = Checkpoint::new("t");
+        t.save_state(&mut ckpt, "tracer");
+        let ckpt = Checkpoint::from_jsonl(&ckpt.to_jsonl()).expect("parses");
+        let mut back = Tracer::sim(0.25).with_span_capacity(4);
+        back.restore_state(&ckpt, "tracer").expect("restores");
+        let a: Vec<Span> = t.spans().copied().collect();
+        let b: Vec<Span> = back.spans().copied().collect();
+        assert_eq!(a, b, "span ring must round-trip in chronological order");
+        assert_eq!(a.first().unwrap().tick, 3, "oldest retained span");
+        // The restored ring keeps evicting oldest-first.
+        let s = back.start();
+        back.finish(99, StageId::Sense, s, 0.0, 0.0, true);
+        assert_eq!(back.spans().next().unwrap().tick, 4);
+    }
+
+    #[test]
+    fn fleet_tracer_checkpoint_round_trips_causal_ring() {
+        use crate::checkpoint::Checkpoint;
+        let t = FleetTracer::with_capacity(5);
+        let root = TraceContext::root(7, &[1]);
+        for i in 0..8u64 {
+            t.record(CausalSpan {
+                trace_id: root.trace_id,
+                span_id: trace_mix(root.span_id, &[i]),
+                parent_id: root.span_id,
+                kind: SpanKind::ALL[(i % 12) as usize],
+                node: i,
+                detail: i * 10,
+                start_s: i as f64,
+                end_s: i as f64 + 0.5,
+                ok: i % 3 != 0,
+            });
+        }
+        let mut ckpt = Checkpoint::new("ft");
+        t.save_state(&mut ckpt, "fleet_tracer");
+        let ckpt = Checkpoint::from_jsonl(&ckpt.to_jsonl()).expect("parses");
+        let mut back = FleetTracer::with_capacity(5);
+        back.restore_state(&ckpt, "fleet_tracer").expect("restores");
+        assert_eq!(back.spans(), t.spans(), "causal ring order/content");
+        assert_eq!(back.recorded(), 8, "total recorded survives eviction");
+        // The restored ring keeps the same eviction behaviour.
+        let next = CausalSpan {
+            trace_id: 7,
+            span_id: 1,
+            parent_id: 0,
+            kind: SpanKind::Health,
+            node: 0,
+            detail: 0,
+            start_s: 9.0,
+            end_s: 9.0,
+            ok: true,
+        };
+        t.record(next);
+        back.record(next);
+        assert_eq!(back.spans(), t.spans());
     }
 
     #[test]

@@ -1,0 +1,157 @@
+//! End-to-end checkpoint conformance: restoring a live fallible loop
+//! mid-recording and replaying the tail must produce zero [`Divergence`].
+//!
+//! The scenario is the hardest one the checkpoint layer supports: a
+//! 1000-tick run with an active fault injector (dropouts, stuck-at, latency
+//! spikes, NaN poison), retry/hold/fallback recovery, an energy budget whose
+//! rising pressure shifts the precision schedule from f64 into f32
+//! mid-run, and trust-driven precision holds. The run is snapshotted at
+//! three adversarially chosen ticks — early, exactly at the telemetry ring's
+//! wrap boundary, and inside a precision hold — each checkpoint shipped
+//! through its JSONL wire form, restored onto a freshly built twin, and the
+//! twin replayed against the recorded tail through the replay differ.
+
+use sensact_core::checkpoint::{Checkpoint, Section};
+use sensact_core::fault::FnTryPerceptor;
+use sensact_core::stage::{AlwaysTrust, FnController, FnSensor, StageContext};
+use sensact_core::{
+    EnergyBudget, FallibleLoop, FaultInjector, FaultProfile, Precision, PrecisionPolicy, Recording,
+    RecoveryPolicy, WithFallback,
+};
+
+const TICKS: usize = 1000;
+/// Telemetry ring capacity: wraps at tick 256, well inside the run.
+const RING: usize = 256;
+const SEED: u64 = 0x00C0_FFEE;
+
+#[test]
+fn restore_mid_recording_replays_tail_with_zero_divergence() {
+    let profile = FaultProfile {
+        dropout: 0.12,
+        stuck: 0.05,
+        latency_spike: 0.04,
+        spike_latency_s: 5e-4,
+        nan: 0.03,
+    };
+    let build = || {
+        let sensor = FaultInjector::new(
+            FnSensor::new(|e: &f64, ctx: &mut StageContext| {
+                // Energy depends on the environment, so budget pressure —
+                // and through it the precision schedule — is sensitive to
+                // every restored bit of env and action history.
+                ctx.charge(2e-4 * (1.0 + 0.1 * e.abs()), 1e-4);
+                *e
+            }),
+            profile,
+            SEED,
+        );
+        FallibleLoop::new(
+            "ckpt-conformance",
+            sensor,
+            FnTryPerceptor::new(|r: &f64, _: &mut StageContext| Ok(*r)),
+            AlwaysTrust,
+            WithFallback::new(
+                FnController::new(|f: &f64, _t, _: &mut StageContext| -0.4 * f + 0.03),
+                0.0,
+            ),
+        )
+        .with_budget(EnergyBudget::new(0.5))
+        .with_recovery(RecoveryPolicy {
+            max_retries: 1,
+            retry_energy_j: 1e-5,
+            max_hold_ticks: 2,
+            staleness_decay: 0.35,
+            latency_budget_s: None,
+        })
+        .with_precision(
+            // Drift threshold 0.3: a single staleness-degraded held tick
+            // (suspicion 0.35) arms the forced-f64 hold.
+            PrecisionPolicy::adaptive(0.12, 0.9)
+                .with_hold_ticks(4)
+                .with_drift_threshold(0.3),
+        )
+        .with_telemetry_capacity(RING)
+    };
+
+    // Uninterrupted reference run: collect every tick record (the ring only
+    // retains the last RING of them) and locate a snapshot tick that lands
+    // inside a trust-drift precision hold after the schedule turned mixed.
+    let mut reference = build();
+    let mut env = 8.0f64;
+    let mut records = Vec::with_capacity(TICKS);
+    let mut hold_cut = None;
+    for t in 0..TICKS {
+        let out = reference.tick(&env);
+        env += out.action;
+        records.push(*reference.telemetry().last_record().unwrap());
+        if hold_cut.is_none() && t > 2 * RING && reference.precision_governor().holding() {
+            hold_cut = Some(t + 1);
+        }
+    }
+    let hold_cut = hold_cut.expect("faulty run must arm a precision hold in the mixed era");
+
+    // The recording is genuinely adversarial: faults fired and both f64 and
+    // f32 ticks are on the schedule.
+    let f64s = records
+        .iter()
+        .filter(|r| r.precision == Precision::F64)
+        .count();
+    let f32s = records
+        .iter()
+        .filter(|r| r.precision == Precision::F32)
+        .count();
+    assert!(
+        f64s > 0 && f32s > 0,
+        "run must mix precisions: {f64s} f64 / {f32s} f32"
+    );
+    assert!(
+        reference.telemetry().fault_counters().faults > 0,
+        "faults must fire"
+    );
+
+    // Early / ring-wrap-boundary / mid-precision-hold.
+    for cut in [17, RING, hold_cut] {
+        // Re-run the prefix on a fresh loop (bit-identical to the reference
+        // prefix by determinism) and snapshot at the cut …
+        let mut warm = build();
+        let mut warm_env = 8.0f64;
+        for _ in 0..cut {
+            let out = warm.tick(&warm_env);
+            warm_env += out.action;
+        }
+        let mut ckpt = warm.snapshot();
+        let mut s = Section::new("env");
+        s.put_f64("state", warm_env);
+        ckpt.push(s);
+        // … ship it through the wire, kill the loop, and restore a freshly
+        // built twin from the parsed checkpoint.
+        let wire = ckpt.to_jsonl();
+        drop(warm);
+        let ckpt = Checkpoint::from_jsonl(&wire)
+            .unwrap_or_else(|e| panic!("checkpoint at tick {cut} failed to parse: {e:?}"));
+        let mut resumed = build();
+        resumed
+            .restore(&ckpt)
+            .unwrap_or_else(|e| panic!("restore at tick {cut} failed: {e:?}"));
+        let mut resumed_env = ckpt.section("env").unwrap().get_f64("state").unwrap();
+
+        // Replay the recorded tail: the differ compares every field of every
+        // tick record bit-for-bit and reports the first Divergence.
+        let mut tail = Recording::capture("ckpt-conformance", SEED, reference.telemetry());
+        tail.ticks = records[cut..].to_vec();
+        let verified = resumed
+            .replay(&mut resumed_env, &tail, |e, a| *e += a)
+            .unwrap_or_else(|d| panic!("tail replay after restore at tick {cut} diverged: {d:?}"));
+        assert_eq!(
+            verified as usize,
+            TICKS - cut,
+            "cut {cut} must verify the whole tail"
+        );
+        // And the resumed loop's final environment matches the reference's.
+        assert_eq!(
+            resumed_env.to_bits(),
+            env.to_bits(),
+            "cut {cut}: resumed environment must land bit-identically"
+        );
+    }
+}

@@ -50,6 +50,20 @@ impl StdRng {
         StdRng { s }
     }
 
+    /// The raw xoshiro256++ state words — the generator's exact stream
+    /// position. Round-trips through [`StdRng::from_state`] so a checkpoint
+    /// can resume the stream mid-sequence instead of reseeding.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuild a generator at an exact stream position captured with
+    /// [`StdRng::state`]. The next draw equals what the captured generator
+    /// would have produced next.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        StdRng { s }
+    }
+
     /// Next raw 64-bit output (xoshiro256++ scrambler).
     #[inline]
     pub fn next_u64(&mut self) -> u64 {

@@ -90,6 +90,24 @@ impl RunningStats {
         }
     }
 
+    /// The raw accumulator words `(count, mean, m2, min, max)` — everything
+    /// needed to rebuild this exact accumulator with
+    /// [`RunningStats::from_raw_parts`] (checkpoint serialization).
+    pub fn raw_parts(&self) -> (u64, f64, f64, f64, f64) {
+        (self.count, self.mean, self.m2, self.min, self.max)
+    }
+
+    /// Rebuild an accumulator from [`RunningStats::raw_parts`], bit-exactly.
+    pub fn from_raw_parts(count: u64, mean: f64, m2: f64, min: f64, max: f64) -> Self {
+        RunningStats {
+            count,
+            mean,
+            m2,
+            min,
+            max,
+        }
+    }
+
     /// Merge another accumulator into this one (parallel Welford merge).
     pub fn merge(&mut self, other: &RunningStats) {
         if other.count == 0 {

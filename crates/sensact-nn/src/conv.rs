@@ -17,6 +17,7 @@
 use crate::init::Initializer;
 use crate::layers::Layer;
 use crate::tensor::Tensor;
+use sensact_core::checkpoint::{Checkpoint, CheckpointError, Section, StageState};
 use sensact_math::kernels;
 use sensact_math::kernels::Precision as RunPrecision;
 
@@ -493,6 +494,40 @@ impl Layer for Conv3d {
     }
 }
 
+impl StageState for Conv3d {
+    fn save_state(&self, ckpt: &mut Checkpoint, ns: &str) {
+        let mut s = Section::new(ns);
+        s.put_f64s("weights", &self.weights);
+        s.put_f64s("bias", &self.bias);
+        // The f32 panel itself is a pure function of the weights, but
+        // *whether it exists* is state: a resumed layer must take the same
+        // lazy-init branch the original would have.
+        s.put_bool("f32_panel", self.weights_f32.is_some());
+        ckpt.push(s);
+    }
+
+    fn restore_state(&mut self, ckpt: &Checkpoint, ns: &str) -> Result<(), CheckpointError> {
+        let s = ckpt.section(ns)?;
+        let weights = s.get_f64s("weights")?;
+        if weights.len() != self.weights.len() {
+            return Err(CheckpointError::BadValue(format!("{ns}.weights")));
+        }
+        let bias = s.get_f64s("bias")?;
+        if bias.len() != self.bias.len() {
+            return Err(CheckpointError::BadValue(format!("{ns}.bias")));
+        }
+        self.weights = weights;
+        self.bias = bias;
+        // Per-step transients (gradients, cached activations) do not travel;
+        // a checkpoint always lands between forward/backward pairs.
+        self.cached_input = None;
+        self.weights_f32 = s
+            .get_bool("f32_panel")?
+            .then(|| self.weights.iter().map(|w| *w as f32).collect());
+        Ok(())
+    }
+}
+
 /// Transposed 3-D convolution (deconvolution) for decoder upsampling.
 #[derive(Debug, Clone)]
 pub struct Deconv3d {
@@ -715,6 +750,31 @@ impl Deconv3d {
             }
         }
         out
+    }
+}
+
+impl StageState for Deconv3d {
+    fn save_state(&self, ckpt: &mut Checkpoint, ns: &str) {
+        let mut s = Section::new(ns);
+        s.put_f64s("weights", &self.weights);
+        s.put_f64s("bias", &self.bias);
+        ckpt.push(s);
+    }
+
+    fn restore_state(&mut self, ckpt: &Checkpoint, ns: &str) -> Result<(), CheckpointError> {
+        let s = ckpt.section(ns)?;
+        let weights = s.get_f64s("weights")?;
+        if weights.len() != self.weights.len() {
+            return Err(CheckpointError::BadValue(format!("{ns}.weights")));
+        }
+        let bias = s.get_f64s("bias")?;
+        if bias.len() != self.bias.len() {
+            return Err(CheckpointError::BadValue(format!("{ns}.bias")));
+        }
+        self.weights = weights;
+        self.bias = bias;
+        self.cached_input = None;
+        Ok(())
     }
 }
 
@@ -1105,6 +1165,63 @@ mod tests {
         assert!(c.weights_f32.is_some());
         c.visit_params(&mut |_, _| {});
         assert!(c.weights_f32.is_none());
+    }
+
+    /// Conv weights (and the f32 panel's existence) restore bit-exactly:
+    /// both precision paths of a restored layer match the original.
+    #[test]
+    fn conv_checkpoint_round_trips_weights_and_panel() {
+        let mut rng = StdRng::seed_from_u64(0xCC01);
+        let dims = Dims3::new(4, 4, 4);
+        let mut init_a = Initializer::new(7);
+        let mut a = Conv3d::new(2, 3, 3, 1, 1, dims, &mut init_a);
+        for b in a.bias.iter_mut() {
+            *b = rng.random_range(-0.5..0.5);
+        }
+        let x = sparse_input(&mut rng, 2, 2 * dims.volume());
+        // Build the lazy f32 panel so its presence must survive the trip.
+        let _ = a.forward_with_precision(&x, RunPrecision::F32);
+        let mut ckpt = Checkpoint::new("conv");
+        a.save_state(&mut ckpt, "enc");
+        let ckpt = Checkpoint::from_jsonl(&ckpt.to_jsonl()).unwrap();
+        // Differently-initialized twin with the same architecture.
+        let mut init_b = Initializer::new(991);
+        let mut b = Conv3d::new(2, 3, 3, 1, 1, dims, &mut init_b);
+        b.restore_state(&ckpt, "enc").unwrap();
+        assert!(b.weights_f32.is_some(), "panel presence must be restored");
+        for prec in [RunPrecision::F64, RunPrecision::F32, RunPrecision::Int8] {
+            let ya = a.forward_with_precision(&x, prec);
+            let yb = b.forward_with_precision(&x, prec);
+            assert_eq!(ya.as_slice(), yb.as_slice(), "{prec:?} path diverged");
+        }
+        // Architecture mismatch is a typed error, not a panic.
+        let mut tiny = Conv3d::new(1, 1, 1, 1, 0, dims, &mut init_b);
+        assert!(matches!(
+            tiny.restore_state(&ckpt, "enc"),
+            Err(CheckpointError::BadValue(_))
+        ));
+    }
+
+    #[test]
+    fn deconv_checkpoint_round_trips_weights() {
+        let mut rng = StdRng::seed_from_u64(0xDC02);
+        let dims = Dims3::new(2, 2, 2);
+        let mut init_a = Initializer::new(8);
+        let mut a = Deconv3d::new(2, 1, 2, 2, 0, dims, &mut init_a);
+        for b in a.bias.iter_mut() {
+            *b = rng.random_range(-0.5..0.5);
+        }
+        let mut ckpt = Checkpoint::new("deconv");
+        a.save_state(&mut ckpt, "dec");
+        let ckpt = Checkpoint::from_jsonl(&ckpt.to_jsonl()).unwrap();
+        let mut init_b = Initializer::new(552);
+        let mut b = Deconv3d::new(2, 1, 2, 2, 0, dims, &mut init_b);
+        b.restore_state(&ckpt, "dec").unwrap();
+        let x = sparse_input(&mut rng, 1, 2 * dims.volume());
+        assert_eq!(
+            a.forward(&x, false).as_slice(),
+            b.forward(&x, false).as_slice()
+        );
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! [`DynLoop`] surface the scheduler drives.
 
 use sensact_core::adapt::AdaptationPolicy;
+use sensact_core::checkpoint::{Checkpoint, CheckpointError, Section, StageState, StateVec};
 use sensact_core::fault::{FailSafe, FiniteCheck, TryPerceptor, TrySensor};
 use sensact_core::stage::{Controller, Monitor, Perceptor, Sensor};
 use sensact_core::{
@@ -78,6 +79,23 @@ pub trait DynLoop: Send {
     /// under the scheduler's tick span and one distributed operation
     /// reconstructs as a single trace tree. Loops that don't trace ignore it.
     fn set_trace_context(&mut self, _ctx: TraceContext) {}
+
+    /// Serialize the loop's complete live state — stages, telemetry, and the
+    /// closed-over environment — into a [`Checkpoint`] for kill-and-resume
+    /// or live migration ([`FleetScheduler::snapshot_member`](crate::FleetScheduler::snapshot_member)).
+    /// Only the checkpointable adapters ([`LoopHandle::closed_checkpointable`],
+    /// [`LoopHandle::closed_fallible_checkpointable`]) override this; other
+    /// loops are honest about not supporting it rather than snapshotting
+    /// partial state.
+    fn save_state(&self) -> Result<Checkpoint, CheckpointError> {
+        Err(CheckpointError::Unsupported)
+    }
+
+    /// Restore state saved by [`DynLoop::save_state`] onto an identically
+    /// constructed loop.
+    fn restore_from(&mut self, _ckpt: &Checkpoint) -> Result<(), CheckpointError> {
+        Err(CheckpointError::Unsupported)
+    }
 }
 
 /// A [`SensingActionLoop`] closed over its environment.
@@ -181,6 +199,151 @@ where
     }
 }
 
+/// Section id under which the closed-over environment travels in a
+/// checkpointed handle (alongside the loop's own sections).
+const ENV_SECTION: &str = "env";
+
+/// Save a closed-over environment into a loop checkpoint.
+fn save_env<E: StateVec>(ckpt: &mut Checkpoint, env: &E) {
+    let mut s = Section::new(ENV_SECTION);
+    s.put_f64s("state", &env.to_state());
+    ckpt.push(s);
+}
+
+/// Restore a closed-over environment from a loop checkpoint.
+fn restore_env<E: StateVec>(ckpt: &Checkpoint) -> Result<E, CheckpointError> {
+    let state = ckpt.section(ENV_SECTION)?.get_f64s("state")?;
+    E::from_state(&state).ok_or_else(|| CheckpointError::BadValue("env.state".into()))
+}
+
+/// A [`SensingActionLoop`] closed over its environment whose every stage
+/// implements [`StageState`]: the checkpointable variant of [`ClosedLoop`],
+/// able to serialize loop *and* environment for kill-and-resume.
+struct CheckpointableLoop<S, P, M, C, Ad, E, F> {
+    inner: SensingActionLoop<S, P, M, C, Ad>,
+    env: E,
+    apply: F,
+}
+
+impl<S, P, M, C, Ad, E, F> DynLoop for CheckpointableLoop<S, P, M, C, Ad, E, F>
+where
+    S: Sensor<E> + StageState + Send,
+    P: Perceptor<S::Reading> + StageState + Send,
+    M: Monitor<P::Features> + StageState + Send,
+    C: Controller<P::Features> + StageState + Send,
+    Ad: AdaptationPolicy<S, C::Action> + StageState + Send,
+    E: StateVec + Send,
+    F: FnMut(&mut E, &C::Action) + Send,
+{
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn tick_once(&mut self) -> TickOutcome {
+        let out = self.inner.tick(&self.env);
+        (self.apply)(&mut self.env, &out.action);
+        TickOutcome {
+            energy_j: out.energy_j,
+            latency_s: out.latency_s,
+            comm_s: 0.0,
+            faults: 0,
+        }
+    }
+
+    fn telemetry(&self) -> &LoopTelemetry {
+        self.inner.telemetry()
+    }
+
+    fn record_deadline_miss(&mut self, latency_s: f64, budget_s: f64) {
+        self.inner
+            .telemetry_mut()
+            .record_fault(&StageError::Timeout {
+                latency_s,
+                budget_s,
+            });
+    }
+
+    fn set_precision_hint(&mut self, hint: Option<Precision>) {
+        self.inner.set_precision_hint(hint);
+    }
+
+    fn save_state(&self) -> Result<Checkpoint, CheckpointError> {
+        let mut ckpt = self.inner.snapshot();
+        save_env(&mut ckpt, &self.env);
+        Ok(ckpt)
+    }
+
+    fn restore_from(&mut self, ckpt: &Checkpoint) -> Result<(), CheckpointError> {
+        self.inner.restore(ckpt)?;
+        self.env = restore_env(ckpt)?;
+        Ok(())
+    }
+}
+
+/// A [`FallibleLoop`] closed over its environment, checkpointable like
+/// [`CheckpointableLoop`] (held features and fault-injector RNG included).
+struct CheckpointableFallibleLoop<S, P, M, C, Ad, Feat, E, F> {
+    inner: FallibleLoop<S, P, M, C, Ad, Feat>,
+    env: E,
+    apply: F,
+}
+
+impl<S, P, M, C, Ad, Feat, E, F> DynLoop for CheckpointableFallibleLoop<S, P, M, C, Ad, Feat, E, F>
+where
+    S: TrySensor<E> + StageState + Send,
+    P: TryPerceptor<S::Reading, Features = Feat> + StageState + Send,
+    Feat: Clone + FiniteCheck + StateVec + Send,
+    M: Monitor<Feat> + StageState + Send,
+    C: FailSafe<Feat> + StageState + Send,
+    Ad: AdaptationPolicy<S, C::Action> + StageState + Send,
+    E: StateVec + Send,
+    F: FnMut(&mut E, &C::Action) + Send,
+{
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn tick_once(&mut self) -> TickOutcome {
+        let out = self.inner.tick(&self.env);
+        (self.apply)(&mut self.env, &out.action);
+        TickOutcome {
+            energy_j: out.energy_j,
+            latency_s: out.latency_s,
+            comm_s: 0.0,
+            faults: out.faults,
+        }
+    }
+
+    fn telemetry(&self) -> &LoopTelemetry {
+        self.inner.telemetry()
+    }
+
+    fn record_deadline_miss(&mut self, latency_s: f64, budget_s: f64) {
+        self.inner
+            .telemetry_mut()
+            .record_fault(&StageError::Timeout {
+                latency_s,
+                budget_s,
+            });
+    }
+
+    fn set_precision_hint(&mut self, hint: Option<Precision>) {
+        self.inner.set_precision_hint(hint);
+    }
+
+    fn save_state(&self) -> Result<Checkpoint, CheckpointError> {
+        let mut ckpt = self.inner.snapshot();
+        save_env(&mut ckpt, &self.env);
+        Ok(ckpt)
+    }
+
+    fn restore_from(&mut self, ckpt: &Checkpoint) -> Result<(), CheckpointError> {
+        self.inner.restore(ckpt)?;
+        self.env = restore_env(ckpt)?;
+        Ok(())
+    }
+}
+
 /// An owned, type-erased member loop ready for fleet registration.
 ///
 /// Constructed by closing a loop over its environment
@@ -242,6 +405,52 @@ impl LoopHandle {
         }
     }
 
+    /// Like [`LoopHandle::closed`], but checkpointable: every stage
+    /// implements [`StageState`] and the environment round-trips through
+    /// [`StateVec`], so [`LoopHandle::save_state`] captures loop and
+    /// environment together for kill-and-resume or migration.
+    pub fn closed_checkpointable<S, P, M, C, Ad, E, F>(
+        inner: SensingActionLoop<S, P, M, C, Ad>,
+        env: E,
+        apply: F,
+    ) -> Self
+    where
+        S: Sensor<E> + StageState + Send + 'static,
+        P: Perceptor<S::Reading> + StageState + Send + 'static,
+        M: Monitor<P::Features> + StageState + Send + 'static,
+        C: Controller<P::Features> + StageState + Send + 'static,
+        Ad: AdaptationPolicy<S, C::Action> + StageState + Send + 'static,
+        E: StateVec + Send + 'static,
+        F: FnMut(&mut E, &C::Action) + Send + 'static,
+    {
+        LoopHandle {
+            inner: Box::new(CheckpointableLoop { inner, env, apply }),
+        }
+    }
+
+    /// Like [`LoopHandle::closed_fallible`], but checkpointable (see
+    /// [`LoopHandle::closed_checkpointable`]); the snapshot additionally
+    /// carries held features, staleness, and fault-injector RNG positions.
+    pub fn closed_fallible_checkpointable<S, P, M, C, Ad, Feat, E, F>(
+        inner: FallibleLoop<S, P, M, C, Ad, Feat>,
+        env: E,
+        apply: F,
+    ) -> Self
+    where
+        S: TrySensor<E> + StageState + Send + 'static,
+        P: TryPerceptor<S::Reading, Features = Feat> + StageState + Send + 'static,
+        Feat: Clone + FiniteCheck + StateVec + Send + 'static,
+        M: Monitor<Feat> + StageState + Send + 'static,
+        C: FailSafe<Feat> + StageState + Send + 'static,
+        Ad: AdaptationPolicy<S, C::Action> + StageState + Send + 'static,
+        E: StateVec + Send + 'static,
+        F: FnMut(&mut E, &C::Action) + Send + 'static,
+    {
+        LoopHandle {
+            inner: Box::new(CheckpointableFallibleLoop { inner, env, apply }),
+        }
+    }
+
     /// Wrap a custom [`DynLoop`] implementation.
     pub fn from_dyn(inner: Box<dyn DynLoop>) -> Self {
         LoopHandle { inner }
@@ -283,6 +492,18 @@ impl LoopHandle {
     /// [`DynLoop::set_trace_context`]).
     pub fn set_trace_context(&mut self, ctx: TraceContext) {
         self.inner.set_trace_context(ctx);
+    }
+
+    /// Serialize the loop and its environment (see [`DynLoop::save_state`]);
+    /// `Err(Unsupported)` unless built with a checkpointable constructor.
+    pub fn save_state(&self) -> Result<Checkpoint, CheckpointError> {
+        self.inner.save_state()
+    }
+
+    /// Restore state saved by [`LoopHandle::save_state`] (see
+    /// [`DynLoop::restore_from`]).
+    pub fn restore_from(&mut self, ckpt: &Checkpoint) -> Result<(), CheckpointError> {
+        self.inner.restore_from(ckpt)
     }
 }
 

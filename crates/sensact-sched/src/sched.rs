@@ -30,6 +30,7 @@
 use crate::arbiter::EnergyArbiter;
 use crate::handle::LoopHandle;
 use crate::queue::{tie_break, Release, ShardedQueue};
+use sensact_core::checkpoint::{Checkpoint, CheckpointError, Section};
 use sensact_core::health::{encode_transition, HealthScorer};
 use sensact_core::trace::{trace_mix, SimClock};
 use sensact_core::{
@@ -783,6 +784,64 @@ impl FleetScheduler {
     /// A member loop's name.
     pub fn loop_name(&mut self, id: LoopId) -> String {
         self.slot_mut(id).handle.name().to_string()
+    }
+
+    /// Serialize member `id` for kill-and-resume or live migration: the
+    /// loop's own checkpoint ([`LoopHandle::save_state`] — stages,
+    /// telemetry, environment) plus a `sched.slot` section carrying the
+    /// scheduler-side accounting (cumulative [`LoopStats`] and the loop's
+    /// sequential-completion frontier).
+    ///
+    /// `Err(Unsupported)` for members not registered through a
+    /// checkpointable constructor. Snapshot between runs, not mid-run — the
+    /// run methods hold the slots.
+    pub fn snapshot_member(&mut self, id: LoopId) -> Result<Checkpoint, CheckpointError> {
+        let slot = self.slot_mut(id);
+        let mut ckpt = slot.handle.save_state()?;
+        let mut s = Section::new("sched.slot");
+        s.put_u64("ticks", slot.stats.ticks);
+        s.put_u64("drops", slot.stats.drops);
+        s.put_u64("deadline_misses", slot.stats.deadline_misses);
+        s.put_u64("faults", slot.stats.faults);
+        s.put_f64("energy_j", slot.stats.energy_j);
+        s.put_f64("busy_s", slot.stats.busy_s);
+        s.put_f64("comm_s", slot.stats.comm_s);
+        s.put_f64("last_completion_s", slot.last_completion_s);
+        ckpt.push(s);
+        Ok(ckpt)
+    }
+
+    /// Replace member `id` with `handle` restored from a
+    /// [`FleetScheduler::snapshot_member`] checkpoint — the adoption half of
+    /// a migration. The handle must be constructed identically to the
+    /// snapshotted member (same stages, seeds, policies); the member's
+    /// timing spec stays as registered. On success the slot's stats and
+    /// completion frontier are restored too, so subsequent deterministic
+    /// runs are bit-identical to a fleet whose member was never killed. On
+    /// error the existing member is left untouched.
+    pub fn adopt_member(
+        &mut self,
+        id: LoopId,
+        mut handle: LoopHandle,
+        ckpt: &Checkpoint,
+    ) -> Result<(), CheckpointError> {
+        handle.restore_from(ckpt)?;
+        let s = ckpt.section("sched.slot")?;
+        let stats = LoopStats {
+            ticks: s.get_u64("ticks")?,
+            drops: s.get_u64("drops")?,
+            deadline_misses: s.get_u64("deadline_misses")?,
+            faults: s.get_u64("faults")?,
+            energy_j: s.get_f64("energy_j")?,
+            busy_s: s.get_f64("busy_s")?,
+            comm_s: s.get_f64("comm_s")?,
+        };
+        let last_completion_s = s.get_f64("last_completion_s")?;
+        let slot = self.slot_mut(id);
+        slot.handle = handle;
+        slot.stats = stats;
+        slot.last_completion_s = last_completion_s;
+        Ok(())
     }
 
     fn initial_release(&mut self, idx: usize) -> Release {
@@ -1778,6 +1837,154 @@ mod tests {
         let dash = report.dashboard(&fleet_reg);
         assert!(dash.contains("health"), "{dash}");
         assert!(dash.contains("tick latency (s)"), "{dash}");
+    }
+
+    /// A checkpointable member whose charged latency depends on its
+    /// environment, so the deterministic trace hash is sensitive to every
+    /// restored bit of loop *and* environment state.
+    fn stateful_handle(name: &str) -> LoopHandle {
+        let looop = LoopBuilder::new(name).build(
+            FnSensor::new(|e: &f64, ctx: &mut StageContext| {
+                ctx.charge(1e-6, 1e-4 * (1.0 + e.abs()));
+                *e
+            }),
+            FnPerceptor::new(|r: &f64, _: &mut StageContext| *r),
+            FnController::new(|f: &f64, _t, _: &mut StageContext| -0.3 * f + 0.02),
+        );
+        LoopHandle::closed_checkpointable(looop, 4.0f64, |e, a| *e += a)
+    }
+
+    /// A checkpointable fallible member: dropout faults, retries, and held
+    /// features all hang off the injector's RNG position.
+    fn faulty_handle(name: &str, seed: u64) -> LoopHandle {
+        use sensact_core::fault::{
+            FaultInjector, FaultProfile, FnTryPerceptor, RecoveryPolicy, WithFallback,
+        };
+        use sensact_core::stage::AlwaysTrust;
+        use sensact_core::FallibleLoop;
+        let sensor = FaultInjector::new(
+            FnSensor::new(|e: &f64, ctx: &mut StageContext| {
+                ctx.charge(1e-6, 1e-4 * (1.0 + e.abs()));
+                *e
+            }),
+            FaultProfile::dropout(0.25),
+            seed,
+        );
+        let looop = FallibleLoop::new(
+            name,
+            sensor,
+            FnTryPerceptor::new(|r: &f64, _: &mut StageContext| Ok(*r)),
+            AlwaysTrust,
+            WithFallback::new(
+                FnController::new(|f: &f64, _t, _: &mut StageContext| -0.3 * f + 0.02),
+                0.0,
+            ),
+        )
+        .with_recovery(RecoveryPolicy {
+            max_retries: 1,
+            retry_energy_j: 1e-7,
+            max_hold_ticks: 2,
+            staleness_decay: 0.3,
+            latency_budget_s: None,
+        });
+        LoopHandle::closed_fallible_checkpointable(looop, 3.0f64, |e, a| *e += a)
+    }
+
+    /// Tentpole: kill-and-resume. After a warm-up run, both members are
+    /// snapshotted over the JSONL wire, dropped, and their state adopted by
+    /// freshly built twins; the next deterministic run's trace hash — which
+    /// folds every completion time, hence every restored bit that shapes a
+    /// latency — must equal the uninterrupted fleet's bit-for-bit.
+    #[test]
+    fn snapshot_killed_members_resume_fleet_trace_bit_exactly() {
+        let build = |seed| {
+            let mut sched = FleetScheduler::new(FleetConfig {
+                workers: 2,
+                watts_cap: None,
+                seed,
+            });
+            let a = sched.register(stateful_handle("alpha"), LoopSpec::periodic(1e-2));
+            let b = sched.register(
+                faulty_handle("beta", 11),
+                LoopSpec::periodic(7e-3).with_budget(6e-3),
+            );
+            (sched, a, b)
+        };
+        let summarize = |sched: &mut FleetScheduler, id: LoopId| {
+            let stats = sched.loop_stats(id);
+            let t = sched.loop_telemetry(id);
+            (
+                stats,
+                t.ticks(),
+                t.total_energy_j().to_bits(),
+                t.fault_counters(),
+            )
+        };
+        // Uninterrupted reference: warm-up run, then the measured run.
+        let (mut reference, ra, rb) = build(17);
+        let _ = reference.run_deterministic(0.15, &mut SimClock::new());
+        let ref_report = reference.run_deterministic(0.15, &mut SimClock::new());
+        // Migrated fleet: identical warm-up, then both members are killed
+        // and resumed from their wire checkpoints on fresh twins.
+        let (mut migrated, ma, mb) = build(17);
+        let _ = migrated.run_deterministic(0.15, &mut SimClock::new());
+        for (id, fresh) in [
+            (ma, stateful_handle("alpha")),
+            (mb, faulty_handle("beta", 11)),
+        ] {
+            let wire = migrated.snapshot_member(id).unwrap().to_jsonl();
+            let ckpt = Checkpoint::from_jsonl(&wire).unwrap();
+            migrated.adopt_member(id, fresh, &ckpt).unwrap();
+        }
+        let mig_report = migrated.run_deterministic(0.15, &mut SimClock::new());
+        assert_eq!(
+            mig_report.trace_hash, ref_report.trace_hash,
+            "resumed fleet must replay the uninterrupted trace bit-for-bit"
+        );
+        assert_eq!(
+            summarize(&mut migrated, ma),
+            summarize(&mut reference, ra),
+            "resumed member state must be bit-identical"
+        );
+        assert_eq!(summarize(&mut migrated, mb), summarize(&mut reference, rb));
+        // And the hash is genuinely state-sensitive: adopting a stale
+        // (pre-warm-up) checkpoint diverges the replayed trace.
+        let (mut stale, sa, _sb) = build(17);
+        let cold = stale.snapshot_member(sa).unwrap();
+        let _ = stale.run_deterministic(0.15, &mut SimClock::new());
+        stale
+            .adopt_member(sa, stateful_handle("alpha"), &cold)
+            .unwrap();
+        let stale_report = stale.run_deterministic(0.15, &mut SimClock::new());
+        assert_ne!(
+            stale_report.trace_hash, ref_report.trace_hash,
+            "a stale checkpoint must be observable in the trace hash"
+        );
+    }
+
+    /// Members not built through a checkpointable constructor refuse to
+    /// snapshot with a typed error, and a failed adoption leaves the
+    /// existing member untouched.
+    #[test]
+    fn non_checkpointable_member_snapshot_is_unsupported() {
+        let mut sched = FleetScheduler::new(FleetConfig {
+            workers: 1,
+            watts_cap: None,
+            seed: 0,
+        });
+        let plain = sched.register(handle("plain", 1e-6, 1e-4), LoopSpec::periodic(1e-2));
+        let able = sched.register(stateful_handle("able"), LoopSpec::periodic(1e-2));
+        let _ = sched.run_deterministic(0.05, &mut SimClock::new());
+        assert!(matches!(
+            sched.snapshot_member(plain),
+            Err(CheckpointError::Unsupported)
+        ));
+        let before = sched.loop_stats(able);
+        let err = sched.adopt_member(able, stateful_handle("able"), &Checkpoint::new("empty"));
+        assert!(err.is_err(), "an empty checkpoint cannot be adopted");
+        assert_eq!(sched.loop_stats(able), before, "member must be untouched");
+        let after = sched.run_deterministic(0.05, &mut SimClock::new());
+        assert!(after.ticks > 0, "fleet keeps running after a failed adopt");
     }
 
     /// The scheduler anchors every tick on the virtual timeline via

@@ -9,6 +9,7 @@
 
 use crate::features::{extract_features, FEATURE_DIM};
 use crate::regret::{likelihood_regret, RegretConfig};
+use sensact_core::checkpoint::{Checkpoint, CheckpointError, Section, StageState};
 use sensact_core::stage::{Monitor, StageContext, Trust};
 use sensact_lidar::PointCloud;
 use sensact_math::stats;
@@ -145,6 +146,31 @@ impl Starnet {
     }
 }
 
+impl StageState for Starnet {
+    fn save_state(&self, ckpt: &mut Checkpoint, ns: &str) {
+        let mut s = Section::new(ns);
+        // `calls` seeds each score's SPSA stream (`score_seed + calls`); the
+        // VAE itself is restored in place by `likelihood_regret` after every
+        // score, so the call counter is the only per-tick drift. Thresholds
+        // and the seed travel too so a restore works onto a monitor trained
+        // on different data.
+        s.put_u64("calls", self.calls);
+        s.put_u64("score_seed", self.score_seed);
+        s.put_f64("suspect_threshold", self.suspect_threshold);
+        s.put_f64("untrusted_threshold", self.untrusted_threshold);
+        ckpt.push(s);
+    }
+
+    fn restore_state(&mut self, ckpt: &Checkpoint, ns: &str) -> Result<(), CheckpointError> {
+        let s = ckpt.section(ns)?;
+        self.calls = s.get_u64("calls")?;
+        self.score_seed = s.get_u64("score_seed")?;
+        self.suspect_threshold = s.get_f64("suspect_threshold")?;
+        self.untrusted_threshold = s.get_f64("untrusted_threshold")?;
+        Ok(())
+    }
+}
+
 impl std::fmt::Debug for Starnet {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Starnet")
@@ -264,6 +290,29 @@ mod tests {
     fn too_few_samples_panics() {
         let samples = vec![vec![0.0; 4]; 3];
         let _ = Starnet::train(&samples, StarnetConfig::default(), 0);
+    }
+
+    /// The monitor's only per-tick drift is the score-call counter (it
+    /// offsets each SPSA seed). Restoring it must make post-restore scores
+    /// bit-identical to the uninterrupted sequence.
+    #[test]
+    fn checkpoint_resumes_score_stream_exactly() {
+        let train = clouds(10, 6);
+        let test: Vec<Vec<f64>> = clouds(8, 70).iter().map(extract_features).collect();
+        let mut reference = train_on_clouds(&train, fast_config(), 0);
+        let full: Vec<u64> = test.iter().map(|f| reference.score(f).to_bits()).collect();
+
+        let mut a = train_on_clouds(&train, fast_config(), 0);
+        for f in &test[..3] {
+            let _ = a.score(f);
+        }
+        let mut ckpt = Checkpoint::new("starnet");
+        a.save_state(&mut ckpt, "monitor");
+        let ckpt = Checkpoint::from_jsonl(&ckpt.to_jsonl()).unwrap();
+        let mut b = train_on_clouds(&train, fast_config(), 0);
+        b.restore_state(&ckpt, "monitor").unwrap();
+        let tail: Vec<u64> = test[3..].iter().map(|f| b.score(f).to_bits()).collect();
+        assert_eq!(tail, full[3..], "score stream diverged after restore");
     }
 
     #[test]

@@ -9,6 +9,9 @@
 //! however small per frame — accumulates into a drift statistic (a CUSUM-style
 //! one-sided test).
 
+use sensact_core::checkpoint::{
+    get_opt_state, put_opt_state, Checkpoint, CheckpointError, Section, StageState,
+};
 use sensact_core::stage::Trust;
 
 /// Configuration of the drift tracker.
@@ -124,6 +127,36 @@ impl TemporalConsistency {
     }
 }
 
+impl StageState for TemporalConsistency {
+    fn save_state(&self, ckpt: &mut Checkpoint, ns: &str) {
+        let mut s = Section::new(ns);
+        // Every mutable field travels: the frozen baseline and its scale are
+        // *state* (they depend on the frames seen before the snapshot), not
+        // configuration — dropping them would re-enter calibration and mask
+        // an in-progress drift alarm.
+        s.put_f64("short_mean", self.short_mean);
+        s.put_f64("baseline_sum", self.baseline_sum);
+        s.put_u64("baseline_count", self.baseline_count as u64);
+        put_opt_state(&mut s, "baseline", &self.baseline);
+        s.put_f64("baseline_scale", self.baseline_scale);
+        s.put_f64("drift", self.drift);
+        s.put_u64("frames", self.frames);
+        ckpt.push(s);
+    }
+
+    fn restore_state(&mut self, ckpt: &Checkpoint, ns: &str) -> Result<(), CheckpointError> {
+        let s = ckpt.section(ns)?;
+        self.short_mean = s.get_f64("short_mean")?;
+        self.baseline_sum = s.get_f64("baseline_sum")?;
+        self.baseline_count = s.get_u64("baseline_count")? as usize;
+        self.baseline = get_opt_state(s, "baseline")?;
+        self.baseline_scale = s.get_f64("baseline_scale")?;
+        self.drift = s.get_f64("drift")?;
+        self.frames = s.get_u64("frames")?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -208,6 +241,33 @@ mod tests {
         tracker.reset_drift();
         assert_eq!(tracker.drift(), 0.0);
         assert!(tracker.calibrated());
+    }
+
+    /// Snapshot/restore must carry the CUSUM state mid-accumulation: the
+    /// resumed tracker alarms at exactly the same frame as the uninterrupted
+    /// one, both when cut during calibration and mid-drift.
+    #[test]
+    fn checkpoint_resumes_drift_accumulation_exactly() {
+        let scores: Vec<f64> = (0..300)
+            .map(|t| 1.0 * 1.006f64.powi(t) * (0.9 + 0.01 * (t % 7) as f64))
+            .collect();
+        let mut reference = TemporalConsistency::new(TemporalConfig::default());
+        let full: Vec<Trust> = scores.iter().map(|s| reference.observe(*s)).collect();
+        for cut in [5usize, 20, 150] {
+            let mut a = TemporalConsistency::new(TemporalConfig::default());
+            for s in &scores[..cut] {
+                let _ = a.observe(*s);
+            }
+            let mut ckpt = Checkpoint::new("tc");
+            a.save_state(&mut ckpt, "tc");
+            let ckpt = Checkpoint::from_jsonl(&ckpt.to_jsonl()).unwrap();
+            let mut b = TemporalConsistency::new(TemporalConfig::default());
+            b.restore_state(&ckpt, "tc").unwrap();
+            assert_eq!(b.calibrated(), a.calibrated());
+            assert_eq!(b.drift().to_bits(), a.drift().to_bits());
+            let tail: Vec<Trust> = scores[cut..].iter().map(|s| b.observe(*s)).collect();
+            assert_eq!(tail, full[cut..], "verdicts diverged after cut {cut}");
+        }
     }
 
     #[test]

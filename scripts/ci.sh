@@ -38,6 +38,9 @@ cargo run --offline --release -p sensact-bench --bin bench_gate
 echo "== replay round-trip (1k-tick faulty run) =="
 cargo test --offline -q --test replay_integration
 
+echo "== checkpoint conformance (restore mid-recording, zero-divergence tail) =="
+cargo test --offline -q -p sensact-core --test checkpoint_replay
+
 echo "== conformance smoke (differential kernel matrix, host ISA) =="
 cargo run --offline --release -p sensact-bench --bin conformance -- --smoke
 
@@ -52,6 +55,12 @@ SENSACT_FORCE_SCALAR=1 cargo run --offline --release -p sensact-bench --bin kern
 
 echo "== fleet scheduler smoke (throughput + overhead) =="
 cargo run --offline --release -p sensact-bench --bin bench_sched -- --smoke
+
+echo "== checkpoint bench smoke (snapshot/restore/migration, host ISA) =="
+cargo run --offline --release -p sensact-bench --bin bench_ckpt -- --smoke
+
+echo "== checkpoint bench smoke (forced-scalar path) =="
+SENSACT_FORCE_SCALAR=1 cargo run --offline --release -p sensact-bench --bin bench_ckpt -- --smoke
 
 echo "== federated fleet smoke (network sweeps, host ISA) =="
 cargo run --offline --release -p sensact-bench --bin bench_fed -- --smoke
