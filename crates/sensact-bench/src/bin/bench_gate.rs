@@ -2,12 +2,19 @@
 //! the exact shared workloads ([`sensact_bench::obsbench`]) and compare them
 //! against the committed baselines with a tolerance band.
 //!
-//! Two headline checks:
+//! Three headline checks:
 //!
 //! * `BENCH_obs.json` → `realistic.disabled_overhead_pct` — the paired
 //!   baseline-vs-disabled-tracer tick (the plane's always-on cost);
 //! * `BENCH_sched.json` → `overhead_fleet1.overhead_pct` — the paired
-//!   raw-vs-scheduled tick at fleet size 1.
+//!   raw-vs-scheduled tick at fleet size 1;
+//! * `BENCH_serve.json` → `gate.p99_ratio_pct` and
+//!   `gate.median_cost_ratio_pct` — batched serving cost as a percentage of
+//!   per-loop dispatch at fleet 64 (the cross-loop batching win; a
+//!   regression means batching stopped paying for itself). The two modes
+//!   are interleaved round-by-round so machine-load epochs cancel out of
+//!   the paired quotients; the p99 ratio is the tail headline, the median
+//!   cost ratio the tight (±1 pp) sustained-cost one.
 //!
 //! Overheads are percentages of a microsecond-scale tick, so the band is
 //! absolute percentage points: a fresh measurement may exceed its committed
@@ -19,6 +26,7 @@
 //! `scripts/ci.sh` bench_gate step.
 
 use sensact_bench::obsbench::{paired_realistic, sched_overhead_case};
+use sensact_bench::servebench::serve_gate_headline;
 use sensact_core::Tracer;
 
 /// Extract the number following `"key":` — enough JSON for our own
@@ -88,6 +96,45 @@ fn main() {
         "scheduler per-tick overhead",
         committed_sched,
         fresh_sched,
+        tol_pp,
+        &mut failures,
+    );
+
+    let serve = std::fs::read_to_string(format!("{root}/BENCH_serve.json"))
+        .expect("read BENCH_serve.json at the repo root");
+    // Scope the key lookup to the "gate" object: the per-fleet rows carry a
+    // median_cost_ratio_pct of their own.
+    let gate_at = serve
+        .find("\"gate\"")
+        .expect("BENCH_serve.json carries a gate object");
+    let committed_p99 = json_number(&serve[gate_at..], "p99_ratio_pct")
+        .expect("BENCH_serve.json carries gate.p99_ratio_pct");
+    let committed_median = json_number(&serve[gate_at..], "median_cost_ratio_pct")
+        .expect("BENCH_serve.json carries gate.median_cost_ratio_pct");
+    // The ratios are ~tens of percent, so the pp band is applied to them
+    // directly: batched cost creeping up relative to per-loop dispatch is
+    // the regression these lines exist to catch. Three single 400-round
+    // passes, best (lowest) of each ratio: a preemption burst pollutes one
+    // pass, a genuine batching regression raises all three floors. The
+    // committed baselines are medians over five such passes (`bench_serve`),
+    // so the fresh floor sits at or below them unless batching regressed.
+    let (mut fresh_p99, mut fresh_median) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..3 {
+        let (p99, median) = serve_gate_headline(64, 400, 1);
+        fresh_p99 = fresh_p99.min(p99);
+        fresh_median = fresh_median.min(median);
+    }
+    check(
+        "serving batched/unbatched p99",
+        committed_p99,
+        fresh_p99,
+        tol_pp,
+        &mut failures,
+    );
+    check(
+        "serving batched/unbatched median",
+        committed_median,
+        fresh_median,
         tol_pp,
         &mut failures,
     );

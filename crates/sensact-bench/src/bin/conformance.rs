@@ -24,6 +24,12 @@
 //!   operands, `beta = 0` — **bitwise**
 //! - `Conv3d::forward`/`Deconv3d::forward` vs. `forward_reference` —
 //!   max |Δ| ≤ 1e-12 (im2col reorders additions), ULP reported
+//! - `gemm_batched`/`gemm_transb_batched` vs. the per-item kernels over
+//!   seeded shapes *including ragged tail batches* — **bitwise** (the
+//!   batched kernels pin dispatch on the per-item shape)
+//! - `Conv3d::forward_batch` vs. the per-row forward — **bitwise** at f64
+//!   for every batch size; f32/int8 batched outputs stay within their
+//!   analytic precision tiers of the f64 per-row reference
 //! - `Lidar::scan`/`scan_serial` vs. `scan_reference` — **bitwise**
 //! - fake-quantize grid invariants (on-grid, idempotent, half-step error
 //!   bound, poisoned-buffer saturation) over seeded buffers
@@ -423,6 +429,227 @@ fn conv_pairs(smoke: bool, pairs: &mut Vec<Pair>) {
     ));
 }
 
+/// Batched GEMM vs. per-item dispatch: the serving front-end's cross-loop
+/// batching contract. Both batched kernels pin their internal dispatch on
+/// the PER-ITEM shape, so every slab must be bitwise identical to calling
+/// the per-item kernel on it — including ragged batch sizes that don't
+/// fill the register blocking.
+fn batched_gemm_pairs(smoke: bool, pairs: &mut Vec<Pair>) {
+    let batches: &[usize] = if smoke { &[1, 3] } else { &[1, 2, 3, 5, 8] };
+    let shapes: &[(usize, usize, usize)] = if smoke {
+        &[(4, 4, 8), (8, 16, 27)]
+    } else {
+        // Shapes straddle the SIMD eligibility threshold so both the
+        // vectorized and scalar per-item paths are exercised; k = 0 checks
+        // the pure beta-scaling edge.
+        &[(4, 4, 8), (3, 5, 7), (8, 16, 27), (16, 64, 27), (4, 4, 0)]
+    };
+    let params: &[(f64, f64)] = &[(1.0, 0.0), (1.0, 1.0), (-0.5, 0.75)];
+    let mut rng = StdRng::seed_from_u64(0xC0F0_0005);
+    let (mut b_ulp, mut b_abs, mut b_cases) = (0u64, 0.0f64, 0usize);
+    let (mut t_ulp, mut t_abs, mut t_cases) = (0u64, 0.0f64, 0usize);
+    for &batch in batches {
+        for &(m, n, k) in shapes {
+            let mut rand = |len: usize| -> Vec<f64> {
+                (0..len).map(|_| rng.random::<f64>() * 2.0 - 1.0).collect()
+            };
+            for &(alpha, beta) in params {
+                // Stacked-A form: per-item A slabs against one shared B.
+                let a_stack = rand(batch * m * k);
+                let b = rand(k * n);
+                let c0 = rand(batch * m * n);
+                let mut c_batched = c0.clone();
+                kernels::gemm_batched(batch, m, n, k, alpha, &a_stack, &b, beta, &mut c_batched);
+                let mut c_items = c0.clone();
+                for t in 0..batch {
+                    kernels::gemm(
+                        m,
+                        n,
+                        k,
+                        alpha,
+                        &a_stack[t * m * k..(t + 1) * m * k],
+                        &b,
+                        beta,
+                        &mut c_items[t * m * n..(t + 1) * m * n],
+                    );
+                }
+                b_ulp = b_ulp.max(max_ulp(&c_items, &c_batched));
+                b_abs = b_abs.max(max_abs_diff(&c_items, &c_batched));
+                b_cases += 1;
+
+                // Stacked-Bᵀ form (the im2col layout): shared A weights
+                // against per-item transposed panels.
+                let a = rand(m * k);
+                let bt_stack = rand(batch * n * k);
+                let c0 = rand(batch * m * n);
+                let mut c_batched = c0.clone();
+                kernels::gemm_transb_batched(
+                    batch,
+                    m,
+                    n,
+                    k,
+                    alpha,
+                    &a,
+                    &bt_stack,
+                    beta,
+                    &mut c_batched,
+                );
+                let mut c_items = c0.clone();
+                for t in 0..batch {
+                    kernels::gemm_transb(
+                        m,
+                        n,
+                        k,
+                        alpha,
+                        &a,
+                        &bt_stack[t * n * k..(t + 1) * n * k],
+                        beta,
+                        &mut c_items[t * m * n..(t + 1) * m * n],
+                    );
+                }
+                t_ulp = t_ulp.max(max_ulp(&c_items, &c_batched));
+                t_abs = t_abs.max(max_abs_diff(&c_items, &c_batched));
+                t_cases += 1;
+            }
+        }
+    }
+    pairs.push(Pair::check(
+        "gemm_batched_vs_per_item",
+        b_cases,
+        b_ulp,
+        b_abs,
+        0.0,
+    ));
+    pairs.push(Pair::check(
+        "gemm_transb_batched_vs_per_item",
+        t_cases,
+        t_ulp,
+        t_abs,
+        0.0,
+    ));
+}
+
+/// Batched conv forward vs. the per-row forward, per precision tier: f64
+/// bitwise for every batch size (ragged tails included); f32 and int8
+/// within analytic envelopes of the f64 per-row reference (the batched
+/// low-precision paths share grids/panels across the batch, so they are
+/// not bitwise — but their error stays inside the tier).
+fn batched_conv_pairs(smoke: bool, pairs: &mut Vec<Pair>) {
+    // (cin, cout, kernel, stride, pad, edge); first entry is the serving
+    // front-end's LidarConv signature.
+    let configs: &[(usize, usize, usize, usize, usize, usize)] = if smoke {
+        &[(1, 4, 3, 2, 1, 8)]
+    } else {
+        &[(1, 4, 3, 2, 1, 8), (2, 3, 3, 1, 1, 5)]
+    };
+    let batches: &[usize] = if smoke { &[1, 3] } else { &[1, 2, 3, 5] };
+    let mut rng = StdRng::seed_from_u64(0xC0F0_0006);
+    let (mut f64_ulp, mut f64_abs, mut f64_cases) = (0u64, 0.0f64, 0usize);
+    let (mut f32_ulp, mut f32_ratio, mut f32_cases) = (0u64, 0.0f64, 0usize);
+    let (mut i8_ulp, mut i8_ratio, mut i8_cases) = (0u64, 0.0f64, 0usize);
+    for &(cin, cout, kernel, stride, pad, edge) in configs {
+        let dims = Dims3::new(edge, edge, edge);
+        let mut init = Initializer::new(0x5E2E);
+        let mut conv = Conv3d::new(cin, cout, kernel, stride, pad, dims, &mut init);
+        let in_feat = conv.in_features();
+        let out_feat = conv.out_features();
+        let ckk = cin * kernel * kernel * kernel;
+        let max_weight = conv_weight_max(&mut conv, in_feat, out_feat);
+        for &batch in batches {
+            let rows: Vec<Vec<f64>> = (0..batch)
+                .map(|_| (0..in_feat).map(|_| rng.random::<f64>() - 0.5).collect())
+                .collect();
+            let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+            // Per-row f64 reference (the canonical per-loop path).
+            let mut per_row = vec![0.0; batch * out_feat];
+            for (t, row) in rows.iter().enumerate() {
+                let input = Tensor::from_vec(vec![1, in_feat], row.to_vec());
+                let out = conv.forward_with_precision(&input, RunPrecision::F64);
+                per_row[t * out_feat..(t + 1) * out_feat].copy_from_slice(out.as_slice());
+            }
+            // f64 tier: bitwise.
+            let mut batched = vec![0.0; batch * out_feat];
+            conv.forward_batch(&refs, &mut batched);
+            f64_ulp = f64_ulp.max(max_ulp(&per_row, &batched));
+            f64_abs = f64_abs.max(max_abs_diff(&per_row, &batched));
+            f64_cases += 1;
+
+            // Uniform analytic magnitudes: every im2col entry is an input
+            // entry (or zero padding), so max|col| ≤ max|row|.
+            let max_in = rows
+                .iter()
+                .flatten()
+                .fold(0.0f64, |acc, &x| acc.max(x.abs()));
+            // f32 tier: |Δ| vs. f64 reference bounded by the single-
+            // precision FMA envelope over the reduction depth, plus the
+            // f32 rounding of inputs/weights themselves.
+            let mut batched32 = vec![0.0; batch * out_feat];
+            conv.forward_batch_with_precision(&refs, RunPrecision::F32, &mut batched32);
+            let eps32 = f32::EPSILON as f64;
+            let mag = ckk as f64 * max_weight * max_in;
+            let tol32 = (2.0 * (ckk as f64 + 4.0) * eps32) * mag + 1e-30;
+            f32_ulp = f32_ulp.max(max_ulp(&per_row, &batched32));
+            f32_ratio = f32_ratio.max(max_abs_diff(&per_row, &batched32) / tol32);
+            f32_cases += 1;
+
+            // int8 tier: symmetric max-abs/127 grids on weights and the
+            // stacked column panel; integer accumulation is exact, so the
+            // whole error is input quantization.
+            let mut batched8 = vec![0.0; batch * out_feat];
+            conv.forward_batch_with_precision(&refs, RunPrecision::Int8, &mut batched8);
+            let s_w = max_weight / 127.0;
+            let s_c = max_in / 127.0;
+            let tol8 =
+                ckk as f64 * (max_weight * s_c / 2.0 + (max_in + s_c / 2.0) * s_w / 2.0) + 1e-12;
+            i8_ulp = i8_ulp.max(max_ulp(&per_row, &batched8));
+            i8_ratio = i8_ratio.max(max_abs_diff(&per_row, &batched8) / tol8);
+            i8_cases += 1;
+        }
+    }
+    pairs.push(Pair::check(
+        "conv3d_forward_batch_f64_vs_per_row",
+        f64_cases,
+        f64_ulp,
+        f64_abs,
+        0.0,
+    ));
+    pairs.push(Pair::check(
+        "conv3d_forward_batch_f32_error_ratio",
+        f32_cases,
+        f32_ulp,
+        f32_ratio,
+        1.0,
+    ));
+    pairs.push(Pair::check(
+        "conv3d_forward_batch_int8_error_ratio",
+        i8_cases,
+        i8_ulp,
+        i8_ratio,
+        1.0,
+    ));
+}
+
+/// Max |weight| of a conv layer, probed through delta inputs (the weights
+/// themselves are private). One delta voxel per input feature lights up
+/// exactly the kernel taps that touch it, so the max response over all
+/// deltas bounds max|W| from below *and* above once the bias is removed.
+fn conv_weight_max(conv: &mut Conv3d, in_feat: usize, out_feat: usize) -> f64 {
+    // Bias-only baseline.
+    let zero = Tensor::zeros(vec![1, in_feat]);
+    let base = conv.forward_with_precision(&zero, RunPrecision::F64);
+    let mut max_w = 0.0f64;
+    for i in 0..in_feat {
+        let mut x = vec![0.0; in_feat];
+        x[i] = 1.0;
+        let out =
+            conv.forward_with_precision(&Tensor::from_vec(vec![1, in_feat], x), RunPrecision::F64);
+        for j in 0..out_feat {
+            max_w = max_w.max((out.as_slice()[j] - base.as_slice()[j]).abs());
+        }
+    }
+    max_w
+}
+
 fn raycast_pair(smoke: bool, pairs: &mut Vec<Pair>) {
     let seeds: &[u64] = if smoke { &[1] } else { &[1, 2, 3] };
     let config = if smoke {
@@ -740,6 +967,8 @@ fn main() {
     gemm_pairs(smoke, &mut pairs);
     precision_pairs(smoke, &mut pairs);
     conv_pairs(smoke, &mut pairs);
+    batched_gemm_pairs(smoke, &mut pairs);
+    batched_conv_pairs(smoke, &mut pairs);
     raycast_pair(smoke, &mut pairs);
     quant_pair(smoke, &mut pairs);
     export_pair(&mut pairs);

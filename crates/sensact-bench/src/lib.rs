@@ -27,6 +27,7 @@ use std::path::PathBuf;
 
 pub mod harness;
 pub mod obsbench;
+pub mod servebench;
 
 /// Whether quick mode is requested (smaller problem sizes).
 pub fn quick() -> bool {

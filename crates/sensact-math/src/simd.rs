@@ -105,6 +105,16 @@ pub fn cpu_features() -> &'static CpuFeatures {
     FEATURES.get_or_init(detect)
 }
 
+/// Whether an f64 GEMM of this shape takes a SIMD path on this host — the
+/// exact gate [`gemm_f64`] applies. The batched kernels pin their dispatch
+/// on the *per-item* shape through this predicate so a stack of small
+/// problems never crosses onto a different rounding path than the same
+/// problems dispatched one at a time.
+pub(crate) fn simd_f64_eligible(m: usize, n: usize, k: usize) -> bool {
+    let ops = m.saturating_mul(n).saturating_mul(k);
+    cpu_features().simd_f64() && n != 0 && k != 0 && ops >= SIMD_MIN_OPS
+}
+
 /// Name of the ISA path GEMM dispatch takes on this host
 /// (`"avx2+fma"`, `"sse2"` or `"scalar"`).
 pub fn isa_name() -> &'static str {
@@ -169,11 +179,10 @@ pub(crate) fn gemm_f64(
     c: &mut [f64],
     b_layout: BLayout,
 ) -> bool {
-    let f = cpu_features();
-    let ops = m.saturating_mul(n).saturating_mul(k);
-    if !f.simd_f64() || n == 0 || k == 0 || ops < SIMD_MIN_OPS {
+    if !simd_f64_eligible(m, n, k) {
         return false;
     }
+    let ops = m.saturating_mul(n).saturating_mul(k);
     crate::kernels::scale_c(beta, c);
     let nthreads = crate::kernels::threads()
         .min(m)
@@ -297,6 +306,15 @@ fn pack_a_panel<const MR: usize>(
     }
 }
 
+thread_local! {
+    /// Per-thread packing scratch (B panels, A panel). Reused across GEMM
+    /// dispatches: small serving-sized calls would otherwise spend more on
+    /// allocating (and, for wide batched panels, page-faulting) the packing
+    /// buffers than on the arithmetic itself.
+    static PACK_F64: std::cell::RefCell<(Vec<f64>, Vec<f64>)> =
+        const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
+}
+
 /// Packed-panel GEMM driver, generic over the tile shape and microkernel.
 #[allow(clippy::too_many_arguments)]
 fn gemm_panels<const MR: usize, const NR: usize>(
@@ -310,9 +328,37 @@ fn gemm_panels<const MR: usize, const NR: usize>(
     b_layout: BLayout,
     kernel: PanelKernel,
 ) {
+    PACK_F64.with(|scratch| {
+        let mut scratch = scratch.borrow_mut();
+        let (bp, ap) = &mut *scratch;
+        gemm_panels_in::<MR, NR>(m, n, k, alpha, a, b, c, b_layout, kernel, bp, ap);
+    });
+}
+
+/// [`gemm_panels`] body with caller-provided packing scratch. Every packed
+/// region is fully written (short panels zero-padded) before the microkernel
+/// reads it, so stale scratch contents are harmless.
+#[allow(clippy::too_many_arguments)]
+fn gemm_panels_in<const MR: usize, const NR: usize>(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    b: &[f64],
+    c: &mut [f64],
+    b_layout: BLayout,
+    kernel: PanelKernel,
+    bp: &mut Vec<f64>,
+    ap: &mut Vec<f64>,
+) {
     let np = n.div_ceil(NR);
-    let mut bp = vec![0.0f64; np * KC.min(k) * NR];
-    let mut ap = vec![0.0f64; KC.min(k) * MR];
+    if bp.len() < np * KC.min(k) * NR {
+        bp.resize(np * KC.min(k) * NR, 0.0);
+    }
+    if ap.len() < KC.min(k) * MR {
+        ap.resize(KC.min(k) * MR, 0.0);
+    }
     for k0 in (0..k).step_by(KC) {
         let kc = (k0 + KC).min(k) - k0;
         for jp in 0..np {
@@ -470,60 +516,74 @@ fn gemm_panels_f32(
 ) {
     const MR: usize = MR_FMA;
     const NR: usize = NR_F32;
+    thread_local! {
+        /// Per-thread f32 packing scratch; same rationale as [`PACK_F64`].
+        static PACK_F32: std::cell::RefCell<(Vec<f32>, Vec<f32>)> =
+            const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
+    }
     let np = n.div_ceil(NR);
-    let mut bp = vec![0.0f32; np * KC.min(k) * NR];
-    let mut ap = vec![0.0f32; KC.min(k) * MR];
-    for k0 in (0..k).step_by(KC) {
-        let kc = (k0 + KC).min(k) - k0;
-        for jp in 0..np {
-            let j0 = jp * NR;
-            let nr = (n - j0).min(NR);
-            let panel = &mut bp[jp * kc * NR..(jp + 1) * kc * NR];
-            for kk in 0..kc {
-                let dst = &mut panel[kk * NR..(kk + 1) * NR];
-                match b_layout {
-                    BLayout::RowMajor => {
-                        dst[..nr].copy_from_slice(&b[(k0 + kk) * n + j0..(k0 + kk) * n + j0 + nr]);
-                    }
-                    BLayout::Transposed => {
-                        for (l, d) in dst.iter_mut().take(nr).enumerate() {
-                            *d = b[(j0 + l) * k + k0 + kk];
-                        }
-                    }
-                }
-                dst[nr..].fill(0.0);
-            }
+    PACK_F32.with(|scratch| {
+        let mut scratch = scratch.borrow_mut();
+        let (bp, ap) = &mut *scratch;
+        if bp.len() < np * KC.min(k) * NR {
+            bp.resize(np * KC.min(k) * NR, 0.0);
         }
-        for i0 in (0..m).step_by(MR) {
-            let mr = (m - i0).min(MR);
-            for kk in 0..kc {
-                let dst = &mut ap[kk * MR..(kk + 1) * MR];
-                for (r, d) in dst.iter_mut().take(mr).enumerate() {
-                    *d = alpha * a[(i0 + r) * k + k0 + kk];
-                }
-                dst[mr..].fill(0.0);
-            }
+        if ap.len() < KC.min(k) * MR {
+            ap.resize(KC.min(k) * MR, 0.0);
+        }
+        for k0 in (0..k).step_by(KC) {
+            let kc = (k0 + KC).min(k) - k0;
             for jp in 0..np {
                 let j0 = jp * NR;
                 let nr = (n - j0).min(NR);
-                let bpp = bp[jp * kc * NR..].as_ptr();
-                if mr == MR && nr == NR {
-                    unsafe { kernel(kc, ap.as_ptr(), bpp, c.as_mut_ptr().add(i0 * n + j0), n) };
-                } else {
-                    let mut tile = [0.0f32; MAX_TILE];
-                    for r in 0..mr {
-                        tile[r * NR..r * NR + nr]
-                            .copy_from_slice(&c[(i0 + r) * n + j0..(i0 + r) * n + j0 + nr]);
+                let panel = &mut bp[jp * kc * NR..(jp + 1) * kc * NR];
+                for kk in 0..kc {
+                    let dst = &mut panel[kk * NR..(kk + 1) * NR];
+                    match b_layout {
+                        BLayout::RowMajor => {
+                            dst[..nr]
+                                .copy_from_slice(&b[(k0 + kk) * n + j0..(k0 + kk) * n + j0 + nr]);
+                        }
+                        BLayout::Transposed => {
+                            for (l, d) in dst.iter_mut().take(nr).enumerate() {
+                                *d = b[(j0 + l) * k + k0 + kk];
+                            }
+                        }
                     }
-                    unsafe { kernel(kc, ap.as_ptr(), bpp, tile.as_mut_ptr(), NR) };
-                    for r in 0..mr {
-                        c[(i0 + r) * n + j0..(i0 + r) * n + j0 + nr]
-                            .copy_from_slice(&tile[r * NR..r * NR + nr]);
+                    dst[nr..].fill(0.0);
+                }
+            }
+            for i0 in (0..m).step_by(MR) {
+                let mr = (m - i0).min(MR);
+                for kk in 0..kc {
+                    let dst = &mut ap[kk * MR..(kk + 1) * MR];
+                    for (r, d) in dst.iter_mut().take(mr).enumerate() {
+                        *d = alpha * a[(i0 + r) * k + k0 + kk];
+                    }
+                    dst[mr..].fill(0.0);
+                }
+                for jp in 0..np {
+                    let j0 = jp * NR;
+                    let nr = (n - j0).min(NR);
+                    let bpp = bp[jp * kc * NR..].as_ptr();
+                    if mr == MR && nr == NR {
+                        unsafe { kernel(kc, ap.as_ptr(), bpp, c.as_mut_ptr().add(i0 * n + j0), n) };
+                    } else {
+                        let mut tile = [0.0f32; MAX_TILE];
+                        for r in 0..mr {
+                            tile[r * NR..r * NR + nr]
+                                .copy_from_slice(&c[(i0 + r) * n + j0..(i0 + r) * n + j0 + nr]);
+                        }
+                        unsafe { kernel(kc, ap.as_ptr(), bpp, tile.as_mut_ptr(), NR) };
+                        for r in 0..mr {
+                            c[(i0 + r) * n + j0..(i0 + r) * n + j0 + nr]
+                                .copy_from_slice(&tile[r * NR..r * NR + nr]);
+                        }
                     }
                 }
             }
         }
-    }
+    });
 }
 
 /// AVX2+FMA `6×16` f32 microkernel (12 YMM accumulators, 8 lanes each).

@@ -71,9 +71,22 @@ pub struct Conv3d {
     /// Lazily-built f32 copy of `weights` for the reduced-precision forward
     /// path; invalidated whenever the parameters become mutable.
     weights_f32: Option<Vec<f32>>,
+    /// Cross-loop batching scratch: the stacked im2col panels of every
+    /// member in a batched forward call (`batch × out_volume × cin·k³`).
+    /// Grown on demand, reused across calls, never checkpointed.
+    batch_col: Vec<f64>,
+    /// Gathered `[cout × batch·vol]` output panel for the reduced-precision
+    /// batched paths (the f64 path scatters inside the batched kernel).
+    batch_panel: Vec<f64>,
 }
 
 impl Conv3d {
+    /// Rows per sub-batch of the bitwise (f64) batched forward: bounds the
+    /// stacked im2col scratch to `chunk · out_volume · cin·k³` doubles so
+    /// the panel a GEMM reads was unfolded into cache moments earlier,
+    /// independent of fleet size.
+    const F64_BATCH_CHUNK: usize = 32;
+
     /// Convolution with cubic kernel `kernel`, stride and zero padding.
     ///
     /// # Panics
@@ -119,6 +132,8 @@ impl Conv3d {
             grad_b: vec![0.0; cout],
             cached_input: None,
             weights_f32: None,
+            batch_col: Vec::new(),
+            batch_panel: Vec::new(),
         }
     }
 
@@ -403,6 +418,303 @@ impl Conv3d {
             }
         }
         out
+    }
+
+    /// Feature count of one input row (`cin · in_volume`).
+    pub fn in_features(&self) -> usize {
+        self.cin * self.in_dims.volume()
+    }
+
+    /// Feature count of one output row (`cout · out_volume`).
+    pub fn out_features(&self) -> usize {
+        self.cout * self.out_dims.volume()
+    }
+
+    /// Cross-loop batched inference at full precision: run
+    /// `rows.len()` independent input rows through **one** stacked
+    /// im2col + batched GEMM call. Bitwise identical to calling the
+    /// per-row forward once per input — see
+    /// [`forward_batch_with_precision`](Conv3d::forward_batch_with_precision).
+    pub fn forward_batch(&mut self, rows: &[&[f64]], out: &mut [f64]) {
+        self.forward_batch_with_precision(rows, RunPrecision::F64, out);
+    }
+
+    /// Cross-loop batched inference forward: `rows` are independent input
+    /// rows (one per leased loop), `out` receives the stacked output rows
+    /// (`rows.len() × cout·out_volume`, fully overwritten).
+    ///
+    /// All members' im2col panels are unfolded into one persistent stacked
+    /// scratch buffer and lowered onto a single batched GEMM, so kernel
+    /// dispatch, weight-panel packing and cache warm-up are paid once per
+    /// fleet tick instead of once per loop. Numerics per precision:
+    ///
+    /// - [`RunPrecision::F64`] — **bitwise identical** to the per-row
+    ///   forward for every batch size: the batched kernel pins its dispatch
+    ///   on the per-item shape
+    ///   ([`gemm_transb_batched`](sensact_math::kernels::gemm_transb_batched)).
+    /// - [`RunPrecision::F32`] — one stacked f32 GEMM; each element stays
+    ///   within the same analytic single-precision envelope as the per-row
+    ///   f32 path (the bound depends only on the reduction depth `cin·k³`).
+    /// - [`RunPrecision::Int8`] — one stacked quantized GEMM. The column
+    ///   grid is shared across the batch (max-abs over the stacked panels),
+    ///   so elements may differ from the per-row path within the sum of the
+    ///   two analytic quantization bounds.
+    pub fn forward_batch_with_precision(
+        &mut self,
+        rows: &[&[f64]],
+        precision: RunPrecision,
+        out: &mut [f64],
+    ) {
+        let batch = rows.len();
+        let in_feat = self.in_features();
+        let vol = self.out_dims.volume();
+        let ckk = self.patch_len();
+        assert_eq!(
+            out.len(),
+            batch * self.cout * vol,
+            "Conv3d::forward_batch: output must be batch * cout * out_volume"
+        );
+        if batch == 0 {
+            return;
+        }
+        let panel = vol * ckk;
+        if precision == RunPrecision::F64 {
+            // Bitwise-per-item path: process the batch in cache-sized
+            // chunks so the stacked im2col scratch stays L2-resident — a
+            // whole large fleet's panels at once would stream multiple
+            // megabytes through cache between unfold and GEMM, losing to
+            // the per-row path it exists to beat. Each item's results
+            // depend only on its own panel, so chunking leaves every
+            // element's rounding path (and therefore its bits) unchanged.
+            let chunk = Self::F64_BATCH_CHUNK.max(1);
+            if self.batch_col.len() < chunk.min(batch) * panel {
+                self.batch_col.resize(chunk.min(batch) * panel, 0.0);
+            }
+            let mut col = std::mem::take(&mut self.batch_col);
+            for c0 in (0..batch).step_by(chunk) {
+                let c1 = (c0 + chunk).min(batch);
+                for (t, row) in rows[c0..c1].iter().enumerate() {
+                    assert_eq!(
+                        row.len(),
+                        in_feat,
+                        "Conv3d::forward_batch: input row feature mismatch"
+                    );
+                    self.im2col(row, &mut col[t * panel..(t + 1) * panel]);
+                }
+                let ob = &mut out[c0 * self.cout * vol..c1 * self.cout * vol];
+                for orow in ob.chunks_mut(self.cout * vol) {
+                    for co in 0..self.cout {
+                        orow[co * vol..(co + 1) * vol].fill(self.bias[co]);
+                    }
+                }
+                kernels::gemm_transb_batched(
+                    c1 - c0,
+                    self.cout,
+                    vol,
+                    ckk,
+                    1.0,
+                    &self.weights,
+                    &col[..(c1 - c0) * panel],
+                    1.0,
+                    ob,
+                );
+            }
+            self.batch_col = col;
+            return;
+        }
+        if self.batch_col.len() < batch * panel {
+            self.batch_col.resize(batch * panel, 0.0);
+        }
+        self.forward_batch_dispatch_reduced(rows, precision, out, panel);
+    }
+
+    /// Scatter-free batched inference at full precision: like
+    /// [`forward_batch`](Conv3d::forward_batch) but each item's output row
+    /// is an independent caller-owned buffer (`outs[t]`, fully
+    /// overwritten) instead of one contiguous stacked slice.
+    ///
+    /// This is the serving fast path: the batch planner hands the leases'
+    /// own feature buffers directly, so the stacked GEMM's gathered
+    /// `[cout × batch·vol]` panel is scattered **once** — straight into
+    /// the per-lease buffers — with no intermediate stacked copy and no
+    /// gather before the kernel (the bias is filled into the gathered
+    /// panel directly). Bitwise identical to the per-row forward for every
+    /// batch size, by the same per-item dispatch pinning as
+    /// [`gemm_transb_batched`](sensact_math::kernels::gemm_transb_batched).
+    pub fn forward_batch_into(&mut self, rows: &[&[f64]], outs: &mut [&mut [f64]]) {
+        assert_eq!(
+            rows.len(),
+            outs.len(),
+            "Conv3d::forward_batch_into: one output row per input row"
+        );
+        let batch = rows.len();
+        let in_feat = self.in_features();
+        let vol = self.out_dims.volume();
+        let ckk = self.patch_len();
+        let panel = vol * ckk;
+        let chunk = Self::F64_BATCH_CHUNK.max(1);
+        if self.batch_col.len() < chunk.min(batch.max(1)) * panel {
+            self.batch_col.resize(chunk.min(batch.max(1)) * panel, 0.0);
+        }
+        let mut col = std::mem::take(&mut self.batch_col);
+        let mut big = std::mem::take(&mut self.batch_panel);
+        for c0 in (0..batch).step_by(chunk) {
+            let c1 = (c0 + chunk).min(batch);
+            let cur = c1 - c0;
+            for (t, row) in rows[c0..c1].iter().enumerate() {
+                assert_eq!(
+                    row.len(),
+                    in_feat,
+                    "Conv3d::forward_batch_into: input row feature mismatch"
+                );
+                self.im2col(row, &mut col[t * panel..(t + 1) * panel]);
+            }
+            for orow in outs[c0..c1].iter() {
+                assert_eq!(
+                    orow.len(),
+                    self.cout * vol,
+                    "Conv3d::forward_batch_into: output row must be cout * out_volume"
+                );
+            }
+            let nn = cur * vol;
+            let mut wide = false;
+            if cur >= 2 {
+                if big.len() < self.cout * nn {
+                    big.resize(self.cout * nn, 0.0);
+                }
+                // The gathered panel starts as the bias, replicated along
+                // the stacked column axis — the same accumulator seed the
+                // per-row path loads, laid down as cout contiguous fills.
+                for (co, &b) in self.bias.iter().enumerate() {
+                    big[co * nn..(co + 1) * nn].fill(b);
+                }
+                wide = kernels::gemm_transb_gathered(
+                    cur,
+                    self.cout,
+                    vol,
+                    ckk,
+                    1.0,
+                    &self.weights,
+                    &col[..cur * panel],
+                    1.0,
+                    &mut big[..self.cout * nn],
+                );
+            }
+            if wide {
+                for (t, orow) in outs[c0..c1].iter_mut().enumerate() {
+                    for co in 0..self.cout {
+                        orow[co * vol..(co + 1) * vol]
+                            .copy_from_slice(&big[co * nn + t * vol..co * nn + (t + 1) * vol]);
+                    }
+                }
+            } else {
+                // Pinned per-item path (scalar shapes, or a chunk of one):
+                // bias-fill and accumulate each row in place, exactly the
+                // per-row forward.
+                for (t, orow) in outs[c0..c1].iter_mut().enumerate() {
+                    for co in 0..self.cout {
+                        orow[co * vol..(co + 1) * vol].fill(self.bias[co]);
+                    }
+                    kernels::gemm_transb(
+                        self.cout,
+                        vol,
+                        ckk,
+                        1.0,
+                        &self.weights,
+                        &col[t * panel..(t + 1) * panel],
+                        1.0,
+                        orow,
+                    );
+                }
+            }
+        }
+        self.batch_col = col;
+        self.batch_panel = big;
+    }
+
+    /// The non-f64 arms of
+    /// [`forward_batch_with_precision`](Conv3d::forward_batch_with_precision)
+    /// (full-batch im2col, one reduced-precision stacked GEMM).
+    fn forward_batch_dispatch_reduced(
+        &mut self,
+        rows: &[&[f64]],
+        precision: RunPrecision,
+        out: &mut [f64],
+        panel: usize,
+    ) {
+        let batch = rows.len();
+        let in_feat = self.in_features();
+        let vol = self.out_dims.volume();
+        let ckk = self.patch_len();
+        // Borrow-split: im2col reads layer config only, never the scratch.
+        let mut col = std::mem::take(&mut self.batch_col);
+        for (t, row) in rows.iter().enumerate() {
+            assert_eq!(
+                row.len(),
+                in_feat,
+                "Conv3d::forward_batch: input row feature mismatch"
+            );
+            self.im2col(row, &mut col[t * panel..(t + 1) * panel]);
+        }
+        self.batch_col = col;
+        let nn = batch * vol;
+        match precision {
+            RunPrecision::F64 => unreachable!("handled by the chunked path above"),
+            RunPrecision::F32 => {
+                if self.weights_f32.is_none() {
+                    self.weights_f32 = Some(self.weights.iter().map(|w| *w as f32).collect());
+                }
+                let colf: Vec<f32> = self.batch_col[..batch * panel]
+                    .iter()
+                    .map(|v| *v as f32)
+                    .collect();
+                // Gathered [cout × batch·vol] panel pre-filled with the bias
+                // (beta = 1 keeps it, matching the per-row path).
+                let mut outf = vec![0.0f32; self.cout * nn];
+                for (co, &b) in self.bias.iter().enumerate() {
+                    outf[co * nn..(co + 1) * nn].fill(b as f32);
+                }
+                let wf = self.weights_f32.as_ref().expect("built above");
+                kernels::gemm_transb_f32(self.cout, nn, ckk, 1.0, wf, &colf, 1.0, &mut outf);
+                for t in 0..batch {
+                    let orow = &mut out[t * self.cout * vol..(t + 1) * self.cout * vol];
+                    for co in 0..self.cout {
+                        for (dst, src) in orow[co * vol..(co + 1) * vol]
+                            .iter_mut()
+                            .zip(&outf[co * nn + t * vol..co * nn + (t + 1) * vol])
+                        {
+                            *dst = *src as f64;
+                        }
+                    }
+                }
+            }
+            RunPrecision::Int8 => {
+                if self.batch_panel.len() < self.cout * nn {
+                    self.batch_panel.resize(self.cout * nn, 0.0);
+                }
+                let mut prod = std::mem::take(&mut self.batch_panel);
+                let _ = kernels::gemm_transb_int8(
+                    self.cout,
+                    nn,
+                    ckk,
+                    &self.weights,
+                    &self.batch_col[..batch * panel],
+                    &mut prod[..self.cout * nn],
+                );
+                for t in 0..batch {
+                    let orow = &mut out[t * self.cout * vol..(t + 1) * self.cout * vol];
+                    for co in 0..self.cout {
+                        for (dst, src) in orow[co * vol..(co + 1) * vol]
+                            .iter_mut()
+                            .zip(&prod[co * nn + t * vol..co * nn + (t + 1) * vol])
+                        {
+                            *dst = self.bias[co] + *src;
+                        }
+                    }
+                }
+                self.batch_panel = prod;
+            }
+        }
     }
 }
 
@@ -1165,6 +1477,88 @@ mod tests {
         assert!(c.weights_f32.is_some());
         c.visit_params(&mut |_, _| {});
         assert!(c.weights_f32.is_none());
+    }
+
+    /// The serving plane's conv guarantee: batching N loops' rows through
+    /// one stacked GEMM is bitwise identical (f64) to running each row
+    /// alone, for every batch size including ragged tails, and the
+    /// reduced-precision paths stay inside their analytic envelopes.
+    #[test]
+    fn batched_forward_matches_per_row_forward() {
+        let mut rng = StdRng::seed_from_u64(0xBA7C2);
+        let dims = Dims3::new(8, 8, 8);
+        let mut init = Initializer::new(0x5EED);
+        let mut c = Conv3d::new(1, 4, 3, 2, 1, dims, &mut init);
+        for b in c.bias.iter_mut() {
+            *b = rng.random_range(-0.5..0.5);
+        }
+        let in_feat = c.in_features();
+        let out_feat = c.out_features();
+        for &batch in &[1usize, 2, 3, 7, 13] {
+            let x = sparse_input(&mut rng, batch, in_feat);
+            let reference = c.forward_with_precision(&x, RunPrecision::F64);
+            let rows: Vec<&[f64]> = (0..batch).map(|b| x.row(b)).collect();
+
+            let mut out = vec![f64::NAN; batch * out_feat];
+            c.forward_batch(&rows, &mut out);
+            assert!(
+                reference
+                    .as_slice()
+                    .iter()
+                    .zip(&out)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "batched f64 conv not bitwise at batch={batch}"
+            );
+
+            // The scatter-free serving variant writes each row into its own
+            // caller-owned buffer — same bits as the per-row forward.
+            let mut per_item: Vec<Vec<f64>> = vec![vec![f64::NAN; out_feat]; batch];
+            let mut views: Vec<&mut [f64]> =
+                per_item.iter_mut().map(|v| v.as_mut_slice()).collect();
+            c.forward_batch_into(&rows, &mut views);
+            for (t, row) in per_item.iter().enumerate() {
+                let want = &reference.as_slice()[t * out_feat..(t + 1) * out_feat];
+                assert!(
+                    row.iter()
+                        .zip(want)
+                        .all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "forward_batch_into not bitwise at batch={batch} row {t}"
+                );
+            }
+
+            // f32: same analytic envelope as the per-row f32 path.
+            let max_ref = reference
+                .as_slice()
+                .iter()
+                .fold(0.0f64, |m, v| m.max(v.abs()));
+            let mut out32 = vec![f64::NAN; batch * out_feat];
+            c.forward_batch_with_precision(&rows, RunPrecision::F32, &mut out32);
+            for (a, b) in reference.as_slice().iter().zip(&out32) {
+                assert!(
+                    (a - b).abs() <= 1e-4 * (1.0 + max_ref),
+                    "batched f32 conv drifted at batch={batch}: {a} vs {b}"
+                );
+            }
+
+            // int8: the batch shares one column grid, so bound against f64
+            // with the stacked-panel scales (analytic tier, PR 6 form).
+            let ckk = 27;
+            let wmax = c.weights.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+            let inmax = x.as_slice().iter().fold(0.0f64, |m, v| m.max(v.abs()));
+            let (sw, sc) = (wmax / 127.0, inmax / 127.0);
+            let bound = ckk as f64 * (wmax * sc / 2.0 + (inmax + sc / 2.0) * sw / 2.0) + 1e-12;
+            let mut out8 = vec![f64::NAN; batch * out_feat];
+            c.forward_batch_with_precision(&rows, RunPrecision::Int8, &mut out8);
+            for (a, b) in reference.as_slice().iter().zip(&out8) {
+                assert!(
+                    (a - b).abs() <= bound,
+                    "batched int8 conv outside bound {bound} at batch={batch}: {a} vs {b}"
+                );
+            }
+        }
+        // Empty batch is a no-op, not a panic.
+        c.forward_batch(&[], &mut []);
+        c.forward_batch_into(&[], &mut []);
     }
 
     /// Conv weights (and the f32 panel's existence) restore bit-exactly:

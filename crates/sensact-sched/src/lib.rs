@@ -69,6 +69,6 @@ pub use arbiter::EnergyArbiter;
 pub use handle::{DynLoop, LoopHandle, TickOutcome};
 pub use sched::{
     FleetConfig, FleetReport, FleetScheduler, Incident, IncidentReason, LoopId, LoopSpec,
-    LoopStats, LoopSummary, DEFAULT_QUEUE_CAPACITY, FLIGHT_RECORDER_CAPACITY, HEALTH_WINDOW_TICKS,
-    MAX_INCIDENTS,
+    LoopStats, LoopSummary, MemberTickOutcome, DEFAULT_QUEUE_CAPACITY, FLIGHT_RECORDER_CAPACITY,
+    HEALTH_WINDOW_TICKS, MAX_INCIDENTS,
 };

@@ -28,7 +28,7 @@
 //!   tick-for-tick.
 
 use crate::arbiter::EnergyArbiter;
-use crate::handle::LoopHandle;
+use crate::handle::{DynLoop, LoopHandle, TickOutcome};
 use crate::queue::{tie_break, Release, ShardedQueue};
 use sensact_core::checkpoint::{Checkpoint, CheckpointError, Section};
 use sensact_core::health::{encode_transition, HealthScorer};
@@ -107,7 +107,11 @@ impl LoopSpec {
         self
     }
 
-    fn deadline_s(&self, release_s: f64) -> f64 {
+    /// Absolute completion deadline of a tick released at `release_s`: the
+    /// latency budget past the release, or one period when no explicit
+    /// budget is set. Public so admission-control layers (the serving
+    /// front-end) can run the same arithmetic the scheduler enforces.
+    pub fn deadline_s(&self, release_s: f64) -> f64 {
         release_s + self.latency_budget_s.unwrap_or(self.period_s)
     }
 }
@@ -176,6 +180,36 @@ struct Slot {
     /// A loop is sequential: tick k+1 can never start before tick k
     /// completed, whichever worker runs it.
     last_completion_s: f64,
+    /// The member was retired ([`FleetScheduler::retire_member`]): run loops
+    /// skip it, reports omit it, and [`FleetScheduler::register`] may reuse
+    /// the slot (so [`LoopId`]s stay dense under membership churn).
+    retired: bool,
+    /// Count of externally-driven releases
+    /// ([`FleetScheduler::tick_member_at`]) — the release index space of a
+    /// serving-mode member.
+    ext_releases: u64,
+}
+
+/// Placeholder occupying a retired slot until [`FleetScheduler::register`]
+/// reuses it. Never ticked: run modes skip retired slots.
+struct TombstoneLoop {
+    telemetry: LoopTelemetry,
+}
+
+impl DynLoop for TombstoneLoop {
+    fn name(&self) -> &str {
+        "<retired>"
+    }
+
+    fn tick_once(&mut self) -> TickOutcome {
+        unreachable!("retired slot must never tick")
+    }
+
+    fn telemetry(&self) -> &LoopTelemetry {
+        &self.telemetry
+    }
+
+    fn record_deadline_miss(&mut self, _latency_s: f64, _budget_s: f64) {}
 }
 
 /// Per-loop summary embedded in a [`FleetReport`].
@@ -668,8 +702,29 @@ const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
 pub struct FleetScheduler {
     config: FleetConfig,
     slots: Vec<Mutex<Slot>>,
+    /// Indices of retired slots available for reuse by `register`.
+    free: Vec<usize>,
     tracer: Arc<FleetTracer>,
     health_policy: HealthPolicy,
+}
+
+/// What one externally-driven member tick
+/// ([`FleetScheduler::tick_member_at`]) did on the virtual timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemberTickOutcome {
+    /// When the tick started: the release time, or later if the member's
+    /// previous tick had not yet completed (a loop is sequential).
+    pub start_s: f64,
+    /// When compute finished (`start + charged latency`).
+    pub busy_end_s: f64,
+    /// When the tick fully completed (`busy_end + comm tail`) — the
+    /// member's new sequential frontier.
+    pub completion_s: f64,
+    /// Energy the tick charged (joules).
+    pub energy_j: f64,
+    /// Whether the completion blew the member's latency budget (also
+    /// recorded in its stats and fault telemetry).
+    pub missed: bool,
 }
 
 impl FleetScheduler {
@@ -678,6 +733,7 @@ impl FleetScheduler {
         FleetScheduler {
             config,
             slots: Vec::new(),
+            free: Vec::new(),
             tracer: Arc::new(FleetTracer::disabled()),
             health_policy: HealthPolicy::default(),
         }
@@ -691,7 +747,7 @@ impl FleetScheduler {
     /// Attach a shared [`FleetTracer`]: every executed release emits a
     /// `SchedTick` causal span (plus a `CommTail` child for off-worker
     /// tails), and each tick's [`TraceContext`] is handed to the loop via
-    /// [`DynLoop::set_trace_context`](crate::handle::DynLoop::set_trace_context)
+    /// [`DynLoop::set_trace_context`]
     /// so downstream layers (the federated runtime, the network simulator)
     /// can link their spans into the same causal stream.
     pub fn set_tracer(&mut self, tracer: Arc<FleetTracer>) {
@@ -746,23 +802,63 @@ impl FleetScheduler {
             queue_capacity: spec.queue_capacity.max(1),
             ..spec
         };
-        self.slots.push(Mutex::new(Slot {
+        let slot = Slot {
             handle,
             spec,
             stats: LoopStats::default(),
             last_completion_s: 0.0,
-        }));
-        LoopId(self.slots.len() - 1)
+            retired: false,
+            ext_releases: 0,
+        };
+        // Reuse a retired slot if one exists (membership churn keeps ids
+        // dense); otherwise grow the table.
+        if let Some(idx) = self.free.pop() {
+            *self.slots[idx].get_mut().unwrap_or_else(|e| e.into_inner()) = slot;
+            LoopId(idx)
+        } else {
+            self.slots.push(Mutex::new(slot));
+            LoopId(self.slots.len() - 1)
+        }
     }
 
-    /// Number of registered loops.
+    /// Retire member `id` and return its handle: the slot stops releasing
+    /// ticks in run modes, disappears from reports, and becomes available
+    /// for reuse by the next [`FleetScheduler::register`]. This is the
+    /// membership-churn half of the serving front-end: a lease release or
+    /// expiry retires the member without disturbing the rest of the fleet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the member is already retired.
+    pub fn retire_member(&mut self, id: LoopId) -> LoopHandle {
+        let slot = self.slot_mut(id);
+        assert!(!slot.retired, "retire_member: member already retired");
+        slot.retired = true;
+        let handle = std::mem::replace(
+            &mut slot.handle,
+            LoopHandle::from_dyn(Box::new(TombstoneLoop {
+                telemetry: LoopTelemetry::new(),
+            })),
+        );
+        self.free.push(id.0);
+        handle
+    }
+
+    /// Number of active (non-retired) member loops.
     pub fn len(&self) -> usize {
-        self.slots.len()
+        self.slots.len() - self.free.len()
     }
 
-    /// Whether no loops are registered.
+    /// Whether no active loops are registered.
     pub fn is_empty(&self) -> bool {
-        self.slots.is_empty()
+        self.len() == 0
+    }
+
+    /// Indices of active (non-retired) slots, registration order.
+    fn active_indices(&mut self) -> Vec<usize> {
+        (0..self.slots.len())
+            .filter(|&i| !self.slot_mut(LoopId(i)).retired)
+            .collect()
     }
 
     fn slot_mut(&mut self, id: LoopId) -> &mut Slot {
@@ -807,6 +903,7 @@ impl FleetScheduler {
         s.put_f64("busy_s", slot.stats.busy_s);
         s.put_f64("comm_s", slot.stats.comm_s);
         s.put_f64("last_completion_s", slot.last_completion_s);
+        s.put_u64("ext_releases", slot.ext_releases);
         ckpt.push(s);
         Ok(ckpt)
     }
@@ -837,11 +934,76 @@ impl FleetScheduler {
             comm_s: s.get_f64("comm_s")?,
         };
         let last_completion_s = s.get_f64("last_completion_s")?;
+        let ext_releases = s.get_u64("ext_releases")?;
         let slot = self.slot_mut(id);
         slot.handle = handle;
         slot.stats = stats;
         slot.last_completion_s = last_completion_s;
+        slot.ext_releases = ext_releases;
+        slot.retired = false;
         Ok(())
+    }
+
+    /// Execute one externally-driven tick of member `id`, released at
+    /// `release_s` on the virtual timeline — the serving front-end's entry
+    /// point, where a tick is released by an *observation arriving* rather
+    /// than by a periodic schedule. Runs through the same accounting as a
+    /// scheduled release: the tick starts no earlier than the member's
+    /// previous completion (a loop is sequential), stats and deadline
+    /// misses accrue to the same [`LoopStats`], and — when tracing is
+    /// enabled — a `SchedTick` causal span is recorded under the same
+    /// deterministic trace-id scheme as the run modes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the member is retired.
+    pub fn tick_member_at(&mut self, id: LoopId, release_s: f64) -> MemberTickOutcome {
+        let seed = self.config.seed;
+        let tracer = Arc::clone(&self.tracer);
+        let traced = tracer.is_enabled();
+        let slot = self.slot_mut(id);
+        assert!(!slot.retired, "tick_member_at: member is retired");
+        let release_idx = slot.ext_releases;
+        slot.ext_releases += 1;
+        let release = Release::new(
+            slot.spec.deadline_s(release_s),
+            tie_break(seed, id.0, release_idx),
+            id.0,
+            release_idx,
+            release_s,
+        );
+        let ctx = traced.then(|| sched_tick_context(seed, id.0, release_idx));
+        let exec = execute_release(slot, &release, 0.0, ctx);
+        if let Some(ctx) = ctx {
+            record_tick_spans(&tracer, ctx, &release, &exec);
+        }
+        MemberTickOutcome {
+            start_s: exec.start_s,
+            busy_end_s: exec.busy_end_s,
+            completion_s: exec.completion_s,
+            energy_j: exec.energy_j,
+            missed: exec.missed,
+        }
+    }
+
+    /// Charge `n` dropped releases to member `id` — the accounting hook for
+    /// an ingress layer shedding observations *before* they release ticks
+    /// (the same drop-oldest backpressure the run modes apply, moved to the
+    /// admission edge).
+    pub fn record_member_drops(&mut self, id: LoopId, n: u64) {
+        self.slot_mut(id).stats.drops += n;
+    }
+
+    /// A member loop's timing spec (as registered).
+    pub fn member_spec(&mut self, id: LoopId) -> LoopSpec {
+        self.slot_mut(id).spec
+    }
+
+    /// A member loop's sequential-completion frontier (virtual seconds):
+    /// when its latest tick fully completed. The admission-control input —
+    /// pending work can start no earlier than this.
+    pub fn member_frontier_s(&mut self, id: LoopId) -> f64 {
+        self.slot_mut(id).last_completion_s
     }
 
     fn initial_release(&mut self, idx: usize) -> Release {
@@ -882,7 +1044,9 @@ impl FleetScheduler {
         makespan_s: f64,
     ) -> (Vec<HealthStatus>, FleetHealth) {
         let policy = self.health_policy;
-        let statuses: Vec<HealthStatus> = (0..self.slots.len())
+        let statuses: Vec<HealthStatus> = self
+            .active_indices()
+            .into_iter()
             .map(|i| {
                 let slot = self.slot_mut(LoopId(i));
                 let signals = window_signals(
@@ -907,7 +1071,7 @@ impl FleetScheduler {
     /// observed every loop directly.
     pub fn rollup_metrics(&mut self) -> MetricsRegistry {
         let mut fleet = MetricsRegistry::new();
-        for i in 0..self.slots.len() {
+        for i in self.active_indices() {
             let mut per_loop = MetricsRegistry::new();
             self.slot_mut(LoopId(i))
                 .handle
@@ -919,7 +1083,8 @@ impl FleetScheduler {
     }
 
     fn summaries(&mut self) -> Vec<LoopSummary> {
-        (0..self.slots.len())
+        self.active_indices()
+            .into_iter()
             .map(|i| {
                 let slot = self.slot_mut(LoopId(i));
                 LoopSummary {
@@ -965,19 +1130,19 @@ impl FleetScheduler {
     pub fn run(&mut self, horizon_s: f64) -> FleetReport {
         let workers = self.config.workers.max(1);
         let runnable = horizon_s.is_finite() && horizon_s > 0.0;
-        if self.slots.is_empty() || !runnable {
+        if self.is_empty() || !runnable {
             return self.empty_report(horizon_s, workers);
         }
         let wall_start = std::time::Instant::now();
         let base = self.stats_snapshot();
         let (base_ticks, base_drops, base_misses) = self.totals();
-        let n = self.slots.len();
+        let active = self.active_indices();
         let queue = ShardedQueue::new(workers);
-        for i in 0..n {
+        for &i in &active {
             let r = self.initial_release(i);
             queue.push(r);
         }
-        let outstanding = AtomicUsize::new(n);
+        let outstanding = AtomicUsize::new(active.len());
         let arbiter = Mutex::new(EnergyArbiter::new(self.config.watts_cap));
         let seed = self.config.seed;
         let traced = self.tracer.is_enabled();
@@ -1105,7 +1270,7 @@ impl FleetScheduler {
     pub fn run_deterministic(&mut self, horizon_s: f64, clock: &mut SimClock) -> FleetReport {
         let workers = self.config.workers.max(1);
         let runnable = horizon_s.is_finite() && horizon_s > 0.0;
-        if self.slots.is_empty() || !runnable {
+        if self.is_empty() || !runnable {
             return self.empty_report(horizon_s, workers);
         }
         let wall_start = std::time::Instant::now();
@@ -1116,7 +1281,7 @@ impl FleetScheduler {
         let traced = tracer.is_enabled();
         let policy = self.health_policy;
         let mut heap: BinaryHeap<Reverse<Release>> = BinaryHeap::new();
-        for i in 0..self.slots.len() {
+        for i in self.active_indices() {
             let r = self.initial_release(i);
             heap.push(Reverse(r));
         }
@@ -2007,5 +2172,141 @@ mod tests {
         for (k, s) in got.iter().enumerate() {
             assert!((s - k as f64 * 1e-2).abs() < 1e-12, "tick {k} start {s}");
         }
+    }
+
+    /// Retiring a member hands its handle back, shrinks the fleet, and the
+    /// freed slot index is reused by the next registration — so `LoopId`s
+    /// stay dense under lease churn.
+    #[test]
+    fn retire_member_frees_slot_for_reuse() {
+        let mut sched = fleet(3, 1, 5);
+        assert_eq!(sched.len(), 3);
+        let victim = LoopId(1);
+        let old = sched.retire_member(victim);
+        assert_eq!(old.name(), "loop-1", "retire returns the live handle");
+        assert_eq!(sched.len(), 2);
+        assert!(!sched.is_empty());
+        // The retired slot is invisible to runs and reports…
+        let report = sched.run_deterministic(0.03, &mut SimClock::new());
+        assert_eq!(report.ticks, 6, "two active loops × 3 releases");
+        assert!(report
+            .loops
+            .iter()
+            .all(|s| s.name != "<retired>" && s.name != "loop-1"));
+        assert_eq!(report.loops.len(), 2);
+        // …and the next registration reuses index 1.
+        let adopted = sched.register(handle("loop-new", 1e-6, 1e-4), LoopSpec::periodic(1e-2));
+        assert_eq!(adopted, victim, "freelist must reuse the retired index");
+        assert_eq!(sched.len(), 3);
+        assert_eq!(sched.loop_name(adopted), "loop-new");
+        // A fresh slot starts from clean accounting.
+        let stats = sched.loop_stats(adopted);
+        assert_eq!(stats.ticks, 0);
+        assert_eq!(stats.drops, 0);
+    }
+
+    /// Externally-driven ticks run through the same accounting as scheduled
+    /// releases: sequential floor on the member's completion frontier,
+    /// cumulative stats, and deadline misses against the registered budget.
+    #[test]
+    fn tick_member_at_accounts_like_a_scheduled_release() {
+        let mut sched = FleetScheduler::new(FleetConfig {
+            workers: 1,
+            watts_cap: None,
+            seed: 9,
+        });
+        // 4 ms charged latency, 5 ms budget.
+        let id = sched.register(
+            handle("ext", 1e-6, 4e-3),
+            LoopSpec::periodic(1e-2).with_budget(5e-3),
+        );
+        // First observation at t = 0.01: starts at its release.
+        let a = sched.tick_member_at(id, 1e-2);
+        assert!((a.start_s - 1e-2).abs() < 1e-12);
+        assert!((a.completion_s - 1.4e-2).abs() < 1e-12);
+        assert!(!a.missed);
+        // Second observation arrives *while the first is still running*:
+        // the sequential floor pushes its start to the frontier, and the
+        // queueing delay blows the 5 ms response budget.
+        let b = sched.tick_member_at(id, 1.1e-2);
+        assert!(
+            (b.start_s - a.completion_s).abs() < 1e-12,
+            "a loop is sequential: start {} vs frontier {}",
+            b.start_s,
+            a.completion_s
+        );
+        assert!(b.missed, "queued response time must miss the 5 ms budget");
+        assert!((sched.member_frontier_s(id) - b.completion_s).abs() < 1e-12);
+        let stats = sched.loop_stats(id);
+        assert_eq!(stats.ticks, 2);
+        assert_eq!(stats.deadline_misses, 1);
+        assert!((stats.busy_s - 8e-3).abs() < 1e-12);
+        assert!(stats.energy_j > 0.0);
+        // Ingress-side sheds land in the same drop counter the run modes use.
+        sched.record_member_drops(id, 3);
+        assert_eq!(sched.loop_stats(id).drops, 3);
+        // The spec accessor exposes the registered admission inputs.
+        let spec = sched.member_spec(id);
+        assert_eq!(spec.latency_budget_s, Some(5e-3));
+        assert!((spec.deadline_s(1.0) - 1.005).abs() < 1e-12);
+    }
+
+    /// The external release counter is part of the member checkpoint: a
+    /// killed-and-adopted member continues its externally-driven tick
+    /// sequence (trace ids, tie-breaks) exactly where the original stopped.
+    #[test]
+    fn snapshot_round_trips_external_release_counter() {
+        let build = || {
+            let mut sched = FleetScheduler::new(FleetConfig {
+                workers: 1,
+                watts_cap: None,
+                seed: 21,
+            });
+            let id = sched.register(
+                stateful_handle("lease"),
+                LoopSpec::periodic(1e-2).with_budget(8e-3),
+            );
+            (sched, id)
+        };
+        // Reference: five external ticks, uninterrupted.
+        let (mut reference, rid) = build();
+        let mut ref_out = Vec::new();
+        for k in 0..5 {
+            ref_out.push(reference.tick_member_at(rid, k as f64 * 1e-2));
+        }
+        // Migrated: three ticks, kill, adopt a fresh twin, two more ticks.
+        let (mut migrated, mid) = build();
+        for (k, reference_tick) in ref_out.iter().enumerate().take(3) {
+            let got = migrated.tick_member_at(mid, k as f64 * 1e-2);
+            assert_eq!(
+                got.completion_s.to_bits(),
+                reference_tick.completion_s.to_bits()
+            );
+        }
+        let wire = migrated.snapshot_member(mid).unwrap().to_jsonl();
+        let ckpt = Checkpoint::from_jsonl(&wire).unwrap();
+        let old = migrated.retire_member(mid);
+        drop(old);
+        let adopted = migrated.register(
+            stateful_handle("lease"),
+            LoopSpec::periodic(1e-2).with_budget(8e-3),
+        );
+        assert_eq!(adopted, mid, "slot reuse keeps the LoopId stable");
+        migrated
+            .adopt_member(adopted, stateful_handle("lease"), &ckpt)
+            .unwrap();
+        for (k, reference_tick) in ref_out.iter().enumerate().take(5).skip(3) {
+            let got = migrated.tick_member_at(adopted, k as f64 * 1e-2);
+            assert_eq!(
+                got.completion_s.to_bits(),
+                reference_tick.completion_s.to_bits(),
+                "resumed tick {k} must be bit-identical"
+            );
+        }
+        assert_eq!(
+            migrated.loop_stats(adopted),
+            reference.loop_stats(rid),
+            "resumed stats must match the uninterrupted member"
+        );
     }
 }

@@ -1,0 +1,361 @@
+//! Cross-loop batch planning: group ready leases sharing a perceptor
+//! signature and lower their ticks onto one batched im2col + GEMM call.
+//!
+//! The planner collects admitted observations (already shed-checked by the
+//! pool) during an ingress drain, then [`BatchPlanner::flush`] executes
+//! them: observations whose [`ModelKind`] is batchable and appears more
+//! than once are stacked — the planner locks every member's lease cell and
+//! one [`SharedPerceptor::forward_many_into`](crate::model::SharedPerceptor::forward_many_into) writes each member's
+//! features **directly into its cell's scratch** in a single kernel
+//! dispatch (no intermediate stacked buffer, no per-tick copy) — while
+//! singletons and non-batchable kinds run the ordinary per-loop path.
+//! Either way each observation's tick is *released at its own arrival
+//! time*, so the virtual timeline (latency charging, deadline accounting,
+//! telemetry) is bit-identical to unbatched serving; batching only changes
+//! wall-clock cost.
+
+use crate::lease::{AdmitTicket, LeasePool, ObsOutcome, Staged};
+use crate::model::ModelKind;
+
+/// One admitted observation awaiting the next flush. The ticket carries the
+/// lease handles captured at admission, so staging and release never walk
+/// the lease table.
+#[derive(Debug)]
+struct PendingObs {
+    ticket: AdmitTicket,
+    seq: u64,
+    obs: Vec<f64>,
+    arrival_s: f64,
+}
+
+/// Result of one flushed observation, in arrival order.
+#[derive(Debug)]
+pub struct FlushedObs {
+    /// The lease the observation belonged to.
+    pub lease: u64,
+    /// Client sequence number, echoed back.
+    pub seq: u64,
+    /// The tick's outcome.
+    pub outcome: ObsOutcome,
+}
+
+/// Batch statistics of one flush (metrics fodder).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FlushStats {
+    /// Observations executed.
+    pub ticks: usize,
+    /// Stacked GEMM groups dispatched.
+    pub batches: usize,
+    /// Largest group size.
+    pub max_occupancy: usize,
+}
+
+/// Deferred-execution planner for the batched serving mode.
+#[derive(Default)]
+pub struct BatchPlanner {
+    pending: Vec<PendingObs>,
+    /// Per-pending flag: features already staged into the lease cell by a
+    /// batched group forward? Reused across flushes.
+    staged: Vec<bool>,
+    /// Pending indices of the group being assembled. Reused across flushes.
+    members: Vec<usize>,
+}
+
+impl BatchPlanner {
+    /// An empty planner.
+    pub fn new() -> Self {
+        BatchPlanner::default()
+    }
+
+    /// Observations waiting for the next flush.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Queue an admitted observation under its [`AdmitTicket`]. The pool
+    /// has already validated the lease and run the shed arithmetic
+    /// (counting this observation as pending), so the planner's only job is
+    /// ordering and grouping.
+    pub fn enqueue(&mut self, ticket: AdmitTicket, seq: u64, obs: Vec<f64>, arrival_s: f64) {
+        self.pending.push(PendingObs {
+            ticket,
+            seq,
+            obs,
+            arrival_s,
+        });
+    }
+
+    /// Execute every pending observation, returning results in arrival
+    /// order along with per-group occupancy (for the histogram). Each
+    /// batchable group runs ONE stacked forward that writes every member's
+    /// features straight into its lease cell; ticks are then released
+    /// individually at their own arrival times.
+    pub fn flush(&mut self, pool: &mut LeasePool) -> (Vec<FlushedObs>, FlushStats, Vec<usize>) {
+        let pending = std::mem::take(&mut self.pending);
+        if pending.is_empty() {
+            return (Vec::new(), FlushStats::default(), Vec::new());
+        }
+        let mut stats = FlushStats {
+            ticks: pending.len(),
+            ..FlushStats::default()
+        };
+        let mut occupancies = Vec::new();
+        // Stage features for every batchable kind with one stacked forward
+        // per kind, written directly into the members' cells. Group
+        // membership is arrival order within kind, which keeps the stacked
+        // row order deterministic.
+        self.staged.clear();
+        self.staged.resize(pending.len(), false);
+        for kind in ModelKind::ALL {
+            if !kind.batchable() {
+                continue;
+            }
+            self.members.clear();
+            for (i, p) in pending.iter().enumerate() {
+                if p.ticket.kind == kind {
+                    self.members.push(i);
+                }
+            }
+            if self.members.len() < 2 {
+                continue; // a singleton gains nothing from stacking
+            }
+            // Lock every member cell for the group forward. `try_lock` is
+            // the duplicate guard: if one lease contributed two
+            // observations to this flush, the second's cell is already
+            // held and must take the sequential path below — its features
+            // belong to a *later* tick than the one this group computes.
+            let mut guards: Vec<_> = self
+                .members
+                .iter()
+                .map(|&i| match pending[i].ticket.cell.try_lock() {
+                    Ok(g) => Some(g),
+                    Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+                    Err(std::sync::TryLockError::WouldBlock) => None,
+                })
+                .collect();
+            let group: Vec<usize> = guards
+                .iter()
+                .zip(&self.members)
+                .filter(|(g, _)| g.is_some())
+                .map(|(_, &i)| i)
+                .collect();
+            if group.len() < 2 {
+                continue; // guards drop, cells unlock
+            }
+            let flen = kind.feat_len();
+            let mut rows: Vec<&[f64]> = Vec::with_capacity(group.len());
+            let mut outs: Vec<&mut [f64]> = Vec::with_capacity(group.len());
+            for (g, &i) in guards.iter_mut().zip(&self.members) {
+                if let Some(g) = g.as_mut() {
+                    g.feats_scratch.resize(flen, 0.0);
+                    g.staged = Staged::Ready;
+                    rows.push(pending[i].obs.as_slice());
+                    outs.push(g.feats_scratch.as_mut_slice());
+                }
+            }
+            let perceptor = pool.perceptor_for(kind);
+            perceptor
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .forward_many_into(&rows, &mut outs);
+            drop(outs);
+            drop(guards);
+            for &i in &group {
+                self.staged[i] = true;
+            }
+            stats.batches += 1;
+            stats.max_occupancy = stats.max_occupancy.max(group.len());
+            occupancies.push(group.len());
+        }
+        // Release every tick at its own arrival time, in arrival order.
+        let mut out = Vec::with_capacity(pending.len());
+        for (i, p) in pending.into_iter().enumerate() {
+            if !self.staged[i] {
+                // Singleton, non-batchable, or duplicate-lease overflow:
+                // per-loop perception staged in place right before its
+                // tick, through the same cell the batched path uses.
+                let kind = p.ticket.kind;
+                let mut g = p.ticket.cell.lock().unwrap_or_else(|e| e.into_inner());
+                g.feats_scratch.resize(kind.feat_len(), 0.0);
+                let perceptor = pool.perceptor_for(kind);
+                perceptor
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .forward_one(&p.obs, &mut g.feats_scratch);
+                g.staged = Staged::Ready;
+                drop(g);
+            }
+            let outcome = pool.tick_ready(&p.ticket, p.arrival_s);
+            out.push(FlushedObs {
+                lease: p.ticket.lease,
+                seq: p.seq,
+                outcome,
+            });
+        }
+        (out, stats, occupancies)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lease::{Admitted, PoolConfig};
+
+    fn admit(pool: &mut LeasePool, lease: u64, obs_len: usize, now_s: f64) -> AdmitTicket {
+        match pool.admit_deferred(lease, obs_len, now_s).unwrap() {
+            Admitted::Queued(t) => t,
+            Admitted::Shed(s) => panic!("unexpected shed at this gentle rate: {s:?}"),
+        }
+    }
+
+    fn obs_for(kind: ModelKind, salt: u64) -> Vec<f64> {
+        (0..kind.spec().obs_len)
+            .map(|i| ((i as u64).wrapping_mul(salt + 3) % 11) as f64 / 8.0)
+            .collect()
+    }
+
+    /// The batched flush must produce bit-identical actions and telemetry
+    /// to per-loop serving of the same observation stream.
+    #[test]
+    fn flush_is_bitwise_identical_to_unbatched_serving() {
+        let cfg = PoolConfig::default();
+        // Mixed traffic: 4 lidar leases (batchable, grouped) + 2 cartpole.
+        let kinds = [
+            ModelKind::LidarConv,
+            ModelKind::LidarConv,
+            ModelKind::Cartpole,
+            ModelKind::LidarConv,
+            ModelKind::Cartpole,
+            ModelKind::LidarConv,
+        ];
+        let mut batched = LeasePool::new(cfg);
+        let mut unbatched = LeasePool::new(cfg);
+        let mut leases = Vec::new();
+        for (i, kind) in kinds.iter().enumerate() {
+            let (a, _) = batched.grant(*kind, i as u64, 0.0).unwrap();
+            let (b, _) = unbatched.grant(*kind, i as u64, 0.0).unwrap();
+            assert_eq!(a, b);
+            leases.push(a);
+        }
+        let mut planner = BatchPlanner::new();
+        for round in 0..8u64 {
+            let mut expected = Vec::new();
+            for (i, (&lease, kind)) in leases.iter().zip(&kinds).enumerate() {
+                let now = 2e-3 * (round + 1) as f64 + 1e-6 * i as f64;
+                let obs = obs_for(*kind, round * 10 + i as u64);
+                let ticket = admit(&mut batched, lease, obs.len(), now);
+                planner.enqueue(ticket, round, obs.clone(), now);
+                expected.push(unbatched.observe(lease, obs, now).unwrap());
+            }
+            let (flushed, stats, occ) = planner.flush(&mut batched);
+            assert_eq!(stats.ticks, leases.len());
+            assert_eq!(stats.batches, 1, "the 4 lidar leases stack into one GEMM");
+            assert_eq!(stats.max_occupancy, 4);
+            assert_eq!(occ, vec![4]);
+            for (got, want) in flushed.iter().zip(&expected) {
+                match (&got.outcome, want) {
+                    (
+                        ObsOutcome::Act {
+                            response_s: gr,
+                            energy_j: ge,
+                            values: gv,
+                            ..
+                        },
+                        ObsOutcome::Act {
+                            response_s: wr,
+                            energy_j: we,
+                            values: wv,
+                            ..
+                        },
+                    ) => {
+                        assert_eq!(gr.to_bits(), wr.to_bits(), "round {round} response");
+                        assert_eq!(ge.to_bits(), we.to_bits(), "round {round} energy");
+                        for (a, b) in gv.iter().zip(wv) {
+                            assert_eq!(a.to_bits(), b.to_bits(), "round {round} action");
+                        }
+                    }
+                    other => panic!("round {round}: {other:?}"),
+                }
+            }
+        }
+        // The two pools' scheduler ledgers agree too.
+        for &lease in &leases {
+            assert_eq!(
+                batched.lease_stats(lease).unwrap(),
+                unbatched.lease_stats(lease).unwrap()
+            );
+        }
+    }
+
+    /// Two observations from the SAME lease in one flush: the first joins
+    /// the stacked group, the second (whose cell the group already holds)
+    /// must fall back to sequential staging so its features are computed
+    /// *after* the first tick consumed the staged ones — bitwise identical
+    /// to unbatched serving of the same stream.
+    #[test]
+    fn duplicate_lease_in_one_flush_stays_bitwise() {
+        let cfg = PoolConfig::default();
+        let mut batched = LeasePool::new(cfg);
+        let mut unbatched = LeasePool::new(cfg);
+        let mut leases = Vec::new();
+        for i in 0..3u64 {
+            let (a, _) = batched.grant(ModelKind::LidarConv, i, 0.0).unwrap();
+            let (b, _) = unbatched.grant(ModelKind::LidarConv, i, 0.0).unwrap();
+            assert_eq!(a, b);
+            leases.push(a);
+        }
+        // Lease 0 sends twice in the same drain; the others once.
+        let sends = [leases[0], leases[1], leases[2], leases[0]];
+        let mut planner = BatchPlanner::new();
+        let mut expected = Vec::new();
+        for (i, &lease) in sends.iter().enumerate() {
+            let now = 2e-3 + 1e-6 * i as f64;
+            let obs = obs_for(ModelKind::LidarConv, i as u64);
+            let ticket = admit(&mut batched, lease, obs.len(), now);
+            planner.enqueue(ticket, i as u64, obs.clone(), now);
+            expected.push(unbatched.observe(lease, obs, now).unwrap());
+        }
+        let (flushed, stats, occ) = planner.flush(&mut batched);
+        assert_eq!(stats.ticks, 4);
+        assert_eq!(occ, vec![3], "the duplicate is excluded from the group");
+        for (i, (got, want)) in flushed.iter().zip(&expected).enumerate() {
+            match (&got.outcome, want) {
+                (
+                    ObsOutcome::Act {
+                        values: gv,
+                        energy_j: ge,
+                        ..
+                    },
+                    ObsOutcome::Act {
+                        values: wv,
+                        energy_j: we,
+                        ..
+                    },
+                ) => {
+                    assert_eq!(ge.to_bits(), we.to_bits(), "obs {i} energy");
+                    for (a, b) in gv.iter().zip(wv) {
+                        assert_eq!(a.to_bits(), b.to_bits(), "obs {i} action");
+                    }
+                }
+                other => panic!("obs {i}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn singleton_groups_skip_stacking() {
+        let mut pool = LeasePool::new(PoolConfig::default());
+        let (lidar, _) = pool.grant(ModelKind::LidarConv, 1, 0.0).unwrap();
+        let (cart, _) = pool.grant(ModelKind::Cartpole, 2, 0.0).unwrap();
+        let mut planner = BatchPlanner::new();
+        for (lease, kind) in [(lidar, ModelKind::LidarConv), (cart, ModelKind::Cartpole)] {
+            let obs = obs_for(kind, 5);
+            let ticket = admit(&mut pool, lease, obs.len(), 1e-3);
+            planner.enqueue(ticket, 0, obs, 1e-3);
+        }
+        let (flushed, stats, occ) = planner.flush(&mut pool);
+        assert_eq!(flushed.len(), 2);
+        assert_eq!(stats.batches, 0, "one lidar + one cartpole: nothing stacks");
+        assert!(occ.is_empty());
+    }
+}

@@ -1,0 +1,873 @@
+//! Lease lifecycle: granting, observing, shedding, expiring, releasing —
+//! and checkpoint-based crash recovery of live leases.
+//!
+//! A **lease** is one sensing-to-action loop rented out of a
+//! [`FleetScheduler`]-backed pool. The pool registers each lease as a
+//! scheduler member (so it gets the same stats, deadline, tracing and
+//! checkpoint machinery every fleet loop gets), drives it with
+//! *observation-released* ticks
+//! ([`FleetScheduler::tick_member_at`]), and retires the slot back to the
+//! scheduler's freelist when the lease ends — `LoopId`s stay dense under
+//! arbitrary churn.
+//!
+//! Admission control is the scheduler's own arithmetic moved to the edge:
+//! a lease is rejected when the fleet's summed latency demand would exceed
+//! the worker pool, and an individual observation is shed when
+//! `max(frontier, now) + (pending + 1)·latency − now > budget` — the same
+//! pending-tick reasoning the run modes use for drop-oldest backpressure,
+//! applied *before* the tick is released so a doomed observation costs a
+//! frame, not a worker.
+
+use crate::model::{ModelKind, ModelSpec, SharedPerceptor};
+use sensact_core::checkpoint::{Checkpoint, CheckpointError, Section, StageState};
+use sensact_core::fault::StageError;
+use sensact_core::telemetry::LoopTelemetry;
+use sensact_core::trace::StageBreakdown;
+use sensact_core::{Precision, Trust};
+use sensact_sched::{
+    DynLoop, FleetConfig, FleetScheduler, LoopHandle, LoopId, LoopSpec, TickOutcome,
+};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Checkpoint section carrying a lease's controller identity and state.
+const LEASE_SECTION: &str = "serve.lease";
+/// Checkpoint section carrying the pool-side grant (lease id).
+const GRANT_SECTION: &str = "serve.grant";
+
+/// What the ingress staged for a lease's next tick.
+#[derive(Debug, Default)]
+pub(crate) enum Staged {
+    /// Nothing pending (only legal between ticks).
+    #[default]
+    Empty,
+    /// A raw observation: the tick runs perception inline (per-loop path).
+    Obs(Vec<f64>),
+    /// The batch planner already copied the computed features into
+    /// `feats_scratch`: the tick skips perception. Bitwise identical to
+    /// [`Staged::Obs`] because the batched forward is bitwise identical to
+    /// the per-row forward — and allocation-free, because the scratch
+    /// buffer is reused across ticks.
+    Ready,
+}
+
+/// Mailbox shared between the pool (stages observations, reads actions)
+/// and the lease's scheduler slot (consumes observations, writes actions).
+#[derive(Debug, Default)]
+pub(crate) struct LeaseCell {
+    pub(crate) staged: Staged,
+    pub(crate) action: Vec<f64>,
+    pub(crate) feats_scratch: Vec<f64>,
+}
+
+pub(crate) type SharedCell = Arc<Mutex<LeaseCell>>;
+
+/// The [`DynLoop`] a lease registers into the scheduler: shared perceptor,
+/// per-lease controller state, and the loop's own telemetry ring.
+struct LeaseLoop {
+    name: String,
+    kind: ModelKind,
+    seed: u64,
+    spec: ModelSpec,
+    state: Vec<f64>,
+    cell: SharedCell,
+    perceptor: Arc<Mutex<SharedPerceptor>>,
+    telemetry: LoopTelemetry,
+}
+
+impl LeaseLoop {
+    fn new(
+        lease: u64,
+        kind: ModelKind,
+        seed: u64,
+        cell: SharedCell,
+        perceptor: Arc<Mutex<SharedPerceptor>>,
+    ) -> Self {
+        LeaseLoop {
+            name: format!("lease-{lease}-{}", kind.name()),
+            kind,
+            seed,
+            spec: kind.spec(),
+            state: kind.init_state(seed),
+            cell,
+            perceptor,
+            telemetry: LoopTelemetry::new(),
+        }
+    }
+}
+
+impl DynLoop for LeaseLoop {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick_once(&mut self) -> TickOutcome {
+        let mut cell = self.cell.lock().unwrap_or_else(|e| e.into_inner());
+        let cell = &mut *cell;
+        match std::mem::take(&mut cell.staged) {
+            Staged::Obs(obs) => {
+                cell.feats_scratch.resize(self.kind.feat_len(), 0.0);
+                self.perceptor
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .forward_one(&obs, &mut cell.feats_scratch);
+            }
+            Staged::Ready => {} // feats_scratch pre-filled by the planner
+            Staged::Empty => unreachable!("lease ticked with nothing staged"),
+        }
+        cell.action.resize(self.spec.act_len, 0.0);
+        self.kind
+            .control(&mut self.state, &cell.feats_scratch, &mut cell.action);
+        // The charged energy carries a state-sensitive term: any divergence
+        // in the restored controller state shows up in the telemetry ledger
+        // (and therefore in `diff_records`), not just in the action bytes.
+        let mut act_mag = 0.0;
+        for a in &cell.action {
+            act_mag += a.abs();
+        }
+        let energy_j = self.spec.energy_j + 1e-9 * act_mag;
+        self.telemetry.record_with_precision(
+            energy_j,
+            self.spec.latency_s,
+            Trust::Trusted,
+            StageBreakdown::new(),
+            Precision::F64,
+        );
+        TickOutcome {
+            energy_j,
+            latency_s: self.spec.latency_s,
+            comm_s: 0.0,
+            faults: 0,
+        }
+    }
+
+    fn telemetry(&self) -> &LoopTelemetry {
+        &self.telemetry
+    }
+
+    fn record_deadline_miss(&mut self, latency_s: f64, budget_s: f64) {
+        self.telemetry.record_fault(&StageError::Timeout {
+            latency_s,
+            budget_s,
+        });
+    }
+
+    fn save_state(&self) -> Result<Checkpoint, CheckpointError> {
+        let mut ckpt = Checkpoint::new(&self.name);
+        let mut s = Section::new(LEASE_SECTION);
+        s.put_u64("kind", self.kind.wire() as u64);
+        s.put_u64("seed", self.seed);
+        s.put_f64s("state", &self.state);
+        let cell = self.cell.lock().unwrap_or_else(|e| e.into_inner());
+        s.put_f64s("action", &cell.action);
+        ckpt.push(s);
+        self.telemetry.save_state(&mut ckpt, "telemetry");
+        Ok(ckpt)
+    }
+
+    fn restore_from(&mut self, ckpt: &Checkpoint) -> Result<(), CheckpointError> {
+        let s = ckpt.section(LEASE_SECTION)?;
+        if s.get_u64("kind")? != self.kind.wire() as u64 || s.get_u64("seed")? != self.seed {
+            return Err(CheckpointError::BadValue(
+                "serve.lease identity mismatch".into(),
+            ));
+        }
+        let state = s.get_f64s("state")?;
+        if state.len() != self.state.len() {
+            return Err(CheckpointError::BadValue("serve.lease state length".into()));
+        }
+        self.state = state;
+        let action = s.get_f64s("action")?;
+        {
+            let mut cell = self.cell.lock().unwrap_or_else(|e| e.into_inner());
+            cell.action = action;
+            cell.staged = Staged::Empty;
+        }
+        self.telemetry.restore_state(ckpt, "telemetry")
+    }
+}
+
+/// Pool sizing and policy knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolConfig {
+    /// Virtual worker capacity admission control budgets against.
+    pub workers: usize,
+    /// Server seed: scheduler tie-breaks *and* shared perceptor weights
+    /// derive from it, so two pools with equal seeds serve bit-identical
+    /// models (the crash-recovery contract).
+    pub seed: u64,
+    /// A lease not heard from (observation or heartbeat) for this long is
+    /// expired by [`LeasePool::expire`].
+    pub lease_ttl_s: f64,
+    /// Fraction of `workers` the summed lease demand may occupy before new
+    /// leases are rejected.
+    pub utilization_cap: f64,
+    /// Backoff hint carried by rejections and sheds.
+    pub retry_after_ms: u32,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            workers: 4,
+            seed: 0xED6E,
+            lease_ttl_s: 5.0,
+            utilization_cap: 0.8,
+            retry_after_ms: 50,
+        }
+    }
+}
+
+/// One live lease.
+pub(crate) struct LeaseEntry {
+    pub(crate) loop_id: LoopId,
+    pub(crate) kind: ModelKind,
+    pub(crate) cell: SharedCell,
+    pub(crate) last_seen_s: f64,
+    /// Observations queued with the batch planner but not yet ticked —
+    /// the `pending` term of the shed arithmetic. Shared with the
+    /// [`AdmitTicket`]s of in-flight observations so the planner can
+    /// release ticks without re-walking the lease table.
+    pub(crate) pending: Arc<AtomicU64>,
+    pub(crate) sheds: u64,
+}
+
+/// A validated, shed-checked admission for deferred (batched) execution:
+/// every handle the batch planner needs to stage features into the lease
+/// cell and release the tick, captured from the one lease-table walk
+/// [`LeasePool::admit_deferred`] already does — the flush hot path never
+/// touches the table again.
+#[derive(Debug)]
+pub struct AdmitTicket {
+    pub(crate) lease: u64,
+    pub(crate) kind: ModelKind,
+    pub(crate) loop_id: LoopId,
+    pub(crate) cell: SharedCell,
+    pub(crate) pending: Arc<AtomicU64>,
+}
+
+/// Outcome of [`LeasePool::admit_deferred`].
+#[derive(Debug)]
+pub enum Admitted {
+    /// Admissible: queue the observation with the batch planner under this
+    /// ticket.
+    Queued(AdmitTicket),
+    /// Shed at ingress (always [`ObsOutcome::Shed`]); reply immediately.
+    Shed(ObsOutcome),
+}
+
+/// Outcome of submitting one observation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObsOutcome {
+    /// The tick ran; here is the action and its charged telemetry.
+    Act {
+        /// Client-visible response time: completion − release (queueing
+        /// included).
+        response_s: f64,
+        /// Charged energy of the tick.
+        energy_j: f64,
+        /// The action vector.
+        values: Vec<f64>,
+        /// The tick completed past its budget (still served, but counted
+        /// as a deadline miss on the lease's stats).
+        missed: bool,
+    },
+    /// Shed at ingress: the pending-tick arithmetic says the deadline is
+    /// unmeetable. Retry after the backoff.
+    Shed {
+        /// Backoff hint (milliseconds).
+        retry_after_ms: u32,
+    },
+}
+
+/// Why a lease or observation was refused outright.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LeaseError {
+    /// Admission control: the pool is at capacity; retry after backoff.
+    Rejected {
+        /// Backoff hint (milliseconds).
+        retry_after_ms: u32,
+    },
+    /// The lease id is not live.
+    UnknownLease,
+    /// The observation length does not match the leased model.
+    BadObsLen {
+        /// The leased model's observation length.
+        expected: usize,
+    },
+}
+
+/// A [`FleetScheduler`]-backed pool of leased loops.
+pub struct LeasePool {
+    sched: FleetScheduler,
+    cfg: PoolConfig,
+    perceptors: BTreeMap<ModelKind, Arc<Mutex<SharedPerceptor>>>,
+    leases: BTreeMap<u64, LeaseEntry>,
+    next_lease: u64,
+    /// Σ latency/period over live leases — admission-control demand.
+    demand: f64,
+}
+
+impl LeasePool {
+    /// An empty pool.
+    pub fn new(cfg: PoolConfig) -> Self {
+        LeasePool {
+            sched: FleetScheduler::new(FleetConfig {
+                workers: cfg.workers,
+                watts_cap: None,
+                seed: cfg.seed,
+            }),
+            cfg,
+            perceptors: BTreeMap::new(),
+            leases: BTreeMap::new(),
+            next_lease: 1,
+            demand: 0.0,
+        }
+    }
+
+    /// The pool's config.
+    pub fn config(&self) -> &PoolConfig {
+        &self.cfg
+    }
+
+    /// Live lease count.
+    pub fn active(&self) -> usize {
+        self.leases.len()
+    }
+
+    /// Current admission demand as a fraction of worker capacity.
+    pub fn utilization(&self) -> f64 {
+        self.demand / self.cfg.workers as f64
+    }
+
+    /// Live lease ids (ascending).
+    pub fn lease_ids(&self) -> Vec<u64> {
+        self.leases.keys().copied().collect()
+    }
+
+    fn perceptor(&mut self, kind: ModelKind) -> Arc<Mutex<SharedPerceptor>> {
+        let seed = self.cfg.seed;
+        Arc::clone(
+            self.perceptors
+                .entry(kind)
+                .or_insert_with(|| Arc::new(Mutex::new(SharedPerceptor::new(kind, seed)))),
+        )
+    }
+
+    /// Lease one `kind` loop personalised by `seed`. Admission control
+    /// rejects the lease when the pool's summed latency demand would
+    /// exceed the configured share of worker capacity.
+    pub fn grant(
+        &mut self,
+        kind: ModelKind,
+        seed: u64,
+        now_s: f64,
+    ) -> Result<(u64, ModelSpec), LeaseError> {
+        let spec = kind.spec();
+        let added = spec.latency_s / spec.period_s;
+        if self.demand + added > self.cfg.utilization_cap * self.cfg.workers as f64 {
+            return Err(LeaseError::Rejected {
+                retry_after_ms: self.cfg.retry_after_ms,
+            });
+        }
+        let lease = self.next_lease;
+        self.next_lease += 1;
+        let cell: SharedCell = Arc::default();
+        let perceptor = self.perceptor(kind);
+        let looop = LeaseLoop::new(lease, kind, seed, Arc::clone(&cell), perceptor);
+        let loop_id = self.sched.register(
+            LoopHandle::from_dyn(Box::new(looop)),
+            LoopSpec::periodic(spec.period_s).with_budget(spec.budget_s),
+        );
+        self.leases.insert(
+            lease,
+            LeaseEntry {
+                loop_id,
+                kind,
+                cell,
+                last_seen_s: now_s,
+                pending: Arc::new(AtomicU64::new(0)),
+                sheds: 0,
+            },
+        );
+        self.demand += added;
+        Ok((lease, spec))
+    }
+
+    /// The shed decision for one more observation on `lease` at `now_s`:
+    /// `Some(outcome)` if it must be shed, `None` if it is admissible.
+    fn shed_check(&mut self, lease: u64, now_s: f64) -> Option<ObsOutcome> {
+        let entry = self.leases.get(&lease)?;
+        let (loop_id, pending) = (entry.loop_id, entry.pending.load(Ordering::Relaxed));
+        let spec = entry.kind.spec();
+        let frontier = self.sched.member_frontier_s(loop_id);
+        let start = frontier.max(now_s);
+        let projected_response = start + (pending + 1) as f64 * spec.latency_s - now_s;
+        if projected_response > spec.budget_s {
+            self.sched.record_member_drops(loop_id, 1);
+            let entry = self.leases.get_mut(&lease).expect("checked above");
+            entry.sheds += 1;
+            entry.last_seen_s = now_s;
+            return Some(ObsOutcome::Shed {
+                retry_after_ms: self.cfg.retry_after_ms,
+            });
+        }
+        None
+    }
+
+    fn validate(&self, lease: u64, obs_len: usize) -> Result<(), LeaseError> {
+        let entry = self.leases.get(&lease).ok_or(LeaseError::UnknownLease)?;
+        let expected = entry.kind.spec().obs_len;
+        if obs_len != expected {
+            return Err(LeaseError::BadObsLen { expected });
+        }
+        Ok(())
+    }
+
+    /// Per-loop (unbatched) path: validate, shed-check, then release the
+    /// tick immediately and return the action.
+    pub fn observe(
+        &mut self,
+        lease: u64,
+        obs: Vec<f64>,
+        now_s: f64,
+    ) -> Result<ObsOutcome, LeaseError> {
+        self.validate(lease, obs.len())?;
+        if let Some(shed) = self.shed_check(lease, now_s) {
+            return Ok(shed);
+        }
+        let entry = self.leases.get_mut(&lease).expect("validated above");
+        entry.last_seen_s = now_s;
+        let (loop_id, cell) = (entry.loop_id, Arc::clone(&entry.cell));
+        cell.lock().unwrap_or_else(|e| e.into_inner()).staged = Staged::Obs(obs);
+        Ok(self.run_tick(loop_id, &cell, now_s))
+    }
+
+    /// Admit one observation for deferred (batched) execution: validate and
+    /// shed-check now, count it pending, and hand the caller an
+    /// [`AdmitTicket`] so the batch planner can stage features into the
+    /// lease cell and release the tick (`LeasePool::tick_ready`) without
+    /// any further lease-table lookups.
+    pub fn admit_deferred(
+        &mut self,
+        lease: u64,
+        obs_len: usize,
+        now_s: f64,
+    ) -> Result<Admitted, LeaseError> {
+        self.validate(lease, obs_len)?;
+        if let Some(shed) = self.shed_check(lease, now_s) {
+            return Ok(Admitted::Shed(shed));
+        }
+        let entry = self.leases.get_mut(&lease).expect("validated above");
+        entry.last_seen_s = now_s;
+        entry.pending.fetch_add(1, Ordering::Relaxed);
+        Ok(Admitted::Queued(AdmitTicket {
+            lease,
+            kind: entry.kind,
+            loop_id: entry.loop_id,
+            cell: Arc::clone(&entry.cell),
+            pending: Arc::clone(&entry.pending),
+        }))
+    }
+
+    /// Release the tick of an admitted observation whose cell the batch
+    /// planner already staged ([`Staged::Ready`], features written straight
+    /// into `feats_scratch` by the batched forward — no copy) at
+    /// `release_s` (the observation's arrival time). The ticket carries
+    /// every handle the release needs — the flush hot path never walks the
+    /// lease table.
+    pub(crate) fn tick_ready(&mut self, ticket: &AdmitTicket, release_s: f64) -> ObsOutcome {
+        let was = ticket.pending.fetch_sub(1, Ordering::Relaxed);
+        debug_assert!(was > 0, "one admit per release");
+        debug_assert!(matches!(
+            ticket.cell.lock().unwrap_or_else(|e| e.into_inner()).staged,
+            Staged::Ready
+        ));
+        self.run_tick(ticket.loop_id, &ticket.cell, release_s)
+    }
+
+    /// Shared perceptor for `kind` (building it on first use) — the batch
+    /// planner borrows this to run the stacked forward.
+    pub(crate) fn perceptor_for(&mut self, kind: ModelKind) -> Arc<Mutex<SharedPerceptor>> {
+        self.perceptor(kind)
+    }
+
+    fn run_tick(&mut self, loop_id: LoopId, cell: &SharedCell, release_s: f64) -> ObsOutcome {
+        let out = self.sched.tick_member_at(loop_id, release_s);
+        let values = cell
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .action
+            .clone();
+        ObsOutcome::Act {
+            response_s: out.completion_s - release_s,
+            energy_j: out.energy_j,
+            values,
+            missed: out.missed,
+        }
+    }
+
+    /// Record a heartbeat; `false` if the lease is unknown.
+    pub fn heartbeat(&mut self, lease: u64, now_s: f64) -> bool {
+        match self.leases.get_mut(&lease) {
+            Some(e) => {
+                e.last_seen_s = now_s;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Release `lease`, retiring its scheduler slot (the slot index goes
+    /// back to the freelist). Returns the lease's completed tick count.
+    pub fn release(&mut self, lease: u64) -> Result<u64, LeaseError> {
+        let entry = self.leases.remove(&lease).ok_or(LeaseError::UnknownLease)?;
+        let spec = entry.kind.spec();
+        self.demand = (self.demand - spec.latency_s / spec.period_s).max(0.0);
+        let ticks = self.sched.loop_stats(entry.loop_id).ticks;
+        let _ = self.sched.retire_member(entry.loop_id);
+        Ok(ticks)
+    }
+
+    /// Expire every lease not heard from within the TTL. Returns the
+    /// expired ids.
+    pub fn expire(&mut self, now_s: f64) -> Vec<u64> {
+        let ttl = self.cfg.lease_ttl_s;
+        let stale: Vec<u64> = self
+            .leases
+            .iter()
+            .filter(|(_, e)| now_s - e.last_seen_s > ttl)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in &stale {
+            let _ = self.release(*id);
+        }
+        stale
+    }
+
+    /// Cumulative scheduler-side stats of a lease.
+    pub fn lease_stats(&mut self, lease: u64) -> Option<sensact_sched::LoopStats> {
+        let id = self.leases.get(&lease)?.loop_id;
+        Some(self.sched.loop_stats(id))
+    }
+
+    /// Per-lease shed count (ingress drops).
+    pub fn lease_sheds(&self, lease: u64) -> Option<u64> {
+        self.leases.get(&lease).map(|e| e.sheds)
+    }
+
+    /// The lease's telemetry ring — replay verification reads this.
+    pub fn lease_telemetry(&mut self, lease: u64) -> Option<&LoopTelemetry> {
+        let id = self.leases.get(&lease)?.loop_id;
+        Some(self.sched.loop_telemetry(id))
+    }
+
+    /// Serialize `lease` for crash recovery: the loop's own checkpoint
+    /// (controller state, telemetry) plus the scheduler slot's accounting
+    /// plus the pool-side grant. Snapshot between ticks.
+    pub fn snapshot_lease(&mut self, lease: u64) -> Result<Checkpoint, CheckpointError> {
+        let entry = self
+            .leases
+            .get(&lease)
+            .ok_or_else(|| CheckpointError::MissingSection(GRANT_SECTION.into()))?;
+        let loop_id = entry.loop_id;
+        let mut ckpt = self.sched.snapshot_member(loop_id)?;
+        let mut s = Section::new(GRANT_SECTION);
+        s.put_u64("lease", lease);
+        ckpt.push(s);
+        Ok(ckpt)
+    }
+
+    /// Adopt a lease snapshotted by [`LeasePool::snapshot_lease`] — on this
+    /// pool or on a freshly built replacement server with the same
+    /// [`PoolConfig::seed`]. The lease resumes under its original id with
+    /// bit-identical controller state, telemetry, and scheduler
+    /// accounting; subsequent ticks replay bit-exactly.
+    pub fn restore_lease(&mut self, ckpt: &Checkpoint, now_s: f64) -> Result<u64, CheckpointError> {
+        let grant = ckpt.section(GRANT_SECTION)?;
+        let lease = grant.get_u64("lease")?;
+        if self.leases.contains_key(&lease) {
+            return Err(CheckpointError::BadValue("lease id already live".into()));
+        }
+        let s = ckpt.section(LEASE_SECTION)?;
+        let kind = ModelKind::from_wire(s.get_u64("kind")? as u8)
+            .ok_or_else(|| CheckpointError::BadValue("serve.lease kind".into()))?;
+        let seed = s.get_u64("seed")?;
+        let spec = kind.spec();
+        let cell: SharedCell = Arc::default();
+        let perceptor = self.perceptor(kind);
+        let twin = LeaseLoop::new(lease, kind, seed, Arc::clone(&cell), perceptor);
+        // Register a fresh twin (reusing a retired slot if one is free),
+        // then adopt the checkpointed state on top of it.
+        let loop_id = self.sched.register(
+            LoopHandle::from_dyn(Box::new(twin)),
+            LoopSpec::periodic(spec.period_s).with_budget(spec.budget_s),
+        );
+        let perceptor = self.perceptor(kind);
+        let twin = LeaseLoop::new(lease, kind, seed, Arc::clone(&cell), perceptor);
+        if let Err(e) = self
+            .sched
+            .adopt_member(loop_id, LoopHandle::from_dyn(Box::new(twin)), ckpt)
+        {
+            // Roll the failed registration back so the pool stays clean.
+            let _ = self.sched.retire_member(loop_id);
+            return Err(e);
+        }
+        self.leases.insert(
+            lease,
+            LeaseEntry {
+                loop_id,
+                kind,
+                cell,
+                last_seen_s: now_s,
+                pending: Arc::new(AtomicU64::new(0)),
+                sheds: 0,
+            },
+        );
+        self.next_lease = self.next_lease.max(lease + 1);
+        self.demand += spec.latency_s / spec.period_s;
+        Ok(lease)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> LeasePool {
+        LeasePool::new(PoolConfig::default())
+    }
+
+    fn obs_for(kind: ModelKind, salt: u64) -> Vec<f64> {
+        (0..kind.spec().obs_len)
+            .map(|i| ((i as u64).wrapping_mul(salt + 1) % 17) as f64 / 16.0)
+            .collect()
+    }
+
+    #[test]
+    fn grant_observe_release_round_trip() {
+        let mut p = pool();
+        let (lease, spec) = p.grant(ModelKind::Cartpole, 7, 0.0).unwrap();
+        assert_eq!(spec.obs_len, 4);
+        let out = p
+            .observe(lease, obs_for(ModelKind::Cartpole, 1), 0.001)
+            .unwrap();
+        match out {
+            ObsOutcome::Act {
+                response_s,
+                values,
+                missed,
+                ..
+            } => {
+                assert_eq!(values.len(), 1);
+                assert!(response_s > 0.0 && !missed);
+            }
+            other => panic!("expected Act, got {other:?}"),
+        }
+        assert_eq!(p.release(lease).unwrap(), 1);
+        assert_eq!(p.active(), 0);
+        assert_eq!(
+            p.observe(lease, vec![0.0; 4], 0.002),
+            Err(LeaseError::UnknownLease)
+        );
+    }
+
+    #[test]
+    fn wrong_obs_len_is_typed() {
+        let mut p = pool();
+        let (lease, _) = p.grant(ModelKind::Cartpole, 7, 0.0).unwrap();
+        assert_eq!(
+            p.observe(lease, vec![0.0; 3], 0.001),
+            Err(LeaseError::BadObsLen { expected: 4 })
+        );
+    }
+
+    #[test]
+    fn admission_control_rejects_at_capacity() {
+        let mut p = LeasePool::new(PoolConfig {
+            workers: 1,
+            // Slightly above 0.5 so the 50-lease boundary is robust to the
+            // demand accumulator's floating-point rounding.
+            utilization_cap: 0.505,
+            ..PoolConfig::default()
+        });
+        // Each cartpole lease demands 2e-6/2e-4 = 1% of a worker; the cap
+        // is ~50% of one worker → 50 leases fit.
+        let mut granted = 0;
+        loop {
+            match p.grant(ModelKind::Cartpole, granted, 0.0) {
+                Ok(_) => granted += 1,
+                Err(LeaseError::Rejected { retry_after_ms }) => {
+                    assert!(retry_after_ms > 0);
+                    break;
+                }
+                Err(e) => panic!("unexpected {e:?}"),
+            }
+            assert!(granted < 1000, "admission control never engaged");
+        }
+        assert_eq!(granted, 50);
+        // Releasing one frees capacity for exactly one more.
+        let ids = p.lease_ids();
+        p.release(ids[0]).unwrap();
+        assert!(p.grant(ModelKind::Cartpole, 999, 0.0).is_ok());
+        assert!(matches!(
+            p.grant(ModelKind::Cartpole, 1000, 0.0),
+            Err(LeaseError::Rejected { .. })
+        ));
+    }
+
+    #[test]
+    fn backlogged_lease_sheds_with_retry_after() {
+        let mut p = pool();
+        let (lease, spec) = p.grant(ModelKind::Cartpole, 3, 0.0).unwrap();
+        // Observations arriving much faster than the model's latency pile
+        // the frontier past the budget; the pool must start shedding.
+        let mut acts = 0;
+        let mut sheds = 0;
+        for k in 0..64 {
+            let now = 1e-7 * k as f64;
+            match p
+                .observe(lease, obs_for(ModelKind::Cartpole, k), now)
+                .unwrap()
+            {
+                ObsOutcome::Act { .. } => acts += 1,
+                ObsOutcome::Shed { retry_after_ms } => {
+                    assert!(retry_after_ms > 0);
+                    sheds += 1;
+                }
+            }
+        }
+        assert!(acts > 0, "some observations must be served");
+        assert!(sheds > 0, "a flooded lease must shed");
+        assert_eq!(p.lease_sheds(lease), Some(sheds));
+        // Sheds land in the scheduler's drop accounting.
+        assert_eq!(p.lease_stats(lease).unwrap().drops, sheds);
+        assert_eq!(p.lease_stats(lease).unwrap().ticks, acts);
+        // After the backlog drains (time passes), service resumes.
+        let late = 1.0;
+        assert!(matches!(
+            p.observe(lease, obs_for(ModelKind::Cartpole, 99), late)
+                .unwrap(),
+            ObsOutcome::Act { .. }
+        ));
+        let _ = spec;
+    }
+
+    #[test]
+    fn expiry_reaps_silent_leases_but_heartbeats_keep_alive() {
+        let mut p = pool();
+        let (a, _) = p.grant(ModelKind::Cartpole, 1, 0.0).unwrap();
+        let (b, _) = p.grant(ModelKind::Cartpole, 2, 0.0).unwrap();
+        let ttl = p.config().lease_ttl_s;
+        assert!(p.heartbeat(a, ttl * 0.9));
+        assert_eq!(p.expire(ttl * 1.5), vec![b]);
+        assert_eq!(p.active(), 1);
+        assert!(p.heartbeat(a, ttl * 1.6));
+        assert!(!p.heartbeat(b, ttl * 1.6));
+    }
+
+    #[test]
+    fn slot_reuse_keeps_loop_ids_dense_under_churn() {
+        let mut p = pool();
+        for round in 0..5u64 {
+            let (x, _) = p.grant(ModelKind::Cartpole, round, 0.0).unwrap();
+            let (y, _) = p.grant(ModelKind::LidarConv, round, 0.0).unwrap();
+            let _ = p
+                .observe(x, obs_for(ModelKind::Cartpole, round), 0.01)
+                .unwrap();
+            let _ = p
+                .observe(y, obs_for(ModelKind::LidarConv, round), 0.01)
+                .unwrap();
+            p.release(x).unwrap();
+            p.release(y).unwrap();
+        }
+        // Ten leases churned through the pool, but only two scheduler slots
+        // were ever needed (the freelist reuses retired indices).
+        let (z, _) = p.grant(ModelKind::Cartpole, 9, 0.0).unwrap();
+        let id = p.leases.get(&z).unwrap().loop_id;
+        assert!(id.0 < 2, "slot index {} grew despite the freelist", id.0);
+    }
+
+    #[test]
+    fn snapshot_and_restore_resume_bit_exactly() {
+        let cfg = PoolConfig::default();
+        let obs_stream: Vec<Vec<f64>> = (0..10).map(|k| obs_for(ModelKind::LidarConv, k)).collect();
+        let times: Vec<f64> = (0..10).map(|k| 1e-3 * (k + 1) as f64).collect();
+        // Reference: uninterrupted.
+        let mut reference = LeasePool::new(cfg);
+        let (rl, _) = reference.grant(ModelKind::LidarConv, 77, 0.0).unwrap();
+        let ref_acts: Vec<ObsOutcome> = obs_stream
+            .iter()
+            .zip(&times)
+            .map(|(o, t)| reference.observe(rl, o.clone(), *t).unwrap())
+            .collect();
+        // Victim: serve 6, snapshot, crash; a fresh pool adopts and serves
+        // the remaining 4.
+        let mut victim = LeasePool::new(cfg);
+        let (vl, _) = victim.grant(ModelKind::LidarConv, 77, 0.0).unwrap();
+        for (o, t) in obs_stream.iter().zip(&times).take(6) {
+            let _ = victim.observe(vl, o.clone(), *t).unwrap();
+        }
+        let wire = victim.snapshot_lease(vl).unwrap().to_jsonl();
+        drop(victim);
+        let mut fresh = LeasePool::new(cfg);
+        let ckpt = Checkpoint::from_jsonl(&wire).unwrap();
+        let adopted = fresh.restore_lease(&ckpt, times[5]).unwrap();
+        assert_eq!(adopted, vl, "the lease resumes under its original id");
+        for (k, (o, t)) in obs_stream.iter().zip(&times).enumerate().skip(6) {
+            let got = fresh.observe(adopted, o.clone(), *t).unwrap();
+            match (&got, &ref_acts[k]) {
+                (
+                    ObsOutcome::Act {
+                        response_s: gr,
+                        energy_j: ge,
+                        values: gv,
+                        ..
+                    },
+                    ObsOutcome::Act {
+                        response_s: rr,
+                        energy_j: re,
+                        values: rv,
+                        ..
+                    },
+                ) => {
+                    assert_eq!(gr.to_bits(), rr.to_bits(), "tick {k} response");
+                    assert_eq!(ge.to_bits(), re.to_bits(), "tick {k} energy");
+                    assert_eq!(gv.len(), rv.len());
+                    for (a, b) in gv.iter().zip(rv) {
+                        assert_eq!(a.to_bits(), b.to_bits(), "tick {k} action bits");
+                    }
+                }
+                other => panic!("tick {k}: {other:?}"),
+            }
+        }
+        assert_eq!(
+            fresh.lease_stats(adopted).unwrap(),
+            // Reference must be read mutably after the borrow above ends.
+            {
+                let mut r = reference;
+                r.lease_stats(rl).unwrap()
+            },
+            "resumed accounting must match the uninterrupted lease"
+        );
+    }
+
+    #[test]
+    fn restore_refuses_identity_mismatch_and_double_adopt() {
+        let mut p = pool();
+        let (lease, _) = p.grant(ModelKind::Cartpole, 5, 0.0).unwrap();
+        let _ = p
+            .observe(lease, obs_for(ModelKind::Cartpole, 0), 0.001)
+            .unwrap();
+        let ckpt = p.snapshot_lease(lease).unwrap();
+        // The lease is still live here: adopting on the same pool collides.
+        assert!(matches!(
+            p.restore_lease(&ckpt, 0.01),
+            Err(CheckpointError::BadValue(_))
+        ));
+        // A pool that never granted it adopts fine.
+        let mut q = pool();
+        assert_eq!(q.restore_lease(&ckpt, 0.01).unwrap(), lease);
+    }
+}

@@ -1,0 +1,373 @@
+//! Thread-per-core TCP front-end.
+//!
+//! A shared nonblocking listener is accepted from by every worker thread
+//! (kernel-balanced), and each worker owns the connections it accepted:
+//! it drains their sockets, feeds the bytes to the shared [`ServeEngine`],
+//! writes inline replies, and closes the batching window with one
+//! [`ServeEngine::flush`] per drain cycle. Flushed replies are routed
+//! through a shared per-lease outbox so a lease's actions always return on
+//! the connection that leased it, whichever worker flushed.
+//!
+//! All protocol logic lives in the engine; this module is only sockets,
+//! threads, and the wall clock ([`Instant`] → seconds since start). The
+//! deterministic counterpart is [`loopback`](crate::loopback).
+
+use crate::engine::{ConnState, ServeConfig, ServeEngine};
+use std::collections::BTreeMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long an idle worker sleeps between drain cycles.
+const IDLE_SLEEP: Duration = Duration::from_micros(200);
+/// Socket read buffer size.
+const READ_BUF: usize = 64 * 1024;
+
+/// Replies produced by a flush on one worker, awaiting pickup by the
+/// worker that owns the lease's connection.
+type Outbox = Arc<Mutex<BTreeMap<u64, Vec<u8>>>>;
+
+struct Shared {
+    engine: Mutex<ServeEngine>,
+    outbox: Outbox,
+    stop: AtomicBool,
+    started: Instant,
+}
+
+impl Shared {
+    fn now_s(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+}
+
+/// A running TCP server; dropping it stops the workers.
+pub struct ServeServer {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServeServer {
+    /// Bind `addr` and serve on `threads` worker threads.
+    pub fn start(addr: &str, cfg: ServeConfig, threads: usize) -> std::io::Result<ServeServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            engine: Mutex::new(ServeEngine::new(cfg)),
+            outbox: Arc::new(Mutex::new(BTreeMap::new())),
+            stop: AtomicBool::new(false),
+            started: Instant::now(),
+        });
+        let mut workers = Vec::new();
+        for worker in 0..threads.max(1) {
+            let listener = listener.try_clone()?;
+            let shared = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("sensact-serve-{worker}"))
+                    .spawn(move || worker_loop(worker, listener, shared))?,
+            );
+        }
+        Ok(ServeServer {
+            shared,
+            addr,
+            workers,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the workers and join them.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for ServeServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+struct Conn {
+    stream: TcpStream,
+    state: ConnState,
+    /// Leases granted on this connection (their flushed replies route
+    /// here).
+    leases: Vec<u64>,
+}
+
+fn worker_loop(worker: usize, listener: TcpListener, shared: Arc<Shared>) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut buf = vec![0u8; READ_BUF];
+    while !shared.stop.load(Ordering::SeqCst) {
+        let mut progressed = false;
+        // Accept whatever the kernel hands this worker.
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_ok() {
+                        conns.push(Conn {
+                            stream,
+                            state: ConnState::new(),
+                            leases: Vec::new(),
+                        });
+                        progressed = true;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+        let now_s = shared.now_s();
+        let mut open = Vec::with_capacity(conns.len());
+        for mut conn in conns {
+            match pump(&mut conn, &shared, &mut buf, now_s) {
+                Pump::Idle => open.push(conn),
+                Pump::Progressed => {
+                    progressed = true;
+                    open.push(conn);
+                }
+                Pump::Closed => {
+                    // The engine expires abandoned leases by TTL; nothing
+                    // to tear down eagerly here.
+                    progressed = true;
+                }
+            }
+        }
+        conns = open;
+        if progressed {
+            // Close the batching window for everything this drain ingested.
+            let flushed = shared
+                .engine
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .flush(now_s);
+            if !flushed.is_empty() {
+                let mut outbox = shared.outbox.lock().unwrap_or_else(|e| e.into_inner());
+                for (lease, bytes) in flushed {
+                    outbox.entry(lease).or_default().extend_from_slice(&bytes);
+                }
+            }
+        }
+        // Route flushed replies for the leases this worker owns.
+        deliver_outbox(&mut conns, &shared.outbox);
+        if worker == 0 {
+            let expired = shared
+                .engine
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .expire(now_s);
+            if !expired.is_empty() {
+                let mut outbox = shared.outbox.lock().unwrap_or_else(|e| e.into_inner());
+                for lease in expired {
+                    outbox.remove(&lease);
+                }
+            }
+        }
+        if !progressed {
+            std::thread::sleep(IDLE_SLEEP);
+        }
+    }
+}
+
+enum Pump {
+    Idle,
+    Progressed,
+    Closed,
+}
+
+fn pump(conn: &mut Conn, shared: &Shared, buf: &mut [u8], now_s: f64) -> Pump {
+    let mut progressed = false;
+    loop {
+        match conn.stream.read(buf) {
+            Ok(0) => return Pump::Closed,
+            Ok(n) => {
+                progressed = true;
+                let result = shared
+                    .engine
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .ingest(&mut conn.state, &buf[..n], now_s);
+                conn.leases.extend_from_slice(&result.granted);
+                conn.leases.retain(|l| !result.released.contains(l));
+                if !result.reply.is_empty() && conn.stream.write_all(&result.reply).is_err() {
+                    return Pump::Closed;
+                }
+                if conn.state.is_dead() {
+                    let _ = conn.stream.flush();
+                    return Pump::Closed;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return Pump::Closed,
+        }
+    }
+    if progressed {
+        Pump::Progressed
+    } else {
+        Pump::Idle
+    }
+}
+
+fn deliver_outbox(conns: &mut [Conn], outbox: &Outbox) {
+    for conn in conns {
+        if conn.leases.is_empty() {
+            continue;
+        }
+        let mut pending: Vec<Vec<u8>> = Vec::new();
+        {
+            let mut outbox = outbox.lock().unwrap_or_else(|e| e.into_inner());
+            for lease in &conn.leases {
+                if let Some(bytes) = outbox.remove(lease) {
+                    pending.push(bytes);
+                }
+            }
+        }
+        for bytes in pending {
+            let _ = conn.stream.write_all(&bytes);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lease::PoolConfig;
+    use crate::wire::{self, Frame};
+
+    /// Read frames until `want` arrive or the deadline passes.
+    fn read_frames(stream: &mut TcpStream, want: usize) -> Vec<Frame> {
+        stream
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .unwrap();
+        let mut acc = Vec::new();
+        let mut frames = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut buf = [0u8; 4096];
+        while frames.len() < want && Instant::now() < deadline {
+            match stream.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => {
+                    acc.extend_from_slice(&buf[..n]);
+                    while let Some((f, used)) = wire::decode(&acc).unwrap() {
+                        frames.push(f);
+                        acc.drain(..used);
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+                Err(e) => panic!("read: {e}"),
+            }
+        }
+        frames
+    }
+
+    fn try_server(batched: bool) -> Option<ServeServer> {
+        match ServeServer::start(
+            "127.0.0.1:0",
+            ServeConfig {
+                pool: PoolConfig::default(),
+                batched,
+            },
+            2,
+        ) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                // Sandboxed environments may forbid binding; the loopback
+                // transport covers the protocol logic there.
+                eprintln!("skipping TCP test: bind failed: {e}");
+                None
+            }
+        }
+    }
+
+    #[test]
+    fn tcp_lease_observe_release_round_trip() {
+        for batched in [false, true] {
+            let Some(server) = try_server(batched) else {
+                return;
+            };
+            let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+            stream.set_nodelay(true).unwrap();
+            stream
+                .write_all(&wire::encode_to_vec(&Frame::LeaseReq { model: 1, seed: 7 }))
+                .unwrap();
+            let (lease, obs_len) = match &read_frames(&mut stream, 1)[..] {
+                [Frame::LeaseGrant { lease, obs_len, .. }] => (*lease, *obs_len as usize),
+                other => panic!("batched={batched}: {other:?}"),
+            };
+            stream
+                .write_all(&wire::encode_to_vec(&Frame::Obs {
+                    lease,
+                    seq: 1,
+                    values: vec![0.125; obs_len],
+                }))
+                .unwrap();
+            match &read_frames(&mut stream, 1)[..] {
+                [Frame::Act { seq: 1, values, .. }] => assert_eq!(values.len(), 1),
+                [Frame::Shed { .. }] => {} // wall-clock jitter may shed
+                other => panic!("batched={batched}: {other:?}"),
+            }
+            stream
+                .write_all(&wire::encode_to_vec(&Frame::Release { lease }))
+                .unwrap();
+            match &read_frames(&mut stream, 1)[..] {
+                [Frame::Released { .. }] => {}
+                other => panic!("batched={batched}: {other:?}"),
+            }
+            server.stop();
+        }
+    }
+
+    #[test]
+    fn tcp_metrics_scrape_over_http() {
+        let Some(server) = try_server(true) else {
+            return;
+        };
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .unwrap();
+        let mut acc = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut buf = [0u8; 4096];
+        while Instant::now() < deadline {
+            match stream.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => {
+                    acc.extend_from_slice(&buf[..n]);
+                    if acc.windows(4).any(|w| w == b"\r\n\r\n") {
+                        let text = String::from_utf8_lossy(&acc);
+                        if text.contains("serve_http_requests") {
+                            break;
+                        }
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+                Err(e) => panic!("read: {e}"),
+            }
+        }
+        let text = String::from_utf8_lossy(&acc);
+        assert!(text.starts_with("HTTP/1.1 200 OK"), "{text}");
+        assert!(text.contains("serve_utilization"), "{text}");
+        server.stop();
+    }
+}

@@ -68,4 +68,13 @@ cargo run --offline --release -p sensact-bench --bin bench_fed -- --smoke
 echo "== federated fleet smoke (forced-scalar path) =="
 SENSACT_FORCE_SCALAR=1 cargo run --offline --release -p sensact-bench --bin bench_fed -- --smoke
 
+echo "== serving integration (batched bitwise identity + crash recovery) =="
+cargo test --offline -q --test serve_integration
+
+echo "== serving bench smoke (loopback throughput, host ISA) =="
+cargo run --offline --release -p sensact-bench --bin bench_serve -- --smoke
+
+echo "== serving bench smoke (forced-scalar path) =="
+SENSACT_FORCE_SCALAR=1 cargo run --offline --release -p sensact-bench --bin bench_serve -- --smoke
+
 echo "CI gate passed."

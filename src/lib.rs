@@ -19,6 +19,9 @@
 //! * [`sched`] — §VII fleet runtime: deadline-aware multiplexing of
 //!   heterogeneous loops over a worker pool, with work stealing, drop-oldest
 //!   backpressure, an energy arbiter and a deterministic mode.
+//! * [`serve`] — fleets-as-a-service ingress: leased loops behind a framed
+//!   TCP/HTTP front-end with cross-loop batched inference, admission
+//!   control, load shedding and checkpoint-based lease recovery.
 //! * [`math`] / [`nn`] — numerical and neural-network substrates.
 //!
 //! ## Quickstart
@@ -42,4 +45,5 @@ pub use sensact_neuro as neuro;
 pub use sensact_nn as nn;
 pub use sensact_rmae as rmae;
 pub use sensact_sched as sched;
+pub use sensact_serve as serve;
 pub use sensact_starnet as starnet;

@@ -1,0 +1,267 @@
+//! Facade-level serving integration: the `sensact-serve` ingress driven
+//! end-to-end over the deterministic loopback transport under virtual
+//! time.
+//!
+//! Two contracts pin the serving stack's semantics:
+//!
+//! * **Batching is invisible in the bits.** A fleet whose lidar leases
+//!   share one perceptor must produce byte-identical reply frames whether
+//!   their forwards are stacked into one cross-loop GEMM or dispatched
+//!   per loop — batching may only change wall-clock cost, never results.
+//! * **A killed lease replays.** Snapshot a live lease mid-stream, ship
+//!   the checkpoint through its JSONL wire form, restore it onto a fresh
+//!   server, and replay the remaining observations: the reply frames and
+//!   the telemetry ledger must match the uninterrupted run bit for bit
+//!   (zero [`Divergence`](sensact::core::replay::Divergence) findings).
+
+use sensact::core::checkpoint::Checkpoint;
+use sensact::core::replay::{diff_records, Recording};
+use sensact::serve::wire::{self, Frame};
+use sensact::serve::{Loopback, ModelKind, PoolConfig, ServeConfig};
+
+/// Deterministic observation for (lease slot, round).
+fn obs(len: usize, slot: u64, round: u64) -> Vec<f64> {
+    (0..len)
+        .map(|i| {
+            let x = (i as u64)
+                .wrapping_mul(31)
+                .wrapping_add(slot.wrapping_mul(7))
+                .wrapping_add(round.wrapping_mul(13));
+            (x % 23) as f64 / 11.0 - 1.0
+        })
+        .collect()
+}
+
+fn config(batched: bool) -> ServeConfig {
+    ServeConfig {
+        pool: PoolConfig {
+            workers: 16,
+            ..PoolConfig::default()
+        },
+        batched,
+    }
+}
+
+/// Re-encode decoded reply frames so comparisons are byte-exact (f64 bit
+/// patterns, not `PartialEq` on floats).
+fn frames_bytes(frames: &[Frame]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for f in frames {
+        out.extend_from_slice(&wire::encode_to_vec(f));
+    }
+    out
+}
+
+/// Two lidar leases sharing the pool's one `LidarConv` perceptor plus a
+/// cartpole bystander, driven with identical traffic through a batched and
+/// an unbatched server: every reply frame must be byte-identical, and the
+/// batched server must actually have stacked the lidar pair (occupancy
+/// histogram non-empty) — otherwise this test would pass vacuously.
+#[test]
+fn batched_loopback_is_bitwise_identical_to_per_loop_dispatch() {
+    let mut batched = Loopback::new(config(true));
+    let mut per_loop = Loopback::new(config(false));
+    let kinds = [
+        ModelKind::LidarConv,
+        ModelKind::LidarConv,
+        ModelKind::Cartpole,
+    ];
+    let mut conns = Vec::new();
+    for (slot, kind) in kinds.iter().enumerate() {
+        let b = batched.connect();
+        let u = per_loop.connect();
+        assert_eq!(b, u);
+        let (bl, b_obs, _) = batched
+            .request_lease(b, kind.wire(), slot as u64, 0.0)
+            .expect("pool sized for three leases");
+        let (ul, u_obs, _) = per_loop
+            .request_lease(u, kind.wire(), slot as u64, 0.0)
+            .expect("pool sized for three leases");
+        assert_eq!((bl, b_obs), (ul, u_obs), "grants must mirror");
+        conns.push((b, bl, b_obs));
+    }
+    let period = ModelKind::LidarConv.spec().period_s;
+    for round in 0..16u64 {
+        let now = period * (round + 1) as f64;
+        for &(conn, lease, obs_len) in &conns {
+            let frame = Frame::Obs {
+                lease,
+                seq: round,
+                values: obs(obs_len, lease, round),
+            };
+            batched.send_frame(conn, &frame, now);
+            per_loop.send_frame(conn, &frame, now);
+        }
+        batched.flush(now);
+        per_loop.flush(now);
+        for &(conn, lease, _) in &conns {
+            let b = batched.take_frames(conn);
+            let u = per_loop.take_frames(conn);
+            assert_eq!(b.len(), u.len(), "round {round} lease {lease} reply count");
+            assert!(
+                b.iter().all(|f| matches!(f, Frame::Act { .. })),
+                "round {round}: every observation at this gentle rate is served"
+            );
+            assert_eq!(
+                frames_bytes(&b),
+                frames_bytes(&u),
+                "round {round} lease {lease}: batched reply bytes diverged"
+            );
+        }
+    }
+    let occupancy = batched
+        .engine()
+        .metrics()
+        .histogram("serve.batch.occupancy")
+        .expect("batched server records occupancy");
+    assert!(occupancy.count() > 0, "the lidar pair never stacked");
+    assert_eq!(occupancy.max(), 2.0, "both lidar leases share each GEMM");
+    assert!(
+        per_loop
+            .engine()
+            .metrics()
+            .histogram("serve.batch.occupancy")
+            .is_none_or(|h| h.is_empty()),
+        "per-loop dispatch must not batch"
+    );
+}
+
+/// Kill-and-restore: serve half the stream on server A, snapshot the lease
+/// between flushes, "crash", restore the checkpoint (through JSONL) onto a
+/// fresh server B with the same seed, and serve the remaining rounds there
+/// with a different batching companion. B's reply frames must match A's
+/// byte for byte, and the restored lease's telemetry ledger must replay
+/// the whole run — ticks before *and* after the crash — with zero
+/// divergence findings.
+#[test]
+fn killed_then_restored_lease_replays_tail_with_zero_divergence() {
+    const ROUNDS: u64 = 12;
+    const CRASH_AFTER: u64 = 6;
+    let seed = 41u64;
+    let period = ModelKind::LidarConv.spec().period_s;
+    let spec = ModelKind::LidarConv.spec();
+
+    // Reference server: uninterrupted, batched, with a companion lidar
+    // lease so the victim's ticks run through the stacked path.
+    let mut reference = Loopback::new(config(true));
+    let conn_r = reference.connect();
+    let (lease_r, _, _) = reference
+        .request_lease(conn_r, ModelKind::LidarConv.wire(), seed, 0.0)
+        .unwrap();
+    let conn_rc = reference.connect();
+    let (lease_rc, _, _) = reference
+        .request_lease(conn_rc, ModelKind::LidarConv.wire(), 99, 0.0)
+        .unwrap();
+    let mut ref_replies: Vec<Vec<u8>> = Vec::new();
+    for round in 0..ROUNDS {
+        let now = period * (round + 1) as f64;
+        for (conn, lease) in [(conn_r, lease_r), (conn_rc, lease_rc)] {
+            let frame = Frame::Obs {
+                lease,
+                seq: round,
+                values: obs(spec.obs_len, lease, round),
+            };
+            reference.send_frame(conn, &frame, now);
+        }
+        reference.flush(now);
+        ref_replies.push(frames_bytes(&reference.take_frames(conn_r)));
+        let _ = reference.take_frames(conn_rc);
+    }
+    let ref_recording = Recording::capture(
+        "victim",
+        seed,
+        reference.engine().pool().lease_telemetry(lease_r).unwrap(),
+    );
+
+    // Victim server: same grants and traffic through round CRASH_AFTER,
+    // then snapshot and crash.
+    let mut victim = Loopback::new(config(true));
+    let conn_v = victim.connect();
+    let (lease_v, _, _) = victim
+        .request_lease(conn_v, ModelKind::LidarConv.wire(), seed, 0.0)
+        .unwrap();
+    let conn_vc = victim.connect();
+    let (lease_vc, _, _) = victim
+        .request_lease(conn_vc, ModelKind::LidarConv.wire(), 99, 0.0)
+        .unwrap();
+    assert_eq!((lease_v, lease_vc), (lease_r, lease_rc));
+    for round in 0..CRASH_AFTER {
+        let now = period * (round + 1) as f64;
+        for (conn, lease) in [(conn_v, lease_v), (conn_vc, lease_vc)] {
+            let frame = Frame::Obs {
+                lease,
+                seq: round,
+                values: obs(spec.obs_len, lease, round),
+            };
+            victim.send_frame(conn, &frame, now);
+        }
+        victim.flush(now);
+        assert_eq!(
+            frames_bytes(&victim.take_frames(conn_v)),
+            ref_replies[round as usize],
+            "pre-crash round {round} must already mirror the reference"
+        );
+        let _ = victim.take_frames(conn_vc);
+    }
+    let wire_ckpt = victim
+        .engine()
+        .pool()
+        .snapshot_lease(lease_v)
+        .unwrap()
+        .to_jsonl();
+    drop(victim); // the crash
+
+    // Recovery server: fresh process, same pool seed (the recovery
+    // contract), the checkpoint adopted from its wire form and re-homed
+    // onto a new connection. A *different* companion seed proves the tail
+    // does not depend on who shares the batch.
+    let crash_now = period * CRASH_AFTER as f64;
+    let mut recovery = Loopback::new(config(true));
+    let conn_n = recovery.connect();
+    let ckpt = Checkpoint::from_jsonl(&wire_ckpt).unwrap();
+    let adopted = recovery.restore_lease(conn_n, &ckpt, crash_now).unwrap();
+    assert_eq!(adopted, lease_v, "the lease resumes under its original id");
+    let conn_nc = recovery.connect();
+    let (lease_nc, _, _) = recovery
+        .request_lease(conn_nc, ModelKind::LidarConv.wire(), 1234, crash_now)
+        .unwrap();
+    assert_ne!(lease_nc, adopted, "restore reserves the adopted id");
+    for round in CRASH_AFTER..ROUNDS {
+        let now = period * (round + 1) as f64;
+        for (conn, lease) in [(conn_n, adopted), (conn_nc, lease_nc)] {
+            let frame = Frame::Obs {
+                lease,
+                seq: round,
+                values: obs(spec.obs_len, lease, round),
+            };
+            recovery.send_frame(conn, &frame, now);
+        }
+        recovery.flush(now);
+        assert_eq!(
+            frames_bytes(&recovery.take_frames(conn_n)),
+            ref_replies[round as usize],
+            "post-restore round {round} reply bytes diverged from the reference"
+        );
+        let _ = recovery.take_frames(conn_nc);
+    }
+
+    // The replayed ledger — restored history plus the re-served tail —
+    // must match the uninterrupted run tick for tick.
+    let replayed = Recording::capture(
+        "victim",
+        seed,
+        recovery.engine().pool().lease_telemetry(adopted).unwrap(),
+    );
+    assert_eq!(ref_recording.len(), ROUNDS as usize);
+    assert_eq!(replayed.len(), ref_recording.len());
+    let divergences: Vec<_> = ref_recording
+        .ticks
+        .iter()
+        .zip(&replayed.ticks)
+        .filter_map(|(rec, rep)| diff_records(rec, rep))
+        .collect();
+    assert!(
+        divergences.is_empty(),
+        "killed-then-restored lease diverged: {divergences:?}"
+    );
+}
